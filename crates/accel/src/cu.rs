@@ -1,0 +1,364 @@
+//! The Configuration Unit (Figure 5): fetch, decode, and sequencing of
+//! accelerator descriptors.
+//!
+//! The CU's Fetch Unit copies the descriptor from the command space into
+//! its Instruction Memory; the Decode Unit walks the Instruction Region
+//! pass by pass, configures the tile switches over the NoC, triggers the
+//! accelerator-initialization parameter fetch, and monitors pass
+//! completion. A `LOOP` block re-runs its passes without re-fetching or
+//! re-decoding — the hardware-loop advantage of §5.4.
+
+use core::fmt;
+
+use mealib_memsim::{analytic, AccessPattern};
+use mealib_tdl::descriptor::{DecodedInstr, Descriptor, DescriptorError};
+use mealib_types::{Hertz, Joules, Seconds};
+
+use crate::chain::execute_chained;
+use crate::layer::AcceleratorLayer;
+use crate::model::{AccelModel, ExecReport, CONFIG_LATENCY};
+use crate::params::{AccelParams, ParamsError};
+use crate::power::profile_at;
+
+/// Per-iteration trigger latency of a hardware `LOOP`: the switches are
+/// already configured, the Decode Unit only re-fires the pass.
+pub const LOOP_ITER_LATENCY: Seconds = Seconds::new(50e-9);
+
+/// Cost parameters of the CU front-end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CuCostModel {
+    /// Decode-unit cycles per IR instruction.
+    pub decode_cycles_per_instr: u64,
+    /// CU clock.
+    pub clock: Hertz,
+    /// Configuration bytes broadcast to each tile per pass.
+    pub config_bytes_per_tile: u64,
+}
+
+impl Default for CuCostModel {
+    fn default() -> Self {
+        Self {
+            decode_cycles_per_instr: 8,
+            clock: Hertz::from_ghz(1.0),
+            config_bytes_per_tile: 64,
+        }
+    }
+}
+
+/// Errors from running a descriptor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CuError {
+    /// The descriptor image failed to decode.
+    Descriptor(DescriptorError),
+    /// A parameter blob failed to parse.
+    Params(ParamsError),
+    /// An accelerator instruction's opcode disagreed with its parameter
+    /// blob's tag.
+    KindMismatch,
+}
+
+impl fmt::Display for CuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CuError::Descriptor(e) => write!(f, "descriptor error: {e}"),
+            CuError::Params(e) => write!(f, "parameter error: {e}"),
+            CuError::KindMismatch => f.write_str("instruction opcode disagrees with parameters"),
+        }
+    }
+}
+
+impl std::error::Error for CuError {}
+
+impl From<DescriptorError> for CuError {
+    fn from(e: DescriptorError) -> Self {
+        CuError::Descriptor(e)
+    }
+}
+
+impl From<ParamsError> for CuError {
+    fn from(e: ParamsError) -> Self {
+        CuError::Params(e)
+    }
+}
+
+/// One executed (static) pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PassRun {
+    /// Parameters of each chained stage.
+    pub stages: Vec<AccelParams>,
+    /// The modeled execution of one iteration of this pass.
+    pub report: ExecReport,
+    /// Loop multiplier applied to this pass (1 outside loops).
+    pub iterations: u64,
+}
+
+/// The result of running one descriptor through the CU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DescriptorRun {
+    /// One-time front-end cost: descriptor fetch + decode + per-pass
+    /// configuration broadcasts.
+    pub setup_time: Seconds,
+    /// Energy of the front-end work.
+    pub setup_energy: Joules,
+    /// Static passes with their per-iteration reports and multipliers.
+    pub passes: Vec<PassRun>,
+}
+
+impl DescriptorRun {
+    /// Aggregate accelerator execution (loops expanded), excluding setup.
+    pub fn execution(&self) -> Option<ExecReport> {
+        let mut total: Option<ExecReport> = None;
+        for p in &self.passes {
+            let scaled = p.report.repeat(p.iterations);
+            total = Some(match total {
+                None => scaled,
+                Some(acc) => acc.then(&scaled),
+            });
+        }
+        total
+    }
+
+    /// Total time including the front-end.
+    pub fn total_time(&self) -> Seconds {
+        self.setup_time + self.execution().map_or(Seconds::ZERO, |e| e.time)
+    }
+
+    /// Total energy including the front-end.
+    pub fn total_energy(&self) -> Joules {
+        self.setup_energy + self.execution().map_or(Joules::ZERO, |e| e.energy)
+    }
+
+    /// Dynamic accelerator invocations this run performed.
+    pub fn invocations(&self) -> u64 {
+        self.passes
+            .iter()
+            .map(|p| p.iterations * p.stages.len() as u64)
+            .sum()
+    }
+}
+
+/// Runs a descriptor on the layer, returning the modeled costs.
+///
+/// # Errors
+///
+/// Returns a [`CuError`] if the descriptor or its parameter blobs are
+/// malformed.
+pub fn run_descriptor(
+    desc: &Descriptor,
+    layer: &AcceleratorLayer,
+    cost: &CuCostModel,
+) -> Result<DescriptorRun, CuError> {
+    let instrs = desc.decode()?;
+
+    // Front-end: fetch the descriptor image from DRAM, decode every
+    // instruction once.
+    let fetch = analytic::estimate(
+        layer.mem(),
+        &AccessPattern::sequential_read(desc.size_bytes() as u64),
+    );
+    let decode_time = Seconds::new(
+        instrs.len() as f64 * cost.decode_cycles_per_instr as f64 / cost.clock.get(),
+    );
+    let mut setup_time = fetch.elapsed + decode_time;
+    let mut setup_energy = fetch.energy;
+
+    let mut passes: Vec<PassRun> = Vec::new();
+    let mut pending: Vec<AccelParams> = Vec::new();
+    let mut multiplier = 1u64;
+    for instr in &instrs {
+        match instr {
+            DecodedInstr::LoopBegin { count } => multiplier = *count,
+            DecodedInstr::LoopEnd => multiplier = 1,
+            DecodedInstr::PassBegin { .. } => pending.clear(),
+            DecodedInstr::Accel { kind, param_size, param_addr } => {
+                let blob = desc.param_blob(*param_addr, *param_size);
+                let params = AccelParams::from_bytes(blob)?;
+                if params.kind() != *kind {
+                    return Err(CuError::KindMismatch);
+                }
+                pending.push(params);
+            }
+            DecodedInstr::PassEnd { .. } => {
+                let stages = std::mem::take(&mut pending);
+                // Per-pass switch configuration broadcast (paid once even
+                // for looped passes — that is the hardware-loop win), plus
+                // the Decode Unit's completion gather at pass end.
+                let bcast = layer.config_broadcast(cost.config_bytes_per_tile);
+                let gather = layer.mesh().gather(mealib_noc::TileId::new(0, 0), 16);
+                setup_time += bcast.elapsed + gather.elapsed;
+                setup_energy += bcast.energy + gather.energy;
+                let mut report = execute_chained(&stages, layer.hw(), layer.mem());
+                if multiplier > 1 {
+                    // Looped passes pay CONFIG_LATENCY once (in setup).
+                    // Iterations then *pipeline*: the Decode Unit keeps
+                    // the next iteration's fetch in flight while the
+                    // current one drains, so memory streams across
+                    // iterations instead of paying the DRAM latency each
+                    // time, and per-iteration triggers overlap across
+                    // tiles when the working set fits a Local Memory.
+                    setup_time += CONFIG_LATENCY;
+                    let eff = stages
+                        .iter()
+                        .map(|p| AccelModel::new(p.kind()).bandwidth_efficiency())
+                        .fold(1.0_f64, f64::min);
+                    let stream_bw = layer.mem().peak_bandwidth().get() * eff;
+                    let stream_mem = Seconds::new(
+                        report.mem.bytes_moved().get() as f64 / stream_bw,
+                    );
+                    let trigger = if report.mem.bytes_moved().get()
+                        <= layer.hw().local_mem_bytes
+                    {
+                        LOOP_ITER_LATENCY / layer.tiles().len() as f64
+                    } else {
+                        LOOP_ITER_LATENCY
+                    };
+                    report.mem_time = stream_mem;
+                    report.time = stream_mem.max(report.compute_time).max(trigger);
+                    // Re-price the per-iteration energy over the
+                    // pipelined interval: work terms (activations,
+                    // bytes, FLOPs) are unchanged, but background power
+                    // and leakage accrue over the streamed time, not the
+                    // standalone latency.
+                    let bytes = report.mem.bytes_moved().get();
+                    let mem_energy = layer.mem().energy.trace_energy(
+                        report.mem.activations,
+                        bytes,
+                        report.time,
+                    );
+                    let mut core = mealib_types::Joules::ZERO;
+                    for p in &stages {
+                        let prof = profile_at(p.kind(), layer.hw().frequency);
+                        core += prof.e_byte_datapath * bytes as f64
+                            + prof.e_flop * report.flops as f64
+                            + prof.p_leakage.for_duration(report.time);
+                    }
+                    report.mem.energy = mem_energy;
+                    report.mem_energy = mem_energy;
+                    report.energy = mem_energy + core;
+                }
+                passes.push(PassRun { stages, report, iterations: multiplier });
+            }
+        }
+    }
+
+    Ok(DescriptorRun { setup_time, setup_energy, passes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mealib_tdl::{parse, ParamBag};
+    use std::collections::BTreeMap;
+
+    fn make_descriptor(loop_count: u64) -> Descriptor {
+        let src = format!(
+            r#"
+            LOOP {loop_count} {{
+                PASS in=x out=y {{
+                    COMP FFT params="fft.para"
+                }}
+            }}
+            "#
+        );
+        let program = parse(&src).unwrap();
+        let mut params = ParamBag::new();
+        params.insert(
+            "fft.para".into(),
+            AccelParams::Fft { n: 256, batch: 256 }.to_bytes(),
+        );
+        let buffers: BTreeMap<String, u64> =
+            [("x".to_string(), 0x1000u64), ("y".to_string(), 0x100000)].into_iter().collect();
+        Descriptor::encode(&program, &params, &buffers).unwrap()
+    }
+
+    #[test]
+    fn hardware_loop_pays_setup_once() {
+        let layer = AcceleratorLayer::mealib_default();
+        let cost = CuCostModel::default();
+        let once = run_descriptor(&make_descriptor(1), &layer, &cost).unwrap();
+        let many = run_descriptor(&make_descriptor(128), &layer, &cost).unwrap();
+        assert_eq!(many.invocations(), 128);
+        assert_eq!(once.invocations(), 1);
+        // Setup differs only by the one-time configuration charge.
+        assert!(
+            (many.setup_time.get() - once.setup_time.get()).abs() < 1e-6,
+            "setup {} vs {}",
+            many.setup_time,
+            once.setup_time
+        );
+        // Execution scales with the count but is cheaper than 128 naive
+        // repetitions: configuration amortizes and iterations pipeline.
+        let exec_ratio =
+            many.execution().unwrap().time / once.execution().unwrap().time;
+        assert!((30.0..128.5).contains(&exec_ratio), "ratio {exec_ratio}");
+    }
+
+    #[test]
+    fn chained_pass_prices_as_chain() {
+        let src = r#"
+            PASS in=a out=b {
+                COMP RESMP params="r.para"
+                COMP FFT params="f.para"
+            }
+        "#;
+        let program = parse(src).unwrap();
+        let mut bag = ParamBag::new();
+        let resmp = AccelParams::Resmp { blocks: 256, in_per_block: 256, out_per_block: 256 };
+        let fft = AccelParams::Fft { n: 256, batch: 256 };
+        bag.insert("r.para".into(), resmp.to_bytes());
+        bag.insert("f.para".into(), fft.to_bytes());
+        let buffers: BTreeMap<String, u64> =
+            [("a".to_string(), 0u64), ("b".to_string(), 1 << 20)].into_iter().collect();
+        let desc = Descriptor::encode(&program, &bag, &buffers).unwrap();
+        let layer = AcceleratorLayer::mealib_default();
+        let run = run_descriptor(&desc, &layer, &CuCostModel::default()).unwrap();
+        assert_eq!(run.passes.len(), 1);
+        assert_eq!(run.passes[0].stages, vec![resmp, fft]);
+        let direct = execute_chained(&[resmp, fft], layer.hw(), layer.mem());
+        assert_eq!(run.passes[0].report, direct);
+    }
+
+    #[test]
+    fn corrupt_param_blob_is_an_error() {
+        let desc = make_descriptor(1);
+        let mut bytes = desc.as_bytes().to_vec();
+        // Clobber the last byte (inside the PR blob).
+        let last = bytes.len() - 1;
+        // Make FFT n not a power of two by trashing the tag instead:
+        // locate PR offset from CR.
+        let pr_off = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+        bytes[pr_off] = 0x7f; // invalid tag
+        let _ = last;
+        let corrupted = Descriptor::decode_bytes(&bytes).map(|_| ());
+        assert!(corrupted.is_ok(), "IR still decodes");
+        // Re-wrap: Descriptor has no public from-bytes constructor, so
+        // exercise the error through AccelParams directly.
+        assert!(matches!(
+            AccelParams::from_bytes(&bytes[pr_off..]),
+            Err(ParamsError::BadTag(0x7f))
+        ));
+    }
+
+    #[test]
+    fn total_time_includes_setup_and_execution() {
+        let layer = AcceleratorLayer::mealib_default();
+        let run = run_descriptor(&make_descriptor(4), &layer, &CuCostModel::default()).unwrap();
+        let exec = run.execution().unwrap();
+        assert!(run.total_time() > exec.time);
+        assert!(run.total_energy() > exec.energy);
+        assert!(run.setup_time.get() > 0.0);
+    }
+
+    #[test]
+    fn empty_descriptor_runs_with_no_passes() {
+        let program = parse("").unwrap();
+        let desc =
+            Descriptor::encode(&program, &ParamBag::new(), &BTreeMap::new()).unwrap();
+        let layer = AcceleratorLayer::mealib_default();
+        let run = run_descriptor(&desc, &layer, &CuCostModel::default()).unwrap();
+        assert!(run.passes.is_empty());
+        assert!(run.execution().is_none());
+        assert_eq!(run.invocations(), 0);
+        assert_eq!(run.total_time(), run.setup_time);
+    }
+}

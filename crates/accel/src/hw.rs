@@ -1,0 +1,138 @@
+//! Accelerator-layer hardware configuration.
+//!
+//! These are the knobs the paper's design-space analysis turns (§5.3):
+//! "we explored various design parameters, such as accelerator frequency,
+//! row buffer size, number of accelerator cores, and block size."
+
+use mealib_types::{ConfigError, Hertz};
+
+/// Hardware parameters of one accelerator deployment on the layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccelHwConfig {
+    /// Accelerator clock frequency.
+    pub frequency: Hertz,
+    /// Accelerator cores (PE clusters) active for this operation, across
+    /// all tiles.
+    pub cores: u32,
+    /// f32 SIMD lanes per core.
+    pub lanes_per_core: u32,
+    /// Local Memory per tile, bytes.
+    pub local_mem_bytes: u64,
+    /// Block/tile size in elements for blocked algorithms (FFT stages,
+    /// transpose tiles, SPMV row blocks).
+    pub block_elems: u64,
+}
+
+impl AccelHwConfig {
+    /// The nominal MEALib deployment: one core per vault (32), 8 lanes,
+    /// 1 GHz, 256 KiB of LM per tile, 4 Ki-element blocks.
+    pub fn mealib_default() -> Self {
+        Self {
+            frequency: Hertz::from_ghz(1.0),
+            cores: 32,
+            lanes_per_core: 8,
+            local_mem_bytes: 256 * 1024,
+            block_elems: 4096,
+        }
+    }
+
+    /// Peak f32 FLOP/s of the PE array (one fused multiply-add per lane
+    /// per cycle = 2 FLOPs).
+    pub fn peak_flops(&self) -> f64 {
+        self.frequency.get() * self.cores as f64 * self.lanes_per_core as f64 * 2.0
+    }
+
+    /// Peak datapath streaming rate in bytes/s (each lane moves one f32
+    /// per cycle).
+    pub fn peak_stream_bytes(&self) -> f64 {
+        self.frequency.get() * self.cores as f64 * self.lanes_per_core as f64 * 4.0
+    }
+
+    /// Returns a copy with a different clock frequency (design-space
+    /// sweeps).
+    pub fn with_frequency(&self, frequency: Hertz) -> Self {
+        Self { frequency, ..self.clone() }
+    }
+
+    /// Returns a copy with a different core count.
+    pub fn with_cores(&self, cores: u32) -> Self {
+        Self { cores, ..self.clone() }
+    }
+
+    /// Returns a copy with a different block size.
+    pub fn with_block_elems(&self, block_elems: u64) -> Self {
+        Self { block_elems, ..self.clone() }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.frequency.get() <= 0.0 {
+            return Err(ConfigError::new("frequency", "must be positive"));
+        }
+        if self.cores == 0 {
+            return Err(ConfigError::new("cores", "must be nonzero"));
+        }
+        if self.lanes_per_core == 0 {
+            return Err(ConfigError::new("lanes_per_core", "must be nonzero"));
+        }
+        if self.local_mem_bytes == 0 {
+            return Err(ConfigError::new("local_mem_bytes", "must be nonzero"));
+        }
+        if self.block_elems == 0 {
+            return Err(ConfigError::new("block_elems", "must be nonzero"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for AccelHwConfig {
+    fn default() -> Self {
+        Self::mealib_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        assert!(AccelHwConfig::mealib_default().validate().is_ok());
+    }
+
+    #[test]
+    fn peak_rates() {
+        let hw = AccelHwConfig::mealib_default();
+        // 32 cores x 8 lanes x 2 flops x 1 GHz = 512 GFLOP/s.
+        assert!((hw.peak_flops() - 512e9).abs() < 1.0);
+        assert!((hw.peak_stream_bytes() - 1024e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn with_builders_change_one_field() {
+        let hw = AccelHwConfig::mealib_default();
+        let f = hw.with_frequency(Hertz::from_ghz(2.0));
+        assert_eq!(f.cores, hw.cores);
+        assert!((f.peak_flops() - 1024e9).abs() < 1.0);
+        assert_eq!(hw.with_cores(4).cores, 4);
+        assert_eq!(hw.with_block_elems(512).block_elems, 512);
+    }
+
+    #[test]
+    fn validation_rejects_zero_fields() {
+        let hw = AccelHwConfig::mealib_default();
+        assert!(hw.with_cores(0).validate().is_err());
+        assert!(hw.with_frequency(Hertz::new(0.0)).validate().is_err());
+        assert!(hw.with_block_elems(0).validate().is_err());
+        let mut bad = hw.clone();
+        bad.lanes_per_core = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = hw;
+        bad.local_mem_bytes = 0;
+        assert!(bad.validate().is_err());
+    }
+}

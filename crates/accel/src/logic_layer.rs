@@ -1,0 +1,202 @@
+//! The augmented DRAM logic layer (§2.1, Figure 3).
+//!
+//! MEALib adds three things to the HMC logic base: (de)multiplexers on
+//! each vault controller's queues (to steer accesses between the CPU
+//! path, the data-reshape infrastructure, and the accelerator layer), an
+//! arbitration rule in the link controller (CPU and accelerators never
+//! operate on the DRAM simultaneously), and the data-reshape
+//! infrastructure itself — a special accelerator for layout transforms
+//! that both the CPU and the accelerators can employ.
+//!
+//! §5.2: "The additional logic at the DRAM logic layer mainly contains
+//! the MUX and data reshape unit. The total power of these components is
+//! 0.25 W, and the total area is 0.45 mm², which is only 0.66% of the
+//! entire logic layer."
+
+use mealib_types::{Bytes, ConfigError, Joules, Seconds, Watts};
+
+/// Who currently owns the DRAM (the link controller's arbitration state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DramOwner {
+    /// The host CPU issues requests over the external links.
+    #[default]
+    Cpu,
+    /// The accelerator layer owns the vaults; CPU accesses are blocked.
+    Accelerators,
+}
+
+/// The link controller's arbitration: a hard mutex between the CPU and
+/// the accelerator layer (the paper's simplifying design decision).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LinkArbiter {
+    owner: DramOwner,
+    /// Ownership switches performed (each costs a drain of in-flight
+    /// requests).
+    pub switches: u64,
+}
+
+impl LinkArbiter {
+    /// Creates an arbiter with the CPU owning the DRAM.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current owner.
+    pub fn owner(&self) -> DramOwner {
+        self.owner
+    }
+
+    /// Requests ownership for `who`, returning the switch penalty (zero
+    /// when `who` already owns the DRAM).
+    pub fn acquire(&mut self, who: DramOwner) -> Seconds {
+        if self.owner == who {
+            Seconds::ZERO
+        } else {
+            self.owner = who;
+            self.switches += 1;
+            // Drain in-flight requests + retrain the steering MUXes.
+            Seconds::from_nanos(400.0)
+        }
+    }
+
+    /// Returns `true` if `who` may issue DRAM requests right now.
+    pub fn may_access(&self, who: DramOwner) -> bool {
+        self.owner == who
+    }
+}
+
+/// The data-reshape infrastructure on the logic layer: steering MUXes +
+/// the reshape unit (Table 5's logic-layer row).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReshapeInfrastructure {
+    /// Dynamic power while actively reshaping.
+    pub active_power: Watts,
+    /// Area on the logic layer, mm².
+    pub area_mm2: f64,
+    /// Internal reorder-buffer capacity (one DRAM row per vault).
+    pub buffer_bytes: u64,
+}
+
+impl ReshapeInfrastructure {
+    /// The paper's configuration: 0.25 W, 0.45 mm², row-sized buffers
+    /// per vault.
+    pub fn mealib_default() -> Self {
+        Self {
+            active_power: Watts::new(0.25),
+            area_mm2: 0.45,
+            buffer_bytes: 32 * 4096,
+        }
+    }
+
+    /// Fraction of the 68 mm² logic layer this logic occupies.
+    pub fn layer_share(&self) -> f64 {
+        self.area_mm2 / crate::power::LAYER_AREA_BUDGET_MM2
+    }
+
+    /// Energy of steering `bytes` through the reshape datapath for
+    /// `elapsed` (the unit is only powered while a transform runs).
+    pub fn energy(&self, elapsed: Seconds) -> Joules {
+        self.active_power.for_duration(elapsed)
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.active_power.get() <= 0.0 {
+            return Err(ConfigError::new("active_power", "must be positive"));
+        }
+        if self.area_mm2 <= 0.0 {
+            return Err(ConfigError::new("area_mm2", "must be positive"));
+        }
+        if self.buffer_bytes == 0 {
+            return Err(ConfigError::new("buffer_bytes", "must be nonzero"));
+        }
+        Ok(())
+    }
+
+    /// Largest tile (square, elements of `elem_bytes`) the reorder
+    /// buffers can hold — the blocking factor of the layout transforms.
+    pub fn max_tile_elems(&self, elem_bytes: u64) -> u64 {
+        ((self.buffer_bytes / elem_bytes) as f64).sqrt() as u64
+    }
+
+    /// Bytes the reshape unit must buffer to transpose a `rows × cols`
+    /// matrix tile-by-tile without row-buffer thrashing.
+    pub fn working_set(&self, rows: u64, cols: u64, elem_bytes: u64) -> Bytes {
+        let tile = self.max_tile_elems(elem_bytes).min(rows).min(cols);
+        Bytes::new(tile * tile * elem_bytes)
+    }
+}
+
+impl Default for ReshapeInfrastructure {
+    fn default() -> Self {
+        Self::mealib_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arbiter_is_a_mutex_with_switch_penalty() {
+        let mut arb = LinkArbiter::new();
+        assert_eq!(arb.owner(), DramOwner::Cpu);
+        assert!(arb.may_access(DramOwner::Cpu));
+        assert!(!arb.may_access(DramOwner::Accelerators));
+
+        // Re-acquiring what you own is free.
+        assert_eq!(arb.acquire(DramOwner::Cpu), Seconds::ZERO);
+        assert_eq!(arb.switches, 0);
+
+        // Switching costs a drain and flips access rights.
+        let penalty = arb.acquire(DramOwner::Accelerators);
+        assert!(penalty.get() > 0.0);
+        assert_eq!(arb.switches, 1);
+        assert!(arb.may_access(DramOwner::Accelerators));
+        assert!(!arb.may_access(DramOwner::Cpu));
+
+        let _ = arb.acquire(DramOwner::Cpu);
+        assert_eq!(arb.switches, 2);
+    }
+
+    #[test]
+    fn reshape_logic_matches_table5_note() {
+        let r = ReshapeInfrastructure::mealib_default();
+        assert!(r.validate().is_ok());
+        // "0.45 mm², which is only 0.66% of the entire logic layer."
+        assert!((r.layer_share() - 0.0066).abs() < 0.001, "{}", r.layer_share());
+        assert_eq!(r.active_power, Watts::new(0.25));
+    }
+
+    #[test]
+    fn reshape_energy_scales_with_time() {
+        let r = ReshapeInfrastructure::mealib_default();
+        let e = r.energy(Seconds::from_millis(4.0));
+        assert!((e.get() - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tile_sizing_respects_buffers_and_matrix() {
+        let r = ReshapeInfrastructure::mealib_default();
+        let tile = r.max_tile_elems(4);
+        assert!(tile * tile * 4 <= r.buffer_bytes);
+        // Tiny matrices cap the working set.
+        assert_eq!(r.working_set(8, 8, 4), Bytes::new(8 * 8 * 4));
+        // Large matrices are capped by the buffers.
+        assert!(r.working_set(1 << 20, 1 << 20, 4).get() <= r.buffer_bytes);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_configs() {
+        let mut r = ReshapeInfrastructure::mealib_default();
+        r.buffer_bytes = 0;
+        assert!(r.validate().is_err());
+        let mut r = ReshapeInfrastructure::mealib_default();
+        r.area_mm2 = 0.0;
+        assert!(r.validate().is_err());
+    }
+}

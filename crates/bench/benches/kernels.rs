@@ -1,0 +1,75 @@
+//! Criterion microbenches of the numerical kernels (the functional
+//! substrate's real wall-clock cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mealib_kernels::blas1::{sdot, sdot_naive};
+use mealib_kernels::blas3::cherk;
+use mealib_kernels::fft::{Direction, FftPlan};
+use mealib_kernels::reshape::{transpose, transpose_naive};
+use mealib_types::Complex32;
+use mealib_workloads::rgg;
+
+fn bench_dot(c: &mut Criterion) {
+    let n = 1 << 20;
+    let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin()).collect();
+    let y: Vec<f32> = (0..n).map(|i| (i as f32 * 0.11).cos()).collect();
+    let mut g = c.benchmark_group("dot");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("optimized", |b| b.iter(|| sdot(&x, &y)));
+    g.bench_function("naive", |b| b.iter(|| sdot_naive(&x, &y)));
+    g.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    for n in [1024usize, 8192] {
+        let plan = FftPlan::new(n);
+        let signal: Vec<Complex32> =
+            (0..n).map(|i| Complex32::new((i as f32 * 0.3).sin(), 0.0)).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut data = signal.clone();
+                plan.execute(&mut data, Direction::Forward);
+                data
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_transpose(c: &mut Criterion) {
+    let n = 1024;
+    let m: Vec<f32> = (0..n * n).map(|i| i as f32).collect();
+    let mut g = c.benchmark_group("transpose_1024");
+    g.throughput(Throughput::Bytes((n * n * 4) as u64));
+    g.bench_function("blocked", |b| b.iter(|| transpose(&m, n, n)));
+    g.bench_function("naive", |b| b.iter(|| transpose_naive(&m, n, n)));
+    g.finish();
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    let m = rgg::generate(1 << 14, 13.0, 7);
+    let x = vec![1.0f32; m.cols()];
+    let mut g = c.benchmark_group("spmv_rgg_2_14");
+    g.throughput(Throughput::Elements(m.nnz() as u64));
+    g.bench_function("csr", |b| b.iter(|| m.spmv(&x)));
+    g.finish();
+}
+
+fn bench_cherk(c: &mut Criterion) {
+    let n = 80;
+    let k = 64;
+    let a: Vec<Complex32> =
+        (0..n * k).map(|i| Complex32::new(i as f32 * 0.01, -(i as f32) * 0.02)).collect();
+    c.bench_function("cherk_80x64", |b| {
+        b.iter(|| {
+            let mut cmat = vec![Complex32::ZERO; n * n];
+            cherk(n, k, 1.0, &a, 0.0, &mut cmat);
+            cmat
+        })
+    });
+}
+
+criterion_group!(benches, bench_dot, bench_fft, bench_transpose, bench_spmv, bench_cherk);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion microbenches of the hardware simulators: how fast the
+//! reproduction itself simulates.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mealib_memsim::engine::{sequential_trace, simulate_trace, Op};
+use mealib_memsim::{analytic, AccessPattern, MemoryConfig};
+use mealib_noc::{Mesh, TileId};
+use mealib_runtime::PhysicalSpace;
+use mealib_types::{AddrRange, Bytes, PhysAddr};
+
+fn bench_dram_engine(c: &mut Criterion) {
+    let cfg = MemoryConfig::hmc_stack();
+    let trace = sequential_trace(0, 4 << 20, 256, Op::Read);
+    let mut g = c.benchmark_group("dram_cycle_engine");
+    g.throughput(Throughput::Bytes(4 << 20));
+    g.bench_function("sequential_4MiB", |b| b.iter(|| simulate_trace(&cfg, &trace)));
+    g.finish();
+}
+
+fn bench_dram_analytic(c: &mut Criterion) {
+    let cfg = MemoryConfig::hmc_stack();
+    c.bench_function("dram_analytic_1GiB", |b| {
+        b.iter(|| analytic::estimate(&cfg, &AccessPattern::sequential_read(1 << 30)))
+    });
+}
+
+fn bench_noc_broadcast(c: &mut Criterion) {
+    let mesh = Mesh::mealib_layer();
+    c.bench_function("noc_broadcast_32tiles", |b| {
+        b.iter(|| mesh.broadcast(TileId::new(0, 0), 256))
+    });
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    c.bench_function("physmem_alloc_free_churn", |b| {
+        b.iter(|| {
+            let mut space = PhysicalSpace::new(
+                AddrRange::new(PhysAddr::new(0x1000_0000), Bytes::from_mib(64)),
+                4096,
+            );
+            let mut live = Vec::new();
+            for i in 0..128 {
+                live.push(space.alloc(Bytes::from_kib(64 + (i % 7) * 16)).expect("fits"));
+                if i % 3 == 0 {
+                    let r: AddrRange = live.swap_remove(live.len() / 2);
+                    space.free(r.start()).expect("live");
+                }
+            }
+            space.allocated_bytes()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dram_engine,
+    bench_dram_analytic,
+    bench_noc_broadcast,
+    bench_allocator
+);
+criterion_main!(benches);

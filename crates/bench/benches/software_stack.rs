@@ -1,0 +1,72 @@
+//! Criterion microbenches of the software stack: TDL, descriptors, the
+//! source-to-source compiler, and end-to-end API invocations.
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mealib::Mealib;
+use mealib_tdl::{parse, Descriptor, ParamBag};
+
+const TDL_SRC: &str = r#"
+    PASS in=datacube out=doppler {
+        COMP RESHP params="reshape.para"
+        COMP FFT params="fft.para"
+    }
+    LOOP 16777216 {
+        PASS in=weights out=prods {
+            COMP DOT params="dot.para"
+        }
+    }
+"#;
+
+const C_SRC: &str = r#"
+    float *x; float *y;
+    x = malloc(sizeof(float) * 65536);
+    y = malloc(sizeof(float) * 65536);
+    for (i = 0; i < 1024; ++i)
+        cblas_saxpy(65536, 2.0, x, 1, y, 1);
+    free(x); free(y);
+"#;
+
+fn bench_tdl(c: &mut Criterion) {
+    c.bench_function("tdl_parse", |b| b.iter(|| parse(TDL_SRC).expect("valid")));
+
+    let program = parse(TDL_SRC).expect("valid");
+    let mut params = ParamBag::new();
+    for name in program.param_files() {
+        params.insert(name.to_string(), vec![0xAB; 24]);
+    }
+    let buffers: BTreeMap<String, u64> = [
+        ("datacube".to_string(), 0x1000u64),
+        ("doppler".to_string(), 0x2000),
+        ("weights".to_string(), 0x3000),
+        ("prods".to_string(), 0x4000),
+    ]
+    .into_iter()
+    .collect();
+    c.bench_function("descriptor_encode", |b| {
+        b.iter(|| Descriptor::encode(&program, &params, &buffers).expect("encodable"))
+    });
+    let desc = Descriptor::encode(&program, &params, &buffers).expect("encodable");
+    c.bench_function("descriptor_decode", |b| b.iter(|| desc.decode().expect("decodable")));
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    c.bench_function("compile_saxpy_loop", |b| {
+        b.iter(|| mealib_compiler::compile(C_SRC).expect("compiles"))
+    });
+}
+
+fn bench_api(c: &mut Criterion) {
+    c.bench_function("mealib_saxpy_end_to_end", |b| {
+        let mut ml = Mealib::new();
+        ml.alloc_f32("x", 4096).expect("alloc");
+        ml.alloc_f32("y", 4096).expect("alloc");
+        ml.write_f32("x", &vec![1.0; 4096]).expect("write");
+        ml.write_f32("y", &vec![2.0; 4096]).expect("write");
+        b.iter(|| ml.saxpy(1.0001, "x", "y").expect("runs"));
+    });
+}
+
+criterion_group!(benches, bench_tdl, bench_compiler, bench_api);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 1: performance gains from replacing original code with
+//! high-performance library calls (R / PERFECT / PARSEC benchmarks on a
+//! commodity Haswell machine).
+
+use mealib_bench::{banner, fmt_gain, section};
+use mealib_sim::TextTable;
+use mealib_workloads::fig1;
+
+fn main() {
+    banner(
+        "Figure 1 — library vs original-code speedups",
+        "up to 27x (R), 42x (PERFECT), 24x (PARSEC); bars from ~5x",
+    );
+
+    let mut table = TextTable::new(vec![
+        "suite",
+        "benchmark",
+        "single-thread lib",
+        "multi-thread lib",
+    ]);
+    let points = fig1::speedups();
+    for p in &points {
+        table.push_row(vec![
+            p.benchmark.suite.name().to_string(),
+            p.benchmark.name.to_string(),
+            fmt_gain(p.single_thread),
+            fmt_gain(p.multi_thread),
+        ]);
+    }
+    section("measured (modeled Haswell roofline)");
+    print!("{table}");
+
+    section("per-suite maxima (the figure's call-outs)");
+    for suite in [fig1::Suite::R, fig1::Suite::Perfect, fig1::Suite::Parsec] {
+        let best = points
+            .iter()
+            .filter(|p| p.benchmark.suite == suite)
+            .map(|p| p.multi_thread)
+            .fold(0.0_f64, f64::max);
+        println!("{:8} max multi-thread speedup: {}", suite.name(), fmt_gain(best));
+    }
+}

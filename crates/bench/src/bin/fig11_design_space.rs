@@ -1,0 +1,47 @@
+//! Figure 11: design-space analysis of the FFT and SPMV accelerators —
+//! performance vs power across frequency, core count, block size, and
+//! DRAM row-buffer size, at 510 GB/s of memory bandwidth.
+
+use mealib_accel::design_space::{
+    fft_reference_workload, spmv_reference_workload, sweep, DesignPoint, SweepGrid,
+};
+use mealib_bench::{banner, section};
+use mealib_memsim::MemoryConfig;
+use mealib_sim::TextTable;
+use mealib_tdl::AcceleratorKind;
+
+fn print_space(kind: AcceleratorKind, points: &[DesignPoint], paper_range: &str) {
+    section(&format!("{kind} design space (one row per point)"));
+    let mut t = TextTable::new(vec!["freq", "cores", "block", "row", "GFLOPS", "power", "GF/W"]);
+    for p in points {
+        t.push_row(vec![
+            format!("{:.1} GHz", p.frequency.as_ghz()),
+            p.cores.to_string(),
+            p.block_elems.to_string(),
+            p.row_bytes.to_string(),
+            format!("{:.1}", p.gflops),
+            format!("{:.1} W", p.power_w),
+            format!("{:.2}", p.gflops_per_watt()),
+        ]);
+    }
+    print!("{t}");
+    let min = points.iter().map(DesignPoint::gflops_per_watt).fold(f64::INFINITY, f64::min);
+    let max = points.iter().map(DesignPoint::gflops_per_watt).fold(0.0_f64, f64::max);
+    println!();
+    println!("{kind} efficiency range: {min:.2} - {max:.2} GFLOPS/W (paper: {paper_range})");
+}
+
+fn main() {
+    banner(
+        "Figure 11 — FFT and SPMV accelerator design spaces",
+        "FFT 10-56 GFLOPS/W; SPMV 0.18-1.76 GFLOPS/W across design options",
+    );
+    let grid = SweepGrid::default();
+    let mem = MemoryConfig::hmc_stack();
+
+    let fft = sweep(AcceleratorKind::Fft, &fft_reference_workload(), &grid, &mem);
+    print_space(AcceleratorKind::Fft, &fft, "10-56 GFLOPS/W");
+
+    let spmv = sweep(AcceleratorKind::Spmv, &spmv_reference_workload(), &grid, &mem);
+    print_space(AcceleratorKind::Spmv, &spmv, "0.18-1.76 GFLOPS/W");
+}

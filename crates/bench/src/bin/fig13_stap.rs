@@ -1,0 +1,62 @@
+//! Figure 13 (and Table 4): STAP on MEALib vs the optimized
+//! MKL+OpenMP Haswell baseline — performance and EDP gains for three
+//! dataset sizes.
+
+use mealib_bench::{banner, fmt_gain, section};
+use mealib_sim::TextTable;
+use mealib_workloads::stap::{self, StapConfig};
+
+fn main() {
+    banner(
+        "Figure 13 — STAP performance and EDP gains over Haswell",
+        "perf 2.0x/2.3x/3.2x, EDP 4.5x/9.0x/10.2x for small/medium/large",
+    );
+
+    section("Table 4 — library functions used in STAP");
+    let mut t = TextTable::new(vec!["function", "purpose", "type"]);
+    for (f, purpose, mem) in stap::table4() {
+        t.push_row(vec![
+            f.to_string(),
+            purpose.to_string(),
+            if mem { "memory-bounded".into() } else { "compute-bounded".to_string() },
+        ]);
+    }
+    print!("{t}");
+
+    section("modeled end-to-end runs");
+    let mut t = TextTable::new(vec![
+        "dataset",
+        "Haswell time",
+        "MEALib time",
+        "perf gain",
+        "paper",
+        "EDP gain",
+        "paper",
+    ]);
+    let paper = [("2.0x", "4.5x"), ("2.3x", "9.0x"), ("3.2x", "10.2x")];
+    for (cfg, (pp, pe)) in
+        [StapConfig::small(), StapConfig::medium(), StapConfig::large()].iter().zip(paper)
+    {
+        let haswell = stap::run_on_haswell(cfg);
+        let mealib = stap::run_on_mealib(cfg);
+        let (perf, edp) = stap::gains(cfg);
+        t.push_row(vec![
+            cfg.name.to_string(),
+            format!("{:.3} s", haswell.total_time().get()),
+            format!("{:.3} s", mealib.total_time().get()),
+            fmt_gain(perf),
+            pp.to_string(),
+            fmt_gain(edp),
+            pe.to_string(),
+        ]);
+    }
+    print!("{t}");
+
+    section("descriptor compaction (the compiler's contribution)");
+    let cfg = StapConfig::large();
+    println!(
+        "{} cdotc + {} saxpy + 2 fftw library calls -> 3 accelerator descriptors",
+        cfg.cdotc_calls(),
+        cfg.saxpy_calls()
+    );
+}

@@ -1,0 +1,103 @@
+//! Figure 14: execution time and energy breakdown of STAP on MEALib —
+//! host vs accelerators vs invocation overhead, and the per-accelerator
+//! split.
+
+use mealib_bench::{banner, section};
+use mealib_sim::TextTable;
+use mealib_tdl::AcceleratorKind;
+use mealib_types::{Joules, Seconds};
+use mealib_workloads::stap::{self, Executor, StapConfig};
+
+fn main() {
+    banner(
+        "Figure 14 — STAP time/energy breakdown on MEALib",
+        "host ~75% time / ~90% energy; DOT ~60%/76% of accelerator share; invocation 3.3%/7.1%",
+    );
+
+    let run = stap::run_on_mealib(&StapConfig::large());
+
+    section("per-phase costs (large dataset)");
+    let mut t = TextTable::new(vec!["phase", "executor", "time", "energy"]);
+    for p in &run.phases {
+        let exec = match p.executor {
+            Executor::Host => "host".to_string(),
+            Executor::Accelerator(k) => format!("accel:{k}"),
+            Executor::Invocation => "invocation".to_string(),
+        };
+        t.push_row(vec![
+            p.name.to_string(),
+            exec,
+            format!("{:.4} s", p.time.get()),
+            format!("{:.3} J", p.energy.get()),
+        ]);
+    }
+    print!("{t}");
+
+    section("(a) host vs accelerators");
+    let host_t = run.time_fraction(|p| p.executor == Executor::Host);
+    let host_e = run.energy_fraction(|p| p.executor == Executor::Host);
+    println!("host time share:   {:5.1}%   (paper: ~75%)", 100.0 * host_t);
+    println!("host energy share: {:5.1}%   (paper: ~90%)", 100.0 * host_e);
+
+    section("(b) accelerator and invocation split");
+    let accel_time: Seconds = run
+        .phases
+        .iter()
+        .filter(|p| !matches!(p.executor, Executor::Host))
+        .map(|p| p.time)
+        .sum();
+    let accel_energy: Joules = run
+        .phases
+        .iter()
+        .filter(|p| !matches!(p.executor, Executor::Host))
+        .map(|p| p.energy)
+        .sum();
+    let mut t = TextTable::new(vec!["component", "time share", "energy share", "paper"]);
+    for (kind, paper) in [
+        (Some(AcceleratorKind::Reshp), "-"),
+        (Some(AcceleratorKind::Fft), "(RESHP+FFT remainder)"),
+        (Some(AcceleratorKind::Dot), "60% / 76%"),
+        (Some(AcceleratorKind::Axpy), "3.1% / 3.8%"),
+        (None, "3.3% / 7.1%"),
+    ] {
+        let (label, tt, ee): (String, Seconds, Joules) = match kind {
+            Some(k) => {
+                let tt = run
+                    .phases
+                    .iter()
+                    .filter(|p| p.executor == Executor::Accelerator(k))
+                    .map(|p| p.time)
+                    .sum();
+                let ee = run
+                    .phases
+                    .iter()
+                    .filter(|p| p.executor == Executor::Accelerator(k))
+                    .map(|p| p.energy)
+                    .sum();
+                (k.to_string(), tt, ee)
+            }
+            None => {
+                let tt = run
+                    .phases
+                    .iter()
+                    .filter(|p| p.executor == Executor::Invocation)
+                    .map(|p| p.time)
+                    .sum();
+                let ee = run
+                    .phases
+                    .iter()
+                    .filter(|p| p.executor == Executor::Invocation)
+                    .map(|p| p.energy)
+                    .sum();
+                ("invocation".to_string(), tt, ee)
+            }
+        };
+        t.push_row(vec![
+            label,
+            format!("{:5.1}%", (100.0 * (tt / accel_time)).max(0.0)),
+            format!("{:5.1}%", (100.0 * ee.get() / accel_energy.get()).max(0.0)),
+            paper.to_string(),
+        ]);
+    }
+    print!("{t}");
+}

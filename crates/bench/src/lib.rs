@@ -1,0 +1,37 @@
+//! Shared helpers for the experiment harness binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md's per-experiment index); this library provides
+//! the common header/footer formatting so their outputs read uniformly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Prints a harness banner naming the experiment being regenerated.
+pub fn banner(experiment: &str, paper_claim: &str) {
+    println!("==============================================================");
+    println!("MEALib reproduction — {experiment}");
+    println!("paper: {paper_claim}");
+    println!("==============================================================");
+}
+
+/// Prints a section divider.
+pub fn section(title: &str) {
+    println!();
+    println!("--- {title} ---");
+}
+
+/// Formats a gain the way the paper's figures label bars.
+pub fn fmt_gain(x: f64) -> String {
+    mealib_sim::report::ratio(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gain_formatting_delegates() {
+        assert_eq!(fmt_gain(38.12), "38.1x");
+    }
+}

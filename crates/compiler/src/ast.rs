@@ -1,0 +1,423 @@
+//! Abstract syntax of the supported C subset.
+//!
+//! The subset is what the paper's Listing 1 needs: declarations (with
+//! pointers), assignments, calls, `sizeof`, index chains, `for` nests,
+//! and `#pragma omp parallel for` annotations. `Display` implementations
+//! render source text; the code generator reuses them.
+
+use core::fmt;
+
+/// A C type in the subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Type {
+    /// `int`
+    Int,
+    /// `float`
+    Float,
+    /// `complex` (the MKL/FFTW single-precision complex)
+    Complex,
+    /// `void`
+    Void,
+    /// A named typedef (e.g. `fftwf_plan`, `acc_plan`).
+    Named(String),
+    /// Pointer to another type.
+    Ptr(Box<Type>),
+}
+
+impl Type {
+    /// Wraps this type in a pointer.
+    pub fn ptr(self) -> Type {
+        Type::Ptr(Box::new(self))
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => f.write_str("int"),
+            Type::Float => f.write_str("float"),
+            Type::Complex => f.write_str("complex"),
+            Type::Void => f.write_str("void"),
+            Type::Named(n) => f.write_str(n),
+            Type::Ptr(inner) => write!(f, "{inner}*"),
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// `&expr`
+    AddrOf,
+    /// `*expr`
+    Deref,
+    /// `-expr`
+    Neg,
+    /// `++expr` (also used to represent `expr++` in loop steps)
+    Incr,
+}
+
+impl fmt::Display for UnaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            UnaryOp::AddrOf => "&",
+            UnaryOp::Deref => "*",
+            UnaryOp::Neg => "-",
+            UnaryOp::Incr => "++",
+        })
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+        })
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// An identifier.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A floating-point literal.
+    Float(f64),
+    /// A string literal.
+    Str(String),
+    /// A function call.
+    Call {
+        /// Callee name.
+        callee: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `base[index]`
+    Index {
+        /// The indexed expression.
+        base: Box<Expr>,
+        /// The index.
+        index: Box<Expr>,
+    },
+    /// A unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// A binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `lhs = rhs`
+    Assign {
+        /// Assignment target.
+        lhs: Box<Expr>,
+        /// Assigned value.
+        rhs: Box<Expr>,
+    },
+    /// `sizeof(type)`
+    Sizeof(Type),
+}
+
+impl Expr {
+    /// The base identifier of a pointer-ish expression: `x` for `x`,
+    /// `&x[i][j]`, `x + 4`, `*x`. This is how the analysis finds the
+    /// buffer behind a call argument.
+    pub fn base_ident(&self) -> Option<&str> {
+        match self {
+            Expr::Ident(n) => Some(n),
+            Expr::Index { base, .. } => base.base_ident(),
+            Expr::Unary { expr, .. } => expr.base_ident(),
+            Expr::Binary { op: BinOp::Add | BinOp::Sub, lhs, .. } => lhs.base_ident(),
+            _ => None,
+        }
+    }
+
+    /// Returns the call (callee, args) if this expression is a direct
+    /// call or an assignment whose right side is one.
+    pub fn as_call(&self) -> Option<(&str, &[Expr])> {
+        match self {
+            Expr::Call { callee, args } => Some((callee, args)),
+            Expr::Assign { rhs, .. } => rhs.as_call(),
+            _ => None,
+        }
+    }
+
+    /// Returns the assignment target identifier if this is `ident = ...`.
+    pub fn assign_target(&self) -> Option<&str> {
+        match self {
+            Expr::Assign { lhs, .. } => match lhs.as_ref() {
+                Expr::Ident(n) => Some(n),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Ident(n) => f.write_str(n),
+            Expr::Int(v) => write!(f, "{v}"),
+            Expr::Float(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Expr::Str(s) => {
+                write!(f, "\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+            }
+            Expr::Call { callee, args } => {
+                write!(f, "{callee}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Index { base, index } => write!(f, "{base}[{index}]"),
+            Expr::Unary { op, expr } => write!(f, "{op}{expr}"),
+            Expr::Binary { op, lhs, rhs } => write!(f, "{lhs} {op} {rhs}"),
+            Expr::Assign { lhs, rhs } => write!(f, "{lhs} = {rhs}"),
+            Expr::Sizeof(t) => write!(f, "sizeof({t})"),
+        }
+    }
+}
+
+/// A declaration: `type name = init;`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decl {
+    /// Declared type.
+    pub ty: Type,
+    /// Declared name.
+    pub name: String,
+    /// Optional initializer.
+    pub init: Option<Expr>,
+}
+
+impl fmt::Display for Decl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.init {
+            Some(init) => write!(f, "{} {} = {}", self.ty, self.name, init),
+            None => write!(f, "{} {}", self.ty, self.name),
+        }
+    }
+}
+
+/// The initializer clause of a `for` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ForInit {
+    /// `int i = 0`
+    Decl(Decl),
+    /// `i = 0`
+    Expr(Expr),
+    /// empty
+    Empty,
+}
+
+impl fmt::Display for ForInit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForInit::Decl(d) => d.fmt(f),
+            ForInit::Expr(e) => e.fmt(f),
+            ForInit::Empty => Ok(()),
+        }
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// A declaration statement.
+    Decl(Decl),
+    /// An expression statement.
+    Expr(Expr),
+    /// A `for` loop, optionally annotated with a `#pragma` line.
+    For {
+        /// Attached `#pragma` text (without the `#pragma` prefix), if any.
+        pragma: Option<String>,
+        /// Initializer clause.
+        init: ForInit,
+        /// Condition.
+        cond: Expr,
+        /// Step expression.
+        step: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// A braced block.
+    Block(Vec<Stmt>),
+    /// A comment line (used by the transformer to annotate output).
+    Comment(String),
+}
+
+impl Stmt {
+    /// Writes the statement with the given indentation depth.
+    pub fn write_indented(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+        let pad = "    ".repeat(depth);
+        match self {
+            Stmt::Decl(d) => writeln!(f, "{pad}{d};"),
+            Stmt::Expr(e) => writeln!(f, "{pad}{e};"),
+            Stmt::For { pragma, init, cond, step, body } => {
+                if let Some(p) = pragma {
+                    writeln!(f, "{pad}#pragma {p}")?;
+                }
+                writeln!(f, "{pad}for ({init}; {cond}; {step})")?;
+                match body.as_ref() {
+                    Stmt::Block(_) => body.write_indented(f, depth),
+                    other => other.write_indented(f, depth + 1),
+                }
+            }
+            Stmt::Block(stmts) => {
+                writeln!(f, "{pad}{{")?;
+                for s in stmts {
+                    s.write_indented(f, depth + 1)?;
+                }
+                writeln!(f, "{pad}}}")
+            }
+            Stmt::Comment(text) => writeln!(f, "{pad}/* {text} */"),
+        }
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.write_indented(f, 0)
+    }
+}
+
+/// A whole input: a sequence of top-level statements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TranslationUnit {
+    /// Statements in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+impl fmt::Display for TranslationUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.stmts {
+            s.write_indented(f, 0)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_ident_unwraps_pointer_shapes() {
+        // &weights[dop][0]
+        let e = Expr::Unary {
+            op: UnaryOp::AddrOf,
+            expr: Box::new(Expr::Index {
+                base: Box::new(Expr::Index {
+                    base: Box::new(Expr::Ident("weights".into())),
+                    index: Box::new(Expr::Ident("dop".into())),
+                }),
+                index: Box::new(Expr::Int(0)),
+            }),
+        };
+        assert_eq!(e.base_ident(), Some("weights"));
+        assert_eq!(Expr::Ident("x".into()).base_ident(), Some("x"));
+        let offset = Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::Ident("x".into())),
+            rhs: Box::new(Expr::Int(4)),
+        };
+        assert_eq!(offset.base_ident(), Some("x"));
+        assert_eq!(Expr::Int(3).base_ident(), None);
+    }
+
+    #[test]
+    fn as_call_sees_through_assignment() {
+        let call = Expr::Call { callee: "malloc".into(), args: vec![Expr::Int(8)] };
+        let assign = Expr::Assign {
+            lhs: Box::new(Expr::Ident("x".into())),
+            rhs: Box::new(call.clone()),
+        };
+        assert_eq!(assign.as_call().map(|(c, _)| c), Some("malloc"));
+        assert_eq!(assign.assign_target(), Some("x"));
+        assert_eq!(call.assign_target(), None);
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let s = Stmt::For {
+            pragma: Some("omp parallel for".into()),
+            init: ForInit::Expr(Expr::Assign {
+                lhs: Box::new(Expr::Ident("i".into())),
+                rhs: Box::new(Expr::Int(0)),
+            }),
+            cond: Expr::Binary {
+                op: BinOp::Lt,
+                lhs: Box::new(Expr::Ident("i".into())),
+                rhs: Box::new(Expr::Ident("N".into())),
+            },
+            step: Expr::Unary { op: UnaryOp::Incr, expr: Box::new(Expr::Ident("i".into())) },
+            body: Box::new(Stmt::Block(vec![Stmt::Expr(Expr::Call {
+                callee: "f".into(),
+                args: vec![Expr::Ident("i".into())],
+            })])),
+        };
+        let text = s.to_string();
+        assert!(text.contains("#pragma omp parallel for"));
+        assert!(text.contains("for (i = 0; i < N; ++i)"));
+        assert!(text.contains("f(i);"));
+    }
+
+    #[test]
+    fn type_display() {
+        assert_eq!(Type::Float.ptr().to_string(), "float*");
+        assert_eq!(Type::Named("fftwf_plan".into()).to_string(), "fftwf_plan");
+    }
+}

@@ -1,0 +1,33 @@
+//! Code emission: renders the transformed AST back to C-subset source.
+
+use crate::ast::TranslationUnit;
+
+/// Emits the transformed translation unit as source text, with a
+/// provenance header.
+pub fn emit(unit: &TranslationUnit) -> String {
+    let mut out = String::from(
+        "/* Translated for MEALib: link with the MEALib runtime library. */\n",
+    );
+    out.push_str(&unit.to_string());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Decl, Expr, Stmt, Type};
+
+    #[test]
+    fn emit_prepends_header() {
+        let unit = TranslationUnit {
+            stmts: vec![Stmt::Decl(Decl {
+                ty: Type::Int,
+                name: "x".into(),
+                init: Some(Expr::Int(1)),
+            })],
+        };
+        let text = emit(&unit);
+        assert!(text.starts_with("/* Translated for MEALib"));
+        assert!(text.contains("int x = 1;"));
+    }
+}

@@ -1,0 +1,160 @@
+//! The MEALib source-to-source compiler (§3.4).
+//!
+//! "A source-to-source compiler is crucial for portable energy efficiency
+//! using MEALib. It is built to recognize library calls (possibly
+//! annotated with OpenMP directives) that can be accelerated using our
+//! memory-side accelerators. The associated memory allocation/free
+//! functions are also translated into MEALib runtime routines."
+//!
+//! The compiler consumes a C subset rich enough for the paper's Listing 1
+//! (declarations, `malloc`/`free`, MKL/FFTW calls, `for` nests with
+//! `#pragma omp parallel for`) and works in the paper's two passes:
+//!
+//! * **Pass 1 — library-call identification** ([`analysis`]): find
+//!   accelerable calls, determine their input/output buffers, chain
+//!   adjacent calls whose dataflow connects (the `RESHP`+`FFT` fusion of
+//!   Listing 1), and compact OpenMP loop nests of calls into TDL `LOOP`
+//!   blocks — turning millions of library calls into one descriptor.
+//! * **Pass 2 — allocation transformation** ([`transform`]): rewrite
+//!   `malloc`/`free` of accelerator-visible buffers into
+//!   `mealib_mem_alloc`/`mealib_mem_free`.
+//!
+//! [`compile`] runs both passes and emits ([`codegen`]) the transformed
+//! C source plus the generated TDL strings.
+//!
+//! # Examples
+//!
+//! ```
+//! let src = r#"
+//!     float *x; float *y;
+//!     x = malloc(sizeof(float) * 1024);
+//!     y = malloc(sizeof(float) * 1024);
+//!     cblas_saxpy(1024, 2.0, x, 1, y, 1);
+//!     free(x);
+//!     free(y);
+//! "#;
+//! let out = mealib_compiler::compile(src)?;
+//! assert_eq!(out.stats.accelerable_calls, 1);
+//! assert!(out.source.contains("mealib_mem_alloc"));
+//! assert!(out.tdl[0].text.contains("COMP AXPY"));
+//! # Ok::<(), mealib_compiler::CompileError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod ast;
+pub mod codegen;
+pub mod lexer;
+pub mod parser;
+pub mod transform;
+
+use core::fmt;
+
+/// A generated parameter file: the non-buffer API arguments of one
+/// `COMP`, in call order (the paper's `reshape.para`/`fft.para`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamFile {
+    /// File name referenced by the TDL `COMP params="…"` clause.
+    pub file: String,
+    /// Rendered argument expressions.
+    pub args: Vec<String>,
+}
+
+/// A generated TDL descriptor program with its identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneratedTdl {
+    /// Name of the generated plan variable in the output source.
+    pub plan_name: String,
+    /// The TDL text (parseable by `mealib_tdl::parse`).
+    pub text: String,
+    /// Dynamic library calls this descriptor replaces.
+    pub calls_compacted: u64,
+    /// Parameter files referenced by the TDL, in `COMP` order.
+    pub params: Vec<ParamFile>,
+}
+
+/// Aggregate statistics of one compilation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Accelerable (memory-bounded) library calls found, statically.
+    pub accelerable_calls: u64,
+    /// Dynamic library-call executions those statically represent
+    /// (loop-nest trip counts multiplied through).
+    pub dynamic_calls: u64,
+    /// Accelerator descriptors generated.
+    pub descriptors: u64,
+    /// Calls fused by hardware chaining.
+    pub chained_calls: u64,
+    /// `malloc`/`free` sites rewritten.
+    pub allocations_rewritten: u64,
+}
+
+/// The result of a successful compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileOutput {
+    /// The transformed C-subset source.
+    pub source: String,
+    /// The generated TDL descriptor programs, in plan order.
+    pub tdl: Vec<GeneratedTdl>,
+    /// Compilation statistics.
+    pub stats: CompileStats,
+}
+
+/// A compilation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// Lexical error.
+    Lex(lexer::LexError),
+    /// Syntax error.
+    Parse(parser::ParseError),
+    /// Semantic error (unknown buffer, non-constant loop bound, ...).
+    Analysis(analysis::AnalysisError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Lex(e) => write!(f, "lexical error: {e}"),
+            CompileError::Parse(e) => write!(f, "syntax error: {e}"),
+            CompileError::Analysis(e) => write!(f, "analysis error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<lexer::LexError> for CompileError {
+    fn from(e: lexer::LexError) -> Self {
+        CompileError::Lex(e)
+    }
+}
+
+impl From<parser::ParseError> for CompileError {
+    fn from(e: parser::ParseError) -> Self {
+        CompileError::Parse(e)
+    }
+}
+
+impl From<analysis::AnalysisError> for CompileError {
+    fn from(e: analysis::AnalysisError) -> Self {
+        CompileError::Analysis(e)
+    }
+}
+
+/// Compiles a C-subset source: identifies accelerable library calls,
+/// generates TDL descriptors, and rewrites allocations.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] describing the first lexical, syntactic, or
+/// semantic problem.
+pub fn compile(source: &str) -> Result<CompileOutput, CompileError> {
+    let tokens = lexer::tokenize(source)?;
+    let unit = parser::parse(tokens)?;
+    let plan = analysis::analyze(&unit)?;
+    let transformed = transform::apply(&unit, &plan);
+    let source = codegen::emit(&transformed);
+    Ok(CompileOutput { source, tdl: plan.tdl, stats: plan.stats })
+}

@@ -1,0 +1,525 @@
+//! Recursive-descent parser for the C subset.
+//!
+//! One deliberate ambiguity resolution: a statement that starts with two
+//! identifiers (`fftwf_plan plan;`) or an identifier followed by `*` and
+//! another identifier (`complex *buf;`) is a declaration with a named
+//! type. A bare multiplication used as a statement is therefore not
+//! representable — it has no effect anyway.
+
+use core::fmt;
+
+use crate::ast::{BinOp, Decl, Expr, ForInit, Stmt, TranslationUnit, Type, UnaryOp};
+use crate::lexer::{Tok, Token};
+
+/// A syntax error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// An unexpected token.
+    Unexpected {
+        /// What the parser wanted.
+        expected: String,
+        /// What it found.
+        found: String,
+        /// Source line.
+        line: usize,
+    },
+    /// Input ended mid-construct.
+    Eof {
+        /// What the parser wanted.
+        expected: String,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Unexpected { expected, found, line } => {
+                write!(f, "expected {expected}, found {found} on line {line}")
+            }
+            ParseError::Eof { expected } => write!(f, "unexpected end of input, expected {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a token stream into a translation unit.
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered.
+pub fn parse(tokens: Vec<Token>) -> Result<TranslationUnit, ParseError> {
+    let mut p = Parser { tokens, pos: 0 };
+    let mut stmts = Vec::new();
+    while !p.at_end() {
+        stmts.push(p.stmt()?);
+    }
+    Ok(TranslationUnit { stmts })
+}
+
+const TYPE_KEYWORDS: [&str; 4] = ["int", "float", "complex", "void"];
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<&Tok> {
+        self.tokens.get(self.pos + offset).map(|t| &t.kind)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map_or(0, |t| t.line)
+    }
+
+    fn bump(&mut self, expected: &str) -> Result<Token, ParseError> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| ParseError::Eof { expected: expected.into() })?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, tok: &Tok, expected: &str) -> Result<(), ParseError> {
+        let t = self.bump(expected)?;
+        if &t.kind == tok {
+            Ok(())
+        } else {
+            Err(ParseError::Unexpected {
+                expected: expected.into(),
+                found: t.kind.to_string(),
+                line: t.line,
+            })
+        }
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self, expected: &str) -> Result<String, ParseError> {
+        let t = self.bump(expected)?;
+        match t.kind {
+            Tok::Ident(s) => Ok(s),
+            other => Err(ParseError::Unexpected {
+                expected: expected.into(),
+                found: other.to_string(),
+                line: t.line,
+            }),
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek() {
+            Some(Tok::Pragma(_)) => {
+                let t = self.bump("pragma")?;
+                let text = match t.kind {
+                    Tok::Pragma(p) => p,
+                    _ => unreachable!("peeked pragma"),
+                };
+                // A pragma must annotate the following for loop.
+                match self.stmt()? {
+                    Stmt::For { init, cond, step, body, .. } => {
+                        Ok(Stmt::For { pragma: Some(text), init, cond, step, body })
+                    }
+                    other => {
+                        // Non-loop pragmas are kept as comments.
+                        Ok(Stmt::Block(vec![Stmt::Comment(format!("#pragma {text}")), other]))
+                    }
+                }
+            }
+            Some(Tok::LBrace) => {
+                self.pos += 1;
+                let mut stmts = Vec::new();
+                while self.peek() != Some(&Tok::RBrace) {
+                    if self.at_end() {
+                        return Err(ParseError::Eof { expected: "`}`".into() });
+                    }
+                    stmts.push(self.stmt()?);
+                }
+                self.pos += 1;
+                Ok(Stmt::Block(stmts))
+            }
+            Some(Tok::Ident(name)) if name == "for" => self.for_stmt(),
+            _ if self.looks_like_decl() => {
+                let d = self.decl()?;
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(Stmt::Decl(d))
+            }
+            _ => {
+                let e = self.expr()?;
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    /// Declaration starts: `type-keyword ...`, `Ident Ident`, or
+    /// `Ident '*'+ Ident`.
+    fn looks_like_decl(&self) -> bool {
+        let first = match self.peek() {
+            Some(Tok::Ident(n)) => n,
+            _ => return false,
+        };
+        if first == "for" || first == "sizeof" {
+            return false;
+        }
+        if first == "const" || TYPE_KEYWORDS.contains(&first.as_str()) {
+            return true;
+        }
+        // Named-type declarations: `acc_plan p;` or `complex *x;`-like.
+        let mut k = 1;
+        while self.peek_at(k) == Some(&Tok::Star) {
+            k += 1;
+        }
+        matches!((k, self.peek_at(k)), (_, Some(Tok::Ident(_))) if k >= 1)
+            && !matches!(self.peek_at(1), Some(Tok::LParen) | Some(Tok::Assign))
+    }
+
+    fn type_name(&mut self) -> Result<Type, ParseError> {
+        let mut name = self.ident("type name")?;
+        if name == "const" {
+            // Fold the qualifier into the (named) type.
+            let base = self.ident("type name")?;
+            name = format!("const {base}");
+        }
+        let mut ty = match name.as_str() {
+            "int" => Type::Int,
+            "float" => Type::Float,
+            "complex" => Type::Complex,
+            "void" => Type::Void,
+            other => Type::Named(other.to_string()),
+        };
+        while self.eat(&Tok::Star) {
+            ty = ty.ptr();
+        }
+        Ok(ty)
+    }
+
+    fn decl(&mut self) -> Result<Decl, ParseError> {
+        let ty = self.type_name()?;
+        let name = self.ident("declared name")?;
+        let init = if self.eat(&Tok::Assign) { Some(self.expr()?) } else { None };
+        Ok(Decl { ty, name, init })
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(&Tok::Ident("for".into()), "`for`")?;
+        self.expect(&Tok::LParen, "`(`")?;
+        let init = if self.peek() == Some(&Tok::Semi) {
+            ForInit::Empty
+        } else if self.looks_like_decl() {
+            ForInit::Decl(self.decl()?)
+        } else {
+            ForInit::Expr(self.expr()?)
+        };
+        self.expect(&Tok::Semi, "`;`")?;
+        let cond = self.expr()?;
+        self.expect(&Tok::Semi, "`;`")?;
+        let step = self.expr()?;
+        self.expect(&Tok::RParen, "`)`")?;
+        let body = self.stmt()?;
+        Ok(Stmt::For { pragma: None, init, cond, step, body: Box::new(body) })
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.assign()
+    }
+
+    fn assign(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.comparison()?;
+        if self.eat(&Tok::Assign) {
+            let rhs = self.assign()?;
+            return Ok(Expr::Assign { lhs: Box::new(lhs), rhs: Box::new(rhs) });
+        }
+        if self.eat(&Tok::PlusAssign) {
+            let rhs = self.assign()?;
+            // Desugar `a += b` into `a = a + b`.
+            return Ok(Expr::Assign {
+                lhs: Box::new(lhs.clone()),
+                rhs: Box::new(Expr::Binary {
+                    op: BinOp::Add,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                }),
+            });
+        }
+        Ok(lhs)
+    }
+
+    fn comparison(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.additive()?;
+        let op = match self.peek() {
+            Some(Tok::Lt) => BinOp::Lt,
+            Some(Tok::Le) => BinOp::Le,
+            Some(Tok::Gt) => BinOp::Gt,
+            Some(Tok::Ge) => BinOp::Ge,
+            Some(Tok::EqEq) => BinOp::Eq,
+            Some(Tok::Ne) => BinOp::Ne,
+            _ => return Ok(lhs),
+        };
+        self.pos += 1;
+        let rhs = self.additive()?;
+        Ok(Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.pos += 1;
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Slash) => BinOp::Div,
+                _ => return Ok(lhs),
+            };
+            self.pos += 1;
+            let rhs = self.unary()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        let op = match self.peek() {
+            Some(Tok::Amp) => Some(UnaryOp::AddrOf),
+            Some(Tok::Star) => Some(UnaryOp::Deref),
+            Some(Tok::Minus) => Some(UnaryOp::Neg),
+            Some(Tok::PlusPlus) => Some(UnaryOp::Incr),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let expr = self.unary()?;
+            return Ok(Expr::Unary { op, expr: Box::new(expr) });
+        }
+        let mut e = self.postfix()?;
+        // Postfix increment normalizes to the same `Incr` node.
+        if self.eat(&Tok::PlusPlus) {
+            e = Expr::Unary { op: UnaryOp::Incr, expr: Box::new(e) };
+        }
+        Ok(e)
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        while self.eat(&Tok::LBracket) {
+            let index = self.expr()?;
+            self.expect(&Tok::RBracket, "`]`")?;
+            e = Expr::Index { base: Box::new(e), index: Box::new(index) };
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        let line = self.line();
+        let t = self.bump("expression")?;
+        match t.kind {
+            Tok::Int(v) => Ok(Expr::Int(v)),
+            Tok::Float(v) => Ok(Expr::Float(v)),
+            Tok::Str(s) => Ok(Expr::Str(s)),
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Tok::Ident(name) if name == "sizeof" => {
+                self.expect(&Tok::LParen, "`(`")?;
+                let ty = self.type_name()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(Expr::Sizeof(ty))
+            }
+            Tok::Ident(name) => {
+                if self.eat(&Tok::LParen) {
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Tok::RParen, "`)`")?;
+                    Ok(Expr::Call { callee: name, args })
+                } else {
+                    Ok(Expr::Ident(name))
+                }
+            }
+            other => Err(ParseError::Unexpected {
+                expected: "expression".into(),
+                found: other.to_string(),
+                line,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn parse_src(src: &str) -> TranslationUnit {
+        parse(tokenize(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_declarations() {
+        let u = parse_src("float *x; int n = 4; fftwf_plan plan_ct; complex *buf;");
+        assert_eq!(u.stmts.len(), 4);
+        match &u.stmts[0] {
+            Stmt::Decl(d) => {
+                assert_eq!(d.ty, Type::Float.ptr());
+                assert_eq!(d.name, "x");
+            }
+            other => panic!("expected decl, got {other:?}"),
+        }
+        match &u.stmts[2] {
+            Stmt::Decl(d) => assert_eq!(d.ty, Type::Named("fftwf_plan".into())),
+            other => panic!("expected decl, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_malloc_assignment() {
+        let u = parse_src("x = malloc(sizeof(complex) * num_elems);");
+        match &u.stmts[0] {
+            Stmt::Expr(e) => {
+                assert_eq!(e.assign_target(), Some("x"));
+                let (callee, args) = e.as_call().unwrap();
+                assert_eq!(callee, "malloc");
+                assert!(matches!(
+                    &args[0],
+                    Expr::Binary { op: BinOp::Mul, .. }
+                ));
+            }
+            other => panic!("expected expr, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_nested_for_with_pragma() {
+        let u = parse_src(
+            "#pragma omp parallel for num_threads(4)\n\
+             for (dop = 0; dop < N_DOP; ++dop)\n\
+               for (sv = 0; sv < N_SV; sv++)\n\
+                 cblas_cdotc_sub(64, &w[dop][sv][0], 1, &s[dop], TBS, &p[dop][sv]);",
+        );
+        match &u.stmts[0] {
+            Stmt::For { pragma, body, .. } => {
+                assert_eq!(pragma.as_deref(), Some("omp parallel for num_threads(4)"));
+                match body.as_ref() {
+                    Stmt::For { pragma: inner, .. } => assert!(inner.is_none()),
+                    other => panic!("expected nested for, got {other:?}"),
+                }
+            }
+            other => panic!("expected for, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_address_of_multidim_index() {
+        let u = parse_src("f(&a[i][j][0]);");
+        match &u.stmts[0] {
+            Stmt::Expr(Expr::Call { args, .. }) => {
+                assert_eq!(args[0].base_ident(), Some("a"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_for_with_decl_init_and_plus_assign() {
+        let u = parse_src("for (int i = 0; i <= n; i += 2) { x = x + 1; }");
+        match &u.stmts[0] {
+            Stmt::For { init, cond, step, .. } => {
+                assert!(matches!(init, ForInit::Decl(_)));
+                assert!(matches!(cond, Expr::Binary { op: BinOp::Le, .. }));
+                // i += 2 desugars to i = i + 2.
+                assert!(matches!(step, Expr::Assign { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_over_add_over_cmp() {
+        let u = parse_src("x = a + b * c < d;");
+        // Parses as x = ((a + (b*c)) < d)
+        match &u.stmts[0] {
+            Stmt::Expr(Expr::Assign { rhs, .. }) => match rhs.as_ref() {
+                Expr::Binary { op: BinOp::Lt, lhs, .. } => match lhs.as_ref() {
+                    Expr::Binary { op: BinOp::Add, rhs: addr, .. } => {
+                        assert!(matches!(addr.as_ref(), Expr::Binary { op: BinOp::Mul, .. }));
+                    }
+                    other => panic!("{other:?}"),
+                },
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_reports_missing_semicolon() {
+        let err = parse(tokenize("int x = 3").unwrap()).unwrap_err();
+        assert!(matches!(err, ParseError::Eof { .. }), "{err}");
+    }
+
+    #[test]
+    fn error_reports_unclosed_block() {
+        let err = parse(tokenize("{ int x; ").unwrap()).unwrap_err();
+        assert!(matches!(err, ParseError::Eof { .. }), "{err}");
+    }
+
+    #[test]
+    fn parses_const_qualified_declarations() {
+        let u = parse_src("const char *tdl_0 = \"PASS\";");
+        match &u.stmts[0] {
+            Stmt::Decl(d) => {
+                assert_eq!(d.ty, Type::Named("const char".into()).ptr());
+                assert_eq!(d.name, "tdl_0");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn source_round_trip_through_display() {
+        let src = "float *x;\nx = malloc(sizeof(float) * 16);\nfree(x);\n";
+        let u = parse_src(src);
+        let printed = u.to_string();
+        let reparsed = parse_src(&printed);
+        assert_eq!(u, reparsed);
+    }
+}

@@ -1,0 +1,90 @@
+//! Byte-level marshaling between host types and the simulated data space.
+
+use mealib_types::Complex32;
+
+/// Encodes `f32` values as little-endian bytes.
+pub fn f32_to_bytes(values: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes little-endian bytes into `f32` values.
+///
+/// # Panics
+///
+/// Panics if the byte length is not a multiple of 4.
+pub fn bytes_to_f32(bytes: &[u8]) -> Vec<f32> {
+    assert!(bytes.len().is_multiple_of(4), "byte length must be a multiple of 4");
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
+        .collect()
+}
+
+/// Encodes interleaved complex values (re, im) as little-endian bytes —
+/// MKL's `MKL_Complex8` layout.
+pub fn c32_to_bytes(values: &[Complex32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.re.to_le_bytes());
+        out.extend_from_slice(&v.im.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes little-endian bytes into interleaved complex values.
+///
+/// # Panics
+///
+/// Panics if the byte length is not a multiple of 8.
+pub fn bytes_to_c32(bytes: &[u8]) -> Vec<Complex32> {
+    assert!(bytes.len().is_multiple_of(8), "byte length must be a multiple of 8");
+    bytes
+        .chunks_exact(8)
+        .map(|c| {
+            Complex32::new(
+                f32::from_le_bytes(c[0..4].try_into().expect("4 bytes")),
+                f32::from_le_bytes(c[4..8].try_into().expect("4 bytes")),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_round_trip() {
+        let v = vec![0.0, -1.5, f32::MAX, f32::MIN_POSITIVE];
+        assert_eq!(bytes_to_f32(&f32_to_bytes(&v)), v);
+    }
+
+    #[test]
+    fn c32_round_trip() {
+        let v = vec![Complex32::new(1.0, -2.0), Complex32::I, Complex32::ZERO];
+        assert_eq!(bytes_to_c32(&c32_to_bytes(&v)), v);
+    }
+
+    #[test]
+    fn interleaved_layout_matches_mkl() {
+        let bytes = c32_to_bytes(&[Complex32::new(1.0, 2.0)]);
+        assert_eq!(&bytes[0..4], &1.0_f32.to_le_bytes());
+        assert_eq!(&bytes[4..8], &2.0_f32.to_le_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4")]
+    fn misaligned_f32_rejected() {
+        let _ = bytes_to_f32(&[0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn misaligned_c32_rejected() {
+        let _ = bytes_to_c32(&[0; 12]);
+    }
+}

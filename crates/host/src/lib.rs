@@ -1,0 +1,25 @@
+//! Host CPU platform models.
+//!
+//! The paper measures the Intel Haswell i7-4770K and Xeon Phi 5110P
+//! natively (PAPI counters + RAPL power, §4.2). This crate replaces the
+//! native runs with roofline models: execution time is
+//! `max(compute time, memory time)` where memory time comes from the
+//! same DRAM analytic model the accelerators use, and compute time from
+//! the platform's peak FLOP/s derated by per-operation library
+//! efficiencies. Package power follows a RAPL-style
+//! `idle + utilization × (max − idle)` model.
+//!
+//! Two library flavours are modeled per operation — the vendor-optimized
+//! library (MKL/FFTW class) and the naive "original code" a programmer
+//! would write — which is exactly the comparison of the paper's
+//! Figure 1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod platform;
+pub mod profiles;
+
+pub use exec::{run_custom, run_op, CodeFlavor, HostReport};
+pub use platform::{PackagePower, Platform};

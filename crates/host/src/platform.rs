@@ -1,0 +1,130 @@
+//! Platform descriptions (Table 3).
+
+use mealib_memsim::MemoryConfig;
+use mealib_types::{BytesPerSec, Hertz, Watts};
+
+use crate::profiles::PlatformClass;
+
+/// RAPL-style package power envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackagePower {
+    /// Idle package power.
+    pub idle: Watts,
+    /// Fully loaded package power.
+    pub max_active: Watts,
+}
+
+impl PackagePower {
+    /// Power at a given utilization in `[0, 1]`.
+    pub fn at_utilization(&self, util: f64) -> Watts {
+        let u = util.clamp(0.0, 1.0);
+        self.idle + (self.max_active - self.idle) * u
+    }
+}
+
+/// A host CPU platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    /// Platform name for reports.
+    pub name: String,
+    /// Efficiency-table family.
+    pub class: PlatformClass,
+    /// Physical cores.
+    pub cores: u32,
+    /// Core clock.
+    pub frequency: Hertz,
+    /// Peak f32 FLOPs per cycle per core with the widest SIMD the
+    /// library uses.
+    pub flops_per_cycle: f64,
+    /// The attached memory system.
+    pub mem: MemoryConfig,
+    /// Package power envelope.
+    pub package: PackagePower,
+    /// Multithreaded scaling efficiency of library code on this machine
+    /// (1.0 = perfect scaling across `cores`).
+    pub thread_efficiency: f64,
+}
+
+impl Platform {
+    /// Intel Haswell i7-4770K: 4 cores @ 3.5 GHz, dual-channel DDR3
+    /// (25.6 GB/s), 112 GFLOPS peak per the paper's footnote.
+    pub fn haswell() -> Self {
+        Self {
+            name: "Haswell i7-4770K".into(),
+            class: PlatformClass::Haswell,
+            cores: 4,
+            frequency: Hertz::from_ghz(3.5),
+            flops_per_cycle: 8.0,
+            mem: MemoryConfig::ddr_dual_channel(),
+            package: PackagePower { idle: Watts::new(14.0), max_active: Watts::new(62.0) },
+            thread_efficiency: 0.85,
+        }
+    }
+
+    /// Intel Xeon Phi 5110P: 60 cores @ ~1 GHz, GDDR5 at 320 GB/s, but
+    /// poor per-thread efficiency on modest working sets (the paper
+    /// observes it barely beating Haswell with the evaluated MKL).
+    pub fn xeon_phi() -> Self {
+        let mut mem = MemoryConfig::msas_dram();
+        mem.name = "xeon-phi-gddr5".into();
+        // Scale the channel count up so aggregate peak is ~320 GB/s.
+        mem.mapping = mealib_memsim::AddressMapping::Interleaved {
+            units: 25,
+            banks_per_unit: 16,
+            row_bytes: 2048,
+            line_bytes: 64,
+        };
+        Self {
+            name: "Xeon Phi 5110P".into(),
+            class: PlatformClass::XeonPhi,
+            cores: 60,
+            frequency: Hertz::from_ghz(1.0),
+            flops_per_cycle: 32.0,
+            mem,
+            package: PackagePower { idle: Watts::new(62.0), max_active: Watts::new(185.0) },
+            thread_efficiency: 0.22,
+        }
+    }
+
+    /// Peak f32 throughput of the whole package.
+    pub fn peak_flops(&self) -> f64 {
+        self.cores as f64 * self.frequency.get() * self.flops_per_cycle
+    }
+
+    /// Peak memory bandwidth.
+    pub fn peak_bandwidth(&self) -> BytesPerSec {
+        self.mem.peak_bandwidth()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haswell_matches_paper_footnote() {
+        let h = Platform::haswell();
+        // "a Haswell system with 112 GFLOPS peak performance (at 3.5 GHz)
+        // … only has 25.6 GB/s memory bandwidth."
+        assert!((h.peak_flops() - 112e9).abs() < 1e9);
+        assert!((h.peak_bandwidth().as_gb_per_sec() - 25.6).abs() < 0.2);
+    }
+
+    #[test]
+    fn xeon_phi_matches_table3() {
+        let p = Platform::xeon_phi();
+        assert_eq!(p.cores, 60);
+        let bw = p.peak_bandwidth().as_gb_per_sec();
+        assert!((bw - 320.0).abs() < 10.0, "{bw}");
+        assert!(p.peak_flops() > 1.5e12, "Phi is a ~2 TFLOPS part");
+    }
+
+    #[test]
+    fn package_power_interpolates() {
+        let p = PackagePower { idle: Watts::new(10.0), max_active: Watts::new(60.0) };
+        assert_eq!(p.at_utilization(0.0), Watts::new(10.0));
+        assert_eq!(p.at_utilization(1.0), Watts::new(60.0));
+        assert_eq!(p.at_utilization(0.5), Watts::new(35.0));
+        assert_eq!(p.at_utilization(7.0), Watts::new(60.0), "clamped");
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests over the kernel invariants.
+
+use mealib_kernels::blas1::{cdotc, saxpy, sdot, sdot_naive};
+use mealib_kernels::fft::{dft_naive, Direction, FftPlan};
+use mealib_kernels::reshape::{
+    blocked_to_linear, linear_to_blocked, transpose, transpose_in_place,
+};
+use mealib_kernels::resample::resample_uniform;
+use mealib_kernels::sparse::CsrMatrix;
+use mealib_types::Complex32;
+use proptest::prelude::*;
+
+fn small_f32() -> impl Strategy<Value = f32> {
+    (-100i32..=100).prop_map(|v| v as f32 / 8.0)
+}
+
+fn vec_f32(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(small_f32(), len)
+}
+
+fn vec_c32(len: usize) -> impl Strategy<Value = Vec<Complex32>> {
+    proptest::collection::vec((small_f32(), small_f32()).prop_map(|(r, i)| Complex32::new(r, i)), len)
+}
+
+proptest! {
+    #[test]
+    fn saxpy_with_zero_alpha_is_identity(x in vec_f32(64), y0 in vec_f32(64)) {
+        let mut y = y0.clone();
+        saxpy(0.0, &x, &mut y);
+        prop_assert_eq!(y, y0);
+    }
+
+    #[test]
+    fn sdot_is_commutative(x in vec_f32(48), y in vec_f32(48)) {
+        prop_assert_eq!(sdot(&x, &y), sdot(&y, &x));
+    }
+
+    #[test]
+    fn sdot_matches_naive(x in vec_f32(100), y in vec_f32(100)) {
+        let fast = sdot(&x, &y);
+        let slow = sdot_naive(&x, &y);
+        let scale = slow.abs().max(1.0);
+        prop_assert!((fast - slow).abs() / scale < 1e-3);
+    }
+
+    #[test]
+    fn cdotc_of_self_is_real_nonnegative(x in vec_c32(32)) {
+        let d = cdotc(&x, &x);
+        prop_assert!(d.re >= 0.0);
+        prop_assert!(d.im.abs() < 1e-3 * d.re.max(1.0));
+    }
+
+    #[test]
+    fn fft_round_trip(x in vec_c32(64)) {
+        let plan = FftPlan::new(64);
+        let mut y = x.clone();
+        plan.execute(&mut y, Direction::Forward);
+        plan.execute(&mut y, Direction::Inverse);
+        let max_in = x.iter().map(|z| z.abs()).fold(1.0_f32, f32::max);
+        for (a, b) in y.iter().zip(&x) {
+            prop_assert!((*a - *b).abs() < 1e-3 * max_in);
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft(x in vec_c32(16)) {
+        let want = dft_naive(&x, Direction::Forward);
+        let mut got = x.clone();
+        FftPlan::new(16).execute(&mut got, Direction::Forward);
+        let scale = want.iter().map(|z| z.abs()).fold(1.0_f32, f32::max);
+        for (a, b) in got.iter().zip(&want) {
+            prop_assert!((*a - *b).abs() < 1e-3 * scale);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(data in vec_f32(12 * 20)) {
+        let t = transpose(&data, 12, 20);
+        let back = transpose(&t, 20, 12);
+        prop_assert_eq!(back, data);
+    }
+
+    #[test]
+    fn in_place_transpose_matches_out_of_place(data in vec_f32(9 * 9)) {
+        let mut ip = data.clone();
+        transpose_in_place(&mut ip, 9);
+        prop_assert_eq!(ip, transpose(&data, 9, 9));
+    }
+
+    #[test]
+    fn blocked_layout_round_trips(data in vec_f32(16 * 8)) {
+        let b = linear_to_blocked(&data, 16, 8, 4);
+        prop_assert_eq!(blocked_to_linear(&b, 16, 8, 4), data);
+    }
+
+    #[test]
+    fn resample_to_same_length_is_identity(data in vec_f32(33)) {
+        let y = resample_uniform(&data, 33);
+        for (a, b) in y.iter().zip(&data) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn resample_stays_within_input_range(data in vec_f32(17), out_len in 1usize..80) {
+        let lo = data.iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = data.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        for v in resample_uniform(&data, out_len) {
+            prop_assert!(v >= lo - 1e-4 && v <= hi + 1e-4);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_from_triplets_matches_dense_spmv(
+        triplets in proptest::collection::vec((0usize..8, 0usize..6, small_f32()), 0..40),
+        x in vec_f32(6),
+    ) {
+        let m = CsrMatrix::from_triplets(8, 6, &triplets);
+        let dense = m.to_dense();
+        let got = m.spmv(&x);
+        for (i, gi) in got.iter().enumerate() {
+            let want: f32 = (0..6).map(|j| dense[i * 6 + j] * x[j]).sum();
+            prop_assert!((gi - want).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn csr_nnz_never_exceeds_triplet_count(
+        triplets in proptest::collection::vec((0usize..8, 0usize..6, small_f32()), 0..40),
+    ) {
+        let m = CsrMatrix::from_triplets(8, 6, &triplets);
+        prop_assert!(m.nnz() <= triplets.len());
+    }
+}

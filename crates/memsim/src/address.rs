@@ -1,0 +1,381 @@
+//! Physical address decoding.
+//!
+//! Modern systems interleave one physical page across channels at
+//! cache-block granularity, which is exactly what the paper had to defeat
+//! to dedicate one DIMM to the emulated stack: removing a DIMM switches
+//! the controller to *asymmetric* mode, where the high address range is
+//! served by a single channel (§4.2). Both modes are modeled here, plus
+//! the vault interleaving used inside the stacked device.
+
+use mealib_types::PhysAddr;
+
+/// Where a physical address lands inside a memory device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Location {
+    /// Channel (DIMM system) or vault (stacked device) index.
+    pub unit: usize,
+    /// Bank within the unit.
+    pub bank: usize,
+    /// Row within the bank.
+    pub row: u64,
+    /// Byte offset within the row.
+    pub col_byte: u64,
+}
+
+/// A physical-address → device-location mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AddressMapping {
+    /// Cache-block-granularity interleaving across `units`
+    /// channels/vaults; rows rotate across `banks_per_unit` banks.
+    Interleaved {
+        /// Number of channels or vaults.
+        units: usize,
+        /// Banks per channel/vault.
+        banks_per_unit: usize,
+        /// Row-buffer size in bytes.
+        row_bytes: u64,
+        /// Interleaving granularity (typically one cache line).
+        line_bytes: u64,
+    },
+    /// Cache-block interleaving with XOR bank/channel hashing: the unit
+    /// and bank indices are XOR-folded with higher address bits, breaking
+    /// the power-of-two stride aliasing that pins strided walks to one
+    /// channel (a standard controller technique; the ablation harness
+    /// shows what it buys).
+    XorInterleaved {
+        /// Number of channels or vaults.
+        units: usize,
+        /// Banks per channel/vault.
+        banks_per_unit: usize,
+        /// Row-buffer size in bytes.
+        row_bytes: u64,
+        /// Interleaving granularity (typically one cache line).
+        line_bytes: u64,
+    },
+    /// The asymmetric mode of §4.2: addresses below `split` interleave
+    /// across the first `low_units` units; addresses at or above `split`
+    /// map, contiguously, to the single unit `low_units` (the dedicated
+    /// DIMM that emulates the memory stack).
+    Asymmetric {
+        /// Units serving the interleaved low region.
+        low_units: usize,
+        /// Banks per unit (same for all units).
+        banks_per_unit: usize,
+        /// Row-buffer size in bytes.
+        row_bytes: u64,
+        /// Interleaving granularity for the low region.
+        line_bytes: u64,
+        /// First address of the single-channel high region.
+        split: PhysAddr,
+    },
+}
+
+impl AddressMapping {
+    /// Number of addressable units (channels/vaults).
+    pub fn units(&self) -> usize {
+        match *self {
+            AddressMapping::Interleaved { units, .. }
+            | AddressMapping::XorInterleaved { units, .. } => units,
+            AddressMapping::Asymmetric { low_units, .. } => low_units + 1,
+        }
+    }
+
+    /// Banks per unit.
+    pub fn banks_per_unit(&self) -> usize {
+        match *self {
+            AddressMapping::Interleaved { banks_per_unit, .. }
+            | AddressMapping::XorInterleaved { banks_per_unit, .. }
+            | AddressMapping::Asymmetric { banks_per_unit, .. } => banks_per_unit,
+        }
+    }
+
+    /// Row-buffer size in bytes.
+    pub fn row_bytes(&self) -> u64 {
+        match *self {
+            AddressMapping::Interleaved { row_bytes, .. }
+            | AddressMapping::XorInterleaved { row_bytes, .. }
+            | AddressMapping::Asymmetric { row_bytes, .. } => row_bytes,
+        }
+    }
+
+    /// Decodes a physical address into its device location.
+    pub fn decode(&self, addr: PhysAddr) -> Location {
+        match *self {
+            AddressMapping::Interleaved { units, banks_per_unit, row_bytes, line_bytes } => {
+                decode_interleaved(addr.get(), units, banks_per_unit, row_bytes, line_bytes)
+            }
+            AddressMapping::XorInterleaved { units, banks_per_unit, row_bytes, line_bytes } => {
+                let mut loc =
+                    decode_interleaved(addr.get(), units, banks_per_unit, row_bytes, line_bytes);
+                // Fold higher address bits into the unit and bank indices.
+                let line = addr.get() / line_bytes;
+                let hash = (line / units as u64) ^ (line / (units as u64 * banks_per_unit as u64));
+                loc.unit = ((loc.unit as u64 ^ hash) % units as u64) as usize;
+                loc.bank = ((loc.bank as u64 ^ (hash >> 3)) % banks_per_unit as u64) as usize;
+                loc
+            }
+            AddressMapping::Asymmetric {
+                low_units,
+                banks_per_unit,
+                row_bytes,
+                line_bytes,
+                split,
+            } => {
+                if addr < split {
+                    decode_interleaved(addr.get(), low_units, banks_per_unit, row_bytes, line_bytes)
+                } else {
+                    let within = addr.get() - split.get();
+                    let mut loc =
+                        decode_interleaved(within, 1, banks_per_unit, row_bytes, line_bytes);
+                    loc.unit = low_units;
+                    loc
+                }
+            }
+        }
+    }
+
+    /// Returns `true` if `addr` falls in a region that is physically
+    /// contiguous within a single unit (what the accelerators require).
+    pub fn is_single_unit(&self, addr: PhysAddr) -> bool {
+        match *self {
+            AddressMapping::Interleaved { units, .. }
+            | AddressMapping::XorInterleaved { units, .. } => units == 1,
+            AddressMapping::Asymmetric { split, .. } => addr >= split,
+        }
+    }
+
+    /// Validates structural parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`mealib_types::ConfigError`] naming the offending field.
+    pub fn validate(&self) -> Result<(), mealib_types::ConfigError> {
+        use mealib_types::ConfigError;
+        let (units, banks, row, line) = match *self {
+            AddressMapping::Interleaved { units, banks_per_unit, row_bytes, line_bytes }
+            | AddressMapping::XorInterleaved { units, banks_per_unit, row_bytes, line_bytes } => {
+                (units, banks_per_unit, row_bytes, line_bytes)
+            }
+            AddressMapping::Asymmetric {
+                low_units, banks_per_unit, row_bytes, line_bytes, ..
+            } => (low_units, banks_per_unit, row_bytes, line_bytes),
+        };
+        if units == 0 {
+            return Err(ConfigError::new("units", "must be nonzero"));
+        }
+        if banks == 0 {
+            return Err(ConfigError::new("banks_per_unit", "must be nonzero"));
+        }
+        if !row.is_power_of_two() {
+            return Err(ConfigError::new("row_bytes", "must be a power of two"));
+        }
+        if !line.is_power_of_two() || line > row {
+            return Err(ConfigError::new(
+                "line_bytes",
+                "must be a power of two no larger than row_bytes",
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn decode_interleaved(
+    addr: u64,
+    units: usize,
+    banks_per_unit: usize,
+    row_bytes: u64,
+    line_bytes: u64,
+) -> Location {
+    let line = addr / line_bytes;
+    let unit = (line % units as u64) as usize;
+    let within_unit = (line / units as u64) * line_bytes + addr % line_bytes;
+    let global_row = within_unit / row_bytes;
+    let bank = (global_row % banks_per_unit as u64) as usize;
+    Location {
+        unit,
+        bank,
+        row: global_row / banks_per_unit as u64,
+        col_byte: within_unit % row_bytes,
+    }
+}
+
+impl Location {
+    /// Returns `true` if two locations share a bank (and therefore a row
+    /// buffer).
+    pub fn same_bank(&self, other: &Location) -> bool {
+        self.unit == other.unit && self.bank == other.bank
+    }
+}
+
+/// Convenience constructor for the interleaved dual-channel DIMM system
+/// of the evaluation machine (2 channels, 8 banks, 8 KiB rows, 64 B
+/// lines).
+pub fn dual_channel_dimms() -> AddressMapping {
+    AddressMapping::Interleaved {
+        units: 2,
+        banks_per_unit: 8,
+        row_bytes: 8192,
+        line_bytes: 64,
+    }
+}
+
+/// Convenience constructor for the asymmetric-mode system of §4.2: two
+/// interleaved DIMMs below `split`, one dedicated contiguous DIMM above.
+pub fn asymmetric_dimms(split: PhysAddr) -> AddressMapping {
+    AddressMapping::Asymmetric {
+        low_units: 2,
+        banks_per_unit: 8,
+        row_bytes: 8192,
+        line_bytes: 64,
+        split,
+    }
+}
+
+/// Convenience constructor for the 32-vault stacked device (256 B rows per
+/// the DRAM-optimized accelerator literature the paper builds on).
+pub fn hmc_vaults() -> AddressMapping {
+    AddressMapping::Interleaved {
+        units: 32,
+        banks_per_unit: 8,
+        row_bytes: 4096,
+        line_bytes: 256,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mealib_types::Bytes as B;
+
+    #[test]
+    fn consecutive_lines_alternate_channels() {
+        let m = dual_channel_dimms();
+        let a = m.decode(PhysAddr::new(0));
+        let b = m.decode(PhysAddr::new(64));
+        let c = m.decode(PhysAddr::new(128));
+        assert_eq!(a.unit, 0);
+        assert_eq!(b.unit, 1);
+        assert_eq!(c.unit, 0);
+    }
+
+    #[test]
+    fn bytes_within_a_line_stay_put() {
+        let m = dual_channel_dimms();
+        let a = m.decode(PhysAddr::new(64));
+        let b = m.decode(PhysAddr::new(64 + 63));
+        assert_eq!(a.unit, b.unit);
+        assert_eq!(a.row, b.row);
+        assert_eq!(b.col_byte, a.col_byte + 63);
+    }
+
+    #[test]
+    fn sequential_addresses_fill_row_before_advancing() {
+        let m = AddressMapping::Interleaved {
+            units: 1,
+            banks_per_unit: 2,
+            row_bytes: 256,
+            line_bytes: 64,
+        };
+        let first = m.decode(PhysAddr::new(0));
+        let last_in_row = m.decode(PhysAddr::new(255));
+        let next_row = m.decode(PhysAddr::new(256));
+        assert_eq!(first.row, last_in_row.row);
+        assert_eq!(first.bank, last_in_row.bank);
+        // Next row rotates to the other bank.
+        assert_ne!(next_row.bank, first.bank);
+    }
+
+    #[test]
+    fn asymmetric_high_region_is_single_unit_and_contiguous() {
+        let split = PhysAddr::new(8 << 30);
+        let m = asymmetric_dimms(split);
+        assert!(!m.is_single_unit(PhysAddr::new(0)));
+        assert!(m.is_single_unit(split));
+        let a = m.decode(split);
+        let b = m.decode(split + B::from_kib(4));
+        assert_eq!(a.unit, 2);
+        assert_eq!(b.unit, 2);
+        assert_eq!(a.row, 0);
+        assert_eq!(a.col_byte, 0);
+        // 4 KiB into an 8 KiB row: same row, same bank.
+        assert_eq!(b.row, a.row);
+        assert!(b.same_bank(&a));
+    }
+
+    #[test]
+    fn asymmetric_low_region_still_interleaves() {
+        let m = asymmetric_dimms(PhysAddr::new(1 << 30));
+        assert_eq!(m.decode(PhysAddr::new(0)).unit, 0);
+        assert_eq!(m.decode(PhysAddr::new(64)).unit, 1);
+        assert_eq!(m.units(), 3);
+    }
+
+    #[test]
+    fn hmc_mapping_spreads_across_vaults() {
+        let m = hmc_vaults();
+        let units: std::collections::HashSet<usize> = (0..32u64)
+            .map(|i| m.decode(PhysAddr::new(i * 256)).unit)
+            .collect();
+        assert_eq!(units.len(), 32, "32 consecutive blocks hit all 32 vaults");
+    }
+
+    #[test]
+    fn xor_hashing_breaks_stride_aliasing() {
+        // A stride equal to line*units pins the plain mapping to one
+        // channel; the XOR mapping spreads it.
+        let plain = dual_channel_dimms();
+        let hashed = AddressMapping::XorInterleaved {
+            units: 2,
+            banks_per_unit: 8,
+            row_bytes: 8192,
+            line_bytes: 64,
+        };
+        let stride = 64 * 2; // aliases on the plain mapping
+        let plain_units: std::collections::HashSet<usize> = (0..64u64)
+            .map(|i| plain.decode(PhysAddr::new(i * stride)).unit)
+            .collect();
+        let hashed_units: std::collections::HashSet<usize> = (0..64u64)
+            .map(|i| hashed.decode(PhysAddr::new(i * stride)).unit)
+            .collect();
+        assert_eq!(plain_units.len(), 1, "plain mapping aliases to one channel");
+        assert_eq!(hashed_units.len(), 2, "XOR mapping uses both channels");
+    }
+
+    #[test]
+    fn xor_mapping_is_a_valid_mapping() {
+        let hashed = AddressMapping::XorInterleaved {
+            units: 4,
+            banks_per_unit: 8,
+            row_bytes: 4096,
+            line_bytes: 64,
+        };
+        assert!(hashed.validate().is_ok());
+        assert_eq!(hashed.units(), 4);
+        // Decoding stays in range over a large span.
+        for i in 0..10_000u64 {
+            let loc = hashed.decode(PhysAddr::new(i * 191));
+            assert!(loc.unit < 4);
+            assert!(loc.bank < 8);
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        let m = AddressMapping::Interleaved {
+            units: 0,
+            banks_per_unit: 8,
+            row_bytes: 4096,
+            line_bytes: 64,
+        };
+        assert_eq!(m.validate().unwrap_err().parameter(), "units");
+        let m = AddressMapping::Interleaved {
+            units: 2,
+            banks_per_unit: 8,
+            row_bytes: 4096,
+            line_bytes: 8192,
+        };
+        assert_eq!(m.validate().unwrap_err().parameter(), "line_bytes");
+        assert!(dual_channel_dimms().validate().is_ok());
+        assert!(hmc_vaults().validate().is_ok());
+    }
+}

@@ -1,0 +1,473 @@
+//! Event-driven cycle-level trace replay.
+//!
+//! The engine replays an explicit request trace against per-bank state
+//! machines (open row, activate/precharge timing) and a per-unit data
+//! bus. It is intentionally at the same abstraction level as the "in-house
+//! cycle-accurate 3D-stacked DRAM simulator" of §4.2: FCFS per unit,
+//! bank-level parallelism, one command clock.
+//!
+//! Writes share the read datapath model; write-recovery (`tWR`) is folded
+//! into the precharge path, which is accurate enough for the
+//! bandwidth/energy questions this reproduction asks.
+
+use mealib_types::{Bytes, Cycles, PhysAddr};
+
+use crate::config::MemoryConfig;
+use crate::stats::TraceStats;
+
+/// Direction of a memory request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Data flows from DRAM to the requester.
+    Read,
+    /// Data flows from the requester to DRAM.
+    Write,
+}
+
+/// One memory request: a contiguous byte range and a direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Starting physical address.
+    pub addr: PhysAddr,
+    /// Length in bytes.
+    pub bytes: u64,
+    /// Read or write.
+    pub op: Op,
+}
+
+impl Request {
+    /// Convenience read-request constructor.
+    pub fn read(addr: u64, bytes: u64) -> Self {
+        Self { addr: PhysAddr::new(addr), bytes, op: Op::Read }
+    }
+
+    /// Convenience write-request constructor.
+    pub fn write(addr: u64, bytes: u64) -> Self {
+        Self { addr: PhysAddr::new(addr), bytes, op: Op::Write }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct BankState {
+    open_row: Option<u64>,
+    /// Earliest cycle the bank can accept its next command.
+    cmd_ready: u64,
+    /// Cycle of the most recent activation (for tRAS/tRC).
+    act_at: u64,
+    has_activated: bool,
+}
+
+/// Sliding four-activation window per unit (tFAW enforcement).
+#[derive(Debug, Clone, Default)]
+struct ActWindow {
+    recent: [u64; 4],
+    next: usize,
+}
+
+impl ActWindow {
+    /// Earliest cycle a new ACT may issue given the window constraint.
+    fn earliest(&self, t_faw: u64) -> u64 {
+        self.recent[self.next] + t_faw
+    }
+
+    fn record(&mut self, at: u64) {
+        self.recent[self.next] = at;
+        self.next = (self.next + 1) % 4;
+    }
+}
+
+/// Log₂-bucketed histogram of per-burst access latencies (cycles from a
+/// burst's turn in program order to its data completing).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// `buckets[k]` counts latencies in `[2^k, 2^(k+1))` cycles
+    /// (bucket 0 also holds zero-latency completions).
+    buckets: [u64; 32],
+    total: u64,
+}
+
+impl LatencyHistogram {
+    fn record(&mut self, latency_cycles: u64) {
+        let k = (64 - latency_cycles.leading_zeros()).saturating_sub(1).min(31);
+        self.buckets[k as usize] += 1;
+        self.total += 1;
+    }
+
+    /// Number of bursts recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Bucket counts (`buckets[k]` covers `[2^k, 2^(k+1))` cycles).
+    pub fn buckets(&self) -> &[u64; 32] {
+        &self.buckets
+    }
+
+    /// Upper bound (cycles) of the bucket containing the given quantile
+    /// (`0.0..=1.0`), or `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile_bound(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(1u64 << (k + 1));
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
+/// Replays `trace` in order against the device described by `config`,
+/// returning aggregate timing, row-buffer, and energy statistics.
+///
+/// Requests longer than one burst are split into burst-sized accesses at
+/// burst-aligned boundaries, exactly as a vault controller would issue
+/// them.
+///
+/// # Panics
+///
+/// Panics if `config` fails validation.
+pub fn simulate_trace(config: &MemoryConfig, trace: &[Request]) -> TraceStats {
+    simulate_trace_with_latencies(config, trace).0
+}
+
+/// Like [`simulate_trace`], additionally collecting the per-burst
+/// latency histogram (how long each burst waited behind bank timing,
+/// refresh, tFAW, and bus contention).
+///
+/// # Panics
+///
+/// Panics if `config` fails validation.
+pub fn simulate_trace_with_latencies(
+    config: &MemoryConfig,
+    trace: &[Request],
+) -> (TraceStats, LatencyHistogram) {
+    config.validate().expect("invalid memory configuration");
+    let t = &config.timing;
+    let mapping = &config.mapping;
+    let units = mapping.units();
+    let banks = mapping.banks_per_unit();
+
+    let mut bank_state = vec![vec![BankState::default(); banks]; units];
+    let mut bus_free = vec![0u64; units];
+    let mut act_windows = vec![ActWindow::default(); units];
+    let mut refreshes_done = vec![0u64; units];
+
+    let mut stats = TraceStats::default();
+    let mut latencies = LatencyHistogram::default();
+    // Program-order issue pointer: a burst's latency is measured from
+    // the completion of the previous burst on the same unit (FCFS).
+    let mut issued_at = vec![0u64; units];
+
+    for req in trace {
+        let mut remaining = req.bytes;
+        let mut addr = req.addr.get();
+        while remaining > 0 {
+            // Split at burst-aligned boundaries.
+            let offset_in_burst = addr % t.burst_bytes;
+            let take = (t.burst_bytes - offset_in_burst).min(remaining);
+            let loc = mapping.decode(PhysAddr::new(addr));
+
+            // Periodic all-bank refresh (REFab): once per tREFI the whole
+            // unit spends tRFC refreshing, closing every row buffer.
+            let due = bus_free[loc.unit] / t.t_refi;
+            if due > refreshes_done[loc.unit] {
+                let owed = due - refreshes_done[loc.unit];
+                refreshes_done[loc.unit] = due;
+                stats.refreshes += owed;
+                bus_free[loc.unit] += owed * t.t_rfc;
+                for bank in bank_state[loc.unit].iter_mut() {
+                    bank.open_row = None;
+                    bank.cmd_ready = bank.cmd_ready.max(bus_free[loc.unit]);
+                }
+            }
+
+            let bank = &mut bank_state[loc.unit][loc.bank];
+            let bus = &mut bus_free[loc.unit];
+            let window = &mut act_windows[loc.unit];
+
+            let data_start = match bank.open_row {
+                Some(r) if r == loc.row => {
+                    stats.row_hits += 1;
+                    let cmd = bank.cmd_ready;
+                    cmd + t.t_cl
+                }
+                Some(_) => {
+                    // Row conflict: precharge, then activate, then access.
+                    stats.row_misses += 1;
+                    stats.activations += 1;
+                    let pre = bank.cmd_ready.max(bank.act_at + t.t_ras);
+                    let act = (pre + t.t_rp)
+                        .max(bank.act_at + t.t_rc())
+                        .max(window.earliest(t.t_faw));
+                    window.record(act);
+                    bank.act_at = act;
+                    act + t.t_rcd + t.t_cl
+                }
+                None => {
+                    // Bank idle: activate, then access.
+                    stats.row_misses += 1;
+                    stats.activations += 1;
+                    let act = if bank.has_activated {
+                        bank.cmd_ready.max(bank.act_at + t.t_rc())
+                    } else {
+                        bank.cmd_ready
+                    }
+                    .max(window.earliest(t.t_faw));
+                    window.record(act);
+                    bank.act_at = act;
+                    bank.has_activated = true;
+                    act + t.t_rcd + t.t_cl
+                }
+            };
+            let data_start = data_start.max(*bus);
+            *bus = data_start + t.t_burst;
+            // Column commands can issue once per burst slot.
+            bank.cmd_ready = (data_start + t.t_burst).saturating_sub(t.t_cl);
+            bank.open_row = Some(loc.row);
+            let done = data_start + t.t_burst;
+            latencies.record(done - issued_at[loc.unit]);
+            issued_at[loc.unit] = done;
+
+            match req.op {
+                Op::Read => stats.bytes_read += Bytes::new(take),
+                Op::Write => stats.bytes_written += Bytes::new(take),
+            }
+            addr += take;
+            remaining -= take;
+        }
+    }
+
+    let end_cycle = bus_free.into_iter().max().unwrap_or(0);
+    stats.cycles = Cycles::new(end_cycle);
+    stats.elapsed = stats.cycles.at(mealib_types::Hertz::new(1.0 / t.t_ck.get()));
+    stats.energy = config.energy.trace_energy(
+        stats.activations,
+        stats.bytes_moved().get(),
+        stats.elapsed,
+    );
+    (stats, latencies)
+}
+
+/// Builds a sequential trace covering `bytes` starting at `base`, one
+/// request per `chunk` bytes.
+pub fn sequential_trace(base: u64, bytes: u64, chunk: u64, op: Op) -> Vec<Request> {
+    assert!(chunk > 0, "chunk must be nonzero");
+    let mut out = Vec::with_capacity(bytes.div_ceil(chunk) as usize);
+    let mut off = 0;
+    while off < bytes {
+        let take = chunk.min(bytes - off);
+        out.push(Request { addr: PhysAddr::new(base + off), bytes: take, op });
+        off += take;
+    }
+    out
+}
+
+/// Builds a strided trace: `count` accesses of `elem_bytes` each,
+/// `stride` bytes apart, starting at `base`.
+pub fn strided_trace(base: u64, stride: u64, elem_bytes: u64, count: u64, op: Op) -> Vec<Request> {
+    (0..count)
+        .map(|i| Request { addr: PhysAddr::new(base + i * stride), bytes: elem_bytes, op })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single_channel_config() -> MemoryConfig {
+        let mut c = MemoryConfig::ddr_dual_channel();
+        c.mapping = crate::address::AddressMapping::Interleaved {
+            units: 1,
+            banks_per_unit: 8,
+            row_bytes: 8192,
+            line_bytes: 64,
+        };
+        c
+    }
+
+    #[test]
+    fn sequential_stream_approaches_peak_bandwidth() {
+        let c = single_channel_config();
+        let trace = sequential_trace(0, 4 << 20, 64, Op::Read);
+        let s = simulate_trace(&c, &trace);
+        let peak = c.timing.peak_bandwidth().as_gb_per_sec();
+        let got = s.achieved_bandwidth().as_gb_per_sec();
+        assert!(got > 0.85 * peak, "sequential {got:.1} GB/s vs peak {peak:.1}");
+    }
+
+    #[test]
+    fn sequential_stream_has_high_row_hit_rate() {
+        let c = single_channel_config();
+        let trace = sequential_trace(0, 1 << 20, 64, Op::Read);
+        let s = simulate_trace(&c, &trace);
+        assert!(s.row_hit_rate().unwrap() > 0.98);
+        // One activation per 8 KiB row, plus a few reopened rows after
+        // periodic refreshes.
+        let base = (1u64 << 20) / 8192;
+        assert!(
+            (base..base + 16).contains(&s.activations),
+            "activations {} vs base {base}",
+            s.activations
+        );
+        assert!(s.refreshes > 0, "a megabyte stream crosses tREFI");
+    }
+
+    #[test]
+    fn row_strided_access_is_much_slower_than_sequential() {
+        let c = single_channel_config();
+        let bytes_each = 64u64;
+        let count = 4096u64;
+        let seq = simulate_trace(&c, &sequential_trace(0, count * bytes_each, 64, Op::Read));
+        // Stride of one row: every access opens a new row, but rotating
+        // banks still hide most of the activation latency.
+        let strided =
+            simulate_trace(&c, &strided_trace(0, 8192, bytes_each, count, Op::Read));
+        assert_eq!(strided.row_hit_rate(), Some(0.0));
+        assert!(
+            strided.elapsed.get() > 1.15 * seq.elapsed.get(),
+            "row-thrashing must cost bandwidth: {} vs {}",
+            strided.elapsed,
+            seq.elapsed
+        );
+        // Stride of one row *within the same bank* (8 banks x 8 KiB):
+        // every access pays the full row cycle, an order of magnitude.
+        let same_bank =
+            simulate_trace(&c, &strided_trace(0, 8192 * 8, bytes_each, count, Op::Read));
+        assert!(
+            same_bank.elapsed.get() > 5.0 * seq.elapsed.get(),
+            "same-bank thrashing must serialize on tRC: {} vs {}",
+            same_bank.elapsed,
+            seq.elapsed
+        );
+    }
+
+    #[test]
+    fn xor_hashing_recovers_strided_bandwidth() {
+        // A stride aliasing to one channel on the plain mapping spreads
+        // across both channels under XOR hashing.
+        let mut plain = MemoryConfig::ddr_dual_channel();
+        plain.mapping = crate::address::AddressMapping::Interleaved {
+            units: 2,
+            banks_per_unit: 8,
+            row_bytes: 8192,
+            line_bytes: 64,
+        };
+        let mut hashed = plain.clone();
+        hashed.mapping = crate::address::AddressMapping::XorInterleaved {
+            units: 2,
+            banks_per_unit: 8,
+            row_bytes: 8192,
+            line_bytes: 64,
+        };
+        let trace = strided_trace(0, 128, 64, 1 << 15, Op::Read);
+        let t_plain = simulate_trace(&plain, &trace).elapsed;
+        let t_hashed = simulate_trace(&hashed, &trace).elapsed;
+        assert!(
+            t_plain.get() > 1.5 * t_hashed.get(),
+            "XOR hashing must break the aliasing: {t_plain} vs {t_hashed}"
+        );
+    }
+
+    #[test]
+    fn dual_channel_halves_time_of_single_channel() {
+        let single = single_channel_config();
+        let dual = MemoryConfig::ddr_dual_channel();
+        let trace = sequential_trace(0, 8 << 20, 64, Op::Read);
+        let t1 = simulate_trace(&single, &trace).elapsed;
+        let t2 = simulate_trace(&dual, &trace).elapsed;
+        let ratio = t1 / t2;
+        assert!((1.8..=2.2).contains(&ratio), "channel scaling ratio {ratio}");
+    }
+
+    #[test]
+    fn hmc_stack_streams_near_half_terabyte_per_second() {
+        let c = MemoryConfig::hmc_stack();
+        let trace = sequential_trace(0, 64 << 20, 256, Op::Read);
+        let s = simulate_trace(&c, &trace);
+        let bw = s.achieved_bandwidth().as_gb_per_sec();
+        assert!(bw > 400.0, "stack bandwidth {bw:.0} GB/s");
+    }
+
+    #[test]
+    fn writes_count_separately_from_reads() {
+        let c = single_channel_config();
+        let mut trace = sequential_trace(0, 1 << 16, 64, Op::Read);
+        trace.extend(sequential_trace(1 << 20, 1 << 16, 64, Op::Write));
+        let s = simulate_trace(&c, &trace);
+        assert_eq!(s.bytes_read.get(), 1 << 16);
+        assert_eq!(s.bytes_written.get(), 1 << 16);
+    }
+
+    #[test]
+    fn unaligned_request_splits_at_burst_boundary() {
+        let c = single_channel_config();
+        // 100 bytes starting at offset 30 crosses two 64B burst boundaries.
+        let s = simulate_trace(&c, &[Request::read(30, 100)]);
+        assert_eq!(s.bytes_read.get(), 100);
+        // 30..64, 64..128, 128..130 → 3 bursts, all same row: 1 activation.
+        assert_eq!(s.activations, 1);
+        assert_eq!(s.row_hits + s.row_misses, 3);
+    }
+
+    #[test]
+    fn latency_histogram_counts_every_burst() {
+        let c = single_channel_config();
+        let trace = sequential_trace(0, 1 << 16, 64, Op::Read);
+        let (stats, lat) = simulate_trace_with_latencies(&c, &trace);
+        assert_eq!(lat.count(), stats.row_hits + stats.row_misses);
+        // Steady-state sequential bursts complete one burst slot apart.
+        let median = lat.quantile_bound(0.5).unwrap();
+        assert!(median <= 8, "median latency bound {median} cycles");
+        // The tail (first access, row openings) is slower than the median.
+        assert!(lat.quantile_bound(1.0).unwrap() >= median);
+    }
+
+    #[test]
+    fn row_thrashing_shows_up_in_the_latency_tail() {
+        let c = single_channel_config();
+        let seq = simulate_trace_with_latencies(&c, &sequential_trace(0, 1 << 16, 64, Op::Read)).1;
+        let thrash = simulate_trace_with_latencies(
+            &c,
+            &strided_trace(0, 8192 * 8, 64, 1024, Op::Read),
+        )
+        .1;
+        assert!(
+            thrash.quantile_bound(0.5).unwrap() > seq.quantile_bound(0.5).unwrap(),
+            "same-bank thrashing must raise the median latency"
+        );
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_bound(0.5), None);
+    }
+
+    #[test]
+    fn empty_trace_is_zero() {
+        let s = simulate_trace(&MemoryConfig::hmc_stack(), &[]);
+        assert_eq!(s.bytes_moved(), Bytes::ZERO);
+        assert_eq!(s.cycles, Cycles::ZERO);
+        assert!(s.elapsed.is_zero());
+    }
+
+    #[test]
+    fn energy_scales_with_bytes_moved() {
+        let c = single_channel_config();
+        let small = simulate_trace(&c, &sequential_trace(0, 1 << 18, 64, Op::Read));
+        let large = simulate_trace(&c, &sequential_trace(0, 1 << 20, 64, Op::Read));
+        let ratio = large.energy.get() / small.energy.get();
+        assert!((3.0..5.0).contains(&ratio), "energy ratio {ratio}");
+    }
+}

@@ -1,0 +1,277 @@
+//! The augmented vault controller (§2.1, Figure 3).
+//!
+//! Each vault controller owns three queues — address, write-data, and
+//! read-data — and MEALib adds (de)multiplexers so requests can arrive
+//! from, and data can be steered to, three sources: the host CPU (via
+//! the link controllers), the data-reshape infrastructure on the logic
+//! layer, and the accelerator layer below (via TSVs). This module models
+//! the queues and the steering; the bank timing behind the controller is
+//! [`crate::engine`]'s business.
+
+use std::collections::VecDeque;
+
+use mealib_types::{Bytes, ConfigError, Cycles};
+
+/// Where a vault request originated — the MUX selector of Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestSource {
+    /// The host CPU, through a link controller.
+    Cpu,
+    /// The data-reshape infrastructure on the DRAM logic layer.
+    Reshape,
+    /// An accelerator tile, through the TSV bus.
+    Accelerator,
+}
+
+/// One queued vault command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VaultRequest {
+    /// Originating datapath.
+    pub source: RequestSource,
+    /// `true` for writes (occupies the write queue's data slot too).
+    pub write: bool,
+    /// Payload size.
+    pub bytes: Bytes,
+    /// Cycle the request arrived at the controller.
+    pub arrived: Cycles,
+}
+
+/// Occupancy statistics of one queue.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Requests accepted.
+    pub accepted: u64,
+    /// Requests refused because the queue was full (back-pressure).
+    pub refused: u64,
+    /// High-water mark of occupancy.
+    pub peak_occupancy: usize,
+}
+
+/// A bounded vault-controller queue.
+#[derive(Debug, Clone)]
+struct BoundedQueue {
+    entries: VecDeque<VaultRequest>,
+    capacity: usize,
+    stats: QueueStats,
+}
+
+impl BoundedQueue {
+    fn new(capacity: usize) -> Self {
+        Self { entries: VecDeque::with_capacity(capacity), capacity, stats: QueueStats::default() }
+    }
+
+    fn try_push(&mut self, req: VaultRequest) -> bool {
+        if self.entries.len() == self.capacity {
+            self.stats.refused += 1;
+            return false;
+        }
+        self.entries.push_back(req);
+        self.stats.accepted += 1;
+        self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.entries.len());
+        true
+    }
+
+    fn pop(&mut self) -> Option<VaultRequest> {
+        self.entries.pop_front()
+    }
+}
+
+/// The augmented vault controller: address/read/write queues with MUXes
+/// steering three request sources.
+#[derive(Debug, Clone)]
+pub struct VaultController {
+    /// Which source the MUX currently admits (the paper's arbitration:
+    /// CPU and accelerators never interleave).
+    granted: RequestSource,
+    address_queue: BoundedQueue,
+    write_queue: BoundedQueue,
+    /// Read-return data waiting for the DEMUX to steer it back.
+    read_queue: BoundedQueue,
+    /// Requests rejected because the MUX was granted to another source.
+    pub steered_away: u64,
+}
+
+impl VaultController {
+    /// Creates a controller with the given queue depths.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if any depth is zero.
+    pub fn new(address_depth: usize, data_depth: usize) -> Result<Self, ConfigError> {
+        if address_depth == 0 {
+            return Err(ConfigError::new("address_depth", "must be nonzero"));
+        }
+        if data_depth == 0 {
+            return Err(ConfigError::new("data_depth", "must be nonzero"));
+        }
+        Ok(Self {
+            granted: RequestSource::Cpu,
+            address_queue: BoundedQueue::new(address_depth),
+            write_queue: BoundedQueue::new(data_depth),
+            read_queue: BoundedQueue::new(data_depth),
+            steered_away: 0,
+        })
+    }
+
+    /// The HMC-like default: 16-deep address queue, 8-deep data queues.
+    pub fn hmc_default() -> Self {
+        Self::new(16, 8).expect("static depths are valid")
+    }
+
+    /// The source currently granted by the MUX.
+    pub fn granted(&self) -> RequestSource {
+        self.granted
+    }
+
+    /// Re-grants the MUX to a source (the link controller's arbitration
+    /// switch). Pending requests from the old source keep draining.
+    pub fn grant(&mut self, source: RequestSource) {
+        self.granted = source;
+    }
+
+    /// Offers a request to the controller. Returns `false` when the MUX
+    /// is granted elsewhere (the reshape path is always admitted — it is
+    /// shared infrastructure) or the target queue is full.
+    pub fn offer(&mut self, req: VaultRequest) -> bool {
+        if req.source != self.granted && req.source != RequestSource::Reshape {
+            self.steered_away += 1;
+            return false;
+        }
+        if req.write {
+            // A write occupies both the address and the write-data queue.
+            if self.write_queue.entries.len() == self.write_queue.capacity {
+                self.write_queue.stats.refused += 1;
+                return false;
+            }
+            if !self.address_queue.try_push(req) {
+                return false;
+            }
+            let pushed = self.write_queue.try_push(req);
+            debug_assert!(pushed, "capacity checked above");
+            true
+        } else {
+            self.address_queue.try_push(req)
+        }
+    }
+
+    /// Pops the next command in arrival order, moving read data into the
+    /// read queue for the DEMUX (dropping it if the read queue is full —
+    /// counted as a refusal, i.e. return-path back-pressure).
+    pub fn service_next(&mut self) -> Option<VaultRequest> {
+        let req = self.address_queue.pop()?;
+        if req.write {
+            let _ = self.write_queue.pop();
+        } else {
+            let _ = self.read_queue.try_push(req);
+        }
+        Some(req)
+    }
+
+    /// Drains one read-return toward its source.
+    pub fn pop_read_return(&mut self) -> Option<VaultRequest> {
+        self.read_queue.pop()
+    }
+
+    /// Address-queue statistics.
+    pub fn address_stats(&self) -> QueueStats {
+        self.address_queue.stats
+    }
+
+    /// Write-queue statistics.
+    pub fn write_stats(&self) -> QueueStats {
+        self.write_queue.stats
+    }
+
+    /// Read-queue statistics.
+    pub fn read_stats(&self) -> QueueStats {
+        self.read_queue.stats
+    }
+
+    /// Outstanding commands.
+    pub fn pending(&self) -> usize {
+        self.address_queue.entries.len()
+    }
+}
+
+impl Default for VaultController {
+    fn default() -> Self {
+        Self::hmc_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(source: RequestSource, write: bool) -> VaultRequest {
+        VaultRequest { source, write, bytes: Bytes::new(32), arrived: Cycles::ZERO }
+    }
+
+    #[test]
+    fn mux_blocks_non_granted_sources() {
+        let mut vc = VaultController::hmc_default();
+        assert_eq!(vc.granted(), RequestSource::Cpu);
+        assert!(vc.offer(req(RequestSource::Cpu, false)));
+        assert!(!vc.offer(req(RequestSource::Accelerator, false)));
+        assert_eq!(vc.steered_away, 1);
+
+        vc.grant(RequestSource::Accelerator);
+        assert!(vc.offer(req(RequestSource::Accelerator, false)));
+        assert!(!vc.offer(req(RequestSource::Cpu, false)));
+        assert_eq!(vc.steered_away, 2);
+    }
+
+    #[test]
+    fn reshape_infrastructure_is_always_admitted() {
+        let mut vc = VaultController::hmc_default();
+        assert!(vc.offer(req(RequestSource::Reshape, false)));
+        vc.grant(RequestSource::Accelerator);
+        assert!(vc.offer(req(RequestSource::Reshape, true)));
+        assert_eq!(vc.steered_away, 0);
+    }
+
+    #[test]
+    fn queues_back_pressure_when_full() {
+        let mut vc = VaultController::new(2, 1).unwrap();
+        assert!(vc.offer(req(RequestSource::Cpu, false)));
+        assert!(vc.offer(req(RequestSource::Cpu, false)));
+        assert!(!vc.offer(req(RequestSource::Cpu, false)), "address queue full");
+        assert_eq!(vc.address_stats().refused, 1);
+        assert_eq!(vc.address_stats().peak_occupancy, 2);
+    }
+
+    #[test]
+    fn writes_need_both_queues() {
+        let mut vc = VaultController::new(8, 1).unwrap();
+        assert!(vc.offer(req(RequestSource::Cpu, true)));
+        // Write-data queue (depth 1) is now full even though addresses fit.
+        assert!(!vc.offer(req(RequestSource::Cpu, true)));
+        assert_eq!(vc.write_stats().refused, 1);
+        // Reads still flow.
+        assert!(vc.offer(req(RequestSource::Cpu, false)));
+    }
+
+    #[test]
+    fn service_moves_reads_to_the_return_path() {
+        let mut vc = VaultController::hmc_default();
+        vc.offer(req(RequestSource::Cpu, false));
+        vc.offer(req(RequestSource::Cpu, true));
+        assert_eq!(vc.pending(), 2);
+
+        let first = vc.service_next().unwrap();
+        assert!(!first.write);
+        assert_eq!(vc.pop_read_return().unwrap().source, RequestSource::Cpu);
+
+        let second = vc.service_next().unwrap();
+        assert!(second.write);
+        assert!(vc.pop_read_return().is_none(), "writes return no data");
+        assert_eq!(vc.pending(), 0);
+        assert!(vc.service_next().is_none());
+    }
+
+    #[test]
+    fn zero_depth_rejected() {
+        assert!(VaultController::new(0, 4).is_err());
+        assert!(VaultController::new(4, 0).is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests over the DRAM simulator invariants.
+
+use mealib_memsim::engine::{simulate_trace, Op, Request};
+use mealib_memsim::{analytic, AccessPattern, MemoryConfig};
+use proptest::prelude::*;
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    (0u64..(1 << 24), 1u64..4096, any::<bool>()).prop_map(|(addr, bytes, write)| {
+        if write {
+            Request::write(addr, bytes)
+        } else {
+            Request::read(addr, bytes)
+        }
+    })
+}
+
+fn config_strategy() -> impl Strategy<Value = MemoryConfig> {
+    prop_oneof![
+        Just(MemoryConfig::hmc_stack()),
+        Just(MemoryConfig::ddr_dual_channel()),
+        Just(MemoryConfig::msas_dram()),
+        Just(MemoryConfig::hmc_stack_remote()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every requested byte is accounted for, reads and writes
+    /// separately, on every device.
+    #[test]
+    fn engine_conserves_bytes(
+        cfg in config_strategy(),
+        trace in proptest::collection::vec(request_strategy(), 0..40),
+    ) {
+        let stats = simulate_trace(&cfg, &trace);
+        let want_read: u64 = trace.iter().filter(|r| r.op == Op::Read).map(|r| r.bytes).sum();
+        let want_written: u64 =
+            trace.iter().filter(|r| r.op == Op::Write).map(|r| r.bytes).sum();
+        prop_assert_eq!(stats.bytes_read.get(), want_read);
+        prop_assert_eq!(stats.bytes_written.get(), want_written);
+        // Every burst either hit or missed; misses equal activations.
+        prop_assert_eq!(stats.row_misses, stats.activations);
+    }
+
+    /// Appending requests never makes the trace finish earlier.
+    #[test]
+    fn engine_time_is_monotone_in_trace_length(
+        trace in proptest::collection::vec(request_strategy(), 1..30),
+    ) {
+        let cfg = MemoryConfig::hmc_stack();
+        let full = simulate_trace(&cfg, &trace);
+        let prefix = simulate_trace(&cfg, &trace[..trace.len() - 1]);
+        prop_assert!(full.cycles >= prefix.cycles);
+        prop_assert!(full.energy.get() >= prefix.energy.get());
+    }
+
+    /// The engine is deterministic.
+    #[test]
+    fn engine_is_deterministic(
+        cfg in config_strategy(),
+        trace in proptest::collection::vec(request_strategy(), 0..30),
+    ) {
+        prop_assert_eq!(simulate_trace(&cfg, &trace), simulate_trace(&cfg, &trace));
+    }
+
+    /// Analytic estimates are finite, non-negative, and conserve bytes.
+    #[test]
+    fn analytic_estimates_are_sane(
+        cfg in config_strategy(),
+        read in 0u64..(1 << 32),
+        written in 0u64..(1 << 32),
+    ) {
+        let s = analytic::estimate(&cfg, &AccessPattern::sequential_rw(read, written));
+        prop_assert_eq!(s.bytes_read.get(), read);
+        prop_assert_eq!(s.bytes_written.get(), written);
+        prop_assert!(s.elapsed.get().is_finite() && s.elapsed.get() >= 0.0);
+        prop_assert!(s.energy.get().is_finite() && s.energy.get() >= 0.0);
+        if read + written > 0 {
+            // Achieved bandwidth can never exceed the device peak.
+            prop_assert!(
+                s.achieved_bandwidth().get() <= cfg.peak_bandwidth().get() * 1.001,
+                "bw {} above peak {}",
+                s.achieved_bandwidth(),
+                cfg.peak_bandwidth()
+            );
+        }
+    }
+
+    /// More data never takes less time in the analytic model.
+    #[test]
+    fn analytic_time_is_monotone_in_bytes(
+        cfg in config_strategy(),
+        a in 0u64..(1 << 30),
+        b in 0u64..(1 << 30),
+    ) {
+        let (small, large) = (a.min(b), a.max(b));
+        let ts = analytic::estimate(&cfg, &AccessPattern::sequential_read(small)).elapsed;
+        let tl = analytic::estimate(&cfg, &AccessPattern::sequential_read(large)).elapsed;
+        prop_assert!(tl >= ts);
+    }
+
+    /// Strided accesses never beat the sequential stream over the same
+    /// number of useful bytes.
+    #[test]
+    fn strided_never_beats_sequential(
+        stride in 64u64..65536,
+        count in 1u64..4096,
+    ) {
+        let cfg = MemoryConfig::ddr_dual_channel();
+        let strided = analytic::estimate(
+            &cfg,
+            &AccessPattern::Strided { stride, elem_bytes: 4, count, write: false },
+        );
+        let seq = analytic::estimate(&cfg, &AccessPattern::sequential_read(4 * count));
+        prop_assert!(
+            strided.elapsed.get() >= seq.elapsed.get() * 0.99,
+            "strided {} beat sequential {}",
+            strided.elapsed,
+            seq.elapsed
+        );
+    }
+}

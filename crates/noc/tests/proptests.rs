@@ -1,0 +1,68 @@
+//! Property tests over the mesh NoC.
+
+use mealib_noc::{Mesh, Packet, TileId};
+use proptest::prelude::*;
+
+fn tile() -> impl Strategy<Value = TileId> {
+    (0usize..4, 0usize..8).prop_map(|(r, c)| TileId::new(r, c))
+}
+
+fn packet() -> impl Strategy<Value = Packet> {
+    (tile(), tile(), 1u64..4096).prop_map(|(src, dst, bytes)| Packet::new(src, dst, bytes))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// XY routes have exactly Manhattan-distance hops, stay in bounds,
+    /// and end at the destination.
+    #[test]
+    fn routes_are_minimal_and_in_bounds(src in tile(), dst in tile()) {
+        let mesh = Mesh::mealib_layer();
+        let path = mesh.route(src, dst);
+        prop_assert_eq!(path.len(), src.hops_to(dst));
+        let mut prev = src;
+        for hop in &path {
+            prop_assert!(mesh.contains(*hop));
+            prop_assert_eq!(prev.hops_to(*hop), 1, "non-adjacent hop");
+            prev = *hop;
+        }
+        if !path.is_empty() {
+            prop_assert_eq!(*path.last().unwrap(), dst);
+        }
+    }
+
+    /// Simulation accounts for every flit and never finishes before the
+    /// longest single packet would alone.
+    #[test]
+    fn simulation_conserves_flits(packets in proptest::collection::vec(packet(), 0..20)) {
+        let mesh = Mesh::mealib_layer();
+        let stats = mesh.simulate(&packets);
+        let want_flits: u64 = packets.iter().map(|p| p.bytes.div_ceil(16).max(1)).sum();
+        prop_assert_eq!(stats.flits, want_flits);
+        for p in &packets {
+            let alone = mesh.simulate(std::slice::from_ref(p));
+            prop_assert!(
+                stats.cycles >= alone.cycles,
+                "batch finished before its slowest member"
+            );
+        }
+    }
+
+    /// Adding a packet never reduces total latency or energy.
+    #[test]
+    fn more_traffic_never_helps(packets in proptest::collection::vec(packet(), 1..15)) {
+        let mesh = Mesh::mealib_layer();
+        let full = mesh.simulate(&packets);
+        let fewer = mesh.simulate(&packets[..packets.len() - 1]);
+        prop_assert!(full.cycles >= fewer.cycles);
+        prop_assert!(full.flit_hops >= fewer.flit_hops);
+    }
+
+    /// The mesh is deterministic.
+    #[test]
+    fn simulation_is_deterministic(packets in proptest::collection::vec(packet(), 0..15)) {
+        let mesh = Mesh::mealib_layer();
+        prop_assert_eq!(mesh.simulate(&packets), mesh.simulate(&packets));
+    }
+}

@@ -1,0 +1,131 @@
+//! Host cache-coherence cost model.
+//!
+//! "The data coherence is enforced by using the `wbinvd` instruction to
+//! write back the modified cache lines to main memory before invoking
+//! the accelerators" (§3.5). The dominant invocation costs are this
+//! write-back plus the descriptor copy into the command space; both are
+//! modeled here.
+
+use mealib_types::{Bytes, BytesPerSec, Joules, Seconds, Watts};
+
+/// Parameters of the host's cache write-back behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheModel {
+    /// Total last-level cache capacity.
+    pub llc_bytes: Bytes,
+    /// Expected fraction of the LLC holding dirty lines at invocation.
+    pub dirty_fraction: f64,
+    /// Rate at which dirty lines drain to DRAM.
+    pub writeback_bandwidth: BytesPerSec,
+    /// Fixed microcode/serialization latency of `wbinvd`.
+    pub base_latency: Seconds,
+    /// Host package power while flushing.
+    pub flush_power: Watts,
+}
+
+impl CacheModel {
+    /// A Haswell i7-4770K-like host: 8 MiB LLC, ~25% dirty, draining at
+    /// ~16 GB/s.
+    pub fn haswell() -> Self {
+        Self {
+            llc_bytes: Bytes::from_mib(8),
+            dirty_fraction: 0.25,
+            writeback_bandwidth: BytesPerSec::from_gb_per_sec(16.0),
+            base_latency: Seconds::from_micros(20.0),
+            flush_power: Watts::new(30.0),
+        }
+    }
+
+    /// Time of one full `wbinvd` given the expected dirty footprint.
+    pub fn flush_time(&self) -> Seconds {
+        let dirty = self.llc_bytes.get() as f64 * self.dirty_fraction;
+        self.base_latency + Seconds::new(dirty / self.writeback_bandwidth.get())
+    }
+
+    /// Time to flush when the working set is smaller than the cache (the
+    /// dirty data cannot exceed the bytes the host actually touched).
+    pub fn flush_time_for(&self, touched: Bytes) -> Seconds {
+        let dirty = (self.llc_bytes.get() as f64 * self.dirty_fraction)
+            .min(touched.get() as f64);
+        self.base_latency + Seconds::new(dirty / self.writeback_bandwidth.get())
+    }
+
+    /// Energy of one flush.
+    pub fn flush_energy(&self, flush_time: Seconds) -> Joules {
+        self.flush_power.for_duration(flush_time)
+    }
+
+    /// Fixed driver cost of one accelerator invocation: the `ioctl` into
+    /// the device driver plus serialization, independent of cache state.
+    pub fn driver_latency(&self) -> Seconds {
+        Seconds::from_micros(25.0)
+    }
+
+    /// Per-invocation overhead when the host re-invokes in a tight loop:
+    /// the cache holds few dirty lines (the host touched no data since
+    /// the last flush), so `wbinvd` costs only its base latency, and the
+    /// driver round trip dominates.
+    pub fn repeat_invocation_latency(&self) -> Seconds {
+        self.base_latency + self.driver_latency()
+    }
+
+    /// Time to copy a descriptor image into the (uncached) command space.
+    pub fn descriptor_copy_time(&self, image_bytes: usize) -> Seconds {
+        // Uncached stores trickle at a fraction of the write-back rate.
+        let rate = self.writeback_bandwidth.get() / 4.0;
+        Seconds::new(image_bytes as f64 / rate)
+    }
+}
+
+impl Default for CacheModel {
+    fn default() -> Self {
+        Self::haswell()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flush_time_has_floor_and_scales() {
+        let c = CacheModel::haswell();
+        let t = c.flush_time();
+        assert!(t >= c.base_latency);
+        // 2 MiB dirty at 16 GB/s ≈ 131 µs + 20 µs base.
+        assert!((t.as_micros() - 151.0).abs() < 5.0, "{}", t.as_micros());
+    }
+
+    #[test]
+    fn small_working_sets_flush_faster() {
+        let c = CacheModel::haswell();
+        let small = c.flush_time_for(Bytes::from_kib(64));
+        let large = c.flush_time_for(Bytes::from_gib(1));
+        assert!(small < large);
+        assert_eq!(large, c.flush_time(), "flush cost caps at the LLC");
+    }
+
+    #[test]
+    fn descriptor_copy_is_cheap_but_nonzero() {
+        let c = CacheModel::haswell();
+        let t = c.descriptor_copy_time(4096);
+        assert!(t.get() > 0.0);
+        assert!(t < Seconds::from_micros(10.0));
+    }
+
+    #[test]
+    fn repeat_invocation_is_cheaper_than_cold() {
+        let c = CacheModel::haswell();
+        let cold = c.flush_time() + c.driver_latency();
+        let warm = c.repeat_invocation_latency();
+        assert!(warm < cold);
+        assert!(warm >= c.driver_latency());
+    }
+
+    #[test]
+    fn flush_energy_tracks_time() {
+        let c = CacheModel::haswell();
+        let t = Seconds::from_micros(100.0);
+        assert!((c.flush_energy(t).get() - 30.0 * 100.0e-6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,589 @@
+//! Accelerator control runtime routines (Listing 2).
+//!
+//! ```c
+//! acc_plan mealib_acc_plan(const char *tdl, ...);
+//! void     mealib_acc_execute(acc_plan p);
+//! void     mealib_acc_destroy(acc_plan p);
+//! ```
+//!
+//! [`Runtime::acc_plan`] parses the TDL string, resolves buffer names
+//! against the driver's allocation table, and encodes the binary
+//! descriptor. [`Runtime::acc_execute`] charges the invocation overhead
+//! (cache write-back + descriptor copy), then hands the descriptor to
+//! the Configuration Unit model. Plans are reusable, matching the
+//! paper's "the accelerator descriptor can be reused to invoke the same
+//! accelerator(s) … multiple times".
+
+use std::fmt;
+
+use mealib_accel::cu::{run_descriptor, CuCostModel, CuError, DescriptorRun};
+use mealib_accel::AcceleratorLayer;
+use mealib_tdl::{parse, Descriptor, DescriptorError, ParamBag, ParseError, TdlProgram};
+use mealib_types::{Bytes, Joules, Seconds};
+
+use mealib_memsim::MemoryConfig;
+use mealib_tdl::TdlItem;
+
+use crate::cache::CacheModel;
+use crate::driver::{DriverError, MealibDriver, StackId};
+
+/// Errors from the control runtime.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// TDL parse failure.
+    Parse(ParseError),
+    /// Descriptor encoding failure (missing params/buffers).
+    Descriptor(DescriptorError),
+    /// Driver failure (allocation, bounds, command space).
+    Driver(DriverError),
+    /// Configuration Unit failure while executing.
+    Cu(CuError),
+    /// The plan was already destroyed.
+    PlanDestroyed,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Parse(e) => write!(f, "TDL parse error: {e}"),
+            RuntimeError::Descriptor(e) => write!(f, "descriptor error: {e}"),
+            RuntimeError::Driver(e) => write!(f, "driver error: {e}"),
+            RuntimeError::Cu(e) => write!(f, "configuration unit error: {e}"),
+            RuntimeError::PlanDestroyed => f.write_str("accelerator plan already destroyed"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<ParseError> for RuntimeError {
+    fn from(e: ParseError) -> Self {
+        RuntimeError::Parse(e)
+    }
+}
+
+impl From<DescriptorError> for RuntimeError {
+    fn from(e: DescriptorError) -> Self {
+        RuntimeError::Descriptor(e)
+    }
+}
+
+impl From<DriverError> for RuntimeError {
+    fn from(e: DriverError) -> Self {
+        RuntimeError::Driver(e)
+    }
+}
+
+impl From<CuError> for RuntimeError {
+    fn from(e: CuError) -> Self {
+        RuntimeError::Cu(e)
+    }
+}
+
+/// A prepared accelerator plan (the `acc_plan` of Listing 2).
+#[derive(Debug, Clone)]
+pub struct AccPlan {
+    id: u64,
+    program: TdlProgram,
+    descriptor: Descriptor,
+    destroyed: bool,
+}
+
+impl AccPlan {
+    /// The TDL program behind this plan.
+    pub fn program(&self) -> &TdlProgram {
+        &self.program
+    }
+
+    /// The encoded descriptor image.
+    pub fn descriptor(&self) -> &Descriptor {
+        &self.descriptor
+    }
+
+    /// Plan identity (diagnostics).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// The modeled cost of one `mealib_acc_execute`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Host-side invocation overhead: `wbinvd` + descriptor copy.
+    pub invocation_time: Seconds,
+    /// Energy of the host-side overhead.
+    pub invocation_energy: Joules,
+    /// The Configuration Unit's run (setup + accelerator execution).
+    pub run: DescriptorRun,
+}
+
+impl RunReport {
+    /// End-to-end time of the invocation.
+    pub fn total_time(&self) -> Seconds {
+        self.invocation_time + self.run.total_time()
+    }
+
+    /// End-to-end energy of the invocation.
+    pub fn total_energy(&self) -> Joules {
+        self.invocation_energy + self.run.total_energy()
+    }
+
+    /// Overhead (host + CU setup) as a fraction of total time.
+    pub fn overhead_time_fraction(&self) -> f64 {
+        (self.invocation_time + self.run.setup_time).get() / self.total_time().get()
+    }
+
+    /// Overhead as a fraction of total energy.
+    pub fn overhead_energy_fraction(&self) -> f64 {
+        (self.invocation_energy + self.run.setup_energy).get() / self.total_energy().get()
+    }
+}
+
+/// Cumulative runtime statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuntimeCounters {
+    /// Plans created.
+    pub plans_created: u64,
+    /// Plans destroyed.
+    pub plans_destroyed: u64,
+    /// `acc_execute` calls.
+    pub executions: u64,
+    /// Dynamic accelerator invocations performed.
+    pub invocations: u64,
+    /// Plan-cache hits ([`Runtime::acc_plan_cached`]).
+    pub plan_cache_hits: u64,
+}
+
+/// The MEALib runtime: driver + cache model + CU cost model + layer.
+#[derive(Debug, Clone)]
+pub struct Runtime {
+    driver: MealibDriver,
+    cache: CacheModel,
+    cu_cost: CuCostModel,
+    layer: AcceleratorLayer,
+    counters: RuntimeCounters,
+    next_plan_id: u64,
+    plan_cache: std::collections::BTreeMap<String, AccPlan>,
+}
+
+impl Runtime {
+    /// Creates a runtime over the default stack and layer.
+    pub fn new() -> Self {
+        Self::with_parts(
+            MealibDriver::with_default_stack(),
+            CacheModel::haswell(),
+            CuCostModel::default(),
+            AcceleratorLayer::mealib_default(),
+        )
+    }
+
+    /// Creates a runtime over `stacks` memory stacks of 2 GiB each
+    /// (stack 0 is the accelerators' LMS).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stacks` is zero.
+    pub fn with_stack_count(stacks: usize) -> Self {
+        assert!(stacks > 0, "at least one memory stack required");
+        let regions = (0..stacks)
+            .map(|i| {
+                mealib_types::AddrRange::new(
+                    mealib_types::PhysAddr::new((8 + 2 * i as u64) << 30),
+                    Bytes::from_gib(2),
+                )
+            })
+            .collect();
+        Self::with_parts(
+            MealibDriver::with_stacks(regions, Bytes::from_mib(1)),
+            CacheModel::haswell(),
+            CuCostModel::default(),
+            AcceleratorLayer::mealib_default(),
+        )
+    }
+
+    /// Creates a runtime from explicit parts.
+    pub fn with_parts(
+        driver: MealibDriver,
+        cache: CacheModel,
+        cu_cost: CuCostModel,
+        layer: AcceleratorLayer,
+    ) -> Self {
+        Self {
+            driver,
+            cache,
+            cu_cost,
+            layer,
+            counters: RuntimeCounters::default(),
+            next_plan_id: 1,
+            plan_cache: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// The driver (buffer allocation and host access).
+    pub fn driver(&self) -> &MealibDriver {
+        &self.driver
+    }
+
+    /// Mutable driver access.
+    pub fn driver_mut(&mut self) -> &mut MealibDriver {
+        &mut self.driver
+    }
+
+    /// The accelerator layer.
+    pub fn layer(&self) -> &AcceleratorLayer {
+        &self.layer
+    }
+
+    /// Cumulative counters.
+    pub fn counters(&self) -> &RuntimeCounters {
+        &self.counters
+    }
+
+    /// `mealib_mem_alloc`: allocates a named, physically contiguous,
+    /// host-mapped buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError::Driver`] on allocation failure.
+    pub fn mem_alloc(&mut self, name: &str, bytes: Bytes) -> Result<(), RuntimeError> {
+        self.driver.alloc(name, bytes)?;
+        Ok(())
+    }
+
+    /// `mealib_mem_alloc` with an explicit stack: "The memory stack used
+    /// for allocation can also be explicitly specified during memory
+    /// allocation" (§3.5).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError::Driver`] for unknown stacks or
+    /// allocation failure.
+    pub fn mem_alloc_on(
+        &mut self,
+        name: &str,
+        bytes: Bytes,
+        stack: StackId,
+    ) -> Result<(), RuntimeError> {
+        self.driver.alloc_on(name, bytes, stack)?;
+        Ok(())
+    }
+
+    /// `mealib_mem_free`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError::Driver`] if the buffer is unknown.
+    pub fn mem_free(&mut self, name: &str) -> Result<(), RuntimeError> {
+        self.driver.release(name)?;
+        // Cached plans may hold stale physical addresses for this name.
+        self.plan_cache.clear();
+        Ok(())
+    }
+
+    /// `mealib_acc_plan`: parses TDL, resolves buffers, encodes the
+    /// descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse, descriptor, or driver errors.
+    pub fn acc_plan(&mut self, tdl: &str, params: &ParamBag) -> Result<AccPlan, RuntimeError> {
+        let program = parse(tdl)?;
+        let buffers = self.driver.buffer_table();
+        let descriptor = Descriptor::encode(&program, params, &buffers)?;
+        let id = self.next_plan_id;
+        self.next_plan_id += 1;
+        self.counters.plans_created += 1;
+        Ok(AccPlan { id, program, descriptor, destroyed: false })
+    }
+
+    /// Like [`Runtime::acc_plan`], but reuses a previously built plan
+    /// for the identical (TDL, parameters) pair — the paper's
+    /// "the accelerator descriptor can be reused to invoke the same
+    /// accelerator(s) with the same configuration multiple times".
+    ///
+    /// The cache key includes the parameter bytes, so changed parameters
+    /// build a fresh plan. Buffers are resolved at first build; freeing
+    /// and reallocating a referenced buffer invalidates the cache (the
+    /// whole cache is cleared on any `mem_free`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`Runtime::acc_plan`].
+    pub fn acc_plan_cached(
+        &mut self,
+        tdl: &str,
+        params: &ParamBag,
+    ) -> Result<AccPlan, RuntimeError> {
+        let mut key = String::with_capacity(tdl.len() + 64);
+        key.push_str(tdl);
+        for (name, blob) in params {
+            key.push('\u{1f}');
+            key.push_str(name);
+            key.push('=');
+            for b in blob {
+                key.push_str(&format!("{b:02x}"));
+            }
+        }
+        if let Some(plan) = self.plan_cache.get(&key) {
+            self.counters.plan_cache_hits += 1;
+            return Ok(plan.clone());
+        }
+        let plan = self.acc_plan(tdl, params)?;
+        self.plan_cache.insert(key, plan.clone());
+        Ok(plan)
+    }
+
+    /// `mealib_acc_execute`: flushes the cache, copies the descriptor to
+    /// the command space, and runs it through the Configuration Unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::PlanDestroyed`], driver, or CU errors.
+    pub fn acc_execute(&mut self, plan: &AccPlan) -> Result<RunReport, RuntimeError> {
+        if plan.destroyed {
+            return Err(RuntimeError::PlanDestroyed);
+        }
+        let image = plan.descriptor.as_bytes();
+        self.driver.write_descriptor(image)?;
+
+        let flush = self.cache.flush_time_for(self.driver.allocated_bytes());
+        let copy = self.cache.descriptor_copy_time(image.len());
+        let invocation_time = flush + copy;
+        let invocation_energy = self.cache.flush_energy(invocation_time);
+
+        // §3.3: data should reside in the accelerator's Local Memory
+        // Stack. If any referenced buffer lives on a remote stack, every
+        // access crosses the inter-stack links — run against the remote
+        // memory view.
+        let buffer_names: Vec<&str> = plan
+            .program
+            .items
+            .iter()
+            .flat_map(|item| match item {
+                TdlItem::Pass(p) => vec![p.input.as_str(), p.output.as_str()],
+                TdlItem::Loop(l) => l
+                    .body
+                    .iter()
+                    .flat_map(|p| [p.input.as_str(), p.output.as_str()])
+                    .collect(),
+            })
+            .collect();
+        let layer = if self.driver.all_local(buffer_names) {
+            self.layer.clone()
+        } else {
+            self.layer.with_mem(MemoryConfig::hmc_stack_remote())
+        };
+        let run = run_descriptor(&plan.descriptor, &layer, &self.cu_cost)?;
+        self.counters.executions += 1;
+        self.counters.invocations += run.invocations();
+        Ok(RunReport { invocation_time, invocation_energy, run })
+    }
+
+    /// `mealib_acc_destroy`.
+    pub fn acc_destroy(&mut self, plan: &mut AccPlan) {
+        if !plan.destroyed {
+            plan.destroyed = true;
+            self.counters.plans_destroyed += 1;
+        }
+    }
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mealib_accel::AccelParams;
+
+    fn fft_runtime_and_plan(loop_count: u64) -> (Runtime, AccPlan) {
+        let mut rt = Runtime::new();
+        rt.mem_alloc("x", Bytes::from_mib(4)).unwrap();
+        rt.mem_alloc("y", Bytes::from_mib(4)).unwrap();
+        let mut params = ParamBag::new();
+        params.insert(
+            "fft.para".into(),
+            AccelParams::Fft { n: 256, batch: 256 }.to_bytes(),
+        );
+        let tdl = format!(
+            "LOOP {loop_count} {{ PASS in=x out=y {{ COMP FFT params=\"fft.para\" }} }}"
+        );
+        let plan = rt.acc_plan(&tdl, &params).unwrap();
+        (rt, plan)
+    }
+
+    #[test]
+    fn plan_execute_destroy_lifecycle() {
+        let (mut rt, mut plan) = fft_runtime_and_plan(2);
+        let report = rt.acc_execute(&plan).unwrap();
+        assert!(report.total_time().get() > 0.0);
+        assert_eq!(rt.counters().executions, 1);
+        assert_eq!(rt.counters().invocations, 2);
+        rt.acc_destroy(&mut plan);
+        assert!(matches!(rt.acc_execute(&plan), Err(RuntimeError::PlanDestroyed)));
+        assert_eq!(rt.counters().plans_destroyed, 1);
+    }
+
+    #[test]
+    fn plans_are_reusable() {
+        let (mut rt, plan) = fft_runtime_and_plan(1);
+        let a = rt.acc_execute(&plan).unwrap();
+        let b = rt.acc_execute(&plan).unwrap();
+        assert_eq!(a.run, b.run, "same plan, same modeled cost");
+        assert_eq!(rt.counters().executions, 2);
+    }
+
+    #[test]
+    fn hardware_loop_amortizes_invocation_overhead() {
+        // One descriptor with LOOP 128 vs 128 separate executions.
+        let (mut rt_hw, plan_hw) = fft_runtime_and_plan(128);
+        let hw = rt_hw.acc_execute(&plan_hw).unwrap();
+
+        let (mut rt_sw, plan_sw) = fft_runtime_and_plan(1);
+        let one = rt_sw.acc_execute(&plan_sw).unwrap();
+        let sw_total = one.total_time() * 128.0;
+
+        assert!(
+            sw_total.get() > 3.0 * hw.total_time().get(),
+            "Fig 12b shape: software loop {} vs hardware loop {}",
+            sw_total,
+            hw.total_time()
+        );
+    }
+
+    #[test]
+    fn unknown_buffer_fails_at_plan_time() {
+        let mut rt = Runtime::new();
+        let mut params = ParamBag::new();
+        params.insert(
+            "fft.para".into(),
+            AccelParams::Fft { n: 256, batch: 1 }.to_bytes(),
+        );
+        let err = rt
+            .acc_plan("PASS in=ghost out=ghost2 { COMP FFT params=\"fft.para\" }", &params)
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::Descriptor(_)), "{err}");
+    }
+
+    #[test]
+    fn malformed_tdl_fails_at_plan_time() {
+        let mut rt = Runtime::new();
+        let err = rt.acc_plan("PASS oops", &ParamBag::new()).unwrap_err();
+        assert!(matches!(err, RuntimeError::Parse(_)), "{err}");
+    }
+
+    #[test]
+    fn overhead_fraction_is_small_for_large_work() {
+        let (mut rt, plan) = fft_runtime_and_plan(512);
+        let report = rt.acc_execute(&plan).unwrap();
+        // Fig 14: invocation overheads are a few percent when work is
+        // compacted into few descriptors.
+        assert!(
+            report.overhead_time_fraction() < 0.25,
+            "overhead fraction {:.3}",
+            report.overhead_time_fraction()
+        );
+    }
+
+    #[test]
+    fn remote_stack_buffers_slow_execution_down() {
+        let mut params = ParamBag::new();
+        params.insert(
+            "fft.para".into(),
+            AccelParams::Fft { n: 1024, batch: 16384 }.to_bytes(),
+        );
+        let tdl = "PASS in=x out=y { COMP FFT params=\"fft.para\" }";
+
+        // Local placement.
+        let mut local = Runtime::with_stack_count(2);
+        local.mem_alloc("x", Bytes::from_mib(16)).unwrap();
+        local.mem_alloc("y", Bytes::from_mib(16)).unwrap();
+        let plan = local.acc_plan(tdl, &params).unwrap();
+        let fast = local.acc_execute(&plan).unwrap();
+
+        // Same data on the remote stack.
+        let mut remote = Runtime::with_stack_count(2);
+        remote.mem_alloc_on("x", Bytes::from_mib(16), StackId(1)).unwrap();
+        remote.mem_alloc_on("y", Bytes::from_mib(16), StackId(1)).unwrap();
+        let plan = remote.acc_plan(tdl, &params).unwrap();
+        let slow = remote.acc_execute(&plan).unwrap();
+
+        assert!(
+            slow.total_time().get() > 2.0 * fast.total_time().get(),
+            "remote {} vs local {}",
+            slow.total_time(),
+            fast.total_time()
+        );
+        assert!(slow.total_energy().get() > fast.total_energy().get());
+    }
+
+    #[test]
+    fn unknown_stack_is_rejected() {
+        let mut rt = Runtime::with_stack_count(2);
+        let err = rt.mem_alloc_on("x", Bytes::from_kib(4), StackId(5)).unwrap_err();
+        assert!(matches!(err, RuntimeError::Driver(DriverError::NoSuchStack { .. })));
+    }
+
+    #[test]
+    fn stacks_allocate_independently() {
+        let mut rt = Runtime::with_stack_count(3);
+        rt.mem_alloc_on("a", Bytes::from_gib(1), StackId(0)).unwrap();
+        rt.mem_alloc_on("b", Bytes::from_gib(1), StackId(1)).unwrap();
+        rt.mem_alloc_on("c", Bytes::from_gib(1), StackId(2)).unwrap();
+        assert_eq!(rt.driver().stack_of("b"), Some(StackId(1)));
+        assert!(rt.driver().all_local(["a"]));
+        assert!(!rt.driver().all_local(["a", "b"]));
+    }
+
+    #[test]
+    fn plan_cache_reuses_identical_requests() {
+        let (mut rt, _) = fft_runtime_and_plan(1);
+        let mut params = ParamBag::new();
+        params.insert(
+            "fft.para".into(),
+            AccelParams::Fft { n: 256, batch: 256 }.to_bytes(),
+        );
+        let tdl = "PASS in=x out=y { COMP FFT params=\"fft.para\" }";
+        let a = rt.acc_plan_cached(tdl, &params).unwrap();
+        let b = rt.acc_plan_cached(tdl, &params).unwrap();
+        assert_eq!(a.id(), b.id(), "second request served from the cache");
+        assert_eq!(rt.counters().plan_cache_hits, 1);
+        // Different parameters build a fresh plan.
+        params.insert(
+            "fft.para".into(),
+            AccelParams::Fft { n: 512, batch: 256 }.to_bytes(),
+        );
+        let c = rt.acc_plan_cached(tdl, &params).unwrap();
+        assert_ne!(a.id(), c.id());
+        assert_eq!(rt.counters().plan_cache_hits, 1);
+    }
+
+    #[test]
+    fn plan_cache_invalidates_on_free() {
+        let (mut rt, _) = fft_runtime_and_plan(1);
+        let mut params = ParamBag::new();
+        params.insert(
+            "fft.para".into(),
+            AccelParams::Fft { n: 256, batch: 256 }.to_bytes(),
+        );
+        let tdl = "PASS in=x out=y { COMP FFT params=\"fft.para\" }";
+        let a = rt.acc_plan_cached(tdl, &params).unwrap();
+        rt.mem_free("x").unwrap();
+        rt.mem_alloc("x", Bytes::from_mib(4)).unwrap();
+        let b = rt.acc_plan_cached(tdl, &params).unwrap();
+        assert_ne!(a.id(), b.id(), "free must invalidate cached plans");
+    }
+
+    #[test]
+    fn mem_alloc_free_round_trip() {
+        let mut rt = Runtime::new();
+        rt.mem_alloc("a", Bytes::from_mib(1)).unwrap();
+        assert!(rt.driver().buffer("a").is_some());
+        rt.mem_free("a").unwrap();
+        assert!(rt.driver().buffer("a").is_none());
+        assert!(matches!(rt.mem_free("a"), Err(RuntimeError::Driver(_))));
+    }
+}

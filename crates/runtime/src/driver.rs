@@ -1,0 +1,496 @@
+//! The device driver facade (§3.3).
+//!
+//! "Once the device driver is installed, the command space is allocated
+//! in the physical space, and then it is mapped to the virtual space via
+//! the `mmap` system call. … The data space is also allocated/freed
+//! through the device driver." This module implements both spaces over
+//! the contiguous allocator, keeps a byte-accurate backing store so
+//! functional kernels can run on buffer contents, and tracks named
+//! buffers for TDL resolution.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use mealib_types::{AddrRange, Bytes, PhysAddr, VirtAddr};
+
+use crate::physmem::{AllocError, PhysicalSpace};
+use crate::vmap::{AddressSpaceMap, MapError};
+
+/// Identifies one memory stack in a multi-stack system (§3.3): stack 0
+/// is the accelerators' Local Memory Stack (LMS); higher ids are Remote
+/// Memory Stacks (RMS) reached over the inter-stack links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct StackId(pub usize);
+
+impl StackId {
+    /// The accelerators' local stack.
+    pub const LOCAL: StackId = StackId(0);
+
+    /// Returns `true` for the local stack.
+    pub fn is_local(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for StackId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_local() {
+            f.write_str("LMS")
+        } else {
+            write!(f, "RMS{}", self.0)
+        }
+    }
+}
+
+/// A named, mapped, physically contiguous buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferHandle {
+    /// The TDL-visible buffer name.
+    pub name: String,
+    /// Virtual base address (host view).
+    pub va: VirtAddr,
+    /// Physical range (accelerator view).
+    pub pa: AddrRange,
+    /// Which memory stack holds the buffer.
+    pub stack: StackId,
+}
+
+impl BufferHandle {
+    /// Buffer length.
+    pub fn len(&self) -> Bytes {
+        self.pa.len()
+    }
+
+    /// Returns `true` for an empty buffer (cannot happen via `alloc`).
+    pub fn is_empty(&self) -> bool {
+        self.pa.is_empty()
+    }
+}
+
+/// Driver operation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DriverError {
+    /// Underlying allocator failure.
+    Alloc(AllocError),
+    /// Underlying mapping failure.
+    Map(MapError),
+    /// A buffer name was reused while still live.
+    DuplicateName {
+        /// The conflicting name.
+        name: String,
+    },
+    /// An allocation named a stack the system does not have.
+    NoSuchStack {
+        /// The requested stack.
+        stack: StackId,
+        /// Stacks available.
+        available: usize,
+    },
+    /// A named buffer does not exist.
+    UnknownBuffer {
+        /// The missing name.
+        name: String,
+    },
+    /// A read/write fell outside the buffer.
+    OutOfBounds {
+        /// The buffer name.
+        name: String,
+        /// Requested end offset.
+        end: u64,
+        /// Buffer length.
+        len: u64,
+    },
+    /// The descriptor image exceeds the command space.
+    DescriptorTooLarge {
+        /// Image size.
+        size: Bytes,
+        /// Command space capacity.
+        capacity: Bytes,
+    },
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverError::Alloc(e) => e.fmt(f),
+            DriverError::Map(e) => e.fmt(f),
+            DriverError::DuplicateName { name } => {
+                write!(f, "buffer `{name}` already exists")
+            }
+            DriverError::NoSuchStack { stack, available } => {
+                write!(f, "no stack {stack}; system has {available} stack(s)")
+            }
+            DriverError::UnknownBuffer { name } => write!(f, "no buffer named `{name}`"),
+            DriverError::OutOfBounds { name, end, len } => {
+                write!(f, "access to `{name}` ends at {end} but buffer is {len} bytes")
+            }
+            DriverError::DescriptorTooLarge { size, capacity } => {
+                write!(f, "descriptor of {size} exceeds command space of {capacity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+impl From<AllocError> for DriverError {
+    fn from(e: AllocError) -> Self {
+        DriverError::Alloc(e)
+    }
+}
+
+impl From<MapError> for DriverError {
+    fn from(e: MapError) -> Self {
+        DriverError::Map(e)
+    }
+}
+
+/// The simulated MEALib device driver.
+#[derive(Debug, Clone)]
+pub struct MealibDriver {
+    command_space: AddrRange,
+    command_image: Vec<u8>,
+    /// One data-space allocator per memory stack; index 0 is the LMS.
+    stacks: Vec<PhysicalSpace>,
+    vmap: AddressSpaceMap,
+    store: BTreeMap<u64, Vec<u8>>,
+    buffers: BTreeMap<String, BufferHandle>,
+}
+
+impl MealibDriver {
+    /// Default allocation alignment (one small page).
+    pub const ALIGN: u64 = 4096;
+
+    /// Installs the driver over a reserved stack region: the first
+    /// `command_bytes` become the command space, the rest the data space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the command space does not fit in the region or the
+    /// base is unaligned.
+    pub fn new(region: AddrRange, command_bytes: Bytes) -> Self {
+        Self::with_stacks(vec![region], command_bytes)
+    }
+
+    /// Installs the driver over several memory stacks: stack 0 (the LMS)
+    /// carries the command space at its base; every stack gets its own
+    /// contiguous data space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no stacks are given, or the command space does not fit
+    /// in stack 0.
+    pub fn with_stacks(regions: Vec<AddrRange>, command_bytes: Bytes) -> Self {
+        assert!(!regions.is_empty(), "at least one memory stack required");
+        assert!(
+            command_bytes < regions[0].len(),
+            "command space must leave room for the data space"
+        );
+        let command_space = AddrRange::new(regions[0].start(), command_bytes);
+        let mut stacks = Vec::with_capacity(regions.len());
+        for (i, region) in regions.iter().enumerate() {
+            let data_region = if i == 0 {
+                AddrRange::new(
+                    (region.start() + command_bytes).align_up(Self::ALIGN),
+                    region.len() - command_bytes.align_up(Self::ALIGN),
+                )
+            } else {
+                *region
+            };
+            stacks.push(PhysicalSpace::new(data_region, Self::ALIGN));
+        }
+        Self {
+            command_space,
+            command_image: Vec::new(),
+            stacks,
+            vmap: AddressSpaceMap::new(),
+            store: BTreeMap::new(),
+            buffers: BTreeMap::new(),
+        }
+    }
+
+    /// Number of memory stacks.
+    pub fn stack_count(&self) -> usize {
+        self.stacks.len()
+    }
+
+    /// A driver over the default 2 GiB Local Memory Stack window with a
+    /// 1 MiB command space (the §4.2 DIMM3 set-up).
+    pub fn with_default_stack() -> Self {
+        Self::new(
+            AddrRange::new(PhysAddr::new(8 << 30), Bytes::from_gib(2)),
+            Bytes::from_mib(1),
+        )
+    }
+
+    /// The command space range.
+    pub fn command_space(&self) -> AddrRange {
+        self.command_space
+    }
+
+    /// Allocates and maps a named buffer (`mealib_mem_alloc`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::DuplicateName`] or an allocation error.
+    pub fn alloc(&mut self, name: &str, bytes: Bytes) -> Result<BufferHandle, DriverError> {
+        self.alloc_on(name, bytes, StackId::LOCAL)
+    }
+
+    /// Allocates a named buffer on an explicit stack (§3.5: "The memory
+    /// stack used for allocation can also be explicitly specified").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::NoSuchStack`], [`DriverError::DuplicateName`],
+    /// or an allocation error.
+    pub fn alloc_on(
+        &mut self,
+        name: &str,
+        bytes: Bytes,
+        stack: StackId,
+    ) -> Result<BufferHandle, DriverError> {
+        if self.buffers.contains_key(name) {
+            return Err(DriverError::DuplicateName { name: name.to_string() });
+        }
+        let available = self.stacks.len();
+        let space = self
+            .stacks
+            .get_mut(stack.0)
+            .ok_or(DriverError::NoSuchStack { stack, available })?;
+        let pa = space.alloc(bytes)?;
+        let va = self.vmap.map(pa);
+        self.store.insert(pa.start().get(), vec![0u8; pa.len().get() as usize]);
+        let handle = BufferHandle { name: name.to_string(), va, pa, stack };
+        self.buffers.insert(name.to_string(), handle.clone());
+        Ok(handle)
+    }
+
+    /// Frees a named buffer (`mealib_mem_free`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::UnknownBuffer`] if the name is not live.
+    pub fn release(&mut self, name: &str) -> Result<(), DriverError> {
+        let handle = self
+            .buffers
+            .remove(name)
+            .ok_or_else(|| DriverError::UnknownBuffer { name: name.to_string() })?;
+        self.vmap.unmap(handle.va)?;
+        self.stacks[handle.stack.0].free(handle.pa.start())?;
+        self.store.remove(&handle.pa.start().get());
+        Ok(())
+    }
+
+    /// Looks up a live buffer by name.
+    pub fn buffer(&self, name: &str) -> Option<&BufferHandle> {
+        self.buffers.get(name)
+    }
+
+    /// The name→physical-base table used to encode descriptors.
+    pub fn buffer_table(&self) -> BTreeMap<String, u64> {
+        self.buffers
+            .iter()
+            .map(|(name, h)| (name.clone(), h.pa.start().get()))
+            .collect()
+    }
+
+    /// Writes bytes into a buffer at an offset (host-side initialization,
+    /// Step 1 of Figure 7).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::UnknownBuffer`] or
+    /// [`DriverError::OutOfBounds`].
+    pub fn write(&mut self, name: &str, offset: u64, bytes: &[u8]) -> Result<(), DriverError> {
+        let handle = self
+            .buffers
+            .get(name)
+            .ok_or_else(|| DriverError::UnknownBuffer { name: name.to_string() })?;
+        let len = handle.pa.len().get();
+        let end = offset + bytes.len() as u64;
+        if end > len {
+            return Err(DriverError::OutOfBounds { name: name.to_string(), end, len });
+        }
+        let backing = self
+            .store
+            .get_mut(&handle.pa.start().get())
+            .expect("live buffer has backing store");
+        backing[offset as usize..end as usize].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Reads bytes from a buffer at an offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::UnknownBuffer`] or
+    /// [`DriverError::OutOfBounds`].
+    pub fn read(&self, name: &str, offset: u64, len: u64) -> Result<&[u8], DriverError> {
+        let handle = self
+            .buffers
+            .get(name)
+            .ok_or_else(|| DriverError::UnknownBuffer { name: name.to_string() })?;
+        let blen = handle.pa.len().get();
+        let end = offset + len;
+        if end > blen {
+            return Err(DriverError::OutOfBounds { name: name.to_string(), end, len: blen });
+        }
+        let backing = self
+            .store
+            .get(&handle.pa.start().get())
+            .expect("live buffer has backing store");
+        Ok(&backing[offset as usize..end as usize])
+    }
+
+    /// Translates a host virtual address (for code that holds raw
+    /// pointers rather than names).
+    ///
+    /// # Errors
+    ///
+    /// Returns a mapping error for unmapped addresses.
+    pub fn translate(&self, va: VirtAddr) -> Result<PhysAddr, DriverError> {
+        Ok(self.vmap.translate(va)?)
+    }
+
+    /// Stores a descriptor image into the command space (Step 2 of
+    /// Figure 7).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::DescriptorTooLarge`] if it does not fit.
+    pub fn write_descriptor(&mut self, image: &[u8]) -> Result<(), DriverError> {
+        if image.len() as u64 > self.command_space.len().get() {
+            return Err(DriverError::DescriptorTooLarge {
+                size: Bytes::new(image.len() as u64),
+                capacity: self.command_space.len(),
+            });
+        }
+        self.command_image = image.to_vec();
+        Ok(())
+    }
+
+    /// The descriptor image currently in the command space.
+    pub fn command_image(&self) -> &[u8] {
+        &self.command_image
+    }
+
+    /// Total bytes allocated across all stacks' data spaces.
+    pub fn allocated_bytes(&self) -> Bytes {
+        self.stacks.iter().map(PhysicalSpace::allocated_bytes).sum()
+    }
+
+    /// The stack a live buffer resides on.
+    pub fn stack_of(&self, name: &str) -> Option<StackId> {
+        self.buffers.get(name).map(|h| h.stack)
+    }
+
+    /// Returns `true` if every listed buffer lives on the local stack
+    /// (the condition for full-bandwidth accelerator access, §3.3).
+    pub fn all_local(&self, names: impl IntoIterator<Item = impl AsRef<str>>) -> bool {
+        names
+            .into_iter()
+            .all(|n| self.stack_of(n.as_ref()).is_some_and(StackId::is_local))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn driver() -> MealibDriver {
+        MealibDriver::new(
+            AddrRange::new(PhysAddr::new(1 << 30), Bytes::from_mib(64)),
+            Bytes::from_mib(1),
+        )
+    }
+
+    #[test]
+    fn alloc_maps_and_zeroes() {
+        let mut d = driver();
+        let h = d.alloc("datacube", Bytes::from_kib(64)).unwrap();
+        assert_eq!(h.len(), Bytes::from_kib(64));
+        assert!(!d.command_space().overlaps(&h.pa), "data space is disjoint");
+        assert_eq!(d.read("datacube", 0, 16).unwrap(), &[0u8; 16]);
+        assert_eq!(d.translate(h.va).unwrap(), h.pa.start());
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut d = driver();
+        d.alloc("buf", Bytes::from_kib(4)).unwrap();
+        d.write("buf", 100, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(d.read("buf", 100, 4).unwrap(), &[1, 2, 3, 4]);
+        assert_eq!(d.read("buf", 99, 1).unwrap(), &[0]);
+    }
+
+    #[test]
+    fn duplicate_names_rejected_until_freed() {
+        let mut d = driver();
+        d.alloc("x", Bytes::from_kib(4)).unwrap();
+        assert!(matches!(
+            d.alloc("x", Bytes::from_kib(4)),
+            Err(DriverError::DuplicateName { .. })
+        ));
+        d.release("x").unwrap();
+        assert!(d.alloc("x", Bytes::from_kib(4)).is_ok());
+    }
+
+    #[test]
+    fn release_returns_memory() {
+        let mut d = driver();
+        let before = d.allocated_bytes();
+        d.alloc("x", Bytes::from_mib(2)).unwrap();
+        assert_eq!(d.allocated_bytes(), before + Bytes::from_mib(2));
+        d.release("x").unwrap();
+        assert_eq!(d.allocated_bytes(), before);
+        assert!(d.buffer("x").is_none());
+        assert!(matches!(d.release("x"), Err(DriverError::UnknownBuffer { .. })));
+    }
+
+    #[test]
+    fn out_of_bounds_access_rejected() {
+        let mut d = driver();
+        d.alloc("x", Bytes::from_kib(4)).unwrap();
+        assert!(matches!(
+            d.write("x", 4096 - 2, &[0; 4]),
+            Err(DriverError::OutOfBounds { .. })
+        ));
+        assert!(matches!(d.read("x", 4096, 1), Err(DriverError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn buffer_table_maps_names_to_physical_bases() {
+        let mut d = driver();
+        let a = d.alloc("a", Bytes::from_kib(4)).unwrap();
+        let b = d.alloc("b", Bytes::from_kib(4)).unwrap();
+        let table = d.buffer_table();
+        assert_eq!(table["a"], a.pa.start().get());
+        assert_eq!(table["b"], b.pa.start().get());
+    }
+
+    #[test]
+    fn descriptor_write_respects_command_space() {
+        let mut d = driver();
+        d.write_descriptor(&[0xAB; 128]).unwrap();
+        assert_eq!(d.command_image().len(), 128);
+        let too_big = vec![0u8; 2 << 20];
+        assert!(matches!(
+            d.write_descriptor(&too_big),
+            Err(DriverError::DescriptorTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn allocations_are_physically_contiguous_and_disjoint() {
+        let mut d = driver();
+        let handles: Vec<BufferHandle> = (0..8)
+            .map(|i| d.alloc(&format!("b{i}"), Bytes::from_kib(100)).unwrap())
+            .collect();
+        for (i, a) in handles.iter().enumerate() {
+            for b in handles.iter().skip(i + 1) {
+                assert!(!a.pa.overlaps(&b.pa), "{} overlaps {}", a.name, b.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! First-fit physically contiguous allocator.
+//!
+//! Manages the reserved region of the Local Memory Stack. Every
+//! allocation is contiguous by construction (the accelerators' hard
+//! requirement) and aligned; frees coalesce with free neighbours.
+
+use core::fmt;
+
+use mealib_types::{AddrRange, Bytes, PhysAddr};
+
+/// Allocation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocError {
+    /// No free block large enough.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: Bytes,
+        /// Largest free block currently available.
+        largest_free: Bytes,
+    },
+    /// Zero-byte allocation requested.
+    ZeroSize,
+    /// The freed address does not match a live allocation.
+    BadFree {
+        /// The offending address.
+        addr: PhysAddr,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::OutOfMemory { requested, largest_free } => write!(
+                f,
+                "out of contiguous memory: requested {requested}, largest free block {largest_free}"
+            ),
+            AllocError::ZeroSize => f.write_str("zero-byte allocation"),
+            AllocError::BadFree { addr } => write!(f, "free of unallocated address {addr}"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// A first-fit allocator over one contiguous physical region.
+#[derive(Debug, Clone)]
+pub struct PhysicalSpace {
+    region: AddrRange,
+    align: u64,
+    /// Sorted, disjoint free blocks.
+    free: Vec<AddrRange>,
+    /// Live allocations (sorted by start).
+    live: Vec<AddrRange>,
+}
+
+impl PhysicalSpace {
+    /// Creates an allocator over `region` with every allocation aligned
+    /// to `align` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two or the region base is not
+    /// aligned.
+    pub fn new(region: AddrRange, align: u64) -> Self {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        assert!(
+            region.start().is_aligned(align),
+            "region base must be aligned to the allocation alignment"
+        );
+        Self { region, align, free: vec![region], live: Vec::new() }
+    }
+
+    /// The managed region.
+    pub fn region(&self) -> AddrRange {
+        self.region
+    }
+
+    /// Total bytes currently allocated.
+    pub fn allocated_bytes(&self) -> Bytes {
+        self.live.iter().map(|r| r.len()).sum()
+    }
+
+    /// Total free bytes (may be fragmented).
+    pub fn free_bytes(&self) -> Bytes {
+        self.free.iter().map(|r| r.len()).sum()
+    }
+
+    /// Size of the largest free block.
+    pub fn largest_free_block(&self) -> Bytes {
+        self.free.iter().map(|r| r.len()).max().unwrap_or(Bytes::ZERO)
+    }
+
+    /// Number of live allocations.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Allocates `bytes` of physically contiguous memory (first fit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::ZeroSize`] or [`AllocError::OutOfMemory`].
+    pub fn alloc(&mut self, bytes: Bytes) -> Result<AddrRange, AllocError> {
+        if bytes == Bytes::ZERO {
+            return Err(AllocError::ZeroSize);
+        }
+        let need = bytes.align_up(self.align);
+        let slot = self
+            .free
+            .iter()
+            .position(|r| r.len() >= need)
+            .ok_or(AllocError::OutOfMemory {
+                requested: need,
+                largest_free: self.largest_free_block(),
+            })?;
+        let block = self.free[slot];
+        let taken = AddrRange::new(block.start(), need);
+        if block.len() == need {
+            self.free.remove(slot);
+        } else {
+            self.free[slot] = AddrRange::new(block.start() + need, block.len() - need);
+        }
+        let pos = self
+            .live
+            .binary_search_by_key(&taken.start(), |r| r.start())
+            .expect_err("allocation cannot collide with a live block");
+        self.live.insert(pos, taken);
+        Ok(taken)
+    }
+
+    /// Frees an allocation by its base address, coalescing neighbours.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::BadFree`] if `addr` is not the base of a
+    /// live allocation.
+    pub fn free(&mut self, addr: PhysAddr) -> Result<(), AllocError> {
+        let pos = self
+            .live
+            .binary_search_by_key(&addr, |r| r.start())
+            .map_err(|_| AllocError::BadFree { addr })?;
+        let freed = self.live.remove(pos);
+        // Insert into the sorted free list and coalesce.
+        let ins = self
+            .free
+            .binary_search_by_key(&freed.start(), |r| r.start())
+            .expect_err("freed block cannot collide with a free block");
+        self.free.insert(ins, freed);
+        self.coalesce_around(ins);
+        Ok(())
+    }
+
+    /// Looks up the live allocation containing `addr`, if any.
+    pub fn find(&self, addr: PhysAddr) -> Option<AddrRange> {
+        self.live.iter().copied().find(|r| r.contains(addr))
+    }
+
+    fn coalesce_around(&mut self, idx: usize) {
+        // Merge with successor first, then predecessor.
+        if idx + 1 < self.free.len() && self.free[idx].end() == self.free[idx + 1].start() {
+            let merged = AddrRange::new(
+                self.free[idx].start(),
+                self.free[idx].len() + self.free[idx + 1].len(),
+            );
+            self.free[idx] = merged;
+            self.free.remove(idx + 1);
+        }
+        if idx > 0 && self.free[idx - 1].end() == self.free[idx].start() {
+            let merged = AddrRange::new(
+                self.free[idx - 1].start(),
+                self.free[idx - 1].len() + self.free[idx].len(),
+            );
+            self.free[idx - 1] = merged;
+            self.free.remove(idx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space(mib: u64) -> PhysicalSpace {
+        PhysicalSpace::new(
+            AddrRange::new(PhysAddr::new(0x1000_0000), Bytes::from_mib(mib)),
+            4096,
+        )
+    }
+
+    #[test]
+    fn allocations_are_aligned_and_disjoint() {
+        let mut s = space(16);
+        let a = s.alloc(Bytes::new(100)).unwrap();
+        let b = s.alloc(Bytes::new(5000)).unwrap();
+        assert!(a.start().is_aligned(4096));
+        assert!(b.start().is_aligned(4096));
+        assert!(!a.overlaps(&b));
+        assert_eq!(a.len(), Bytes::new(4096));
+        assert_eq!(b.len(), Bytes::new(8192));
+        assert_eq!(s.live_count(), 2);
+    }
+
+    #[test]
+    fn free_coalesces_and_allows_reuse() {
+        let mut s = space(1);
+        let total = s.free_bytes();
+        let a = s.alloc(Bytes::from_kib(256)).unwrap();
+        let b = s.alloc(Bytes::from_kib(256)).unwrap();
+        let c = s.alloc(Bytes::from_kib(256)).unwrap();
+        s.free(b.start()).unwrap();
+        s.free(a.start()).unwrap();
+        s.free(c.start()).unwrap();
+        assert_eq!(s.free_bytes(), total);
+        assert_eq!(s.largest_free_block(), total, "blocks must coalesce fully");
+        // The whole region is allocatable again.
+        let big = s.alloc(total).unwrap();
+        assert_eq!(big.len(), total);
+    }
+
+    #[test]
+    fn first_fit_reuses_freed_hole() {
+        let mut s = space(1);
+        let a = s.alloc(Bytes::from_kib(64)).unwrap();
+        let _b = s.alloc(Bytes::from_kib(64)).unwrap();
+        s.free(a.start()).unwrap();
+        let c = s.alloc(Bytes::from_kib(32)).unwrap();
+        assert_eq!(c.start(), a.start(), "first fit must take the earliest hole");
+    }
+
+    #[test]
+    fn out_of_memory_reports_largest_block() {
+        let mut s = space(1);
+        let err = s.alloc(Bytes::from_mib(2)).unwrap_err();
+        match err {
+            AllocError::OutOfMemory { largest_free, .. } => {
+                assert_eq!(largest_free, Bytes::from_mib(1));
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn fragmentation_can_fail_despite_total_space() {
+        let mut s = space(1);
+        let a = s.alloc(Bytes::from_kib(256)).unwrap();
+        let _b = s.alloc(Bytes::from_kib(256)).unwrap();
+        let c = s.alloc(Bytes::from_kib(256)).unwrap();
+        let _d = s.alloc(Bytes::from_kib(256)).unwrap();
+        s.free(a.start()).unwrap();
+        s.free(c.start()).unwrap();
+        // 512 KiB free but fragmented into two 256 KiB holes.
+        assert_eq!(s.free_bytes(), Bytes::from_kib(512));
+        assert!(s.alloc(Bytes::from_kib(512)).is_err());
+    }
+
+    #[test]
+    fn bad_frees_are_rejected() {
+        let mut s = space(1);
+        let a = s.alloc(Bytes::from_kib(4)).unwrap();
+        // Not a base address.
+        assert!(matches!(
+            s.free(a.start() + Bytes::new(4096).align_up(1)),
+            Err(AllocError::BadFree { .. })
+        ));
+        // Double free.
+        s.free(a.start()).unwrap();
+        assert!(matches!(s.free(a.start()), Err(AllocError::BadFree { .. })));
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let mut s = space(1);
+        assert_eq!(s.alloc(Bytes::ZERO), Err(AllocError::ZeroSize));
+    }
+
+    #[test]
+    fn find_locates_containing_allocation() {
+        let mut s = space(1);
+        let a = s.alloc(Bytes::from_kib(8)).unwrap();
+        assert_eq!(s.find(a.start() + Bytes::new(100)), Some(a));
+        assert_eq!(s.find(a.end()), None);
+    }
+}

@@ -1,0 +1,204 @@
+//! Virtual↔physical mapping: the device driver's customized `mmap`.
+//!
+//! "The memory region can be either accessed by the accelerators via
+//! physical addressing or by the processor via virtual addressing"
+//! (§3.3). Each allocated physical range is mapped at a fresh virtual
+//! address; translation is exact and bidirectional within mapped ranges.
+
+use core::fmt;
+
+use mealib_types::{AddrRange, Bytes, PhysAddr, VirtAddr};
+
+/// Translation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// The virtual address is not mapped.
+    NotMapped {
+        /// The unmapped address.
+        va: VirtAddr,
+    },
+    /// The physical address belongs to no mapping.
+    NoReverseMapping {
+        /// The unmapped address.
+        pa: PhysAddr,
+    },
+    /// Unmap of an address that is not a mapping base.
+    BadUnmap {
+        /// The offending address.
+        va: VirtAddr,
+    },
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::NotMapped { va } => write!(f, "virtual address {va} is not mapped"),
+            MapError::NoReverseMapping { pa } => {
+                write!(f, "physical address {pa} belongs to no mapping")
+            }
+            MapError::BadUnmap { va } => write!(f, "{va} is not the base of a mapping"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Mapping {
+    va: VirtAddr,
+    pa: AddrRange,
+}
+
+/// The process's view of the reserved region: a bump-allocated virtual
+/// window with exact per-range translations.
+#[derive(Debug, Clone)]
+pub struct AddressSpaceMap {
+    next_va: VirtAddr,
+    maps: Vec<Mapping>,
+}
+
+impl AddressSpaceMap {
+    /// Conventional base of the mapped window (an arbitrary userspace
+    /// address well away from zero).
+    pub const DEFAULT_BASE: VirtAddr = VirtAddr::new(0x7f00_0000_0000);
+
+    /// Creates an empty map starting at [`Self::DEFAULT_BASE`].
+    pub fn new() -> Self {
+        Self { next_va: Self::DEFAULT_BASE, maps: Vec::new() }
+    }
+
+    /// Maps a physical range at a fresh virtual address, returning the
+    /// virtual base.
+    pub fn map(&mut self, pa: AddrRange) -> VirtAddr {
+        let va = self.next_va;
+        // Keep a guard page between mappings so off-by-one accesses fault.
+        self.next_va = (va + pa.len() + Bytes::new(4096)).align_up(4096);
+        self.maps.push(Mapping { va, pa });
+        va
+    }
+
+    /// Removes the mapping based at `va`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::BadUnmap`] if `va` is not a mapping base.
+    pub fn unmap(&mut self, va: VirtAddr) -> Result<(), MapError> {
+        let pos = self
+            .maps
+            .iter()
+            .position(|m| m.va == va)
+            .ok_or(MapError::BadUnmap { va })?;
+        self.maps.remove(pos);
+        Ok(())
+    }
+
+    /// Translates a virtual address to its physical address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::NotMapped`] for unmapped addresses.
+    pub fn translate(&self, va: VirtAddr) -> Result<PhysAddr, MapError> {
+        for m in &self.maps {
+            let end = m.va + m.pa.len();
+            if va >= m.va && va < end {
+                return Ok(m.pa.start() + va.offset_from(m.va));
+            }
+        }
+        Err(MapError::NotMapped { va })
+    }
+
+    /// Reverse-translates a physical address into the virtual space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::NoReverseMapping`] for unmapped addresses.
+    pub fn reverse(&self, pa: PhysAddr) -> Result<VirtAddr, MapError> {
+        for m in &self.maps {
+            if m.pa.contains(pa) {
+                return Ok(m.va + pa.offset_from(m.pa.start()));
+            }
+        }
+        Err(MapError::NoReverseMapping { pa })
+    }
+
+    /// Number of live mappings.
+    pub fn len(&self) -> usize {
+        self.maps.len()
+    }
+
+    /// Returns `true` when nothing is mapped.
+    pub fn is_empty(&self) -> bool {
+        self.maps.is_empty()
+    }
+}
+
+impl Default for AddressSpaceMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn range(base: u64, len: u64) -> AddrRange {
+        AddrRange::new(PhysAddr::new(base), Bytes::new(len))
+    }
+
+    #[test]
+    fn translation_round_trips() {
+        let mut m = AddressSpaceMap::new();
+        let pa = range(0x10_0000, 8192);
+        let va = m.map(pa);
+        let probe = va + Bytes::new(1234);
+        let got_pa = m.translate(probe).unwrap();
+        assert_eq!(got_pa, PhysAddr::new(0x10_0000 + 1234));
+        assert_eq!(m.reverse(got_pa).unwrap(), probe);
+    }
+
+    #[test]
+    fn mappings_do_not_overlap_virtually() {
+        let mut m = AddressSpaceMap::new();
+        let va1 = m.map(range(0x10_0000, 4096));
+        let va2 = m.map(range(0x20_0000, 4096));
+        assert!(va2.get() >= va1.get() + 4096 + 4096, "guard page expected");
+    }
+
+    #[test]
+    fn end_of_mapping_is_exclusive() {
+        let mut m = AddressSpaceMap::new();
+        let va = m.map(range(0x10_0000, 4096));
+        assert!(m.translate(va + Bytes::new(4095)).is_ok());
+        assert!(m.translate(va + Bytes::new(4096)).is_err());
+    }
+
+    #[test]
+    fn unmap_removes_translation() {
+        let mut m = AddressSpaceMap::new();
+        let va = m.map(range(0x10_0000, 4096));
+        assert_eq!(m.len(), 1);
+        m.unmap(va).unwrap();
+        assert!(m.is_empty());
+        assert!(matches!(m.translate(va), Err(MapError::NotMapped { .. })));
+        assert!(matches!(m.unmap(va), Err(MapError::BadUnmap { .. })));
+    }
+
+    #[test]
+    fn reverse_of_unmapped_physical_fails() {
+        let m = AddressSpaceMap::new();
+        assert!(matches!(
+            m.reverse(PhysAddr::new(0xdead_0000)),
+            Err(MapError::NoReverseMapping { .. })
+        ));
+    }
+
+    #[test]
+    fn distinct_physical_ranges_keep_distinct_views() {
+        let mut m = AddressSpaceMap::new();
+        let va1 = m.map(range(0x10_0000, 4096));
+        let va2 = m.map(range(0x10_0000, 4096)); // aliasing the same PA is allowed
+        assert_ne!(va1, va2);
+        assert_eq!(m.translate(va1).unwrap(), m.translate(va2).unwrap());
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the physical allocator and address-space map.
+
+use mealib_runtime::{AddressSpaceMap, PhysicalSpace};
+use mealib_types::{AddrRange, Bytes, PhysAddr};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Action {
+    Alloc(u64),
+    FreeIdx(usize),
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (1u64..512 * 1024).prop_map(Action::Alloc),
+        (0usize..64).prop_map(Action::FreeIdx),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Under any alloc/free interleaving: live allocations never overlap,
+    /// accounting stays exact, and a drained allocator is fully coalesced.
+    #[test]
+    fn allocator_invariants(actions in proptest::collection::vec(action_strategy(), 0..60)) {
+        let region = AddrRange::new(PhysAddr::new(0x4000_0000), Bytes::from_mib(8));
+        let mut space = PhysicalSpace::new(region, 4096);
+        let total = space.free_bytes();
+        let mut live: Vec<AddrRange> = Vec::new();
+
+        for action in actions {
+            match action {
+                Action::Alloc(bytes) => {
+                    if let Ok(r) = space.alloc(Bytes::new(bytes)) {
+                        // Inside the region and aligned.
+                        prop_assert!(region.contains_range(&r));
+                        prop_assert!(r.start().is_aligned(4096));
+                        // Disjoint from every live allocation.
+                        for other in &live {
+                            prop_assert!(!r.overlaps(other), "{r} overlaps {other}");
+                        }
+                        live.push(r);
+                    }
+                }
+                Action::FreeIdx(i) => {
+                    if !live.is_empty() {
+                        let r = live.swap_remove(i % live.len());
+                        prop_assert!(space.free(r.start()).is_ok());
+                    }
+                }
+            }
+            // Conservation: free + allocated == total.
+            prop_assert_eq!(space.free_bytes() + space.allocated_bytes(), total);
+            prop_assert_eq!(space.live_count(), live.len());
+        }
+
+        // Drain and verify full coalescing.
+        for r in live {
+            prop_assert!(space.free(r.start()).is_ok());
+        }
+        prop_assert_eq!(space.free_bytes(), total);
+        prop_assert_eq!(space.largest_free_block(), total);
+    }
+
+    /// Every mapped byte translates forward and backward consistently.
+    #[test]
+    fn vmap_round_trips(lens in proptest::collection::vec(1u64..65536, 1..10)) {
+        let mut map = AddressSpaceMap::new();
+        let mut pa_base = 0x1_0000_0000u64;
+        let mut pairs = Vec::new();
+        for len in lens {
+            let pa = AddrRange::new(PhysAddr::new(pa_base), Bytes::new(len));
+            pa_base += len + 0x10000;
+            let va = map.map(pa);
+            pairs.push((va, pa));
+        }
+        for (va, pa) in pairs {
+            // Probe the first, middle, and last byte.
+            for off in [0, pa.len().get() / 2, pa.len().get() - 1] {
+                let v = va + Bytes::new(off);
+                let p = map.translate(v).unwrap();
+                prop_assert_eq!(p, pa.start() + Bytes::new(off));
+                prop_assert_eq!(map.reverse(p).unwrap(), v);
+            }
+            // One past the end is unmapped (guard page).
+            prop_assert!(map.translate(va + pa.len()).is_err());
+        }
+    }
+}

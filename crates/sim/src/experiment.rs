@@ -1,0 +1,271 @@
+//! The Figure 9/10 cross-platform comparison.
+//!
+//! For each Table 1 operation on its Table 2 dataset, run the same
+//! "library call" on all five platforms — Haswell (MKL), Xeon Phi (MKL),
+//! PSAS, MSAS, MEALib — and report performance and energy efficiency
+//! normalized to Haswell, exactly as the paper's figures do.
+
+use mealib_accel::AccelParams;
+use mealib_host::{run_op, CodeFlavor, Platform};
+use mealib_types::{Joules, Seconds, Watts};
+
+use crate::platforms::AcceleratedPlatform;
+
+/// One platform's result for one operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformResult {
+    /// Platform name.
+    pub name: String,
+    /// Execution time.
+    pub time: Seconds,
+    /// Energy consumed.
+    pub energy: Joules,
+    /// FLOPs (zero for RESHP).
+    pub flops: u64,
+    /// Bytes moved (the RESHP throughput basis).
+    pub bytes: u64,
+}
+
+impl PlatformResult {
+    /// Throughput metric: GFLOPS, or GB/s for FLOP-free operations
+    /// (the paper's footnote 3).
+    pub fn throughput(&self) -> f64 {
+        if self.flops > 0 {
+            self.flops as f64 / self.time.get() * 1e-9
+        } else {
+            self.bytes as f64 / self.time.get() * 1e-9
+        }
+    }
+
+    /// Average power.
+    pub fn power(&self) -> Watts {
+        self.energy.over(self.time)
+    }
+
+    /// Energy-efficiency metric: GFLOPS/W (or GB/s/W for RESHP).
+    pub fn efficiency(&self) -> f64 {
+        let p = self.power().get();
+        if p > 0.0 {
+            self.throughput() / p
+        } else {
+            0.0
+        }
+    }
+}
+
+/// All five platforms' results for one operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpComparison {
+    /// The operation and its dataset.
+    pub op: AccelParams,
+    /// Results in platform order: Haswell, Xeon Phi, PSAS, MSAS, MEALib.
+    pub rows: Vec<PlatformResult>,
+}
+
+impl OpComparison {
+    /// The Haswell baseline row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the comparison is empty (cannot happen via
+    /// [`compare_platforms`]).
+    pub fn baseline(&self) -> &PlatformResult {
+        &self.rows[0]
+    }
+
+    /// Performance of each platform normalized to Haswell (Figure 9's
+    /// y-axis).
+    pub fn speedups(&self) -> Vec<(String, f64)> {
+        let base = self.baseline().throughput();
+        self.rows
+            .iter()
+            .map(|r| (r.name.clone(), r.throughput() / base))
+            .collect()
+    }
+
+    /// Energy efficiency normalized to Haswell (Figure 10's y-axis).
+    pub fn efficiency_gains(&self) -> Vec<(String, f64)> {
+        let base = self.baseline().efficiency();
+        self.rows
+            .iter()
+            .map(|r| (r.name.clone(), r.efficiency() / base))
+            .collect()
+    }
+
+    /// The MEALib row's speedup over Haswell.
+    pub fn mealib_speedup(&self) -> f64 {
+        self.speedups().last().expect("five rows").1
+    }
+
+    /// The MEALib row's efficiency gain over Haswell.
+    pub fn mealib_efficiency_gain(&self) -> f64 {
+        self.efficiency_gains().last().expect("five rows").1
+    }
+}
+
+/// Runs `op` on all five platforms.
+pub fn compare_platforms(op: &AccelParams) -> OpComparison {
+    let mut rows = Vec::with_capacity(5);
+    for platform in [Platform::haswell(), Platform::xeon_phi()] {
+        let r = run_op(&platform, op, CodeFlavor::Library);
+        rows.push(PlatformResult {
+            name: platform.name.clone(),
+            time: r.time,
+            energy: r.energy,
+            flops: r.flops,
+            bytes: r.bytes,
+        });
+    }
+    for accel in [
+        AcceleratedPlatform::psas(),
+        AcceleratedPlatform::msas(),
+        AcceleratedPlatform::mealib(),
+    ] {
+        let r = accel.run(op);
+        rows.push(PlatformResult {
+            name: accel.name.clone(),
+            time: r.time,
+            energy: r.energy,
+            flops: r.flops,
+            bytes: r.mem.bytes_moved().get(),
+        });
+    }
+    OpComparison { op: *op, rows }
+}
+
+/// The Table 2 datasets, one per accelerated operation.
+pub fn table2_workloads() -> Vec<AccelParams> {
+    vec![
+        // 256M-element vectors (1 GB).
+        AccelParams::Axpy { n: 256 << 20, alpha: 2.0, incx: 1, incy: 1 },
+        AccelParams::Dot { n: 256 << 20, incx: 1, incy: 1, complex: false },
+        // 16384 x 16384 matrix (1 GB).
+        AccelParams::Gemv { m: 16384, n: 16384 },
+        // rgg_n_2_20-class sparse matrix.
+        AccelParams::Spmv { rows: 1 << 20, cols: 1 << 20, nnz: 13 * (1 << 20) },
+        // 16384 resampling blocks.
+        AccelParams::Resmp { blocks: 16384, in_per_block: 8192, out_per_block: 8192 },
+        // 8192 x 8192 complex FFT batch (512 MB).
+        AccelParams::Fft { n: 8192, batch: 8192 },
+        // 16384 x 16384 transpose (1 GB).
+        AccelParams::Reshp { rows: 16384, cols: 16384, elem_bytes: 4 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mealib_types::stats::geometric_mean;
+
+    #[test]
+    fn mealib_wins_every_operation() {
+        for op in table2_workloads() {
+            let cmp = compare_platforms(&op);
+            let speedups = cmp.speedups();
+            let mealib = cmp.mealib_speedup();
+            for (name, s) in &speedups {
+                assert!(
+                    mealib >= *s,
+                    "{:?}: MEALib ({mealib:.1}x) must win, {name} has {s:.1}x",
+                    op.kind()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig9_shape_reshp_max_spmv_min() {
+        let results: Vec<(mealib_tdl::AcceleratorKind, f64)> = table2_workloads()
+            .iter()
+            .map(|op| (op.kind(), compare_platforms(op).mealib_speedup()))
+            .collect();
+        let reshp = results
+            .iter()
+            .find(|(k, _)| *k == mealib_tdl::AcceleratorKind::Reshp)
+            .expect("reshp present")
+            .1;
+        let spmv = results
+            .iter()
+            .find(|(k, _)| *k == mealib_tdl::AcceleratorKind::Spmv)
+            .expect("spmv present")
+            .1;
+        for (kind, s) in &results {
+            assert!(*s <= reshp * 1.01, "{kind}: {s:.1}x exceeds RESHP {reshp:.1}x");
+            assert!(*s >= spmv * 0.6, "{kind}: {s:.1}x far below SPMV {spmv:.1}x");
+        }
+        // Paper: 11x (SPMV) to 88x (RESHP).
+        assert!((4.0..30.0).contains(&spmv), "SPMV gain {spmv:.1}x");
+        assert!((40.0..160.0).contains(&reshp), "RESHP gain {reshp:.1}x");
+    }
+
+    #[test]
+    fn fig9_average_speedup_matches_scale() {
+        let speedups: Vec<f64> = table2_workloads()
+            .iter()
+            .map(|op| compare_platforms(op).mealib_speedup())
+            .collect();
+        let avg = geometric_mean(&speedups).expect("positive speedups");
+        // Paper: 38x average.
+        assert!((15.0..80.0).contains(&avg), "average MEALib speedup {avg:.1}x");
+    }
+
+    #[test]
+    fn fig10_energy_gains_exceed_performance_gains() {
+        // The paper's central energy story: efficiency gains (75x avg)
+        // are larger than performance gains (38x avg).
+        let mut perf = Vec::new();
+        let mut eff = Vec::new();
+        for op in table2_workloads() {
+            let cmp = compare_platforms(&op);
+            perf.push(cmp.mealib_speedup());
+            eff.push(cmp.mealib_efficiency_gain());
+        }
+        let avg_perf = geometric_mean(&perf).expect("positive");
+        let avg_eff = geometric_mean(&eff).expect("positive");
+        assert!(
+            avg_eff > avg_perf,
+            "energy gain {avg_eff:.1}x must exceed perf gain {avg_perf:.1}x"
+        );
+        assert!((30.0..160.0).contains(&avg_eff), "average EE gain {avg_eff:.1}x");
+    }
+
+    #[test]
+    fn baselines_normalize_to_one() {
+        for op in table2_workloads() {
+            let cmp = compare_platforms(&op);
+            let s = cmp.speedups();
+            let e = cmp.efficiency_gains();
+            assert!((s[0].1 - 1.0).abs() < 1e-12, "{:?}", op.kind());
+            assert!((e[0].1 - 1.0).abs() < 1e-12, "{:?}", op.kind());
+            assert_eq!(s.len(), 5);
+            assert!(s[0].0.contains("Haswell"));
+            assert_eq!(s[4].0, "MEALib");
+        }
+    }
+
+    #[test]
+    fn throughput_metric_switches_for_flop_free_ops() {
+        let reshp = table2_workloads()
+            .into_iter()
+            .find(|op| op.kind() == mealib_tdl::AcceleratorKind::Reshp)
+            .expect("reshp present");
+        let cmp = compare_platforms(&reshp);
+        for row in &cmp.rows {
+            assert_eq!(row.flops, 0, "{}: transpose has no FLOPs", row.name);
+            assert!(row.throughput() > 0.0, "{}: GB/s metric must be used", row.name);
+        }
+    }
+
+    #[test]
+    fn intermediate_platforms_order_between_haswell_and_mealib() {
+        // PSAS < MSAS < MEALib on the streaming workloads (avg 2.51x,
+        // 10.32x, 38x in the paper).
+        let op = AccelParams::Gemv { m: 16384, n: 16384 };
+        let cmp = compare_platforms(&op);
+        let s = cmp.speedups();
+        let find = |name: &str| s.iter().find(|(n, _)| n == name).expect("present").1;
+        assert!(find("PSAS") > 1.0);
+        assert!(find("MSAS") > find("PSAS"));
+        assert!(find("MEALib") > find("MSAS"));
+    }
+}

@@ -1,0 +1,18 @@
+//! System-level evaluation orchestrator.
+//!
+//! Reproduces the hybrid methodology of §4: host platforms are priced by
+//! the roofline models of `mealib-host`, accelerated platforms (PSAS,
+//! MSAS, MEALib) by the accelerator-layer models of `mealib-accel` over
+//! the appropriate memory substrate, and this crate combines them into
+//! the cross-platform comparisons behind Figures 9 and 10.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod platforms;
+pub mod report;
+
+pub use experiment::{compare_platforms, OpComparison, PlatformResult};
+pub use platforms::AcceleratedPlatform;
+pub use report::TextTable;

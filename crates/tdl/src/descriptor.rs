@@ -1,0 +1,498 @@
+//! The binary accelerator descriptor (§2.3).
+//!
+//! The descriptor is a physically contiguous memory image with three
+//! regions:
+//!
+//! * **Control Region (CR)** — magic, control command (`START`), and the
+//!   instruction count;
+//! * **Instruction Region (IR)** — fixed 16-byte instructions: either an
+//!   accelerator invocation (opcode + parameter size + parameter address)
+//!   or a control instruction (`PASS_BEGIN`/`PASS_END`,
+//!   `LOOP_BEGIN`/`LOOP_END`);
+//! * **Parameter Region (PR)** — the concatenated parameter files
+//!   referenced by accelerator instructions.
+//!
+//! The runtime resolves TDL buffer names to physical addresses before
+//! encoding, so the binary image carries addresses (what the hardware
+//! DMA needs), while the TDL text carries names (what the compiler
+//! emits).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::ast::{AcceleratorKind, TdlItem, TdlProgram};
+
+/// Named parameter blobs referenced by `COMP params="…"` clauses.
+pub type ParamBag = BTreeMap<String, Vec<u8>>;
+
+const MAGIC: u32 = 0x4D45_414C; // "MEAL"
+const CMD_START: u32 = 1;
+const CR_BYTES: usize = 16;
+const INSTR_BYTES: usize = 16;
+
+const OP_PASS_BEGIN: u8 = 0x10;
+const OP_PASS_END: u8 = 0x11;
+const OP_LOOP_BEGIN: u8 = 0x12;
+const OP_LOOP_END: u8 = 0x13;
+
+/// Errors produced while encoding or decoding a descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DescriptorError {
+    /// A `COMP` referenced a parameter file absent from the bag.
+    MissingParamFile {
+        /// The missing file name.
+        name: String,
+    },
+    /// A TDL buffer name had no physical address in the resolver map.
+    UnresolvedBuffer {
+        /// The unresolved buffer name.
+        name: String,
+    },
+    /// The binary image is shorter than its headers claim.
+    Truncated,
+    /// The control region magic is wrong.
+    BadMagic,
+    /// An instruction has an opcode outside the ISA.
+    UnknownOpcode {
+        /// The unknown opcode byte.
+        opcode: u8,
+    },
+    /// `PASS`/`LOOP` begin/end markers are not properly nested.
+    UnbalancedBlocks,
+}
+
+impl fmt::Display for DescriptorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DescriptorError::MissingParamFile { name } => {
+                write!(f, "parameter file `{name}` not provided")
+            }
+            DescriptorError::UnresolvedBuffer { name } => {
+                write!(f, "buffer `{name}` has no physical address")
+            }
+            DescriptorError::Truncated => f.write_str("descriptor image is truncated"),
+            DescriptorError::BadMagic => f.write_str("descriptor magic mismatch"),
+            DescriptorError::UnknownOpcode { opcode } => {
+                write!(f, "unknown instruction opcode {opcode:#04x}")
+            }
+            DescriptorError::UnbalancedBlocks => {
+                f.write_str("pass/loop markers are unbalanced")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DescriptorError {}
+
+/// A decoded IR instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodedInstr {
+    /// Begin a pass reading from the given physical input address;
+    /// `comps` accelerator instructions follow.
+    PassBegin {
+        /// Number of chained accelerator invocations in the pass.
+        comps: u32,
+        /// Physical address of the pass input buffer.
+        input_addr: u64,
+    },
+    /// End the current pass, storing to the given physical address.
+    PassEnd {
+        /// Physical address of the pass output buffer.
+        output_addr: u64,
+    },
+    /// Begin a loop of `count` iterations.
+    LoopBegin {
+        /// Iteration count.
+        count: u64,
+    },
+    /// End the innermost loop.
+    LoopEnd,
+    /// Invoke one accelerator with parameters at `param_addr` (offset
+    /// into the PR) of `param_size` bytes.
+    Accel {
+        /// Which accelerator.
+        kind: AcceleratorKind,
+        /// Parameter blob length.
+        param_size: u32,
+        /// Parameter blob offset within the PR.
+        param_addr: u64,
+    },
+}
+
+/// An encoded accelerator descriptor: the byte image the host writes to
+/// the command space, plus decode helpers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Descriptor {
+    bytes: Vec<u8>,
+}
+
+impl Descriptor {
+    /// Encodes `program` with parameter blobs from `params` and buffer
+    /// addresses from `buffers`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DescriptorError::MissingParamFile`] or
+    /// [`DescriptorError::UnresolvedBuffer`] when a reference cannot be
+    /// satisfied.
+    pub fn encode(
+        program: &TdlProgram,
+        params: &ParamBag,
+        buffers: &BTreeMap<String, u64>,
+    ) -> Result<Self, DescriptorError> {
+        // Lay out the PR first so accelerator instructions can point at it.
+        let mut pr: Vec<u8> = Vec::new();
+        let mut offsets: BTreeMap<&str, (u64, u32)> = BTreeMap::new();
+        for name in program.param_files() {
+            let blob = params
+                .get(name)
+                .ok_or_else(|| DescriptorError::MissingParamFile { name: name.to_string() })?;
+            let off = pr.len() as u64;
+            pr.extend_from_slice(blob);
+            while !pr.len().is_multiple_of(8) {
+                pr.push(0);
+            }
+            offsets.insert(name, (off, blob.len() as u32));
+        }
+
+        let resolve = |name: &str| -> Result<u64, DescriptorError> {
+            buffers
+                .get(name)
+                .copied()
+                .ok_or_else(|| DescriptorError::UnresolvedBuffer { name: name.to_string() })
+        };
+
+        let mut ir: Vec<u8> = Vec::new();
+        let mut emit = |opcode: u8, a: u32, b: u64| {
+            ir.push(opcode);
+            ir.extend_from_slice(&[0u8; 3]);
+            ir.extend_from_slice(&a.to_le_bytes());
+            ir.extend_from_slice(&b.to_le_bytes());
+        };
+
+        let encode_pass = |pass: &crate::ast::PassBlock,
+                               emit: &mut dyn FnMut(u8, u32, u64)|
+         -> Result<(), DescriptorError> {
+            emit(OP_PASS_BEGIN, pass.comps.len() as u32, resolve(&pass.input)?);
+            for comp in &pass.comps {
+                let (off, size) = offsets[comp.params.as_str()];
+                emit(comp.accel.opcode(), size, off);
+            }
+            emit(OP_PASS_END, 0, resolve(&pass.output)?);
+            Ok(())
+        };
+
+        for item in &program.items {
+            match item {
+                TdlItem::Pass(p) => encode_pass(p, &mut emit)?,
+                TdlItem::Loop(l) => {
+                    emit(OP_LOOP_BEGIN, 0, l.count);
+                    for p in &l.body {
+                        encode_pass(p, &mut emit)?;
+                    }
+                    emit(OP_LOOP_END, 0, 0);
+                }
+            }
+        }
+
+        let instr_count = (ir.len() / INSTR_BYTES) as u32;
+        let mut bytes = Vec::with_capacity(CR_BYTES + ir.len() + pr.len());
+        bytes.extend_from_slice(&MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&CMD_START.to_le_bytes());
+        bytes.extend_from_slice(&instr_count.to_le_bytes());
+        bytes.extend_from_slice(&((CR_BYTES + ir.len()) as u32).to_le_bytes()); // PR offset
+        bytes.extend_from_slice(&ir);
+        bytes.extend_from_slice(&pr);
+        Ok(Self { bytes })
+    }
+
+    /// The raw byte image (what gets copied into the command space).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Total size of the descriptor image.
+    pub fn size_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Number of IR instructions.
+    pub fn instr_count(&self) -> u32 {
+        u32::from_le_bytes(self.bytes[8..12].try_into().expect("CR is 16 bytes"))
+    }
+
+    /// Decodes the instruction region, validating structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DescriptorError`] if the image is malformed.
+    pub fn decode(&self) -> Result<Vec<DecodedInstr>, DescriptorError> {
+        Self::decode_bytes(&self.bytes)
+    }
+
+    /// Decodes a raw descriptor image (e.g. read back from the command
+    /// space by the Configuration Unit's fetch unit).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DescriptorError`] if the image is malformed.
+    pub fn decode_bytes(bytes: &[u8]) -> Result<Vec<DecodedInstr>, DescriptorError> {
+        if bytes.len() < CR_BYTES {
+            return Err(DescriptorError::Truncated);
+        }
+        let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("len checked"));
+        if magic != MAGIC {
+            return Err(DescriptorError::BadMagic);
+        }
+        let instr_count =
+            u32::from_le_bytes(bytes[8..12].try_into().expect("len checked")) as usize;
+        let pr_offset =
+            u32::from_le_bytes(bytes[12..16].try_into().expect("len checked")) as usize;
+        if bytes.len() < CR_BYTES + instr_count * INSTR_BYTES || bytes.len() < pr_offset {
+            return Err(DescriptorError::Truncated);
+        }
+
+        let mut out = Vec::with_capacity(instr_count);
+        let mut pass_depth = 0i32;
+        let mut loop_depth = 0i32;
+        for i in 0..instr_count {
+            let base = CR_BYTES + i * INSTR_BYTES;
+            let opcode = bytes[base];
+            let a = u32::from_le_bytes(bytes[base + 4..base + 8].try_into().expect("len ok"));
+            let b = u64::from_le_bytes(bytes[base + 8..base + 16].try_into().expect("len ok"));
+            let instr = match opcode {
+                OP_PASS_BEGIN => {
+                    pass_depth += 1;
+                    if pass_depth > 1 {
+                        return Err(DescriptorError::UnbalancedBlocks);
+                    }
+                    DecodedInstr::PassBegin { comps: a, input_addr: b }
+                }
+                OP_PASS_END => {
+                    pass_depth -= 1;
+                    if pass_depth < 0 {
+                        return Err(DescriptorError::UnbalancedBlocks);
+                    }
+                    DecodedInstr::PassEnd { output_addr: b }
+                }
+                OP_LOOP_BEGIN => {
+                    loop_depth += 1;
+                    if loop_depth > 1 || pass_depth != 0 {
+                        return Err(DescriptorError::UnbalancedBlocks);
+                    }
+                    DecodedInstr::LoopBegin { count: b }
+                }
+                OP_LOOP_END => {
+                    loop_depth -= 1;
+                    if loop_depth < 0 || pass_depth != 0 {
+                        return Err(DescriptorError::UnbalancedBlocks);
+                    }
+                    DecodedInstr::LoopEnd
+                }
+                op => {
+                    let kind = AcceleratorKind::from_opcode(op)
+                        .ok_or(DescriptorError::UnknownOpcode { opcode: op })?;
+                    if pass_depth != 1 {
+                        return Err(DescriptorError::UnbalancedBlocks);
+                    }
+                    DecodedInstr::Accel { kind, param_size: a, param_addr: b }
+                }
+            };
+            out.push(instr);
+        }
+        if pass_depth != 0 || loop_depth != 0 {
+            return Err(DescriptorError::UnbalancedBlocks);
+        }
+        Ok(out)
+    }
+
+    /// Reads a parameter blob back out of the PR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the `(addr, size)` pair points outside the PR.
+    pub fn param_blob(&self, param_addr: u64, param_size: u32) -> &[u8] {
+        let pr_offset =
+            u32::from_le_bytes(self.bytes[12..16].try_into().expect("CR is 16 bytes")) as usize;
+        let start = pr_offset + param_addr as usize;
+        let end = start + param_size as usize;
+        assert!(end <= self.bytes.len(), "parameter reference outside PR");
+        &self.bytes[start..end]
+    }
+
+    /// Total dynamic accelerator invocations this descriptor encodes
+    /// (loop bodies multiplied by their counts).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DescriptorError`] if the image is malformed.
+    pub fn total_invocations(&self) -> Result<u64, DescriptorError> {
+        let instrs = self.decode()?;
+        let mut total = 0u64;
+        let mut multiplier = 1u64;
+        for i in &instrs {
+            match i {
+                DecodedInstr::LoopBegin { count } => multiplier = *count,
+                DecodedInstr::LoopEnd => multiplier = 1,
+                DecodedInstr::Accel { .. } => total += multiplier,
+                _ => {}
+            }
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn fixtures() -> (TdlProgram, ParamBag, BTreeMap<String, u64>) {
+        let program = parse(
+            r#"
+            PASS in=datacube out=doppler {
+                COMP RESHP params="reshape.para"
+                COMP FFT params="fft.para"
+            }
+            LOOP 128 {
+                PASS in=weights out=prods {
+                    COMP DOT params="dot.para"
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let mut params = ParamBag::new();
+        params.insert("reshape.para".into(), vec![1, 2, 3, 4, 5]);
+        params.insert("fft.para".into(), vec![9; 16]);
+        params.insert("dot.para".into(), vec![7; 12]);
+        let buffers: BTreeMap<String, u64> = [
+            ("datacube".to_string(), 0x1000u64),
+            ("doppler".to_string(), 0x2000),
+            ("weights".to_string(), 0x3000),
+            ("prods".to_string(), 0x4000),
+        ]
+        .into_iter()
+        .collect();
+        (program, params, buffers)
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let (program, params, buffers) = fixtures();
+        let d = Descriptor::encode(&program, &params, &buffers).unwrap();
+        let instrs = d.decode().unwrap();
+        assert_eq!(
+            instrs,
+            vec![
+                DecodedInstr::PassBegin { comps: 2, input_addr: 0x1000 },
+                DecodedInstr::Accel {
+                    kind: AcceleratorKind::Reshp,
+                    param_size: 5,
+                    param_addr: 0
+                },
+                DecodedInstr::Accel {
+                    kind: AcceleratorKind::Fft,
+                    param_size: 16,
+                    param_addr: 8
+                },
+                DecodedInstr::PassEnd { output_addr: 0x2000 },
+                DecodedInstr::LoopBegin { count: 128 },
+                DecodedInstr::PassBegin { comps: 1, input_addr: 0x3000 },
+                DecodedInstr::Accel {
+                    kind: AcceleratorKind::Dot,
+                    param_size: 12,
+                    param_addr: 24
+                },
+                DecodedInstr::PassEnd { output_addr: 0x4000 },
+                DecodedInstr::LoopEnd,
+            ]
+        );
+    }
+
+    #[test]
+    fn param_blobs_survive_encoding() {
+        let (program, params, buffers) = fixtures();
+        let d = Descriptor::encode(&program, &params, &buffers).unwrap();
+        assert_eq!(d.param_blob(0, 5), &[1, 2, 3, 4, 5]);
+        assert_eq!(d.param_blob(8, 16), &[9; 16]);
+        assert_eq!(d.param_blob(24, 12), &[7; 12]);
+    }
+
+    #[test]
+    fn invocation_count_multiplies_loops() {
+        let (program, params, buffers) = fixtures();
+        let d = Descriptor::encode(&program, &params, &buffers).unwrap();
+        assert_eq!(d.total_invocations().unwrap(), 2 + 128);
+        assert_eq!(d.instr_count(), 9);
+    }
+
+    #[test]
+    fn missing_param_file_is_an_error() {
+        let (program, mut params, buffers) = fixtures();
+        params.remove("fft.para");
+        let err = Descriptor::encode(&program, &params, &buffers).unwrap_err();
+        assert_eq!(err, DescriptorError::MissingParamFile { name: "fft.para".into() });
+    }
+
+    #[test]
+    fn missing_buffer_is_an_error() {
+        let (program, params, mut buffers) = fixtures();
+        buffers.remove("prods");
+        let err = Descriptor::encode(&program, &params, &buffers).unwrap_err();
+        assert_eq!(err, DescriptorError::UnresolvedBuffer { name: "prods".into() });
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic() {
+        let (program, params, buffers) = fixtures();
+        let d = Descriptor::encode(&program, &params, &buffers).unwrap();
+        let mut bytes = d.as_bytes().to_vec();
+        bytes[0] ^= 0xff;
+        assert_eq!(Descriptor::decode_bytes(&bytes), Err(DescriptorError::BadMagic));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let (program, params, buffers) = fixtures();
+        let d = Descriptor::encode(&program, &params, &buffers).unwrap();
+        let bytes = &d.as_bytes()[..CR_BYTES + 3];
+        assert_eq!(Descriptor::decode_bytes(bytes), Err(DescriptorError::Truncated));
+        assert_eq!(Descriptor::decode_bytes(&[1, 2]), Err(DescriptorError::Truncated));
+    }
+
+    #[test]
+    fn decode_rejects_unknown_opcode() {
+        let (program, params, buffers) = fixtures();
+        let d = Descriptor::encode(&program, &params, &buffers).unwrap();
+        let mut bytes = d.as_bytes().to_vec();
+        bytes[CR_BYTES] = 0x7f; // clobber first instruction's opcode
+        assert_eq!(
+            Descriptor::decode_bytes(&bytes),
+            Err(DescriptorError::UnknownOpcode { opcode: 0x7f })
+        );
+    }
+
+    #[test]
+    fn decode_rejects_unbalanced_blocks() {
+        let (program, params, buffers) = fixtures();
+        let d = Descriptor::encode(&program, &params, &buffers).unwrap();
+        let mut bytes = d.as_bytes().to_vec();
+        // Turn the final LOOP_END into a PASS_END: now blocks are unbalanced.
+        let last = CR_BYTES + (d.instr_count() as usize - 1) * INSTR_BYTES;
+        bytes[last] = OP_PASS_END;
+        assert_eq!(
+            Descriptor::decode_bytes(&bytes),
+            Err(DescriptorError::UnbalancedBlocks)
+        );
+    }
+
+    #[test]
+    fn empty_program_encodes_to_bare_control_region() {
+        let d = Descriptor::encode(&TdlProgram::default(), &ParamBag::new(), &BTreeMap::new())
+            .unwrap();
+        assert_eq!(d.size_bytes(), CR_BYTES);
+        assert_eq!(d.decode().unwrap(), vec![]);
+        assert_eq!(d.total_invocations().unwrap(), 0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Single-precision complex arithmetic.
+//!
+//! The FFT accelerator, the STAP pipeline (`cdotc`, `cherk`, `ctrsm`), and
+//! the SAR workload all operate on interleaved single-precision complex
+//! data, matching MKL's `MKL_Complex8`. A tiny dedicated type keeps the
+//! workspace dependency-free.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A single-precision complex number (`re + im·i`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex32 {
+    /// Real part.
+    pub re: f32,
+    /// Imaginary part.
+    pub im: f32,
+}
+
+impl Complex32 {
+    /// The additive identity.
+    pub const ZERO: Self = Self { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Self = Self { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Self = Self { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f32, im: f32) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates a complex number on the unit circle at angle `theta`
+    /// (radians): `e^{iθ} = cos θ + i sin θ`.
+    #[inline]
+    pub fn from_polar_unit(theta: f32) -> Self {
+        Self::new(theta.cos(), theta.sin())
+    }
+
+    /// The complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// The squared magnitude `re² + im²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// The magnitude `|z|`.
+    #[inline]
+    pub fn abs(self) -> f32 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiply-accumulate: `self + a * b`, the inner-product building
+    /// block used by the DOT accelerator model.
+    #[inline]
+    pub fn mul_add(self, a: Self, b: Self) -> Self {
+        self + a * b
+    }
+
+    /// Scales both components by a real factor.
+    #[inline]
+    pub fn scale(self, s: f32) -> Self {
+        Self::new(self.re * s, self.im * s)
+    }
+
+    /// Returns `true` if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+}
+
+impl From<f32> for Complex32 {
+    #[inline]
+    fn from(re: f32) -> Self {
+        Self::new(re, 0.0)
+    }
+}
+
+impl Add for Complex32 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex32 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Complex32 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex32 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Complex32 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex32 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f32> for Complex32 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: f32) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Div for Complex32 {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        let d = rhs.norm_sqr();
+        Self::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Neg for Complex32 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for Complex32 {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Complex32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex32, b: Complex32) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn multiplication_matches_definition() {
+        let a = Complex32::new(1.0, 2.0);
+        let b = Complex32::new(3.0, -4.0);
+        assert_eq!(a * b, Complex32::new(11.0, 2.0));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(Complex32::I * Complex32::I, Complex32::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex32::new(2.5, -1.5);
+        let b = Complex32::new(0.5, 3.0);
+        assert!(close((a * b) / b, a));
+    }
+
+    #[test]
+    fn conjugate_properties() {
+        let z = Complex32::new(3.0, 4.0);
+        assert_eq!(z.conj().conj(), z);
+        assert_eq!((z * z.conj()).re, z.norm_sqr());
+        assert_eq!(z.abs(), 5.0);
+    }
+
+    #[test]
+    fn polar_unit_is_on_unit_circle() {
+        for k in 0..8 {
+            let z = Complex32::from_polar_unit(k as f32 * core::f32::consts::FRAC_PI_4);
+            assert!((z.abs() - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sum_and_mul_add() {
+        let s: Complex32 = (0..4).map(|k| Complex32::new(k as f32, 1.0)).sum();
+        assert_eq!(s, Complex32::new(6.0, 4.0));
+        let acc = Complex32::ZERO.mul_add(Complex32::new(2.0, 0.0), Complex32::I);
+        assert_eq!(acc, Complex32::new(0.0, 2.0));
+    }
+
+    #[test]
+    fn display_sign_handling() {
+        assert_eq!(format!("{}", Complex32::new(1.0, -2.0)), "1-2i");
+        assert_eq!(format!("{}", Complex32::new(1.0, 2.0)), "1+2i");
+    }
+}

@@ -1,0 +1,64 @@
+//! Shared error vocabulary.
+
+use core::fmt;
+
+/// An invalid configuration value was supplied to a simulator component.
+///
+/// Every subsystem validates its construction parameters eagerly
+/// (C-VALIDATE); this error carries the offending parameter name and a
+/// human-readable explanation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    parameter: String,
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates a configuration error for `parameter` with an explanation.
+    pub fn new(parameter: impl Into<String>, message: impl Into<String>) -> Self {
+        Self {
+            parameter: parameter.into(),
+            message: message.into(),
+        }
+    }
+
+    /// The name of the offending parameter.
+    pub fn parameter(&self) -> &str {
+        &self.parameter
+    }
+
+    /// The explanation of why the value was rejected.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration `{}`: {}", self.parameter, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_parameter_and_message() {
+        let e = ConfigError::new("vaults", "must be a power of two");
+        assert_eq!(
+            e.to_string(),
+            "invalid configuration `vaults`: must be a power of two"
+        );
+        assert_eq!(e.parameter(), "vaults");
+        assert_eq!(e.message(), "must be a power of two");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConfigError>();
+    }
+}

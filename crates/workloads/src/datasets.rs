@@ -1,0 +1,112 @@
+//! The Table 2 datasets.
+//!
+//! One entry per accelerated function, with the paper's sizes:
+//! 256M-element vectors (1 GB), 16384×16384 matrices (1 GB), the
+//! `rgg_n_2_20` sparse matrix, 16384 resampling blocks, and the
+//! 8192×8192 FFT batch (512 MB).
+
+use mealib_accel::AccelParams;
+use mealib_tdl::AcceleratorKind;
+
+/// A named dataset row of Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetRow {
+    /// MKL function name.
+    pub function: &'static str,
+    /// Human-readable dataset description.
+    pub description: &'static str,
+    /// The accelerator parameters representing it.
+    pub params: AccelParams,
+}
+
+/// All rows of Table 2, in paper order.
+pub fn table2() -> Vec<DatasetRow> {
+    vec![
+        DatasetRow {
+            function: "cblas_saxpy()",
+            description: "256M vector (1GB)",
+            params: AccelParams::Axpy { n: 256 << 20, alpha: 2.0, incx: 1, incy: 1 },
+        },
+        DatasetRow {
+            function: "cblas_sdot()",
+            description: "256M vector (1GB)",
+            params: AccelParams::Dot { n: 256 << 20, incx: 1, incy: 1, complex: false },
+        },
+        DatasetRow {
+            function: "cblas_sgemv()",
+            description: "16384 x 16384 matrix (1GB)",
+            params: AccelParams::Gemv { m: 16384, n: 16384 },
+        },
+        DatasetRow {
+            function: "mkl_scsrgemv()",
+            description: "rgg_n_2_20-class RGG (synthetic)",
+            params: AccelParams::Spmv { rows: 1 << 20, cols: 1 << 20, nnz: 13 * (1 << 20) },
+        },
+        DatasetRow {
+            function: "dfsInterpolate1D()",
+            description: "16384 blocks",
+            params: AccelParams::Resmp { blocks: 16384, in_per_block: 8192, out_per_block: 8192 },
+        },
+        DatasetRow {
+            function: "fftwf_execute()",
+            description: "8192 x 8192 batch (512MB)",
+            params: AccelParams::Fft { n: 8192, batch: 8192 },
+        },
+        DatasetRow {
+            function: "mkl_simatcopy()",
+            description: "16384 x 16384 matrix (1GB)",
+            params: AccelParams::Reshp { rows: 16384, cols: 16384, elem_bytes: 4 },
+        },
+    ]
+}
+
+/// Looks up the Table 2 row for an accelerator kind.
+pub fn for_kind(kind: AcceleratorKind) -> DatasetRow {
+    table2()
+        .into_iter()
+        .find(|row| row.params.kind() == kind)
+        .expect("every accelerator kind has a Table 2 row")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_covers_all_seven_accelerators() {
+        let rows = table2();
+        assert_eq!(rows.len(), 7);
+        for kind in AcceleratorKind::ALL {
+            assert_eq!(for_kind(kind).params.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn vector_datasets_are_one_gigabyte() {
+        let axpy = for_kind(AcceleratorKind::Axpy);
+        match axpy.params {
+            AccelParams::Axpy { n, .. } => assert_eq!(n * 4, 1 << 30),
+            other => panic!("{other:?}"),
+        }
+        let gemv = for_kind(AcceleratorKind::Gemv);
+        match gemv.params {
+            AccelParams::Gemv { m, n } => assert_eq!(m * n * 4, 1 << 30),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn fft_dataset_is_512_mib() {
+        match for_kind(AcceleratorKind::Fft).params {
+            AccelParams::Fft { n, batch } => assert_eq!(n * batch * 8, 512 << 20),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_params_validate() {
+        for row in table2() {
+            assert!(row.params.validate().is_ok(), "{}", row.function);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! The Figure 1 experiment: performance gained by replacing original
+//! code with high-performance library calls on commodity machines.
+//!
+//! Each benchmark is modeled as a weighted mix of library operations;
+//! the "original" flavour runs the naive single-threaded implementations,
+//! the "library" flavour the optimized ones — on one core
+//! (single-thread lib) or all cores (multi-thread lib), matching the two
+//! bar series of the figure.
+
+use mealib_accel::AccelParams;
+use mealib_host::{run_op, CodeFlavor, Platform};
+use mealib_types::Seconds;
+
+/// The benchmark suites of Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suite {
+    /// R statistical package benchmarks (accelerated with Intel MKL).
+    R,
+    /// PNNL PERFECT benchmarks (accelerated with Intel MKL).
+    Perfect,
+    /// PARSEC benchmarks (accelerated with an AVX library).
+    Parsec,
+}
+
+impl Suite {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Suite::R => "R",
+            Suite::Perfect => "PERFECT",
+            Suite::Parsec => "PARSEC",
+        }
+    }
+}
+
+/// One Figure 1 benchmark: a named mix of library operations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Benchmark {
+    /// Suite it belongs to.
+    pub suite: Suite,
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Operation mix (operation, relative weight).
+    pub ops: Vec<(AccelParams, f64)>,
+}
+
+/// The modeled benchmark set. Mixes are chosen to reflect each
+/// benchmark's dominant kernels (dense linear algebra for R, FFT/radar
+/// pipelines for PERFECT, streaming math for PARSEC).
+pub fn benchmarks() -> Vec<Benchmark> {
+    let gemv = AccelParams::Gemv { m: 8192, n: 8192 };
+    let dot = AccelParams::Dot { n: 1 << 24, incx: 1, incy: 1, complex: false };
+    let axpy = AccelParams::Axpy { n: 1 << 24, alpha: 1.1, incx: 1, incy: 1 };
+    let fft = AccelParams::Fft { n: 4096, batch: 2048 };
+    let resmp = AccelParams::Resmp { blocks: 4096, in_per_block: 2048, out_per_block: 2048 };
+    let spmv = AccelParams::Spmv { rows: 1 << 18, cols: 1 << 18, nnz: 13 << 18 };
+    vec![
+        Benchmark { suite: Suite::R, name: "lm", ops: vec![(gemv, 0.8), (dot, 0.2)] },
+        Benchmark { suite: Suite::R, name: "pca", ops: vec![(gemv, 0.6), (axpy, 0.4)] },
+        Benchmark { suite: Suite::R, name: "kmeans", ops: vec![(dot, 0.7), (axpy, 0.3)] },
+        Benchmark { suite: Suite::Perfect, name: "stap", ops: vec![(fft, 0.5), (dot, 0.5)] },
+        Benchmark { suite: Suite::Perfect, name: "sar", ops: vec![(fft, 0.6), (resmp, 0.4)] },
+        Benchmark { suite: Suite::Perfect, name: "wami", ops: vec![(fft, 0.3), (gemv, 0.7)] },
+        Benchmark { suite: Suite::Parsec, name: "streamcluster", ops: vec![(dot, 0.9), (axpy, 0.1)] },
+        Benchmark { suite: Suite::Parsec, name: "canneal", ops: vec![(spmv, 0.6), (dot, 0.4)] },
+    ]
+}
+
+/// Speedups of one benchmark: (single-thread library, multi-thread
+/// library), both over the original code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig1Point {
+    /// Which benchmark.
+    pub benchmark: Benchmark,
+    /// Single-threaded library speedup.
+    pub single_thread: f64,
+    /// Multi-threaded library speedup.
+    pub multi_thread: f64,
+}
+
+fn mix_time(platform: &Platform, ops: &[(AccelParams, f64)], flavor: CodeFlavor) -> Seconds {
+    ops.iter()
+        .map(|(op, w)| run_op(platform, op, flavor).time * *w)
+        .sum()
+}
+
+/// Runs the Figure 1 experiment on the Haswell-class machine.
+pub fn speedups() -> Vec<Fig1Point> {
+    let multi = Platform::haswell();
+    let single = Platform { cores: 1, thread_efficiency: 1.0, ..Platform::haswell() };
+    benchmarks()
+        .into_iter()
+        .map(|b| {
+            let naive = mix_time(&single, &b.ops, CodeFlavor::Naive);
+            let lib1 = mix_time(&single, &b.ops, CodeFlavor::Library);
+            let libn = mix_time(&multi, &b.ops, CodeFlavor::Library);
+            Fig1Point {
+                benchmark: b,
+                single_thread: naive / lib1,
+                multi_thread: naive / libn,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_benchmark_gains_from_the_library() {
+        for p in speedups() {
+            assert!(
+                p.multi_thread > 1.5,
+                "{}: multi-thread speedup {:.1}",
+                p.benchmark.name,
+                p.multi_thread
+            );
+            assert!(
+                p.multi_thread >= p.single_thread * 0.99,
+                "{}: more threads cannot lose ({:.1} vs {:.1})",
+                p.benchmark.name,
+                p.multi_thread,
+                p.single_thread
+            );
+        }
+    }
+
+    #[test]
+    fn speedups_land_in_fig1_range() {
+        // Paper: up to 27x (R), 42x (PERFECT), 24x (PARSEC); bars from
+        // ~5x up.
+        let points = speedups();
+        let max = points.iter().map(|p| p.multi_thread).fold(0.0_f64, f64::max);
+        let min = points.iter().map(|p| p.multi_thread).fold(f64::INFINITY, f64::min);
+        assert!((15.0..80.0).contains(&max), "max speedup {max:.1}");
+        assert!((1.5..15.0).contains(&min), "min speedup {min:.1}");
+    }
+
+    #[test]
+    fn perfect_suite_contains_the_flagship_gain() {
+        // The 42x flagship of the figure is a PERFECT benchmark.
+        let points = speedups();
+        let best = points
+            .iter()
+            .max_by(|a, b| a.multi_thread.total_cmp(&b.multi_thread))
+            .expect("nonempty");
+        assert_eq!(best.benchmark.suite, Suite::Perfect, "{}", best.benchmark.name);
+    }
+
+    #[test]
+    fn all_suites_are_represented() {
+        let points = speedups();
+        for suite in [Suite::R, Suite::Perfect, Suite::Parsec] {
+            assert!(points.iter().any(|p| p.benchmark.suite == suite));
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Workloads of the MEALib evaluation.
+//!
+//! * [`stap`] — the Space-Time Adaptive Processing application (PNNL
+//!   PERFECT), both as a functional pipeline on the MEALib API and as a
+//!   modeled end-to-end comparison (Figures 13/14, Table 4);
+//! * [`sar`] — the SAR resample→FFT chaining scenario and the
+//!   hardware-loop experiment (Figure 12);
+//! * [`fig1`] — the library-vs-original-code benchmark models behind
+//!   Figure 1 (R, PERFECT, PARSEC suites);
+//! * [`rgg`] — a random-geometric-graph sparse-matrix generator standing
+//!   in for `rgg_n_2_20` from the UF Sparse Matrix Collection;
+//! * [`datasets`] — the Table 2 dataset definitions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod fig1;
+pub mod rgg;
+pub mod sar;
+pub mod stap;

@@ -1,0 +1,177 @@
+//! Random-geometric-graph sparse matrices.
+//!
+//! The paper's SPMV dataset is `rgg_n_2_20` from the UF Sparse Matrix
+//! Collection: the adjacency matrix of a random geometric graph with
+//! 2²⁰ vertices (average degree ≈ 13, symmetric, strong spatial
+//! locality). The collection is not available offline, so this module
+//! generates an equivalent matrix: `n` points uniform in the unit
+//! square, an edge between points closer than radius `r`, with `r`
+//! chosen for a target average degree. Spatial locality — the property
+//! SPMV performance actually depends on — is preserved by construction,
+//! and vertex numbering follows a grid-major order like the original's
+//! coordinate sort.
+
+use mealib_kernels::CsrMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates an RGG adjacency matrix with `n` vertices and approximately
+/// `target_degree` average non-zeros per row. Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `target_degree <= 0`.
+pub fn generate(n: usize, target_degree: f64, seed: u64) -> CsrMatrix {
+    assert!(n > 0, "vertex count must be nonzero");
+    assert!(target_degree > 0.0, "target degree must be positive");
+    // Expected degree of an RGG in the unit square is ~ n·π·r²; solve
+    // for r.
+    let r = (target_degree / (std::f64::consts::PI * n as f64)).sqrt();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+
+    // Grid-major vertex order (the collection's matrices are coordinate
+    // sorted, giving the banded structure SPMV locality depends on).
+    let cells = (1.0 / r).floor().max(1.0) as usize;
+    pts.sort_by(|a, b| {
+        let ka = cell_key(*a, cells, r);
+        let kb = cell_key(*b, cells, r);
+        ka.cmp(&kb)
+    });
+
+    // Bucket points into cells for O(n·deg) neighbour search.
+    let mut grid: Vec<Vec<usize>> = vec![Vec::new(); cells * cells];
+    for (i, &p) in pts.iter().enumerate() {
+        let (cx, cy) = cell_of(p, cells, r);
+        grid[cy * cells + cx].push(i);
+    }
+
+    let r2 = r * r;
+    let mut triplets: Vec<(usize, usize, f32)> = Vec::new();
+    for (i, &(px, py)) in pts.iter().enumerate() {
+        let (cx, cy) = cell_of((px, py), cells, r);
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                let nx = cx as i64 + dx;
+                let ny = cy as i64 + dy;
+                if nx < 0 || ny < 0 || nx >= cells as i64 || ny >= cells as i64 {
+                    continue;
+                }
+                for &j in &grid[ny as usize * cells + nx as usize] {
+                    if j <= i {
+                        continue; // handle each pair once
+                    }
+                    let (qx, qy) = pts[j];
+                    let d2 = (px - qx) * (px - qx) + (py - qy) * (py - qy);
+                    if d2 <= r2 {
+                        // Symmetric adjacency with unit-ish weights.
+                        let w = 1.0 - (d2 / r2) as f32 * 0.5;
+                        triplets.push((i, j, w));
+                        triplets.push((j, i, w));
+                    }
+                }
+            }
+        }
+    }
+    CsrMatrix::from_triplets(n, n, &triplets)
+}
+
+/// The full-size dataset of Table 2: 2²⁰ vertices, degree ≈ 13.
+pub fn rgg_n_2_20() -> CsrMatrix {
+    generate(1 << 20, 13.0, 0x2_2015)
+}
+
+/// A scaled-down variant for tests and examples (2¹⁴ vertices).
+pub fn rgg_small() -> CsrMatrix {
+    generate(1 << 14, 13.0, 0x2_2015)
+}
+
+fn cell_of(p: (f64, f64), cells: usize, r: f64) -> (usize, usize) {
+    let _ = r;
+    let cx = ((p.0 * cells as f64) as usize).min(cells - 1);
+    let cy = ((p.1 * cells as f64) as usize).min(cells - 1);
+    (cx, cy)
+}
+
+fn cell_key(p: (f64, f64), cells: usize, r: f64) -> (usize, usize) {
+    let (cx, cy) = cell_of(p, cells, r);
+    (cy, cx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_approximates_target() {
+        let m = generate(1 << 13, 13.0, 7);
+        let deg = m.avg_degree();
+        assert!(
+            (8.0..18.0).contains(&deg),
+            "average degree {deg:.1} too far from target 13"
+        );
+    }
+
+    #[test]
+    fn matrix_is_symmetric() {
+        let m = generate(2048, 10.0, 42);
+        for row in 0..m.rows() {
+            for (col, v) in m.row_entries(row) {
+                let back = m
+                    .row_entries(col)
+                    .find(|&(c, _)| c == row)
+                    .map(|(_, w)| w);
+                assert_eq!(back, Some(v), "asymmetry at ({row},{col})");
+            }
+        }
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let m = generate(4096, 12.0, 3);
+        for row in 0..m.rows() {
+            assert!(m.row_entries(row).all(|(c, _)| c != row));
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate(1024, 8.0, 5);
+        let b = generate(1024, 8.0, 5);
+        let c = generate(1024, 8.0, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn grid_order_gives_spatial_locality() {
+        // With grid-major numbering most edges connect nearby indices:
+        // the mean index distance must be far below the random-order
+        // expectation (n/3).
+        let n = 1 << 12;
+        let m = generate(n, 12.0, 11);
+        let mut dist_sum = 0u64;
+        let mut edges = 0u64;
+        for row in 0..m.rows() {
+            for (col, _) in m.row_entries(row) {
+                dist_sum += row.abs_diff(col) as u64;
+                edges += 1;
+            }
+        }
+        let mean = dist_sum as f64 / edges as f64;
+        assert!(
+            mean < n as f64 / 8.0,
+            "mean index distance {mean:.0} suggests no locality"
+        );
+    }
+
+    #[test]
+    fn spmv_runs_on_generated_matrix() {
+        let m = rgg_small();
+        assert_eq!(m.rows(), 1 << 14);
+        let x = vec![1.0f32; m.cols()];
+        let y = m.spmv(&x);
+        // Row sums equal weighted degrees: positive for connected rows.
+        assert!(y.iter().any(|&v| v > 0.0));
+    }
+}

@@ -1,0 +1,61 @@
+//! The STAP application (§3.1, §5.5) end to end: a functional run of the
+//! radar pipeline on the MEALib API at a scaled-down size, followed by
+//! the modeled full-size comparison against the Haswell baseline.
+//!
+//! Run with: `cargo run --example stap_pipeline`
+
+use mealib::Mealib;
+use mealib_workloads::stap::{self, Executor, StapConfig};
+
+fn main() {
+    // ---- Functional pipeline at "tiny" scale ---------------------------
+    println!("functional STAP (tiny dataset, real numerics):");
+    let mut ml = Mealib::new();
+    let out = stap::run_functional(&StapConfig::tiny(), &mut ml)
+        .expect("tiny STAP fits the default stack");
+    println!("  doppler datacube energy: {:.3e}", out.doppler_energy);
+    println!("  adaptive products norm:  {:.3e}", out.products_norm);
+    println!(
+        "  modeled accelerator time for the accelerated calls: {:.3} us",
+        out.modeled_time.as_micros()
+    );
+
+    // ---- Modeled full-size runs (Figures 13/14) ------------------------
+    println!("\nmodeled STAP at paper scale:");
+    for cfg in [StapConfig::small(), StapConfig::medium(), StapConfig::large()] {
+        let haswell = stap::run_on_haswell(&cfg);
+        let mealib = stap::run_on_mealib(&cfg);
+        let (perf, edp) = stap::gains(&cfg);
+        println!(
+            "  {:6}: Haswell {:.3} s / {:.1} J  |  MEALib {:.3} s / {:.1} J  |  {:.2}x perf, {:.2}x EDP",
+            cfg.name,
+            haswell.total_time().get(),
+            haswell.total_energy().get(),
+            mealib.total_time().get(),
+            mealib.total_energy().get(),
+            perf,
+            edp
+        );
+    }
+
+    let run = stap::run_on_mealib(&StapConfig::large());
+    println!("\nlarge-dataset breakdown on MEALib:");
+    for p in &run.phases {
+        let who = match p.executor {
+            Executor::Host => "host",
+            Executor::Accelerator(_) => "accel",
+            Executor::Invocation => "invoke",
+        };
+        println!(
+            "  {:12} [{who:6}] {:>10.3} ms  {:>8.3} J",
+            p.name,
+            p.time.as_millis(),
+            p.energy.get()
+        );
+    }
+    println!(
+        "  host share: {:.0}% of time, {:.0}% of energy (paper: ~75% / ~90%)",
+        100.0 * run.time_fraction(|p| p.executor == Executor::Host),
+        100.0 * run.energy_fraction(|p| p.executor == Executor::Host),
+    );
+}

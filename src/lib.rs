@@ -1,0 +1,13 @@
+//! Umbrella crate for the MEALib reproduction workspace: re-exports every subsystem.
+pub use mealib as core;
+pub use mealib_accel as accel;
+pub use mealib_compiler as compiler;
+pub use mealib_host as host;
+pub use mealib_kernels as kernels;
+pub use mealib_memsim as memsim;
+pub use mealib_noc as noc;
+pub use mealib_runtime as runtime;
+pub use mealib_sim as sim;
+pub use mealib_tdl as tdl;
+pub use mealib_types as types;
+pub use mealib_workloads as workloads;

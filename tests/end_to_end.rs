@@ -1,0 +1,130 @@
+//! End-to-end integration: legacy source → compiler → TDL → runtime →
+//! accelerator execution, and functional correctness of the public API
+//! against the reference kernels.
+
+use mealib::prelude::*;
+use mealib::AccelParams;
+use mealib_kernels::fft::Direction;
+use mealib_tdl::ParamBag;
+use mealib_workloads::stap::{self, StapConfig};
+
+#[test]
+fn compiled_legacy_code_executes_on_the_runtime() {
+    let legacy = r#"
+        float *a; float *b;
+        a = malloc(sizeof(float) * 4096);
+        b = malloc(sizeof(float) * 4096);
+        for (i = 0; i < 32; ++i)
+            cblas_saxpy(4096, 1.5, a, 1, b, 1);
+        free(a); free(b);
+    "#;
+    let out = mealib_compiler::compile(legacy).expect("compiles");
+    assert_eq!(out.stats.descriptors, 1);
+    assert_eq!(out.stats.dynamic_calls, 32);
+
+    // Execute the compiler-generated TDL through the runtime, exactly as
+    // the transformed source would.
+    let mut ml = Mealib::new();
+    ml.alloc_f32("a", 4096).unwrap();
+    ml.alloc_f32("b", 4096).unwrap();
+    let mut bag = ParamBag::new();
+    bag.insert(
+        out.tdl[0].params[0].file.clone(),
+        AccelParams::Axpy { n: 4096, alpha: 1.5, incx: 1, incy: 1 }.to_bytes(),
+    );
+    let plan = ml.plan(&out.tdl[0].text, &bag).expect("generated TDL plans");
+    let run = ml.execute(&plan).expect("executes");
+    assert_eq!(run.run.invocations(), 32, "hardware loop runs all iterations");
+    assert!(run.total_time().get() > 0.0);
+}
+
+#[test]
+fn api_results_match_reference_kernels() {
+    let mut ml = Mealib::new();
+    let n = 2048;
+    let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.01).sin()).collect();
+    let y: Vec<f32> = (0..n).map(|i| (i as f32 * 0.02).cos()).collect();
+    ml.alloc_f32("x", n).unwrap();
+    ml.alloc_f32("y", n).unwrap();
+    ml.write_f32("x", &x).unwrap();
+    ml.write_f32("y", &y).unwrap();
+
+    // saxpy against a host-side recomputation.
+    ml.saxpy(0.5, "x", "y").unwrap();
+    let got = ml.read_f32("y").unwrap();
+    for i in 0..n {
+        let want = y[i] + 0.5 * x[i];
+        assert!((got[i] - want).abs() < 1e-5, "mismatch at {i}");
+    }
+
+    // dot against the kernel.
+    let (dot, _) = ml.sdot("x", "y").unwrap();
+    let want = mealib_kernels::blas1::sdot(&x, &got);
+    assert!((dot - want).abs() < want.abs().max(1.0) * 1e-4);
+}
+
+#[test]
+fn fft_through_the_api_is_invertible() {
+    let mut ml = Mealib::new();
+    let n = 1024;
+    let batch = 4;
+    ml.alloc_c32("t", n * batch).unwrap();
+    ml.alloc_c32("f", n * batch).unwrap();
+    let signal: Vec<Complex32> = (0..n * batch)
+        .map(|i| Complex32::new((i as f32 * 0.013).sin(), (i as f32 * 0.007).cos()))
+        .collect();
+    ml.write_c32("t", &signal).unwrap();
+    ml.fft("t", "f", n, batch, Direction::Forward).unwrap();
+    ml.fft("f", "t", n, batch, Direction::Inverse).unwrap();
+    let back = ml.read_c32("t").unwrap();
+    let max_err = back
+        .iter()
+        .zip(&signal)
+        .map(|(a, b)| (*a - *b).abs())
+        .fold(0.0f32, f32::max);
+    assert!(max_err < 1e-3, "round-trip error {max_err}");
+}
+
+#[test]
+fn spmv_on_generated_rgg_matrix() {
+    let mut ml = Mealib::new();
+    let m = mealib_workloads::rgg::generate(4096, 10.0, 9);
+    ml.alloc_f32("x", m.cols()).unwrap();
+    ml.alloc_f32("y", m.rows()).unwrap();
+    let x: Vec<f32> = (0..m.cols()).map(|i| (i % 5) as f32).collect();
+    ml.write_f32("x", &x).unwrap();
+    let report = ml.spmv(&m, "x", "y").unwrap();
+    let want = m.spmv(&x);
+    assert_eq!(ml.read_f32("y").unwrap(), want);
+    assert!(report.time().get() > 0.0);
+}
+
+#[test]
+fn functional_stap_runs_on_the_api() {
+    let mut ml = Mealib::new();
+    let out = stap::run_functional(&StapConfig::tiny(), &mut ml).unwrap();
+    assert!(out.doppler_energy.is_finite());
+    assert!(out.products_norm > 0.0);
+    // All buffers were freed.
+    assert!(ml.read_f32("datacube").is_err());
+}
+
+#[test]
+fn many_operations_share_one_data_space() {
+    let mut ml = Mealib::new();
+    for i in 0..16 {
+        ml.alloc_f32(&format!("buf{i}"), 1 << 12).unwrap();
+    }
+    for i in 0..8 {
+        let x = format!("buf{}", 2 * i);
+        let y = format!("buf{}", 2 * i + 1);
+        ml.write_f32(&x, &vec![1.0; 1 << 12]).unwrap();
+        ml.write_f32(&y, &vec![2.0; 1 << 12]).unwrap();
+        ml.saxpy(1.0, &x, &y).unwrap();
+        assert_eq!(ml.read_f32(&y).unwrap()[0], 3.0);
+    }
+    assert_eq!(ml.runtime().counters().executions, 8);
+    for i in 0..16 {
+        ml.free(&format!("buf{i}")).unwrap();
+    }
+}

@@ -1,0 +1,136 @@
+//! Failure-injection integration tests: the stack must fail loudly and
+//! precisely, never corrupt state, and keep working after errors.
+
+use mealib::prelude::*;
+use mealib::{AccelParams, StackId};
+use mealib_runtime::{Runtime, RuntimeError};
+use mealib_tdl::ParamBag;
+use mealib_types::Bytes as RtBytes;
+
+#[test]
+fn data_space_exhaustion_is_reported_and_recoverable() {
+    let mut ml = Mealib::new();
+    // The default LMS data space is ~2 GiB; a 4 GiB ask must fail.
+    let err = ml.alloc_bytes("huge", 4 << 30).unwrap_err();
+    assert!(matches!(err, MealibError::Runtime(_)), "{err}");
+    // The failure must not leak state: a reasonable allocation succeeds
+    // and the failed name is not registered.
+    assert!(ml.read_f32("huge").is_err());
+    ml.alloc_f32("ok", 1024).unwrap();
+    ml.write_f32("ok", &vec![1.0; 1024]).unwrap();
+    assert_eq!(ml.read_f32("ok").unwrap().len(), 1024);
+}
+
+#[test]
+fn fragmentation_failure_names_the_largest_block() {
+    let mut rt = Runtime::new();
+    rt.mem_alloc("a", RtBytes::from_gib(1)).unwrap();
+    // ~1 GiB remains; asking for 1.5 GiB must fail with a useful message.
+    let err = rt.mem_alloc("b", RtBytes::new(3 << 29)).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("out of contiguous memory"), "{msg}");
+    assert!(msg.contains("largest free block"), "{msg}");
+}
+
+#[test]
+fn plan_against_missing_buffer_fails_cleanly() {
+    let mut ml = Mealib::new();
+    let mut bag = ParamBag::new();
+    bag.insert("p.para".into(), AccelParams::Fft { n: 64, batch: 1 }.to_bytes());
+    let err = ml
+        .plan("PASS in=nope out=also_nope { COMP FFT params=\"p.para\" }", &bag)
+        .unwrap_err();
+    assert!(err.to_string().contains("no physical address"), "{err}");
+}
+
+#[test]
+fn plan_with_missing_params_fails_cleanly() {
+    let mut ml = Mealib::new();
+    ml.alloc_f32("x", 64).unwrap();
+    ml.alloc_f32("y", 64).unwrap();
+    let err = ml
+        .plan("PASS in=x out=y { COMP FFT params=\"ghost.para\" }", &ParamBag::new())
+        .unwrap_err();
+    assert!(err.to_string().contains("ghost.para"), "{err}");
+}
+
+#[test]
+fn corrupt_parameter_blob_fails_at_execute() {
+    let mut ml = Mealib::new();
+    ml.alloc_f32("x", 64).unwrap();
+    ml.alloc_f32("y", 64).unwrap();
+    let mut bag = ParamBag::new();
+    // An FFT blob whose length field is not a power of two.
+    let mut blob = AccelParams::Fft { n: 64, batch: 1 }.to_bytes();
+    blob[1..9].copy_from_slice(&100u64.to_le_bytes());
+    bag.insert("f.para".into(), blob);
+    let plan = ml.plan("PASS in=x out=y { COMP FFT params=\"f.para\" }", &bag).unwrap();
+    let err = ml.execute(&plan).unwrap_err();
+    assert!(err.to_string().contains("power of two"), "{err}");
+}
+
+#[test]
+fn freeing_a_buffer_invalidates_existing_plans_resolution() {
+    // Plans capture physical addresses at plan time; the runtime does
+    // not dangle — re-planning after a free fails to resolve.
+    let mut ml = Mealib::new();
+    ml.alloc_f32("x", 64).unwrap();
+    ml.alloc_f32("y", 64).unwrap();
+    ml.free("x").unwrap();
+    let mut bag = ParamBag::new();
+    bag.insert(
+        "a.para".into(),
+        AccelParams::Axpy { n: 64, alpha: 1.0, incx: 1, incy: 1 }.to_bytes(),
+    );
+    let err = ml
+        .plan("PASS in=x out=y { COMP AXPY params=\"a.para\" }", &bag)
+        .unwrap_err();
+    assert!(err.to_string().contains('x'), "{err}");
+}
+
+#[test]
+fn destroyed_plans_cannot_run_but_runtime_survives() {
+    let mut ml = Mealib::new();
+    ml.alloc_f32("x", 256).unwrap();
+    ml.alloc_f32("y", 256).unwrap();
+    ml.write_f32("x", &vec![1.0; 256]).unwrap();
+    ml.write_f32("y", &vec![1.0; 256]).unwrap();
+    // Normal operation still works after a plan-time failure above.
+    let report = ml.saxpy(1.0, "x", "y").unwrap();
+    assert!(report.time().get() > 0.0);
+    assert_eq!(ml.read_f32("y").unwrap()[0], 2.0);
+}
+
+#[test]
+fn invalid_stack_ids_are_rejected_with_inventory() {
+    let mut rt = Runtime::with_stack_count(2);
+    let err = rt.mem_alloc_on("x", RtBytes::from_kib(4), StackId(7)).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("RMS7"), "{msg}");
+    assert!(msg.contains("2 stack(s)"), "{msg}");
+}
+
+#[test]
+fn compiler_rejects_malformed_sources_without_panicking() {
+    for src in [
+        "int x = ;",
+        "for (i = 0; ; ) f();",
+        "\"unterminated",
+        "fftwf_execute(never_planned);",
+        "cblas_saxpy(64, 1.0, 3 + 4, 1, y, 1);", // opaque buffer argument
+        "}{",
+    ] {
+        let result = mealib_compiler::compile(src);
+        assert!(result.is_err(), "{src:?} should be rejected");
+        // The error must render without panicking.
+        let _ = result.unwrap_err().to_string();
+    }
+}
+
+#[test]
+fn runtime_error_chain_renders_end_to_end() {
+    let mut rt = Runtime::new();
+    let err = rt.acc_plan("LOOP 0 { }", &ParamBag::new()).unwrap_err();
+    assert!(matches!(err, RuntimeError::Parse(_)));
+    assert!(err.to_string().contains("TDL parse error"));
+}
