@@ -38,10 +38,8 @@ pub fn execute_chained(
     // stage's writes.
     let first = &stages[0];
     let last = stages.last().expect("nonempty");
-    let boundary = AccessPattern::sequential_rw(
-        first.mem.bytes_read.get(),
-        last.mem.bytes_written.get(),
-    );
+    let boundary =
+        AccessPattern::sequential_rw(first.mem.bytes_read.get(), last.mem.bytes_written.get());
     let mut mem_stats = analytic::estimate(mem, &boundary);
     let eff = comps
         .iter()
@@ -59,11 +57,9 @@ pub fn execute_chained(
     let fill = CONFIG_LATENCY * (comps.len() - 1) as f64;
     let time = busy + CONFIG_LATENCY + fill;
 
-    let mem_energy = mem.energy.trace_energy(
-        mem_stats.activations,
-        mem_stats.bytes_moved().get(),
-        busy,
-    );
+    let mem_energy =
+        mem.energy
+            .trace_energy(mem_stats.activations, mem_stats.bytes_moved().get(), busy);
     mem_stats.energy = mem_energy;
 
     // Every stage's datapath still processes the full stream, and all
@@ -103,7 +99,10 @@ pub fn execute_unchained(
     mem: &MemoryConfig,
     per_pass_overhead: Seconds,
 ) -> ExecReport {
-    assert!(!comps.is_empty(), "a pass sequence needs at least one stage");
+    assert!(
+        !comps.is_empty(),
+        "a pass sequence needs at least one stage"
+    );
     let mut total: Option<ExecReport> = None;
     for p in comps {
         let mut stage = AccelModel::new(p.kind()).execute(p, hw, mem);
@@ -127,7 +126,10 @@ mod tests {
                 in_per_block: pixels.isqrt(),
                 out_per_block: pixels.isqrt(),
             },
-            AccelParams::Fft { n: pixels.isqrt().next_power_of_two(), batch: pixels.isqrt() },
+            AccelParams::Fft {
+                n: pixels.isqrt().next_power_of_two(),
+                batch: pixels.isqrt(),
+            },
         ]
     }
 

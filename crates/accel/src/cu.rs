@@ -156,9 +156,8 @@ pub fn run_descriptor(
         layer.mem(),
         &AccessPattern::sequential_read(desc.size_bytes() as u64),
     );
-    let decode_time = Seconds::new(
-        instrs.len() as f64 * cost.decode_cycles_per_instr as f64 / cost.clock.get(),
-    );
+    let decode_time =
+        Seconds::new(instrs.len() as f64 * cost.decode_cycles_per_instr as f64 / cost.clock.get());
     let mut setup_time = fetch.elapsed + decode_time;
     let mut setup_energy = fetch.energy;
 
@@ -170,7 +169,11 @@ pub fn run_descriptor(
             DecodedInstr::LoopBegin { count } => multiplier = *count,
             DecodedInstr::LoopEnd => multiplier = 1,
             DecodedInstr::PassBegin { .. } => pending.clear(),
-            DecodedInstr::Accel { kind, param_size, param_addr } => {
+            DecodedInstr::Accel {
+                kind,
+                param_size,
+                param_addr,
+            } => {
                 let blob = desc.param_blob(*param_addr, *param_size);
                 let params = AccelParams::from_bytes(blob)?;
                 if params.kind() != *kind {
@@ -202,12 +205,9 @@ pub fn run_descriptor(
                         .map(|p| AccelModel::new(p.kind()).bandwidth_efficiency())
                         .fold(1.0_f64, f64::min);
                     let stream_bw = layer.mem().peak_bandwidth().get() * eff;
-                    let stream_mem = Seconds::new(
-                        report.mem.bytes_moved().get() as f64 / stream_bw,
-                    );
-                    let trigger = if report.mem.bytes_moved().get()
-                        <= layer.hw().local_mem_bytes
-                    {
+                    let stream_mem =
+                        Seconds::new(report.mem.bytes_moved().get() as f64 / stream_bw);
+                    let trigger = if report.mem.bytes_moved().get() <= layer.hw().local_mem_bytes {
                         LOOP_ITER_LATENCY / layer.tiles().len() as f64
                     } else {
                         LOOP_ITER_LATENCY
@@ -220,11 +220,11 @@ pub fn run_descriptor(
                     // and leakage accrue over the streamed time, not the
                     // standalone latency.
                     let bytes = report.mem.bytes_moved().get();
-                    let mem_energy = layer.mem().energy.trace_energy(
-                        report.mem.activations,
-                        bytes,
-                        report.time,
-                    );
+                    let mem_energy =
+                        layer
+                            .mem()
+                            .energy
+                            .trace_energy(report.mem.activations, bytes, report.time);
                     let mut core = mealib_types::Joules::ZERO;
                     for p in &stages {
                         let prof = profile_at(p.kind(), layer.hw().frequency);
@@ -236,12 +236,20 @@ pub fn run_descriptor(
                     report.mem_energy = mem_energy;
                     report.energy = mem_energy + core;
                 }
-                passes.push(PassRun { stages, report, iterations: multiplier });
+                passes.push(PassRun {
+                    stages,
+                    report,
+                    iterations: multiplier,
+                });
             }
         }
     }
 
-    Ok(DescriptorRun { setup_time, setup_energy, passes })
+    Ok(DescriptorRun {
+        setup_time,
+        setup_energy,
+        passes,
+    })
 }
 
 #[cfg(test)]
@@ -267,7 +275,9 @@ mod tests {
             AccelParams::Fft { n: 256, batch: 256 }.to_bytes(),
         );
         let buffers: BTreeMap<String, u64> =
-            [("x".to_string(), 0x1000u64), ("y".to_string(), 0x100000)].into_iter().collect();
+            [("x".to_string(), 0x1000u64), ("y".to_string(), 0x100000)]
+                .into_iter()
+                .collect();
         Descriptor::encode(&program, &params, &buffers).unwrap()
     }
 
@@ -288,8 +298,7 @@ mod tests {
         );
         // Execution scales with the count but is cheaper than 128 naive
         // repetitions: configuration amortizes and iterations pipeline.
-        let exec_ratio =
-            many.execution().unwrap().time / once.execution().unwrap().time;
+        let exec_ratio = many.execution().unwrap().time / once.execution().unwrap().time;
         assert!((30.0..128.5).contains(&exec_ratio), "ratio {exec_ratio}");
     }
 
@@ -303,12 +312,17 @@ mod tests {
         "#;
         let program = parse(src).unwrap();
         let mut bag = ParamBag::new();
-        let resmp = AccelParams::Resmp { blocks: 256, in_per_block: 256, out_per_block: 256 };
+        let resmp = AccelParams::Resmp {
+            blocks: 256,
+            in_per_block: 256,
+            out_per_block: 256,
+        };
         let fft = AccelParams::Fft { n: 256, batch: 256 };
         bag.insert("r.para".into(), resmp.to_bytes());
         bag.insert("f.para".into(), fft.to_bytes());
-        let buffers: BTreeMap<String, u64> =
-            [("a".to_string(), 0u64), ("b".to_string(), 1 << 20)].into_iter().collect();
+        let buffers: BTreeMap<String, u64> = [("a".to_string(), 0u64), ("b".to_string(), 1 << 20)]
+            .into_iter()
+            .collect();
         let desc = Descriptor::encode(&program, &bag, &buffers).unwrap();
         let layer = AcceleratorLayer::mealib_default();
         let run = run_descriptor(&desc, &layer, &CuCostModel::default()).unwrap();
@@ -352,8 +366,7 @@ mod tests {
     #[test]
     fn empty_descriptor_runs_with_no_passes() {
         let program = parse("").unwrap();
-        let desc =
-            Descriptor::encode(&program, &ParamBag::new(), &BTreeMap::new()).unwrap();
+        let desc = Descriptor::encode(&program, &ParamBag::new(), &BTreeMap::new()).unwrap();
         let layer = AcceleratorLayer::mealib_default();
         let run = run_descriptor(&desc, &layer, &CuCostModel::default()).unwrap();
         assert!(run.passes.is_empty());

@@ -141,13 +141,20 @@ pub fn best_under_budget(points: &[DesignPoint], budget_w: f64) -> Option<&Desig
 
 /// The reference FFT workload of Table 2 (8192×8192 batch).
 pub fn fft_reference_workload() -> AccelParams {
-    AccelParams::Fft { n: 8192, batch: 8192 }
+    AccelParams::Fft {
+        n: 8192,
+        batch: 8192,
+    }
 }
 
 /// The reference SPMV workload: an `rgg_n_2_20`-class matrix
 /// (2²⁰ rows, average degree ~13).
 pub fn spmv_reference_workload() -> AccelParams {
-    AccelParams::Spmv { rows: 1 << 20, cols: 1 << 20, nnz: 13 * (1 << 20) }
+    AccelParams::Spmv {
+        rows: 1 << 20,
+        cols: 1 << 20,
+        nnz: 13 * (1 << 20),
+    }
 }
 
 #[cfg(test)]
@@ -179,8 +186,14 @@ mod tests {
         let effs: Vec<f64> = pts.iter().map(DesignPoint::gflops_per_watt).collect();
         let min = effs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = effs.iter().cloned().fold(0.0_f64, f64::max);
-        assert!(max / min > 1.5, "design choices must matter: {min:.1}..{max:.1}");
-        assert!(max < 120.0 && min > 2.0, "efficiency decade: {min:.1}..{max:.1}");
+        assert!(
+            max / min > 1.5,
+            "design choices must matter: {min:.1}..{max:.1}"
+        );
+        assert!(
+            max < 120.0 && min > 2.0,
+            "efficiency decade: {min:.1}..{max:.1}"
+        );
     }
 
     #[test]
@@ -199,9 +212,14 @@ mod tests {
             &SweepGrid::default(),
             &MemoryConfig::hmc_stack(),
         );
-        let fft_best = fft.iter().map(DesignPoint::gflops_per_watt).fold(0.0_f64, f64::max);
-        let spmv_best =
-            spmv.iter().map(DesignPoint::gflops_per_watt).fold(0.0_f64, f64::max);
+        let fft_best = fft
+            .iter()
+            .map(DesignPoint::gflops_per_watt)
+            .fold(0.0_f64, f64::max);
+        let spmv_best = spmv
+            .iter()
+            .map(DesignPoint::gflops_per_watt)
+            .fold(0.0_f64, f64::max);
         assert!(
             fft_best / spmv_best > 8.0,
             "FFT {fft_best:.1} vs SPMV {spmv_best:.2} GFLOPS/W"
@@ -222,7 +240,10 @@ mod tests {
         // Along the frontier, more power must buy more performance.
         for w in frontier.windows(2) {
             assert!(w[1].power_w >= w[0].power_w);
-            assert!(w[1].gflops >= w[0].gflops * 0.999, "dominated point on frontier");
+            assert!(
+                w[1].gflops >= w[0].gflops * 0.999,
+                "dominated point on frontier"
+            );
         }
         // Nothing in the space dominates a frontier point.
         for f in &frontier {

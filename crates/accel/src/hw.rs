@@ -51,17 +51,26 @@ impl AccelHwConfig {
     /// Returns a copy with a different clock frequency (design-space
     /// sweeps).
     pub fn with_frequency(&self, frequency: Hertz) -> Self {
-        Self { frequency, ..self.clone() }
+        Self {
+            frequency,
+            ..self.clone()
+        }
     }
 
     /// Returns a copy with a different core count.
     pub fn with_cores(&self, cores: u32) -> Self {
-        Self { cores, ..self.clone() }
+        Self {
+            cores,
+            ..self.clone()
+        }
     }
 
     /// Returns a copy with a different block size.
     pub fn with_block_elems(&self, block_elems: u64) -> Self {
-        Self { block_elems, ..self.clone() }
+        Self {
+            block_elems,
+            ..self.clone()
+        }
     }
 
     /// Validates the configuration.

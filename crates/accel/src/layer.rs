@@ -48,18 +48,33 @@ impl AcceleratorLayer {
                 pes: AcceleratorKind::ALL.to_vec(),
             })
             .collect();
-        Self { mesh, tiles, hw, mem: MemoryConfig::hmc_stack(), dma_scale: 1.0 }
+        Self {
+            mesh,
+            tiles,
+            hw,
+            mem: MemoryConfig::hmc_stack(),
+            dma_scale: 1.0,
+        }
     }
 
     /// Builds a layer with explicit parts (used by design-space sweeps).
     pub fn with_parts(mesh: Mesh, tiles: Vec<Tile>, hw: AccelHwConfig, mem: MemoryConfig) -> Self {
-        Self { mesh, tiles, hw, mem, dma_scale: 1.0 }
+        Self {
+            mesh,
+            tiles,
+            hw,
+            mem,
+            dma_scale: 1.0,
+        }
     }
 
     /// Returns a copy with a scaled DMA efficiency (see
     /// [`AccelModel::execute_scaled`]).
     pub fn with_dma_scale(&self, dma_scale: f64) -> Self {
-        Self { dma_scale, ..self.clone() }
+        Self {
+            dma_scale,
+            ..self.clone()
+        }
     }
 
     /// The mesh NoC.
@@ -90,7 +105,10 @@ impl AcceleratorLayer {
     /// Returns a copy talking to a different memory device (e.g. the
     /// remote-stack view of §3.3).
     pub fn with_mem(&self, mem: MemoryConfig) -> Self {
-        Self { mem, ..self.clone() }
+        Self {
+            mem,
+            ..self.clone()
+        }
     }
 
     /// Returns `true` if some tile has a PE of the given kind.
@@ -135,7 +153,12 @@ mod tests {
     #[test]
     fn execute_dispatches_to_model() {
         let layer = AcceleratorLayer::mealib_default();
-        let r = layer.execute(&AccelParams::Axpy { n: 1 << 24, alpha: 1.0, incx: 1, incy: 1 });
+        let r = layer.execute(&AccelParams::Axpy {
+            n: 1 << 24,
+            alpha: 1.0,
+            incx: 1,
+            incy: 1,
+        });
         assert!(r.time.get() > 0.0);
         assert_eq!(r.kind, AcceleratorKind::Axpy);
     }
@@ -154,7 +177,10 @@ mod tests {
         let tiles: Vec<Tile> = layer
             .tiles()
             .iter()
-            .map(|t| Tile { pes: vec![AcceleratorKind::Axpy], ..t.clone() })
+            .map(|t| Tile {
+                pes: vec![AcceleratorKind::Axpy],
+                ..t.clone()
+            })
             .collect();
         let stripped = AcceleratorLayer::with_parts(
             layer.mesh().clone(),

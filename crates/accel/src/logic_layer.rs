@@ -168,7 +168,11 @@ mod tests {
         let r = ReshapeInfrastructure::mealib_default();
         assert!(r.validate().is_ok());
         // "0.45 mm², which is only 0.66% of the entire logic layer."
-        assert!((r.layer_share() - 0.0066).abs() < 0.001, "{}", r.layer_share());
+        assert!(
+            (r.layer_share() - 0.0066).abs() < 0.001,
+            "{}",
+            r.layer_share()
+        );
         assert_eq!(r.active_power, Watts::new(0.25));
     }
 

@@ -148,7 +148,12 @@ impl AccelModel {
                     ])
                 }
             }
-            AccelParams::Dot { n, incx, incy, complex } => {
+            AccelParams::Dot {
+                n,
+                incx,
+                incy,
+                complex,
+            } => {
                 let elem = if complex { 8 } else { 4 };
                 if incx == 1 && incy == 1 {
                     AccessPattern::sequential_read(2 * elem * n)
@@ -185,7 +190,11 @@ impl AccelModel {
                 // ...and y streams out.
                 AccessPattern::sequential_write(4 * rows),
             ]),
-            AccelParams::Resmp { blocks, in_per_block, out_per_block } => {
+            AccelParams::Resmp {
+                blocks,
+                in_per_block,
+                out_per_block,
+            } => {
                 AccessPattern::sequential_rw(4 * blocks * in_per_block, 4 * blocks * out_per_block)
             }
             AccelParams::Fft { n, batch } => {
@@ -201,7 +210,11 @@ impl AccelModel {
                     ])
                 }
             }
-            AccelParams::Reshp { rows, cols, elem_bytes } => {
+            AccelParams::Reshp {
+                rows,
+                cols,
+                elem_bytes,
+            } => {
                 // The data-reshape infrastructure buffers row-buffer-sized
                 // tiles, so both the read and the write stream.
                 let bytes = rows * cols * elem_bytes as u64;
@@ -228,10 +241,12 @@ impl AccelModel {
             }
             AccelParams::Gemv { m, n } => 2 * m * n,
             AccelParams::Spmv { nnz, .. } => 2 * nnz,
-            AccelParams::Resmp { blocks, out_per_block, .. } => 4 * blocks * out_per_block,
-            AccelParams::Fft { n, batch } => {
-                5 * n * (63 - n.leading_zeros() as u64) * batch
-            }
+            AccelParams::Resmp {
+                blocks,
+                out_per_block,
+                ..
+            } => 4 * blocks * out_per_block,
+            AccelParams::Fft { n, batch } => 5 * n * (63 - n.leading_zeros() as u64) * batch,
             AccelParams::Reshp { .. } => 0,
         }
     }
@@ -301,7 +316,8 @@ impl AccelModel {
         mem: &MemoryConfig,
         dma_scale: f64,
     ) -> ExecReport {
-        hw.validate().expect("invalid accelerator hardware configuration");
+        hw.validate()
+            .expect("invalid accelerator hardware configuration");
         params.validate().expect("invalid accelerator parameters");
         let pattern = self.access_pattern(params, hw);
         let mut mem_stats = analytic::estimate(mem, &pattern);
@@ -318,11 +334,9 @@ impl AccelModel {
         let time = busy + CONFIG_LATENCY;
 
         // Recharge DRAM background power over the stretched interval.
-        let mem_energy = mem.energy.trace_energy(
-            mem_stats.activations,
-            mem_stats.bytes_moved().get(),
-            busy,
-        );
+        let mem_energy =
+            mem.energy
+                .trace_energy(mem_stats.activations, mem_stats.bytes_moved().get(), busy);
         mem_stats.energy = mem_energy;
 
         let prof = profile_at(self.kind, hw.frequency);
@@ -357,7 +371,12 @@ mod tests {
 
     #[test]
     fn axpy_is_memory_bound_on_the_stack() {
-        let r = run(AccelParams::Axpy { n: 1 << 28, alpha: 2.0, incx: 1, incy: 1 });
+        let r = run(AccelParams::Axpy {
+            n: 1 << 28,
+            alpha: 2.0,
+            incx: 1,
+            incy: 1,
+        });
         assert!(r.mem_time > r.compute_time, "AXPY must be memory-bound");
         // 12 bytes per 2 flops at ~300+ GB/s → tens of GFLOPS.
         let g = r.gflops().get();
@@ -366,7 +385,11 @@ mod tests {
 
     #[test]
     fn reshp_throughput_tracks_bandwidth() {
-        let r = run(AccelParams::Reshp { rows: 16384, cols: 16384, elem_bytes: 4 });
+        let r = run(AccelParams::Reshp {
+            rows: 16384,
+            cols: 16384,
+            elem_bytes: 4,
+        });
         assert_eq!(r.flops, 0);
         let gbs = r.gbytes_per_sec();
         assert!((200.0..512.0).contains(&gbs), "RESHP {gbs:.0} GB/s");
@@ -374,7 +397,12 @@ mod tests {
 
     #[test]
     fn spmv_is_slowest_per_byte() {
-        let dense = run(AccelParams::Dot { n: 1 << 26, incx: 1, incy: 1, complex: false });
+        let dense = run(AccelParams::Dot {
+            n: 1 << 26,
+            incx: 1,
+            incy: 1,
+            complex: false,
+        });
         let sparse = run(AccelParams::Spmv {
             rows: 1 << 20,
             cols: 1 << 20,
@@ -390,7 +418,10 @@ mod tests {
 
     #[test]
     fn fft_hits_the_fig11_throughput_scale() {
-        let r = run(AccelParams::Fft { n: 8192, batch: 8192 });
+        let r = run(AccelParams::Fft {
+            n: 8192,
+            batch: 8192,
+        });
         let g = r.gflops().get();
         // Fig 11a: the FFT design space tops out around 2000+ GFLOPS.
         assert!((500.0..3000.0).contains(&g), "FFT {g:.0} GFLOPS");
@@ -418,21 +449,46 @@ mod tests {
 
     #[test]
     fn strided_dot_is_slower_than_unit_stride() {
-        let unit = run(AccelParams::Dot { n: 1 << 22, incx: 1, incy: 1, complex: true });
-        let strided = run(AccelParams::Dot { n: 1 << 22, incx: 1, incy: 64, complex: true });
+        let unit = run(AccelParams::Dot {
+            n: 1 << 22,
+            incx: 1,
+            incy: 1,
+            complex: true,
+        });
+        let strided = run(AccelParams::Dot {
+            n: 1 << 22,
+            incx: 1,
+            incy: 64,
+            complex: true,
+        });
         assert!(strided.time > unit.time);
     }
 
     #[test]
     fn config_latency_floors_small_invocations() {
-        let tiny = run(AccelParams::Axpy { n: 16, alpha: 1.0, incx: 1, incy: 1 });
+        let tiny = run(AccelParams::Axpy {
+            n: 16,
+            alpha: 1.0,
+            incx: 1,
+            incy: 1,
+        });
         assert!(tiny.time >= CONFIG_LATENCY);
     }
 
     #[test]
     fn report_composition() {
-        let a = run(AccelParams::Axpy { n: 1 << 20, alpha: 1.0, incx: 1, incy: 1 });
-        let b = run(AccelParams::Dot { n: 1 << 20, incx: 1, incy: 1, complex: false });
+        let a = run(AccelParams::Axpy {
+            n: 1 << 20,
+            alpha: 1.0,
+            incx: 1,
+            incy: 1,
+        });
+        let b = run(AccelParams::Dot {
+            n: 1 << 20,
+            incx: 1,
+            incy: 1,
+            complex: false,
+        });
         let c = a.then(&b);
         assert_eq!(c.flops, a.flops + b.flops);
         assert!((c.time.get() - (a.time + b.time).get()).abs() < 1e-15);
@@ -450,6 +506,9 @@ mod tests {
     fn energy_split_is_consistent() {
         let r = run(AccelParams::Gemv { m: 8192, n: 8192 });
         assert!(r.mem_energy.get() > 0.0);
-        assert!(r.energy.get() > r.mem_energy.get(), "core energy must be nonzero");
+        assert!(
+            r.energy.get() > r.mem_energy.get(),
+            "core energy must be nonzero"
+        );
     }
 }

@@ -123,13 +123,23 @@ impl AccelParams {
         let mut out = vec![self.kind().opcode()];
         let push64 = |v: u64, out: &mut Vec<u8>| out.extend_from_slice(&v.to_le_bytes());
         match *self {
-            AccelParams::Axpy { n, alpha, incx, incy } => {
+            AccelParams::Axpy {
+                n,
+                alpha,
+                incx,
+                incy,
+            } => {
                 push64(n, &mut out);
                 out.extend_from_slice(&alpha.to_le_bytes());
                 out.extend_from_slice(&incx.to_le_bytes());
                 out.extend_from_slice(&incy.to_le_bytes());
             }
-            AccelParams::Dot { n, incx, incy, complex } => {
+            AccelParams::Dot {
+                n,
+                incx,
+                incy,
+                complex,
+            } => {
                 push64(n, &mut out);
                 out.extend_from_slice(&incx.to_le_bytes());
                 out.extend_from_slice(&incy.to_le_bytes());
@@ -144,7 +154,11 @@ impl AccelParams {
                 push64(cols, &mut out);
                 push64(nnz, &mut out);
             }
-            AccelParams::Resmp { blocks, in_per_block, out_per_block } => {
+            AccelParams::Resmp {
+                blocks,
+                in_per_block,
+                out_per_block,
+            } => {
                 push64(blocks, &mut out);
                 push64(in_per_block, &mut out);
                 push64(out_per_block, &mut out);
@@ -153,7 +167,11 @@ impl AccelParams {
                 push64(n, &mut out);
                 push64(batch, &mut out);
             }
-            AccelParams::Reshp { rows, cols, elem_bytes } => {
+            AccelParams::Reshp {
+                rows,
+                cols,
+                elem_bytes,
+            } => {
                 push64(rows, &mut out);
                 push64(cols, &mut out);
                 out.extend_from_slice(&elem_bytes.to_le_bytes());
@@ -185,7 +203,10 @@ impl AccelParams {
                 incy: cursor.u32()?,
                 complex: cursor.u8()? != 0,
             },
-            AcceleratorKind::Gemv => AccelParams::Gemv { m: cursor.u64()?, n: cursor.u64()? },
+            AcceleratorKind::Gemv => AccelParams::Gemv {
+                m: cursor.u64()?,
+                n: cursor.u64()?,
+            },
             AcceleratorKind::Spmv => AccelParams::Spmv {
                 rows: cursor.u64()?,
                 cols: cursor.u64()?,
@@ -196,9 +217,10 @@ impl AccelParams {
                 in_per_block: cursor.u64()?,
                 out_per_block: cursor.u64()?,
             },
-            AcceleratorKind::Fft => {
-                AccelParams::Fft { n: cursor.u64()?, batch: cursor.u64()? }
-            }
+            AcceleratorKind::Fft => AccelParams::Fft {
+                n: cursor.u64()?,
+                batch: cursor.u64()?,
+            },
             AcceleratorKind::Reshp => AccelParams::Reshp {
                 rows: cursor.u64()?,
                 cols: cursor.u64()?,
@@ -245,7 +267,11 @@ impl AccelParams {
                     return Err(ParamsError::Invalid("spmv nnz exceeds matrix capacity"));
                 }
             }
-            AccelParams::Resmp { blocks, in_per_block, out_per_block } => {
+            AccelParams::Resmp {
+                blocks,
+                in_per_block,
+                out_per_block,
+            } => {
                 if blocks == 0 || in_per_block == 0 || out_per_block == 0 {
                     return Err(ParamsError::Invalid("resmp sizes must be nonzero"));
                 }
@@ -258,7 +284,11 @@ impl AccelParams {
                     return Err(ParamsError::Invalid("fft batch must be nonzero"));
                 }
             }
-            AccelParams::Reshp { rows, cols, elem_bytes } => {
+            AccelParams::Reshp {
+                rows,
+                cols,
+                elem_bytes,
+            } => {
                 if rows == 0 || cols == 0 || elem_bytes == 0 {
                     return Err(ParamsError::Invalid("reshp dimensions must be nonzero"));
                 }
@@ -287,15 +317,21 @@ impl Cursor<'_> {
     }
 
     fn u32(&mut self) -> Result<u32, ParamsError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn u64(&mut self) -> Result<u64, ParamsError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn f32(&mut self) -> Result<f32, ParamsError> {
-        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(f32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 }
 
@@ -305,13 +341,38 @@ mod tests {
 
     fn samples() -> Vec<AccelParams> {
         vec![
-            AccelParams::Axpy { n: 1 << 28, alpha: 2.5, incx: 1, incy: 1 },
-            AccelParams::Dot { n: 1 << 28, incx: 1, incy: 7, complex: true },
+            AccelParams::Axpy {
+                n: 1 << 28,
+                alpha: 2.5,
+                incx: 1,
+                incy: 1,
+            },
+            AccelParams::Dot {
+                n: 1 << 28,
+                incx: 1,
+                incy: 7,
+                complex: true,
+            },
             AccelParams::Gemv { m: 16384, n: 16384 },
-            AccelParams::Spmv { rows: 1 << 20, cols: 1 << 20, nnz: 12 << 20 },
-            AccelParams::Resmp { blocks: 16384, in_per_block: 1024, out_per_block: 2048 },
-            AccelParams::Fft { n: 8192, batch: 8192 },
-            AccelParams::Reshp { rows: 16384, cols: 16384, elem_bytes: 4 },
+            AccelParams::Spmv {
+                rows: 1 << 20,
+                cols: 1 << 20,
+                nnz: 12 << 20,
+            },
+            AccelParams::Resmp {
+                blocks: 16384,
+                in_per_block: 1024,
+                out_per_block: 2048,
+            },
+            AccelParams::Fft {
+                n: 8192,
+                batch: 8192,
+            },
+            AccelParams::Reshp {
+                rows: 16384,
+                cols: 16384,
+                elem_bytes: 4,
+            },
         ]
     }
 
@@ -340,19 +401,46 @@ mod tests {
 
     #[test]
     fn unknown_tag_is_rejected() {
-        assert_eq!(AccelParams::from_bytes(&[0x7f, 0, 0]), Err(ParamsError::BadTag(0x7f)));
+        assert_eq!(
+            AccelParams::from_bytes(&[0x7f, 0, 0]),
+            Err(ParamsError::BadTag(0x7f))
+        );
         assert_eq!(AccelParams::from_bytes(&[]), Err(ParamsError::Truncated));
     }
 
     #[test]
     fn validation_rules() {
-        assert!(AccelParams::Axpy { n: 0, alpha: 1.0, incx: 1, incy: 1 }.validate().is_err());
-        assert!(AccelParams::Dot { n: 4, incx: 0, incy: 1, complex: false }
-            .validate()
-            .is_err());
+        assert!(AccelParams::Axpy {
+            n: 0,
+            alpha: 1.0,
+            incx: 1,
+            incy: 1
+        }
+        .validate()
+        .is_err());
+        assert!(AccelParams::Dot {
+            n: 4,
+            incx: 0,
+            incy: 1,
+            complex: false
+        }
+        .validate()
+        .is_err());
         assert!(AccelParams::Fft { n: 100, batch: 1 }.validate().is_err());
-        assert!(AccelParams::Spmv { rows: 2, cols: 2, nnz: 5 }.validate().is_err());
-        assert!(AccelParams::Reshp { rows: 1, cols: 1, elem_bytes: 0 }.validate().is_err());
+        assert!(AccelParams::Spmv {
+            rows: 2,
+            cols: 2,
+            nnz: 5
+        }
+        .validate()
+        .is_err());
+        assert!(AccelParams::Reshp {
+            rows: 1,
+            cols: 1,
+            elem_bytes: 0
+        }
+        .validate()
+        .is_err());
         for p in samples() {
             assert!(p.validate().is_ok(), "{p:?}");
         }

@@ -11,7 +11,6 @@
 use mealib_tdl::AcceleratorKind;
 use mealib_types::{Hertz, Joules, Watts};
 
-
 /// Synthesis-derived constants for one accelerator at the nominal
 /// configuration (32 cores, 1 GHz, 32 nm).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -112,7 +111,10 @@ pub fn profile_at(kind: AcceleratorKind, frequency: Hertz) -> SynthesisProfile {
 /// Sum of all accelerator areas plus NoC and TSVs — the Table 5 "Total"
 /// row numerator.
 pub fn total_layer_area(noc_area_mm2: f64) -> f64 {
-    let accel: f64 = AcceleratorKind::ALL.iter().map(|&k| profile(k).area_mm2).sum();
+    let accel: f64 = AcceleratorKind::ALL
+        .iter()
+        .map(|&k| profile(k).area_mm2)
+        .sum();
     accel + noc_area_mm2 + TSV_AREA_MM2
 }
 
@@ -174,7 +176,11 @@ mod tests {
     fn spmv_and_fft_dominate_area() {
         let spmv = profile(AcceleratorKind::Spmv).area_mm2;
         let fft = profile(AcceleratorKind::Fft).area_mm2;
-        for k in [AcceleratorKind::Axpy, AcceleratorKind::Dot, AcceleratorKind::Gemv] {
+        for k in [
+            AcceleratorKind::Axpy,
+            AcceleratorKind::Dot,
+            AcceleratorKind::Gemv,
+        ] {
             assert!(profile(k).area_mm2 < spmv);
             assert!(profile(k).area_mm2 < fft);
         }

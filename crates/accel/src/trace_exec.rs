@@ -133,7 +133,11 @@ pub fn generate_trace(
                 trace.push(Request::read(addr, 4));
             }
         }
-        AccelParams::Resmp { blocks, in_per_block, out_per_block } => {
+        AccelParams::Resmp {
+            blocks,
+            in_per_block,
+            out_per_block,
+        } => {
             let full = 4 * blocks * (in_per_block + out_per_block);
             let (bytes, s) = scaled(full, max_bytes);
             scale = s;
@@ -159,7 +163,11 @@ pub fn generate_trace(
                 }
             }
         }
-        AccelParams::Reshp { rows, cols, elem_bytes } => {
+        AccelParams::Reshp {
+            rows,
+            cols,
+            elem_bytes,
+        } => {
             // The reshape infrastructure buffers row-sized tiles: both
             // sides stream at chunk granularity.
             let (bytes, s) = scaled(rows * cols * elem_bytes as u64, max_bytes / 2);
@@ -188,7 +196,11 @@ pub fn execute_traced(
     let (trace, scale) = generate_trace(params, hw, max_bytes);
     let requests = trace.len();
     let stats = simulate_trace(mem, &trace);
-    TracedExec { stats, scale, requests }
+    TracedExec {
+        stats,
+        scale,
+        requests,
+    }
 }
 
 #[cfg(test)]
@@ -199,12 +211,33 @@ mod tests {
 
     fn cases() -> Vec<AccelParams> {
         vec![
-            AccelParams::Axpy { n: 1 << 24, alpha: 1.0, incx: 1, incy: 1 },
-            AccelParams::Dot { n: 1 << 24, incx: 1, incy: 1, complex: false },
+            AccelParams::Axpy {
+                n: 1 << 24,
+                alpha: 1.0,
+                incx: 1,
+                incy: 1,
+            },
+            AccelParams::Dot {
+                n: 1 << 24,
+                incx: 1,
+                incy: 1,
+                complex: false,
+            },
             AccelParams::Gemv { m: 4096, n: 4096 },
-            AccelParams::Resmp { blocks: 1024, in_per_block: 1024, out_per_block: 1024 },
-            AccelParams::Fft { n: 8192, batch: 512 },
-            AccelParams::Reshp { rows: 4096, cols: 4096, elem_bytes: 4 },
+            AccelParams::Resmp {
+                blocks: 1024,
+                in_per_block: 1024,
+                out_per_block: 1024,
+            },
+            AccelParams::Fft {
+                n: 8192,
+                batch: 512,
+            },
+            AccelParams::Reshp {
+                rows: 4096,
+                cols: 4096,
+                elem_bytes: 4,
+            },
         ]
     }
 
@@ -235,16 +268,29 @@ mod tests {
         for params in cases() {
             let (trace, scale) = generate_trace(&params, &hw, 8 << 20);
             assert!(!trace.is_empty(), "{:?}", params.kind());
-            assert!(scale > 0.0 && scale <= 1.0, "{:?}: scale {scale}", params.kind());
+            assert!(
+                scale > 0.0 && scale <= 1.0,
+                "{:?}: scale {scale}",
+                params.kind()
+            );
             let bytes: u64 = trace.iter().map(|r| r.bytes).sum();
-            assert!(bytes <= (8 << 20) + 4 * CHUNK, "{:?}: {bytes} bytes", params.kind());
+            assert!(
+                bytes <= (8 << 20) + 4 * CHUNK,
+                "{:?}: {bytes} bytes",
+                params.kind()
+            );
         }
     }
 
     #[test]
     fn small_ops_trace_in_full() {
         let hw = AccelHwConfig::mealib_default();
-        let p = AccelParams::Axpy { n: 1024, alpha: 1.0, incx: 1, incy: 1 };
+        let p = AccelParams::Axpy {
+            n: 1024,
+            alpha: 1.0,
+            incx: 1,
+            incy: 1,
+        };
         let (trace, scale) = generate_trace(&p, &hw, 1 << 20);
         assert_eq!(scale, 1.0);
         let read: u64 = trace
@@ -258,7 +304,11 @@ mod tests {
     #[test]
     fn spmv_trace_mixes_streams_and_gathers() {
         let hw = AccelHwConfig::mealib_default();
-        let p = AccelParams::Spmv { rows: 1 << 16, cols: 1 << 16, nnz: 13 << 16 };
+        let p = AccelParams::Spmv {
+            rows: 1 << 16,
+            cols: 1 << 16,
+            nnz: 13 << 16,
+        };
         let (trace, _) = generate_trace(&p, &hw, 4 << 20);
         let tiny = trace.iter().filter(|r| r.bytes == 4).count();
         let chunky = trace.iter().filter(|r| r.bytes > 1024).count();
@@ -270,7 +320,10 @@ mod tests {
     fn fft_past_lm_capacity_traces_two_passes() {
         let hw = AccelHwConfig::mealib_default(); // 256 KiB LM
         let small = AccelParams::Fft { n: 8192, batch: 4 }; // 64 KiB / transform
-        let large = AccelParams::Fft { n: 1 << 16, batch: 4 }; // 512 KiB / transform
+        let large = AccelParams::Fft {
+            n: 1 << 16,
+            batch: 4,
+        }; // 512 KiB / transform
         let cap = 64 << 20;
         let (t_small, s1) = generate_trace(&small, &hw, cap);
         let (t_large, s2) = generate_trace(&large, &hw, cap);

@@ -8,24 +8,49 @@ use proptest::prelude::*;
 fn params_strategy() -> impl Strategy<Value = AccelParams> {
     prop_oneof![
         (1u64..(1 << 28), -8i32..8, 1u32..8, 1u32..8).prop_map(|(n, a, ix, iy)| {
-            AccelParams::Axpy { n, alpha: a as f32 / 2.0, incx: ix, incy: iy }
+            AccelParams::Axpy {
+                n,
+                alpha: a as f32 / 2.0,
+                incx: ix,
+                incy: iy,
+            }
         }),
-        (1u64..(1 << 28), 1u32..8, 1u32..8, any::<bool>())
-            .prop_map(|(n, ix, iy, c)| AccelParams::Dot { n, incx: ix, incy: iy, complex: c }),
+        (1u64..(1 << 28), 1u32..8, 1u32..8, any::<bool>()).prop_map(|(n, ix, iy, c)| {
+            AccelParams::Dot {
+                n,
+                incx: ix,
+                incy: iy,
+                complex: c,
+            }
+        }),
         (1u64..16384, 1u64..16384).prop_map(|(m, n)| AccelParams::Gemv { m, n }),
         (1u64..(1 << 20), 1u64..(1 << 20), 1u64..(1 << 22)).prop_filter_map(
             "nnz fits matrix",
-            |(r, c, nnz)| (nnz <= r * c).then_some(AccelParams::Spmv { rows: r, cols: c, nnz }),
+            |(r, c, nnz)| (nnz <= r * c).then_some(AccelParams::Spmv {
+                rows: r,
+                cols: c,
+                nnz
+            }),
         ),
         (1u64..4096, 1u64..4096, 1u64..4096).prop_map(|(b, i, o)| AccelParams::Resmp {
             blocks: b,
             in_per_block: i,
             out_per_block: o,
         }),
-        (1u32..16, 1u64..4096)
-            .prop_map(|(log_n, batch)| AccelParams::Fft { n: 1 << log_n, batch }),
-        (1u64..16384, 1u64..16384, prop_oneof![Just(4u32), Just(8u32)])
-            .prop_map(|(r, c, e)| AccelParams::Reshp { rows: r, cols: c, elem_bytes: e }),
+        (1u32..16, 1u64..4096).prop_map(|(log_n, batch)| AccelParams::Fft {
+            n: 1 << log_n,
+            batch
+        }),
+        (
+            1u64..16384,
+            1u64..16384,
+            prop_oneof![Just(4u32), Just(8u32)]
+        )
+            .prop_map(|(r, c, e)| AccelParams::Reshp {
+                rows: r,
+                cols: c,
+                elem_bytes: e
+            }),
     ]
 }
 

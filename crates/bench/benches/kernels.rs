@@ -24,8 +24,9 @@ fn bench_fft(c: &mut Criterion) {
     let mut g = c.benchmark_group("fft");
     for n in [1024usize, 8192] {
         let plan = FftPlan::new(n);
-        let signal: Vec<Complex32> =
-            (0..n).map(|i| Complex32::new((i as f32 * 0.3).sin(), 0.0)).collect();
+        let signal: Vec<Complex32> = (0..n)
+            .map(|i| Complex32::new((i as f32 * 0.3).sin(), 0.0))
+            .collect();
         g.throughput(Throughput::Elements(n as u64));
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
@@ -60,8 +61,9 @@ fn bench_spmv(c: &mut Criterion) {
 fn bench_cherk(c: &mut Criterion) {
     let n = 80;
     let k = 64;
-    let a: Vec<Complex32> =
-        (0..n * k).map(|i| Complex32::new(i as f32 * 0.01, -(i as f32) * 0.02)).collect();
+    let a: Vec<Complex32> = (0..n * k)
+        .map(|i| Complex32::new(i as f32 * 0.01, -(i as f32) * 0.02))
+        .collect();
     c.bench_function("cherk_80x64", |b| {
         b.iter(|| {
             let mut cmat = vec![Complex32::ZERO; n * n];
@@ -71,5 +73,12 @@ fn bench_cherk(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_dot, bench_fft, bench_transpose, bench_spmv, bench_cherk);
+criterion_group!(
+    benches,
+    bench_dot,
+    bench_fft,
+    bench_transpose,
+    bench_spmv,
+    bench_cherk
+);
 criterion_main!(benches);

@@ -13,7 +13,9 @@ fn bench_dram_engine(c: &mut Criterion) {
     let trace = sequential_trace(0, 4 << 20, 256, Op::Read);
     let mut g = c.benchmark_group("dram_cycle_engine");
     g.throughput(Throughput::Bytes(4 << 20));
-    g.bench_function("sequential_4MiB", |b| b.iter(|| simulate_trace(&cfg, &trace)));
+    g.bench_function("sequential_4MiB", |b| {
+        b.iter(|| simulate_trace(&cfg, &trace))
+    });
     g.finish();
 }
 
@@ -40,7 +42,11 @@ fn bench_allocator(c: &mut Criterion) {
             );
             let mut live = Vec::new();
             for i in 0..128 {
-                live.push(space.alloc(Bytes::from_kib(64 + (i % 7) * 16)).expect("fits"));
+                live.push(
+                    space
+                        .alloc(Bytes::from_kib(64 + (i % 7) * 16))
+                        .expect("fits"),
+                );
                 if i % 3 == 0 {
                     let r: AddrRange = live.swap_remove(live.len() / 2);
                     space.free(r.start()).expect("live");

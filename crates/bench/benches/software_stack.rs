@@ -48,7 +48,9 @@ fn bench_tdl(c: &mut Criterion) {
         b.iter(|| Descriptor::encode(&program, &params, &buffers).expect("encodable"))
     });
     let desc = Descriptor::encode(&program, &params, &buffers).expect("encodable");
-    c.bench_function("descriptor_decode", |b| b.iter(|| desc.decode().expect("decodable")));
+    c.bench_function("descriptor_decode", |b| {
+        b.iter(|| desc.decode().expect("decodable"))
+    });
 }
 
 fn bench_compiler(c: &mut Criterion) {

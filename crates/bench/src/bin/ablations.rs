@@ -20,9 +20,15 @@ fn main() {
 
     section("local-memory capacity: FFT single-pass vs two-pass crossover");
     let mut t = TextTable::new(vec!["LM per tile", "8192-pt FFT traffic", "time"]);
-    let fft = AccelParams::Fft { n: 8192, batch: 8192 };
+    let fft = AccelParams::Fft {
+        n: 8192,
+        batch: 8192,
+    };
     for lm_kib in [16u64, 64, 256, 1024] {
-        let hw_lm = AccelHwConfig { local_mem_bytes: lm_kib * 1024, ..hw.clone() };
+        let hw_lm = AccelHwConfig {
+            local_mem_bytes: lm_kib * 1024,
+            ..hw.clone()
+        };
         let r = AccelModel::new(AcceleratorKind::Fft).execute(&fft, &hw_lm, &mem);
         t.push_row(vec![
             format!("{lm_kib} KiB"),
@@ -36,10 +42,17 @@ fn main() {
     section("DRAM row-buffer size: streaming vs gather operations");
     let mut t = TextTable::new(vec!["row bytes", "GEMV time", "SPMV time"]);
     let gemv = AccelParams::Gemv { m: 16384, n: 16384 };
-    let spmv = AccelParams::Spmv { rows: 1 << 20, cols: 1 << 20, nnz: 13 << 20 };
+    let spmv = AccelParams::Spmv {
+        rows: 1 << 20,
+        cols: 1 << 20,
+        nnz: 13 << 20,
+    };
     for row in [1024u64, 2048, 4096, 8192] {
         let mut m = mem.clone();
-        if let AddressMapping::Interleaved { ref mut row_bytes, .. } = m.mapping {
+        if let AddressMapping::Interleaved {
+            ref mut row_bytes, ..
+        } = m.mapping
+        {
             *row_bytes = row;
         }
         let g = AccelModel::new(AcceleratorKind::Gemv).execute(&gemv, &hw, &m);
@@ -56,8 +69,18 @@ fn main() {
     section("DMA efficiency: what the per-kind derates cost");
     let mut t = TextTable::new(vec!["op", "modeled eff", "time", "time at 0.95"]);
     for op in [
-        AccelParams::Axpy { n: 256 << 20, alpha: 1.0, incx: 1, incy: 1 },
-        AccelParams::Dot { n: 256 << 20, incx: 1, incy: 1, complex: false },
+        AccelParams::Axpy {
+            n: 256 << 20,
+            alpha: 1.0,
+            incx: 1,
+            incy: 1,
+        },
+        AccelParams::Dot {
+            n: 256 << 20,
+            incx: 1,
+            incy: 1,
+            complex: false,
+        },
         fft,
     ] {
         let model = AccelModel::new(op.kind());
@@ -74,14 +97,20 @@ fn main() {
 
     section("stack bandwidth: the gain's primary dependence (§5.3)");
     let mut t = TextTable::new(vec!["stack", "peak BW", "GEMV time", "FFT time"]);
-    let fft_wl = AccelParams::Fft { n: 8192, batch: 8192 };
+    let fft_wl = AccelParams::Fft {
+        n: 8192,
+        batch: 8192,
+    };
     for m in [
         MemoryConfig::hmc_stack_remote(),
         MemoryConfig::hmc_stack_gen1(),
         MemoryConfig::hmc_stack(),
     ] {
-        let g = AccelModel::new(AcceleratorKind::Gemv)
-            .execute(&AccelParams::Gemv { m: 16384, n: 16384 }, &hw, &m);
+        let g = AccelModel::new(AcceleratorKind::Gemv).execute(
+            &AccelParams::Gemv { m: 16384, n: 16384 },
+            &hw,
+            &m,
+        );
         let f = AccelModel::new(AcceleratorKind::Fft).execute(&fft_wl, &hw, &m);
         t.push_row(vec![
             m.name.clone(),

@@ -68,11 +68,17 @@ fn main() {
     println!("dynamic library calls:     {}", out.stats.dynamic_calls);
     println!("descriptors generated:     {}", out.stats.descriptors);
     println!("calls fused by chaining:   {}", out.stats.chained_calls);
-    println!("buffers moved to MEALib:   {}", out.stats.allocations_rewritten);
+    println!(
+        "buffers moved to MEALib:   {}",
+        out.stats.allocations_rewritten
+    );
 
     section("generated TDL");
     for gen in &out.tdl {
-        println!("// {} — compacts {} call(s)", gen.plan_name, gen.calls_compacted);
+        println!(
+            "// {} — compacts {} call(s)",
+            gen.plan_name, gen.calls_compacted
+        );
         println!("{}", gen.text);
     }
 

@@ -37,6 +37,10 @@ fn main() {
             .filter(|p| p.benchmark.suite == suite)
             .map(|p| p.multi_thread)
             .fold(0.0_f64, f64::max);
-        println!("{:8} max multi-thread speedup: {}", suite.name(), fmt_gain(best));
+        println!(
+            "{:8} max multi-thread speedup: {}",
+            suite.name(),
+            fmt_gain(best)
+        );
     }
 }

@@ -12,7 +12,9 @@ use mealib_tdl::AcceleratorKind;
 
 fn print_space(kind: AcceleratorKind, points: &[DesignPoint], paper_range: &str) {
     section(&format!("{kind} design space (one row per point)"));
-    let mut t = TextTable::new(vec!["freq", "cores", "block", "row", "GFLOPS", "power", "GF/W"]);
+    let mut t = TextTable::new(vec![
+        "freq", "cores", "block", "row", "GFLOPS", "power", "GF/W",
+    ]);
     for p in points {
         t.push_row(vec![
             format!("{:.1} GHz", p.frequency.as_ghz()),
@@ -25,8 +27,14 @@ fn print_space(kind: AcceleratorKind, points: &[DesignPoint], paper_range: &str)
         ]);
     }
     print!("{t}");
-    let min = points.iter().map(DesignPoint::gflops_per_watt).fold(f64::INFINITY, f64::min);
-    let max = points.iter().map(DesignPoint::gflops_per_watt).fold(0.0_f64, f64::max);
+    let min = points
+        .iter()
+        .map(DesignPoint::gflops_per_watt)
+        .fold(f64::INFINITY, f64::min);
+    let max = points
+        .iter()
+        .map(DesignPoint::gflops_per_watt)
+        .fold(0.0_f64, f64::max);
     println!();
     println!("{kind} efficiency range: {min:.2} - {max:.2} GFLOPS/W (paper: {paper_range})");
 }
@@ -42,6 +50,11 @@ fn main() {
     let fft = sweep(AcceleratorKind::Fft, &fft_reference_workload(), &grid, &mem);
     print_space(AcceleratorKind::Fft, &fft, "10-56 GFLOPS/W");
 
-    let spmv = sweep(AcceleratorKind::Spmv, &spmv_reference_workload(), &grid, &mem);
+    let spmv = sweep(
+        AcceleratorKind::Spmv,
+        &spmv_reference_workload(),
+        &grid,
+        &mem,
+    );
     print_space(AcceleratorKind::Spmv, &spmv, "0.18-1.76 GFLOPS/W");
 }

@@ -18,7 +18,11 @@ fn main() {
         t.push_row(vec![
             f.to_string(),
             purpose.to_string(),
-            if mem { "memory-bounded".into() } else { "compute-bounded".to_string() },
+            if mem {
+                "memory-bounded".into()
+            } else {
+                "compute-bounded".to_string()
+            },
         ]);
     }
     print!("{t}");
@@ -34,8 +38,13 @@ fn main() {
         "paper",
     ]);
     let paper = [("2.0x", "4.5x"), ("2.3x", "9.0x"), ("3.2x", "10.2x")];
-    for (cfg, (pp, pe)) in
-        [StapConfig::small(), StapConfig::medium(), StapConfig::large()].iter().zip(paper)
+    for (cfg, (pp, pe)) in [
+        StapConfig::small(),
+        StapConfig::medium(),
+        StapConfig::large(),
+    ]
+    .iter()
+    .zip(paper)
     {
         let haswell = stap::run_on_haswell(cfg);
         let mealib = stap::run_on_mealib(cfg);

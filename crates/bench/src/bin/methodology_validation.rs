@@ -102,15 +102,18 @@ fn main() {
             let fmt_rate = |r: Option<f64>| {
                 r.map_or_else(|| "-".to_string(), |v| format!("{:.0}%", v * 100.0))
             };
-            let fmt_lat = |q: Option<u64>| {
-                q.map_or_else(|| "-".to_string(), |c| format!("<{c} cyc"))
-            };
+            let fmt_lat =
+                |q: Option<u64>| q.map_or_else(|| "-".to_string(), |c| format!("<{c} cyc"));
             t.push_row(vec![
                 case.name.to_string(),
                 format!("{:.1} GB/s", sim.achieved_bandwidth().as_gb_per_sec()),
                 format!("{:.1} GB/s", est.achieved_bandwidth().as_gb_per_sec()),
                 format!("{ratio:.2}"),
-                format!("{} / {}", fmt_rate(sim.row_hit_rate()), fmt_rate(est.row_hit_rate())),
+                format!(
+                    "{} / {}",
+                    fmt_rate(sim.row_hit_rate()),
+                    fmt_rate(est.row_hit_rate())
+                ),
                 fmt_lat(lat.quantile_bound(0.5)),
                 fmt_lat(lat.quantile_bound(0.99)),
             ]);

@@ -50,8 +50,16 @@ fn main() {
             row.params.kind().to_string(),
             format!("{power:.2} W"),
             format!("{:.2} W", paper_power[i].1),
-            if area > 0.0 { format!("{area:.2} mm2") } else { "- (logic layer)".into() },
-            if paper_area[i].is_nan() { "-".into() } else { format!("{:.2} mm2", paper_area[i]) },
+            if area > 0.0 {
+                format!("{area:.2} mm2")
+            } else {
+                "- (logic layer)".into()
+            },
+            if paper_area[i].is_nan() {
+                "-".into()
+            } else {
+                format!("{:.2} mm2", paper_area[i])
+            },
         ]);
     }
 
@@ -83,9 +91,7 @@ fn main() {
     // so the layer budget is the most power-hungry accelerator + NoC.
     let total_power = max_power + noc_power;
     let total_area = total_layer_area(NOC_AREA_MM2);
-    println!(
-        "total power: {total_power:.2} W   (paper: 23.85 W — max accelerator + NoC)"
-    );
+    println!("total power: {total_power:.2} W   (paper: 23.85 W — max accelerator + NoC)");
     println!(
         "total area:  {total_area:.2} mm2 = {:.1}% of the {LAYER_AREA_BUDGET_MM2:.0} mm2 layer   (paper: 41.77 mm2 = 61.43%)",
         100.0 * total_area / LAYER_AREA_BUDGET_MM2

@@ -230,10 +230,18 @@ pub fn analyze(unit: &TranslationUnit) -> Result<TransformPlan, AnalysisError> {
             }
         }
         match stmt {
-            Stmt::Decl(Decl { name, init: Some(Expr::Int(v)), .. }) => {
+            Stmt::Decl(Decl {
+                name,
+                init: Some(Expr::Int(v)),
+                ..
+            }) => {
                 consts.insert(name.clone(), *v);
             }
-            Stmt::Decl(Decl { name, init: Some(init), .. }) => {
+            Stmt::Decl(Decl {
+                name,
+                init: Some(init),
+                ..
+            }) => {
                 scan_assignment(name, init, idx, &mut plans, &mut events, &consts)?;
             }
             Stmt::Expr(e) => {
@@ -256,8 +264,7 @@ pub fn analyze(unit: &TranslationUnit) -> Result<TransformPlan, AnalysisError> {
                 }
             }
             Stmt::For { .. } => {
-                if let Some((count, Expr::Call { callee, args })) =
-                    single_call_loop(stmt, &consts)
+                if let Some((count, Expr::Call { callee, args })) = single_call_loop(stmt, &consts)
                 {
                     scan_call(callee, args, idx, count, &plans, &mut events)?;
                 }
@@ -321,8 +328,10 @@ pub fn analyze(unit: &TranslationUnit) -> Result<TransformPlan, AnalysisError> {
         if group.len() > 1 {
             stats.chained_calls += group.len() as u64;
         }
-        let consumed: BTreeSet<usize> =
-            group.iter().flat_map(|e| e.consumed.iter().copied()).collect();
+        let consumed: BTreeSet<usize> = group
+            .iter()
+            .flat_map(|e| e.consumed.iter().copied())
+            .collect();
         let anchor = *consumed.iter().max().expect("events consume statements");
         tdl.push(GeneratedTdl {
             plan_name: plan_name.clone(),
@@ -333,11 +342,23 @@ pub fn analyze(unit: &TranslationUnit) -> Result<TransformPlan, AnalysisError> {
                 .map(|(file, args)| crate::ParamFile { file, args })
                 .collect(),
         });
-        segments.push(Segment { anchor, consumed, plan_name, input, output });
+        segments.push(Segment {
+            anchor,
+            consumed,
+            plan_name,
+            input,
+            output,
+        });
     }
 
     stats.allocations_rewritten = accel_buffers.len() as u64;
-    Ok(TransformPlan { tdl, segments, accel_buffers, placements, stats })
+    Ok(TransformPlan {
+        tdl,
+        segments,
+        accel_buffers,
+        placements,
+        stats,
+    })
 }
 
 fn scan_assignment(
@@ -366,7 +387,13 @@ fn scan_assignment(
             .collect();
         plans.insert(
             target.to_string(),
-            PlanInfo { kind, input, output, param_args, creation_stmt: idx },
+            PlanInfo {
+                kind,
+                input,
+                output,
+                param_args,
+                creation_stmt: idx,
+            },
         );
     } else {
         // An assignment whose RHS is a direct accelerable call (e.g.
@@ -388,13 +415,15 @@ fn scan_call(
         return Ok(());
     };
     if api == LibApi::FftwExecute {
-        let name = args
-            .first()
-            .and_then(Expr::base_ident)
-            .ok_or_else(|| AnalysisError::OpaqueBuffer { callee: callee.to_string() })?;
-        let info = plans
-            .get(name)
-            .ok_or_else(|| AnalysisError::UnknownPlan { name: name.to_string() })?;
+        let name =
+            args.first()
+                .and_then(Expr::base_ident)
+                .ok_or_else(|| AnalysisError::OpaqueBuffer {
+                    callee: callee.to_string(),
+                })?;
+        let info = plans.get(name).ok_or_else(|| AnalysisError::UnknownPlan {
+            name: name.to_string(),
+        })?;
         let mut consumed = BTreeSet::from([idx, info.creation_stmt]);
         consumed.insert(idx);
         events.push(Event {
@@ -411,7 +440,9 @@ fn scan_call(
     let Some(kind) = api.accelerator() else {
         return Ok(()); // compute-bounded: stays on the host
     };
-    let (in_pos, out_pos) = api.buffer_positions().expect("accelerable APIs have positions");
+    let (in_pos, out_pos) = api
+        .buffer_positions()
+        .expect("accelerable APIs have positions");
     let buffer_positions = api.buffer_args();
     let input = buffer_arg(args, in_pos, callee)?;
     let output = buffer_arg(args, out_pos, callee)?;
@@ -441,17 +472,22 @@ fn buffer_arg(args: &[Expr], pos: usize, callee: &str) -> Result<String, Analysi
     args.get(pos)
         .and_then(Expr::base_ident)
         .map(str::to_string)
-        .ok_or_else(|| AnalysisError::OpaqueBuffer { callee: callee.to_string() })
+        .ok_or_else(|| AnalysisError::OpaqueBuffer {
+            callee: callee.to_string(),
+        })
 }
 
 /// If `stmt` is a perfect loop nest whose innermost body is exactly one
 /// accelerable-looking call, returns the trip-count product and the call.
-fn single_call_loop<'a>(
-    stmt: &'a Stmt,
-    consts: &BTreeMap<String, i64>,
-) -> Option<(u64, &'a Expr)> {
+fn single_call_loop<'a>(stmt: &'a Stmt, consts: &BTreeMap<String, i64>) -> Option<(u64, &'a Expr)> {
     match stmt {
-        Stmt::For { init, cond, step: _, body, .. } => {
+        Stmt::For {
+            init,
+            cond,
+            step: _,
+            body,
+            ..
+        } => {
             let trip = trip_count(init, cond, consts)?;
             let inner = single_stmt(body)?;
             match inner {
@@ -460,7 +496,9 @@ fn single_call_loop<'a>(
                     Some((trip * rest, call))
                 }
                 Stmt::Expr(e @ Expr::Call { callee, .. })
-                    if LibApi::classify(callee).and_then(LibApi::accelerator).is_some() =>
+                    if LibApi::classify(callee)
+                        .and_then(LibApi::accelerator)
+                        .is_some() =>
                 {
                     Some((trip, e))
                 }
@@ -489,8 +527,16 @@ fn trip_count(init: &ForInit, cond: &Expr, consts: &BTreeMap<String, i64>) -> Op
         _ => return None,
     };
     let (op_le, hi) = match cond {
-        Expr::Binary { op: crate::ast::BinOp::Lt, rhs, .. } => (false, const_eval(rhs, consts)?),
-        Expr::Binary { op: crate::ast::BinOp::Le, rhs, .. } => (true, const_eval(rhs, consts)?),
+        Expr::Binary {
+            op: crate::ast::BinOp::Lt,
+            rhs,
+            ..
+        } => (false, const_eval(rhs, consts)?),
+        Expr::Binary {
+            op: crate::ast::BinOp::Le,
+            rhs,
+            ..
+        } => (true, const_eval(rhs, consts)?),
         _ => return None,
     };
     let count = hi - lo + i64::from(op_le);
@@ -594,10 +640,12 @@ mod tests {
 
     #[test]
     fn non_constant_loop_bound_is_left_on_the_host() {
-        let plan = analyze_src(
-            "for (i = 0; i < runtime_n; ++i)\n  cblas_saxpy(64, 1.0, x, 1, y, 1);",
+        let plan =
+            analyze_src("for (i = 0; i < runtime_n; ++i)\n  cblas_saxpy(64, 1.0, x, 1, y, 1);");
+        assert_eq!(
+            plan.stats.descriptors, 0,
+            "unknowable trip count stays untouched"
         );
-        assert_eq!(plan.stats.descriptors, 0, "unknowable trip count stays untouched");
     }
 
     #[test]
@@ -611,23 +659,25 @@ mod tests {
     fn execute_of_unknown_plan_is_an_error() {
         let unit = parse(tokenize("fftwf_execute(ghost);").unwrap()).unwrap();
         let err = analyze(&unit).unwrap_err();
-        assert_eq!(err, AnalysisError::UnknownPlan { name: "ghost".into() });
+        assert_eq!(
+            err,
+            AnalysisError::UnknownPlan {
+                name: "ghost".into()
+            }
+        );
     }
 
     #[test]
     fn le_bounds_and_decl_inits_count_correctly() {
-        let plan = analyze_src(
-            "for (int i = 2; i <= 9; ++i)\n  cblas_saxpy(64, 1.0, x, 1, y, 1);",
-        );
+        let plan = analyze_src("for (int i = 2; i <= 9; ++i)\n  cblas_saxpy(64, 1.0, x, 1, y, 1);");
         assert_eq!(plan.stats.dynamic_calls, 8);
         assert!(plan.tdl[0].text.contains("LOOP 8"));
     }
 
     #[test]
     fn loop_with_extra_statements_is_not_compacted() {
-        let plan = analyze_src(
-            "for (i = 0; i < 4; ++i) { helper(i); cblas_saxpy(64, 1.0, x, 1, y, 1); }",
-        );
+        let plan =
+            analyze_src("for (i = 0; i < 4; ++i) { helper(i); cblas_saxpy(64, 1.0, x, 1, y, 1); }");
         assert_eq!(plan.stats.descriptors, 0);
     }
 
@@ -642,7 +692,12 @@ mod tests {
 
     #[test]
     fn malformed_placement_pragmas_are_ignored() {
-        for text in ["mealib stack()", "mealib stack(a)", "mealib shelf(1)", "omp simd"] {
+        for text in [
+            "mealib stack()",
+            "mealib stack(a)",
+            "mealib shelf(1)",
+            "omp simd",
+        ] {
             assert_eq!(placement_pragma(text), None, "{text}");
         }
         assert_eq!(placement_pragma("mealib stack(3)"), Some(3));

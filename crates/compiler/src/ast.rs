@@ -171,7 +171,11 @@ impl Expr {
             Expr::Ident(n) => Some(n),
             Expr::Index { base, .. } => base.base_ident(),
             Expr::Unary { expr, .. } => expr.base_ident(),
-            Expr::Binary { op: BinOp::Add | BinOp::Sub, lhs, .. } => lhs.base_ident(),
+            Expr::Binary {
+                op: BinOp::Add | BinOp::Sub,
+                lhs,
+                ..
+            } => lhs.base_ident(),
             _ => None,
         }
     }
@@ -306,7 +310,13 @@ impl Stmt {
         match self {
             Stmt::Decl(d) => writeln!(f, "{pad}{d};"),
             Stmt::Expr(e) => writeln!(f, "{pad}{e};"),
-            Stmt::For { pragma, init, cond, step, body } => {
+            Stmt::For {
+                pragma,
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 if let Some(p) = pragma {
                     writeln!(f, "{pad}#pragma {p}")?;
                 }
@@ -380,7 +390,10 @@ mod tests {
 
     #[test]
     fn as_call_sees_through_assignment() {
-        let call = Expr::Call { callee: "malloc".into(), args: vec![Expr::Int(8)] };
+        let call = Expr::Call {
+            callee: "malloc".into(),
+            args: vec![Expr::Int(8)],
+        };
         let assign = Expr::Assign {
             lhs: Box::new(Expr::Ident("x".into())),
             rhs: Box::new(call.clone()),
@@ -403,7 +416,10 @@ mod tests {
                 lhs: Box::new(Expr::Ident("i".into())),
                 rhs: Box::new(Expr::Ident("N".into())),
             },
-            step: Expr::Unary { op: UnaryOp::Incr, expr: Box::new(Expr::Ident("i".into())) },
+            step: Expr::Unary {
+                op: UnaryOp::Incr,
+                expr: Box::new(Expr::Ident("i".into())),
+            },
             body: Box::new(Stmt::Block(vec![Stmt::Expr(Expr::Call {
                 callee: "f".into(),
                 args: vec![Expr::Ident("i".into())],

@@ -5,9 +5,8 @@ use crate::ast::TranslationUnit;
 /// Emits the transformed translation unit as source text, with a
 /// provenance header.
 pub fn emit(unit: &TranslationUnit) -> String {
-    let mut out = String::from(
-        "/* Translated for MEALib: link with the MEALib runtime library. */\n",
-    );
+    let mut out =
+        String::from("/* Translated for MEALib: link with the MEALib runtime library. */\n");
     out.push_str(&unit.to_string());
     out
 }

@@ -167,7 +167,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                 i += 2;
                 loop {
                     if i + 1 >= bytes.len() {
-                        return Err(LexError::Unterminated { what: "block comment", line: start });
+                        return Err(LexError::Unterminated {
+                            what: "block comment",
+                            line: start,
+                        });
                     }
                     if bytes[i] == '\n' {
                         line += 1;
@@ -187,7 +190,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                 }
                 let text: String = bytes[start..i].iter().collect();
                 if let Some(rest) = text.strip_prefix("#pragma") {
-                    out.push(Token { kind: Tok::Pragma(rest.trim().to_string()), line });
+                    out.push(Token {
+                        kind: Tok::Pragma(rest.trim().to_string()),
+                        line,
+                    });
                 }
                 // Other directives (#include, #define) are skipped.
             }
@@ -198,7 +204,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                 loop {
                     match bytes.get(i) {
                         None | Some('\n') => {
-                            return Err(LexError::Unterminated { what: "string", line: start })
+                            return Err(LexError::Unterminated {
+                                what: "string",
+                                line: start,
+                            })
                         }
                         Some('\\') => {
                             // Escape sequence: store the escaped character
@@ -230,7 +239,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                         }
                     }
                 }
-                out.push(Token { kind: Tok::Str(s), line });
+                out.push(Token {
+                    kind: Tok::Str(s),
+                    line,
+                });
             }
             c if c.is_ascii_digit() => {
                 let start = i;
@@ -265,7 +277,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                     i += 1;
                 }
                 let text: String = bytes[start..i].iter().collect();
-                out.push(Token { kind: Tok::Ident(text), line });
+                out.push(Token {
+                    kind: Tok::Ident(text),
+                    line,
+                });
             }
             _ => {
                 let (kind, advance) = match (c, bytes.get(i + 1)) {
@@ -338,7 +353,10 @@ mod tests {
     #[test]
     fn lexes_pragma_and_skips_include() {
         let toks = kinds("#include <mkl.h>\n#pragma omp parallel for num_threads(4)\nint x;");
-        assert_eq!(toks[0], Tok::Pragma("omp parallel for num_threads(4)".into()));
+        assert_eq!(
+            toks[0],
+            Tok::Pragma("omp parallel for num_threads(4)".into())
+        );
         assert_eq!(toks[1], Tok::Ident("int".into()));
     }
 
@@ -406,7 +424,10 @@ mod tests {
         ));
         assert!(matches!(
             tokenize("/* never closed"),
-            Err(LexError::Unterminated { what: "block comment", .. })
+            Err(LexError::Unterminated {
+                what: "block comment",
+                ..
+            })
         ));
     }
 }

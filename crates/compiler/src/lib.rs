@@ -156,5 +156,9 @@ pub fn compile(source: &str) -> Result<CompileOutput, CompileError> {
     let plan = analysis::analyze(&unit)?;
     let transformed = transform::apply(&unit, &plan);
     let source = codegen::emit(&transformed);
-    Ok(CompileOutput { source, tdl: plan.tdl, stats: plan.stats })
+    Ok(CompileOutput {
+        source,
+        tdl: plan.tdl,
+        stats: plan.stats,
+    })
 }

@@ -33,10 +33,16 @@ pub enum ParseError {
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ParseError::Unexpected { expected, found, line } => {
+            ParseError::Unexpected {
+                expected,
+                found,
+                line,
+            } => {
                 write!(f, "expected {expected}, found {found} on line {line}")
             }
-            ParseError::Eof { expected } => write!(f, "unexpected end of input, expected {expected}"),
+            ParseError::Eof { expected } => {
+                write!(f, "unexpected end of input, expected {expected}")
+            }
         }
     }
 }
@@ -88,7 +94,9 @@ impl Parser {
             .tokens
             .get(self.pos)
             .cloned()
-            .ok_or_else(|| ParseError::Eof { expected: expected.into() })?;
+            .ok_or_else(|| ParseError::Eof {
+                expected: expected.into(),
+            })?;
         self.pos += 1;
         Ok(t)
     }
@@ -137,12 +145,25 @@ impl Parser {
                 };
                 // A pragma must annotate the following for loop.
                 match self.stmt()? {
-                    Stmt::For { init, cond, step, body, .. } => {
-                        Ok(Stmt::For { pragma: Some(text), init, cond, step, body })
-                    }
+                    Stmt::For {
+                        init,
+                        cond,
+                        step,
+                        body,
+                        ..
+                    } => Ok(Stmt::For {
+                        pragma: Some(text),
+                        init,
+                        cond,
+                        step,
+                        body,
+                    }),
                     other => {
                         // Non-loop pragmas are kept as comments.
-                        Ok(Stmt::Block(vec![Stmt::Comment(format!("#pragma {text}")), other]))
+                        Ok(Stmt::Block(vec![
+                            Stmt::Comment(format!("#pragma {text}")),
+                            other,
+                        ]))
                     }
                 }
             }
@@ -151,7 +172,9 @@ impl Parser {
                 let mut stmts = Vec::new();
                 while self.peek() != Some(&Tok::RBrace) {
                     if self.at_end() {
-                        return Err(ParseError::Eof { expected: "`}`".into() });
+                        return Err(ParseError::Eof {
+                            expected: "`}`".into(),
+                        });
                     }
                     stmts.push(self.stmt()?);
                 }
@@ -217,7 +240,11 @@ impl Parser {
     fn decl(&mut self) -> Result<Decl, ParseError> {
         let ty = self.type_name()?;
         let name = self.ident("declared name")?;
-        let init = if self.eat(&Tok::Assign) { Some(self.expr()?) } else { None };
+        let init = if self.eat(&Tok::Assign) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         Ok(Decl { ty, name, init })
     }
 
@@ -237,7 +264,13 @@ impl Parser {
         let step = self.expr()?;
         self.expect(&Tok::RParen, "`)`")?;
         let body = self.stmt()?;
-        Ok(Stmt::For { pragma: None, init, cond, step, body: Box::new(body) })
+        Ok(Stmt::For {
+            pragma: None,
+            init,
+            cond,
+            step,
+            body: Box::new(body),
+        })
     }
 
     fn expr(&mut self) -> Result<Expr, ParseError> {
@@ -248,7 +281,10 @@ impl Parser {
         let lhs = self.comparison()?;
         if self.eat(&Tok::Assign) {
             let rhs = self.assign()?;
-            return Ok(Expr::Assign { lhs: Box::new(lhs), rhs: Box::new(rhs) });
+            return Ok(Expr::Assign {
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            });
         }
         if self.eat(&Tok::PlusAssign) {
             let rhs = self.assign()?;
@@ -278,7 +314,11 @@ impl Parser {
         };
         self.pos += 1;
         let rhs = self.additive()?;
-        Ok(Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+        Ok(Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        })
     }
 
     fn additive(&mut self) -> Result<Expr, ParseError> {
@@ -291,7 +331,11 @@ impl Parser {
             };
             self.pos += 1;
             let rhs = self.multiplicative()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
@@ -305,7 +349,11 @@ impl Parser {
             };
             self.pos += 1;
             let rhs = self.unary()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
@@ -320,12 +368,18 @@ impl Parser {
         if let Some(op) = op {
             self.pos += 1;
             let expr = self.unary()?;
-            return Ok(Expr::Unary { op, expr: Box::new(expr) });
+            return Ok(Expr::Unary {
+                op,
+                expr: Box::new(expr),
+            });
         }
         let mut e = self.postfix()?;
         // Postfix increment normalizes to the same `Incr` node.
         if self.eat(&Tok::PlusPlus) {
-            e = Expr::Unary { op: UnaryOp::Incr, expr: Box::new(e) };
+            e = Expr::Unary {
+                op: UnaryOp::Incr,
+                expr: Box::new(e),
+            };
         }
         Ok(e)
     }
@@ -335,7 +389,10 @@ impl Parser {
         while self.eat(&Tok::LBracket) {
             let index = self.expr()?;
             self.expect(&Tok::RBracket, "`]`")?;
-            e = Expr::Index { base: Box::new(e), index: Box::new(index) };
+            e = Expr::Index {
+                base: Box::new(e),
+                index: Box::new(index),
+            };
         }
         Ok(e)
     }
@@ -418,10 +475,7 @@ mod tests {
                 assert_eq!(e.assign_target(), Some("x"));
                 let (callee, args) = e.as_call().unwrap();
                 assert_eq!(callee, "malloc");
-                assert!(matches!(
-                    &args[0],
-                    Expr::Binary { op: BinOp::Mul, .. }
-                ));
+                assert!(matches!(&args[0], Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("expected expr, got {other:?}"),
         }
@@ -462,7 +516,9 @@ mod tests {
     fn parses_for_with_decl_init_and_plus_assign() {
         let u = parse_src("for (int i = 0; i <= n; i += 2) { x = x + 1; }");
         match &u.stmts[0] {
-            Stmt::For { init, cond, step, .. } => {
+            Stmt::For {
+                init, cond, step, ..
+            } => {
                 assert!(matches!(init, ForInit::Decl(_)));
                 assert!(matches!(cond, Expr::Binary { op: BinOp::Le, .. }));
                 // i += 2 desugars to i = i + 2.
@@ -478,8 +534,14 @@ mod tests {
         // Parses as x = ((a + (b*c)) < d)
         match &u.stmts[0] {
             Stmt::Expr(Expr::Assign { rhs, .. }) => match rhs.as_ref() {
-                Expr::Binary { op: BinOp::Lt, lhs, .. } => match lhs.as_ref() {
-                    Expr::Binary { op: BinOp::Add, rhs: addr, .. } => {
+                Expr::Binary {
+                    op: BinOp::Lt, lhs, ..
+                } => match lhs.as_ref() {
+                    Expr::Binary {
+                        op: BinOp::Add,
+                        rhs: addr,
+                        ..
+                    } => {
                         assert!(matches!(addr.as_ref(), Expr::Binary { op: BinOp::Mul, .. }));
                     }
                     other => panic!("{other:?}"),

@@ -17,7 +17,10 @@ pub fn f32_to_bytes(values: &[f32]) -> Vec<u8> {
 ///
 /// Panics if the byte length is not a multiple of 4.
 pub fn bytes_to_f32(bytes: &[u8]) -> Vec<f32> {
-    assert!(bytes.len().is_multiple_of(4), "byte length must be a multiple of 4");
+    assert!(
+        bytes.len().is_multiple_of(4),
+        "byte length must be a multiple of 4"
+    );
     bytes
         .chunks_exact(4)
         .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
@@ -41,7 +44,10 @@ pub fn c32_to_bytes(values: &[Complex32]) -> Vec<u8> {
 ///
 /// Panics if the byte length is not a multiple of 8.
 pub fn bytes_to_c32(bytes: &[u8]) -> Vec<Complex32> {
-    assert!(bytes.len().is_multiple_of(8), "byte length must be a multiple of 8");
+    assert!(
+        bytes.len().is_multiple_of(8),
+        "byte length must be a multiple of 8"
+    );
     bytes
         .chunks_exact(8)
         .map(|c| {

@@ -37,7 +37,10 @@ impl fmt::Display for MealibError {
             MealibError::Runtime(e) => e.fmt(f),
             MealibError::UnknownBuffer { name } => write!(f, "no buffer named `{name}`"),
             MealibError::SizeMismatch { name, needed, have } => {
-                write!(f, "buffer `{name}` holds {have} bytes but {needed} are required")
+                write!(
+                    f,
+                    "buffer `{name}` holds {have} bytes but {needed} are required"
+                )
             }
         }
     }
@@ -111,7 +114,11 @@ impl Mealib {
     /// Creates a handle over an explicit runtime (custom layer or memory
     /// configuration).
     pub fn with_runtime(rt: Runtime) -> Self {
-        Self { rt, logical: BTreeMap::new(), next_param: 0 }
+        Self {
+            rt,
+            logical: BTreeMap::new(),
+            next_param: 0,
+        }
     }
 
     /// The underlying runtime (counters, driver, layer).
@@ -293,7 +300,9 @@ impl Mealib {
         self.logical
             .get(name)
             .copied()
-            .ok_or_else(|| MealibError::UnknownBuffer { name: name.to_string() })
+            .ok_or_else(|| MealibError::UnknownBuffer {
+                name: name.to_string(),
+            })
     }
 
     /// Builds and executes a single-pass descriptor for one accelerator
@@ -332,10 +341,7 @@ impl Mealib {
         let mut comps = String::new();
         for (i, p) in stages.iter().enumerate() {
             let file = format!("p{}_{i}.para", self.next_param);
-            comps.push_str(&format!(
-                " COMP {} params=\"{file}\"",
-                p.kind().keyword()
-            ));
+            comps.push_str(&format!(" COMP {} params=\"{file}\"", p.kind().keyword()));
             bag.insert(file, p.to_bytes());
         }
         self.next_param += 1;
@@ -365,7 +371,10 @@ mod tests {
         assert_eq!(ml.read_f32("x").unwrap(), data);
         assert_eq!(ml.len_f32("x").unwrap(), 100);
         ml.free("x").unwrap();
-        assert!(matches!(ml.read_f32("x"), Err(MealibError::UnknownBuffer { .. })));
+        assert!(matches!(
+            ml.read_f32("x"),
+            Err(MealibError::UnknownBuffer { .. })
+        ));
     }
 
     #[test]
@@ -383,7 +392,14 @@ mod tests {
         let mut ml = Mealib::new();
         ml.alloc_f32("x", 4).unwrap();
         let err = ml.write_f32("x", &[0.0; 5]).unwrap_err();
-        assert!(matches!(err, MealibError::SizeMismatch { needed: 20, have: 16, .. }));
+        assert!(matches!(
+            err,
+            MealibError::SizeMismatch {
+                needed: 20,
+                have: 16,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -393,7 +409,12 @@ mod tests {
         ml.alloc_f32_on("xr", 1 << 22, StackId(1)).unwrap();
         ml.alloc_f32("y", 1 << 22).unwrap();
         ml.alloc_f32_on("yr", 1 << 22, StackId(1)).unwrap();
-        let op = AccelParams::Axpy { n: 1 << 22, alpha: 1.0, incx: 1, incy: 1 };
+        let op = AccelParams::Axpy {
+            n: 1 << 22,
+            alpha: 1.0,
+            incx: 1,
+            incy: 1,
+        };
         let local = ml.invoke(op, "x", "y").unwrap();
         let remote = ml.invoke(op, "xr", "yr").unwrap();
         assert!(
@@ -411,7 +432,12 @@ mod tests {
         ml.alloc_f32("y", 1 << 16).unwrap();
         let report = ml
             .invoke(
-                AccelParams::Axpy { n: 1 << 16, alpha: 1.0, incx: 1, incy: 1 },
+                AccelParams::Axpy {
+                    n: 1 << 16,
+                    alpha: 1.0,
+                    incx: 1,
+                    incy: 1,
+                },
                 "x",
                 "y",
             )

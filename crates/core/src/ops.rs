@@ -21,7 +21,12 @@ impl Mealib {
         blas1::saxpy(alpha, &xv, &mut yv);
         self.write_f32(y, &yv)?;
         self.invoke(
-            AccelParams::Axpy { n: xv.len() as u64, alpha, incx: 1, incy: 1 },
+            AccelParams::Axpy {
+                n: xv.len() as u64,
+                alpha,
+                incx: 1,
+                incy: 1,
+            },
             x,
             y,
         )
@@ -38,7 +43,12 @@ impl Mealib {
         self.expect_len(y, yv.len(), xv.len())?;
         let value = blas1::sdot(&xv, &yv);
         let report = self.invoke(
-            AccelParams::Dot { n: xv.len() as u64, incx: 1, incy: 1, complex: false },
+            AccelParams::Dot {
+                n: xv.len() as u64,
+                incx: 1,
+                incy: 1,
+                complex: false,
+            },
             x,
             y,
         )?;
@@ -56,7 +66,12 @@ impl Mealib {
         self.expect_len(y, yv.len(), xv.len())?;
         let value = blas1::cdotc(&xv, &yv);
         let report = self.invoke(
-            AccelParams::Dot { n: xv.len() as u64, incx: 1, incy: 1, complex: true },
+            AccelParams::Dot {
+                n: xv.len() as u64,
+                incx: 1,
+                incy: 1,
+                complex: true,
+            },
             x,
             y,
         )?;
@@ -86,7 +101,14 @@ impl Mealib {
         let mut yv = vec![0.0f32; m];
         blas2::sgemv(1.0, view, &xv[..n], 0.0, &mut yv);
         self.write_f32(y, &yv)?;
-        self.invoke(AccelParams::Gemv { m: m as u64, n: n as u64 }, a, y)
+        self.invoke(
+            AccelParams::Gemv {
+                m: m as u64,
+                n: n as u64,
+            },
+            a,
+            y,
+        )
     }
 
     /// Sparse `y ← A·x` (`mkl_scsrgemv`). The CSR matrix is provided by
@@ -95,12 +117,7 @@ impl Mealib {
     /// # Errors
     ///
     /// Returns buffer or runtime errors.
-    pub fn spmv(
-        &mut self,
-        a: &CsrMatrix,
-        x: &str,
-        y: &str,
-    ) -> Result<OpReport, MealibError> {
+    pub fn spmv(&mut self, a: &CsrMatrix, x: &str, y: &str) -> Result<OpReport, MealibError> {
         let xv = self.read_f32(x)?;
         self.expect_len(x, xv.len(), a.cols())?;
         self.expect_len(y, self.len_f32(y)?, a.rows())?;
@@ -138,7 +155,10 @@ impl Mealib {
         plan.execute_batch(&mut data, count, dir);
         self.write_c32(output, &data)?;
         self.invoke(
-            AccelParams::Fft { n: n as u64, batch: count as u64 },
+            AccelParams::Fft {
+                n: n as u64,
+                batch: count as u64,
+            },
             input,
             output,
         )
@@ -163,7 +183,11 @@ impl Mealib {
         let t = reshape::transpose(&data[..rows * cols], rows, cols);
         self.write_f32(output, &t)?;
         self.invoke(
-            AccelParams::Reshp { rows: rows as u64, cols: cols as u64, elem_bytes: 4 },
+            AccelParams::Reshp {
+                rows: rows as u64,
+                cols: cols as u64,
+                elem_bytes: 4,
+            },
             input,
             output,
         )
@@ -186,11 +210,7 @@ impl Mealib {
     ) -> Result<OpReport, MealibError> {
         let data = self.read_f32(input)?;
         self.expect_len(input, data.len(), blocks * in_per_block)?;
-        let out = resample::resample_blocks(
-            &data[..blocks * in_per_block],
-            blocks,
-            out_per_block,
-        );
+        let out = resample::resample_blocks(&data[..blocks * in_per_block], blocks, out_per_block);
         self.write_f32(output, &out)?;
         self.invoke(
             AccelParams::Resmp {
@@ -242,7 +262,10 @@ impl Mealib {
                     in_per_block: in_per_block as u64,
                     out_per_block: out_per_block as u64,
                 },
-                AccelParams::Fft { n: out_per_block as u64, batch: blocks as u64 },
+                AccelParams::Fft {
+                    n: out_per_block as u64,
+                    batch: blocks as u64,
+                },
             ],
             input,
             output,
@@ -277,12 +300,16 @@ impl Mealib {
             .collect();
 
         // One LOOP descriptor compacting all `count` invocations.
-        let params = AccelParams::Dot { n: n as u64, incx: 1, incy: 1, complex: true };
+        let params = AccelParams::Dot {
+            n: n as u64,
+            incx: 1,
+            incy: 1,
+            complex: true,
+        };
         let mut bag = mealib_tdl::ParamBag::new();
         bag.insert("dot.para".into(), params.to_bytes());
-        let tdl = format!(
-            "LOOP {count} {{ PASS in={x} out={y} {{ COMP DOT params=\"dot.para\" }} }}"
-        );
+        let tdl =
+            format!("LOOP {count} {{ PASS in={x} out={y} {{ COMP DOT params=\"dot.para\" }} }}");
         let plan = self.plan(&tdl, &bag)?;
         let run = self.execute(&plan)?;
         Ok((products, OpReport::new(run)))
@@ -311,12 +338,16 @@ impl Mealib {
             blas1::saxpy(alpha, &xv[i * n..(i + 1) * n], &mut yv[i * n..(i + 1) * n]);
         }
         self.write_f32(y, &yv)?;
-        let params = AccelParams::Axpy { n: n as u64, alpha, incx: 1, incy: 1 };
+        let params = AccelParams::Axpy {
+            n: n as u64,
+            alpha,
+            incx: 1,
+            incy: 1,
+        };
         let mut bag = mealib_tdl::ParamBag::new();
         bag.insert("axpy.para".into(), params.to_bytes());
-        let tdl = format!(
-            "LOOP {count} {{ PASS in={x} out={y} {{ COMP AXPY params=\"axpy.para\" }} }}"
-        );
+        let tdl =
+            format!("LOOP {count} {{ PASS in={x} out={y} {{ COMP AXPY params=\"axpy.para\" }} }}");
         let plan = self.plan(&tdl, &bag)?;
         let run = self.execute(&plan)?;
         Ok(OpReport::new(run))
@@ -402,8 +433,9 @@ mod tests {
         let mut ml = Mealib::new();
         ml.alloc_c32("t", 64).unwrap();
         ml.alloc_c32("f", 64).unwrap();
-        let signal: Vec<Complex32> =
-            (0..64).map(|i| Complex32::new((i as f32 * 0.3).sin(), 0.0)).collect();
+        let signal: Vec<Complex32> = (0..64)
+            .map(|i| Complex32::new((i as f32 * 0.3).sin(), 0.0))
+            .collect();
         ml.write_c32("t", &signal).unwrap();
         ml.fft("t", "f", 64, 1, Direction::Forward).unwrap();
         ml.fft("f", "t", 64, 1, Direction::Inverse).unwrap();
@@ -418,13 +450,17 @@ mod tests {
         let mut ml = ml_with(&[("in", 6), ("out", 6)]);
         ml.write_f32("in", &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
         ml.transpose("in", "out", 2, 3).unwrap();
-        assert_eq!(ml.read_f32("out").unwrap(), vec![0.0, 3.0, 1.0, 4.0, 2.0, 5.0]);
+        assert_eq!(
+            ml.read_f32("out").unwrap(),
+            vec![0.0, 3.0, 1.0, 4.0, 2.0, 5.0]
+        );
     }
 
     #[test]
     fn resample_preserves_block_endpoints() {
         let mut ml = ml_with(&[("in", 8), ("out", 16)]);
-        ml.write_f32("in", &[0.0, 1.0, 2.0, 3.0, 10.0, 11.0, 12.0, 13.0]).unwrap();
+        ml.write_f32("in", &[0.0, 1.0, 2.0, 3.0, 10.0, 11.0, 12.0, 13.0])
+            .unwrap();
         ml.resample("in", "out", 2, 4, 8).unwrap();
         let out = ml.read_f32("out").unwrap();
         assert_eq!(out[0], 0.0);
@@ -439,8 +475,9 @@ mod tests {
         for name in ["in", "mid", "out"] {
             ml.alloc_c32(name, 256 * 256).unwrap();
         }
-        let data: Vec<Complex32> =
-            (0..256 * 256).map(|i| Complex32::new((i % 97) as f32, 0.0)).collect();
+        let data: Vec<Complex32> = (0..256 * 256)
+            .map(|i| Complex32::new((i % 97) as f32, 0.0))
+            .collect();
         ml.write_c32("in", &data).unwrap();
         let chained = ml.resample_fft_chained("in", "out", 256, 256, 256).unwrap();
 
@@ -448,7 +485,11 @@ mod tests {
         // two invocations priced separately here) then FFT.
         let r1 = ml
             .invoke(
-                AccelParams::Resmp { blocks: 256, in_per_block: 256, out_per_block: 256 },
+                AccelParams::Resmp {
+                    blocks: 256,
+                    in_per_block: 256,
+                    out_per_block: 256,
+                },
                 "in",
                 "mid",
             )
@@ -474,17 +515,15 @@ mod tests {
         let w: Vec<Complex32> = (0..n * count)
             .map(|i| Complex32::new((i as f32 * 0.13).sin(), (i as f32 * 0.07).cos()))
             .collect();
-        let s: Vec<Complex32> =
-            (0..n * count).map(|i| Complex32::new(1.0, i as f32 * 0.01)).collect();
+        let s: Vec<Complex32> = (0..n * count)
+            .map(|i| Complex32::new(1.0, i as f32 * 0.01))
+            .collect();
         ml.write_c32("w", &w).unwrap();
         ml.write_c32("s", &s).unwrap();
         let (products, report) = ml.batch_cdotc("w", "s", n, count).unwrap();
         assert_eq!(products.len(), count);
         for i in 0..count {
-            let want = mealib_kernels::blas1::cdotc(
-                &w[i * n..(i + 1) * n],
-                &s[i * n..(i + 1) * n],
-            );
+            let want = mealib_kernels::blas1::cdotc(&w[i * n..(i + 1) * n], &s[i * n..(i + 1) * n]);
             assert!((products[i] - want).abs() < 1e-4);
         }
         // One descriptor, `count` invocations.

@@ -84,8 +84,10 @@ impl HostReport {
 /// the memory model.
 pub fn run_op(platform: &Platform, op: &AccelParams, flavor: CodeFlavor) -> HostReport {
     op.validate().expect("invalid operation parameters");
-    let OpEfficiency { bw_fraction, compute_fraction } =
-        profiles::efficiency(platform.class, op.kind(), flavor);
+    let OpEfficiency {
+        bw_fraction,
+        compute_fraction,
+    } = profiles::efficiency(platform.class, op.kind(), flavor);
 
     let bytes = profiles::traffic_bytes(op, flavor);
     let flops = profiles::flops(op);
@@ -94,9 +96,7 @@ pub fn run_op(platform: &Platform, op: &AccelParams, flavor: CodeFlavor) -> Host
     let mem_time = Seconds::new(bytes as f64 / bw);
 
     let thread_factor = match flavor {
-        CodeFlavor::Library => {
-            platform.thread_efficiency.max(1.0 / platform.cores as f64)
-        }
+        CodeFlavor::Library => platform.thread_efficiency.max(1.0 / platform.cores as f64),
         CodeFlavor::Naive => 1.0 / platform.cores as f64,
     };
     let compute_time = if flops == 0 {
@@ -123,7 +123,10 @@ pub fn run_op(platform: &Platform, op: &AccelParams, flavor: CodeFlavor) -> Host
 
     // DRAM energy for the same traffic.
     let dram = analytic::estimate(&platform.mem, &AccessPattern::sequential_read(bytes));
-    let dram_energy = platform.mem.energy.trace_energy(dram.activations, bytes, time);
+    let dram_energy = platform
+        .mem
+        .energy
+        .trace_energy(dram.activations, bytes, time);
 
     HostReport {
         platform: platform.name.clone(),
@@ -153,14 +156,16 @@ pub fn run_custom(
     calls: u64,
     per_call: Seconds,
 ) -> HostReport {
-    assert!(compute_fraction > 0.0 && bw_fraction > 0.0, "fractions must be positive");
+    assert!(
+        compute_fraction > 0.0 && bw_fraction > 0.0,
+        "fractions must be positive"
+    );
     let mem_time = Seconds::new(bytes as f64 / (platform.peak_bandwidth().get() * bw_fraction));
     let compute_time = if flops == 0 {
         Seconds::ZERO
     } else {
         Seconds::new(
-            flops as f64
-                / (platform.peak_flops() * compute_fraction * platform.thread_efficiency),
+            flops as f64 / (platform.peak_flops() * compute_fraction * platform.thread_efficiency),
         )
     };
     let overhead = per_call * calls as f64;
@@ -173,7 +178,10 @@ pub fn run_custom(
     };
     let package_energy = platform.package.at_utilization(util).for_duration(time);
     let dram = analytic::estimate(&platform.mem, &AccessPattern::sequential_read(bytes));
-    let dram_energy = platform.mem.energy.trace_energy(dram.activations, bytes, time);
+    let dram_energy = platform
+        .mem
+        .energy
+        .trace_energy(dram.activations, bytes, time);
     HostReport {
         platform: platform.name.clone(),
         time,
@@ -190,7 +198,12 @@ mod tests {
     use super::*;
 
     fn axpy(n: u64) -> AccelParams {
-        AccelParams::Axpy { n, alpha: 2.0, incx: 1, incy: 1 }
+        AccelParams::Axpy {
+            n,
+            alpha: 2.0,
+            incx: 1,
+            incy: 1,
+        }
     }
 
     #[test]
@@ -206,7 +219,10 @@ mod tests {
     fn library_beats_naive_substantially() {
         let h = Platform::haswell();
         // A compute-heavy op shows the full SIMD+threads gap (Fig. 1).
-        let op = AccelParams::Fft { n: 8192, batch: 8192 };
+        let op = AccelParams::Fft {
+            n: 8192,
+            batch: 8192,
+        };
         let lib = run_op(&h, &op, CodeFlavor::Library);
         let naive = run_op(&h, &op, CodeFlavor::Naive);
         let speedup = naive.time / lib.time;
@@ -219,7 +235,14 @@ mod tests {
     #[test]
     fn haswell_fft_power_is_tens_of_watts() {
         let h = Platform::haswell();
-        let r = run_op(&h, &AccelParams::Fft { n: 8192, batch: 8192 }, CodeFlavor::Library);
+        let r = run_op(
+            &h,
+            &AccelParams::Fft {
+                n: 8192,
+                batch: 8192,
+            },
+            CodeFlavor::Library,
+        );
         let p = r.power().get();
         // Paper: 48 W for the FFT operation on Haswell.
         assert!((25.0..70.0).contains(&p), "Haswell FFT power {p:.1} W");
@@ -227,7 +250,10 @@ mod tests {
 
     #[test]
     fn xeon_phi_draws_more_power_than_haswell() {
-        let op = AccelParams::Fft { n: 8192, batch: 8192 };
+        let op = AccelParams::Fft {
+            n: 8192,
+            batch: 8192,
+        };
         let h = run_op(&Platform::haswell(), &op, CodeFlavor::Library);
         let p = run_op(&Platform::xeon_phi(), &op, CodeFlavor::Library);
         assert!(
@@ -251,7 +277,11 @@ mod tests {
     #[test]
     fn phi_loses_badly_on_reshp() {
         // Paper: Phi RESHP at 2.4% of Haswell.
-        let op = AccelParams::Reshp { rows: 16384, cols: 16384, elem_bytes: 4 };
+        let op = AccelParams::Reshp {
+            rows: 16384,
+            cols: 16384,
+            elem_bytes: 4,
+        };
         let h = run_op(&Platform::haswell(), &op, CodeFlavor::Library);
         let p = run_op(&Platform::xeon_phi(), &op, CodeFlavor::Library);
         let relative = h.time / p.time;
@@ -293,7 +323,10 @@ mod tests {
             (axpy(1 << 20), axpy(1 << 24)),
             (
                 AccelParams::Fft { n: 1024, batch: 64 },
-                AccelParams::Fft { n: 1024, batch: 1024 },
+                AccelParams::Fft {
+                    n: 1024,
+                    batch: 1024,
+                },
             ),
             (
                 AccelParams::Gemv { m: 1024, n: 1024 },
@@ -311,12 +344,32 @@ mod tests {
         let h = Platform::haswell();
         for op in [
             axpy(1 << 22),
-            AccelParams::Dot { n: 1 << 22, incx: 1, incy: 1, complex: false },
+            AccelParams::Dot {
+                n: 1 << 22,
+                incx: 1,
+                incy: 1,
+                complex: false,
+            },
             AccelParams::Gemv { m: 4096, n: 4096 },
-            AccelParams::Spmv { rows: 1 << 18, cols: 1 << 18, nnz: 13 << 18 },
-            AccelParams::Resmp { blocks: 1024, in_per_block: 1024, out_per_block: 1024 },
-            AccelParams::Fft { n: 4096, batch: 256 },
-            AccelParams::Reshp { rows: 4096, cols: 4096, elem_bytes: 4 },
+            AccelParams::Spmv {
+                rows: 1 << 18,
+                cols: 1 << 18,
+                nnz: 13 << 18,
+            },
+            AccelParams::Resmp {
+                blocks: 1024,
+                in_per_block: 1024,
+                out_per_block: 1024,
+            },
+            AccelParams::Fft {
+                n: 4096,
+                batch: 256,
+            },
+            AccelParams::Reshp {
+                rows: 4096,
+                cols: 4096,
+                elem_bytes: 4,
+            },
         ] {
             let lib = run_op(&h, &op, CodeFlavor::Library).time;
             let naive = run_op(&h, &op, CodeFlavor::Naive).time;
@@ -327,11 +380,18 @@ mod tests {
     #[test]
     fn reshp_reports_gbps_not_gflops() {
         let h = Platform::haswell();
-        let op = AccelParams::Reshp { rows: 16384, cols: 16384, elem_bytes: 4 };
+        let op = AccelParams::Reshp {
+            rows: 16384,
+            cols: 16384,
+            elem_bytes: 4,
+        };
         let r = run_op(&h, &op, CodeFlavor::Library);
         assert_eq!(r.flops, 0);
         assert_eq!(r.gflops(), Gflops::ZERO);
         let gbs = r.gbytes_per_sec();
-        assert!((1.0..10.0).contains(&gbs), "Haswell transpose {gbs:.1} GB/s");
+        assert!(
+            (1.0..10.0).contains(&gbs),
+            "Haswell transpose {gbs:.1} GB/s"
+        );
     }
 }

@@ -56,7 +56,10 @@ impl Platform {
             frequency: Hertz::from_ghz(3.5),
             flops_per_cycle: 8.0,
             mem: MemoryConfig::ddr_dual_channel(),
-            package: PackagePower { idle: Watts::new(14.0), max_active: Watts::new(62.0) },
+            package: PackagePower {
+                idle: Watts::new(14.0),
+                max_active: Watts::new(62.0),
+            },
             thread_efficiency: 0.85,
         }
     }
@@ -81,7 +84,10 @@ impl Platform {
             frequency: Hertz::from_ghz(1.0),
             flops_per_cycle: 32.0,
             mem,
-            package: PackagePower { idle: Watts::new(62.0), max_active: Watts::new(185.0) },
+            package: PackagePower {
+                idle: Watts::new(62.0),
+                max_active: Watts::new(185.0),
+            },
             thread_efficiency: 0.22,
         }
     }
@@ -121,7 +127,10 @@ mod tests {
 
     #[test]
     fn package_power_interpolates() {
-        let p = PackagePower { idle: Watts::new(10.0), max_active: Watts::new(60.0) };
+        let p = PackagePower {
+            idle: Watts::new(10.0),
+            max_active: Watts::new(60.0),
+        };
         assert_eq!(p.at_utilization(0.0), Watts::new(10.0));
         assert_eq!(p.at_utilization(1.0), Watts::new(60.0));
         assert_eq!(p.at_utilization(0.5), Watts::new(35.0));

@@ -60,7 +60,7 @@ pub fn efficiency(class: PlatformClass, kind: AcceleratorKind, flavor: CodeFlavo
             K::Gemv => (0.08, 0.031), // column-order walk thrashes rows
             K::Spmv => (0.05, 0.031),
             K::Resmp => (0.25, 0.020),
-            K::Fft => (0.10, 0.030), // textbook recursive FFT
+            K::Fft => (0.10, 0.030),   // textbook recursive FFT
             K::Reshp => (0.045, 1.00), // element-wise strided transpose
         },
         (PlatformClass::XeonPhi, CodeFlavor::Library) => match kind {
@@ -77,7 +77,10 @@ pub fn efficiency(class: PlatformClass, kind: AcceleratorKind, flavor: CodeFlavo
         },
         (PlatformClass::XeonPhi, CodeFlavor::Naive) => (0.02, 0.002),
     };
-    OpEfficiency { bw_fraction: bw, compute_fraction: comp }
+    OpEfficiency {
+        bw_fraction: bw,
+        compute_fraction: comp,
+    }
 }
 
 /// DRAM traffic of one host-side execution of `op`, in bytes.
@@ -96,13 +99,19 @@ pub fn traffic_bytes(op: &AccelParams, flavor: CodeFlavor) -> u64 {
         }
         AccelParams::Gemv { m, n } => 4 * (m * n + n + 2 * m),
         AccelParams::Spmv { rows, nnz, .. } => 12 * nnz + 8 * rows,
-        AccelParams::Resmp { blocks, in_per_block, out_per_block } => {
-            4 * blocks * (in_per_block + out_per_block)
-        }
+        AccelParams::Resmp {
+            blocks,
+            in_per_block,
+            out_per_block,
+        } => 4 * blocks * (in_per_block + out_per_block),
         // One read + one write pass over the working set (cache-blocked
         // 1D FFTs that fit in LLC).
         AccelParams::Fft { n, batch } => 16 * n * batch,
-        AccelParams::Reshp { rows, cols, elem_bytes } => 2 * rows * cols * elem_bytes as u64,
+        AccelParams::Reshp {
+            rows,
+            cols,
+            elem_bytes,
+        } => 2 * rows * cols * elem_bytes as u64,
     };
     match flavor {
         CodeFlavor::Library => base,
@@ -135,8 +144,16 @@ mod tests {
 
     #[test]
     fn phi_reshp_collapses_as_the_paper_observes() {
-        let phi = efficiency(PlatformClass::XeonPhi, AcceleratorKind::Reshp, CodeFlavor::Library);
-        let has = efficiency(PlatformClass::Haswell, AcceleratorKind::Reshp, CodeFlavor::Library);
+        let phi = efficiency(
+            PlatformClass::XeonPhi,
+            AcceleratorKind::Reshp,
+            CodeFlavor::Library,
+        );
+        let has = efficiency(
+            PlatformClass::Haswell,
+            AcceleratorKind::Reshp,
+            CodeFlavor::Library,
+        );
         // Phi peak bandwidth is 12.5x Haswell's, so the fraction ratio
         // must be far below 1/12.5 for Phi to land under Haswell.
         assert!(phi.bw_fraction * 12.5 < has.bw_fraction * 0.5);
@@ -144,10 +161,19 @@ mod tests {
 
     #[test]
     fn traffic_counts() {
-        let axpy = AccelParams::Axpy { n: 100, alpha: 1.0, incx: 1, incy: 1 };
+        let axpy = AccelParams::Axpy {
+            n: 100,
+            alpha: 1.0,
+            incx: 1,
+            incy: 1,
+        };
         assert_eq!(traffic_bytes(&axpy, CodeFlavor::Library), 1200);
         assert_eq!(traffic_bytes(&axpy, CodeFlavor::Naive), 2400);
-        let reshp = AccelParams::Reshp { rows: 8, cols: 4, elem_bytes: 4 };
+        let reshp = AccelParams::Reshp {
+            rows: 8,
+            cols: 4,
+            elem_bytes: 4,
+        };
         assert_eq!(traffic_bytes(&reshp, CodeFlavor::Library), 256);
     }
 

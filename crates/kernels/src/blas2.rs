@@ -30,7 +30,12 @@ impl<'a, T: Copy> MatrixRef<'a, T> {
                 "slice too short for {rows}x{cols} matrix with lda {lda}"
             );
         }
-        Self { data, rows, cols, lda }
+        Self {
+            data,
+            rows,
+            cols,
+            lda,
+        }
     }
 
     /// Wraps a dense row-major slice (`lda == cols`).
@@ -60,7 +65,10 @@ impl<'a, T: Copy> MatrixRef<'a, T> {
     /// Panics if out of bounds.
     #[inline]
     pub fn at(&self, row: usize, col: usize) -> T {
-        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of bounds"
+        );
         self.data[row * self.lda + col]
     }
 

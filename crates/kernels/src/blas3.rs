@@ -285,7 +285,10 @@ mod tests {
             for j in 0..n {
                 let cij = c[i * n + j];
                 let cji = c[j * n + i];
-                assert!((cij - cji.conj()).abs() < 1e-3, "not Hermitian at ({i},{j})");
+                assert!(
+                    (cij - cji.conj()).abs() < 1e-3,
+                    "not Hermitian at ({i},{j})"
+                );
             }
         }
     }
@@ -327,7 +330,15 @@ mod tests {
                 b[i * rhs + col] = acc;
             }
         }
-        ctrsm(Side::Left, Triangle::Lower, n, Complex32::ONE, &l, &mut b, rhs);
+        ctrsm(
+            Side::Left,
+            Triangle::Lower,
+            n,
+            Complex32::ONE,
+            &l,
+            &mut b,
+            rhs,
+        );
         for (got, want) in b.iter().zip(&x) {
             assert!((got.re - want.re).abs() < 1e-3 && (got.im - want.im).abs() < 1e-3);
         }
@@ -352,7 +363,15 @@ mod tests {
         let mut b: Vec<Complex32> = (0..3)
             .map(|i| (0..3).map(|j| u[i * 3 + j] * x[j]).sum())
             .collect();
-        ctrsm(Side::Left, Triangle::Upper, n, Complex32::ONE, &u, &mut b, 1);
+        ctrsm(
+            Side::Left,
+            Triangle::Upper,
+            n,
+            Complex32::ONE,
+            &u,
+            &mut b,
+            1,
+        );
         for (got, want) in b.iter().zip(&x) {
             assert!((*got - *want).abs() < 1e-4);
         }
@@ -378,7 +397,15 @@ mod tests {
                 b[row * n + j] = acc;
             }
         }
-        ctrsm(Side::Right, Triangle::Lower, n, Complex32::ONE, &l, &mut b, rhs);
+        ctrsm(
+            Side::Right,
+            Triangle::Lower,
+            n,
+            Complex32::ONE,
+            &l,
+            &mut b,
+            rhs,
+        );
         for (got, want) in b.iter().zip(&x) {
             assert!((*got - *want).abs() < 1e-3);
         }

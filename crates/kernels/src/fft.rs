@@ -40,7 +40,10 @@ impl FftPlan {
     ///
     /// Panics if `n` is not a power of two or is zero.
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two() && n > 0, "FFT size must be a power of two");
+        assert!(
+            n.is_power_of_two() && n > 0,
+            "FFT size must be a power of two"
+        );
         let log2n = n.trailing_zeros();
         let rev = (0..n as u32)
             .map(|i| i.reverse_bits() >> (32 - log2n.max(1)))
@@ -49,7 +52,12 @@ impl FftPlan {
         let twiddle = (0..n / 2)
             .map(|k| Complex32::from_polar_unit(-2.0 * PI * k as f32 / n as f32))
             .collect();
-        Self { n, log2n, rev, twiddle }
+        Self {
+            n,
+            log2n,
+            rev,
+            twiddle,
+        }
     }
 
     /// The transform length this plan was built for.
@@ -167,7 +175,10 @@ pub fn fft_2d(data: &mut Vec<Complex32>, rows: usize, cols: usize, dir: Directio
 /// Panics if `n` is not a power of two or is smaller than 2.
 pub fn rfft(input: &[f32]) -> Vec<Complex32> {
     let n = input.len();
-    assert!(n.is_power_of_two() && n >= 2, "rfft length must be a power of two >= 2");
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "rfft length must be a power of two >= 2"
+    );
     let half = n / 2;
     let mut packed: Vec<Complex32> = (0..half)
         .map(|i| Complex32::new(input[2 * i], input[2 * i + 1]))
@@ -197,7 +208,10 @@ pub fn rfft(input: &[f32]) -> Vec<Complex32> {
 ///
 /// Panics if `half_spectrum` has fewer than 2 bins.
 pub fn expand_rfft(half_spectrum: &[Complex32]) -> Vec<Complex32> {
-    assert!(half_spectrum.len() >= 2, "need at least DC and Nyquist bins");
+    assert!(
+        half_spectrum.len() >= 2,
+        "need at least DC and Nyquist bins"
+    );
     let half = half_spectrum.len() - 1;
     let n = 2 * half;
     let mut out = Vec::with_capacity(n);
@@ -230,7 +244,10 @@ pub fn dft_naive(input: &[Complex32], dir: Direction) -> Vec<Complex32> {
 
 /// Canonical FLOP count of a length-`n` complex FFT: `5·n·log2(n)`.
 pub fn fft_flops(n: usize) -> u64 {
-    assert!(n.is_power_of_two() && n > 0, "FFT size must be a power of two");
+    assert!(
+        n.is_power_of_two() && n > 0,
+        "FFT size must be a power of two"
+    );
     5 * n as u64 * n.trailing_zeros() as u64
 }
 
@@ -240,17 +257,15 @@ mod tests {
 
     fn signal(n: usize) -> Vec<Complex32> {
         (0..n)
-            .map(|i| {
-                Complex32::new(
-                    (i as f32 * 0.71).sin() + 0.3,
-                    (i as f32 * 1.13).cos() - 0.1,
-                )
-            })
+            .map(|i| Complex32::new((i as f32 * 0.71).sin() + 0.3, (i as f32 * 1.13).cos() - 0.1))
             .collect()
     }
 
     fn max_err(a: &[Complex32], b: &[Complex32]) -> f32 {
-        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f32::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f32::max)
     }
 
     #[test]
@@ -381,8 +396,7 @@ mod tests {
             let real: Vec<f32> = (0..n).map(|i| (i as f32 * 0.19).sin() + 0.25).collect();
             let half = rfft(&real);
             assert_eq!(half.len(), n / 2 + 1);
-            let mut full: Vec<Complex32> =
-                real.iter().map(|&r| Complex32::new(r, 0.0)).collect();
+            let mut full: Vec<Complex32> = real.iter().map(|&r| Complex32::new(r, 0.0)).collect();
             FftPlan::new(n).execute(&mut full, Direction::Forward);
             for k in 0..=n / 2 {
                 assert!(
@@ -409,8 +423,7 @@ mod tests {
         let real: Vec<f32> = (0..n).map(|i| (i as f32 * 0.31).sin()).collect();
         let expanded = expand_rfft(&rfft(&real));
         assert_eq!(expanded.len(), n);
-        let mut full: Vec<Complex32> =
-            real.iter().map(|&r| Complex32::new(r, 0.0)).collect();
+        let mut full: Vec<Complex32> = real.iter().map(|&r| Complex32::new(r, 0.0)).collect();
         FftPlan::new(n).execute(&mut full, Direction::Forward);
         for k in 0..n {
             assert!((expanded[k] - full[k]).abs() < 1e-2, "bin {k}");

@@ -68,11 +68,7 @@ pub fn resample_uniform(input: &[f32], out_len: usize) -> Vec<f32> {
 ///
 /// Panics if `input.len()` is not a multiple of `blocks`, either length
 /// is zero, or `out_per_block` is zero.
-pub fn resample_blocks(
-    input: &[f32],
-    blocks: usize,
-    out_per_block: usize,
-) -> Vec<f32> {
+pub fn resample_blocks(input: &[f32], blocks: usize, out_per_block: usize) -> Vec<f32> {
     assert!(blocks > 0, "block count must be nonzero");
     assert!(
         input.len().is_multiple_of(blocks) && !input.is_empty(),

@@ -88,8 +88,10 @@ pub fn linear_to_blocked<T: Copy + Default>(
     block: usize,
 ) -> Vec<T> {
     assert_eq!(data.len(), rows * cols, "matrix buffer length mismatch");
-    assert!(block > 0 && rows.is_multiple_of(block) && cols.is_multiple_of(block),
-        "block size must divide both matrix dimensions");
+    assert!(
+        block > 0 && rows.is_multiple_of(block) && cols.is_multiple_of(block),
+        "block size must divide both matrix dimensions"
+    );
     let tiles_per_row = cols / block;
     let mut out = vec![T::default(); data.len()];
     for i in 0..rows {
@@ -115,8 +117,10 @@ pub fn blocked_to_linear<T: Copy + Default>(
     block: usize,
 ) -> Vec<T> {
     assert_eq!(data.len(), rows * cols, "matrix buffer length mismatch");
-    assert!(block > 0 && rows.is_multiple_of(block) && cols.is_multiple_of(block),
-        "block size must divide both matrix dimensions");
+    assert!(
+        block > 0 && rows.is_multiple_of(block) && cols.is_multiple_of(block),
+        "block size must divide both matrix dimensions"
+    );
     let tiles_per_row = cols / block;
     let mut out = vec![T::default(); data.len()];
     for i in 0..rows {

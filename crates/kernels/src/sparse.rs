@@ -42,7 +42,10 @@ impl fmt::Display for CsrError {
         match self {
             CsrError::BadRowPtr => write!(f, "row pointer array is malformed"),
             CsrError::BadColumnIndex { row } => {
-                write!(f, "column indices in row {row} are out of bounds or unsorted")
+                write!(
+                    f,
+                    "column indices in row {row} are out of bounds or unsorted"
+                )
             }
             CsrError::LengthMismatch => write!(f, "col_idx and values lengths differ"),
         }
@@ -81,7 +84,13 @@ impl CsrMatrix {
                 return Err(CsrError::BadColumnIndex { row });
             }
         }
-        Ok(Self { rows, cols, row_ptr, col_idx, values })
+        Ok(Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
     }
 
     /// Builds a CSR matrix from `(row, col, value)` triplets. Duplicate
@@ -118,7 +127,13 @@ impl CsrMatrix {
             }
             row_ptr.push(col_idx.len());
         }
-        Self { rows, cols, row_ptr, col_idx, values }
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// An identity-like square matrix with ones on the diagonal.

@@ -2,10 +2,10 @@
 
 use mealib_kernels::blas1::{cdotc, saxpy, sdot, sdot_naive};
 use mealib_kernels::fft::{dft_naive, Direction, FftPlan};
+use mealib_kernels::resample::resample_uniform;
 use mealib_kernels::reshape::{
     blocked_to_linear, linear_to_blocked, transpose, transpose_in_place,
 };
-use mealib_kernels::resample::resample_uniform;
 use mealib_kernels::sparse::CsrMatrix;
 use mealib_types::Complex32;
 use proptest::prelude::*;
@@ -19,7 +19,10 @@ fn vec_f32(len: usize) -> impl Strategy<Value = Vec<f32>> {
 }
 
 fn vec_c32(len: usize) -> impl Strategy<Value = Vec<Complex32>> {
-    proptest::collection::vec((small_f32(), small_f32()).prop_map(|(r, i)| Complex32::new(r, i)), len)
+    proptest::collection::vec(
+        (small_f32(), small_f32()).prop_map(|(r, i)| Complex32::new(r, i)),
+        len,
+    )
 }
 
 proptest! {

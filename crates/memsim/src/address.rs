@@ -101,17 +101,31 @@ impl AddressMapping {
     /// Decodes a physical address into its device location.
     pub fn decode(&self, addr: PhysAddr) -> Location {
         match *self {
-            AddressMapping::Interleaved { units, banks_per_unit, row_bytes, line_bytes } => {
-                decode_interleaved(addr.get(), units, banks_per_unit, row_bytes, line_bytes)
-            }
-            AddressMapping::XorInterleaved { units, banks_per_unit, row_bytes, line_bytes } => {
+            AddressMapping::Interleaved {
+                units,
+                banks_per_unit,
+                row_bytes,
+                line_bytes,
+            } => decode_interleaved(addr.get(), units, banks_per_unit, row_bytes, line_bytes),
+            AddressMapping::XorInterleaved {
+                units,
+                banks_per_unit,
+                row_bytes,
+                line_bytes,
+            } => {
                 let mut loc =
                     decode_interleaved(addr.get(), units, banks_per_unit, row_bytes, line_bytes);
-                // Fold higher address bits into the unit and bank indices.
-                let line = addr.get() / line_bytes;
-                let hash = (line / units as u64) ^ (line / (units as u64 * banks_per_unit as u64));
+                // Fold higher address bits into the unit and bank
+                // indices. Each fold must key only on coordinates it does
+                // not itself move, or the mapping loses capacity: the
+                // unit fold keys on the line index above the unit
+                // selector (which fixes bank/row/col), the bank fold on
+                // the row index. With power-of-two unit and bank counts
+                // both folds are permutations, so the mapping stays
+                // bijective — `mealib-verify`'s MEA024 proof checks this.
+                let hash = addr.get() / line_bytes / units as u64;
                 loc.unit = ((loc.unit as u64 ^ hash) % units as u64) as usize;
-                loc.bank = ((loc.bank as u64 ^ (hash >> 3)) % banks_per_unit as u64) as usize;
+                loc.bank = ((loc.bank as u64 ^ loc.row) % banks_per_unit as u64) as usize;
                 loc
             }
             AddressMapping::Asymmetric {
@@ -152,12 +166,24 @@ impl AddressMapping {
     pub fn validate(&self) -> Result<(), mealib_types::ConfigError> {
         use mealib_types::ConfigError;
         let (units, banks, row, line) = match *self {
-            AddressMapping::Interleaved { units, banks_per_unit, row_bytes, line_bytes }
-            | AddressMapping::XorInterleaved { units, banks_per_unit, row_bytes, line_bytes } => {
-                (units, banks_per_unit, row_bytes, line_bytes)
+            AddressMapping::Interleaved {
+                units,
+                banks_per_unit,
+                row_bytes,
+                line_bytes,
             }
+            | AddressMapping::XorInterleaved {
+                units,
+                banks_per_unit,
+                row_bytes,
+                line_bytes,
+            } => (units, banks_per_unit, row_bytes, line_bytes),
             AddressMapping::Asymmetric {
-                low_units, banks_per_unit, row_bytes, line_bytes, ..
+                low_units,
+                banks_per_unit,
+                row_bytes,
+                line_bytes,
+                ..
             } => (low_units, banks_per_unit, row_bytes, line_bytes),
         };
         if units == 0 {

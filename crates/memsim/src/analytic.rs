@@ -24,9 +24,30 @@ use crate::stats::TraceStats;
 ///
 /// # Panics
 ///
-/// Panics if `config` fails validation.
+/// Panics if `config` fails validation. Use [`try_estimate`] to get a
+/// typed error instead.
 pub fn estimate(config: &MemoryConfig, pattern: &AccessPattern) -> TraceStats {
-    config.validate().expect("invalid memory configuration");
+    config
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid memory configuration: {e}"));
+    estimate_validated(config, pattern)
+}
+
+/// Like [`estimate`], but reports an invalid configuration as a typed
+/// error instead of panicking.
+///
+/// # Errors
+///
+/// Returns the first [`mealib_types::ConfigError`] found in `config`.
+pub fn try_estimate(
+    config: &MemoryConfig,
+    pattern: &AccessPattern,
+) -> Result<TraceStats, mealib_types::ConfigError> {
+    config.validate()?;
+    Ok(estimate_validated(config, pattern))
+}
+
+fn estimate_validated(config: &MemoryConfig, pattern: &AccessPattern) -> TraceStats {
     match pattern {
         AccessPattern::Sequential { read, written } => {
             let mut s = estimate_stream(config, read + written);
@@ -34,7 +55,12 @@ pub fn estimate(config: &MemoryConfig, pattern: &AccessPattern) -> TraceStats {
             s.bytes_written = Bytes::new(*written);
             finish(config, s)
         }
-        AccessPattern::Strided { stride, elem_bytes, count, write } => {
+        AccessPattern::Strided {
+            stride,
+            elem_bytes,
+            count,
+            write,
+        } => {
             let s = estimate_strided(config, *stride, *elem_bytes, *count);
             let mut s = s;
             if *write {
@@ -46,7 +72,11 @@ pub fn estimate(config: &MemoryConfig, pattern: &AccessPattern) -> TraceStats {
             }
             finish(config, s)
         }
-        AccessPattern::Random { elem_bytes, count, region_bytes } => {
+        AccessPattern::Random {
+            elem_bytes,
+            count,
+            region_bytes,
+        } => {
             let mut s = estimate_random(config, *elem_bytes, *count, *region_bytes);
             s.bytes_read = Bytes::new(elem_bytes * count);
             finish(config, s)
@@ -151,7 +181,11 @@ fn estimate_strided(config: &MemoryConfig, stride: u64, elem_bytes: u64, count: 
         let accesses_per_row = (row_bytes / stride).max(1);
         let rows_u = accesses_u.div_ceil(accesses_per_row);
         let misses = rows_u * units_used;
-        (rows_u, misses, (count * bursts_per_access).saturating_sub(misses))
+        (
+            rows_u,
+            misses,
+            (count * bursts_per_access).saturating_sub(misses),
+        )
     };
     let act_cycles = rows_u * cycles_per_act(t, banks);
 
@@ -209,10 +243,9 @@ fn finish(config: &MemoryConfig, mut s: TraceStats) -> TraceStats {
     s.refreshes = cycles / t.t_refi * config.mapping.units() as u64;
     s.cycles = Cycles::new(cycles);
     s.elapsed = s.cycles.at(Hertz::new(1.0 / t.t_ck.get()));
-    s.energy =
-        config
-            .energy
-            .trace_energy(s.activations, s.bytes_moved().get(), s.elapsed);
+    s.energy = config
+        .energy
+        .trace_energy(s.activations, s.bytes_moved().get(), s.elapsed);
     s
 }
 
@@ -269,12 +302,14 @@ mod tests {
         let c = single_channel_config();
         let est = estimate(
             &c,
-            &AccessPattern::Strided { stride: 8192, elem_bytes: 64, count: 4096, write: false },
+            &AccessPattern::Strided {
+                stride: 8192,
+                elem_bytes: 64,
+                count: 4096,
+                write: false,
+            },
         );
-        let sim = engine::simulate_trace(
-            &c,
-            &engine::strided_trace(0, 8192, 64, 4096, Op::Read),
-        );
+        let sim = engine::simulate_trace(&c, &engine::strided_trace(0, 8192, 64, 4096, Op::Read));
         let r = ratio(est.elapsed.get(), sim.elapsed.get());
         assert!((0.5..=2.0).contains(&r), "strided time ratio {r}");
         assert_eq!(est.row_hit_rate(), Some(0.0));
@@ -286,8 +321,7 @@ mod tests {
         let c = MemoryConfig::hmc_stack();
         let bytes = 32u64 << 20;
         let est = estimate(&c, &AccessPattern::sequential_read(bytes));
-        let sim =
-            engine::simulate_trace(&c, &engine::sequential_trace(0, bytes, 256, Op::Read));
+        let sim = engine::simulate_trace(&c, &engine::sequential_trace(0, bytes, 256, Op::Read));
         let r = ratio(est.elapsed.get(), sim.elapsed.get());
         assert!((0.7..=1.4).contains(&r), "hmc sequential ratio {r}");
     }
@@ -306,11 +340,21 @@ mod tests {
         let c = MemoryConfig::ddr_dual_channel(); // 2 units, 64B lines
         let narrow = estimate(
             &c,
-            &AccessPattern::Strided { stride: 128, elem_bytes: 64, count: 65536, write: false },
+            &AccessPattern::Strided {
+                stride: 128,
+                elem_bytes: 64,
+                count: 65536,
+                write: false,
+            },
         );
         let spread = estimate(
             &c,
-            &AccessPattern::Strided { stride: 192, elem_bytes: 64, count: 65536, write: false },
+            &AccessPattern::Strided {
+                stride: 192,
+                elem_bytes: 64,
+                count: 65536,
+                write: false,
+            },
         );
         assert!(
             narrow.elapsed.get() > 1.5 * spread.elapsed.get(),
@@ -326,7 +370,11 @@ mod tests {
         let n = 1u64 << 22; // 4M gathers of 4B
         let gather = estimate(
             &c,
-            &AccessPattern::Random { elem_bytes: 4, count: n, region_bytes: 1 << 30 },
+            &AccessPattern::Random {
+                elem_bytes: 4,
+                count: n,
+                region_bytes: 1 << 30,
+            },
         );
         let seq = estimate(&c, &AccessPattern::sequential_read(4 * n));
         assert!(gather.elapsed.get() > 4.0 * seq.elapsed.get());
@@ -356,8 +404,17 @@ mod tests {
         let c = MemoryConfig::hmc_stack();
         for p in [
             AccessPattern::sequential_read(0),
-            AccessPattern::Strided { stride: 64, elem_bytes: 0, count: 0, write: false },
-            AccessPattern::Random { elem_bytes: 4, count: 0, region_bytes: 1 << 20 },
+            AccessPattern::Strided {
+                stride: 64,
+                elem_bytes: 0,
+                count: 0,
+                write: false,
+            },
+            AccessPattern::Random {
+                elem_bytes: 4,
+                count: 0,
+                region_bytes: 1 << 20,
+            },
             AccessPattern::Then(vec![]),
         ] {
             let s = estimate(&c, &p);

@@ -38,12 +38,20 @@ pub struct Request {
 impl Request {
     /// Convenience read-request constructor.
     pub fn read(addr: u64, bytes: u64) -> Self {
-        Self { addr: PhysAddr::new(addr), bytes, op: Op::Read }
+        Self {
+            addr: PhysAddr::new(addr),
+            bytes,
+            op: Op::Read,
+        }
     }
 
     /// Convenience write-request constructor.
     pub fn write(addr: u64, bytes: u64) -> Self {
-        Self { addr: PhysAddr::new(addr), bytes, op: Op::Write }
+        Self {
+            addr: PhysAddr::new(addr),
+            bytes,
+            op: Op::Write,
+        }
     }
 }
 
@@ -88,7 +96,9 @@ pub struct LatencyHistogram {
 
 impl LatencyHistogram {
     fn record(&mut self, latency_cycles: u64) {
-        let k = (64 - latency_cycles.leading_zeros()).saturating_sub(1).min(31);
+        let k = (64 - latency_cycles.leading_zeros())
+            .saturating_sub(1)
+            .min(31);
         self.buckets[k as usize] += 1;
         self.total += 1;
     }
@@ -135,9 +145,24 @@ impl LatencyHistogram {
 ///
 /// # Panics
 ///
-/// Panics if `config` fails validation.
+/// Panics if `config` fails validation. Use [`try_simulate_trace`] to
+/// get a typed error instead.
 pub fn simulate_trace(config: &MemoryConfig, trace: &[Request]) -> TraceStats {
     simulate_trace_with_latencies(config, trace).0
+}
+
+/// Like [`simulate_trace`], but reports an invalid configuration as a
+/// typed error instead of panicking.
+///
+/// # Errors
+///
+/// Returns the first [`mealib_types::ConfigError`] found in `config`.
+pub fn try_simulate_trace(
+    config: &MemoryConfig,
+    trace: &[Request],
+) -> Result<TraceStats, mealib_types::ConfigError> {
+    config.validate()?;
+    Ok(simulate_trace_with_latencies(config, trace).0)
 }
 
 /// Like [`simulate_trace`], additionally collecting the per-burst
@@ -151,7 +176,9 @@ pub fn simulate_trace_with_latencies(
     config: &MemoryConfig,
     trace: &[Request],
 ) -> (TraceStats, LatencyHistogram) {
-    config.validate().expect("invalid memory configuration");
+    config
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid memory configuration: {e}"));
     let t = &config.timing;
     let mapping = &config.mapping;
     let units = mapping.units();
@@ -249,12 +276,13 @@ pub fn simulate_trace_with_latencies(
 
     let end_cycle = bus_free.into_iter().max().unwrap_or(0);
     stats.cycles = Cycles::new(end_cycle);
-    stats.elapsed = stats.cycles.at(mealib_types::Hertz::new(1.0 / t.t_ck.get()));
-    stats.energy = config.energy.trace_energy(
-        stats.activations,
-        stats.bytes_moved().get(),
-        stats.elapsed,
-    );
+    stats.elapsed = stats
+        .cycles
+        .at(mealib_types::Hertz::new(1.0 / t.t_ck.get()));
+    stats.energy =
+        config
+            .energy
+            .trace_energy(stats.activations, stats.bytes_moved().get(), stats.elapsed);
     (stats, latencies)
 }
 
@@ -266,7 +294,11 @@ pub fn sequential_trace(base: u64, bytes: u64, chunk: u64, op: Op) -> Vec<Reques
     let mut off = 0;
     while off < bytes {
         let take = chunk.min(bytes - off);
-        out.push(Request { addr: PhysAddr::new(base + off), bytes: take, op });
+        out.push(Request {
+            addr: PhysAddr::new(base + off),
+            bytes: take,
+            op,
+        });
         off += take;
     }
     out
@@ -276,7 +308,11 @@ pub fn sequential_trace(base: u64, bytes: u64, chunk: u64, op: Op) -> Vec<Reques
 /// `stride` bytes apart, starting at `base`.
 pub fn strided_trace(base: u64, stride: u64, elem_bytes: u64, count: u64, op: Op) -> Vec<Request> {
     (0..count)
-        .map(|i| Request { addr: PhysAddr::new(base + i * stride), bytes: elem_bytes, op })
+        .map(|i| Request {
+            addr: PhysAddr::new(base + i * stride),
+            bytes: elem_bytes,
+            op,
+        })
         .collect()
 }
 
@@ -302,7 +338,10 @@ mod tests {
         let s = simulate_trace(&c, &trace);
         let peak = c.timing.peak_bandwidth().as_gb_per_sec();
         let got = s.achieved_bandwidth().as_gb_per_sec();
-        assert!(got > 0.85 * peak, "sequential {got:.1} GB/s vs peak {peak:.1}");
+        assert!(
+            got > 0.85 * peak,
+            "sequential {got:.1} GB/s vs peak {peak:.1}"
+        );
     }
 
     #[test]
@@ -330,8 +369,7 @@ mod tests {
         let seq = simulate_trace(&c, &sequential_trace(0, count * bytes_each, 64, Op::Read));
         // Stride of one row: every access opens a new row, but rotating
         // banks still hide most of the activation latency.
-        let strided =
-            simulate_trace(&c, &strided_trace(0, 8192, bytes_each, count, Op::Read));
+        let strided = simulate_trace(&c, &strided_trace(0, 8192, bytes_each, count, Op::Read));
         assert_eq!(strided.row_hit_rate(), Some(0.0));
         assert!(
             strided.elapsed.get() > 1.15 * seq.elapsed.get(),
@@ -386,7 +424,10 @@ mod tests {
         let t1 = simulate_trace(&single, &trace).elapsed;
         let t2 = simulate_trace(&dual, &trace).elapsed;
         let ratio = t1 / t2;
-        assert!((1.8..=2.2).contains(&ratio), "channel scaling ratio {ratio}");
+        assert!(
+            (1.8..=2.2).contains(&ratio),
+            "channel scaling ratio {ratio}"
+        );
     }
 
     #[test]
@@ -436,11 +477,8 @@ mod tests {
     fn row_thrashing_shows_up_in_the_latency_tail() {
         let c = single_channel_config();
         let seq = simulate_trace_with_latencies(&c, &sequential_trace(0, 1 << 16, 64, Op::Read)).1;
-        let thrash = simulate_trace_with_latencies(
-            &c,
-            &strided_trace(0, 8192 * 8, 64, 1024, Op::Read),
-        )
-        .1;
+        let thrash =
+            simulate_trace_with_latencies(&c, &strided_trace(0, 8192 * 8, 64, 1024, Op::Read)).1;
         assert!(
             thrash.quantile_bound(0.5).unwrap() > seq.quantile_bound(0.5).unwrap(),
             "same-bank thrashing must raise the median latency"

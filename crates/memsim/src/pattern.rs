@@ -46,12 +46,18 @@ pub enum AccessPattern {
 impl AccessPattern {
     /// A contiguous read of `bytes`.
     pub fn sequential_read(bytes: u64) -> Self {
-        AccessPattern::Sequential { read: bytes, written: 0 }
+        AccessPattern::Sequential {
+            read: bytes,
+            written: 0,
+        }
     }
 
     /// A contiguous write of `bytes`.
     pub fn sequential_write(bytes: u64) -> Self {
-        AccessPattern::Sequential { read: 0, written: bytes }
+        AccessPattern::Sequential {
+            read: 0,
+            written: bytes,
+        }
     }
 
     /// A contiguous read of `read` bytes interleaved with a contiguous
@@ -65,8 +71,12 @@ impl AccessPattern {
     pub fn useful_bytes(&self) -> u64 {
         match self {
             AccessPattern::Sequential { read, written } => read + written,
-            AccessPattern::Strided { elem_bytes, count, .. }
-            | AccessPattern::Random { elem_bytes, count, .. } => elem_bytes * count,
+            AccessPattern::Strided {
+                elem_bytes, count, ..
+            }
+            | AccessPattern::Random {
+                elem_bytes, count, ..
+            } => elem_bytes * count,
             AccessPattern::Then(parts) => parts.iter().map(|p| p.useful_bytes()).sum(),
         }
     }
@@ -75,14 +85,21 @@ impl AccessPattern {
     pub fn useful_read_bytes(&self) -> u64 {
         match self {
             AccessPattern::Sequential { read, .. } => *read,
-            AccessPattern::Strided { elem_bytes, count, write, .. } => {
+            AccessPattern::Strided {
+                elem_bytes,
+                count,
+                write,
+                ..
+            } => {
                 if *write {
                     0
                 } else {
                     elem_bytes * count
                 }
             }
-            AccessPattern::Random { elem_bytes, count, .. } => elem_bytes * count,
+            AccessPattern::Random {
+                elem_bytes, count, ..
+            } => elem_bytes * count,
             AccessPattern::Then(parts) => parts.iter().map(|p| p.useful_read_bytes()).sum(),
         }
     }
@@ -104,7 +121,12 @@ mod tests {
         };
         assert_eq!(strided.useful_bytes(), 40);
         assert_eq!(strided.useful_read_bytes(), 40);
-        let w = AccessPattern::Strided { stride: 64, elem_bytes: 8, count: 5, write: true };
+        let w = AccessPattern::Strided {
+            stride: 64,
+            elem_bytes: 8,
+            count: 5,
+            write: true,
+        };
         assert_eq!(w.useful_read_bytes(), 0);
         let then = AccessPattern::Then(vec![
             AccessPattern::sequential_read(10),

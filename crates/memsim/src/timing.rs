@@ -46,12 +46,12 @@ impl DramTiming {
             t_cl: 11,
             t_rp: 11,
             t_ras: 28,
-            t_burst: 4,          // BL8 on a DDR bus = 4 command cycles
-            burst_bytes: 64,     // 8 transfers x 8 bytes
+            t_burst: 4,      // BL8 on a DDR bus = 4 command cycles
+            burst_bytes: 64, // 8 transfers x 8 bytes
             t_wr: 12,
             t_faw: 24,
-            t_refi: 6240,        // 7.8 us at 800 MHz
-            t_rfc: 208,          // 260 ns
+            t_refi: 6240, // 7.8 us at 800 MHz
+            t_rfc: 208,   // 260 ns
         }
     }
 
@@ -68,9 +68,9 @@ impl DramTiming {
             t_burst: 2,
             burst_bytes: 32,
             t_wr: 16,
-            t_faw: 20,           // small rows draw less current per ACT
-            t_refi: 7800,        // 7.8 us at 1 GHz
-            t_rfc: 120,          // short rows refresh quickly
+            t_faw: 20,    // small rows draw less current per ACT
+            t_refi: 7800, // 7.8 us at 1 GHz
+            t_rfc: 120,   // short rows refresh quickly
         }
     }
 
@@ -161,7 +161,10 @@ mod tests {
         // a bank is unavailable to refresh — a few percent on DDR3.
         let t = DramTiming::ddr3_1600();
         let overhead = t.t_rfc as f64 / t.t_refi as f64;
-        assert!((0.01..0.08).contains(&overhead), "refresh overhead {overhead:.3}");
+        assert!(
+            (0.01..0.08).contains(&overhead),
+            "refresh overhead {overhead:.3}"
+        );
     }
 
     #[test]

@@ -57,7 +57,11 @@ struct BoundedQueue {
 
 impl BoundedQueue {
     fn new(capacity: usize) -> Self {
-        Self { entries: VecDeque::with_capacity(capacity), capacity, stats: QueueStats::default() }
+        Self {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            stats: QueueStats::default(),
+        }
     }
 
     fn try_push(&mut self, req: VaultRequest) -> bool {
@@ -204,7 +208,12 @@ mod tests {
     use super::*;
 
     fn req(source: RequestSource, write: bool) -> VaultRequest {
-        VaultRequest { source, write, bytes: Bytes::new(32), arrived: Cycles::ZERO }
+        VaultRequest {
+            source,
+            write,
+            bytes: Bytes::new(32),
+            arrived: Cycles::ZERO,
+        }
     }
 
     #[test]
@@ -235,7 +244,10 @@ mod tests {
         let mut vc = VaultController::new(2, 1).unwrap();
         assert!(vc.offer(req(RequestSource::Cpu, false)));
         assert!(vc.offer(req(RequestSource::Cpu, false)));
-        assert!(!vc.offer(req(RequestSource::Cpu, false)), "address queue full");
+        assert!(
+            !vc.offer(req(RequestSource::Cpu, false)),
+            "address queue full"
+        );
         assert_eq!(vc.address_stats().refused, 1);
         assert_eq!(vc.address_stats().peak_occupancy, 2);
     }

@@ -124,7 +124,10 @@ impl Mesh {
         clock: Hertz,
     ) -> Result<Self, ConfigError> {
         if rows == 0 || cols == 0 {
-            return Err(ConfigError::new("rows/cols", "mesh dimensions must be nonzero"));
+            return Err(ConfigError::new(
+                "rows/cols",
+                "mesh dimensions must be nonzero",
+            ));
         }
         if flit_bytes == 0 {
             return Err(ConfigError::new("flit_bytes", "must be nonzero"));
@@ -187,11 +190,19 @@ impl Mesh {
         let mut path = Vec::with_capacity(src.hops_to(dst));
         let mut cur = src;
         while cur.col != dst.col {
-            cur.col = if dst.col > cur.col { cur.col + 1 } else { cur.col - 1 };
+            cur.col = if dst.col > cur.col {
+                cur.col + 1
+            } else {
+                cur.col - 1
+            };
             path.push(cur);
         }
         while cur.row != dst.row {
-            cur.row = if dst.row > cur.row { cur.row + 1 } else { cur.row - 1 };
+            cur.row = if dst.row > cur.row {
+                cur.row + 1
+            } else {
+                cur.row - 1
+            };
             path.push(cur);
         }
         path
@@ -226,7 +237,10 @@ impl Mesh {
             let mut prev = p.src;
             let mut tail_time = 0u64;
             for hop in &path {
-                let link = LinkId { from: prev, to: *hop };
+                let link = LinkId {
+                    from: prev,
+                    to: *hop,
+                };
                 let free = link_free.get(&link).copied().unwrap_or(0);
                 head_time = head_time.max(free) + self.router_latency;
                 // The link is busy until every flit of this packet passed.
@@ -239,8 +253,8 @@ impl Mesh {
 
         stats.cycles = Cycles::new(last_arrival);
         stats.elapsed = stats.cycles.at(self.clock);
-        stats.energy = self.e_flit_hop * stats.flit_hops as f64
-            + self.p_static.for_duration(stats.elapsed);
+        stats.energy =
+            self.e_flit_hop * stats.flit_hops as f64 + self.p_static.for_duration(stats.elapsed);
         stats
     }
 

@@ -45,8 +45,7 @@ impl CacheModel {
     /// Time to flush when the working set is smaller than the cache (the
     /// dirty data cannot exceed the bytes the host actually touched).
     pub fn flush_time_for(&self, touched: Bytes) -> Seconds {
-        let dirty = (self.llc_bytes.get() as f64 * self.dirty_fraction)
-            .min(touched.get() as f64);
+        let dirty = (self.llc_bytes.get() as f64 * self.dirty_fraction).min(touched.get() as f64);
         self.base_latency + Seconds::new(dirty / self.writeback_bandwidth.get())
     }
 

@@ -18,8 +18,9 @@ use std::fmt;
 
 use mealib_accel::cu::{run_descriptor, CuCostModel, CuError, DescriptorRun};
 use mealib_accel::AcceleratorLayer;
-use mealib_tdl::{parse, Descriptor, DescriptorError, ParamBag, ParseError, TdlProgram};
-use mealib_types::{Bytes, Joules, Seconds};
+use mealib_tdl::{parse_with_lines, Descriptor, DescriptorError, ParamBag, ParseError, TdlProgram};
+use mealib_types::{Bytes, Joules, Report, Seconds};
+use mealib_verify::TdlLimits;
 
 use mealib_memsim::MemoryConfig;
 use mealib_tdl::TdlItem;
@@ -27,11 +28,27 @@ use mealib_tdl::TdlItem;
 use crate::cache::CacheModel;
 use crate::driver::{DriverError, MealibDriver, StackId};
 
+/// How strictly [`Runtime::acc_plan`] applies the `mealib-verify`
+/// static passes to each plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyMode {
+    /// Run the passes; coded errors fail the plan (the default).
+    #[default]
+    Enforce,
+    /// Run the passes and record the report, but never fail the plan.
+    Warn,
+    /// Skip verification entirely (escape hatch for deliberately
+    /// malformed inputs, e.g. fault-injection studies).
+    Off,
+}
+
 /// Errors from the control runtime.
 #[derive(Debug)]
 pub enum RuntimeError {
     /// TDL parse failure.
     Parse(ParseError),
+    /// Static verification found coded errors (`MEA0xx`).
+    Verify(Report),
     /// Descriptor encoding failure (missing params/buffers).
     Descriptor(DescriptorError),
     /// Driver failure (allocation, bounds, command space).
@@ -46,6 +63,7 @@ impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RuntimeError::Parse(e) => write!(f, "TDL parse error: {e}"),
+            RuntimeError::Verify(r) => write!(f, "static verification failed:\n{r}"),
             RuntimeError::Descriptor(e) => write!(f, "descriptor error: {e}"),
             RuntimeError::Driver(e) => write!(f, "driver error: {e}"),
             RuntimeError::Cu(e) => write!(f, "configuration unit error: {e}"),
@@ -164,6 +182,9 @@ pub struct Runtime {
     counters: RuntimeCounters,
     next_plan_id: u64,
     plan_cache: std::collections::BTreeMap<String, AccPlan>,
+    verify_mode: VerifyMode,
+    verify_limits: TdlLimits,
+    last_verify: Option<Report>,
 }
 
 impl Runtime {
@@ -216,7 +237,28 @@ impl Runtime {
             counters: RuntimeCounters::default(),
             next_plan_id: 1,
             plan_cache: std::collections::BTreeMap::new(),
+            verify_mode: VerifyMode::default(),
+            verify_limits: TdlLimits::default(),
+            last_verify: None,
         }
+    }
+
+    /// Sets how strictly plans are statically verified (default:
+    /// [`VerifyMode::Enforce`]).
+    pub fn set_verify_mode(&mut self, mode: VerifyMode) {
+        self.verify_mode = mode;
+    }
+
+    /// The current verification mode.
+    pub fn verify_mode(&self) -> VerifyMode {
+        self.verify_mode
+    }
+
+    /// The verification report of the most recent [`Runtime::acc_plan`]
+    /// (including warnings that did not fail the plan). `None` before
+    /// the first plan or when verification is [`VerifyMode::Off`].
+    pub fn last_verify_report(&self) -> Option<&Report> {
+        self.last_verify.as_ref()
     }
 
     /// The driver (buffer allocation and host access).
@@ -280,20 +322,48 @@ impl Runtime {
         Ok(())
     }
 
-    /// `mealib_acc_plan`: parses TDL, resolves buffers, encodes the
-    /// descriptor.
+    /// `mealib_acc_plan`: parses TDL, statically verifies it (per the
+    /// [`VerifyMode`]), resolves buffers, encodes the descriptor, and
+    /// verifies the encoded image before it can reach the command space.
     ///
     /// # Errors
     ///
-    /// Returns parse, descriptor, or driver errors.
+    /// Returns parse, verification, descriptor, or driver errors.
     pub fn acc_plan(&mut self, tdl: &str, params: &ParamBag) -> Result<AccPlan, RuntimeError> {
-        let program = parse(tdl)?;
+        let (program, lines) = parse_with_lines(tdl)?;
+        let mut report = Report::new();
+        if self.verify_mode != VerifyMode::Off {
+            report = mealib_verify::tdl::verify_program(
+                &program,
+                Some(&lines),
+                Some(params),
+                &self.verify_limits,
+            );
+            if self.verify_mode == VerifyMode::Enforce && report.has_errors() {
+                self.last_verify = Some(report.clone());
+                return Err(RuntimeError::Verify(report));
+            }
+        }
         let buffers = self.driver.buffer_table();
         let descriptor = Descriptor::encode(&program, params, &buffers)?;
+        if self.verify_mode != VerifyMode::Off {
+            report.merge(mealib_verify::descriptor::verify_image(
+                descriptor.as_bytes(),
+            ));
+            self.last_verify = Some(report.clone());
+            if self.verify_mode == VerifyMode::Enforce && report.has_errors() {
+                return Err(RuntimeError::Verify(report));
+            }
+        }
         let id = self.next_plan_id;
         self.next_plan_id += 1;
         self.counters.plans_created += 1;
-        Ok(AccPlan { id, program, descriptor, destroyed: false })
+        Ok(AccPlan {
+            id,
+            program,
+            descriptor,
+            destroyed: false,
+        })
     }
 
     /// Like [`Runtime::acc_plan`], but reuses a previously built plan
@@ -376,7 +446,11 @@ impl Runtime {
         let run = run_descriptor(&plan.descriptor, &layer, &self.cu_cost)?;
         self.counters.executions += 1;
         self.counters.invocations += run.invocations();
-        Ok(RunReport { invocation_time, invocation_energy, run })
+        Ok(RunReport {
+            invocation_time,
+            invocation_energy,
+            run,
+        })
     }
 
     /// `mealib_acc_destroy`.
@@ -408,9 +482,8 @@ mod tests {
             "fft.para".into(),
             AccelParams::Fft { n: 256, batch: 256 }.to_bytes(),
         );
-        let tdl = format!(
-            "LOOP {loop_count} {{ PASS in=x out=y {{ COMP FFT params=\"fft.para\" }} }}"
-        );
+        let tdl =
+            format!("LOOP {loop_count} {{ PASS in=x out=y {{ COMP FFT params=\"fft.para\" }} }}");
         let plan = rt.acc_plan(&tdl, &params).unwrap();
         (rt, plan)
     }
@@ -423,7 +496,10 @@ mod tests {
         assert_eq!(rt.counters().executions, 1);
         assert_eq!(rt.counters().invocations, 2);
         rt.acc_destroy(&mut plan);
-        assert!(matches!(rt.acc_execute(&plan), Err(RuntimeError::PlanDestroyed)));
+        assert!(matches!(
+            rt.acc_execute(&plan),
+            Err(RuntimeError::PlanDestroyed)
+        ));
         assert_eq!(rt.counters().plans_destroyed, 1);
     }
 
@@ -463,7 +539,10 @@ mod tests {
             AccelParams::Fft { n: 256, batch: 1 }.to_bytes(),
         );
         let err = rt
-            .acc_plan("PASS in=ghost out=ghost2 { COMP FFT params=\"fft.para\" }", &params)
+            .acc_plan(
+                "PASS in=ghost out=ghost2 { COMP FFT params=\"fft.para\" }",
+                &params,
+            )
             .unwrap_err();
         assert!(matches!(err, RuntimeError::Descriptor(_)), "{err}");
     }
@@ -473,6 +552,90 @@ mod tests {
         let mut rt = Runtime::new();
         let err = rt.acc_plan("PASS oops", &ParamBag::new()).unwrap_err();
         assert!(matches!(err, RuntimeError::Parse(_)), "{err}");
+    }
+
+    #[test]
+    fn semantically_bad_tdl_fails_with_coded_diagnostics() {
+        let mut rt = Runtime::new();
+        rt.mem_alloc("x", Bytes::from_mib(1)).unwrap();
+        let mut params = ParamBag::new();
+        params.insert("r.para".into(), vec![0; 8]);
+        params.insert("f.para".into(), vec![0; 8]);
+        // Chained pass streaming in place: parseable, unrunnable.
+        let tdl = "PASS in=x out=x { COMP RESHP params=\"r.para\" COMP FFT params=\"f.para\" }";
+        let err = rt.acc_plan(tdl, &params).unwrap_err();
+        match err {
+            RuntimeError::Verify(report) => {
+                assert!(
+                    report.has_code(mealib_types::ErrorCode::TdlInPlaceChain),
+                    "{report}"
+                );
+            }
+            other => panic!("expected Verify, got {other}"),
+        }
+        assert!(rt.last_verify_report().unwrap().has_errors());
+    }
+
+    #[test]
+    fn verify_off_restores_the_old_behavior() {
+        let mut rt = Runtime::new();
+        rt.mem_alloc("x", Bytes::from_mib(1)).unwrap();
+        rt.set_verify_mode(VerifyMode::Off);
+        let mut params = ParamBag::new();
+        params.insert("r.para".into(), vec![0; 8]);
+        params.insert("f.para".into(), vec![0; 8]);
+        let tdl = "PASS in=x out=x { COMP RESHP params=\"r.para\" COMP FFT params=\"f.para\" }";
+        assert!(rt.acc_plan(tdl, &params).is_ok());
+        assert!(rt.last_verify_report().is_none());
+    }
+
+    #[test]
+    fn verify_warn_records_but_does_not_fail() {
+        let mut rt = Runtime::new();
+        rt.mem_alloc("x", Bytes::from_mib(1)).unwrap();
+        rt.set_verify_mode(VerifyMode::Warn);
+        let mut params = ParamBag::new();
+        params.insert("r.para".into(), vec![0; 8]);
+        params.insert("f.para".into(), vec![0; 8]);
+        let tdl = "PASS in=x out=x { COMP RESHP params=\"r.para\" COMP FFT params=\"f.para\" }";
+        assert!(rt.acc_plan(tdl, &params).is_ok());
+        assert!(rt.last_verify_report().unwrap().has_errors());
+    }
+
+    #[test]
+    fn missing_param_file_reported_before_encoding() {
+        let mut rt = Runtime::new();
+        rt.mem_alloc("x", Bytes::from_mib(1)).unwrap();
+        rt.mem_alloc("y", Bytes::from_mib(1)).unwrap();
+        let err = rt
+            .acc_plan(
+                "PASS in=x out=y { COMP FFT params=\"nope.para\" }",
+                &ParamBag::new(),
+            )
+            .unwrap_err();
+        match err {
+            RuntimeError::Verify(report) => {
+                assert!(
+                    report.has_code(mealib_types::ErrorCode::TdlDanglingParams),
+                    "{report}"
+                );
+            }
+            other => panic!("expected Verify, got {other}"),
+        }
+    }
+
+    #[test]
+    fn healthy_plans_verify_clean_and_snapshot_is_consistent() {
+        let (mut rt, _) = fft_runtime_and_plan(4);
+        let report = rt.last_verify_report().unwrap();
+        assert!(report.is_clean(), "{report}");
+        let snap = rt.driver().snapshot();
+        let audit = mealib_verify::physmem::verify_snapshot(&snap, None);
+        assert!(audit.is_clean(), "{audit}");
+        // Freeing a buffer keeps the bookkeeping consistent.
+        rt.mem_free("x").unwrap();
+        let audit = mealib_verify::physmem::verify_snapshot(&rt.driver().snapshot(), None);
+        assert!(audit.is_clean(), "{audit}");
     }
 
     #[test]
@@ -493,7 +656,11 @@ mod tests {
         let mut params = ParamBag::new();
         params.insert(
             "fft.para".into(),
-            AccelParams::Fft { n: 1024, batch: 16384 }.to_bytes(),
+            AccelParams::Fft {
+                n: 1024,
+                batch: 16384,
+            }
+            .to_bytes(),
         );
         let tdl = "PASS in=x out=y { COMP FFT params=\"fft.para\" }";
 
@@ -506,8 +673,12 @@ mod tests {
 
         // Same data on the remote stack.
         let mut remote = Runtime::with_stack_count(2);
-        remote.mem_alloc_on("x", Bytes::from_mib(16), StackId(1)).unwrap();
-        remote.mem_alloc_on("y", Bytes::from_mib(16), StackId(1)).unwrap();
+        remote
+            .mem_alloc_on("x", Bytes::from_mib(16), StackId(1))
+            .unwrap();
+        remote
+            .mem_alloc_on("y", Bytes::from_mib(16), StackId(1))
+            .unwrap();
         let plan = remote.acc_plan(tdl, &params).unwrap();
         let slow = remote.acc_execute(&plan).unwrap();
 
@@ -523,16 +694,24 @@ mod tests {
     #[test]
     fn unknown_stack_is_rejected() {
         let mut rt = Runtime::with_stack_count(2);
-        let err = rt.mem_alloc_on("x", Bytes::from_kib(4), StackId(5)).unwrap_err();
-        assert!(matches!(err, RuntimeError::Driver(DriverError::NoSuchStack { .. })));
+        let err = rt
+            .mem_alloc_on("x", Bytes::from_kib(4), StackId(5))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::Driver(DriverError::NoSuchStack { .. })
+        ));
     }
 
     #[test]
     fn stacks_allocate_independently() {
         let mut rt = Runtime::with_stack_count(3);
-        rt.mem_alloc_on("a", Bytes::from_gib(1), StackId(0)).unwrap();
-        rt.mem_alloc_on("b", Bytes::from_gib(1), StackId(1)).unwrap();
-        rt.mem_alloc_on("c", Bytes::from_gib(1), StackId(2)).unwrap();
+        rt.mem_alloc_on("a", Bytes::from_gib(1), StackId(0))
+            .unwrap();
+        rt.mem_alloc_on("b", Bytes::from_gib(1), StackId(1))
+            .unwrap();
+        rt.mem_alloc_on("c", Bytes::from_gib(1), StackId(2))
+            .unwrap();
         assert_eq!(rt.driver().stack_of("b"), Some(StackId(1)));
         assert!(rt.driver().all_local(["a"]));
         assert!(!rt.driver().all_local(["a", "b"]));

@@ -107,6 +107,16 @@ pub enum DriverError {
         /// Command space capacity.
         capacity: Bytes,
     },
+    /// Driver installation was given no memory stacks.
+    NoStacks,
+    /// The command space does not leave room for a data space in the
+    /// first stack.
+    CommandSpaceTooLarge {
+        /// Requested command space size.
+        command: Bytes,
+        /// Size of the first stack's region.
+        region: Bytes,
+    },
 }
 
 impl fmt::Display for DriverError {
@@ -122,11 +132,22 @@ impl fmt::Display for DriverError {
             }
             DriverError::UnknownBuffer { name } => write!(f, "no buffer named `{name}`"),
             DriverError::OutOfBounds { name, end, len } => {
-                write!(f, "access to `{name}` ends at {end} but buffer is {len} bytes")
+                write!(
+                    f,
+                    "access to `{name}` ends at {end} but buffer is {len} bytes"
+                )
             }
             DriverError::DescriptorTooLarge { size, capacity } => {
-                write!(f, "descriptor of {size} exceeds command space of {capacity}")
+                write!(
+                    f,
+                    "descriptor of {size} exceeds command space of {capacity}"
+                )
             }
+            DriverError::NoStacks => f.write_str("at least one memory stack required"),
+            DriverError::CommandSpaceTooLarge { command, region } => write!(
+                f,
+                "command space of {command} leaves no data space in a {region} stack"
+            ),
         }
     }
 }
@@ -179,14 +200,33 @@ impl MealibDriver {
     /// # Panics
     ///
     /// Panics if no stacks are given, or the command space does not fit
-    /// in stack 0.
+    /// in stack 0. Use [`MealibDriver::try_with_stacks`] to get a typed
+    /// error instead.
     pub fn with_stacks(regions: Vec<AddrRange>, command_bytes: Bytes) -> Self {
-        assert!(!regions.is_empty(), "at least one memory stack required");
-        assert!(
-            command_bytes < regions[0].len(),
-            "command space must leave room for the data space"
-        );
-        let command_space = AddrRange::new(regions[0].start(), command_bytes);
+        Self::try_with_stacks(regions, command_bytes).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Installs the driver over several memory stacks, reporting bad
+    /// parameters as a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::NoStacks`] for an empty stack list,
+    /// [`DriverError::CommandSpaceTooLarge`] if stack 0 cannot hold the
+    /// command space plus a data space, or an allocation error for a
+    /// misaligned stack region.
+    pub fn try_with_stacks(
+        regions: Vec<AddrRange>,
+        command_bytes: Bytes,
+    ) -> Result<Self, DriverError> {
+        let first = *regions.first().ok_or(DriverError::NoStacks)?;
+        if command_bytes >= first.len() {
+            return Err(DriverError::CommandSpaceTooLarge {
+                command: command_bytes,
+                region: first.len(),
+            });
+        }
+        let command_space = AddrRange::new(first.start(), command_bytes);
         let mut stacks = Vec::with_capacity(regions.len());
         for (i, region) in regions.iter().enumerate() {
             let data_region = if i == 0 {
@@ -197,21 +237,31 @@ impl MealibDriver {
             } else {
                 *region
             };
-            stacks.push(PhysicalSpace::new(data_region, Self::ALIGN));
+            stacks.push(PhysicalSpace::try_new(data_region, Self::ALIGN)?);
         }
-        Self {
+        Ok(Self {
             command_space,
             command_image: Vec::new(),
             stacks,
             vmap: AddressSpaceMap::new(),
             store: BTreeMap::new(),
             buffers: BTreeMap::new(),
-        }
+        })
     }
 
     /// Number of memory stacks.
     pub fn stack_count(&self) -> usize {
         self.stacks.len()
+    }
+
+    /// The per-stack data-space allocators (index 0 is the LMS).
+    pub fn stacks(&self) -> &[PhysicalSpace] {
+        &self.stacks
+    }
+
+    /// The virtual address map.
+    pub fn vmap(&self) -> &AddressSpaceMap {
+        &self.vmap
     }
 
     /// A driver over the default 2 GiB Local Memory Stack window with a
@@ -251,7 +301,9 @@ impl MealibDriver {
         stack: StackId,
     ) -> Result<BufferHandle, DriverError> {
         if self.buffers.contains_key(name) {
-            return Err(DriverError::DuplicateName { name: name.to_string() });
+            return Err(DriverError::DuplicateName {
+                name: name.to_string(),
+            });
         }
         let available = self.stacks.len();
         let space = self
@@ -260,8 +312,14 @@ impl MealibDriver {
             .ok_or(DriverError::NoSuchStack { stack, available })?;
         let pa = space.alloc(bytes)?;
         let va = self.vmap.map(pa);
-        self.store.insert(pa.start().get(), vec![0u8; pa.len().get() as usize]);
-        let handle = BufferHandle { name: name.to_string(), va, pa, stack };
+        self.store
+            .insert(pa.start().get(), vec![0u8; pa.len().get() as usize]);
+        let handle = BufferHandle {
+            name: name.to_string(),
+            va,
+            pa,
+            stack,
+        };
         self.buffers.insert(name.to_string(), handle.clone());
         Ok(handle)
     }
@@ -275,7 +333,9 @@ impl MealibDriver {
         let handle = self
             .buffers
             .remove(name)
-            .ok_or_else(|| DriverError::UnknownBuffer { name: name.to_string() })?;
+            .ok_or_else(|| DriverError::UnknownBuffer {
+                name: name.to_string(),
+            })?;
         self.vmap.unmap(handle.va)?;
         self.stacks[handle.stack.0].free(handle.pa.start())?;
         self.store.remove(&handle.pa.start().get());
@@ -306,11 +366,17 @@ impl MealibDriver {
         let handle = self
             .buffers
             .get(name)
-            .ok_or_else(|| DriverError::UnknownBuffer { name: name.to_string() })?;
+            .ok_or_else(|| DriverError::UnknownBuffer {
+                name: name.to_string(),
+            })?;
         let len = handle.pa.len().get();
         let end = offset + bytes.len() as u64;
         if end > len {
-            return Err(DriverError::OutOfBounds { name: name.to_string(), end, len });
+            return Err(DriverError::OutOfBounds {
+                name: name.to_string(),
+                end,
+                len,
+            });
         }
         let backing = self
             .store
@@ -330,11 +396,17 @@ impl MealibDriver {
         let handle = self
             .buffers
             .get(name)
-            .ok_or_else(|| DriverError::UnknownBuffer { name: name.to_string() })?;
+            .ok_or_else(|| DriverError::UnknownBuffer {
+                name: name.to_string(),
+            })?;
         let blen = handle.pa.len().get();
         let end = offset + len;
         if end > blen {
-            return Err(DriverError::OutOfBounds { name: name.to_string(), end, len: blen });
+            return Err(DriverError::OutOfBounds {
+                name: name.to_string(),
+                end,
+                len: blen,
+            });
         }
         let backing = self
             .store
@@ -392,6 +464,25 @@ impl MealibDriver {
             .into_iter()
             .all(|n| self.stack_of(n.as_ref()).is_some_and(StackId::is_local))
     }
+
+    /// A point-in-time snapshot of the driver's physical-memory
+    /// bookkeeping, for the `mealib-verify` physmem pass.
+    pub fn snapshot(&self) -> mealib_verify::MemSnapshot {
+        mealib_verify::MemSnapshot {
+            command_space: self.command_space,
+            stacks: self
+                .stacks
+                .iter()
+                .map(|s| mealib_verify::StackSnapshot {
+                    region: s.region(),
+                    align: s.align(),
+                    free: s.free_blocks().to_vec(),
+                    live: s.live_blocks().to_vec(),
+                })
+                .collect(),
+            vmap: self.vmap.mappings().collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -445,7 +536,10 @@ mod tests {
         d.release("x").unwrap();
         assert_eq!(d.allocated_bytes(), before);
         assert!(d.buffer("x").is_none());
-        assert!(matches!(d.release("x"), Err(DriverError::UnknownBuffer { .. })));
+        assert!(matches!(
+            d.release("x"),
+            Err(DriverError::UnknownBuffer { .. })
+        ));
     }
 
     #[test]
@@ -456,7 +550,10 @@ mod tests {
             d.write("x", 4096 - 2, &[0; 4]),
             Err(DriverError::OutOfBounds { .. })
         ));
-        assert!(matches!(d.read("x", 4096, 1), Err(DriverError::OutOfBounds { .. })));
+        assert!(matches!(
+            d.read("x", 4096, 1),
+            Err(DriverError::OutOfBounds { .. })
+        ));
     }
 
     #[test]
@@ -479,6 +576,21 @@ mod tests {
             d.write_descriptor(&too_big),
             Err(DriverError::DescriptorTooLarge { .. })
         ));
+    }
+
+    #[test]
+    fn try_with_stacks_reports_typed_errors() {
+        assert!(matches!(
+            MealibDriver::try_with_stacks(vec![], Bytes::from_mib(1)),
+            Err(DriverError::NoStacks)
+        ));
+        let small = AddrRange::new(PhysAddr::new(1 << 30), Bytes::from_kib(512));
+        assert!(matches!(
+            MealibDriver::try_with_stacks(vec![small], Bytes::from_mib(1)),
+            Err(DriverError::CommandSpaceTooLarge { .. })
+        ));
+        let region = AddrRange::new(PhysAddr::new(1 << 30), Bytes::from_mib(64));
+        assert!(MealibDriver::try_with_stacks(vec![region], Bytes::from_mib(1)).is_ok());
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod physmem;
 pub mod vmap;
 
 pub use cache::CacheModel;
-pub use control::{AccPlan, RunReport, Runtime, RuntimeError};
+pub use control::{AccPlan, RunReport, Runtime, RuntimeError, VerifyMode};
 pub use driver::{BufferHandle, MealibDriver, StackId};
 pub use physmem::PhysicalSpace;
 pub use vmap::AddressSpaceMap;

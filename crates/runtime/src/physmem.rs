@@ -25,17 +25,38 @@ pub enum AllocError {
         /// The offending address.
         addr: PhysAddr,
     },
+    /// The requested allocation alignment is not a power of two.
+    BadAlign {
+        /// The offending alignment.
+        align: u64,
+    },
+    /// The region base is not aligned to the allocation alignment.
+    MisalignedBase {
+        /// The region base.
+        base: PhysAddr,
+        /// The required alignment.
+        align: u64,
+    },
 }
 
 impl fmt::Display for AllocError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AllocError::OutOfMemory { requested, largest_free } => write!(
+            AllocError::OutOfMemory {
+                requested,
+                largest_free,
+            } => write!(
                 f,
                 "out of contiguous memory: requested {requested}, largest free block {largest_free}"
             ),
             AllocError::ZeroSize => f.write_str("zero-byte allocation"),
             AllocError::BadFree { addr } => write!(f, "free of unallocated address {addr}"),
+            AllocError::BadAlign { align } => {
+                write!(f, "alignment {align} is not a power of two")
+            }
+            AllocError::MisalignedBase { base, align } => {
+                write!(f, "region base {base} is not aligned to {align}")
+            }
         }
     }
 }
@@ -60,19 +81,56 @@ impl PhysicalSpace {
     /// # Panics
     ///
     /// Panics if `align` is not a power of two or the region base is not
-    /// aligned.
+    /// aligned. Use [`PhysicalSpace::try_new`] to get a typed error
+    /// instead.
     pub fn new(region: AddrRange, align: u64) -> Self {
-        assert!(align.is_power_of_two(), "alignment must be a power of two");
-        assert!(
-            region.start().is_aligned(align),
-            "region base must be aligned to the allocation alignment"
-        );
-        Self { region, align, free: vec![region], live: Vec::new() }
+        Self::try_new(region, align).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates an allocator over `region`, reporting bad parameters as a
+    /// typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::BadAlign`] if `align` is not a power of two,
+    /// or [`AllocError::MisalignedBase`] if the region base is not
+    /// aligned to it.
+    pub fn try_new(region: AddrRange, align: u64) -> Result<Self, AllocError> {
+        if !align.is_power_of_two() {
+            return Err(AllocError::BadAlign { align });
+        }
+        if !region.start().is_aligned(align) {
+            return Err(AllocError::MisalignedBase {
+                base: region.start(),
+                align,
+            });
+        }
+        Ok(Self {
+            region,
+            align,
+            free: vec![region],
+            live: Vec::new(),
+        })
     }
 
     /// The managed region.
     pub fn region(&self) -> AddrRange {
         self.region
+    }
+
+    /// The allocation alignment.
+    pub fn align(&self) -> u64 {
+        self.align
+    }
+
+    /// The free blocks, sorted by start address.
+    pub fn free_blocks(&self) -> &[AddrRange] {
+        &self.free
+    }
+
+    /// The live allocations, sorted by start address.
+    pub fn live_blocks(&self) -> &[AddrRange] {
+        &self.live
     }
 
     /// Total bytes currently allocated.
@@ -87,7 +145,11 @@ impl PhysicalSpace {
 
     /// Size of the largest free block.
     pub fn largest_free_block(&self) -> Bytes {
-        self.free.iter().map(|r| r.len()).max().unwrap_or(Bytes::ZERO)
+        self.free
+            .iter()
+            .map(|r| r.len())
+            .max()
+            .unwrap_or(Bytes::ZERO)
     }
 
     /// Number of live allocations.
@@ -105,14 +167,14 @@ impl PhysicalSpace {
             return Err(AllocError::ZeroSize);
         }
         let need = bytes.align_up(self.align);
-        let slot = self
-            .free
-            .iter()
-            .position(|r| r.len() >= need)
-            .ok_or(AllocError::OutOfMemory {
-                requested: need,
-                largest_free: self.largest_free_block(),
-            })?;
+        let slot =
+            self.free
+                .iter()
+                .position(|r| r.len() >= need)
+                .ok_or(AllocError::OutOfMemory {
+                    requested: need,
+                    largest_free: self.largest_free_block(),
+                })?;
         let block = self.free[slot];
         let taken = AddrRange::new(block.start(), need);
         if block.len() == need {
@@ -224,7 +286,11 @@ mod tests {
         let _b = s.alloc(Bytes::from_kib(64)).unwrap();
         s.free(a.start()).unwrap();
         let c = s.alloc(Bytes::from_kib(32)).unwrap();
-        assert_eq!(c.start(), a.start(), "first fit must take the earliest hole");
+        assert_eq!(
+            c.start(),
+            a.start(),
+            "first fit must take the earliest hole"
+        );
     }
 
     #[test]
@@ -271,6 +337,33 @@ mod tests {
     fn zero_size_rejected() {
         let mut s = space(1);
         assert_eq!(s.alloc(Bytes::ZERO), Err(AllocError::ZeroSize));
+    }
+
+    #[test]
+    fn try_new_reports_bad_parameters_as_typed_errors() {
+        let region = AddrRange::new(PhysAddr::new(0x1000), Bytes::from_kib(64));
+        assert_eq!(
+            PhysicalSpace::try_new(region, 3).unwrap_err(),
+            AllocError::BadAlign { align: 3 }
+        );
+        let odd = AddrRange::new(PhysAddr::new(0x1010), Bytes::from_kib(64));
+        assert_eq!(
+            PhysicalSpace::try_new(odd, 4096).unwrap_err(),
+            AllocError::MisalignedBase {
+                base: PhysAddr::new(0x1010),
+                align: 4096
+            }
+        );
+        assert!(PhysicalSpace::try_new(region, 4096).is_ok());
+    }
+
+    #[test]
+    fn block_accessors_expose_allocator_state() {
+        let mut s = space(1);
+        let a = s.alloc(Bytes::from_kib(4)).unwrap();
+        assert_eq!(s.live_blocks(), &[a]);
+        assert_eq!(s.free_blocks().len(), 1);
+        assert_eq!(s.align(), 4096);
     }
 
     #[test]

@@ -64,7 +64,10 @@ impl AddressSpaceMap {
 
     /// Creates an empty map starting at [`Self::DEFAULT_BASE`].
     pub fn new() -> Self {
-        Self { next_va: Self::DEFAULT_BASE, maps: Vec::new() }
+        Self {
+            next_va: Self::DEFAULT_BASE,
+            maps: Vec::new(),
+        }
     }
 
     /// Maps a physical range at a fresh virtual address, returning the
@@ -124,6 +127,12 @@ impl AddressSpaceMap {
     /// Number of live mappings.
     pub fn len(&self) -> usize {
         self.maps.len()
+    }
+
+    /// Every live mapping as a `(virtual base, physical range)` pair, in
+    /// mapping order.
+    pub fn mappings(&self) -> impl Iterator<Item = (VirtAddr, AddrRange)> + '_ {
+        self.maps.iter().map(|m| (m.va, m.pa))
     }
 
     /// Returns `true` when nothing is mapped.

@@ -104,7 +104,35 @@ impl OpComparison {
 }
 
 /// Runs `op` on all five platforms.
+///
+/// The first call in a process runs the static-verification preflight
+/// ([`crate::preflight`]): TDL semantics, descriptor image, memory-config
+/// validation (with the interleaving bijectivity proof), and
+/// physical-memory consistency. Subsequent calls reuse the cached
+/// verdict.
+///
+/// # Panics
+///
+/// Panics with the rendered diagnostic report if the preflight finds
+/// errors. Use [`try_compare_platforms`] for a typed result, or
+/// [`compare_platforms_unchecked`] to skip verification.
 pub fn compare_platforms(op: &AccelParams) -> OpComparison {
+    match try_compare_platforms(op) {
+        Ok(cmp) => cmp,
+        Err(report) => panic!("experiment preflight failed:\n{report}"),
+    }
+}
+
+/// Like [`compare_platforms`], but returns the preflight report as a
+/// typed error instead of panicking.
+pub fn try_compare_platforms(op: &AccelParams) -> Result<OpComparison, mealib_types::Report> {
+    crate::preflight::preflight_checked()?;
+    Ok(compare_platforms_unchecked(op))
+}
+
+/// Runs `op` on all five platforms without the verification preflight —
+/// the escape hatch for deliberately broken configurations.
+pub fn compare_platforms_unchecked(op: &AccelParams) -> OpComparison {
     let mut rows = Vec::with_capacity(5);
     for platform in [Platform::haswell(), Platform::xeon_phi()] {
         let r = run_op(&platform, op, CodeFlavor::Library);
@@ -137,18 +165,43 @@ pub fn compare_platforms(op: &AccelParams) -> OpComparison {
 pub fn table2_workloads() -> Vec<AccelParams> {
     vec![
         // 256M-element vectors (1 GB).
-        AccelParams::Axpy { n: 256 << 20, alpha: 2.0, incx: 1, incy: 1 },
-        AccelParams::Dot { n: 256 << 20, incx: 1, incy: 1, complex: false },
+        AccelParams::Axpy {
+            n: 256 << 20,
+            alpha: 2.0,
+            incx: 1,
+            incy: 1,
+        },
+        AccelParams::Dot {
+            n: 256 << 20,
+            incx: 1,
+            incy: 1,
+            complex: false,
+        },
         // 16384 x 16384 matrix (1 GB).
         AccelParams::Gemv { m: 16384, n: 16384 },
         // rgg_n_2_20-class sparse matrix.
-        AccelParams::Spmv { rows: 1 << 20, cols: 1 << 20, nnz: 13 * (1 << 20) },
+        AccelParams::Spmv {
+            rows: 1 << 20,
+            cols: 1 << 20,
+            nnz: 13 * (1 << 20),
+        },
         // 16384 resampling blocks.
-        AccelParams::Resmp { blocks: 16384, in_per_block: 8192, out_per_block: 8192 },
+        AccelParams::Resmp {
+            blocks: 16384,
+            in_per_block: 8192,
+            out_per_block: 8192,
+        },
         // 8192 x 8192 complex FFT batch (512 MB).
-        AccelParams::Fft { n: 8192, batch: 8192 },
+        AccelParams::Fft {
+            n: 8192,
+            batch: 8192,
+        },
         // 16384 x 16384 transpose (1 GB).
-        AccelParams::Reshp { rows: 16384, cols: 16384, elem_bytes: 4 },
+        AccelParams::Reshp {
+            rows: 16384,
+            cols: 16384,
+            elem_bytes: 4,
+        },
     ]
 }
 
@@ -190,8 +243,14 @@ mod tests {
             .expect("spmv present")
             .1;
         for (kind, s) in &results {
-            assert!(*s <= reshp * 1.01, "{kind}: {s:.1}x exceeds RESHP {reshp:.1}x");
-            assert!(*s >= spmv * 0.6, "{kind}: {s:.1}x far below SPMV {spmv:.1}x");
+            assert!(
+                *s <= reshp * 1.01,
+                "{kind}: {s:.1}x exceeds RESHP {reshp:.1}x"
+            );
+            assert!(
+                *s >= spmv * 0.6,
+                "{kind}: {s:.1}x far below SPMV {spmv:.1}x"
+            );
         }
         // Paper: 11x (SPMV) to 88x (RESHP).
         assert!((4.0..30.0).contains(&spmv), "SPMV gain {spmv:.1}x");
@@ -206,7 +265,10 @@ mod tests {
             .collect();
         let avg = geometric_mean(&speedups).expect("positive speedups");
         // Paper: 38x average.
-        assert!((15.0..80.0).contains(&avg), "average MEALib speedup {avg:.1}x");
+        assert!(
+            (15.0..80.0).contains(&avg),
+            "average MEALib speedup {avg:.1}x"
+        );
     }
 
     #[test]
@@ -226,7 +288,10 @@ mod tests {
             avg_eff > avg_perf,
             "energy gain {avg_eff:.1}x must exceed perf gain {avg_perf:.1}x"
         );
-        assert!((30.0..160.0).contains(&avg_eff), "average EE gain {avg_eff:.1}x");
+        assert!(
+            (30.0..160.0).contains(&avg_eff),
+            "average EE gain {avg_eff:.1}x"
+        );
     }
 
     #[test]
@@ -252,7 +317,11 @@ mod tests {
         let cmp = compare_platforms(&reshp);
         for row in &cmp.rows {
             assert_eq!(row.flops, 0, "{}: transpose has no FLOPs", row.name);
-            assert!(row.throughput() > 0.0, "{}: GB/s metric must be used", row.name);
+            assert!(
+                row.throughput() > 0.0,
+                "{}: GB/s metric must be used",
+                row.name
+            );
         }
     }
 

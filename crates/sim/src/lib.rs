@@ -11,8 +11,13 @@
 
 pub mod experiment;
 pub mod platforms;
+pub mod preflight;
 pub mod report;
 
-pub use experiment::{compare_platforms, OpComparison, PlatformResult};
+pub use experiment::{
+    compare_platforms, compare_platforms_unchecked, try_compare_platforms, OpComparison,
+    PlatformResult,
+};
 pub use platforms::AcceleratedPlatform;
+pub use preflight::{preflight, preflight_checked};
 pub use report::TextTable;

@@ -108,16 +108,30 @@ mod tests {
         let t_psas = psas.run(&gemv()).time;
         let t_msas = msas.run(&gemv()).time;
         let t_mealib = mealib.run(&gemv()).time;
-        assert!(t_psas > t_msas, "PSAS slower than MSAS: {t_psas} vs {t_msas}");
-        assert!(t_msas > t_mealib, "MSAS slower than MEALib: {t_msas} vs {t_mealib}");
+        assert!(
+            t_psas > t_msas,
+            "PSAS slower than MSAS: {t_psas} vs {t_msas}"
+        );
+        assert!(
+            t_msas > t_mealib,
+            "MSAS slower than MEALib: {t_msas} vs {t_mealib}"
+        );
     }
 
     #[test]
     fn mealib_wins_energy_efficiency_too() {
         let ops = [
             gemv(),
-            AccelParams::Fft { n: 8192, batch: 8192 },
-            AccelParams::Axpy { n: 1 << 28, alpha: 1.0, incx: 1, incy: 1 },
+            AccelParams::Fft {
+                n: 8192,
+                batch: 8192,
+            },
+            AccelParams::Axpy {
+                n: 1 << 28,
+                alpha: 1.0,
+                incx: 1,
+                incy: 1,
+            },
         ];
         for op in ops {
             let psas = AcceleratedPlatform::psas().run(&op);

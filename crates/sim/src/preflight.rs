@@ -1,0 +1,153 @@
+//! Experiment preflight: the `mealint` passes run against the live setup.
+//!
+//! Before the Figure 9/10 comparison touches any model, the same four
+//! static-verification passes that back the `mealint` CLI are run over
+//! the *actual* objects the experiment is about to use:
+//!
+//! 1. **TDL semantics** and 2. **descriptor image** — a representative
+//!    chained program is planned through a real [`mealib_runtime::Runtime`]
+//!    (which verifies under its default [`VerifyMode::Enforce`]), so the
+//!    encode path the accelerated platforms depend on is exercised
+//!    end-to-end;
+//! 3. **memory-config validation** — every accelerated platform's
+//!    [`MemoryConfig`] is checked, including the bijectivity proof of its
+//!    address interleaving;
+//! 4. **physical-memory consistency** — the runtime driver's allocator
+//!    and address-space map are audited against the §4.2 asymmetric DIMM
+//!    mapping that places the command space on the near DIMM.
+//!
+//! The verdict is computed once per process and cached; the fast path of
+//! [`crate::experiment::compare_platforms`] is a single atomic load.
+//! [`crate::experiment::compare_platforms_unchecked`] bypasses it.
+//!
+//! [`VerifyMode::Enforce`]: mealib_runtime::VerifyMode::Enforce
+//! [`MemoryConfig`]: mealib_memsim::MemoryConfig
+
+use std::sync::OnceLock;
+
+use mealib_accel::AccelParams;
+use mealib_memsim::address;
+use mealib_runtime::{Runtime, RuntimeError};
+use mealib_tdl::ParamBag;
+use mealib_types::{Bytes, PhysAddr, Report};
+
+use crate::platforms::AcceleratedPlatform;
+
+/// Runs all four verification passes over the experiment setup and
+/// returns the combined report (errors *and* warnings).
+pub fn preflight() -> Report {
+    let mut report = Report::new();
+
+    // Pass 3: every accelerated platform's memory substrate.
+    for platform in [
+        AcceleratedPlatform::psas(),
+        AcceleratedPlatform::msas(),
+        AcceleratedPlatform::mealib(),
+    ] {
+        report.merge(mealib_verify::memsim::verify_memconfig(
+            platform.layer.mem(),
+        ));
+    }
+
+    // Passes 1 + 2: plan a representative chained program through the
+    // runtime. `acc_plan` verifies TDL semantics and the encoded
+    // descriptor image under the default Enforce mode.
+    let mut rt = Runtime::new();
+    rt.mem_alloc("pre.x", Bytes::from_mib(4))
+        .expect("preflight buffer fits the default stack");
+    rt.mem_alloc("pre.y", Bytes::from_mib(4))
+        .expect("preflight buffer fits the default stack");
+    let mut params = ParamBag::new();
+    params.insert(
+        "fft.para".into(),
+        AccelParams::Fft { n: 256, batch: 4 }.to_bytes(),
+    );
+    params.insert(
+        "reshp.para".into(),
+        AccelParams::Reshp {
+            rows: 64,
+            cols: 64,
+            elem_bytes: 4,
+        }
+        .to_bytes(),
+    );
+    let tdl = "LOOP 2 { \
+         PASS in=pre.x out=pre.y { \
+           COMP FFT params=\"fft.para\" \
+           COMP RESHP params=\"reshp.para\" \
+         } }";
+    match rt.acc_plan(tdl, &params) {
+        Ok(_) => {
+            if let Some(r) = rt.last_verify_report() {
+                report.merge(r.clone());
+            }
+        }
+        Err(RuntimeError::Verify(r)) => report.merge(r),
+        Err(other) => panic!("preflight fixture failed outside verification: {other}"),
+    }
+
+    // Pass 4: audit the driver's allocator and vmap against the §4.2
+    // asymmetric layout (near DIMM below the 8 GiB stack base).
+    let mapping = address::asymmetric_dimms(PhysAddr::new(8 << 30));
+    report.merge(mealib_verify::physmem::verify_snapshot(
+        &rt.driver().snapshot(),
+        Some(&mapping),
+    ));
+
+    report
+}
+
+static VERDICT: OnceLock<Result<(), Report>> = OnceLock::new();
+
+/// The cached preflight verdict: `Ok(())` if no pass reported an error,
+/// otherwise the full report. Runs [`preflight`] on first call only.
+pub fn preflight_checked() -> Result<(), Report> {
+    VERDICT
+        .get_or_init(|| {
+            let report = preflight();
+            if report.has_errors() {
+                Err(report)
+            } else {
+                Ok(())
+            }
+        })
+        .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_configuration_passes_preflight() {
+        let report = preflight();
+        assert!(!report.has_errors(), "{report}");
+    }
+
+    #[test]
+    fn verdict_is_cached_and_clean() {
+        assert!(preflight_checked().is_ok());
+        // Second call hits the cache; still clean.
+        assert!(preflight_checked().is_ok());
+    }
+
+    #[test]
+    fn preflight_catches_a_broken_memory_config() {
+        // Not wired through the cache: verify the pass itself rejects a
+        // corrupted platform config the way the preflight would.
+        let mut platform = AcceleratedPlatform::mealib();
+        let mut mem = platform.layer.mem().clone();
+        mem.timing.t_rcd = 0;
+        platform.layer = mealib_accel::AcceleratorLayer::with_parts(
+            platform.layer.mesh().clone(),
+            platform.layer.tiles().to_vec(),
+            platform.layer.hw().clone(),
+            mem,
+        );
+        let report = mealib_verify::memsim::verify_memconfig(platform.layer.mem());
+        assert!(
+            report.has_code(mealib_types::ErrorCode::MemZeroParameter),
+            "{report}"
+        );
+    }
+}

@@ -90,7 +90,10 @@ pub struct CompBlock {
 impl CompBlock {
     /// Creates a `COMP` block.
     pub fn new(accel: AcceleratorKind, params: impl Into<String>) -> Self {
-        Self { accel, params: params.into() }
+        Self {
+            accel,
+            params: params.into(),
+        }
     }
 }
 
@@ -121,13 +124,13 @@ impl PassBlock {
     ///
     /// Panics if `comps` is empty — a pass must describe at least one
     /// invocation.
-    pub fn new(
-        input: impl Into<String>,
-        output: impl Into<String>,
-        comps: Vec<CompBlock>,
-    ) -> Self {
+    pub fn new(input: impl Into<String>, output: impl Into<String>, comps: Vec<CompBlock>) -> Self {
         assert!(!comps.is_empty(), "a PASS must contain at least one COMP");
-        Self { input: input.into(), output: output.into(), comps }
+        Self {
+            input: input.into(),
+            output: output.into(),
+            comps,
+        }
     }
 
     /// Number of accelerator invocations in this pass.
@@ -356,7 +359,10 @@ mod tests {
     #[test]
     fn param_files_deduplicated_in_order() {
         let p = sample();
-        assert_eq!(p.param_files(), vec!["reshape.para", "fft.para", "dot.para"]);
+        assert_eq!(
+            p.param_files(),
+            vec!["reshape.para", "fft.para", "dot.para"]
+        );
     }
 
     #[test]
@@ -379,7 +385,11 @@ mod tests {
     fn zero_loop_rejected() {
         let _ = LoopBlock::new(
             0,
-            vec![PassBlock::new("a", "b", vec![CompBlock::new(AcceleratorKind::Fft, "f")])],
+            vec![PassBlock::new(
+                "a",
+                "b",
+                vec![CompBlock::new(AcceleratorKind::Fft, "f")],
+            )],
         );
     }
 

@@ -25,15 +25,25 @@ use crate::ast::{AcceleratorKind, TdlItem, TdlProgram};
 /// Named parameter blobs referenced by `COMP params="…"` clauses.
 pub type ParamBag = BTreeMap<String, Vec<u8>>;
 
-const MAGIC: u32 = 0x4D45_414C; // "MEAL"
-const CMD_START: u32 = 1;
-const CR_BYTES: usize = 16;
-const INSTR_BYTES: usize = 16;
+/// Control-region magic, `"MEAL"` little-endian.
+pub const MAGIC: u32 = 0x4D45_414C;
+/// The only control command: start execution.
+pub const CMD_START: u32 = 1;
+/// Size of the control region in bytes.
+pub const CR_BYTES: usize = 16;
+/// Size of one IR instruction in bytes.
+pub const INSTR_BYTES: usize = 16;
+/// Required alignment of parameter blobs within the PR.
+pub const PARAM_ALIGN: usize = 8;
 
-const OP_PASS_BEGIN: u8 = 0x10;
-const OP_PASS_END: u8 = 0x11;
-const OP_LOOP_BEGIN: u8 = 0x12;
-const OP_LOOP_END: u8 = 0x13;
+/// Control opcode: begin a pass.
+pub const OP_PASS_BEGIN: u8 = 0x10;
+/// Control opcode: end the current pass.
+pub const OP_PASS_END: u8 = 0x11;
+/// Control opcode: begin a loop.
+pub const OP_LOOP_BEGIN: u8 = 0x12;
+/// Control opcode: end the innermost loop.
+pub const OP_LOOP_END: u8 = 0x13;
 
 /// Errors produced while encoding or decoding a descriptor.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -75,9 +85,7 @@ impl fmt::Display for DescriptorError {
             DescriptorError::UnknownOpcode { opcode } => {
                 write!(f, "unknown instruction opcode {opcode:#04x}")
             }
-            DescriptorError::UnbalancedBlocks => {
-                f.write_str("pass/loop markers are unbalanced")
-            }
+            DescriptorError::UnbalancedBlocks => f.write_str("pass/loop markers are unbalanced"),
         }
     }
 }
@@ -146,7 +154,9 @@ impl Descriptor {
         for name in program.param_files() {
             let blob = params
                 .get(name)
-                .ok_or_else(|| DescriptorError::MissingParamFile { name: name.to_string() })?;
+                .ok_or_else(|| DescriptorError::MissingParamFile {
+                    name: name.to_string(),
+                })?;
             let off = pr.len() as u64;
             pr.extend_from_slice(blob);
             while !pr.len().is_multiple_of(8) {
@@ -159,7 +169,9 @@ impl Descriptor {
             buffers
                 .get(name)
                 .copied()
-                .ok_or_else(|| DescriptorError::UnresolvedBuffer { name: name.to_string() })
+                .ok_or_else(|| DescriptorError::UnresolvedBuffer {
+                    name: name.to_string(),
+                })
         };
 
         let mut ir: Vec<u8> = Vec::new();
@@ -171,9 +183,13 @@ impl Descriptor {
         };
 
         let encode_pass = |pass: &crate::ast::PassBlock,
-                               emit: &mut dyn FnMut(u8, u32, u64)|
+                           emit: &mut dyn FnMut(u8, u32, u64)|
          -> Result<(), DescriptorError> {
-            emit(OP_PASS_BEGIN, pass.comps.len() as u32, resolve(&pass.input)?);
+            emit(
+                OP_PASS_BEGIN,
+                pass.comps.len() as u32,
+                resolve(&pass.input)?,
+            );
             for comp in &pass.comps {
                 let (off, size) = offsets[comp.params.as_str()];
                 emit(comp.accel.opcode(), size, off);
@@ -246,8 +262,7 @@ impl Descriptor {
         }
         let instr_count =
             u32::from_le_bytes(bytes[8..12].try_into().expect("len checked")) as usize;
-        let pr_offset =
-            u32::from_le_bytes(bytes[12..16].try_into().expect("len checked")) as usize;
+        let pr_offset = u32::from_le_bytes(bytes[12..16].try_into().expect("len checked")) as usize;
         if bytes.len() < CR_BYTES + instr_count * INSTR_BYTES || bytes.len() < pr_offset {
             return Err(DescriptorError::Truncated);
         }
@@ -266,7 +281,10 @@ impl Descriptor {
                     if pass_depth > 1 {
                         return Err(DescriptorError::UnbalancedBlocks);
                     }
-                    DecodedInstr::PassBegin { comps: a, input_addr: b }
+                    DecodedInstr::PassBegin {
+                        comps: a,
+                        input_addr: b,
+                    }
                 }
                 OP_PASS_END => {
                     pass_depth -= 1;
@@ -295,7 +313,11 @@ impl Descriptor {
                     if pass_depth != 1 {
                         return Err(DescriptorError::UnbalancedBlocks);
                     }
-                    DecodedInstr::Accel { kind, param_size: a, param_addr: b }
+                    DecodedInstr::Accel {
+                        kind,
+                        param_size: a,
+                        param_addr: b,
+                    }
                 }
             };
             out.push(instr);
@@ -385,7 +407,10 @@ mod tests {
         assert_eq!(
             instrs,
             vec![
-                DecodedInstr::PassBegin { comps: 2, input_addr: 0x1000 },
+                DecodedInstr::PassBegin {
+                    comps: 2,
+                    input_addr: 0x1000
+                },
                 DecodedInstr::Accel {
                     kind: AcceleratorKind::Reshp,
                     param_size: 5,
@@ -396,15 +421,22 @@ mod tests {
                     param_size: 16,
                     param_addr: 8
                 },
-                DecodedInstr::PassEnd { output_addr: 0x2000 },
+                DecodedInstr::PassEnd {
+                    output_addr: 0x2000
+                },
                 DecodedInstr::LoopBegin { count: 128 },
-                DecodedInstr::PassBegin { comps: 1, input_addr: 0x3000 },
+                DecodedInstr::PassBegin {
+                    comps: 1,
+                    input_addr: 0x3000
+                },
                 DecodedInstr::Accel {
                     kind: AcceleratorKind::Dot,
                     param_size: 12,
                     param_addr: 24
                 },
-                DecodedInstr::PassEnd { output_addr: 0x4000 },
+                DecodedInstr::PassEnd {
+                    output_addr: 0x4000
+                },
                 DecodedInstr::LoopEnd,
             ]
         );
@@ -432,7 +464,12 @@ mod tests {
         let (program, mut params, buffers) = fixtures();
         params.remove("fft.para");
         let err = Descriptor::encode(&program, &params, &buffers).unwrap_err();
-        assert_eq!(err, DescriptorError::MissingParamFile { name: "fft.para".into() });
+        assert_eq!(
+            err,
+            DescriptorError::MissingParamFile {
+                name: "fft.para".into()
+            }
+        );
     }
 
     #[test]
@@ -440,7 +477,12 @@ mod tests {
         let (program, params, mut buffers) = fixtures();
         buffers.remove("prods");
         let err = Descriptor::encode(&program, &params, &buffers).unwrap_err();
-        assert_eq!(err, DescriptorError::UnresolvedBuffer { name: "prods".into() });
+        assert_eq!(
+            err,
+            DescriptorError::UnresolvedBuffer {
+                name: "prods".into()
+            }
+        );
     }
 
     #[test]
@@ -449,7 +491,10 @@ mod tests {
         let d = Descriptor::encode(&program, &params, &buffers).unwrap();
         let mut bytes = d.as_bytes().to_vec();
         bytes[0] ^= 0xff;
-        assert_eq!(Descriptor::decode_bytes(&bytes), Err(DescriptorError::BadMagic));
+        assert_eq!(
+            Descriptor::decode_bytes(&bytes),
+            Err(DescriptorError::BadMagic)
+        );
     }
 
     #[test]
@@ -457,8 +502,14 @@ mod tests {
         let (program, params, buffers) = fixtures();
         let d = Descriptor::encode(&program, &params, &buffers).unwrap();
         let bytes = &d.as_bytes()[..CR_BYTES + 3];
-        assert_eq!(Descriptor::decode_bytes(bytes), Err(DescriptorError::Truncated));
-        assert_eq!(Descriptor::decode_bytes(&[1, 2]), Err(DescriptorError::Truncated));
+        assert_eq!(
+            Descriptor::decode_bytes(bytes),
+            Err(DescriptorError::Truncated)
+        );
+        assert_eq!(
+            Descriptor::decode_bytes(&[1, 2]),
+            Err(DescriptorError::Truncated)
+        );
     }
 
     #[test]
@@ -489,8 +540,8 @@ mod tests {
 
     #[test]
     fn empty_program_encodes_to_bare_control_region() {
-        let d = Descriptor::encode(&TdlProgram::default(), &ParamBag::new(), &BTreeMap::new())
-            .unwrap();
+        let d =
+            Descriptor::encode(&TdlProgram::default(), &ParamBag::new(), &BTreeMap::new()).unwrap();
         assert_eq!(d.size_bytes(), CR_BYTES);
         assert_eq!(d.decode().unwrap(), vec![]);
         assert_eq!(d.total_invocations().unwrap(), 0);

@@ -109,15 +109,24 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                 }
             }
             '{' => {
-                out.push(Token { kind: TokenKind::LBrace, line });
+                out.push(Token {
+                    kind: TokenKind::LBrace,
+                    line,
+                });
                 chars.next();
             }
             '}' => {
-                out.push(Token { kind: TokenKind::RBrace, line });
+                out.push(Token {
+                    kind: TokenKind::RBrace,
+                    line,
+                });
                 chars.next();
             }
             '=' => {
-                out.push(Token { kind: TokenKind::Equals, line });
+                out.push(Token {
+                    kind: TokenKind::Equals,
+                    line,
+                });
                 chars.next();
             }
             '"' => {
@@ -138,7 +147,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                 if !closed {
                     return Err(LexError::UnterminatedString { line: start });
                 }
-                out.push(Token { kind: TokenKind::Str(s), line });
+                out.push(Token {
+                    kind: TokenKind::Str(s),
+                    line,
+                });
             }
             c if c.is_ascii_digit() => {
                 let mut value: u64 = 0;
@@ -153,7 +165,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                         break;
                     }
                 }
-                out.push(Token { kind: TokenKind::Number(value), line });
+                out.push(Token {
+                    kind: TokenKind::Number(value),
+                    line,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let mut s = String::new();
@@ -165,7 +180,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                         break;
                     }
                 }
-                out.push(Token { kind: TokenKind::Ident(s), line });
+                out.push(Token {
+                    kind: TokenKind::Ident(s),
+                    line,
+                });
             }
             other => return Err(LexError::UnexpectedChar { ch: other, line }),
         }

@@ -47,4 +47,4 @@ pub mod parser;
 
 pub use ast::{AcceleratorKind, CompBlock, LoopBlock, PassBlock, TdlItem, TdlProgram};
 pub use descriptor::{Descriptor, DescriptorError, ParamBag};
-pub use parser::{parse, ParseError};
+pub use parser::{parse, parse_with_lines, ItemLines, ParseError, PassLines, ProgramLines};

@@ -44,7 +44,11 @@ impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseError::Lex(e) => e.fmt(f),
-            ParseError::Unexpected { expected, found, line } => {
+            ParseError::Unexpected {
+                expected,
+                found,
+                line,
+            } => {
                 write!(f, "expected {expected}, found {found} on line {line}")
             }
             ParseError::UnexpectedEof { expected } => {
@@ -68,6 +72,39 @@ impl From<LexError> for ParseError {
     }
 }
 
+/// Source lines (1-based) of one `PASS` and its `COMP`s, parallel to a
+/// [`PassBlock`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassLines {
+    /// Line of the `PASS` keyword.
+    pub header: usize,
+    /// Line of each `COMP` keyword, in order.
+    pub comps: Vec<usize>,
+}
+
+/// Source lines of one top-level item, parallel to a [`TdlItem`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItemLines {
+    /// Lines of a top-level pass.
+    Pass(PassLines),
+    /// Lines of a loop and the passes in its body.
+    Loop {
+        /// Line of the `LOOP` keyword.
+        header: usize,
+        /// Lines of each pass in the body.
+        body: Vec<PassLines>,
+    },
+}
+
+/// Source lines of a whole program, parallel to a [`TdlProgram`]'s
+/// items. Lets later passes report findings at real source locations
+/// without the AST carrying spans.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProgramLines {
+    /// One entry per top-level item.
+    pub items: Vec<ItemLines>,
+}
+
 /// Parses TDL source into a [`TdlProgram`].
 ///
 /// # Errors
@@ -75,13 +112,27 @@ impl From<LexError> for ParseError {
 /// Returns a [`ParseError`] describing the first lexical or syntactic
 /// problem.
 pub fn parse(src: &str) -> Result<TdlProgram, ParseError> {
+    parse_with_lines(src).map(|(program, _)| program)
+}
+
+/// Parses TDL source, also returning the source line of every
+/// `PASS`/`LOOP`/`COMP` construct for diagnostics.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first lexical or syntactic
+/// problem.
+pub fn parse_with_lines(src: &str) -> Result<(TdlProgram, ProgramLines), ParseError> {
     let tokens = tokenize(src)?;
     let mut p = Parser { tokens, pos: 0 };
     let mut items = Vec::new();
+    let mut lines = ProgramLines::default();
     while !p.at_end() {
-        items.push(p.item()?);
+        let (item, item_lines) = p.item()?;
+        items.push(item);
+        lines.items.push(item_lines);
     }
-    Ok(TdlProgram::new(items))
+    Ok((TdlProgram::new(items), lines))
 }
 
 struct Parser {
@@ -103,7 +154,9 @@ impl Parser {
             .tokens
             .get(self.pos)
             .cloned()
-            .ok_or_else(|| ParseError::UnexpectedEof { expected: expected.to_string() })?;
+            .ok_or_else(|| ParseError::UnexpectedEof {
+                expected: expected.to_string(),
+            })?;
         self.pos += 1;
         Ok(t)
     }
@@ -137,11 +190,23 @@ impl Parser {
         }
     }
 
-    fn item(&mut self) -> Result<TdlItem, ParseError> {
+    fn item(&mut self) -> Result<(TdlItem, ItemLines), ParseError> {
         let (kw, line) = self.ident("`PASS` or `LOOP`")?;
         match kw.as_str() {
-            "PASS" => Ok(TdlItem::Pass(self.pass_body(line)?)),
-            "LOOP" => Ok(TdlItem::Loop(self.loop_body(line)?)),
+            "PASS" => {
+                let (pass, lines) = self.pass_body(line)?;
+                Ok((TdlItem::Pass(pass), ItemLines::Pass(lines)))
+            }
+            "LOOP" => {
+                let (l, body_lines) = self.loop_body(line)?;
+                Ok((
+                    TdlItem::Loop(l),
+                    ItemLines::Loop {
+                        header: line,
+                        body: body_lines,
+                    },
+                ))
+            }
             other => Err(ParseError::Unexpected {
                 expected: "`PASS` or `LOOP`".to_string(),
                 found: format!("`{other}`"),
@@ -151,7 +216,7 @@ impl Parser {
     }
 
     /// Parses the remainder of a pass after the `PASS` keyword.
-    fn pass_body(&mut self, header_line: usize) -> Result<PassBlock, ParseError> {
+    fn pass_body(&mut self, header_line: usize) -> Result<(PassBlock, PassLines), ParseError> {
         self.expect_keyword("in")?;
         self.expect_kind(&TokenKind::Equals, "`=`")?;
         let (input, _) = self.ident("input buffer name")?;
@@ -160,6 +225,7 @@ impl Parser {
         let (output, _) = self.ident("output buffer name")?;
         self.expect_kind(&TokenKind::LBrace, "`{`")?;
         let mut comps = Vec::new();
+        let mut comp_lines = Vec::new();
         loop {
             match self.peek() {
                 Some(t) if t.kind == TokenKind::RBrace => {
@@ -167,7 +233,8 @@ impl Parser {
                     break;
                 }
                 Some(_) => {
-                    self.expect_keyword("COMP")?;
+                    let comp_tok = self.expect_keyword("COMP")?;
+                    comp_lines.push(comp_tok.line);
                     let (name, line) = self.ident("accelerator name")?;
                     let accel = AcceleratorKind::from_keyword(&name)
                         .ok_or(ParseError::UnknownAccelerator { name, line })?;
@@ -187,7 +254,9 @@ impl Parser {
                     comps.push(CompBlock::new(accel, params));
                 }
                 None => {
-                    return Err(ParseError::UnexpectedEof { expected: "`}`".to_string() })
+                    return Err(ParseError::UnexpectedEof {
+                        expected: "`}`".to_string(),
+                    })
                 }
             }
         }
@@ -197,11 +266,17 @@ impl Parser {
                 line: header_line,
             });
         }
-        Ok(PassBlock::new(input, output, comps))
+        Ok((
+            PassBlock::new(input, output, comps),
+            PassLines {
+                header: header_line,
+                comps: comp_lines,
+            },
+        ))
     }
 
     /// Parses the remainder of a loop after the `LOOP` keyword.
-    fn loop_body(&mut self, header_line: usize) -> Result<LoopBlock, ParseError> {
+    fn loop_body(&mut self, header_line: usize) -> Result<(LoopBlock, Vec<PassLines>), ParseError> {
         let t = self.next("loop count")?;
         let count = match t.kind {
             TokenKind::Number(n) => n,
@@ -221,6 +296,7 @@ impl Parser {
         }
         self.expect_kind(&TokenKind::LBrace, "`{`")?;
         let mut body = Vec::new();
+        let mut body_lines = Vec::new();
         loop {
             match self.peek() {
                 Some(t) if t.kind == TokenKind::RBrace => {
@@ -236,10 +312,14 @@ impl Parser {
                             line,
                         });
                     }
-                    body.push(self.pass_body(line)?);
+                    let (pass, lines) = self.pass_body(line)?;
+                    body.push(pass);
+                    body_lines.push(lines);
                 }
                 None => {
-                    return Err(ParseError::UnexpectedEof { expected: "`}`".to_string() })
+                    return Err(ParseError::UnexpectedEof {
+                        expected: "`}`".to_string(),
+                    })
                 }
             }
         }
@@ -249,7 +329,7 @@ impl Parser {
                 line: header_line,
             });
         }
-        Ok(LoopBlock::new(count, body))
+        Ok((LoopBlock::new(count, body), body_lines))
     }
 }
 
@@ -344,5 +424,27 @@ mod tests {
     fn top_level_junk_rejected() {
         let err = parse("HELLO").unwrap_err();
         assert!(matches!(err, ParseError::Unexpected { .. }));
+    }
+
+    #[test]
+    fn parse_with_lines_mirrors_program_shape() {
+        let (program, lines) = parse_with_lines(SAMPLE).unwrap();
+        assert_eq!(program.items.len(), lines.items.len());
+        match &lines.items[0] {
+            ItemLines::Pass(p) => {
+                assert_eq!(p.header, 3);
+                assert_eq!(p.comps, vec![4, 5]);
+            }
+            other => panic!("expected pass lines, got {other:?}"),
+        }
+        match &lines.items[1] {
+            ItemLines::Loop { header, body } => {
+                assert_eq!(*header, 7);
+                assert_eq!(body.len(), 1);
+                assert_eq!(body[0].header, 8);
+                assert_eq!(body[0].comps, vec![9]);
+            }
+            other => panic!("expected loop lines, got {other:?}"),
+        }
     }
 }

@@ -18,8 +18,7 @@ fn ident_strategy() -> impl Strategy<Value = String> {
 }
 
 fn comp_strategy() -> impl Strategy<Value = CompBlock> {
-    (accel_strategy(), ident_strategy())
-        .prop_map(|(a, p)| CompBlock::new(a, format!("{p}.para")))
+    (accel_strategy(), ident_strategy()).prop_map(|(a, p)| CompBlock::new(a, format!("{p}.para")))
 }
 
 fn pass_strategy() -> impl Strategy<Value = PassBlock> {
@@ -34,7 +33,10 @@ fn pass_strategy() -> impl Strategy<Value = PassBlock> {
 fn item_strategy() -> impl Strategy<Value = TdlItem> {
     prop_oneof![
         pass_strategy().prop_map(TdlItem::Pass),
-        (1u64..1_000_000, proptest::collection::vec(pass_strategy(), 1..3))
+        (
+            1u64..1_000_000,
+            proptest::collection::vec(pass_strategy(), 1..3)
+        )
             .prop_map(|(n, body)| TdlItem::Loop(LoopBlock::new(n, body))),
     ]
 }

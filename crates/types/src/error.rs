@@ -35,7 +35,11 @@ impl ConfigError {
 
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid configuration `{}`: {}", self.parameter, self.message)
+        write!(
+            f,
+            "invalid configuration `{}`: {}",
+            self.parameter, self.message
+        )
     }
 }
 

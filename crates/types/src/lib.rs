@@ -23,12 +23,14 @@
 
 pub mod addr;
 pub mod complex;
+pub mod diag;
 pub mod error;
 pub mod stats;
 pub mod units;
 
 pub use addr::{AddrRange, PhysAddr, VirtAddr};
 pub use complex::Complex32;
+pub use diag::{Diagnostic, ErrorCode, Report, Severity, Span};
 pub use error::ConfigError;
 pub use stats::{geometric_mean, Counter, RunningStats};
 pub use units::{Bytes, BytesPerSec, Cycles, Gflops, Hertz, Joules, Seconds, Watts};

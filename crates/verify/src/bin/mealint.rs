@@ -1,0 +1,93 @@
+//! `mealint` — cross-layer static verifier for MEALib artifacts.
+//!
+//! ```text
+//! mealint [--codes] FILE...
+//! ```
+//!
+//! Each file is sniffed and routed to the right pass: binary images
+//! starting with the `"MEAL"` magic run the descriptor pass, text in
+//! the `key = value` memconfig format runs the simulator-config pass,
+//! and everything else is treated as TDL source. Exit status: `0` when
+//! every file is clean (warnings allowed), `1` when any file has coded
+//! errors, `2` on usage, I/O, or parse failures.
+
+use std::process::ExitCode;
+
+use mealib_tdl::descriptor::MAGIC;
+use mealib_verify::{descriptor, memconfig, memsim, tdl, Report, TdlLimits};
+
+enum Outcome {
+    Clean,
+    Findings(Report),
+    Unusable(String),
+}
+
+fn lint_file(path: &str) -> Outcome {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => return Outcome::Unusable(format!("cannot read {path}: {e}")),
+    };
+
+    if bytes.len() >= 4 && bytes[0..4] == MAGIC.to_le_bytes() {
+        return finish(descriptor::verify_image(&bytes));
+    }
+
+    let Ok(text) = std::str::from_utf8(&bytes) else {
+        return Outcome::Unusable(format!(
+            "{path}: not a descriptor image (no MEAL magic) and not UTF-8 text"
+        ));
+    };
+
+    if memconfig::looks_like_memconfig(text) {
+        return match memconfig::parse_memconfig(text) {
+            Ok(config) => finish(memsim::verify_memconfig(&config)),
+            Err(e) => Outcome::Unusable(format!("{path}: {e}")),
+        };
+    }
+
+    match tdl::verify_source(text, None, &TdlLimits::default()) {
+        Ok(report) => finish(report),
+        Err(e) => Outcome::Unusable(format!("{path}: TDL parse error: {e}")),
+    }
+}
+
+fn finish(report: Report) -> Outcome {
+    if report.is_clean() {
+        Outcome::Clean
+    } else {
+        Outcome::Findings(report)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--codes") {
+        print!("{}", mealib_verify::error_code_table());
+        return ExitCode::SUCCESS;
+    }
+    if args.is_empty() || args.iter().any(|a| a.starts_with('-')) {
+        eprintln!("usage: mealint [--codes] FILE...");
+        return ExitCode::from(2);
+    }
+
+    let mut worst = 0u8;
+    for path in &args {
+        match lint_file(path) {
+            Outcome::Clean => println!("{path}: ok"),
+            Outcome::Findings(report) => {
+                println!("{path}:");
+                for line in report.render().lines() {
+                    println!("  {line}");
+                }
+                if report.has_errors() {
+                    worst = worst.max(1);
+                }
+            }
+            Outcome::Unusable(msg) => {
+                eprintln!("mealint: {msg}");
+                worst = 2;
+            }
+        }
+    }
+    ExitCode::from(worst)
+}

@@ -1,0 +1,383 @@
+//! Descriptor-image verification (`MEA010`–`MEA019`).
+//!
+//! [`mealib_tdl::Descriptor::decode_bytes`] is a fail-fast decoder: it
+//! returns the *first* defect and says nothing about where it sits in
+//! the image. This pass is the tolerant counterpart — it walks the whole
+//! Control/Instruction/Parameter layout, keeps going after each finding,
+//! and anchors every diagnostic to a byte span so a corrupted image can
+//! be repaired in one round trip.
+
+use mealib_tdl::descriptor::{
+    CMD_START, CR_BYTES, INSTR_BYTES, MAGIC, OP_LOOP_BEGIN, OP_LOOP_END, OP_PASS_BEGIN,
+    OP_PASS_END, PARAM_ALIGN,
+};
+use mealib_tdl::AcceleratorKind;
+use mealib_types::{Diagnostic, ErrorCode, Report};
+
+fn le32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("caller checked bounds"))
+}
+
+fn le64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("caller checked bounds"))
+}
+
+/// Verifies a raw descriptor image as the Configuration Unit would see
+/// it in the command space.
+pub fn verify_image(bytes: &[u8]) -> Report {
+    let mut report = Report::new();
+
+    if bytes.len() < CR_BYTES {
+        report.push(
+            Diagnostic::error(
+                ErrorCode::DescTruncated,
+                format!(
+                    "image is {} bytes, shorter than the {CR_BYTES}-byte control region",
+                    bytes.len()
+                ),
+            )
+            .at_bytes(0, bytes.len()),
+        );
+        return report;
+    }
+
+    let magic = le32(bytes, 0);
+    if magic != MAGIC {
+        report.push(
+            Diagnostic::error(
+                ErrorCode::DescBadMagic,
+                format!("control-region magic is {magic:#010x}, expected {MAGIC:#010x} (\"MEAL\")"),
+            )
+            .at_bytes(0, 4),
+        );
+    }
+    let cmd = le32(bytes, 4);
+    if cmd != CMD_START {
+        report.push(
+            Diagnostic::error(
+                ErrorCode::DescBadCommand,
+                format!(
+                    "control command is {cmd}, the only defined command is START ({CMD_START})"
+                ),
+            )
+            .at_bytes(4, 4),
+        );
+    }
+
+    let instr_count = le32(bytes, 8) as usize;
+    let pr_offset = le32(bytes, 12) as usize;
+    let ir_end = CR_BYTES + instr_count * INSTR_BYTES;
+
+    if bytes.len() < ir_end {
+        report.push(
+            Diagnostic::error(
+                ErrorCode::DescTruncated,
+                format!(
+                    "control region claims {instr_count} instructions ({ir_end} bytes) \
+                     but the image is only {} bytes",
+                    bytes.len()
+                ),
+            )
+            .at_bytes(8, 4),
+        );
+        // Nothing past the CR can be trusted.
+        return report;
+    }
+    if bytes.len() < pr_offset {
+        report.push(
+            Diagnostic::error(
+                ErrorCode::DescTruncated,
+                format!(
+                    "parameter region starts at byte {pr_offset} but the image ends at {}",
+                    bytes.len()
+                ),
+            )
+            .at_bytes(12, 4),
+        );
+        return report;
+    }
+
+    // The three regions must tile the image: PR begins exactly where the
+    // IR ends, otherwise instructions and parameters overlap (the fetch
+    // unit would execute parameter bytes) or leave an unaddressable gap.
+    let pr_trustworthy = pr_offset == ir_end;
+    if !pr_trustworthy {
+        report.push(
+            Diagnostic::error(
+                ErrorCode::DescRegionOverlap,
+                format!(
+                    "parameter region offset {pr_offset} does not match the end of the \
+                     instruction region ({ir_end}); regions {}",
+                    if pr_offset < ir_end {
+                        "overlap"
+                    } else {
+                        "leave a gap"
+                    }
+                ),
+            )
+            .at_bytes(12, 4),
+        );
+    }
+    if !pr_offset.is_multiple_of(INSTR_BYTES) {
+        report.push(
+            Diagnostic::error(
+                ErrorCode::DescMisalignedPr,
+                format!("parameter region offset {pr_offset} is not {INSTR_BYTES}-byte aligned"),
+            )
+            .at_bytes(12, 4),
+        );
+    }
+
+    let pr_size = bytes.len() - pr_offset.min(bytes.len());
+    let mut pass_depth = 0i32;
+    let mut loop_depth = 0i32;
+    for i in 0..instr_count {
+        let base = CR_BYTES + i * INSTR_BYTES;
+        let opcode = bytes[base];
+        let a = le32(bytes, base + 4);
+        let b = le64(bytes, base + 8);
+        let at = |d: Diagnostic| d.at_bytes(base, INSTR_BYTES);
+        match opcode {
+            OP_PASS_BEGIN => {
+                pass_depth += 1;
+                if pass_depth > 1 {
+                    report.push(at(Diagnostic::error(
+                        ErrorCode::DescUnbalancedBlocks,
+                        format!("instruction {i}: PASS_BEGIN inside an open pass"),
+                    )));
+                    pass_depth = 1;
+                }
+            }
+            OP_PASS_END => {
+                pass_depth -= 1;
+                if pass_depth < 0 {
+                    report.push(at(Diagnostic::error(
+                        ErrorCode::DescUnbalancedBlocks,
+                        format!("instruction {i}: PASS_END without a matching PASS_BEGIN"),
+                    )));
+                    pass_depth = 0;
+                }
+            }
+            OP_LOOP_BEGIN => {
+                loop_depth += 1;
+                if loop_depth > 1 || pass_depth != 0 {
+                    report.push(at(Diagnostic::error(
+                        ErrorCode::DescUnbalancedBlocks,
+                        format!(
+                            "instruction {i}: LOOP_BEGIN {}",
+                            if pass_depth != 0 {
+                                "inside a pass"
+                            } else {
+                                "inside another loop"
+                            }
+                        ),
+                    )));
+                    loop_depth = loop_depth.min(1);
+                }
+            }
+            OP_LOOP_END => {
+                loop_depth -= 1;
+                if loop_depth < 0 || pass_depth != 0 {
+                    report.push(at(Diagnostic::error(
+                        ErrorCode::DescUnbalancedBlocks,
+                        format!(
+                            "instruction {i}: LOOP_END {}",
+                            if pass_depth != 0 {
+                                "inside a pass"
+                            } else {
+                                "without a matching LOOP_BEGIN"
+                            }
+                        ),
+                    )));
+                    loop_depth = loop_depth.max(0);
+                }
+            }
+            op => match AcceleratorKind::from_opcode(op) {
+                None => {
+                    report.push(at(Diagnostic::error(
+                        ErrorCode::DescUnknownOpcode,
+                        format!("instruction {i}: opcode {op:#04x} is outside the ISA"),
+                    )));
+                }
+                Some(kind) => {
+                    if pass_depth != 1 {
+                        report.push(at(Diagnostic::error(
+                            ErrorCode::DescUnbalancedBlocks,
+                            format!("instruction {i}: {kind} invocation outside any pass"),
+                        )));
+                    }
+                    // Param references only make sense against a PR whose
+                    // placement decoded consistently.
+                    if pr_trustworthy {
+                        let end = b.saturating_add(a as u64);
+                        if end > pr_size as u64 {
+                            report.push(at(Diagnostic::error(
+                                ErrorCode::DescParamOutOfRange,
+                                format!(
+                                    "instruction {i}: {kind} parameters at PR offset {b} \
+                                     span {a} bytes, beyond the {pr_size}-byte region"
+                                ),
+                            )));
+                        }
+                        if !b.is_multiple_of(PARAM_ALIGN as u64) {
+                            report.push(at(Diagnostic::error(
+                                ErrorCode::DescParamMisaligned,
+                                format!(
+                                    "instruction {i}: {kind} parameter offset {b} is not \
+                                     {PARAM_ALIGN}-byte aligned"
+                                ),
+                            )));
+                        }
+                    }
+                }
+            },
+        }
+    }
+    if pass_depth != 0 || loop_depth != 0 {
+        report.push(
+            Diagnostic::error(
+                ErrorCode::DescUnbalancedBlocks,
+                format!(
+                    "image ends with {pass_depth} unclosed pass(es) and \
+                     {loop_depth} unclosed loop(s)"
+                ),
+            )
+            .at_bytes(CR_BYTES, instr_count * INSTR_BYTES),
+        );
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mealib_tdl::{parse, Descriptor, ParamBag};
+    use std::collections::BTreeMap;
+
+    fn good_image() -> Vec<u8> {
+        let program = parse(
+            r#"
+            PASS in=a out=b {
+                COMP RESHP params="r.para"
+                COMP FFT params="f.para"
+            }
+            LOOP 16 { PASS in=b out=c { COMP DOT params="d.para" } }
+            "#,
+        )
+        .unwrap();
+        let mut params = ParamBag::new();
+        params.insert("r.para".into(), vec![1; 5]);
+        params.insert("f.para".into(), vec![2; 16]);
+        params.insert("d.para".into(), vec![3; 12]);
+        let buffers: BTreeMap<String, u64> = [
+            ("a".into(), 0x1000u64),
+            ("b".into(), 0x2000),
+            ("c".into(), 0x3000),
+        ]
+        .into_iter()
+        .collect();
+        Descriptor::encode(&program, &params, &buffers)
+            .unwrap()
+            .as_bytes()
+            .to_vec()
+    }
+
+    #[test]
+    fn pristine_image_is_clean() {
+        let r = verify_image(&good_image());
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn short_image_reports_truncation_only() {
+        let r = verify_image(&[0x4C, 0x41]);
+        assert!(r.has_code(ErrorCode::DescTruncated));
+        assert_eq!(r.error_count(), 1);
+    }
+
+    #[test]
+    fn bad_magic_does_not_stop_the_walk() {
+        let mut img = good_image();
+        img[0] ^= 0xff;
+        let r = verify_image(&img);
+        assert!(r.has_code(ErrorCode::DescBadMagic));
+        // The rest of the image is still intact — no other findings.
+        assert_eq!(r.error_count(), 1, "{r}");
+        assert!(r.render().contains("bytes 0..4"), "{r}");
+    }
+
+    #[test]
+    fn bad_command_flagged() {
+        let mut img = good_image();
+        img[4] = 9;
+        let r = verify_image(&img);
+        assert!(r.has_code(ErrorCode::DescBadCommand));
+    }
+
+    #[test]
+    fn inflated_count_is_truncation() {
+        let mut img = good_image();
+        img[8..12].copy_from_slice(&1000u32.to_le_bytes());
+        let r = verify_image(&img);
+        assert!(r.has_code(ErrorCode::DescTruncated));
+    }
+
+    #[test]
+    fn shifted_pr_offset_is_region_overlap() {
+        let mut img = good_image();
+        let pr = u32::from_le_bytes(img[12..16].try_into().unwrap());
+        img[12..16].copy_from_slice(&(pr - 16).to_le_bytes());
+        let r = verify_image(&img);
+        assert!(r.has_code(ErrorCode::DescRegionOverlap), "{r}");
+    }
+
+    #[test]
+    fn misaligned_pr_offset_flagged() {
+        let mut img = good_image();
+        let pr = u32::from_le_bytes(img[12..16].try_into().unwrap());
+        img[12..16].copy_from_slice(&(pr + 4).to_le_bytes());
+        img.extend_from_slice(&[0; 4]); // keep the image long enough
+        let r = verify_image(&img);
+        assert!(r.has_code(ErrorCode::DescMisalignedPr));
+        assert!(r.has_code(ErrorCode::DescRegionOverlap));
+    }
+
+    #[test]
+    fn unknown_opcode_and_walk_continues() {
+        let mut img = good_image();
+        img[CR_BYTES] = 0x7f; // clobber PASS_BEGIN
+        let r = verify_image(&img);
+        assert!(r.has_code(ErrorCode::DescUnknownOpcode));
+        // Losing PASS_BEGIN also orphans the accels and the PASS_END.
+        assert!(r.has_code(ErrorCode::DescUnbalancedBlocks));
+    }
+
+    #[test]
+    fn param_bounds_and_alignment_checked() {
+        let mut img = good_image();
+        // First accel instruction is index 1; its param_addr is at +8.
+        let base = CR_BYTES + INSTR_BYTES;
+        img[base + 8..base + 16].copy_from_slice(&0xffff_u64.to_le_bytes());
+        let r = verify_image(&img);
+        assert!(r.has_code(ErrorCode::DescParamOutOfRange), "{r}");
+
+        let mut img2 = good_image();
+        img2[base + 8..base + 16].copy_from_slice(&3u64.to_le_bytes());
+        let r2 = verify_image(&img2);
+        assert!(r2.has_code(ErrorCode::DescParamMisaligned), "{r2}");
+    }
+
+    #[test]
+    fn unclosed_pass_at_end_flagged() {
+        let mut img = good_image();
+        // Drop the trailing LOOP_END by shrinking the count and the image.
+        let count = u32::from_le_bytes(img[8..12].try_into().unwrap());
+        img[8..12].copy_from_slice(&(count - 1).to_le_bytes());
+        let ir_end = CR_BYTES + (count as usize - 1) * INSTR_BYTES;
+        img.truncate(ir_end); // also drops the PR
+        img[12..16].copy_from_slice(&(ir_end as u32).to_le_bytes());
+        let r = verify_image(&img);
+        assert!(r.has_code(ErrorCode::DescUnbalancedBlocks), "{r}");
+    }
+}

@@ -1,0 +1,67 @@
+//! Cross-layer static verifier for the MEALib stack (`mealint`).
+//!
+//! The paper's toolchain hands artifacts across four trust boundaries:
+//! the compiler emits **TDL text**, the runtime encodes it into a binary
+//! **accelerator descriptor**, the descriptor is placed into **physical
+//! memory** the accelerators address directly (no MMU, §3.3), and every
+//! experiment prices traffic through a **memory-simulator
+//! configuration**. A defect at any boundary used to surface as a panic
+//! deep inside the consumer. This crate verifies each artifact *before*
+//! it crosses its boundary, reporting findings through the shared
+//! [`mealib_types::diag`] vocabulary with stable `MEA0xx` codes.
+//!
+//! Four passes:
+//!
+//! * [`tdl`] — TDL semantic checks beyond parsing (`MEA001`–`MEA009`):
+//!   chain legality per §2.3, aliasing hazards, dangling `params=`
+//!   references, trip-count sanity;
+//! * [`descriptor`] — binary descriptor image checks
+//!   (`MEA010`–`MEA019`): control-region decode, region layout and
+//!   alignment, opcode and nesting legality, parameter-region bounds;
+//! * [`memsim`] — simulator configuration checks (`MEA020`–`MEA029`):
+//!   DRAM timing inequalities and an exhaustive bijectivity proof of the
+//!   address-interleaving map (every physical byte lands on exactly one
+//!   device location), including the asymmetric mode of §4.2;
+//! * [`physmem`] — physical-memory checks (`MEA030`–`MEA039`) over a
+//!   [`MemSnapshot`] of the driver's allocator and mapping state.
+//!
+//! The `mealint` binary runs the right pass over files given on the
+//! command line. The runtime and the experiment harness run the same
+//! passes by default (with an escape hatch) before encoding descriptors
+//! or launching simulations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod descriptor;
+pub mod memconfig;
+pub mod memsim;
+pub mod physmem;
+pub mod tdl;
+
+pub use mealib_types::{Diagnostic, ErrorCode, Report, Severity, Span};
+pub use physmem::{MemSnapshot, StackSnapshot};
+pub use tdl::TdlLimits;
+
+/// Renders the full `MEA0xx` error-code table (the `mealint --codes`
+/// listing; also embedded in DESIGN.md).
+pub fn error_code_table() -> String {
+    let mut out = String::new();
+    for code in ErrorCode::ALL {
+        out.push_str(&format!("{}  {}\n", code.as_str(), code.title()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_table_lists_every_code_once() {
+        let table = error_code_table();
+        for code in ErrorCode::ALL {
+            assert_eq!(table.matches(code.as_str()).count(), 1, "{code}");
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Text format for memory-simulator configurations.
+//!
+//! `mealint` lints configuration *files*, so it needs a concrete
+//! on-disk syntax for [`MemoryConfig`]: one `key = value` pair per
+//! line, `#` comments, starting from a named preset (`base = …`) and
+//! overriding individual parameters. Example:
+//!
+//! ```text
+//! # the dual-channel Haswell baseline, overclocked rows
+//! base = ddr_dual_channel
+//! t_ras = 20
+//! mapping = xor
+//! ```
+//!
+//! Parsing is deliberately strict — an unknown key or a malformed value
+//! is an error, because a silently ignored override would make every
+//! downstream diagnostic a lie.
+
+use mealib_memsim::address::AddressMapping;
+use mealib_memsim::config::MemoryConfig;
+use mealib_types::{Hertz, PhysAddr};
+
+/// Keys the format understands, for error messages and docs.
+pub const KNOWN_KEYS: &[&str] = &[
+    "base",
+    "name",
+    "t_ck_mhz",
+    "t_rcd",
+    "t_cl",
+    "t_rp",
+    "t_ras",
+    "t_burst",
+    "burst_bytes",
+    "t_wr",
+    "t_faw",
+    "t_refi",
+    "t_rfc",
+    "mapping",
+    "units",
+    "low_units",
+    "banks_per_unit",
+    "row_bytes",
+    "line_bytes",
+    "split",
+];
+
+fn preset(name: &str) -> Option<MemoryConfig> {
+    Some(match name {
+        "hmc_stack" => MemoryConfig::hmc_stack(),
+        "hmc_stack_external" => MemoryConfig::hmc_stack_external(),
+        "hmc_stack_gen1" => MemoryConfig::hmc_stack_gen1(),
+        "hmc_stack_remote" => MemoryConfig::hmc_stack_remote(),
+        "ddr_dual_channel" => MemoryConfig::ddr_dual_channel(),
+        "msas_dram" => MemoryConfig::msas_dram(),
+        _ => return None,
+    })
+}
+
+/// Returns `true` if `text` looks like a memconfig file (its first
+/// significant line is a `key = value` pair with a known key) — used by
+/// `mealint` to sniff file kinds.
+pub fn looks_like_memconfig(text: &str) -> bool {
+    text.lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('#'))
+        .and_then(|l| l.split_once('='))
+        .is_some_and(|(k, _)| KNOWN_KEYS.contains(&k.trim()))
+}
+
+/// Parses the `key = value` format into a [`MemoryConfig`].
+///
+/// # Errors
+///
+/// Returns a message naming the offending line for unknown keys,
+/// unparseable values, or unknown presets / mapping kinds.
+pub fn parse_memconfig(text: &str) -> Result<MemoryConfig, String> {
+    let mut config = MemoryConfig::ddr_dual_channel();
+    // Mapping overrides are collected and applied at the end so the
+    // kind and its parameters can arrive in any order.
+    let mut mapping_kind: Option<String> = None;
+    let mut units: Option<usize> = None;
+    let mut banks: Option<usize> = None;
+    let mut row_bytes: Option<u64> = None;
+    let mut line_bytes: Option<u64> = None;
+    let mut split: Option<u64> = None;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {}: expected `key = value`, got `{line}`", lineno + 1))?;
+        let (key, value) = (key.trim(), value.trim());
+        let bad = |what: &str| format!("line {}: {what} `{value}` for key `{key}`", lineno + 1);
+        let int = |value: &str| {
+            value
+                .replace('_', "")
+                .parse::<u64>()
+                .map_err(|_| bad("bad integer"))
+        };
+        match key {
+            "base" => {
+                config = preset(value).ok_or_else(|| bad("unknown preset"))?;
+            }
+            "name" => config.name = value.to_string(),
+            "t_ck_mhz" => {
+                let mhz: f64 = value.parse().map_err(|_| bad("bad number"))?;
+                if mhz.is_nan() || mhz <= 0.0 {
+                    return Err(bad("non-positive clock"));
+                }
+                config.timing.t_ck = Hertz::from_mhz(mhz).period();
+            }
+            "t_rcd" => config.timing.t_rcd = int(value)?,
+            "t_cl" => config.timing.t_cl = int(value)?,
+            "t_rp" => config.timing.t_rp = int(value)?,
+            "t_ras" => config.timing.t_ras = int(value)?,
+            "t_burst" => config.timing.t_burst = int(value)?,
+            "burst_bytes" => config.timing.burst_bytes = int(value)?,
+            "t_wr" => config.timing.t_wr = int(value)?,
+            "t_faw" => config.timing.t_faw = int(value)?,
+            "t_refi" => config.timing.t_refi = int(value)?,
+            "t_rfc" => config.timing.t_rfc = int(value)?,
+            "mapping" => mapping_kind = Some(value.to_string()),
+            "units" | "low_units" => units = Some(int(value)? as usize),
+            "banks_per_unit" => banks = Some(int(value)? as usize),
+            "row_bytes" => row_bytes = Some(int(value)?),
+            "line_bytes" => line_bytes = Some(int(value)?),
+            "split" => split = Some(int(value)?),
+            _ => return Err(format!("line {}: unknown key `{key}`", lineno + 1)),
+        }
+    }
+
+    let any_mapping_override = mapping_kind.is_some()
+        || units.is_some()
+        || banks.is_some()
+        || row_bytes.is_some()
+        || line_bytes.is_some()
+        || split.is_some();
+    if any_mapping_override {
+        // Defaults come from whatever mapping the base config carries.
+        let (base_units, base_banks, base_row, base_line) = match config.mapping {
+            AddressMapping::Interleaved {
+                units,
+                banks_per_unit,
+                row_bytes,
+                line_bytes,
+            }
+            | AddressMapping::XorInterleaved {
+                units,
+                banks_per_unit,
+                row_bytes,
+                line_bytes,
+            } => (units, banks_per_unit, row_bytes, line_bytes),
+            AddressMapping::Asymmetric {
+                low_units,
+                banks_per_unit,
+                row_bytes,
+                line_bytes,
+                ..
+            } => (low_units, banks_per_unit, row_bytes, line_bytes),
+        };
+        let units = units.unwrap_or(base_units);
+        let banks_per_unit = banks.unwrap_or(base_banks);
+        let row_bytes = row_bytes.unwrap_or(base_row);
+        let line_bytes = line_bytes.unwrap_or(base_line);
+        let kind = match &mapping_kind {
+            Some(k) => k.as_str(),
+            None => match config.mapping {
+                AddressMapping::Interleaved { .. } => "interleaved",
+                AddressMapping::XorInterleaved { .. } => "xor",
+                AddressMapping::Asymmetric { .. } => "asymmetric",
+            },
+        };
+        config.mapping = match kind {
+            "interleaved" => AddressMapping::Interleaved {
+                units,
+                banks_per_unit,
+                row_bytes,
+                line_bytes,
+            },
+            "xor" => AddressMapping::XorInterleaved {
+                units,
+                banks_per_unit,
+                row_bytes,
+                line_bytes,
+            },
+            "asymmetric" => AddressMapping::Asymmetric {
+                low_units: units,
+                banks_per_unit,
+                row_bytes,
+                line_bytes,
+                split: PhysAddr::new(
+                    split.ok_or("asymmetric mapping requires `split = <addr>`".to_string())?,
+                ),
+            },
+            other => {
+                return Err(format!(
+                    "unknown mapping kind `{other}` (expected interleaved, xor, or asymmetric)"
+                ))
+            }
+        };
+    }
+
+    Ok(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_preset_round_trips() {
+        let c = parse_memconfig("base = hmc_stack").unwrap();
+        assert_eq!(c, MemoryConfig::hmc_stack());
+    }
+
+    #[test]
+    fn overrides_apply_with_comments_and_underscores() {
+        let c = parse_memconfig(
+            "# tweaked baseline\n\
+             base = ddr_dual_channel\n\
+             name = tweaked\n\
+             t_ras = 30   # longer rows\n\
+             row_bytes = 16_384\n",
+        )
+        .unwrap();
+        assert_eq!(c.name, "tweaked");
+        assert_eq!(c.timing.t_ras, 30);
+        assert_eq!(c.mapping.row_bytes(), 16_384);
+        // Untouched mapping parameters keep the preset values.
+        assert_eq!(c.mapping.units(), 2);
+    }
+
+    #[test]
+    fn asymmetric_mapping_needs_a_split() {
+        let err = parse_memconfig("mapping = asymmetric").unwrap_err();
+        assert!(err.contains("split"), "{err}");
+        let c = parse_memconfig("mapping = asymmetric\nsplit = 4096\nlow_units = 2").unwrap();
+        assert_eq!(c.mapping.units(), 3);
+    }
+
+    #[test]
+    fn unknown_keys_and_values_rejected_with_line_numbers() {
+        let err = parse_memconfig("base = ddr_dual_channel\nfrobnicate = 7").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = parse_memconfig("t_ras = fast").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        let err = parse_memconfig("base = pentium").unwrap_err();
+        assert!(err.contains("unknown preset"), "{err}");
+    }
+
+    #[test]
+    fn sniffer_recognizes_the_format() {
+        assert!(looks_like_memconfig("# c\nbase = hmc_stack"));
+        assert!(looks_like_memconfig("t_rcd = 11"));
+        assert!(!looks_like_memconfig("PASS in=a out=b { }"));
+        assert!(!looks_like_memconfig("hello world"));
+    }
+}

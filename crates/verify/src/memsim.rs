@@ -1,0 +1,427 @@
+//! Memory-simulator configuration verification (`MEA020`–`MEA029`).
+//!
+//! `DramTiming::validate` and `AddressMapping::validate` stop at the
+//! first structural defect. This pass collects *every* finding, adds the
+//! timing inequalities a real device must satisfy (a row cannot close
+//! before the read it serves: `tRAS ≥ tRCD + tCL`; refresh must leave
+//! the bank available: `tREFI > tRFC`), and proves the address mapping
+//! bijective by exhaustive decode over one full interleaving rotation —
+//! every physical byte must land on exactly one `(unit, bank, row, col)`
+//! device location, including the asymmetric split mode of §4.2.
+
+use mealib_memsim::address::AddressMapping;
+use mealib_memsim::config::MemoryConfig;
+use mealib_memsim::energy::DramEnergy;
+use mealib_memsim::timing::DramTiming;
+use mealib_types::{Diagnostic, ErrorCode, PhysAddr, Report};
+
+use std::collections::HashMap;
+
+/// Verifies a complete memory configuration: timing, energy, and the
+/// address mapping (structure + bijectivity).
+pub fn verify_memconfig(config: &MemoryConfig) -> Report {
+    let mut report = Report::new();
+    verify_timing(&config.timing, &mut report);
+    verify_energy(&config.energy, &mut report);
+    report.merge(verify_mapping(&config.mapping));
+    report
+}
+
+fn verify_timing(t: &DramTiming, report: &mut Report) {
+    if t.t_ck.get().is_nan() || t.t_ck.get() <= 0.0 {
+        report.push(Diagnostic::error(
+            ErrorCode::MemZeroParameter,
+            format!(
+                "t_ck is {}; the command clock must have a positive period",
+                t.t_ck.get()
+            ),
+        ));
+    }
+    for (name, v) in [
+        ("t_rcd", t.t_rcd),
+        ("t_cl", t.t_cl),
+        ("t_rp", t.t_rp),
+        ("t_ras", t.t_ras),
+        ("t_burst", t.t_burst),
+        ("burst_bytes", t.burst_bytes),
+        ("t_wr", t.t_wr),
+        ("t_faw", t.t_faw),
+        ("t_refi", t.t_refi),
+        ("t_rfc", t.t_rfc),
+    ] {
+        if v == 0 {
+            report.push(Diagnostic::error(
+                ErrorCode::MemZeroParameter,
+                format!("{name} is zero; every interval must be at least one cycle"),
+            ));
+        }
+    }
+    // A row must stay open long enough to deliver the column read that
+    // activated it.
+    if t.t_ras < t.t_rcd + t.t_cl {
+        report.push(Diagnostic::error(
+            ErrorCode::MemTimingInequality,
+            format!(
+                "t_ras ({}) < t_rcd + t_cl ({} + {}); the row would precharge \
+                 before its first read completes",
+                t.t_ras, t.t_rcd, t.t_cl
+            ),
+        ));
+    }
+    if t.t_refi <= t.t_rfc {
+        report.push(Diagnostic::error(
+            ErrorCode::MemTimingInequality,
+            format!(
+                "t_refi ({}) <= t_rfc ({}); the bank would spend its whole life refreshing",
+                t.t_refi, t.t_rfc
+            ),
+        ));
+    }
+    // tFAW gates four activations, so a window shorter than one row
+    // cycle makes it vacuous — suspicious but not fatal.
+    if t.t_faw != 0 && t.t_faw > 4 * t.t_rc() {
+        report.push(Diagnostic::warning(
+            ErrorCode::MemTimingInequality,
+            format!(
+                "t_faw ({}) exceeds four row cycles ({}); activations would be \
+                 current-limited even when banks are idle",
+                t.t_faw,
+                4 * t.t_rc()
+            ),
+        ));
+    }
+}
+
+fn verify_energy(e: &DramEnergy, report: &mut Report) {
+    for (name, v) in [
+        ("e_act", e.e_act.get()),
+        ("e_byte_core", e.e_byte_core.get()),
+        ("e_byte_transport", e.e_byte_transport.get()),
+        ("e_byte_link", e.e_byte_link.get()),
+        ("p_background", e.p_background.get()),
+    ] {
+        if !v.is_finite() || v < 0.0 {
+            report.push(Diagnostic::error(
+                ErrorCode::MemBadEnergy,
+                format!("{name} is {v}; energy parameters must be finite and non-negative"),
+            ));
+        }
+    }
+}
+
+/// Cap on the number of lines decoded by the bijectivity proof. One
+/// rotation of every realistic mapping is a few thousand lines; a
+/// pathological configuration (huge rows, tiny lines) is sampled up to
+/// this many lines and the truncation reported as a warning.
+const BIJECTIVITY_LINE_CAP: u64 = 1 << 20;
+
+/// Verifies an address mapping: structural parameters, then a
+/// byte-accounting proof that decoding is injective over one full
+/// rotation window (`units * banks * row_bytes` bytes — after which the
+/// plain interleavings repeat with only the row index advancing).
+pub fn verify_mapping(mapping: &AddressMapping) -> Report {
+    let mut report = Report::new();
+
+    let (units, banks, row_bytes, line_bytes) = match *mapping {
+        AddressMapping::Interleaved {
+            units,
+            banks_per_unit,
+            row_bytes,
+            line_bytes,
+        }
+        | AddressMapping::XorInterleaved {
+            units,
+            banks_per_unit,
+            row_bytes,
+            line_bytes,
+        } => (units, banks_per_unit, row_bytes, line_bytes),
+        AddressMapping::Asymmetric {
+            low_units,
+            banks_per_unit,
+            row_bytes,
+            line_bytes,
+            ..
+        } => (low_units, banks_per_unit, row_bytes, line_bytes),
+    };
+
+    let mut structural_ok = true;
+    let fail = |report: &mut Report, msg: String| {
+        report.push(Diagnostic::error(ErrorCode::MemMappingParam, msg));
+    };
+    if units == 0 {
+        fail(
+            &mut report,
+            "units is zero; at least one channel/vault is required".into(),
+        );
+        structural_ok = false;
+    }
+    if banks == 0 {
+        fail(
+            &mut report,
+            "banks_per_unit is zero; at least one bank is required".into(),
+        );
+        structural_ok = false;
+    }
+    if !row_bytes.is_power_of_two() {
+        fail(
+            &mut report,
+            format!("row_bytes ({row_bytes}) must be a power of two"),
+        );
+        structural_ok = false;
+    }
+    if !line_bytes.is_power_of_two() || line_bytes > row_bytes {
+        fail(
+            &mut report,
+            format!(
+                "line_bytes ({line_bytes}) must be a power of two no larger than \
+                 row_bytes ({row_bytes})"
+            ),
+        );
+        structural_ok = false;
+    }
+    if !structural_ok {
+        // Decoding divides by these parameters; the proof cannot run.
+        return report;
+    }
+
+    match *mapping {
+        AddressMapping::Asymmetric {
+            low_units, split, ..
+        } => {
+            if !split.get().is_multiple_of(line_bytes) {
+                report.push(Diagnostic::error(
+                    ErrorCode::MemBadAsymmetricSplit,
+                    format!(
+                        "asymmetric split {split} is not aligned to the {line_bytes}-byte \
+                         interleaving granularity; the line straddling it would decode \
+                         to two units"
+                    ),
+                ));
+                return report;
+            }
+            // Low region: a plain interleave, but the proof window must
+            // not cross the split.
+            let window = (units as u64 * banks as u64 * row_bytes).min(split.get());
+            check_injective(mapping, 0, window, line_bytes, &mut report);
+            // High region: must be contiguous within the single dedicated
+            // unit `low_units` (what the accelerators require, §3.3).
+            let probe = row_bytes.min(split.get().max(line_bytes));
+            for offset in [0, line_bytes, probe - line_bytes] {
+                let addr = PhysAddr::new(split.get() + offset);
+                let loc = mapping.decode(addr);
+                if loc.unit != low_units {
+                    report.push(Diagnostic::error(
+                        ErrorCode::MemMappingNotBijective,
+                        format!(
+                            "address {addr} is above the split but decodes to unit \
+                             {} instead of the dedicated unit {low_units}",
+                            loc.unit
+                        ),
+                    ));
+                }
+            }
+            let base = mapping.decode(split);
+            if base.row != 0 || base.col_byte != 0 {
+                report.push(Diagnostic::error(
+                    ErrorCode::MemMappingNotBijective,
+                    format!(
+                        "the split address {split} should start the dedicated unit at \
+                         row 0, byte 0 but decodes to row {}, byte {}",
+                        base.row, base.col_byte
+                    ),
+                ));
+            }
+        }
+        _ => {
+            // One rotation suffices for the plain interleave (beyond it
+            // only the row index advances). The XOR folds key on higher
+            // bits, so defects can first appear once rows advance — give
+            // the proof four rotations to see them.
+            let rotations = if matches!(mapping, AddressMapping::XorInterleaved { .. }) {
+                4
+            } else {
+                1
+            };
+            let window = units as u64 * banks as u64 * row_bytes * rotations;
+            check_injective(mapping, 0, window, line_bytes, &mut report);
+        }
+    }
+
+    report
+}
+
+/// Decodes every line in `[base, base + window)` and reports the first
+/// pair of addresses that land on the same device location (`MEA024`),
+/// plus any line whose interior bytes scatter across locations.
+fn check_injective(
+    mapping: &AddressMapping,
+    base: u64,
+    window: u64,
+    line_bytes: u64,
+    report: &mut Report,
+) {
+    let mut lines = window / line_bytes;
+    if lines > BIJECTIVITY_LINE_CAP {
+        report.push(Diagnostic::warning(
+            ErrorCode::MemMappingNotBijective,
+            format!(
+                "rotation window has {lines} lines; bijectivity checked for the \
+                 first {BIJECTIVITY_LINE_CAP} only"
+            ),
+        ));
+        lines = BIJECTIVITY_LINE_CAP;
+    }
+    let mut seen: HashMap<(usize, usize, u64, u64), u64> = HashMap::with_capacity(lines as usize);
+    for i in 0..lines {
+        let addr = base + i * line_bytes;
+        let loc = mapping.decode(PhysAddr::new(addr));
+        let key = (loc.unit, loc.bank, loc.row, loc.col_byte);
+        if let Some(prev) = seen.insert(key, addr) {
+            report.push(Diagnostic::error(
+                ErrorCode::MemMappingNotBijective,
+                format!(
+                    "addresses {prev:#x} and {addr:#x} both decode to unit {}, bank {}, \
+                     row {}, byte {} — the mapping loses capacity",
+                    loc.unit, loc.bank, loc.row, loc.col_byte
+                ),
+            ));
+            return;
+        }
+        // The last byte of the line must sit in the same row, at the
+        // expected column — lines are the unit of transfer and must not
+        // straddle device locations.
+        let tail = mapping.decode(PhysAddr::new(addr + line_bytes - 1));
+        if tail.unit != loc.unit
+            || tail.bank != loc.bank
+            || tail.row != loc.row
+            || tail.col_byte != loc.col_byte + (line_bytes - 1)
+        {
+            report.push(Diagnostic::error(
+                ErrorCode::MemMappingNotBijective,
+                format!(
+                    "line at {addr:#x} is torn: byte 0 decodes to unit {} bank {} row {} \
+                     col {}, byte {} to unit {} bank {} row {} col {}",
+                    loc.unit,
+                    loc.bank,
+                    loc.row,
+                    loc.col_byte,
+                    line_bytes - 1,
+                    tail.unit,
+                    tail.bank,
+                    tail.row,
+                    tail.col_byte
+                ),
+            ));
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mealib_memsim::address::{asymmetric_dimms, dual_channel_dimms, hmc_vaults};
+
+    #[test]
+    fn every_preset_is_clean() {
+        for c in [
+            MemoryConfig::hmc_stack(),
+            MemoryConfig::hmc_stack_external(),
+            MemoryConfig::hmc_stack_gen1(),
+            MemoryConfig::hmc_stack_remote(),
+            MemoryConfig::ddr_dual_channel(),
+            MemoryConfig::msas_dram(),
+        ] {
+            let r = verify_memconfig(&c);
+            assert!(r.is_clean(), "{}: {r}", c.name);
+        }
+    }
+
+    #[test]
+    fn zero_and_inconsistent_timings_all_reported() {
+        let mut c = MemoryConfig::ddr_dual_channel();
+        c.timing.t_rcd = 0;
+        c.timing.t_refi = c.timing.t_rfc; // refresh starves the bank
+        let r = verify_memconfig(&c);
+        assert!(r.has_code(ErrorCode::MemZeroParameter));
+        assert!(r.has_code(ErrorCode::MemTimingInequality));
+        // Collect-all: both findings, not just the first.
+        assert!(r.error_count() >= 2, "{r}");
+    }
+
+    #[test]
+    fn row_closing_before_first_read_flagged() {
+        let mut c = MemoryConfig::hmc_stack();
+        c.timing.t_ras = c.timing.t_rcd + c.timing.t_cl - 1;
+        let r = verify_memconfig(&c);
+        assert!(r.has_code(ErrorCode::MemTimingInequality), "{r}");
+    }
+
+    #[test]
+    fn bad_energy_reported() {
+        let mut c = MemoryConfig::hmc_stack();
+        c.energy.e_act = mealib_types::Joules::new(-1.0);
+        c.energy.p_background = mealib_types::Watts::new(f64::NAN);
+        let r = verify_memconfig(&c);
+        assert!(r.has_code(ErrorCode::MemBadEnergy));
+        assert_eq!(r.error_count(), 2, "{r}");
+    }
+
+    #[test]
+    fn standard_mappings_prove_bijective() {
+        for m in [
+            dual_channel_dimms(),
+            hmc_vaults(),
+            asymmetric_dimms(PhysAddr::new(8 << 30)),
+            AddressMapping::XorInterleaved {
+                units: 4,
+                banks_per_unit: 8,
+                row_bytes: 4096,
+                line_bytes: 64,
+            },
+        ] {
+            let r = verify_mapping(&m);
+            assert!(r.is_clean(), "{m:?}: {r}");
+        }
+    }
+
+    #[test]
+    fn structural_defects_stop_the_proof() {
+        let r = verify_mapping(&AddressMapping::Interleaved {
+            units: 0,
+            banks_per_unit: 0,
+            row_bytes: 100,
+            line_bytes: 7,
+        });
+        assert!(r.has_code(ErrorCode::MemMappingParam));
+        assert_eq!(r.error_count(), 4, "all four parameters reported: {r}");
+        assert!(!r.has_code(ErrorCode::MemMappingNotBijective));
+    }
+
+    #[test]
+    fn xor_fold_with_non_pow2_units_loses_capacity() {
+        // With three units the XOR fold is not a permutation: two lines
+        // in one rotation group land on the same unit.
+        let r = verify_mapping(&AddressMapping::XorInterleaved {
+            units: 3,
+            banks_per_unit: 4,
+            row_bytes: 1024,
+            line_bytes: 64,
+        });
+        assert!(r.has_code(ErrorCode::MemMappingNotBijective), "{r}");
+    }
+
+    #[test]
+    fn misaligned_asymmetric_split_flagged() {
+        let r = verify_mapping(&asymmetric_dimms(PhysAddr::new((8 << 30) + 17)));
+        assert!(r.has_code(ErrorCode::MemBadAsymmetricSplit), "{r}");
+    }
+
+    #[test]
+    fn asymmetric_high_region_must_start_the_dedicated_unit() {
+        // A split smaller than one rotation window still verifies: the
+        // low-region proof window shrinks to the split.
+        let r = verify_mapping(&asymmetric_dimms(PhysAddr::new(4096)));
+        assert!(r.is_clean(), "{r}");
+    }
+}

@@ -1,0 +1,306 @@
+//! Physical-memory consistency verification (`MEA030`–`MEA039`).
+//!
+//! The accelerators address physical memory directly — no MMU stands
+//! between a descriptor and the DRAM it names (§3.3), so an allocator
+//! bug becomes silent data corruption rather than a fault. This pass
+//! audits a [`MemSnapshot`] of the driver's state: block disjointness
+//! and containment per stack, byte-exact free/live accounting, the
+//! host-side virtual map, and (when the platform's address mapping is
+//! known) that descriptor storage is reachable under single-unit
+//! accelerator physical addressing.
+//!
+//! The snapshot is plain data (`mealib-types` address vocabulary only)
+//! so the runtime can depend on this crate without a cycle:
+//! `MealibDriver::snapshot()` produces one.
+
+use mealib_memsim::address::AddressMapping;
+use mealib_types::{AddrRange, Diagnostic, ErrorCode, PhysAddr, Report, VirtAddr};
+
+/// The allocator state of one memory stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StackSnapshot {
+    /// The stack's data region (everything the allocator manages).
+    pub region: AddrRange,
+    /// Allocation granularity the stack promises.
+    pub align: u64,
+    /// Free blocks.
+    pub free: Vec<AddrRange>,
+    /// Live (handed-out) blocks.
+    pub live: Vec<AddrRange>,
+}
+
+/// A point-in-time view of the driver's physical-memory bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemSnapshot {
+    /// Where descriptors are written for the Configuration Unit to fetch.
+    pub command_space: AddrRange,
+    /// Per-stack allocator state, stack 0 first.
+    pub stacks: Vec<StackSnapshot>,
+    /// Host-side virtual mappings.
+    pub vmap: Vec<(VirtAddr, AddrRange)>,
+}
+
+/// Verifies a snapshot. Pass the platform's [`AddressMapping`] to also
+/// prove the command space reachable by single-unit accelerator
+/// addressing (`MEA033`); without it that check is skipped.
+pub fn verify_snapshot(snap: &MemSnapshot, mapping: Option<&AddressMapping>) -> Report {
+    let mut report = Report::new();
+
+    for (si, stack) in snap.stacks.iter().enumerate() {
+        verify_stack(si, stack, &mut report);
+        if si == 0 && snap.command_space.overlaps(&stack.region) {
+            report.push(Diagnostic::error(
+                ErrorCode::PhysOutOfRegion,
+                format!(
+                    "command space {} overlaps stack 0's data region {}; a descriptor \
+                     write would clobber allocated data",
+                    snap.command_space, stack.region
+                ),
+            ));
+        }
+    }
+
+    verify_vmap(snap, &mut report);
+
+    if let Some(mapping) = mapping {
+        let cs = &snap.command_space;
+        if !cs.is_empty() {
+            let first = cs.start();
+            let last = PhysAddr::new(cs.end().get() - 1);
+            if !mapping.is_single_unit(first) || !mapping.is_single_unit(last) {
+                report.push(Diagnostic::error(
+                    ErrorCode::PhysUnreachableDescriptor,
+                    format!(
+                        "command space {cs} is not physically contiguous within one \
+                         unit under the platform mapping; the Configuration Unit \
+                         cannot fetch descriptors from interleaved memory"
+                    ),
+                ));
+            }
+        }
+    }
+
+    report
+}
+
+fn verify_stack(si: usize, stack: &StackSnapshot, report: &mut Report) {
+    if !stack.align.is_power_of_two() {
+        report.push(Diagnostic::error(
+            ErrorCode::PhysMisaligned,
+            format!(
+                "stack {si}: alignment {} is not a power of two",
+                stack.align
+            ),
+        ));
+        return;
+    }
+    if !stack.region.start().is_aligned(stack.align) {
+        report.push(Diagnostic::error(
+            ErrorCode::PhysMisaligned,
+            format!(
+                "stack {si}: region base {} is not {}-byte aligned",
+                stack.region.start(),
+                stack.align
+            ),
+        ));
+    }
+
+    // Every block must sit inside the region; live blocks must honour
+    // the promised alignment (free blocks may be odd-sized remainders).
+    for (kind, blocks) in [("free", &stack.free), ("live", &stack.live)] {
+        for b in blocks {
+            if !stack.region.contains_range(b) {
+                report.push(Diagnostic::error(
+                    ErrorCode::PhysOutOfRegion,
+                    format!(
+                        "stack {si}: {kind} block {b} escapes the region {}",
+                        stack.region
+                    ),
+                ));
+            }
+        }
+    }
+    for b in &stack.live {
+        if !b.start().is_aligned(stack.align) {
+            report.push(Diagnostic::error(
+                ErrorCode::PhysMisaligned,
+                format!(
+                    "stack {si}: live block {b} violates the {}-byte allocation granularity",
+                    stack.align
+                ),
+            ));
+        }
+    }
+
+    // Disjointness: no two blocks (of any kind) may cover the same byte.
+    let mut all: Vec<(&'static str, &AddrRange)> = Vec::new();
+    all.extend(stack.free.iter().map(|b| ("free", b)));
+    all.extend(stack.live.iter().map(|b| ("live", b)));
+    for (i, (ka, a)) in all.iter().enumerate() {
+        for (kb, b) in &all[i + 1..] {
+            if a.overlaps(b) {
+                report.push(Diagnostic::error(
+                    ErrorCode::PhysOverlap,
+                    format!("stack {si}: {ka} block {a} overlaps {kb} block {b}"),
+                ));
+            }
+        }
+    }
+
+    // Byte-exact accounting: free + live must tile the region.
+    let free: u64 = stack.free.iter().map(|b| b.len().get()).sum();
+    let live: u64 = stack.live.iter().map(|b| b.len().get()).sum();
+    let total = stack.region.len().get();
+    if free + live != total {
+        report.push(Diagnostic::error(
+            ErrorCode::PhysAccounting,
+            format!(
+                "stack {si}: free ({free} B) + live ({live} B) covers {} B but the \
+                 region holds {total} B — {} B leaked",
+                free + live,
+                total as i128 - (free + live) as i128
+            ),
+        ));
+    }
+}
+
+fn verify_vmap(snap: &MemSnapshot, report: &mut Report) {
+    for (i, (va, pa)) in snap.vmap.iter().enumerate() {
+        // The physical side of every mapping must be backed by a live
+        // allocation (or be the command space itself).
+        let backed = snap.command_space.contains_range(pa)
+            || snap
+                .stacks
+                .iter()
+                .flat_map(|s| s.live.iter())
+                .any(|b| b.contains_range(pa));
+        if !backed {
+            report.push(Diagnostic::error(
+                ErrorCode::PhysVmapInconsistent,
+                format!(
+                    "virtual mapping {va} -> {pa} targets physical memory no live \
+                     allocation backs"
+                ),
+            ));
+        }
+        // Virtual ranges must not alias each other.
+        for (vb, pb) in &snap.vmap[i + 1..] {
+            let a_end = va.get() + pa.len().get();
+            let b_end = vb.get() + pb.len().get();
+            if va.get() < b_end && vb.get() < a_end {
+                report.push(Diagnostic::error(
+                    ErrorCode::PhysVmapInconsistent,
+                    format!(
+                        "virtual ranges {va}+{} and {vb}+{} overlap",
+                        pa.len(),
+                        pb.len()
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mealib_types::Bytes;
+
+    fn range(start: u64, len: u64) -> AddrRange {
+        AddrRange::new(PhysAddr::new(start), Bytes::new(len))
+    }
+
+    fn healthy() -> MemSnapshot {
+        MemSnapshot {
+            command_space: range(0, 4096),
+            stacks: vec![StackSnapshot {
+                region: range(4096, 61440),
+                align: 64,
+                free: vec![range(4096 + 128, 61440 - 128)],
+                live: vec![range(4096, 128)],
+            }],
+            vmap: vec![
+                (VirtAddr::new(0x1000_0000), range(4096, 128)),
+                (VirtAddr::new(0x2000_0000), range(0, 4096)),
+            ],
+        }
+    }
+
+    #[test]
+    fn healthy_snapshot_is_clean() {
+        let r = verify_snapshot(&healthy(), None);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn overlapping_blocks_flagged() {
+        let mut s = healthy();
+        s.stacks[0].live.push(range(4096 + 64, 128));
+        let r = verify_snapshot(&s, None);
+        assert!(r.has_code(ErrorCode::PhysOverlap), "{r}");
+        // The extra block also breaks accounting.
+        assert!(r.has_code(ErrorCode::PhysAccounting));
+    }
+
+    #[test]
+    fn escaping_block_flagged() {
+        let mut s = healthy();
+        s.stacks[0].live[0] = range(128, 128); // below the region base
+        let r = verify_snapshot(&s, None);
+        assert!(r.has_code(ErrorCode::PhysOutOfRegion), "{r}");
+    }
+
+    #[test]
+    fn misaligned_live_block_flagged() {
+        let mut s = healthy();
+        s.stacks[0].live[0] = range(4096 + 8, 120);
+        s.stacks[0].free = vec![range(4096, 8), range(4096 + 128, 61440 - 128)];
+        s.vmap.clear();
+        let r = verify_snapshot(&s, None);
+        assert!(r.has_code(ErrorCode::PhysMisaligned), "{r}");
+    }
+
+    #[test]
+    fn command_space_colliding_with_data_flagged() {
+        let mut s = healthy();
+        s.command_space = range(4096, 4096); // sits on the data region
+        s.vmap.clear();
+        let r = verify_snapshot(&s, None);
+        assert!(r.has_code(ErrorCode::PhysOutOfRegion), "{r}");
+    }
+
+    #[test]
+    fn leaked_bytes_flagged() {
+        let mut s = healthy();
+        s.stacks[0].free[0] = range(4096 + 256, 61440 - 256); // 128 B vanish
+        let r = verify_snapshot(&s, None);
+        assert!(r.has_code(ErrorCode::PhysAccounting), "{r}");
+    }
+
+    #[test]
+    fn vmap_must_be_backed_and_disjoint() {
+        let mut s = healthy();
+        s.vmap.push((VirtAddr::new(0x3000_0000), range(50_000, 64)));
+        let r = verify_snapshot(&s, None);
+        assert!(r.has_code(ErrorCode::PhysVmapInconsistent), "{r}");
+
+        let mut s2 = healthy();
+        s2.vmap.push((VirtAddr::new(0x1000_0040), range(4096, 64)));
+        let r2 = verify_snapshot(&s2, None);
+        assert!(r2.has_code(ErrorCode::PhysVmapInconsistent), "{r2}");
+    }
+
+    #[test]
+    fn interleaved_command_space_unreachable_by_accelerators() {
+        let s = healthy();
+        let interleaved = mealib_memsim::address::dual_channel_dimms();
+        let r = verify_snapshot(&s, Some(&interleaved));
+        assert!(r.has_code(ErrorCode::PhysUnreachableDescriptor), "{r}");
+
+        // The asymmetric mode dedicates a contiguous unit: place the
+        // command space above the split and it becomes reachable.
+        let asym = mealib_memsim::address::asymmetric_dimms(PhysAddr::new(0));
+        let r2 = verify_snapshot(&s, Some(&asym));
+        assert!(!r2.has_code(ErrorCode::PhysUnreachableDescriptor), "{r2}");
+    }
+}

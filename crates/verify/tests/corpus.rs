@@ -1,0 +1,288 @@
+//! Known-bad corpus: every entry is a realistic defect and must draw the
+//! exact `MEA0xx` code the documentation promises — the codes are a
+//! stable interface, so a check that starts firing under a different
+//! code is a regression even if it still fires.
+
+use std::collections::BTreeMap;
+
+use mealib_tdl::descriptor::{CR_BYTES, INSTR_BYTES, OP_PASS_END};
+use mealib_tdl::{parse, Descriptor, ParamBag};
+use mealib_verify::{descriptor, tdl, ErrorCode, TdlLimits};
+
+fn tdl_report(src: &str) -> mealib_verify::Report {
+    tdl::verify_source(src, None, &TdlLimits::default()).expect("corpus entries must parse")
+}
+
+#[test]
+fn tdl_corpus_draws_exact_codes() {
+    let corpus: &[(&str, &str, ErrorCode)] = &[
+        (
+            "in-place chain",
+            r#"PASS in=x out=x { COMP RESHP params="r.para" COMP FFT params="f.para" }"#,
+            ErrorCode::TdlInPlaceChain,
+        ),
+        (
+            "chain beyond the tile-switch fan-in",
+            r#"PASS in=x out=y {
+                COMP FFT params="a.para"
+                COMP FFT params="b.para"
+                COMP FFT params="c.para"
+                COMP FFT params="d.para"
+                COMP FFT params="e.para"
+            }"#,
+            ErrorCode::TdlChainTooLong,
+        ),
+        (
+            "reduction feeding a downstream stage",
+            r#"PASS in=x out=y { COMP DOT params="d.para" COMP FFT params="f.para" }"#,
+            ErrorCode::TdlIllegalChain,
+        ),
+        (
+            "absurd trip count",
+            r#"LOOP 400000000 { PASS in=x out=y { COMP FFT params="f.para" } }"#,
+            ErrorCode::TdlLoopTripCount,
+        ),
+        (
+            "overwritten before anyone reads it",
+            r#"PASS in=a out=b { COMP FFT params="f.para" }
+               PASS in=c out=b { COMP RESHP params="r.para" }"#,
+            ErrorCode::TdlBufferHazard,
+        ),
+    ];
+    for (what, src, code) in corpus {
+        let report = tdl_report(src);
+        assert!(
+            report.has_code(*code),
+            "{what}: expected {code}, got:\n{report}"
+        );
+        assert!(!report.is_clean(), "{what}");
+    }
+}
+
+#[test]
+fn dangling_param_reference_needs_the_bag() {
+    let src = r#"PASS in=x out=y { COMP FFT params="missing.para" }"#;
+    // Without a bag the reference cannot be judged.
+    assert!(tdl_report(src).is_clean());
+    let bag = ParamBag::new();
+    let report = tdl::verify_source(src, Some(&bag), &TdlLimits::default()).unwrap();
+    assert!(report.has_code(ErrorCode::TdlDanglingParams), "{report}");
+}
+
+/// A well-formed two-item descriptor to corrupt.
+fn good_image() -> Vec<u8> {
+    let program = parse(
+        r#"
+        PASS in=a out=b {
+            COMP RESHP params="r.para"
+            COMP FFT params="f.para"
+        }
+        LOOP 16 { PASS in=b out=c { COMP DOT params="d.para" } }
+        "#,
+    )
+    .unwrap();
+    let mut params = ParamBag::new();
+    params.insert("r.para".into(), vec![1; 5]);
+    params.insert("f.para".into(), vec![2; 16]);
+    params.insert("d.para".into(), vec![3; 12]);
+    let buffers: BTreeMap<String, u64> = [
+        ("a".into(), 0x1000u64),
+        ("b".into(), 0x2000),
+        ("c".into(), 0x3000),
+    ]
+    .into_iter()
+    .collect();
+    Descriptor::encode(&program, &params, &buffers)
+        .unwrap()
+        .as_bytes()
+        .to_vec()
+}
+
+fn patch_pr_offset(img: &mut [u8], delta: i64) {
+    let pr = u32::from_le_bytes(img[12..16].try_into().unwrap());
+    img[12..16].copy_from_slice(&((pr as i64 + delta) as u32).to_le_bytes());
+}
+
+#[test]
+fn descriptor_corpus_draws_exact_codes() {
+    type Corruption = fn(&mut Vec<u8>);
+    let corpus: &[(&str, Corruption, ErrorCode)] = &[
+        (
+            "truncated below the control region",
+            |img| img.truncate(8),
+            ErrorCode::DescTruncated,
+        ),
+        (
+            "flipped magic",
+            |img| img[0] ^= 0xff,
+            ErrorCode::DescBadMagic,
+        ),
+        (
+            "undefined command word",
+            |img| img[4] = 9,
+            ErrorCode::DescBadCommand,
+        ),
+        (
+            "instruction count past the end of the image",
+            |img| img[8..12].copy_from_slice(&10_000u32.to_le_bytes()),
+            ErrorCode::DescTruncated,
+        ),
+        (
+            "parameter region overlapping the instruction region",
+            |img| patch_pr_offset(img, -(INSTR_BYTES as i64)),
+            ErrorCode::DescRegionOverlap,
+        ),
+        (
+            "misaligned parameter region",
+            |img| {
+                patch_pr_offset(img, 4);
+                img.extend_from_slice(&[0; 4]);
+            },
+            ErrorCode::DescMisalignedPr,
+        ),
+        (
+            "opcode outside the ISA",
+            |img| img[CR_BYTES + INSTR_BYTES] = 0xee,
+            ErrorCode::DescUnknownOpcode,
+        ),
+        (
+            "PASS_END with no open pass",
+            |img| img[CR_BYTES] = OP_PASS_END,
+            ErrorCode::DescUnbalancedBlocks,
+        ),
+        (
+            "parameter pointer past the parameter region",
+            |img| {
+                let base = CR_BYTES + INSTR_BYTES;
+                img[base + 8..base + 16].copy_from_slice(&0xffff_u64.to_le_bytes());
+            },
+            ErrorCode::DescParamOutOfRange,
+        ),
+        (
+            "parameter pointer off the 8-byte grid",
+            |img| {
+                let base = CR_BYTES + INSTR_BYTES;
+                img[base + 8..base + 16].copy_from_slice(&3u64.to_le_bytes());
+            },
+            ErrorCode::DescParamMisaligned,
+        ),
+    ];
+
+    assert!(descriptor::verify_image(&good_image()).is_clean());
+    for (what, corrupt, code) in corpus {
+        let mut img = good_image();
+        corrupt(&mut img);
+        let report = descriptor::verify_image(&img);
+        assert!(
+            report.has_code(*code),
+            "{what}: expected {code}, got:\n{report}"
+        );
+        assert!(report.has_errors(), "{what}");
+    }
+}
+
+mod cli {
+    //! End-to-end runs of the `mealint` binary over corpus files.
+
+    use std::path::PathBuf;
+    use std::process::Command;
+
+    fn scratch(name: &str, contents: &[u8]) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mealint-corpus-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    fn mealint(args: &[&str]) -> (i32, String, String) {
+        let out = Command::new(env!("CARGO_BIN_EXE_mealint"))
+            .args(args)
+            .output()
+            .expect("mealint runs");
+        (
+            out.status.code().expect("exit code"),
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    }
+
+    #[test]
+    fn clean_files_of_every_kind_exit_zero() {
+        let tdl = scratch(
+            "good.tdl",
+            br#"PASS in=x out=y { COMP FFT params="f.para" }"#,
+        );
+        let desc = scratch("good.meal", &super::good_image());
+        let cfg = scratch("good.memcfg", b"base = hmc_stack\n");
+        let (code, stdout, _) = mealint(&[
+            tdl.to_str().unwrap(),
+            desc.to_str().unwrap(),
+            cfg.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{stdout}");
+        assert_eq!(stdout.matches(": ok").count(), 3, "{stdout}");
+    }
+
+    #[test]
+    fn coded_errors_exit_one_and_name_the_code() {
+        let bad_tdl = scratch(
+            "bad.tdl",
+            br#"PASS in=x out=x { COMP RESHP params="r.para" COMP FFT params="f.para" }"#,
+        );
+        let (code, stdout, _) = mealint(&[bad_tdl.to_str().unwrap()]);
+        assert_eq!(code, 1, "{stdout}");
+        assert!(stdout.contains("MEA001"), "{stdout}");
+
+        let mut img = super::good_image();
+        img[4] = 9;
+        let bad_desc = scratch("bad.meal", &img);
+        let (code, stdout, _) = mealint(&[bad_desc.to_str().unwrap()]);
+        assert_eq!(code, 1, "{stdout}");
+        assert!(stdout.contains("MEA012"), "{stdout}");
+
+        let bad_cfg = scratch("bad.memcfg", b"base = hmc_stack\nt_rcd = 0\n");
+        let (code, stdout, _) = mealint(&[bad_cfg.to_str().unwrap()]);
+        assert_eq!(code, 1, "{stdout}");
+        assert!(stdout.contains("MEA020"), "{stdout}");
+    }
+
+    #[test]
+    fn one_bad_file_taints_a_batch() {
+        let good = scratch(
+            "also-good.tdl",
+            br#"PASS in=x out=y { COMP FFT params="f.para" }"#,
+        );
+        let bad = scratch(
+            "also-bad.tdl",
+            br#"PASS in=x out=x { COMP RESHP params="r.para" COMP FFT params="f.para" }"#,
+        );
+        let (code, stdout, _) = mealint(&[good.to_str().unwrap(), bad.to_str().unwrap()]);
+        assert_eq!(code, 1, "{stdout}");
+        assert!(stdout.contains(": ok"), "{stdout}");
+    }
+
+    #[test]
+    fn unusable_inputs_exit_two() {
+        let garbage = scratch("garbage.tdl", b"PASS oops");
+        let (code, _, stderr) = mealint(&[garbage.to_str().unwrap()]);
+        assert_eq!(code, 2, "{stderr}");
+        assert!(stderr.contains("parse error"), "{stderr}");
+
+        let (code, _, stderr) = mealint(&[]);
+        assert_eq!(code, 2);
+        assert!(stderr.contains("usage"), "{stderr}");
+
+        let (code, _, _) = mealint(&["/nonexistent/mealint-no-such-file"]);
+        assert_eq!(code, 2);
+    }
+
+    #[test]
+    fn codes_listing_documents_the_whole_table() {
+        let (code, stdout, _) = mealint(&["--codes"]);
+        assert_eq!(code, 0);
+        for c in mealib_types::ErrorCode::ALL {
+            assert!(stdout.contains(c.as_str()), "missing {c}");
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests: the bijectivity proof must accept *every* valid
+//! interleaving configuration — a prover that cries wolf on healthy
+//! hardware would be disabled within a week — and the structural
+//! validator must reject every degenerate one.
+
+use mealib_memsim::address::AddressMapping;
+use mealib_types::PhysAddr;
+use mealib_verify::memsim::verify_mapping;
+use mealib_verify::ErrorCode;
+use proptest::prelude::*;
+
+fn pow2(exp: u32) -> u64 {
+    1 << exp
+}
+
+/// Plain interleaving with any unit/bank count and power-of-two
+/// row/line geometry — always bijective (pure division/modulo).
+fn interleaved() -> impl Strategy<Value = AddressMapping> {
+    (1usize..=64, 1usize..=16, 10u32..=13, 6u32..=8).prop_map(
+        |(units, banks_per_unit, row_exp, line_exp)| AddressMapping::Interleaved {
+            units,
+            banks_per_unit,
+            row_bytes: pow2(row_exp),
+            line_bytes: pow2(line_exp),
+        },
+    )
+}
+
+/// XOR-hashed interleaving: the folds are self-inverse only when the
+/// unit and bank counts are powers of two, so that is what "valid"
+/// means here.
+fn xor_interleaved() -> impl Strategy<Value = AddressMapping> {
+    (0u32..=5, 0u32..=4, 10u32..=13, 6u32..=8).prop_map(
+        |(unit_exp, bank_exp, row_exp, line_exp)| AddressMapping::XorInterleaved {
+            units: pow2(unit_exp) as usize,
+            banks_per_unit: pow2(bank_exp) as usize,
+            row_bytes: pow2(row_exp),
+            line_bytes: pow2(line_exp),
+        },
+    )
+}
+
+/// §4.2 asymmetric mode with a line-aligned split.
+fn asymmetric() -> impl Strategy<Value = AddressMapping> {
+    (1usize..=8, 1usize..=16, 10u32..=13, 6u32..=8, 1u64..=65536).prop_map(
+        |(low_units, banks_per_unit, row_exp, line_exp, split_lines)| {
+            let line_bytes = pow2(line_exp);
+            AddressMapping::Asymmetric {
+                low_units,
+                banks_per_unit,
+                row_bytes: pow2(row_exp),
+                line_bytes,
+                split: PhysAddr::new(split_lines * line_bytes),
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The proof never flags a valid plain interleave.
+    #[test]
+    fn every_valid_interleave_is_accepted(mapping in interleaved()) {
+        let report = verify_mapping(&mapping);
+        prop_assert!(report.is_clean(), "{mapping:?}:\n{report}");
+    }
+
+    /// The proof never flags a valid XOR interleave.
+    #[test]
+    fn every_valid_xor_interleave_is_accepted(mapping in xor_interleaved()) {
+        let report = verify_mapping(&mapping);
+        prop_assert!(report.is_clean(), "{mapping:?}:\n{report}");
+    }
+
+    /// The proof never flags a valid asymmetric split.
+    #[test]
+    fn every_valid_asymmetric_mapping_is_accepted(mapping in asymmetric()) {
+        let report = verify_mapping(&mapping);
+        prop_assert!(report.is_clean(), "{mapping:?}:\n{report}");
+    }
+
+    /// Degenerate geometry is rejected structurally (MEA022), never by
+    /// the prover tripping over a division by zero.
+    #[test]
+    fn degenerate_parameters_draw_mea022(
+        units in 0usize..=4,
+        banks in 0usize..=4,
+        row_bytes in 0u64..=4096,
+        line_bytes in 0u64..=4096,
+    ) {
+        let valid = units > 0
+            && banks > 0
+            && row_bytes.is_power_of_two()
+            && line_bytes.is_power_of_two()
+            && line_bytes <= row_bytes;
+        let mapping = AddressMapping::Interleaved {
+            units,
+            banks_per_unit: banks,
+            row_bytes,
+            line_bytes,
+        };
+        let report = verify_mapping(&mapping);
+        prop_assert_eq!(
+            report.has_code(ErrorCode::MemMappingParam),
+            !valid,
+            "{:?}:\n{}",
+            mapping,
+            report
+        );
+    }
+
+    /// A misaligned asymmetric split is always caught.
+    #[test]
+    fn misaligned_split_draws_mea025(offset in 1u64..64) {
+        let mapping = AddressMapping::Asymmetric {
+            low_units: 2,
+            banks_per_unit: 8,
+            row_bytes: 8192,
+            line_bytes: 64,
+            split: PhysAddr::new(1 << 20 | offset),
+        };
+        let report = verify_mapping(&mapping);
+        prop_assert!(report.has_code(ErrorCode::MemBadAsymmetricSplit), "{report}");
+    }
+}

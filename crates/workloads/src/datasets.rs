@@ -25,12 +25,22 @@ pub fn table2() -> Vec<DatasetRow> {
         DatasetRow {
             function: "cblas_saxpy()",
             description: "256M vector (1GB)",
-            params: AccelParams::Axpy { n: 256 << 20, alpha: 2.0, incx: 1, incy: 1 },
+            params: AccelParams::Axpy {
+                n: 256 << 20,
+                alpha: 2.0,
+                incx: 1,
+                incy: 1,
+            },
         },
         DatasetRow {
             function: "cblas_sdot()",
             description: "256M vector (1GB)",
-            params: AccelParams::Dot { n: 256 << 20, incx: 1, incy: 1, complex: false },
+            params: AccelParams::Dot {
+                n: 256 << 20,
+                incx: 1,
+                incy: 1,
+                complex: false,
+            },
         },
         DatasetRow {
             function: "cblas_sgemv()",
@@ -40,22 +50,37 @@ pub fn table2() -> Vec<DatasetRow> {
         DatasetRow {
             function: "mkl_scsrgemv()",
             description: "rgg_n_2_20-class RGG (synthetic)",
-            params: AccelParams::Spmv { rows: 1 << 20, cols: 1 << 20, nnz: 13 * (1 << 20) },
+            params: AccelParams::Spmv {
+                rows: 1 << 20,
+                cols: 1 << 20,
+                nnz: 13 * (1 << 20),
+            },
         },
         DatasetRow {
             function: "dfsInterpolate1D()",
             description: "16384 blocks",
-            params: AccelParams::Resmp { blocks: 16384, in_per_block: 8192, out_per_block: 8192 },
+            params: AccelParams::Resmp {
+                blocks: 16384,
+                in_per_block: 8192,
+                out_per_block: 8192,
+            },
         },
         DatasetRow {
             function: "fftwf_execute()",
             description: "8192 x 8192 batch (512MB)",
-            params: AccelParams::Fft { n: 8192, batch: 8192 },
+            params: AccelParams::Fft {
+                n: 8192,
+                batch: 8192,
+            },
         },
         DatasetRow {
             function: "mkl_simatcopy()",
             description: "16384 x 16384 matrix (1GB)",
-            params: AccelParams::Reshp { rows: 16384, cols: 16384, elem_bytes: 4 },
+            params: AccelParams::Reshp {
+                rows: 16384,
+                cols: 16384,
+                elem_bytes: 4,
+            },
         },
     ]
 }

@@ -49,20 +49,73 @@ pub struct Benchmark {
 /// pipelines for PERFECT, streaming math for PARSEC).
 pub fn benchmarks() -> Vec<Benchmark> {
     let gemv = AccelParams::Gemv { m: 8192, n: 8192 };
-    let dot = AccelParams::Dot { n: 1 << 24, incx: 1, incy: 1, complex: false };
-    let axpy = AccelParams::Axpy { n: 1 << 24, alpha: 1.1, incx: 1, incy: 1 };
-    let fft = AccelParams::Fft { n: 4096, batch: 2048 };
-    let resmp = AccelParams::Resmp { blocks: 4096, in_per_block: 2048, out_per_block: 2048 };
-    let spmv = AccelParams::Spmv { rows: 1 << 18, cols: 1 << 18, nnz: 13 << 18 };
+    let dot = AccelParams::Dot {
+        n: 1 << 24,
+        incx: 1,
+        incy: 1,
+        complex: false,
+    };
+    let axpy = AccelParams::Axpy {
+        n: 1 << 24,
+        alpha: 1.1,
+        incx: 1,
+        incy: 1,
+    };
+    let fft = AccelParams::Fft {
+        n: 4096,
+        batch: 2048,
+    };
+    let resmp = AccelParams::Resmp {
+        blocks: 4096,
+        in_per_block: 2048,
+        out_per_block: 2048,
+    };
+    let spmv = AccelParams::Spmv {
+        rows: 1 << 18,
+        cols: 1 << 18,
+        nnz: 13 << 18,
+    };
     vec![
-        Benchmark { suite: Suite::R, name: "lm", ops: vec![(gemv, 0.8), (dot, 0.2)] },
-        Benchmark { suite: Suite::R, name: "pca", ops: vec![(gemv, 0.6), (axpy, 0.4)] },
-        Benchmark { suite: Suite::R, name: "kmeans", ops: vec![(dot, 0.7), (axpy, 0.3)] },
-        Benchmark { suite: Suite::Perfect, name: "stap", ops: vec![(fft, 0.5), (dot, 0.5)] },
-        Benchmark { suite: Suite::Perfect, name: "sar", ops: vec![(fft, 0.6), (resmp, 0.4)] },
-        Benchmark { suite: Suite::Perfect, name: "wami", ops: vec![(fft, 0.3), (gemv, 0.7)] },
-        Benchmark { suite: Suite::Parsec, name: "streamcluster", ops: vec![(dot, 0.9), (axpy, 0.1)] },
-        Benchmark { suite: Suite::Parsec, name: "canneal", ops: vec![(spmv, 0.6), (dot, 0.4)] },
+        Benchmark {
+            suite: Suite::R,
+            name: "lm",
+            ops: vec![(gemv, 0.8), (dot, 0.2)],
+        },
+        Benchmark {
+            suite: Suite::R,
+            name: "pca",
+            ops: vec![(gemv, 0.6), (axpy, 0.4)],
+        },
+        Benchmark {
+            suite: Suite::R,
+            name: "kmeans",
+            ops: vec![(dot, 0.7), (axpy, 0.3)],
+        },
+        Benchmark {
+            suite: Suite::Perfect,
+            name: "stap",
+            ops: vec![(fft, 0.5), (dot, 0.5)],
+        },
+        Benchmark {
+            suite: Suite::Perfect,
+            name: "sar",
+            ops: vec![(fft, 0.6), (resmp, 0.4)],
+        },
+        Benchmark {
+            suite: Suite::Perfect,
+            name: "wami",
+            ops: vec![(fft, 0.3), (gemv, 0.7)],
+        },
+        Benchmark {
+            suite: Suite::Parsec,
+            name: "streamcluster",
+            ops: vec![(dot, 0.9), (axpy, 0.1)],
+        },
+        Benchmark {
+            suite: Suite::Parsec,
+            name: "canneal",
+            ops: vec![(spmv, 0.6), (dot, 0.4)],
+        },
     ]
 }
 
@@ -87,7 +140,11 @@ fn mix_time(platform: &Platform, ops: &[(AccelParams, f64)], flavor: CodeFlavor)
 /// Runs the Figure 1 experiment on the Haswell-class machine.
 pub fn speedups() -> Vec<Fig1Point> {
     let multi = Platform::haswell();
-    let single = Platform { cores: 1, thread_efficiency: 1.0, ..Platform::haswell() };
+    let single = Platform {
+        cores: 1,
+        thread_efficiency: 1.0,
+        ..Platform::haswell()
+    };
     benchmarks()
         .into_iter()
         .map(|b| {
@@ -131,8 +188,14 @@ mod tests {
         // Paper: up to 27x (R), 42x (PERFECT), 24x (PARSEC); bars from
         // ~5x up.
         let points = speedups();
-        let max = points.iter().map(|p| p.multi_thread).fold(0.0_f64, f64::max);
-        let min = points.iter().map(|p| p.multi_thread).fold(f64::INFINITY, f64::min);
+        let max = points
+            .iter()
+            .map(|p| p.multi_thread)
+            .fold(0.0_f64, f64::max);
+        let min = points
+            .iter()
+            .map(|p| p.multi_thread)
+            .fold(f64::INFINITY, f64::min);
         assert!((15.0..80.0).contains(&max), "max speedup {max:.1}");
         assert!((1.5..15.0).contains(&min), "min speedup {min:.1}");
     }
@@ -145,7 +208,12 @@ mod tests {
             .iter()
             .max_by(|a, b| a.multi_thread.total_cmp(&b.multi_thread))
             .expect("nonempty");
-        assert_eq!(best.benchmark.suite, Suite::Perfect, "{}", best.benchmark.name);
+        assert_eq!(
+            best.benchmark.suite,
+            Suite::Perfect,
+            "{}",
+            best.benchmark.name
+        );
     }
 
     #[test]

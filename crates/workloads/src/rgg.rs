@@ -28,7 +28,9 @@ pub fn generate(n: usize, target_degree: f64, seed: u64) -> CsrMatrix {
     // for r.
     let r = (target_degree / (std::f64::consts::PI * n as f64)).sqrt();
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let mut pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
 
     // Grid-major vertex order (the collection's matrices are coordinate
     // sorted, giving the banded structure SPMV locality depends on).
@@ -117,10 +119,7 @@ mod tests {
         let m = generate(2048, 10.0, 42);
         for row in 0..m.rows() {
             for (col, v) in m.row_entries(row) {
-                let back = m
-                    .row_entries(col)
-                    .find(|&(c, _)| c == row)
-                    .map(|(_, w)| w);
+                let back = m.row_entries(col).find(|&(c, _)| c == row).map(|(_, w)| w);
                 assert_eq!(back, Some(v), "asymmetry at ({row},{col})");
             }
         }

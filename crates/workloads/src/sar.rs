@@ -49,7 +49,10 @@ pub fn sar_stages(n: usize) -> Vec<AccelParams> {
             in_per_block: 2 * n as u64,
             out_per_block: 2 * n as u64,
         },
-        AccelParams::Fft { n: n as u64, batch: n as u64 },
+        AccelParams::Fft {
+            n: n as u64,
+            batch: n as u64,
+        },
     ]
 }
 
@@ -86,7 +89,10 @@ pub fn loop_sweep(iterations: u64) -> Vec<ConfigPoint> {
     PROBLEM_SIZES
         .iter()
         .map(|&size| {
-            let fft = AccelParams::Fft { n: size as u64, batch: size as u64 };
+            let fft = AccelParams::Fft {
+                n: size as u64,
+                batch: size as u64,
+            };
             let buffers: BTreeMap<String, u64> =
                 [("a".to_string(), 0x1000u64), ("b".to_string(), 0x2000_0000)]
                     .into_iter()
@@ -95,9 +101,8 @@ pub fn loop_sweep(iterations: u64) -> Vec<ConfigPoint> {
             bag.insert("f.para".into(), fft.to_bytes());
 
             // Hardware loop: one descriptor.
-            let hw_tdl = format!(
-                "LOOP {iterations} {{ PASS in=a out=b {{ COMP FFT params=\"f.para\" }} }}"
-            );
+            let hw_tdl =
+                format!("LOOP {iterations} {{ PASS in=a out=b {{ COMP FFT params=\"f.para\" }} }}");
             let hw_desc = Descriptor::encode(
                 &mealib_tdl::parse(&hw_tdl).expect("well-formed"),
                 &bag,
@@ -119,7 +124,11 @@ pub fn loop_sweep(iterations: u64) -> Vec<ConfigPoint> {
             let sw_run = run_descriptor(&sw_desc, &layer, &cost).expect("runnable");
             let software = (sw_run.total_time() + invocation_overhead()) * iterations as f64;
 
-            ConfigPoint { size, software, hardware }
+            ConfigPoint {
+                size,
+                software,
+                hardware,
+            }
         })
         .collect()
 }
@@ -174,7 +183,11 @@ pub fn form_image(ml: &mut Mealib, raw: &[Complex32], n: usize) -> Result<SarIma
     for name in ["sar_raw", "sar_range"] {
         ml.free(name)?;
     }
-    Ok(SarImage { size: n, energy, report })
+    Ok(SarImage {
+        size: n,
+        energy,
+        report,
+    })
 }
 
 #[cfg(test)]
@@ -194,7 +207,11 @@ mod tests {
         assert!(last >= 1.0, "chaining never loses: {last:.2}");
         // Monotone non-increasing.
         for w in points.windows(2) {
-            assert!(w[1].gain() <= w[0].gain() * 1.05, "non-monotone at {}", w[1].size);
+            assert!(
+                w[1].gain() <= w[0].gain() * 1.05,
+                "non-monotone at {}",
+                w[1].size
+            );
         }
     }
 

@@ -52,22 +52,52 @@ impl StapConfig {
     /// The small dataset (PERFECT-like geometry: 16 channels, 5
     /// temporal taps, 80 space-time degrees of freedom).
     pub fn small() -> Self {
-        Self { name: "small", n_chan: 16, tdof: 5, n_dop: 128, n_blocks: 32, n_steering: 8, tbs: 32 }
+        Self {
+            name: "small",
+            n_chan: 16,
+            tdof: 5,
+            n_dop: 128,
+            n_blocks: 32,
+            n_steering: 8,
+            tbs: 32,
+        }
     }
 
     /// The medium dataset.
     pub fn medium() -> Self {
-        Self { name: "medium", n_dop: 256, n_blocks: 48, n_steering: 12, tbs: 48, ..Self::small() }
+        Self {
+            name: "medium",
+            n_dop: 256,
+            n_blocks: 48,
+            n_steering: 12,
+            tbs: 48,
+            ..Self::small()
+        }
     }
 
     /// The large dataset.
     pub fn large() -> Self {
-        Self { name: "large", n_dop: 512, n_blocks: 64, n_steering: 16, tbs: 64, ..Self::small() }
+        Self {
+            name: "large",
+            n_dop: 512,
+            n_blocks: 64,
+            n_steering: 16,
+            tbs: 64,
+            ..Self::small()
+        }
     }
 
     /// A tiny configuration for functional verification.
     pub fn tiny() -> Self {
-        Self { name: "tiny", n_chan: 2, tdof: 2, n_dop: 8, n_blocks: 2, n_steering: 2, tbs: 8 }
+        Self {
+            name: "tiny",
+            n_chan: 2,
+            tdof: 2,
+            n_dop: 8,
+            n_blocks: 2,
+            n_steering: 2,
+            tbs: 8,
+        }
     }
 
     /// Space-time degrees of freedom (`TDOF * N_CHAN`).
@@ -153,7 +183,12 @@ impl StapRun {
 
     /// Fraction of total energy spent in phases matching `pred`.
     pub fn energy_fraction(&self, pred: impl Fn(&PhaseCost) -> bool) -> f64 {
-        let e: Joules = self.phases.iter().filter(|p| pred(p)).map(|p| p.energy).sum();
+        let e: Joules = self
+            .phases
+            .iter()
+            .filter(|p| pred(p))
+            .map(|p| p.energy)
+            .sum();
         e.get() / self.total_energy().get()
     }
 }
@@ -180,15 +215,40 @@ fn host_compute_phases(cfg: &StapConfig, platform: &Platform) -> Vec<PhaseCost> 
     // cherk: C (dof x dof) += A (dof x tbs) · Aᴴ, per (dop, block).
     let cherk_flops = count * blas3::cherk_flops(dof, cfg.tbs);
     let cherk_bytes = count * (dof * cfg.tbs * 8 + dof * dof * 8) as u64;
-    let cherk = run_custom(platform, cherk_flops, cherk_bytes, 0.55, 0.8, count, HOST_CALL_OVERHEAD);
+    let cherk = run_custom(
+        platform,
+        cherk_flops,
+        cherk_bytes,
+        0.55,
+        0.8,
+        count,
+        HOST_CALL_OVERHEAD,
+    );
     // ctrsm: two triangular solves per (dop, block) with n_steering RHS.
     let ctrsm_flops = 2 * count * blas3::ctrsm_flops(dof, cfg.n_steering);
     let ctrsm_bytes = count * (dof * dof * 8 + 2 * dof * cfg.n_steering * 8) as u64;
-    let ctrsm =
-        run_custom(platform, ctrsm_flops, ctrsm_bytes, 0.35, 0.8, 2 * count, HOST_CALL_OVERHEAD);
+    let ctrsm = run_custom(
+        platform,
+        ctrsm_flops,
+        ctrsm_bytes,
+        0.35,
+        0.8,
+        2 * count,
+        HOST_CALL_OVERHEAD,
+    );
     vec![
-        PhaseCost { name: "cherk", executor: Executor::Host, time: cherk.time, energy: cherk.energy },
-        PhaseCost { name: "ctrsm", executor: Executor::Host, time: ctrsm.time, energy: ctrsm.energy },
+        PhaseCost {
+            name: "cherk",
+            executor: Executor::Host,
+            time: cherk.time,
+            energy: cherk.energy,
+        },
+        PhaseCost {
+            name: "ctrsm",
+            executor: Executor::Host,
+            time: ctrsm.time,
+            energy: ctrsm.energy,
+        },
     ]
 }
 
@@ -269,7 +329,10 @@ pub fn run_on_haswell(cfg: &StapConfig) -> StapRun {
         energy: saxpy.energy,
     });
 
-    StapRun { platform: platform.name, phases }
+    StapRun {
+        platform: platform.name,
+        phases,
+    }
 }
 
 /// Builds, encodes, and runs one descriptor on the layer, returning its
@@ -331,7 +394,12 @@ pub fn run_on_mealib(cfg: &StapConfig) -> StapRun {
     phases.extend(host_compute_phases(cfg, &platform));
 
     // Descriptor 2: the compacted cdotc loop.
-    let dot = AccelParams::Dot { n: cfg.dof() as u64, incx: 1, incy: 1, complex: true };
+    let dot = AccelParams::Dot {
+        n: cfg.dof() as u64,
+        incx: 1,
+        incy: 1,
+        complex: true,
+    };
     let (t, e) = run_tdl(
         &layer,
         &format!(
@@ -389,7 +457,10 @@ pub fn run_on_mealib(cfg: &StapConfig) -> StapRun {
         }
     }
 
-    StapRun { platform: "MEALib".into(), phases }
+    StapRun {
+        platform: "MEALib".into(),
+        phases,
+    }
 }
 
 /// Figure 13 gains of MEALib over the optimized Haswell baseline.
@@ -461,14 +532,30 @@ pub fn run_functional(cfg: &StapConfig, ml: &mut Mealib) -> Result<StapFunctiona
                     .map(|k| Complex32::from_polar_unit(0.37 * (k * (sv + 1)) as f32))
                     .collect();
                 // Solve R w = v via L (forward) then Lᴴ (backward).
-                blas3::ctrsm(Side::Left, Triangle::Lower, dof, Complex32::ONE, &l, &mut v, 1);
+                blas3::ctrsm(
+                    Side::Left,
+                    Triangle::Lower,
+                    dof,
+                    Complex32::ONE,
+                    &l,
+                    &mut v,
+                    1,
+                );
                 let mut lh = vec![Complex32::ZERO; dof * dof];
                 for i in 0..dof {
                     for j in 0..dof {
                         lh[i * dof + j] = l[j * dof + i].conj();
                     }
                 }
-                blas3::ctrsm(Side::Left, Triangle::Upper, dof, Complex32::ONE, &lh, &mut v, 1);
+                blas3::ctrsm(
+                    Side::Left,
+                    Triangle::Upper,
+                    dof,
+                    Complex32::ONE,
+                    &lh,
+                    &mut v,
+                    1,
+                );
                 // Adaptive product through the accelerated cdotc.
                 ml.write_c32("w", &v)?;
                 ml.write_c32("s", &a[..dof])?;
@@ -482,7 +569,11 @@ pub fn run_functional(cfg: &StapConfig, ml: &mut Mealib) -> Result<StapFunctiona
     for name in ["datacube", "doppler", "w", "s"] {
         ml.free(name)?;
     }
-    Ok(StapFunctional { doppler_energy, products_norm, modeled_time })
+    Ok(StapFunctional {
+        doppler_energy,
+        products_norm,
+        modeled_time,
+    })
 }
 
 #[cfg(test)]
@@ -497,7 +588,10 @@ mod tests {
         assert!(s.datacube_elems() < m.datacube_elems());
         assert!(m.datacube_elems() < l.datacube_elems());
         assert_eq!(s.dof(), 80);
-        assert!(l.cdotc_calls() > 1_000_000, "large STAP has millions of cdotc calls");
+        assert!(
+            l.cdotc_calls() > 1_000_000,
+            "large STAP has millions of cdotc calls"
+        );
     }
 
     #[test]
@@ -505,8 +599,14 @@ mod tests {
         let (p_s, e_s) = gains(&StapConfig::small());
         let (p_m, e_m) = gains(&StapConfig::medium());
         let (p_l, e_l) = gains(&StapConfig::large());
-        assert!(p_s < p_m && p_m < p_l, "perf gains {p_s:.2} {p_m:.2} {p_l:.2}");
-        assert!(e_s < e_m && e_m < e_l, "EDP gains {e_s:.2} {e_m:.2} {e_l:.2}");
+        assert!(
+            p_s < p_m && p_m < p_l,
+            "perf gains {p_s:.2} {p_m:.2} {p_l:.2}"
+        );
+        assert!(
+            e_s < e_m && e_m < e_l,
+            "EDP gains {e_s:.2} {e_m:.2} {e_l:.2}"
+        );
         // Paper: 2.0x/2.3x/3.2x perf; 4.5x/9.0x/10.2x EDP.
         assert!((1.2..6.0).contains(&p_l), "large perf gain {p_l:.2}");
         assert!((3.0..25.0).contains(&e_l), "large EDP gain {e_l:.2}");
@@ -519,8 +619,14 @@ mod tests {
         let host_time = run.time_fraction(|p| p.executor == Executor::Host);
         let host_energy = run.energy_fraction(|p| p.executor == Executor::Host);
         // Paper: host ≈ 75% of time, ≈ 90% of energy.
-        assert!((0.4..0.95).contains(&host_time), "host time share {host_time:.2}");
-        assert!(host_energy > host_time, "energy share {host_energy:.2} vs {host_time:.2}");
+        assert!(
+            (0.4..0.95).contains(&host_time),
+            "host time share {host_time:.2}"
+        );
+        assert!(
+            host_energy > host_time,
+            "energy share {host_energy:.2} vs {host_time:.2}"
+        );
     }
 
     #[test]

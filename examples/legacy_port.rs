@@ -32,7 +32,10 @@ fn main() -> Result<(), MealibError> {
     println!("  library calls found:   {}", out.stats.accelerable_calls);
     println!("  dynamic calls:         {}", out.stats.dynamic_calls);
     println!("  descriptors generated: {}", out.stats.descriptors);
-    println!("  buffers migrated:      {}", out.stats.allocations_rewritten);
+    println!(
+        "  buffers migrated:      {}",
+        out.stats.allocations_rewritten
+    );
 
     println!("\ngenerated TDL:");
     println!("{}", out.tdl[0].text);
@@ -53,7 +56,13 @@ fn main() -> Result<(), MealibError> {
     let file = &out.tdl[0].params[0].file;
     bag.insert(
         file.clone(),
-        AccelParams::Axpy { n: 65536, alpha: 0.99, incx: 1, incy: 1 }.to_bytes(),
+        AccelParams::Axpy {
+            n: 65536,
+            alpha: 0.99,
+            incx: 1,
+            incy: 1,
+        }
+        .to_bytes(),
     );
     let plan = ml.plan(&out.tdl[0].text, &bag)?;
     let run = ml.execute(&plan)?;

@@ -21,7 +21,12 @@ fn main() -> Result<(), MealibError> {
     ml.alloc_f32_on("x_remote", n, StackId(1))?;
     ml.alloc_f32_on("y_remote", n, StackId(2))?;
 
-    let op = AccelParams::Axpy { n: n as u64, alpha: 1.5, incx: 1, incy: 1 };
+    let op = AccelParams::Axpy {
+        n: n as u64,
+        alpha: 1.5,
+        incx: 1,
+        incy: 1,
+    };
     let local = ml.invoke(op, "x_local", "y_local")?;
     let remote = ml.invoke(op, "x_remote", "y_remote")?;
 

@@ -42,7 +42,10 @@ fn main() -> Result<(), MealibError> {
         ml.execute(&plan)?
     };
     let r2 = {
-        let params = AccelParams::Fft { n: n as u64, batch: n as u64 };
+        let params = AccelParams::Fft {
+            n: n as u64,
+            batch: n as u64,
+        };
         let mut bag = mealib_tdl::ParamBag::new();
         bag.insert("f.para".into(), params.to_bytes());
         let plan = ml.plan("PASS in=mid out=image { COMP FFT params=\"f.para\" }", &bag)?;

@@ -22,7 +22,11 @@ fn main() {
 
     // ---- Modeled full-size runs (Figures 13/14) ------------------------
     println!("\nmodeled STAP at paper scale:");
-    for cfg in [StapConfig::small(), StapConfig::medium(), StapConfig::large()] {
+    for cfg in [
+        StapConfig::small(),
+        StapConfig::medium(),
+        StapConfig::large(),
+    ] {
         let haswell = stap::run_on_haswell(&cfg);
         let mealib = stap::run_on_mealib(&cfg);
         let (perf, edp) = stap::gains(&cfg);

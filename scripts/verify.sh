@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification flow: build, test, lint, format.
+#
+# Everything here must pass before a change lands. CI and local
+# development run the same script so there is exactly one definition of
+# "green".
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (root package: integration + doc tests)"
+cargo test -q
+
+echo "==> cargo test --workspace"
+cargo test -q --workspace
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "verify: OK"

@@ -10,4 +10,5 @@ pub use mealib_runtime as runtime;
 pub use mealib_sim as sim;
 pub use mealib_tdl as tdl;
 pub use mealib_types as types;
+pub use mealib_verify as verify;
 pub use mealib_workloads as workloads;

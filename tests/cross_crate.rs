@@ -36,12 +36,17 @@ fn cu_run_matches_direct_model_execution() {
     let mut bag = ParamBag::new();
     bag.insert("g.para".into(), op.to_bytes());
     let buffers: BTreeMap<String, u64> =
-        [("a".to_string(), 0x1000u64), ("b".to_string(), 0x2000_0000)].into_iter().collect();
+        [("a".to_string(), 0x1000u64), ("b".to_string(), 0x2000_0000)]
+            .into_iter()
+            .collect();
     let desc = Descriptor::encode(&program, &bag, &buffers).unwrap();
     let run = run_descriptor(&desc, &layer, &CuCostModel::default()).unwrap();
 
     let exec = run.execution().unwrap();
-    assert_eq!(exec, direct, "single un-looped pass equals direct execution");
+    assert_eq!(
+        exec, direct,
+        "single un-looped pass equals direct execution"
+    );
     assert!(run.total_time() > direct.time, "plus nonzero setup");
 }
 
@@ -52,9 +57,32 @@ fn accelerator_traffic_matches_operation_footprint() {
     let hw = mealib_accel::AccelHwConfig::mealib_default();
     let cases: Vec<(AccelParams, u64)> = vec![
         // (op, expected useful bytes)
-        (AccelParams::Axpy { n: 1 << 20, alpha: 1.0, incx: 1, incy: 1 }, 12 << 20),
-        (AccelParams::Dot { n: 1 << 20, incx: 1, incy: 1, complex: false }, 8 << 20),
-        (AccelParams::Reshp { rows: 1024, cols: 1024, elem_bytes: 4 }, 8 << 20),
+        (
+            AccelParams::Axpy {
+                n: 1 << 20,
+                alpha: 1.0,
+                incx: 1,
+                incy: 1,
+            },
+            12 << 20,
+        ),
+        (
+            AccelParams::Dot {
+                n: 1 << 20,
+                incx: 1,
+                incy: 1,
+                complex: false,
+            },
+            8 << 20,
+        ),
+        (
+            AccelParams::Reshp {
+                rows: 1024,
+                cols: 1024,
+                elem_bytes: 4,
+            },
+            8 << 20,
+        ),
     ];
     for (op, want) in cases {
         let model = AccelModel::new(op.kind());
@@ -67,20 +95,25 @@ fn accelerator_traffic_matches_operation_footprint() {
 /// descriptor format without loss of structure.
 #[test]
 fn compiler_tdl_flows_through_descriptor_encoding() {
-    let out = mealib_compiler::compile(
-        "for (i = 0; i < 100; ++i) cblas_sdot(256, x, 1, y, 1);",
-    )
-    .unwrap();
+    let out =
+        mealib_compiler::compile("for (i = 0; i < 100; ++i) cblas_sdot(256, x, 1, y, 1);").unwrap();
     let program = parse(&out.tdl[0].text).unwrap();
     let mut bag = ParamBag::new();
     for f in &out.tdl[0].params {
         bag.insert(
             f.file.clone(),
-            AccelParams::Dot { n: 256, incx: 1, incy: 1, complex: false }.to_bytes(),
+            AccelParams::Dot {
+                n: 256,
+                incx: 1,
+                incy: 1,
+                complex: false,
+            }
+            .to_bytes(),
         );
     }
-    let buffers: BTreeMap<String, u64> =
-        [("x".to_string(), 0x1000u64), ("y".to_string(), 0x2000)].into_iter().collect();
+    let buffers: BTreeMap<String, u64> = [("x".to_string(), 0x1000u64), ("y".to_string(), 0x2000)]
+        .into_iter()
+        .collect();
     let desc = Descriptor::encode(&program, &bag, &buffers).unwrap();
     assert_eq!(desc.total_invocations().unwrap(), 100);
     let layer = AcceleratorLayer::mealib_default();
@@ -95,7 +128,9 @@ fn substrate_ladder_speeds_up_the_same_op() {
     let hw = mealib_accel::AccelHwConfig::mealib_default();
     let op = AccelParams::Gemv { m: 8192, n: 8192 };
     let model = AccelModel::new(AcceleratorKind::Gemv);
-    let ddr = model.execute(&op, &hw, &MemoryConfig::ddr_dual_channel()).time;
+    let ddr = model
+        .execute(&op, &hw, &MemoryConfig::ddr_dual_channel())
+        .time;
     let msas = model.execute(&op, &hw, &MemoryConfig::msas_dram()).time;
     let stack = model.execute(&op, &hw, &MemoryConfig::hmc_stack()).time;
     assert!(ddr > msas && msas > stack, "{ddr} > {msas} > {stack}");

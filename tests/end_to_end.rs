@@ -30,11 +30,23 @@ fn compiled_legacy_code_executes_on_the_runtime() {
     let mut bag = ParamBag::new();
     bag.insert(
         out.tdl[0].params[0].file.clone(),
-        AccelParams::Axpy { n: 4096, alpha: 1.5, incx: 1, incy: 1 }.to_bytes(),
+        AccelParams::Axpy {
+            n: 4096,
+            alpha: 1.5,
+            incx: 1,
+            incy: 1,
+        }
+        .to_bytes(),
     );
-    let plan = ml.plan(&out.tdl[0].text, &bag).expect("generated TDL plans");
+    let plan = ml
+        .plan(&out.tdl[0].text, &bag)
+        .expect("generated TDL plans");
     let run = ml.execute(&plan).expect("executes");
-    assert_eq!(run.run.invocations(), 32, "hardware loop runs all iterations");
+    assert_eq!(
+        run.run.invocations(),
+        32,
+        "hardware loop runs all iterations"
+    );
     assert!(run.total_time().get() > 0.0);
 }
 

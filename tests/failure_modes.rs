@@ -36,9 +36,15 @@ fn fragmentation_failure_names_the_largest_block() {
 fn plan_against_missing_buffer_fails_cleanly() {
     let mut ml = Mealib::new();
     let mut bag = ParamBag::new();
-    bag.insert("p.para".into(), AccelParams::Fft { n: 64, batch: 1 }.to_bytes());
+    bag.insert(
+        "p.para".into(),
+        AccelParams::Fft { n: 64, batch: 1 }.to_bytes(),
+    );
     let err = ml
-        .plan("PASS in=nope out=also_nope { COMP FFT params=\"p.para\" }", &bag)
+        .plan(
+            "PASS in=nope out=also_nope { COMP FFT params=\"p.para\" }",
+            &bag,
+        )
         .unwrap_err();
     assert!(err.to_string().contains("no physical address"), "{err}");
 }
@@ -49,7 +55,10 @@ fn plan_with_missing_params_fails_cleanly() {
     ml.alloc_f32("x", 64).unwrap();
     ml.alloc_f32("y", 64).unwrap();
     let err = ml
-        .plan("PASS in=x out=y { COMP FFT params=\"ghost.para\" }", &ParamBag::new())
+        .plan(
+            "PASS in=x out=y { COMP FFT params=\"ghost.para\" }",
+            &ParamBag::new(),
+        )
         .unwrap_err();
     assert!(err.to_string().contains("ghost.para"), "{err}");
 }
@@ -64,7 +73,9 @@ fn corrupt_parameter_blob_fails_at_execute() {
     let mut blob = AccelParams::Fft { n: 64, batch: 1 }.to_bytes();
     blob[1..9].copy_from_slice(&100u64.to_le_bytes());
     bag.insert("f.para".into(), blob);
-    let plan = ml.plan("PASS in=x out=y { COMP FFT params=\"f.para\" }", &bag).unwrap();
+    let plan = ml
+        .plan("PASS in=x out=y { COMP FFT params=\"f.para\" }", &bag)
+        .unwrap();
     let err = ml.execute(&plan).unwrap_err();
     assert!(err.to_string().contains("power of two"), "{err}");
 }
@@ -80,7 +91,13 @@ fn freeing_a_buffer_invalidates_existing_plans_resolution() {
     let mut bag = ParamBag::new();
     bag.insert(
         "a.para".into(),
-        AccelParams::Axpy { n: 64, alpha: 1.0, incx: 1, incy: 1 }.to_bytes(),
+        AccelParams::Axpy {
+            n: 64,
+            alpha: 1.0,
+            incx: 1,
+            incy: 1,
+        }
+        .to_bytes(),
     );
     let err = ml
         .plan("PASS in=x out=y { COMP AXPY params=\"a.para\" }", &bag)
@@ -104,7 +121,9 @@ fn destroyed_plans_cannot_run_but_runtime_survives() {
 #[test]
 fn invalid_stack_ids_are_rejected_with_inventory() {
     let mut rt = Runtime::with_stack_count(2);
-    let err = rt.mem_alloc_on("x", RtBytes::from_kib(4), StackId(7)).unwrap_err();
+    let err = rt
+        .mem_alloc_on("x", RtBytes::from_kib(4), StackId(7))
+        .unwrap_err();
     let msg = err.to_string();
     assert!(msg.contains("RMS7"), "{msg}");
     assert!(msg.contains("2 stack(s)"), "{msg}");

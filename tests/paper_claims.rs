@@ -16,12 +16,24 @@ fn fig9_mealib_wins_everywhere_with_the_right_spread() {
         let cmp = compare_platforms(&row.params);
         let mealib = cmp.mealib_speedup();
         for (name, s) in cmp.speedups() {
-            assert!(mealib >= s, "{}: {name} at {s:.1}x beats MEALib", row.function);
+            assert!(
+                mealib >= s,
+                "{}: {name} at {s:.1}x beats MEALib",
+                row.function
+            );
         }
         gains.push((row.params.kind(), mealib));
     }
-    let spmv = gains.iter().find(|(k, _)| k == &mealib_tdl::AcceleratorKind::Spmv).unwrap().1;
-    let reshp = gains.iter().find(|(k, _)| k == &mealib_tdl::AcceleratorKind::Reshp).unwrap().1;
+    let spmv = gains
+        .iter()
+        .find(|(k, _)| k == &mealib_tdl::AcceleratorKind::Spmv)
+        .unwrap()
+        .1;
+    let reshp = gains
+        .iter()
+        .find(|(k, _)| k == &mealib_tdl::AcceleratorKind::Reshp)
+        .unwrap()
+        .1;
     assert!(
         gains.iter().all(|&(_, g)| g >= spmv * 0.95),
         "SPMV is the smallest gain"
@@ -32,7 +44,10 @@ fn fig9_mealib_wins_everywhere_with_the_right_spread() {
     );
     assert!(reshp / spmv > 4.0, "an order of spread between extremes");
     let avg = geometric_mean(&gains.iter().map(|&(_, g)| g).collect::<Vec<_>>()).unwrap();
-    assert!((15.0..80.0).contains(&avg), "average {avg:.1}x vs paper 38x");
+    assert!(
+        (15.0..80.0).contains(&avg),
+        "average {avg:.1}x vs paper 38x"
+    );
 }
 
 /// §5.1 / Fig. 10: "the energy efficiency gains of MEALib are much
@@ -48,7 +63,10 @@ fn fig10_energy_gains_exceed_performance_gains() {
     }
     let avg_perf = geometric_mean(&perf).unwrap();
     let avg_eff = geometric_mean(&eff).unwrap();
-    assert!(avg_eff > 1.3 * avg_perf, "{avg_eff:.1}x EE vs {avg_perf:.1}x perf");
+    assert!(
+        avg_eff > 1.3 * avg_perf,
+        "{avg_eff:.1}x EE vs {avg_perf:.1}x perf"
+    );
 }
 
 /// Table 3 ordering: Haswell < PSAS < MSAS < MEALib on average.
@@ -70,7 +88,10 @@ fn platform_ladder_is_ordered() {
     // Paper averages: PSAS 2.51x, MSAS 10.32x, MEALib 38x.
     assert!(psas > 1.0, "PSAS average {psas:.2}x");
     assert!(msas > 2.0 * psas, "MSAS {msas:.2}x vs PSAS {psas:.2}x");
-    assert!(mealib > 2.0 * msas, "MEALib {mealib:.2}x vs MSAS {msas:.2}x");
+    assert!(
+        mealib > 2.0 * msas,
+        "MEALib {mealib:.2}x vs MSAS {msas:.2}x"
+    );
 }
 
 /// Fig. 1: libraries buy 5x-42x on commodity hardware, with PERFECT
@@ -81,7 +102,12 @@ fn fig1_library_gains() {
     let max = points.iter().map(|p| p.multi_thread).fold(0.0f64, f64::max);
     assert!((15.0..80.0).contains(&max), "max {max:.1}x vs paper 42x");
     for p in &points {
-        assert!(p.multi_thread > 1.5, "{} gains {:.1}x", p.benchmark.name, p.multi_thread);
+        assert!(
+            p.multi_thread > 1.5,
+            "{} gains {:.1}x",
+            p.benchmark.name,
+            p.multi_thread
+        );
     }
 }
 
@@ -91,8 +117,16 @@ fn fig1_library_gains() {
 fn fig12_configuration_efficiency_shapes() {
     let chain = sar::chaining_sweep();
     let lp = sar::loop_sweep(128);
-    assert!((1.5..4.5).contains(&chain[0].gain()), "chain {:.2}x", chain[0].gain());
-    assert!((4.0..25.0).contains(&lp[0].gain()), "loop {:.2}x", lp[0].gain());
+    assert!(
+        (1.5..4.5).contains(&chain[0].gain()),
+        "chain {:.2}x",
+        chain[0].gain()
+    );
+    assert!(
+        (4.0..25.0).contains(&lp[0].gain()),
+        "loop {:.2}x",
+        lp[0].gain()
+    );
     assert!(lp[0].gain() > chain[0].gain());
     assert!(chain.last().unwrap().gain() < chain[0].gain());
     assert!(lp.last().unwrap().gain() < lp[0].gain());
@@ -139,5 +173,8 @@ fn compiler_compaction_claim() {
 fn table5_area_budget() {
     let total = mealib_accel::power::total_layer_area(mealib_accel::power::NOC_AREA_MM2);
     let share = total / mealib_accel::power::LAYER_AREA_BUDGET_MM2;
-    assert!((0.55..0.70).contains(&share), "share {share:.3} vs paper 61.43%");
+    assert!(
+        (0.55..0.70).contains(&share),
+        "share {share:.3} vs paper 61.43%"
+    );
 }

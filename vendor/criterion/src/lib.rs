@@ -1,0 +1,288 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! crate.
+//!
+//! The build container has no access to the crates.io registry, so the
+//! workspace resolves `criterion` to this in-tree harness (a path
+//! dependency in the root `Cargo.toml`'s `[workspace.dependencies]`
+//! table). It covers the subset of
+//! the criterion 0.5 API the workspace's benches use — groups,
+//! [`Bencher::iter`], [`Throughput`], [`BenchmarkId`] and the
+//! `criterion_group!`/`criterion_main!` macros — and reports a mean
+//! wall-clock time per iteration. There is no statistical analysis,
+//! outlier rejection, or HTML report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How much work one iteration performs, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration (binary units in reports).
+    Bytes(u64),
+    /// Bytes processed per iteration (decimal units in reports).
+    BytesDecimal(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id naming only the parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        Self { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`: a short warm-up, then batches until enough
+    /// samples accumulate for a stable mean.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..3 {
+            discard(routine());
+        }
+        // One calibration pass sizes batches near ~10ms each.
+        let start = Instant::now();
+        discard(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let batch =
+            (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+
+        let budget = Duration::from_millis(200);
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < budget && iters < 1_000_000 {
+            let start = Instant::now();
+            for _ in 0..batch {
+                discard(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.total = total;
+        self.iters = iters;
+    }
+}
+
+/// Keeps a benchmark result alive past the optimizer without `unsafe`.
+fn discard<O>(value: O) {
+    let boxed = std::hint::black_box(Box::new(value));
+    drop(std::hint::black_box(boxed));
+}
+
+/// Prevents the compiler from optimizing `value` away.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+fn report(id: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    if bencher.iters == 0 {
+        println!("{id:<40} no iterations recorded");
+        return;
+    }
+    let per_iter = bencher.total.as_secs_f64() / bencher.iters as f64;
+    let time = if per_iter >= 1e-3 {
+        format!("{:.3} ms", per_iter * 1e3)
+    } else if per_iter >= 1e-6 {
+        format!("{:.3} µs", per_iter * 1e6)
+    } else {
+        format!("{:.1} ns", per_iter * 1e9)
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:.3} Melem/s", n as f64 / per_iter / 1e6)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:.3} GiB/s", n as f64 / per_iter / (1u64 << 30) as f64)
+        }
+        Some(Throughput::BytesDecimal(n)) => {
+            format!("  {:.3} GB/s", n as f64 / per_iter / 1e9)
+        }
+        None => String::new(),
+    };
+    println!("{id:<40} {time:>12}/iter{rate}  ({} iters)", bencher.iters);
+}
+
+/// A named set of related benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work, enabling derived rates in reports.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        report(
+            &format!("{}/{}", self.name, id.id),
+            &bencher,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher, input);
+        report(
+            &format!("{}/{}", self.name, id.id),
+            &bencher,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group (kept for API parity; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        report(id, &bencher, None);
+        self
+    }
+}
+
+/// Bundles benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations_and_time() {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        let mut counter = 0u64;
+        b.iter(|| {
+            counter = counter.wrapping_add(1);
+            counter
+        });
+        assert!(b.iters > 0);
+        assert!(b.total > Duration::ZERO);
+    }
+
+    #[test]
+    fn groups_and_ids_run_their_closures() {
+        let mut c = Criterion::default();
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("shim");
+            g.throughput(Throughput::Elements(4));
+            g.bench_function("direct", |b| {
+                b.iter(|| 2 + 2);
+            });
+            g.bench_with_input(BenchmarkId::from_parameter(64), &64u32, |b, &n| {
+                b.iter(|| n * 2);
+            });
+            ran += 1;
+            g.finish();
+        }
+        c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+        assert_eq!(ran, 1);
+    }
+}

@@ -1,0 +1,780 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest) crate.
+//!
+//! The build container has no access to the crates.io registry, so the
+//! workspace resolves `proptest` to this in-tree implementation (a path
+//! dependency in the root `Cargo.toml`'s `[workspace.dependencies]`
+//! table). It implements the
+//! subset of the proptest 1.x API the workspace's property tests use:
+//! the [`Strategy`] trait with `prop_map`/`prop_filter_map`, range,
+//! tuple, [`strategy::Just`], `prop_oneof!`, `any::<T>()` and
+//! regex-subset string strategies, [`collection::vec`],
+//! [`sample::select`], and the [`proptest!`]/`prop_assert*` macros.
+//!
+//! Differences from the real crate: cases are sampled from a
+//! deterministic per-test generator (no OS entropy), and failures are
+//! **not shrunk** — the failing case index and seed are printed instead
+//! so a failure can be replayed by rerunning the test.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Test-case generation and the per-test runner loop.
+pub mod test_runner {
+    /// Runner configuration; only `cases` is meaningful in this shim.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property is checked against.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Matches the real crate's default case count.
+            Self { cases: 256 }
+        }
+    }
+
+    /// Deterministic per-test random source (xoshiro256**, seeded from
+    /// the test name and case index via SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Builds the generator for one case of one named test.
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            // FNV-1a over the name keeps distinct tests decorrelated.
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let mut state = h ^ (u64::from(case) << 32) ^ u64::from(case);
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                *word = z ^ (z >> 31);
+            }
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            Self { s }
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform value in `[0, bound)` by rejection sampling.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `bound` is zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "empty sampling range");
+            if bound.is_power_of_two() {
+                return self.next_u64() & (bound - 1);
+            }
+            let zone = u64::MAX - (u64::MAX % bound);
+            loop {
+                let v = self.next_u64();
+                if v < zone {
+                    return v % bound;
+                }
+            }
+        }
+    }
+
+    /// Drives one property through `config.cases` sampled cases. On a
+    /// panic the failing case index is reported before unwinding, since
+    /// this shim does not shrink.
+    pub fn run_cases<F>(config: &ProptestConfig, test_name: &str, mut body: F)
+    where
+        F: FnMut(&mut TestRng),
+    {
+        for case in 0..config.cases {
+            let mut rng = TestRng::for_case(test_name, case);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+            if let Err(payload) = outcome {
+                eprintln!(
+                    "proptest shim: property `{test_name}` failed on case {case}/{} \
+                     (deterministic; rerun the test to reproduce)",
+                    config.cases
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// The [`Strategy`] trait and the combinator/leaf strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike the real crate there is no value-tree/shrinking layer:
+    /// a strategy is just a deterministic sampler over a [`TestRng`].
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { source: self, f }
+        }
+
+        /// Keeps only values `f` maps to `Some`, resampling otherwise.
+        /// `whence` names the constraint for the give-up message.
+        fn prop_filter_map<U, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> Option<U>,
+        {
+            FilterMap {
+                source: self,
+                whence,
+                f,
+            }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.source.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter_map`].
+    pub struct FilterMap<S, F> {
+        source: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for FilterMap<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Option<U>,
+    {
+        type Value = U;
+
+        fn sample(&self, rng: &mut TestRng) -> U {
+            // Generous retry budget; filters in practice accept most
+            // samples, and a dead filter should fail loudly.
+            for _ in 0..10_000 {
+                if let Some(v) = (self.f)(self.source.sample(rng)) {
+                    return v;
+                }
+            }
+            panic!("prop_filter_map gave up: {}", self.whence);
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed alternative strategies
+    /// (built by the [`prop_oneof!`](crate::prop_oneof) macro).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds the union; `options` must be non-empty.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Self { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.options.len() as u64) as usize;
+            self.options[idx].sample(rng)
+        }
+    }
+
+    /// Boxes one `prop_oneof!` arm (helper for the macro, which needs a
+    /// coercion point with an inferable value type).
+    pub fn union_option<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Generates any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as i128 + rng.below(span + 1) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    /// String-pattern strategies: a `&'static str` is interpreted as a
+    /// small regex subset (literals, `[...]` classes with ranges and
+    /// escapes, `\PC` for printable, and `{m}`/`{m,n}`/`*`/`+`/`?`
+    /// quantifiers) and sampled into matching strings.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRng) -> String {
+            crate::string::sample_pattern(self, rng)
+        }
+    }
+}
+
+/// Regex-subset pattern sampling backing the `&str` strategy.
+pub mod string {
+    use crate::test_runner::TestRng;
+
+    /// Inclusive char ranges a position can draw from.
+    struct CharClass {
+        ranges: Vec<(char, char)>,
+    }
+
+    impl CharClass {
+        fn literal(c: char) -> Self {
+            Self {
+                ranges: vec![(c, c)],
+            }
+        }
+
+        /// ASCII printable; stands in for the real crate's `\PC`
+        /// (any non-control character).
+        fn printable() -> Self {
+            Self {
+                ranges: vec![(' ', '~')],
+            }
+        }
+
+        fn sample(&self, rng: &mut TestRng) -> char {
+            let total: u64 = self
+                .ranges
+                .iter()
+                .map(|&(lo, hi)| u64::from(u32::from(hi)) - u64::from(u32::from(lo)) + 1)
+                .sum();
+            let mut pick = rng.below(total);
+            for &(lo, hi) in &self.ranges {
+                let width = u64::from(u32::from(hi)) - u64::from(u32::from(lo)) + 1;
+                if pick < width {
+                    return char::from_u32(u32::from(lo) + pick as u32)
+                        .expect("ranges only span valid scalar values");
+                }
+                pick -= width;
+            }
+            unreachable!("pick < total")
+        }
+    }
+
+    struct Atom {
+        class: CharClass,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse(pattern: &str) -> Vec<Atom> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let class = match chars[i] {
+                '[' => {
+                    i += 1;
+                    let mut ranges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = if chars[i] == '\\' {
+                            i += 1;
+                            chars[i]
+                        } else {
+                            chars[i]
+                        };
+                        // `a-z` is a range unless `-` is the last item.
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            ranges.push((lo, chars[i + 2]));
+                            i += 3;
+                        } else {
+                            ranges.push((lo, lo));
+                            i += 1;
+                        }
+                    }
+                    assert!(
+                        i < chars.len(),
+                        "unterminated character class in {pattern:?}"
+                    );
+                    i += 1; // consume ']'
+                    CharClass { ranges }
+                }
+                '\\' => {
+                    i += 1;
+                    assert!(i < chars.len(), "dangling escape in {pattern:?}");
+                    if chars[i] == 'P' || chars[i] == 'p' {
+                        // Only the printable class `\PC` is supported.
+                        assert!(
+                            i + 1 < chars.len() && chars[i + 1] == 'C',
+                            "unsupported unicode class in {pattern:?}"
+                        );
+                        i += 2;
+                        CharClass::printable()
+                    } else {
+                        let c = chars[i];
+                        i += 1;
+                        CharClass::literal(c)
+                    }
+                }
+                '.' => {
+                    i += 1;
+                    CharClass::printable()
+                }
+                c => {
+                    i += 1;
+                    CharClass::literal(c)
+                }
+            };
+            // Optional quantifier.
+            let (min, max) = if i < chars.len() {
+                match chars[i] {
+                    '{' => {
+                        i += 1;
+                        let mut nums = [String::new(), String::new()];
+                        let mut which = 0;
+                        let mut saw_comma = false;
+                        while i < chars.len() && chars[i] != '}' {
+                            if chars[i] == ',' {
+                                which = 1;
+                                saw_comma = true;
+                            } else {
+                                nums[which].push(chars[i]);
+                            }
+                            i += 1;
+                        }
+                        assert!(i < chars.len(), "unterminated quantifier in {pattern:?}");
+                        i += 1; // consume '}'
+                        let lo: usize = nums[0].parse().expect("quantifier lower bound");
+                        let hi = if !saw_comma {
+                            lo
+                        } else if nums[1].is_empty() {
+                            lo + 64
+                        } else {
+                            nums[1].parse().expect("quantifier upper bound")
+                        };
+                        (lo, hi)
+                    }
+                    '*' => {
+                        i += 1;
+                        (0, 32)
+                    }
+                    '+' => {
+                        i += 1;
+                        (1, 32)
+                    }
+                    '?' => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    _ => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            atoms.push(Atom { class, min, max });
+        }
+        atoms
+    }
+
+    /// Samples one string matching `pattern`.
+    pub fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse(pattern) {
+            let count = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+            for _ in 0..count {
+                out.push(atom.class.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive length range for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            Self {
+                lo: exact,
+                hi: exact,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.lo + rng.below((self.size.hi - self.size.lo + 1) as u64) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Generates `Vec`s of `element` samples with a length drawn from
+    /// `size` (an exact `usize`, `a..b`, or `a..=b`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Sampling from explicit value lists.
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// See [`select`].
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.options.len() as u64) as usize;
+            self.options[idx].clone()
+        }
+    }
+
+    /// Uniformly selects one of `options` (must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select { options }
+    }
+}
+
+/// The glob-import surface test files expect.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests: each `fn` body runs against many sampled
+/// bindings. Accepts an optional `#![proptest_config(...)]` header.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $(
+        $(#[$meta:meta])*
+        fn $name:ident($($parm:pat in $strategy:expr),+ $(,)?) $body:block
+     )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __pt_config = $config;
+                $crate::test_runner::run_cases(
+                    &__pt_config,
+                    stringify!($name),
+                    |__pt_rng| {
+                        $(let $parm =
+                            $crate::strategy::Strategy::sample(&($strategy), __pt_rng);)+
+                        $body
+                    },
+                );
+            }
+        )*
+    };
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($parm:pat in $strategy:expr),+ $(,)?) $body:block
+     )*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($parm in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+/// Uniform choice between the listed strategies (all must produce the
+/// same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::union_option($strategy)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property (plain `assert!` here; the
+/// runner reports the failing case).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { ::std::assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { ::std::assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { ::std::assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate as proptest;
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds_and_hit_endpoints() {
+        let mut rng = TestRng::for_case("ranges", 0);
+        let s = 10u64..20;
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..10_000 {
+            let v = Strategy::sample(&s, &mut rng);
+            assert!((10..20).contains(&v));
+            lo_seen |= v == 10;
+            hi_seen |= v == 19;
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn string_patterns_match_their_shape() {
+        let mut rng = TestRng::for_case("strings", 0);
+        for _ in 0..500 {
+            let ident = Strategy::sample(&"[a-z][a-z0-9_]{0,10}", &mut rng);
+            assert!(!ident.is_empty() && ident.len() <= 11);
+            let mut chars = ident.chars();
+            assert!(chars.next().expect("nonempty").is_ascii_lowercase());
+            assert!(chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+
+            let soup = Strategy::sample(&"\\PC{0,200}", &mut rng);
+            assert!(soup.len() <= 200);
+            assert!(soup.chars().all(|c| (' '..='~').contains(&c)));
+
+            let escaped = Strategy::sample(&"[a-z\\\" .]{1,8}", &mut rng);
+            assert!(escaped
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '"' || c == ' ' || c == '.'));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_every_arm() {
+        let mut rng = TestRng::for_case("oneof", 0);
+        let s = prop_oneof![Just(1u32), Just(2u32), (10u32..12).prop_map(|v| v)];
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            match Strategy::sample(&s, &mut rng) {
+                1 => seen[0] = true,
+                2 => seen[1] = true,
+                10 => seen[2] = true,
+                11 => seen[3] = true,
+                other => panic!("impossible sample {other}"),
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn collection_vec_respects_size_specs() {
+        let mut rng = TestRng::for_case("vecs", 0);
+        for _ in 0..200 {
+            let exact = Strategy::sample(&crate::collection::vec(0u8..10, 7usize), &mut rng);
+            assert_eq!(exact.len(), 7);
+            let ranged = Strategy::sample(&crate::collection::vec(0u8..10, 1..4), &mut rng);
+            assert!((1..4).contains(&ranged.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(
+            a in 0u64..100,
+            b in proptest::collection::vec(any::<bool>(), 0..5),
+        ) {
+            prop_assert!(a < 100);
+            prop_assert!(b.len() < 5);
+        }
+    }
+}
