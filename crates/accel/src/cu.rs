@@ -92,6 +92,60 @@ pub struct PassRun {
     pub iterations: u64,
 }
 
+/// Itemized CU front-end work: the same total as
+/// [`DescriptorRun::setup_time`] / `setup_energy`, split by phase for
+/// attribution (descriptor fetch, instruction decode, configuration
+/// broadcast, completion gather) plus the event counts the
+/// observability layer reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CuFrontEnd {
+    /// Time streaming the descriptor image out of DRAM.
+    pub fetch_time: Seconds,
+    /// Energy of the descriptor fetch.
+    pub fetch_energy: Joules,
+    /// Descriptor image size fetched.
+    pub fetch_bytes: u64,
+    /// Decode Unit time over the Instruction Region.
+    pub decode_time: Seconds,
+    /// Instructions decoded.
+    pub decoded_instrs: u64,
+    /// Switch-configuration broadcast time (plus the one-time loop
+    /// configuration charge).
+    pub config_time: Seconds,
+    /// Energy of the configuration broadcasts.
+    pub config_energy: Joules,
+    /// Pass-completion gather time.
+    pub drain_time: Seconds,
+    /// Energy of the completion gathers.
+    pub drain_energy: Joules,
+    /// NoC flits injected by broadcasts and gathers.
+    pub noc_flits: u64,
+    /// NoC flit-hops traversed by broadcasts and gathers.
+    pub noc_flit_hops: u64,
+    /// Hardware-loop iterations re-triggered without host involvement
+    /// (iterations of looped passes).
+    pub loop_iterations: u64,
+}
+
+impl Default for CuFrontEnd {
+    fn default() -> Self {
+        Self {
+            fetch_time: Seconds::ZERO,
+            fetch_energy: Joules::ZERO,
+            fetch_bytes: 0,
+            decode_time: Seconds::ZERO,
+            decoded_instrs: 0,
+            config_time: Seconds::ZERO,
+            config_energy: Joules::ZERO,
+            drain_time: Seconds::ZERO,
+            drain_energy: Joules::ZERO,
+            noc_flits: 0,
+            noc_flit_hops: 0,
+            loop_iterations: 0,
+        }
+    }
+}
+
 /// The result of running one descriptor through the CU.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DescriptorRun {
@@ -100,6 +154,9 @@ pub struct DescriptorRun {
     pub setup_time: Seconds,
     /// Energy of the front-end work.
     pub setup_energy: Joules,
+    /// The front-end cost itemized by phase (sums to `setup_time` /
+    /// `setup_energy`).
+    pub front_end: CuFrontEnd,
     /// Static passes with their per-iteration reports and multipliers.
     pub passes: Vec<PassRun>,
 }
@@ -135,6 +192,53 @@ impl DescriptorRun {
             .map(|p| p.iterations * p.stages.len() as u64)
             .sum()
     }
+
+    /// Partitions this run's total time and energy by phase: the CU
+    /// front-end splits into `plan` (decode), `dma` (fetch + config)
+    /// and `drain` (completion gather); each pass splits its modeled
+    /// interval into `compute` (PE arithmetic) and `dma` (memory
+    /// streaming + per-pass trigger overhead). The phase sums equal
+    /// [`DescriptorRun::total_time`] / `total_energy` exactly, which is
+    /// what lets the observability layer reconcile traces against
+    /// report totals.
+    pub fn breakdown(&self) -> mealib_obs::Breakdown {
+        use mealib_obs::Phase;
+        let fe = &self.front_end;
+        let mut bd = mealib_obs::Breakdown::new();
+        bd.add_phase(Phase::Plan, fe.decode_time, Joules::ZERO);
+        bd.add_phase(
+            Phase::Dma,
+            fe.fetch_time + fe.config_time,
+            fe.fetch_energy + fe.config_energy,
+        );
+        bd.add_phase(Phase::Drain, fe.drain_time, fe.drain_energy);
+        for p in &self.passes {
+            let r = p.report.repeat(p.iterations);
+            bd.add_phase(Phase::Compute, r.compute_time, r.energy - r.mem_energy);
+            bd.add_phase(Phase::Dma, r.time - r.compute_time, r.mem_energy);
+        }
+        bd
+    }
+
+    /// Records this run's CU, NoC and DRAM event counters into an
+    /// observability handle. A no-op when recording is off.
+    pub fn record_into(&self, obs: &mealib_obs::Obs) {
+        if !obs.enabled() {
+            return;
+        }
+        use mealib_obs::Counter;
+        let fe = &self.front_end;
+        obs.count(Counter::CuFetchBytes, fe.fetch_bytes);
+        obs.count(Counter::CuDecodedInstrs, fe.decoded_instrs);
+        obs.count(Counter::CuPasses, self.invocations());
+        obs.count(Counter::CuLoopIters, fe.loop_iterations);
+        obs.count(Counter::NocFlits, fe.noc_flits);
+        obs.count(Counter::NocFlitHops, fe.noc_flit_hops);
+        obs.count(Counter::NocCredits, fe.noc_flit_hops);
+        if let Some(exec) = self.execution() {
+            exec.mem.record_into(obs);
+        }
+    }
 }
 
 /// Runs a descriptor on the layer, returning the modeled costs.
@@ -160,6 +264,14 @@ pub fn run_descriptor(
         Seconds::new(instrs.len() as f64 * cost.decode_cycles_per_instr as f64 / cost.clock.get());
     let mut setup_time = fetch.elapsed + decode_time;
     let mut setup_energy = fetch.energy;
+    let mut front_end = CuFrontEnd {
+        fetch_time: fetch.elapsed,
+        fetch_energy: fetch.energy,
+        fetch_bytes: desc.size_bytes() as u64,
+        decode_time,
+        decoded_instrs: instrs.len() as u64,
+        ..CuFrontEnd::default()
+    };
 
     let mut passes: Vec<PassRun> = Vec::new();
     let mut pending: Vec<AccelParams> = Vec::new();
@@ -190,8 +302,15 @@ pub fn run_descriptor(
                 let gather = layer.mesh().gather(mealib_noc::TileId::new(0, 0), 16);
                 setup_time += bcast.elapsed + gather.elapsed;
                 setup_energy += bcast.energy + gather.energy;
+                front_end.config_time += bcast.elapsed;
+                front_end.config_energy += bcast.energy;
+                front_end.drain_time += gather.elapsed;
+                front_end.drain_energy += gather.energy;
+                front_end.noc_flits += bcast.flits + gather.flits;
+                front_end.noc_flit_hops += bcast.flit_hops + gather.flit_hops;
                 let mut report = execute_chained(&stages, layer.hw(), layer.mem());
                 if multiplier > 1 {
+                    front_end.loop_iterations += multiplier;
                     // Looped passes pay CONFIG_LATENCY once (in setup).
                     // Iterations then *pipeline*: the Decode Unit keeps
                     // the next iteration's fetch in flight while the
@@ -200,6 +319,7 @@ pub fn run_descriptor(
                     // time, and per-iteration triggers overlap across
                     // tiles when the working set fits a Local Memory.
                     setup_time += CONFIG_LATENCY;
+                    front_end.config_time += CONFIG_LATENCY;
                     let eff = stages
                         .iter()
                         .map(|p| AccelModel::new(p.kind()).bandwidth_efficiency())
@@ -248,6 +368,7 @@ pub fn run_descriptor(
     Ok(DescriptorRun {
         setup_time,
         setup_energy,
+        front_end,
         passes,
     })
 }
@@ -361,6 +482,72 @@ mod tests {
         assert!(run.total_time() > exec.time);
         assert!(run.total_energy() > exec.energy);
         assert!(run.setup_time.get() > 0.0);
+    }
+
+    #[test]
+    fn front_end_itemization_sums_to_setup() {
+        let layer = AcceleratorLayer::mealib_default();
+        for loops in [1, 128] {
+            let run =
+                run_descriptor(&make_descriptor(loops), &layer, &CuCostModel::default()).unwrap();
+            let fe = &run.front_end;
+            let t = fe.fetch_time + fe.decode_time + fe.config_time + fe.drain_time;
+            let e = fe.fetch_energy + fe.config_energy + fe.drain_energy;
+            assert!(
+                (t.get() - run.setup_time.get()).abs() <= 1e-12 * run.setup_time.get().max(1.0),
+                "time {} vs setup {}",
+                t,
+                run.setup_time
+            );
+            assert!(
+                (e.get() - run.setup_energy.get()).abs() <= 1e-12 * run.setup_energy.get().max(1.0),
+                "energy {} vs setup {}",
+                e,
+                run.setup_energy
+            );
+            assert!(fe.fetch_bytes > 0);
+            assert!(fe.decoded_instrs > 0);
+            assert!(fe.noc_flits > 0);
+        }
+    }
+
+    #[test]
+    fn breakdown_reconciles_with_totals() {
+        let layer = AcceleratorLayer::mealib_default();
+        let run = run_descriptor(&make_descriptor(128), &layer, &CuCostModel::default()).unwrap();
+        let bd = run.breakdown();
+        let dt = (bd.total_time().get() - run.total_time().get()).abs();
+        let de = (bd.total_energy().get() - run.total_energy().get()).abs();
+        assert!(
+            dt <= 1e-9 * run.total_time().get(),
+            "breakdown time {} vs total {}",
+            bd.total_time(),
+            run.total_time()
+        );
+        assert!(
+            de <= 1e-9 * run.total_energy().get(),
+            "breakdown energy {} vs total {}",
+            bd.total_energy(),
+            run.total_energy()
+        );
+        assert_eq!(run.front_end.loop_iterations, 128);
+    }
+
+    #[test]
+    fn descriptor_run_records_counters() {
+        use mealib_obs::{Counter, Obs, TraceRecorder};
+        let layer = AcceleratorLayer::mealib_default();
+        let run = run_descriptor(&make_descriptor(4), &layer, &CuCostModel::default()).unwrap();
+        let rec = TraceRecorder::shared();
+        run.record_into(&Obs::new(rec.clone()));
+        let bd = rec.breakdown();
+        assert_eq!(bd.counter(Counter::CuPasses), 4);
+        assert_eq!(bd.counter(Counter::CuLoopIters), 4);
+        assert_eq!(
+            bd.counter(Counter::CuDecodedInstrs),
+            run.front_end.decoded_instrs
+        );
+        assert!(bd.counter(Counter::DramAct) > 0);
     }
 
     #[test]

@@ -72,6 +72,7 @@ impl ExecReport {
         mem.bytes_read = mem.bytes_read * count;
         mem.bytes_written = mem.bytes_written * count;
         mem.activations *= count;
+        mem.precharges *= count;
         mem.row_hits *= count;
         mem.row_misses *= count;
         mem.energy = mem.energy * n;

@@ -61,7 +61,7 @@ fn bench_compiler(c: &mut Criterion) {
 
 fn bench_api(c: &mut Criterion) {
     c.bench_function("mealib_saxpy_end_to_end", |b| {
-        let mut ml = Mealib::new();
+        let mut ml = Mealib::builder().build();
         ml.alloc_f32("x", 4096).expect("alloc");
         ml.alloc_f32("y", 4096).expect("alloc");
         ml.write_f32("x", &vec![1.0; 4096]).expect("write");

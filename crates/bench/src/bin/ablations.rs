@@ -4,12 +4,13 @@
 
 use mealib_accel::power::fit_accelerators;
 use mealib_accel::{AccelHwConfig, AccelModel, AccelParams};
-use mealib_bench::{banner, section};
+use mealib_bench::{banner, section, HarnessOpts, JsonSummary};
 use mealib_memsim::{AddressMapping, MemoryConfig};
 use mealib_sim::TextTable;
 use mealib_tdl::AcceleratorKind;
 
 fn main() {
+    let opts = HarnessOpts::from_env();
     banner(
         "Ablations — MEALib design-choice sensitivity",
         "each section removes or resizes one mechanism and reports the cost",
@@ -122,10 +123,12 @@ fn main() {
     print!("{t}");
 
     section("area budget: how many libraries fit the layer");
+    let mut summary = JsonSummary::new("ablations");
     let mut t = TextTable::new(vec!["budget", "accelerators", "which"]);
     for budget in [5.0, 10.0, 15.0, 25.0, 45.0, 68.0] {
         let (chosen, used) = fit_accelerators(budget);
         let names: Vec<String> = chosen.iter().map(|k| k.to_string()).collect();
+        summary.metric(&format!("accels_at_{budget:.0}mm2"), chosen.len() as f64);
         t.push_row(vec![
             format!("{budget:.0} mm2"),
             format!("{} ({used:.1} mm2 used)", chosen.len()),
@@ -136,4 +139,5 @@ fn main() {
     println!(
         "(\"more domain-specific, memory-bounded libraries can be accelerated\n with more area budget\" — §5.2)"
     );
+    summary.emit(&opts);
 }

@@ -2,7 +2,7 @@
 //! Listing 1 (the STAP fragment) — 16M+ library calls compacted into
 //! three accelerator descriptors.
 
-use mealib_bench::{banner, section};
+use mealib_bench::{banner, section, HarnessOpts, JsonSummary};
 
 const LISTING1: &str = r#"
     int N_DOP = 256;
@@ -56,6 +56,7 @@ const LISTING1: &str = r#"
 "#;
 
 fn main() {
+    let opts = HarnessOpts::from_env();
     banner(
         "§3.4 — source-to-source compilation of Listing 1",
         "more than 16M cblas_cdotc_sub calls translate to one accelerator invocation",
@@ -84,4 +85,11 @@ fn main() {
 
     section("transformed source");
     println!("{}", out.source);
+
+    let mut summary = JsonSummary::new("compiler_stap");
+    summary.metric("accelerable_calls", out.stats.accelerable_calls as f64);
+    summary.metric("dynamic_calls", out.stats.dynamic_calls as f64);
+    summary.metric("descriptors", out.stats.descriptors as f64);
+    summary.metric("chained_calls", out.stats.chained_calls as f64);
+    summary.emit(&opts);
 }

@@ -2,11 +2,12 @@
 //! high-performance library calls (R / PERFECT / PARSEC benchmarks on a
 //! commodity Haswell machine).
 
-use mealib_bench::{banner, fmt_gain, section};
+use mealib_bench::{banner, fmt_gain, section, HarnessOpts, JsonSummary};
 use mealib_sim::TextTable;
 use mealib_workloads::fig1;
 
 fn main() {
+    let opts = HarnessOpts::from_env();
     banner(
         "Figure 1 — library vs original-code speedups",
         "up to 27x (R), 42x (PERFECT), 24x (PARSEC); bars from ~5x",
@@ -31,6 +32,7 @@ fn main() {
     print!("{table}");
 
     section("per-suite maxima (the figure's call-outs)");
+    let mut summary = JsonSummary::new("fig01_library_speedup");
     for suite in [fig1::Suite::R, fig1::Suite::Perfect, fig1::Suite::Parsec] {
         let best = points
             .iter()
@@ -42,5 +44,10 @@ fn main() {
             suite.name(),
             fmt_gain(best)
         );
+        summary.metric(
+            &format!("max_speedup_{}", suite.name().to_lowercase()),
+            best,
+        );
     }
+    summary.emit(&opts);
 }

@@ -2,12 +2,13 @@
 //! its Table 2 dataset across the five platforms, normalized to MKL on
 //! Haswell.
 
-use mealib_bench::{banner, fmt_gain, section};
-use mealib_sim::{compare_platforms, TextTable};
+use mealib_bench::{banner, fmt_gain, section, HarnessOpts, JsonSummary};
+use mealib_sim::{run_experiment, ExperimentOptions, TextTable};
 use mealib_types::stats::geometric_mean;
 use mealib_workloads::datasets;
 
 fn main() {
+    let opts = HarnessOpts::from_env();
     banner(
         "Figure 9 — performance improvement over Intel MKL on Haswell",
         "MEALib 11x (SPMV) to 88x (RESHP), average 38x; PSAS 2.51x, MSAS 10.32x",
@@ -40,10 +41,18 @@ fn main() {
     section("Figure 9 — speedups over Haswell (GFLOPS; GB/s for RESHP)");
     let mut t = TextTable::new(vec!["op", "Haswell", "Xeon Phi", "PSAS", "MSAS", "MEALib"]);
     let mut mealib_gains = Vec::new();
+    let mut summary = JsonSummary::new("fig09_performance");
+    let xopts = ExperimentOptions::default();
     for row in datasets::table2() {
-        let cmp = compare_platforms(&row.params);
+        let cmp = run_experiment(&row.params, &xopts)
+            .expect("preflight clean")
+            .comparison;
         let speedups = cmp.speedups();
         mealib_gains.push(cmp.mealib_speedup());
+        summary.metric(
+            &format!("speedup_{}", row.params.kind().keyword().to_lowercase()),
+            cmp.mealib_speedup(),
+        );
         t.push_row(vec![
             row.params.kind().to_string(),
             fmt_gain(speedups[0].1),
@@ -60,4 +69,6 @@ fn main() {
         "MEALib average speedup: {} (paper: 38x, range 11x-88x)",
         fmt_gain(avg)
     );
+    summary.metric("avg_speedup", avg);
+    summary.emit(&opts);
 }

@@ -1,12 +1,13 @@
 //! Figure 10: energy efficiency (GFLOPS/W) of each operation across the
 //! five platforms, normalized to MKL on Haswell.
 
-use mealib_bench::{banner, fmt_gain, section};
-use mealib_sim::{compare_platforms, TextTable};
+use mealib_bench::{banner, fmt_gain, section, HarnessOpts, JsonSummary};
+use mealib_sim::{run_experiment, ExperimentOptions, TextTable};
 use mealib_types::stats::geometric_mean;
 use mealib_workloads::datasets;
 
 fn main() {
+    let opts = HarnessOpts::from_env();
     banner(
         "Figure 10 — energy-efficiency improvement over Intel MKL on Haswell",
         "MEALib average 75x; e.g. FFT at 19 W vs Haswell 48 W, Phi 130 W, MSAS 41 W",
@@ -15,10 +16,18 @@ fn main() {
     section("efficiency gains over Haswell (GFLOPS/W; GB/s/W for RESHP)");
     let mut t = TextTable::new(vec!["op", "Haswell", "Xeon Phi", "PSAS", "MSAS", "MEALib"]);
     let mut mealib_gains = Vec::new();
+    let mut summary = JsonSummary::new("fig10_energy");
+    let xopts = ExperimentOptions::default();
     for row in datasets::table2() {
-        let cmp = compare_platforms(&row.params);
+        let cmp = run_experiment(&row.params, &xopts)
+            .expect("preflight clean")
+            .comparison;
         let gains = cmp.efficiency_gains();
         mealib_gains.push(cmp.mealib_efficiency_gain());
+        summary.metric(
+            &format!("ee_gain_{}", row.params.kind().keyword().to_lowercase()),
+            cmp.mealib_efficiency_gain(),
+        );
         t.push_row(vec![
             row.params.kind().to_string(),
             fmt_gain(gains[0].1),
@@ -32,7 +41,9 @@ fn main() {
 
     section("absolute power during the FFT operation (the paper's example)");
     let fft = datasets::for_kind(mealib_tdl::AcceleratorKind::Fft);
-    let cmp = compare_platforms(&fft.params);
+    let cmp = run_experiment(&fft.params, &xopts)
+        .expect("preflight clean")
+        .comparison;
     let mut t = TextTable::new(vec!["platform", "power", "paper"]);
     let paper = ["48 W", "130 W", "-", "41 W", "19 W"];
     for (row, p) in cmp.rows.iter().zip(paper) {
@@ -50,4 +61,6 @@ fn main() {
         "MEALib average energy-efficiency gain: {} (paper: 75x)",
         fmt_gain(avg)
     );
+    summary.metric("avg_ee_gain", avg);
+    summary.emit(&opts);
 }

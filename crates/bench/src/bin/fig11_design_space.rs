@@ -5,7 +5,7 @@
 use mealib_accel::design_space::{
     fft_reference_workload, spmv_reference_workload, sweep, DesignPoint, SweepGrid,
 };
-use mealib_bench::{banner, section};
+use mealib_bench::{banner, section, HarnessOpts, JsonSummary};
 use mealib_memsim::MemoryConfig;
 use mealib_sim::TextTable;
 use mealib_tdl::AcceleratorKind;
@@ -40,6 +40,7 @@ fn print_space(kind: AcceleratorKind, points: &[DesignPoint], paper_range: &str)
 }
 
 fn main() {
+    let opts = HarnessOpts::from_env();
     banner(
         "Figure 11 — FFT and SPMV accelerator design spaces",
         "FFT 10-56 GFLOPS/W; SPMV 0.18-1.76 GFLOPS/W across design options",
@@ -57,4 +58,24 @@ fn main() {
         &mem,
     );
     print_space(AcceleratorKind::Spmv, &spmv, "0.18-1.76 GFLOPS/W");
+
+    let mut summary = JsonSummary::new("fig11_design_space");
+    let eff_range = |points: &[DesignPoint]| {
+        let min = points
+            .iter()
+            .map(DesignPoint::gflops_per_watt)
+            .fold(f64::INFINITY, f64::min);
+        let max = points
+            .iter()
+            .map(DesignPoint::gflops_per_watt)
+            .fold(0.0_f64, f64::max);
+        (min, max)
+    };
+    let (fmin, fmax) = eff_range(&fft);
+    let (smin, smax) = eff_range(&spmv);
+    summary.metric("fft_eff_min", fmin);
+    summary.metric("fft_eff_max", fmax);
+    summary.metric("spmv_eff_min", smin);
+    summary.metric("spmv_eff_max", smax);
+    summary.emit(&opts);
 }

@@ -2,19 +2,22 @@
 //! hardware vs software accelerator chaining (SAR's RESMP+FFT) and
 //! hardware vs software loops (128 FFT invocations).
 
-use mealib_bench::{banner, fmt_gain, section};
+use mealib_bench::{banner, fmt_gain, section, HarnessOpts, JsonSummary};
 use mealib_sim::TextTable;
 use mealib_workloads::sar;
 
 fn main() {
+    let opts = HarnessOpts::from_env();
     banner(
         "Figure 12 — configuration-infrastructure efficiency",
         "chaining: 2.5x at 256², shrinking; loop: 9.5x at 256², shrinking",
     );
 
+    let mut summary = JsonSummary::new("fig12_chaining_loop");
     section("(a) software vs hardware chaining (RESMP + FFT, SAR)");
     let mut t = TextTable::new(vec!["size", "software", "hardware", "gain"]);
     for p in sar::chaining_sweep() {
+        summary.metric(&format!("chain_gain_{}", p.size), p.gain());
         t.push_row(vec![
             format!("{0}x{0}", p.size),
             format!("{:.1} us", p.software.as_micros()),
@@ -24,9 +27,13 @@ fn main() {
     }
     print!("{t}");
 
-    section("(b) software vs hardware loop (128 FFT invocations)");
+    let iterations = if opts.small { 16 } else { 128 };
+    section(&format!(
+        "(b) software vs hardware loop ({iterations} FFT invocations)"
+    ));
     let mut t = TextTable::new(vec!["size", "software", "hardware", "gain"]);
-    for p in sar::loop_sweep(128) {
+    for p in sar::loop_sweep(iterations) {
+        summary.metric(&format!("loop_gain_{}", p.size), p.gain());
         t.push_row(vec![
             format!("{0}x{0}", p.size),
             format!("{:.1} us", p.software.as_micros()),
@@ -35,4 +42,5 @@ fn main() {
         ]);
     }
     print!("{t}");
+    summary.emit(&opts);
 }

@@ -2,11 +2,12 @@
 //! MKL+OpenMP Haswell baseline — performance and EDP gains for three
 //! dataset sizes.
 
-use mealib_bench::{banner, fmt_gain, section};
+use mealib_bench::{banner, fmt_gain, section, HarnessOpts, JsonSummary};
 use mealib_sim::TextTable;
 use mealib_workloads::stap::{self, StapConfig};
 
 fn main() {
+    let opts = HarnessOpts::from_env();
     banner(
         "Figure 13 — STAP performance and EDP gains over Haswell",
         "perf 2.0x/2.3x/3.2x, EDP 4.5x/9.0x/10.2x for small/medium/large",
@@ -38,17 +39,22 @@ fn main() {
         "paper",
     ]);
     let paper = [("2.0x", "4.5x"), ("2.3x", "9.0x"), ("3.2x", "10.2x")];
-    for (cfg, (pp, pe)) in [
-        StapConfig::small(),
-        StapConfig::medium(),
-        StapConfig::large(),
-    ]
-    .iter()
-    .zip(paper)
-    {
+    let configs = if opts.small {
+        vec![StapConfig::small()]
+    } else {
+        vec![
+            StapConfig::small(),
+            StapConfig::medium(),
+            StapConfig::large(),
+        ]
+    };
+    let mut summary = JsonSummary::new("fig13_stap");
+    for (cfg, (pp, pe)) in configs.iter().zip(paper) {
         let haswell = stap::run_on_haswell(cfg);
         let mealib = stap::run_on_mealib(cfg);
         let (perf, edp) = stap::gains(cfg);
+        summary.metric(&format!("perf_gain_{}", cfg.name), perf);
+        summary.metric(&format!("edp_gain_{}", cfg.name), edp);
         t.push_row(vec![
             cfg.name.to_string(),
             format!("{:.3} s", haswell.total_time().get()),
@@ -68,4 +74,5 @@ fn main() {
         cfg.cdotc_calls(),
         cfg.saxpy_calls()
     );
+    summary.emit(&opts);
 }

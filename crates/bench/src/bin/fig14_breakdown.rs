@@ -2,21 +2,43 @@
 //! host vs accelerators vs invocation overhead, and the per-accelerator
 //! split.
 
-use mealib_bench::{banner, section};
+use mealib_bench::{banner, section, HarnessOpts, JsonSummary};
+use mealib_obs::{Obs, TraceRecorder};
 use mealib_sim::TextTable;
 use mealib_tdl::AcceleratorKind;
 use mealib_types::{Joules, Seconds};
 use mealib_workloads::stap::{self, Executor, StapConfig};
 
 fn main() {
+    let opts = HarnessOpts::from_env();
     banner(
         "Figure 14 — STAP time/energy breakdown on MEALib",
         "host ~75% time / ~90% energy; DOT ~60%/76% of accelerator share; invocation 3.3%/7.1%",
     );
 
-    let run = stap::run_on_mealib(&StapConfig::large());
+    let cfg = if opts.small {
+        StapConfig::small()
+    } else {
+        StapConfig::large()
+    };
+    let rec = TraceRecorder::shared();
+    let (run, breakdown) = stap::run_on_mealib_traced(&cfg, &Obs::new(rec.clone()));
 
-    section("per-phase costs (large dataset)");
+    if let Some(path) = &opts.trace {
+        let jsonl = rec.to_jsonl();
+        std::fs::write(path, &jsonl).expect("trace file writable");
+        let drift =
+            (breakdown.total_time().get() - run.total_time().get()).abs() / run.total_time().get();
+        section("trace");
+        println!(
+            "wrote {} JSONL events to {} (breakdown/run time drift {:.2e})",
+            jsonl.lines().count(),
+            path.display(),
+            drift
+        );
+    }
+
+    section(&format!("per-phase costs ({} dataset)", cfg.name));
     let mut t = TextTable::new(vec!["phase", "executor", "time", "energy"]);
     for p in &run.phases {
         let exec = match p.executor {
@@ -100,4 +122,24 @@ fn main() {
         ]);
     }
     print!("{t}");
+
+    section("phase taxonomy (obs breakdown — reconciles with the totals)");
+    let mut t = TextTable::new(vec!["phase", "time", "energy"]);
+    for (phase, totals) in breakdown.phases() {
+        t.push_row(vec![
+            phase.name().to_string(),
+            format!("{:.4} s", totals.time.get()),
+            format!("{:.3} J", totals.energy.get()),
+        ]);
+    }
+    print!("{t}");
+
+    let mut summary = JsonSummary::new("fig14_breakdown");
+    summary.metric("total_time_s", run.total_time().get());
+    summary.metric("total_energy_j", run.total_energy().get());
+    summary.metric("host_time_share", host_t);
+    summary.metric("host_energy_share", host_e);
+    summary.metric("breakdown_time_s", breakdown.total_time().get());
+    summary.metric("breakdown_energy_j", breakdown.total_energy().get());
+    summary.emit(&opts);
 }

@@ -5,7 +5,7 @@
 //! compares against the closed-form analytic estimate the accelerator
 //! models actually use.
 
-use mealib_bench::{banner, section};
+use mealib_bench::{banner, section, HarnessOpts, JsonSummary};
 use mealib_memsim::engine::{self, simulate_trace_with_latencies, Op, Request};
 use mealib_memsim::{analytic, AccessPattern, MemoryConfig};
 use mealib_sim::TextTable;
@@ -79,11 +79,13 @@ fn cases() -> Vec<Case> {
 }
 
 fn main() {
+    let opts = HarnessOpts::from_env();
     banner(
         "methodology validation — analytic model vs cycle engine",
         "the paper feeds trace-driven DRAM simulation into analytical models (Fig. 8)",
     );
 
+    let mut summary = JsonSummary::new("methodology_validation");
     for cfg in [MemoryConfig::hmc_stack(), MemoryConfig::ddr_dual_channel()] {
         section(&format!("device: {}", cfg.name));
         let mut t = TextTable::new(vec![
@@ -95,10 +97,11 @@ fn main() {
             "p50 lat",
             "p99 lat",
         ]);
-        for case in cases() {
+        for (i, case) in cases().into_iter().enumerate() {
             let (sim, lat) = simulate_trace_with_latencies(&cfg, &case.trace);
             let est = analytic::estimate(&cfg, &case.pattern);
             let ratio = est.elapsed.get() / sim.elapsed.get();
+            summary.metric(&format!("ratio_{}_case{i}", cfg.name), ratio);
             let fmt_rate = |r: Option<f64>| {
                 r.map_or_else(|| "-".to_string(), |v| format!("{:.0}%", v * 100.0))
             };
@@ -122,4 +125,5 @@ fn main() {
     }
     println!();
     println!("ratio = analytic time / engine time; 1.00 is perfect agreement.");
+    summary.emit(&opts);
 }

@@ -9,12 +9,13 @@ use mealib_accel::power::{
     profile, total_layer_area, LAYER_AREA_BUDGET_MM2, NOC_AREA_MM2, TSV_AREA_MM2,
 };
 use mealib_accel::AcceleratorLayer;
-use mealib_bench::{banner, section};
+use mealib_bench::{banner, section, HarnessOpts, JsonSummary};
 use mealib_noc::{Mesh, Packet, TileId};
 use mealib_sim::TextTable;
 use mealib_workloads::datasets;
 
 fn main() {
+    let opts = HarnessOpts::from_env();
     banner(
         "Table 5 — power and area of the accelerator layer (32 nm)",
         "total 23.85 W / 41.77 mm² = 61.43% of the 68 mm² layer",
@@ -96,4 +97,9 @@ fn main() {
         "total area:  {total_area:.2} mm2 = {:.1}% of the {LAYER_AREA_BUDGET_MM2:.0} mm2 layer   (paper: 41.77 mm2 = 61.43%)",
         100.0 * total_area / LAYER_AREA_BUDGET_MM2
     );
+    let mut summary = JsonSummary::new("table05_power_area");
+    summary.metric("total_power_w", total_power);
+    summary.metric("total_area_mm2", total_area);
+    summary.metric("noc_power_w", noc_power);
+    summary.emit(&opts);
 }

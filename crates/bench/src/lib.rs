@@ -7,6 +7,95 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::path::PathBuf;
+
+use mealib_obs::json::Object;
+
+/// Command-line options shared by every harness binary.
+///
+/// * `--json`  — append a one-line machine-readable summary (the
+///   `BENCH_*.json` record format) as the final stdout line;
+/// * `--small` — run at reduced problem sizes (smoke-test mode);
+/// * `--trace <path>` — write the instrumentation trace as JSONL to
+///   `path` (binaries that support tracing document it in their help).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HarnessOpts {
+    /// Emit the JSON summary line.
+    pub json: bool,
+    /// Reduced problem sizes.
+    pub small: bool,
+    /// JSONL trace destination, when requested.
+    pub trace: Option<PathBuf>,
+}
+
+impl HarnessOpts {
+    /// Parses options from the process arguments. Unknown flags are
+    /// ignored so harnesses stay forward-compatible.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses options from an explicit argument list.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut opts = Self::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--json" => opts.json = true,
+                "--small" => opts.small = true,
+                "--trace" => {
+                    opts.trace = args.next().map(PathBuf::from);
+                }
+                _ => {}
+            }
+        }
+        opts
+    }
+}
+
+/// A `BENCH_*.json`-compatible summary record: one JSON object per
+/// harness run, `{"bench": <name>, "metrics": {<key>: <number>, ...}}`.
+#[derive(Debug, Clone)]
+pub struct JsonSummary {
+    name: String,
+    metrics: Vec<(String, f64)>,
+}
+
+impl JsonSummary {
+    /// Starts a summary for the named experiment.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Records one scalar metric.
+    pub fn metric(&mut self, key: &str, value: f64) {
+        self.metrics.push((key.to_string(), value));
+    }
+
+    /// Renders the record as a single JSON line.
+    pub fn render(&self) -> String {
+        let mut metrics = Object::new();
+        for (k, v) in &self.metrics {
+            metrics.num(k, *v);
+        }
+        let mut obj = Object::new();
+        obj.str("bench", &self.name);
+        obj.raw("metrics", metrics.render());
+        obj.render()
+    }
+
+    /// Prints the record as the final stdout line when `opts.json` is
+    /// set; otherwise does nothing.
+    pub fn emit(&self, opts: &HarnessOpts) {
+        if opts.json {
+            println!("{}", self.render());
+        }
+    }
+}
+
 /// Prints a harness banner naming the experiment being regenerated.
 pub fn banner(experiment: &str, paper_claim: &str) {
     println!("==============================================================");
@@ -33,5 +122,30 @@ mod tests {
     #[test]
     fn gain_formatting_delegates() {
         assert_eq!(fmt_gain(38.12), "38.1x");
+    }
+
+    #[test]
+    fn opts_parse_flags_in_any_order() {
+        let opts =
+            HarnessOpts::parse(["--small", "--trace", "/tmp/t.jsonl", "--json"].map(String::from));
+        assert!(opts.json && opts.small);
+        assert_eq!(
+            opts.trace.as_deref(),
+            Some(std::path::Path::new("/tmp/t.jsonl"))
+        );
+        assert_eq!(HarnessOpts::parse(Vec::new()), HarnessOpts::default());
+    }
+
+    #[test]
+    fn summary_renders_parseable_json() {
+        let mut s = JsonSummary::new("fig09_performance");
+        s.metric("avg_speedup", 38.125);
+        s.metric("workloads", 7.0);
+        let v = mealib_obs::json::parse(&s.render()).expect("valid JSON");
+        let obj = v.as_object().expect("object");
+        assert_eq!(obj["bench"].as_str(), Some("fig09_performance"));
+        let metrics = obj["metrics"].as_object().expect("metrics object");
+        assert_eq!(metrics["workloads"].as_f64(), Some(7.0));
+        assert!((metrics["avg_speedup"].as_f64().unwrap() - 38.125).abs() < 1e-12);
     }
 }

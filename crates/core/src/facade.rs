@@ -2,9 +2,11 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use mealib_accel::AccelParams;
-use mealib_runtime::{AccPlan, RunReport, Runtime, RuntimeError, StackId};
+use mealib_obs::{Breakdown, Obs, Recorder};
+use mealib_runtime::{AccPlan, RunReport, Runtime, RuntimeError, StackId, VerifyMode};
 use mealib_tdl::ParamBag;
 use mealib_types::{Bytes, Complex32, Gflops, Joules, Seconds, Watts};
 
@@ -12,6 +14,7 @@ use crate::buffers;
 
 /// Errors surfaced by the MEALib public API.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum MealibError {
     /// Underlying runtime failure (allocation, TDL, descriptor, CU).
     Runtime(RuntimeError),
@@ -86,9 +89,99 @@ impl OpReport {
         Gflops::from_flops(flops as f64, self.time())
     }
 
+    /// Phase/counter itemization of the invocation. The breakdown's
+    /// time and energy totals equal [`OpReport::time`] /
+    /// [`OpReport::energy`] exactly.
+    pub fn breakdown(&self) -> &Breakdown {
+        &self.run.breakdown
+    }
+
     /// The underlying runtime report (breakdowns, invocation overheads).
     pub fn run(&self) -> &RunReport {
         &self.run
+    }
+}
+
+/// Configures and builds a [`Mealib`] handle.
+///
+/// Obtained from [`Mealib::builder`]; every knob is optional and
+/// defaults match the paper's shipping configuration (one 32-vault
+/// stack, [`VerifyMode::Enforce`], instrumentation off, plan cache of
+/// [`mealib_runtime::DEFAULT_PLAN_CACHE_CAPACITY`] entries).
+///
+/// ```
+/// use mealib::Mealib;
+///
+/// let ml = Mealib::builder().stacks(2).build();
+/// assert_eq!(ml.runtime().driver().stack_count(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct MealibBuilder {
+    runtime: Option<Runtime>,
+    stacks: Option<usize>,
+    verify: Option<VerifyMode>,
+    obs: Option<Obs>,
+    plan_cache_capacity: Option<usize>,
+}
+
+impl MealibBuilder {
+    /// Uses an explicit, pre-configured runtime. Takes precedence over
+    /// [`MealibBuilder::stacks`]; the other knobs still apply on top.
+    pub fn runtime(mut self, rt: Runtime) -> Self {
+        self.runtime = Some(rt);
+        self
+    }
+
+    /// Number of memory stacks (stack 0 is the accelerators' LMS).
+    pub fn stacks(mut self, stacks: usize) -> Self {
+        self.stacks = Some(stacks);
+        self
+    }
+
+    /// Static-verification policy for `acc_plan`.
+    pub fn verify(mut self, mode: VerifyMode) -> Self {
+        self.verify = Some(mode);
+        self
+    }
+
+    /// Instrumentation sink for spans and counters.
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Installs a recorder (shorthand for `obs(Obs::new(recorder))`).
+    pub fn recorder(self, recorder: Arc<dyn Recorder + Send + Sync>) -> Self {
+        self.obs(Obs::new(recorder))
+    }
+
+    /// Capacity of the `plan_cached` FIFO (0 disables caching).
+    pub fn plan_cache_capacity(mut self, capacity: usize) -> Self {
+        self.plan_cache_capacity = Some(capacity);
+        self
+    }
+
+    /// Builds the handle.
+    pub fn build(self) -> Mealib {
+        let mut rt = match (self.runtime, self.stacks) {
+            (Some(rt), _) => rt,
+            (None, Some(stacks)) => Runtime::with_stack_count(stacks),
+            (None, None) => Runtime::new(),
+        };
+        if let Some(mode) = self.verify {
+            rt.set_verify_mode(mode);
+        }
+        if let Some(obs) = self.obs {
+            rt.set_obs(obs);
+        }
+        if let Some(capacity) = self.plan_cache_capacity {
+            rt.set_plan_cache_capacity(capacity);
+        }
+        Mealib {
+            rt,
+            logical: BTreeMap::new(),
+            next_param: 0,
+        }
     }
 }
 
@@ -105,20 +198,24 @@ pub struct Mealib {
 }
 
 impl Mealib {
+    /// Starts configuring a handle. `Mealib::builder().build()` yields
+    /// the default configuration (32-vault stack, Haswell-class host).
+    pub fn builder() -> MealibBuilder {
+        MealibBuilder::default()
+    }
+
     /// Creates a handle over the default runtime (32-vault stack,
     /// Haswell-class host).
+    #[deprecated(since = "0.2.0", note = "use `Mealib::builder().build()`")]
     pub fn new() -> Self {
-        Self::with_runtime(Runtime::new())
+        Self::builder().build()
     }
 
     /// Creates a handle over an explicit runtime (custom layer or memory
     /// configuration).
+    #[deprecated(since = "0.2.0", note = "use `Mealib::builder().runtime(rt).build()`")]
     pub fn with_runtime(rt: Runtime) -> Self {
-        Self {
-            rt,
-            logical: BTreeMap::new(),
-            next_param: 0,
-        }
+        Self::builder().runtime(rt).build()
     }
 
     /// The underlying runtime (counters, driver, layer).
@@ -354,7 +451,7 @@ impl Mealib {
 
 impl Default for Mealib {
     fn default() -> Self {
-        Self::new()
+        Self::builder().build()
     }
 }
 
@@ -364,7 +461,7 @@ mod tests {
 
     #[test]
     fn alloc_write_read_round_trip() {
-        let mut ml = Mealib::new();
+        let mut ml = Mealib::builder().build();
         ml.alloc_f32("x", 100).unwrap();
         let data: Vec<f32> = (0..100).map(|i| i as f32 * 0.5).collect();
         ml.write_f32("x", &data).unwrap();
@@ -379,7 +476,7 @@ mod tests {
 
     #[test]
     fn complex_buffers_round_trip() {
-        let mut ml = Mealib::new();
+        let mut ml = Mealib::builder().build();
         ml.alloc_c32("z", 8).unwrap();
         let data: Vec<Complex32> = (0..8).map(|i| Complex32::new(i as f32, -1.0)).collect();
         ml.write_c32("z", &data).unwrap();
@@ -389,7 +486,7 @@ mod tests {
 
     #[test]
     fn oversized_write_is_rejected() {
-        let mut ml = Mealib::new();
+        let mut ml = Mealib::builder().build();
         ml.alloc_f32("x", 4).unwrap();
         let err = ml.write_f32("x", &[0.0; 5]).unwrap_err();
         assert!(matches!(
@@ -404,7 +501,7 @@ mod tests {
 
     #[test]
     fn remote_placement_is_visible_and_slower() {
-        let mut ml = Mealib::with_runtime(Runtime::with_stack_count(2));
+        let mut ml = Mealib::builder().stacks(2).build();
         ml.alloc_f32("x", 1 << 22).unwrap();
         ml.alloc_f32_on("xr", 1 << 22, StackId(1)).unwrap();
         ml.alloc_f32("y", 1 << 22).unwrap();
@@ -427,7 +524,7 @@ mod tests {
 
     #[test]
     fn invoke_produces_nonzero_cost() {
-        let mut ml = Mealib::new();
+        let mut ml = Mealib::builder().build();
         ml.alloc_f32("x", 1 << 16).unwrap();
         ml.alloc_f32("y", 1 << 16).unwrap();
         let report = ml
@@ -449,8 +546,45 @@ mod tests {
     }
 
     #[test]
+    fn builder_knobs_reach_the_runtime() {
+        let rec = mealib_obs::TraceRecorder::shared();
+        let mut ml = Mealib::builder()
+            .verify(VerifyMode::Warn)
+            .recorder(rec.clone())
+            .plan_cache_capacity(4)
+            .build();
+        assert_eq!(ml.runtime().verify_mode(), VerifyMode::Warn);
+        assert_eq!(ml.runtime().plan_cache_capacity(), 4);
+        assert!(ml.runtime().obs().enabled());
+
+        ml.alloc_f32("x", 1 << 12).unwrap();
+        ml.alloc_f32("y", 1 << 12).unwrap();
+        let report = ml
+            .invoke(
+                AccelParams::Axpy {
+                    n: 1 << 12,
+                    alpha: 1.0,
+                    incx: 1,
+                    incy: 1,
+                },
+                "x",
+                "y",
+            )
+            .unwrap();
+
+        // The invocation's breakdown reconciles with the report totals
+        // and reaches the installed recorder.
+        let bd = report.breakdown();
+        assert!((bd.total_time().get() - report.time().get()).abs() <= 1e-12);
+        assert!((bd.total_energy().get() - report.energy().get()).abs() <= 1e-9);
+        let seen = rec.breakdown();
+        assert!(seen.counter(mealib_obs::Counter::AllocBytes) >= 2 * (4 << 12));
+        assert!(seen.counter(mealib_obs::Counter::CacheFlushes) >= 1);
+    }
+
+    #[test]
     fn raw_plan_interface_works() {
-        let mut ml = Mealib::new();
+        let mut ml = Mealib::builder().build();
         ml.alloc_c32("a", 4096).unwrap();
         ml.alloc_c32("b", 4096).unwrap();
         let mut bag = ParamBag::new();

@@ -22,7 +22,7 @@
 //! ```
 //! use mealib::Mealib;
 //!
-//! let mut ml = Mealib::new();
+//! let mut ml = Mealib::builder().build();
 //! ml.alloc_f32("x", 1024)?;
 //! ml.alloc_f32("y", 1024)?;
 //! ml.write_f32("x", &vec![1.0; 1024])?;
@@ -40,14 +40,16 @@ mod buffers;
 mod facade;
 mod ops;
 
-pub use facade::{Mealib, MealibError, OpReport};
+pub use facade::{Mealib, MealibBuilder, MealibError, OpReport};
 pub use mealib_accel::AccelParams;
-pub use mealib_runtime::{AccPlan, RunReport, StackId};
+pub use mealib_obs::{Breakdown, Counter, Obs, Phase, Recorder, TraceRecorder};
+pub use mealib_runtime::{AccPlan, RunReport, StackId, VerifyMode};
 pub use mealib_types::Complex32;
 
 /// Convenience re-exports for downstream code.
 pub mod prelude {
-    pub use crate::{Mealib, MealibError, OpReport};
+    pub use crate::{Mealib, MealibBuilder, MealibError, OpReport};
     pub use mealib_kernels::CsrMatrix;
+    pub use mealib_obs::{Breakdown, Obs, TraceRecorder};
     pub use mealib_types::{Bytes, Complex32, Joules, Seconds, Watts};
 }

@@ -371,7 +371,7 @@ mod tests {
     use mealib_kernels::fft::Direction;
 
     fn ml_with(pairs: &[(&str, usize)]) -> Mealib {
-        let mut ml = Mealib::new();
+        let mut ml = Mealib::builder().build();
         for (name, len) in pairs {
             ml.alloc_f32(name, *len).unwrap();
         }
@@ -401,7 +401,7 @@ mod tests {
 
     #[test]
     fn cdotc_conjugates() {
-        let mut ml = Mealib::new();
+        let mut ml = Mealib::builder().build();
         ml.alloc_c32("x", 4).unwrap();
         ml.alloc_c32("y", 4).unwrap();
         ml.write_c32("x", &[Complex32::I; 4]).unwrap();
@@ -430,7 +430,7 @@ mod tests {
 
     #[test]
     fn fft_round_trips_through_buffers() {
-        let mut ml = Mealib::new();
+        let mut ml = Mealib::builder().build();
         ml.alloc_c32("t", 64).unwrap();
         ml.alloc_c32("f", 64).unwrap();
         let signal: Vec<Complex32> = (0..64)
@@ -471,7 +471,7 @@ mod tests {
 
     #[test]
     fn chained_resample_fft_is_cheaper_than_separate() {
-        let mut ml = Mealib::new();
+        let mut ml = Mealib::builder().build();
         for name in ["in", "mid", "out"] {
             ml.alloc_c32(name, 256 * 256).unwrap();
         }
@@ -508,7 +508,7 @@ mod tests {
 
     #[test]
     fn batch_cdotc_matches_per_call_results() {
-        let mut ml = Mealib::new();
+        let mut ml = Mealib::builder().build();
         let (n, count) = (12, 64);
         ml.alloc_c32("w", n * count).unwrap();
         ml.alloc_c32("s", n * count).unwrap();
@@ -547,14 +547,14 @@ mod tests {
         let (n, count) = (12usize, 4096usize);
         let data = vec![Complex32::ONE; n * count];
 
-        let mut batched = Mealib::new();
+        let mut batched = Mealib::builder().build();
         batched.alloc_c32("w", n * count).unwrap();
         batched.alloc_c32("s", n * count).unwrap();
         batched.write_c32("w", &data).unwrap();
         batched.write_c32("s", &data).unwrap();
         let (_, report) = batched.batch_cdotc("w", "s", n, count).unwrap();
 
-        let mut singly = Mealib::new();
+        let mut singly = Mealib::builder().build();
         singly.alloc_c32("w", n).unwrap();
         singly.alloc_c32("s", n).unwrap();
         singly.write_c32("w", &data[..n]).unwrap();

@@ -75,6 +75,36 @@ impl HostReport {
             bytes: self.bytes * count,
         }
     }
+
+    /// Splits this roofline interval into `compute` (the
+    /// compute-limited portion) and `dma` (the remainder the memory
+    /// system keeps the core waiting for), with energy attributed
+    /// proportionally. The phase sums equal `time` / `energy` exactly.
+    pub fn breakdown(&self) -> mealib_obs::Breakdown {
+        use mealib_obs::Phase;
+        let mut bd = mealib_obs::Breakdown::new();
+        let compute = self.compute_time.min(self.time);
+        let dma = self.time - compute;
+        let compute_energy = if self.time.get() > 0.0 {
+            self.energy * (compute.get() / self.time.get())
+        } else {
+            Joules::ZERO
+        };
+        bd.add_phase(Phase::Compute, compute, compute_energy);
+        bd.add_phase(Phase::Dma, dma, self.energy - compute_energy);
+        bd
+    }
+
+    /// Records this run's roofline phase costs and host counters into
+    /// an observability handle. A no-op when recording is off.
+    pub fn record_into(&self, obs: &mealib_obs::Obs) {
+        if !obs.enabled() {
+            return;
+        }
+        obs.record_breakdown(&self.breakdown(), &self.platform);
+        obs.count(mealib_obs::Counter::HostFlops, self.flops);
+        obs.count(mealib_obs::Counter::HostBytes, self.bytes);
+    }
 }
 
 /// Runs `op` on `platform` with the given code flavour.
@@ -204,6 +234,25 @@ mod tests {
             incx: 1,
             incy: 1,
         }
+    }
+
+    #[test]
+    fn breakdown_partitions_the_roofline_interval() {
+        use mealib_obs::{Counter, Obs, Phase, TraceRecorder};
+        let r = run_op(&Platform::haswell(), &axpy(1 << 24), CodeFlavor::Library);
+        let bd = r.breakdown();
+        let t = bd.phase(Phase::Compute).time + bd.phase(Phase::Dma).time;
+        let e = bd.phase(Phase::Compute).energy + bd.phase(Phase::Dma).energy;
+        assert!((t.get() - r.time.get()).abs() <= 1e-12 * r.time.get());
+        assert!((e.get() - r.energy.get()).abs() <= 1e-9 * r.energy.get());
+        // AXPY is bandwidth-bound on the host: dma dominates.
+        assert!(bd.phase(Phase::Dma).time > bd.phase(Phase::Compute).time);
+
+        let rec = TraceRecorder::shared();
+        r.record_into(&Obs::new(rec.clone()));
+        let got = rec.breakdown();
+        assert_eq!(got.counter(Counter::HostFlops), r.flops);
+        assert_eq!(got.counter(Counter::HostBytes), r.bytes);
     }
 
     #[test]

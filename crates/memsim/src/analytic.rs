@@ -241,6 +241,8 @@ fn finish(config: &MemoryConfig, mut s: TraceStats) -> TraceStats {
     let refresh_factor = 1.0 + t.t_rfc as f64 / t.t_refi as f64;
     let cycles = (s.cycles.get() as f64 * refresh_factor).round() as u64;
     s.refreshes = cycles / t.t_refi * config.mapping.units() as u64;
+    // Every opened row is eventually closed again.
+    s.precharges = s.activations;
     s.cycles = Cycles::new(cycles);
     s.elapsed = s.cycles.at(Hertz::new(1.0 / t.t_ck.get()));
     s.energy = config

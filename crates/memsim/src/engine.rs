@@ -10,6 +10,7 @@
 //! into the precharge path, which is accurate enough for the
 //! bandwidth/energy questions this reproduction asks.
 
+use mealib_obs::{Counter, Obs};
 use mealib_types::{Bytes, Cycles, PhysAddr};
 
 use crate::config::MemoryConfig;
@@ -136,6 +137,57 @@ impl LatencyHistogram {
     }
 }
 
+/// Per-vault (per-unit) command counts collected by
+/// [`simulate_trace_detailed`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VaultStats {
+    /// Read bursts serviced by this vault.
+    pub read_bursts: u64,
+    /// Write bursts serviced by this vault.
+    pub write_bursts: u64,
+    /// ACT commands issued.
+    pub activations: u64,
+    /// PRE commands issued (explicit conflicts + refresh row closes).
+    pub precharges: u64,
+    /// Column accesses hitting an open row.
+    pub row_hits: u64,
+    /// Column accesses that opened a row.
+    pub row_misses: u64,
+    /// All-bank refreshes performed.
+    pub refreshes: u64,
+}
+
+/// Full output of one engine replay: the aggregate statistics, the
+/// per-burst latency histogram, and per-vault command counts.
+#[derive(Debug, Clone, Default)]
+pub struct EngineRun {
+    /// Aggregate timing / row-buffer / energy statistics.
+    pub stats: TraceStats,
+    /// Per-burst latency histogram.
+    pub latencies: LatencyHistogram,
+    /// Command counts per vault (index = unit number in the mapping).
+    pub vaults: Vec<VaultStats>,
+}
+
+impl EngineRun {
+    /// Records the aggregate DRAM counters plus one lane per vault into
+    /// an observability handle. A no-op when recording is off.
+    pub fn record_into(&self, obs: &Obs) {
+        if !obs.enabled() {
+            return;
+        }
+        self.stats.record_into(obs);
+        for (unit, v) in self.vaults.iter().enumerate() {
+            let lane = unit as u16;
+            obs.count_lane(Counter::DramAct, lane, v.activations);
+            obs.count_lane(Counter::DramPre, lane, v.precharges);
+            obs.count_lane(Counter::DramRowHit, lane, v.row_hits);
+            obs.count_lane(Counter::DramRowMiss, lane, v.row_misses);
+            obs.count_lane(Counter::DramRefresh, lane, v.refreshes);
+        }
+    }
+}
+
 /// Replays `trace` in order against the device described by `config`,
 /// returning aggregate timing, row-buffer, and energy statistics.
 ///
@@ -148,7 +200,7 @@ impl LatencyHistogram {
 /// Panics if `config` fails validation. Use [`try_simulate_trace`] to
 /// get a typed error instead.
 pub fn simulate_trace(config: &MemoryConfig, trace: &[Request]) -> TraceStats {
-    simulate_trace_with_latencies(config, trace).0
+    simulate_trace_detailed(config, trace).stats
 }
 
 /// Like [`simulate_trace`], but reports an invalid configuration as a
@@ -162,7 +214,7 @@ pub fn try_simulate_trace(
     trace: &[Request],
 ) -> Result<TraceStats, mealib_types::ConfigError> {
     config.validate()?;
-    Ok(simulate_trace_with_latencies(config, trace).0)
+    Ok(simulate_trace_detailed(config, trace).stats)
 }
 
 /// Like [`simulate_trace`], additionally collecting the per-burst
@@ -176,6 +228,17 @@ pub fn simulate_trace_with_latencies(
     config: &MemoryConfig,
     trace: &[Request],
 ) -> (TraceStats, LatencyHistogram) {
+    let run = simulate_trace_detailed(config, trace);
+    (run.stats, run.latencies)
+}
+
+/// Like [`simulate_trace`], additionally collecting the latency
+/// histogram and per-vault command counts.
+///
+/// # Panics
+///
+/// Panics if `config` fails validation.
+pub fn simulate_trace_detailed(config: &MemoryConfig, trace: &[Request]) -> EngineRun {
     config
         .validate()
         .unwrap_or_else(|e| panic!("invalid memory configuration: {e}"));
@@ -188,6 +251,7 @@ pub fn simulate_trace_with_latencies(
     let mut bus_free = vec![0u64; units];
     let mut act_windows = vec![ActWindow::default(); units];
     let mut refreshes_done = vec![0u64; units];
+    let mut vaults = vec![VaultStats::default(); units];
 
     let mut stats = TraceStats::default();
     let mut latencies = LatencyHistogram::default();
@@ -211,8 +275,14 @@ pub fn simulate_trace_with_latencies(
                 let owed = due - refreshes_done[loc.unit];
                 refreshes_done[loc.unit] = due;
                 stats.refreshes += owed;
+                vaults[loc.unit].refreshes += owed;
                 bus_free[loc.unit] += owed * t.t_rfc;
                 for bank in bank_state[loc.unit].iter_mut() {
+                    if bank.open_row.is_some() {
+                        // Refresh implicitly closes every open row.
+                        stats.precharges += 1;
+                        vaults[loc.unit].precharges += 1;
+                    }
                     bank.open_row = None;
                     bank.cmd_ready = bank.cmd_ready.max(bus_free[loc.unit]);
                 }
@@ -222,9 +292,11 @@ pub fn simulate_trace_with_latencies(
             let bus = &mut bus_free[loc.unit];
             let window = &mut act_windows[loc.unit];
 
+            let vault = &mut vaults[loc.unit];
             let data_start = match bank.open_row {
                 Some(r) if r == loc.row => {
                     stats.row_hits += 1;
+                    vault.row_hits += 1;
                     let cmd = bank.cmd_ready;
                     cmd + t.t_cl
                 }
@@ -232,6 +304,10 @@ pub fn simulate_trace_with_latencies(
                     // Row conflict: precharge, then activate, then access.
                     stats.row_misses += 1;
                     stats.activations += 1;
+                    stats.precharges += 1;
+                    vault.row_misses += 1;
+                    vault.activations += 1;
+                    vault.precharges += 1;
                     let pre = bank.cmd_ready.max(bank.act_at + t.t_ras);
                     let act = (pre + t.t_rp)
                         .max(bank.act_at + t.t_rc())
@@ -244,6 +320,8 @@ pub fn simulate_trace_with_latencies(
                     // Bank idle: activate, then access.
                     stats.row_misses += 1;
                     stats.activations += 1;
+                    vault.row_misses += 1;
+                    vault.activations += 1;
                     let act = if bank.has_activated {
                         bank.cmd_ready.max(bank.act_at + t.t_rc())
                     } else {
@@ -266,8 +344,14 @@ pub fn simulate_trace_with_latencies(
             issued_at[loc.unit] = done;
 
             match req.op {
-                Op::Read => stats.bytes_read += Bytes::new(take),
-                Op::Write => stats.bytes_written += Bytes::new(take),
+                Op::Read => {
+                    stats.bytes_read += Bytes::new(take);
+                    vaults[loc.unit].read_bursts += 1;
+                }
+                Op::Write => {
+                    stats.bytes_written += Bytes::new(take);
+                    vaults[loc.unit].write_bursts += 1;
+                }
             }
             addr += take;
             remaining -= take;
@@ -283,7 +367,11 @@ pub fn simulate_trace_with_latencies(
         config
             .energy
             .trace_energy(stats.activations, stats.bytes_moved().get(), stats.elapsed);
-    (stats, latencies)
+    EngineRun {
+        stats,
+        latencies,
+        vaults,
+    }
 }
 
 /// Builds a sequential trace covering `bytes` starting at `base`, one
@@ -490,6 +578,56 @@ mod tests {
         let h = LatencyHistogram::default();
         assert_eq!(h.count(), 0);
         assert_eq!(h.quantile_bound(0.5), None);
+    }
+
+    #[test]
+    fn per_vault_counts_sum_to_aggregates() {
+        let c = MemoryConfig::ddr_dual_channel();
+        let mut trace = sequential_trace(0, 1 << 20, 64, Op::Read);
+        trace.extend(strided_trace(1 << 22, 8192, 64, 2048, Op::Write));
+        let run = simulate_trace_detailed(&c, &trace);
+        assert_eq!(run.vaults.len(), c.mapping.units());
+        let acts: u64 = run.vaults.iter().map(|v| v.activations).sum();
+        let pres: u64 = run.vaults.iter().map(|v| v.precharges).sum();
+        let hits: u64 = run.vaults.iter().map(|v| v.row_hits).sum();
+        let misses: u64 = run.vaults.iter().map(|v| v.row_misses).sum();
+        let refreshes: u64 = run.vaults.iter().map(|v| v.refreshes).sum();
+        assert_eq!(acts, run.stats.activations);
+        assert_eq!(pres, run.stats.precharges);
+        assert_eq!(hits, run.stats.row_hits);
+        assert_eq!(misses, run.stats.row_misses);
+        assert_eq!(refreshes, run.stats.refreshes);
+        // Interleaving spreads a large stream across every unit.
+        assert!(run.vaults.iter().all(|v| v.read_bursts > 0));
+    }
+
+    #[test]
+    fn precharges_track_row_conflicts() {
+        let c = single_channel_config();
+        // Same-bank row thrashing: every access after the first conflicts.
+        let run = simulate_trace_detailed(&c, &strided_trace(0, 8192 * 8, 64, 256, Op::Read));
+        assert!(
+            run.stats.precharges >= 255,
+            "precharges {}",
+            run.stats.precharges
+        );
+        // A short sequential stream stays in its rows: no conflicts.
+        let seq = simulate_trace_detailed(&c, &sequential_trace(0, 4096, 64, Op::Read));
+        assert_eq!(seq.stats.precharges, 0);
+    }
+
+    #[test]
+    fn engine_run_records_per_lane_counters() {
+        use mealib_obs::TraceRecorder;
+        let c = MemoryConfig::ddr_dual_channel();
+        let run = simulate_trace_detailed(&c, &sequential_trace(0, 1 << 20, 64, Op::Read));
+        let rec = TraceRecorder::shared();
+        run.record_into(&Obs::new(rec.clone()));
+        let bd = rec.breakdown();
+        // Aggregate + per-lane sums: counter() folds both, so the total
+        // is twice the aggregate count.
+        assert_eq!(bd.counter(Counter::DramAct), 2 * run.stats.activations);
+        assert_eq!(bd.counter(Counter::DramRdBytes), run.stats.bytes_read.get());
     }
 
     #[test]

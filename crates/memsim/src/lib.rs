@@ -45,6 +45,7 @@ pub mod vault;
 
 pub use address::AddressMapping;
 pub use config::MemoryConfig;
+pub use engine::{EngineRun, VaultStats};
 pub use pattern::AccessPattern;
 pub use stats::TraceStats;
 pub use vault::{RequestSource, VaultController};

@@ -2,6 +2,7 @@
 
 use core::fmt;
 
+use mealib_obs::{Counter, Obs};
 use mealib_types::{Bytes, BytesPerSec, Cycles, Joules, Seconds};
 
 /// Outcome of replaying (or estimating) a memory trace on one device.
@@ -17,6 +18,9 @@ pub struct TraceStats {
     pub bytes_written: Bytes,
     /// Row activations issued.
     pub activations: u64,
+    /// Row precharges issued (explicit PRE on conflicts plus the
+    /// implicit closes performed by refresh).
+    pub precharges: u64,
     /// Column accesses that hit an open row.
     pub row_hits: u64,
     /// Column accesses that required opening a row.
@@ -59,6 +63,7 @@ impl TraceStats {
             bytes_read: self.bytes_read + other.bytes_read,
             bytes_written: self.bytes_written + other.bytes_written,
             activations: self.activations + other.activations,
+            precharges: self.precharges + other.precharges,
             row_hits: self.row_hits + other.row_hits,
             row_misses: self.row_misses + other.row_misses,
             refreshes: self.refreshes + other.refreshes,
@@ -75,11 +80,27 @@ impl TraceStats {
             bytes_read: self.bytes_read + other.bytes_read,
             bytes_written: self.bytes_written + other.bytes_written,
             activations: self.activations + other.activations,
+            precharges: self.precharges + other.precharges,
             row_hits: self.row_hits + other.row_hits,
             row_misses: self.row_misses + other.row_misses,
             refreshes: self.refreshes + other.refreshes,
             energy: self.energy + other.energy,
         }
+    }
+
+    /// Records this trace's aggregate DRAM event counts into an
+    /// observability handle. A no-op when recording is off.
+    pub fn record_into(&self, obs: &Obs) {
+        if !obs.enabled() {
+            return;
+        }
+        obs.count(Counter::DramAct, self.activations);
+        obs.count(Counter::DramPre, self.precharges);
+        obs.count(Counter::DramRdBytes, self.bytes_read.get());
+        obs.count(Counter::DramWrBytes, self.bytes_written.get());
+        obs.count(Counter::DramRowHit, self.row_hits);
+        obs.count(Counter::DramRowMiss, self.row_misses);
+        obs.count(Counter::DramRefresh, self.refreshes);
     }
 }
 
@@ -109,6 +130,7 @@ mod tests {
             bytes_read: Bytes::new(read),
             bytes_written: Bytes::ZERO,
             activations: misses,
+            precharges: misses,
             row_hits: hits,
             row_misses: misses,
             refreshes: 0,

@@ -92,6 +92,21 @@ pub struct NocStats {
     pub energy: Joules,
 }
 
+impl NocStats {
+    /// Records this transfer's flit counters into an observability
+    /// handle. Credits are one per flit per link in this wormhole
+    /// model, i.e. equal to the flit-hop count. A no-op when recording
+    /// is off.
+    pub fn record_into(&self, obs: &mealib_obs::Obs) {
+        if !obs.enabled() {
+            return;
+        }
+        obs.count(mealib_obs::Counter::NocFlits, self.flits);
+        obs.count(mealib_obs::Counter::NocFlitHops, self.flit_hops);
+        obs.count(mealib_obs::Counter::NocCredits, self.flit_hops);
+    }
+}
+
 /// A 2D mesh NoC with XY routing.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Mesh {
@@ -375,6 +390,19 @@ mod tests {
         // Fan-in converges on the destination's links: comparable
         // serialization to the fan-out.
         assert!(g.cycles.get() * 2 >= b.cycles.get());
+    }
+
+    #[test]
+    fn noc_counters_record_into_obs() {
+        use mealib_obs::{Counter, Obs, TraceRecorder};
+        let m = Mesh::mealib_layer();
+        let s = m.broadcast(TileId::new(0, 0), 64);
+        let rec = TraceRecorder::shared();
+        s.record_into(&Obs::new(rec.clone()));
+        let bd = rec.breakdown();
+        assert_eq!(bd.counter(Counter::NocFlits), s.flits);
+        assert_eq!(bd.counter(Counter::NocFlitHops), s.flit_hops);
+        assert_eq!(bd.counter(Counter::NocCredits), s.flit_hops);
     }
 
     #[test]

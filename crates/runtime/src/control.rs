@@ -18,6 +18,7 @@ use std::fmt;
 
 use mealib_accel::cu::{run_descriptor, CuCostModel, CuError, DescriptorRun};
 use mealib_accel::AcceleratorLayer;
+use mealib_obs::{Breakdown, Counter, Obs, Phase};
 use mealib_tdl::{parse_with_lines, Descriptor, DescriptorError, ParamBag, ParseError, TdlProgram};
 use mealib_types::{Bytes, Joules, Report, Seconds};
 use mealib_verify::TdlLimits;
@@ -44,6 +45,7 @@ pub enum VerifyMode {
 
 /// Errors from the control runtime.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum RuntimeError {
     /// TDL parse failure.
     Parse(ParseError),
@@ -133,6 +135,9 @@ pub struct RunReport {
     pub invocation_energy: Joules,
     /// The Configuration Unit's run (setup + accelerator execution).
     pub run: DescriptorRun,
+    /// Per-phase attribution of this invocation; its phase sums equal
+    /// [`RunReport::total_time`] / `total_energy` exactly.
+    pub breakdown: Breakdown,
 }
 
 impl RunReport {
@@ -172,6 +177,9 @@ pub struct RuntimeCounters {
     pub plan_cache_hits: u64,
 }
 
+/// Default capacity of the plan cache (entries).
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 128;
+
 /// The MEALib runtime: driver + cache model + CU cost model + layer.
 #[derive(Debug, Clone)]
 pub struct Runtime {
@@ -182,9 +190,13 @@ pub struct Runtime {
     counters: RuntimeCounters,
     next_plan_id: u64,
     plan_cache: std::collections::BTreeMap<String, AccPlan>,
+    /// Insertion order of `plan_cache` keys (FIFO eviction).
+    plan_cache_order: std::collections::VecDeque<String>,
+    plan_cache_capacity: usize,
     verify_mode: VerifyMode,
     verify_limits: TdlLimits,
     last_verify: Option<Report>,
+    obs: Obs,
 }
 
 impl Runtime {
@@ -237,10 +249,43 @@ impl Runtime {
             counters: RuntimeCounters::default(),
             next_plan_id: 1,
             plan_cache: std::collections::BTreeMap::new(),
+            plan_cache_order: std::collections::VecDeque::new(),
+            plan_cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
             verify_mode: VerifyMode::default(),
             verify_limits: TdlLimits::default(),
             last_verify: None,
+            obs: Obs::off(),
         }
+    }
+
+    /// Installs (or clears) the observability handle events are
+    /// recorded through.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// The current observability handle.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Caps [`Runtime::acc_plan_cached`]'s cache at `capacity` entries
+    /// (FIFO eviction; `0` disables caching). Default:
+    /// [`DEFAULT_PLAN_CACHE_CAPACITY`].
+    pub fn set_plan_cache_capacity(&mut self, capacity: usize) {
+        self.plan_cache_capacity = capacity;
+        while self.plan_cache.len() > capacity {
+            if let Some(oldest) = self.plan_cache_order.pop_front() {
+                self.plan_cache.remove(&oldest);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The plan cache's capacity in entries.
+    pub fn plan_cache_capacity(&self) -> usize {
+        self.plan_cache_capacity
     }
 
     /// Sets how strictly plans are statically verified (default:
@@ -289,6 +334,8 @@ impl Runtime {
     /// Returns a [`RuntimeError::Driver`] on allocation failure.
     pub fn mem_alloc(&mut self, name: &str, bytes: Bytes) -> Result<(), RuntimeError> {
         self.driver.alloc(name, bytes)?;
+        self.obs.count(Counter::AllocBytes, bytes.get());
+        self.obs.count(Counter::DriverCalls, 1);
         Ok(())
     }
 
@@ -307,6 +354,8 @@ impl Runtime {
         stack: StackId,
     ) -> Result<(), RuntimeError> {
         self.driver.alloc_on(name, bytes, stack)?;
+        self.obs.count(Counter::AllocBytes, bytes.get());
+        self.obs.count(Counter::DriverCalls, 1);
         Ok(())
     }
 
@@ -319,6 +368,9 @@ impl Runtime {
         self.driver.release(name)?;
         // Cached plans may hold stale physical addresses for this name.
         self.plan_cache.clear();
+        self.plan_cache_order.clear();
+        self.obs.count(Counter::BufferFrees, 1);
+        self.obs.count(Counter::DriverCalls, 1);
         Ok(())
     }
 
@@ -330,7 +382,18 @@ impl Runtime {
     ///
     /// Returns parse, verification, descriptor, or driver errors.
     pub fn acc_plan(&mut self, tdl: &str, params: &ParamBag) -> Result<AccPlan, RuntimeError> {
+        // Host phases have no modeled cost; when recording is on, span
+        // them with the real wall-clock time the library spends.
+        let timer = self.obs.enabled().then(std::time::Instant::now);
+        let wall_span = |obs: &Obs, phase: Phase, since: Option<std::time::Instant>| {
+            if let Some(t0) = since {
+                let wall = Seconds::new(t0.elapsed().as_secs_f64());
+                obs.span_wall(phase, "acc_plan", Seconds::ZERO, Joules::ZERO, wall);
+            }
+        };
         let (program, lines) = parse_with_lines(tdl)?;
+        wall_span(&self.obs, Phase::Plan, timer);
+        let timer = self.obs.enabled().then(std::time::Instant::now);
         let mut report = Report::new();
         if self.verify_mode != VerifyMode::Off {
             report = mealib_verify::tdl::verify_program(
@@ -344,6 +407,8 @@ impl Runtime {
                 return Err(RuntimeError::Verify(report));
             }
         }
+        wall_span(&self.obs, Phase::Verify, timer);
+        let timer = self.obs.enabled().then(std::time::Instant::now);
         let buffers = self.driver.buffer_table();
         let descriptor = Descriptor::encode(&program, params, &buffers)?;
         if self.verify_mode != VerifyMode::Off {
@@ -355,6 +420,7 @@ impl Runtime {
                 return Err(RuntimeError::Verify(report));
             }
         }
+        wall_span(&self.obs, Phase::Encode, timer);
         let id = self.next_plan_id;
         self.next_plan_id += 1;
         self.counters.plans_created += 1;
@@ -399,7 +465,18 @@ impl Runtime {
             return Ok(plan.clone());
         }
         let plan = self.acc_plan(tdl, params)?;
-        self.plan_cache.insert(key, plan.clone());
+        if self.plan_cache_capacity > 0 {
+            while self.plan_cache.len() >= self.plan_cache_capacity {
+                match self.plan_cache_order.pop_front() {
+                    Some(oldest) => {
+                        self.plan_cache.remove(&oldest);
+                    }
+                    None => break,
+                }
+            }
+            self.plan_cache.insert(key.clone(), plan.clone());
+            self.plan_cache_order.push_back(key);
+        }
         Ok(plan)
     }
 
@@ -446,10 +523,30 @@ impl Runtime {
         let run = run_descriptor(&plan.descriptor, &layer, &self.cu_cost)?;
         self.counters.executions += 1;
         self.counters.invocations += run.invocations();
+
+        // Per-phase attribution: the host-side flush + descriptor copy
+        // is its own phase, everything else comes from the CU run's
+        // exact partition. Building this is a handful of additions, so
+        // it is carried unconditionally on every report.
+        let mut breakdown = run.breakdown();
+        breakdown.add_phase(Phase::Flush, invocation_time, invocation_energy);
+        if self.obs.enabled() {
+            self.obs.span(
+                Phase::Flush,
+                "acc_execute",
+                invocation_time,
+                invocation_energy,
+            );
+            self.obs.record_breakdown(&run.breakdown(), "acc_execute");
+            run.record_into(&self.obs);
+            self.obs.count(Counter::CacheFlushes, 1);
+            self.obs.count(Counter::DriverCalls, 1);
+        }
         Ok(RunReport {
             invocation_time,
             invocation_energy,
             run,
+            breakdown,
         })
     }
 
@@ -754,6 +851,104 @@ mod tests {
         rt.mem_alloc("x", Bytes::from_mib(4)).unwrap();
         let b = rt.acc_plan_cached(tdl, &params).unwrap();
         assert_ne!(a.id(), b.id(), "free must invalidate cached plans");
+    }
+
+    #[test]
+    fn run_report_breakdown_reconciles_with_totals() {
+        for loops in [1, 128] {
+            let (mut rt, plan) = fft_runtime_and_plan(loops);
+            let report = rt.acc_execute(&plan).unwrap();
+            let bd = &report.breakdown;
+            let dt = (bd.total_time().get() - report.total_time().get()).abs();
+            let de = (bd.total_energy().get() - report.total_energy().get()).abs();
+            assert!(
+                dt <= 1e-9 * report.total_time().get(),
+                "time {} vs {}",
+                bd.total_time(),
+                report.total_time()
+            );
+            assert!(
+                de <= 1e-9 * report.total_energy().get(),
+                "energy {} vs {}",
+                bd.total_energy(),
+                report.total_energy()
+            );
+            assert!(bd.phase(Phase::Flush).time.get() > 0.0);
+            assert!(bd.phase(Phase::Compute).time.get() > 0.0);
+        }
+    }
+
+    #[test]
+    fn recorder_sees_spans_and_counters() {
+        use mealib_obs::TraceRecorder;
+        let rec = TraceRecorder::shared();
+        let mut rt = Runtime::new();
+        rt.set_obs(Obs::new(rec.clone()));
+        rt.mem_alloc("x", Bytes::from_mib(4)).unwrap();
+        rt.mem_alloc("y", Bytes::from_mib(4)).unwrap();
+        let mut params = ParamBag::new();
+        params.insert(
+            "fft.para".into(),
+            AccelParams::Fft { n: 256, batch: 256 }.to_bytes(),
+        );
+        let plan = rt
+            .acc_plan("PASS in=x out=y { COMP FFT params=\"fft.para\" }", &params)
+            .unwrap();
+        let report = rt.acc_execute(&plan).unwrap();
+        let bd = rec.breakdown();
+        // Host phases are wall-clocked.
+        assert!(bd.phase(Phase::Plan).wall.get() > 0.0);
+        assert!(bd.phase(Phase::Verify).wall.get() > 0.0);
+        assert!(bd.phase(Phase::Encode).wall.get() > 0.0);
+        // Modeled device phases reconcile with the report.
+        let modeled = bd.total_time();
+        assert!(
+            (modeled.get() - report.total_time().get()).abs() <= 1e-9 * modeled.get(),
+            "recorded {} vs report {}",
+            modeled,
+            report.total_time()
+        );
+        assert_eq!(
+            bd.counter(Counter::AllocBytes),
+            2 * Bytes::from_mib(4).get()
+        );
+        assert_eq!(bd.counter(Counter::CacheFlushes), 1);
+        assert!(bd.counter(Counter::CuPasses) > 0);
+        assert!(bd.counter(Counter::DramAct) > 0);
+    }
+
+    #[test]
+    fn plan_cache_capacity_evicts_fifo() {
+        let (mut rt, _) = fft_runtime_and_plan(1);
+        rt.set_plan_cache_capacity(2);
+        let mut params = ParamBag::new();
+        let tdls: Vec<String> = (0..3)
+            .map(|i| {
+                format!(
+                    "LOOP {} {{ PASS in=x out=y {{ COMP FFT params=\"fft.para\" }} }}",
+                    i + 2
+                )
+            })
+            .collect();
+        params.insert(
+            "fft.para".into(),
+            AccelParams::Fft { n: 256, batch: 256 }.to_bytes(),
+        );
+        let a = rt.acc_plan_cached(&tdls[0], &params).unwrap();
+        let _b = rt.acc_plan_cached(&tdls[1], &params).unwrap();
+        let _c = rt.acc_plan_cached(&tdls[2], &params).unwrap(); // evicts a
+        let a2 = rt.acc_plan_cached(&tdls[0], &params).unwrap();
+        assert_ne!(a.id(), a2.id(), "oldest entry must have been evicted");
+        assert_eq!(rt.counters().plan_cache_hits, 0);
+        // The two youngest are still cached.
+        let c2 = rt.acc_plan_cached(&tdls[2], &params).unwrap();
+        assert_eq!(rt.counters().plan_cache_hits, 1);
+        let _ = c2;
+        // Capacity 0 disables caching entirely.
+        rt.set_plan_cache_capacity(0);
+        let d = rt.acc_plan_cached(&tdls[1], &params).unwrap();
+        let d2 = rt.acc_plan_cached(&tdls[1], &params).unwrap();
+        assert_ne!(d.id(), d2.id());
     }
 
     #[test]

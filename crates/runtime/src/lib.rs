@@ -30,7 +30,9 @@ pub mod physmem;
 pub mod vmap;
 
 pub use cache::CacheModel;
-pub use control::{AccPlan, RunReport, Runtime, RuntimeError, VerifyMode};
+pub use control::{
+    AccPlan, RunReport, Runtime, RuntimeError, VerifyMode, DEFAULT_PLAN_CACHE_CAPACITY,
+};
 pub use driver::{BufferHandle, MealibDriver, StackId};
 pub use physmem::PhysicalSpace;
 pub use vmap::AddressSpaceMap;

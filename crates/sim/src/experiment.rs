@@ -5,8 +5,12 @@
 //! PSAS, MSAS, MEALib — and report performance and energy efficiency
 //! normalized to Haswell, exactly as the paper's figures do.
 
+use std::sync::Arc;
+
 use mealib_accel::AccelParams;
 use mealib_host::{run_op, CodeFlavor, Platform};
+use mealib_obs::{Breakdown, Obs, Phase, Recorder, TraceRecorder};
+use mealib_runtime::VerifyMode;
 use mealib_types::{Joules, Seconds, Watts};
 
 use crate::platforms::AcceleratedPlatform;
@@ -68,7 +72,7 @@ impl OpComparison {
     /// # Panics
     ///
     /// Panics if the comparison is empty (cannot happen via
-    /// [`compare_platforms`]).
+    /// [`run_experiment`]).
     pub fn baseline(&self) -> &PlatformResult {
         &self.rows[0]
     }
@@ -103,39 +107,91 @@ impl OpComparison {
     }
 }
 
-/// Runs `op` on all five platforms.
+/// Options for [`run_experiment`]: what to verify before running and
+/// where to send instrumentation.
 ///
-/// The first call in a process runs the static-verification preflight
-/// ([`crate::preflight`]): TDL semantics, descriptor image, memory-config
-/// validation (with the interleaving bijectivity proof), and
-/// physical-memory consistency. Subsequent calls reuse the cached
-/// verdict.
-///
-/// # Panics
-///
-/// Panics with the rendered diagnostic report if the preflight finds
-/// errors. Use [`try_compare_platforms`] for a typed result, or
-/// [`compare_platforms_unchecked`] to skip verification.
-pub fn compare_platforms(op: &AccelParams) -> OpComparison {
-    match try_compare_platforms(op) {
-        Ok(cmp) => cmp,
-        Err(report) => panic!("experiment preflight failed:\n{report}"),
+/// The struct is plain data with public fields so callers can use
+/// `ExperimentOptions { verify: VerifyMode::Off, ..Default::default() }`;
+/// the builder-style helpers cover the common cases.
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentOptions {
+    /// Static-verification policy for the process-wide preflight
+    /// ([`crate::preflight`]). `Enforce` (the default) fails the
+    /// experiment on coded errors; `Warn` records the report in
+    /// [`ExperimentReport::verify`] and continues; `Off` skips the
+    /// preflight entirely.
+    pub verify: VerifyMode,
+    /// Instrumentation sink. [`Obs::off`] (the default) costs one
+    /// branch; an enabled recorder sees the per-platform breakdowns
+    /// and memory-system counters.
+    pub obs: Obs,
+}
+
+impl ExperimentOptions {
+    /// Sets the verification policy.
+    pub fn verify(mut self, mode: VerifyMode) -> Self {
+        self.verify = mode;
+        self
+    }
+
+    /// Sets the instrumentation sink.
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Installs a recorder (shorthand for `obs(Obs::new(recorder))`).
+    pub fn recorder(self, recorder: Arc<dyn Recorder + Send + Sync>) -> Self {
+        self.obs(Obs::new(recorder))
     }
 }
 
-/// Like [`compare_platforms`], but returns the preflight report as a
-/// typed error instead of panicking.
-pub fn try_compare_platforms(op: &AccelParams) -> Result<OpComparison, mealib_types::Report> {
-    crate::preflight::preflight_checked()?;
-    Ok(compare_platforms_unchecked(op))
+/// The result of [`run_experiment`]: the five-platform comparison plus
+/// the MEALib phase/counter breakdown and, under
+/// [`VerifyMode::Warn`], the preflight report.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// Results in platform order: Haswell, Xeon Phi, PSAS, MSAS, MEALib.
+    pub comparison: OpComparison,
+    /// Phase itemization of the MEALib row (DMA vs. compute, with the
+    /// DRAM command counters). Its time and energy totals equal the
+    /// MEALib row's `time`/`energy` exactly.
+    pub breakdown: Breakdown,
+    /// The preflight report when `verify` was [`VerifyMode::Warn`];
+    /// `None` under `Enforce` (errors become `Err`) and `Off`.
+    pub verify: Option<mealib_types::Report>,
 }
 
-/// Runs `op` on all five platforms without the verification preflight —
-/// the escape hatch for deliberately broken configurations.
-pub fn compare_platforms_unchecked(op: &AccelParams) -> OpComparison {
+/// Runs `op` on all five platforms — Haswell (MKL), Xeon Phi (MKL),
+/// PSAS, MSAS, MEALib — per the policy in `opts`.
+///
+/// Under [`VerifyMode::Enforce`] the first call in a process runs the
+/// static-verification preflight ([`crate::preflight`]): TDL semantics,
+/// descriptor image, memory-config validation (with the interleaving
+/// bijectivity proof), and physical-memory consistency. Subsequent
+/// calls reuse the cached verdict.
+///
+/// # Errors
+///
+/// Returns the diagnostic report if the preflight finds coded errors
+/// under `Enforce`. `Warn` and `Off` never fail.
+pub fn run_experiment(
+    op: &AccelParams,
+    opts: &ExperimentOptions,
+) -> Result<ExperimentReport, mealib_types::Report> {
+    let verify = match opts.verify {
+        VerifyMode::Enforce => {
+            crate::preflight::preflight_checked()?;
+            None
+        }
+        VerifyMode::Warn => Some(crate::preflight::preflight()),
+        VerifyMode::Off => None,
+    };
+
     let mut rows = Vec::with_capacity(5);
     for platform in [Platform::haswell(), Platform::xeon_phi()] {
         let r = run_op(&platform, op, CodeFlavor::Library);
+        r.record_into(&opts.obs);
         rows.push(PlatformResult {
             name: platform.name.clone(),
             time: r.time,
@@ -144,12 +200,21 @@ pub fn compare_platforms_unchecked(op: &AccelParams) -> OpComparison {
             bytes: r.bytes,
         });
     }
+    let mut breakdown = Breakdown::new();
     for accel in [
         AcceleratedPlatform::psas(),
         AcceleratedPlatform::msas(),
         AcceleratedPlatform::mealib(),
     ] {
         let r = accel.run(op);
+        if accel.name == "MEALib" {
+            breakdown.add_phase(Phase::Compute, r.compute_time, r.energy - r.mem_energy);
+            breakdown.add_phase(Phase::Dma, r.time - r.compute_time, r.mem_energy);
+            let rec = TraceRecorder::shared();
+            r.mem.record_into(&Obs::new(rec.clone()));
+            breakdown.merge(&rec.breakdown());
+            opts.obs.record_breakdown(&breakdown, &accel.name);
+        }
         rows.push(PlatformResult {
             name: accel.name.clone(),
             time: r.time,
@@ -158,7 +223,50 @@ pub fn compare_platforms_unchecked(op: &AccelParams) -> OpComparison {
             bytes: r.mem.bytes_moved().get(),
         });
     }
-    OpComparison { op: *op, rows }
+    Ok(ExperimentReport {
+        comparison: OpComparison { op: *op, rows },
+        breakdown,
+        verify,
+    })
+}
+
+/// Runs `op` on all five platforms with default options.
+///
+/// # Panics
+///
+/// Panics with the rendered diagnostic report if the preflight finds
+/// errors.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run_experiment(op, &ExperimentOptions::default())`"
+)]
+pub fn compare_platforms(op: &AccelParams) -> OpComparison {
+    match run_experiment(op, &ExperimentOptions::default()) {
+        Ok(report) => report.comparison,
+        Err(report) => panic!("experiment preflight failed:\n{report}"),
+    }
+}
+
+/// Like [`compare_platforms`], but returns the preflight report as a
+/// typed error instead of panicking.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run_experiment(op, &ExperimentOptions::default())`"
+)]
+pub fn try_compare_platforms(op: &AccelParams) -> Result<OpComparison, mealib_types::Report> {
+    run_experiment(op, &ExperimentOptions::default()).map(|r| r.comparison)
+}
+
+/// Runs `op` on all five platforms without the verification preflight —
+/// the escape hatch for deliberately broken configurations.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run_experiment(op, &ExperimentOptions::default().verify(VerifyMode::Off))`"
+)]
+pub fn compare_platforms_unchecked(op: &AccelParams) -> OpComparison {
+    run_experiment(op, &ExperimentOptions::default().verify(VerifyMode::Off))
+        .expect("VerifyMode::Off cannot fail")
+        .comparison
 }
 
 /// The Table 2 datasets, one per accelerated operation.
@@ -210,10 +318,18 @@ mod tests {
     use super::*;
     use mealib_types::stats::geometric_mean;
 
+    /// Default-options experiment, unwrapped to the comparison — the
+    /// migration target for the old `compare_platforms` call sites.
+    fn compare(op: &AccelParams) -> OpComparison {
+        run_experiment(op, &ExperimentOptions::default())
+            .expect("preflight clean")
+            .comparison
+    }
+
     #[test]
     fn mealib_wins_every_operation() {
         for op in table2_workloads() {
-            let cmp = compare_platforms(&op);
+            let cmp = compare(&op);
             let speedups = cmp.speedups();
             let mealib = cmp.mealib_speedup();
             for (name, s) in &speedups {
@@ -230,7 +346,7 @@ mod tests {
     fn fig9_shape_reshp_max_spmv_min() {
         let results: Vec<(mealib_tdl::AcceleratorKind, f64)> = table2_workloads()
             .iter()
-            .map(|op| (op.kind(), compare_platforms(op).mealib_speedup()))
+            .map(|op| (op.kind(), compare(op).mealib_speedup()))
             .collect();
         let reshp = results
             .iter()
@@ -261,7 +377,7 @@ mod tests {
     fn fig9_average_speedup_matches_scale() {
         let speedups: Vec<f64> = table2_workloads()
             .iter()
-            .map(|op| compare_platforms(op).mealib_speedup())
+            .map(|op| compare(op).mealib_speedup())
             .collect();
         let avg = geometric_mean(&speedups).expect("positive speedups");
         // Paper: 38x average.
@@ -278,7 +394,7 @@ mod tests {
         let mut perf = Vec::new();
         let mut eff = Vec::new();
         for op in table2_workloads() {
-            let cmp = compare_platforms(&op);
+            let cmp = compare(&op);
             perf.push(cmp.mealib_speedup());
             eff.push(cmp.mealib_efficiency_gain());
         }
@@ -297,7 +413,7 @@ mod tests {
     #[test]
     fn baselines_normalize_to_one() {
         for op in table2_workloads() {
-            let cmp = compare_platforms(&op);
+            let cmp = compare(&op);
             let s = cmp.speedups();
             let e = cmp.efficiency_gains();
             assert!((s[0].1 - 1.0).abs() < 1e-12, "{:?}", op.kind());
@@ -314,7 +430,7 @@ mod tests {
             .into_iter()
             .find(|op| op.kind() == mealib_tdl::AcceleratorKind::Reshp)
             .expect("reshp present");
-        let cmp = compare_platforms(&reshp);
+        let cmp = compare(&reshp);
         for row in &cmp.rows {
             assert_eq!(row.flops, 0, "{}: transpose has no FLOPs", row.name);
             assert!(
@@ -326,11 +442,60 @@ mod tests {
     }
 
     #[test]
+    fn experiment_breakdown_reconciles_with_mealib_row() {
+        let op = AccelParams::Gemv { m: 2048, n: 2048 };
+        let report = run_experiment(&op, &ExperimentOptions::default()).expect("preflight clean");
+        let mealib = report.comparison.rows.last().expect("five rows");
+        let dt = (report.breakdown.total_time().get() - mealib.time.get()).abs();
+        let de = (report.breakdown.total_energy().get() - mealib.energy.get()).abs();
+        assert!(dt <= 1e-9 * mealib.time.get(), "time drift {dt}");
+        assert!(de <= 1e-9 * mealib.energy.get(), "energy drift {de}");
+        assert!(
+            report.breakdown.counter(mealib_obs::Counter::DramAct) > 0,
+            "DRAM activates recorded"
+        );
+        assert!(report.verify.is_none(), "Enforce yields no warn report");
+    }
+
+    #[test]
+    fn warn_mode_surfaces_preflight_report() {
+        let op = AccelParams::Axpy {
+            n: 1 << 16,
+            alpha: 1.0,
+            incx: 1,
+            incy: 1,
+        };
+        let opts = ExperimentOptions::default().verify(VerifyMode::Warn);
+        let report = run_experiment(&op, &opts).expect("warn never fails");
+        let preflight = report.verify.expect("warn records the report");
+        assert!(!preflight.has_errors(), "shipping config is clean");
+    }
+
+    #[test]
+    fn recorder_observes_experiment_phases() {
+        let rec = TraceRecorder::shared();
+        let opts = ExperimentOptions::default().recorder(rec.clone());
+        let op = AccelParams::Axpy {
+            n: 1 << 16,
+            alpha: 2.0,
+            incx: 1,
+            incy: 1,
+        };
+        run_experiment(&op, &opts).expect("preflight clean");
+        let bd = rec.breakdown();
+        assert!(bd.phase(Phase::Dma).time.get() > 0.0, "DMA phase recorded");
+        assert!(
+            bd.phase(Phase::Compute).time.get() > 0.0,
+            "compute phase recorded"
+        );
+    }
+
+    #[test]
     fn intermediate_platforms_order_between_haswell_and_mealib() {
         // PSAS < MSAS < MEALib on the streaming workloads (avg 2.51x,
         // 10.32x, 38x in the paper).
         let op = AccelParams::Gemv { m: 16384, n: 16384 };
-        let cmp = compare_platforms(&op);
+        let cmp = compare(&op);
         let s = cmp.speedups();
         let find = |name: &str| s.iter().find(|(n, _)| n == name).expect("present").1;
         assert!(find("PSAS") > 1.0);

@@ -14,10 +14,12 @@ pub mod platforms;
 pub mod preflight;
 pub mod report;
 
+#[allow(deprecated)]
+pub use experiment::{compare_platforms, compare_platforms_unchecked, try_compare_platforms};
 pub use experiment::{
-    compare_platforms, compare_platforms_unchecked, try_compare_platforms, OpComparison,
-    PlatformResult,
+    run_experiment, ExperimentOptions, ExperimentReport, OpComparison, PlatformResult,
 };
+pub use mealib_runtime::VerifyMode;
 pub use platforms::AcceleratedPlatform;
 pub use preflight::{preflight, preflight_checked};
 pub use report::TextTable;

@@ -17,8 +17,8 @@
 //!    mapping that places the command space on the near DIMM.
 //!
 //! The verdict is computed once per process and cached; the fast path of
-//! [`crate::experiment::compare_platforms`] is a single atomic load.
-//! [`crate::experiment::compare_platforms_unchecked`] bypasses it.
+//! [`crate::experiment::run_experiment`] under [`VerifyMode::Enforce`] is
+//! a single atomic load, and `VerifyMode::Off` bypasses it.
 //!
 //! [`VerifyMode::Enforce`]: mealib_runtime::VerifyMode::Enforce
 //! [`MemoryConfig`]: mealib_memsim::MemoryConfig

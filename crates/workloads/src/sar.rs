@@ -242,7 +242,7 @@ mod tests {
         let raw: Vec<Complex32> = (0..n * n)
             .map(|i| Complex32::new((i as f32 * 0.013).sin(), (i as f32 * 0.029).cos()))
             .collect();
-        let mut ml = Mealib::new();
+        let mut ml = Mealib::builder().build();
         let image = form_image(&mut ml, &raw, n).unwrap();
 
         let mut want = raw.clone();

@@ -18,11 +18,12 @@
 use std::collections::BTreeMap;
 
 use mealib::{Complex32, Mealib, MealibError};
-use mealib_accel::cu::{run_descriptor, CuCostModel};
+use mealib_accel::cu::{run_descriptor, CuCostModel, DescriptorRun};
 use mealib_accel::{AccelParams, AcceleratorLayer};
 use mealib_host::{run_custom, run_op, CodeFlavor, Platform};
 use mealib_kernels::blas3::{self, Side, Triangle};
 use mealib_kernels::fft::Direction;
+use mealib_obs::{Breakdown, Obs, Phase, TraceRecorder};
 use mealib_runtime::CacheModel;
 use mealib_tdl::{AcceleratorKind, Descriptor, ParamBag};
 use mealib_types::{Joules, Seconds};
@@ -335,13 +336,10 @@ pub fn run_on_haswell(cfg: &StapConfig) -> StapRun {
     }
 }
 
-/// Builds, encodes, and runs one descriptor on the layer, returning its
-/// (time, energy) including CU setup but not host invocation overhead.
-fn run_tdl(
-    layer: &AcceleratorLayer,
-    tdl: &str,
-    stages: &[(&str, AccelParams)],
-) -> (Seconds, Joules) {
+/// Builds, encodes, and runs one descriptor on the layer, returning the
+/// full CU run (setup itemization, per-pass costs) — host invocation
+/// overhead is not included.
+fn run_tdl(layer: &AcceleratorLayer, tdl: &str, stages: &[(&str, AccelParams)]) -> DescriptorRun {
     let program = mealib_tdl::parse(tdl).expect("workload TDL is well-formed");
     let mut bag = ParamBag::new();
     for (file, p) in stages {
@@ -356,18 +354,41 @@ fn run_tdl(
         next += 0x1000_0000;
     }
     let desc = Descriptor::encode(&program, &bag, &buffers).expect("encodable");
-    let run = run_descriptor(&desc, layer, &CuCostModel::default()).expect("runnable");
-    (run.total_time(), run.total_energy())
+    run_descriptor(&desc, layer, &CuCostModel::default()).expect("runnable")
 }
 
 /// Models STAP on MEALib: memory-bounded phases on the accelerator layer
 /// (three descriptors, as the compiler produces), compute-bounded phases
 /// on the host, invocation overheads charged per descriptor (Fig. 14).
 pub fn run_on_mealib(cfg: &StapConfig) -> StapRun {
+    run_mealib_pipeline(cfg, None).0
+}
+
+/// Like [`run_on_mealib`], but additionally itemizes the run into a
+/// [`Breakdown`] (phase taxonomy + DRAM/NoC/CU counters) and streams
+/// every phase and counter into `obs`.
+///
+/// The breakdown's time and energy totals equal the returned
+/// [`StapRun`]'s `total_time`/`total_energy` exactly: host phases map to
+/// [`Phase::Compute`], invocation overhead to [`Phase::Flush`], and each
+/// descriptor contributes its own plan/DMA/compute/drain split, with the
+/// host's idle-while-accelerated energy folded into [`Phase::Dma`].
+pub fn run_on_mealib_traced(cfg: &StapConfig, obs: &Obs) -> (StapRun, Breakdown) {
+    let (run, breakdown) = run_mealib_pipeline(cfg, Some(obs));
+    (run, breakdown.expect("breakdown collected when tracing"))
+}
+
+/// The shared pipeline model. With `obs == None` (the [`run_on_mealib`]
+/// fast path) no [`Breakdown`] is assembled and no counters are
+/// replayed, so the untraced run stays as cheap as before
+/// instrumentation existed.
+fn run_mealib_pipeline(cfg: &StapConfig, obs: Option<&Obs>) -> (StapRun, Option<Breakdown>) {
     let platform = Platform::haswell();
     let layer = AcceleratorLayer::mealib_default();
     let cache = CacheModel::haswell();
     let mut phases = Vec::new();
+    let mut breakdown = obs.map(|_| Breakdown::new());
+    let mut runs: Vec<DescriptorRun> = Vec::new();
 
     // Descriptor 1: chained RESHP + FFT.
     let reshp = AccelParams::Reshp {
@@ -379,11 +400,16 @@ pub fn run_on_mealib(cfg: &StapConfig) -> StapRun {
         n: cfg.n_dop as u64,
         batch: (cfg.n_chan * cfg.ranges()) as u64,
     };
-    let (t, e) = run_tdl(
+    let run = run_tdl(
         &layer,
         "PASS in=a out=b { COMP RESHP params=\"r.para\" COMP FFT params=\"f.para\" }",
         &[("r.para", reshp), ("f.para", fft)],
     );
+    let (t, e) = (run.total_time(), run.total_energy());
+    if let Some(bd) = breakdown.as_mut() {
+        bd.merge(&run.breakdown());
+        runs.push(run);
+    }
     phases.push(PhaseCost {
         name: "fftw (chain)",
         executor: Executor::Accelerator(AcceleratorKind::Fft),
@@ -400,7 +426,7 @@ pub fn run_on_mealib(cfg: &StapConfig) -> StapRun {
         incy: 1,
         complex: true,
     };
-    let (t, e) = run_tdl(
+    let run = run_tdl(
         &layer,
         &format!(
             "LOOP {} {{ PASS in=w out=p {{ COMP DOT params=\"d.para\" }} }}",
@@ -408,6 +434,11 @@ pub fn run_on_mealib(cfg: &StapConfig) -> StapRun {
         ),
         &[("d.para", dot)],
     );
+    let (t, e) = (run.total_time(), run.total_energy());
+    if let Some(bd) = breakdown.as_mut() {
+        bd.merge(&run.breakdown());
+        runs.push(run);
+    }
     phases.push(PhaseCost {
         name: "cdotc",
         executor: Executor::Accelerator(AcceleratorKind::Dot),
@@ -422,7 +453,7 @@ pub fn run_on_mealib(cfg: &StapConfig) -> StapRun {
         incx: 1,
         incy: 1,
     };
-    let (t, e) = run_tdl(
+    let run = run_tdl(
         &layer,
         &format!(
             "LOOP {} {{ PASS in=c out=d {{ COMP AXPY params=\"x.para\" }} }}",
@@ -430,6 +461,11 @@ pub fn run_on_mealib(cfg: &StapConfig) -> StapRun {
         ),
         &[("x.para", axpy)],
     );
+    let (t, e) = (run.total_time(), run.total_energy());
+    if let Some(bd) = breakdown.as_mut() {
+        bd.merge(&run.breakdown());
+        runs.push(run);
+    }
     phases.push(PhaseCost {
         name: "saxpy",
         executor: Executor::Accelerator(AcceleratorKind::Axpy),
@@ -450,17 +486,44 @@ pub fn run_on_mealib(cfg: &StapConfig) -> StapRun {
         energy: inv_energy,
     });
 
-    // The host idles (but stays powered) while the accelerators run.
+    // The host idles (but stays powered) while the accelerators run; the
+    // extra energy is charged to the DMA phase (zero extra time) so the
+    // breakdown keeps reconciling with the run totals.
     for p in phases.iter_mut() {
         if matches!(p.executor, Executor::Accelerator(_)) {
-            p.energy += platform.package.idle.for_duration(p.time);
+            let idle = platform.package.idle.for_duration(p.time);
+            p.energy += idle;
+            if let Some(bd) = breakdown.as_mut() {
+                bd.add_phase(Phase::Dma, Seconds::ZERO, idle);
+            }
         }
     }
+    if let (Some(bd), Some(obs)) = (breakdown.as_mut(), obs) {
+        for p in &phases {
+            match p.executor {
+                Executor::Host => bd.add_phase(Phase::Compute, p.time, p.energy),
+                Executor::Invocation => bd.add_phase(Phase::Flush, p.time, p.energy),
+                Executor::Accelerator(_) => {}
+            }
+        }
 
-    StapRun {
-        platform: "MEALib".into(),
-        phases,
+        // DRAM/NoC/CU counters from the three descriptor runs.
+        let rec = TraceRecorder::shared();
+        let counter_obs = Obs::new(rec.clone());
+        for run in &runs {
+            run.record_into(&counter_obs);
+        }
+        bd.merge(&rec.breakdown());
+        obs.record_breakdown(bd, cfg.name);
     }
+
+    (
+        StapRun {
+            platform: "MEALib".into(),
+            phases,
+        },
+        breakdown,
+    )
 }
 
 /// Figure 13 gains of MEALib over the optimized Haswell baseline.
@@ -658,6 +721,21 @@ mod tests {
     }
 
     #[test]
+    fn traced_breakdown_reconciles_with_run_totals() {
+        let obs_rec = TraceRecorder::shared();
+        let (run, bd) = run_on_mealib_traced(&StapConfig::small(), &Obs::new(obs_rec.clone()));
+        let dt = (bd.total_time().get() - run.total_time().get()).abs();
+        let de = (bd.total_energy().get() - run.total_energy().get()).abs();
+        assert!(dt <= 1e-9 * run.total_time().get(), "time drift {dt}");
+        assert!(de <= 1e-9 * run.total_energy().get(), "energy drift {de}");
+        assert!(bd.counter(mealib_obs::Counter::DramAct) > 0);
+        assert!(bd.counter(mealib_obs::Counter::CuPasses) > 0);
+        // The recorder saw the same story.
+        let seen = obs_rec.breakdown();
+        assert!((seen.total_time().get() - run.total_time().get()).abs() <= 1e-9);
+    }
+
+    #[test]
     fn table4_lists_five_functions() {
         let t = table4();
         assert_eq!(t.len(), 5);
@@ -666,7 +744,7 @@ mod tests {
 
     #[test]
     fn functional_stap_produces_finite_results() {
-        let mut ml = Mealib::new();
+        let mut ml = Mealib::builder().build();
         let out = run_functional(&StapConfig::tiny(), &mut ml).unwrap();
         assert!(out.doppler_energy.is_finite() && out.doppler_energy > 0.0);
         assert!(out.products_norm.is_finite() && out.products_norm > 0.0);

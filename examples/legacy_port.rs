@@ -46,7 +46,7 @@ fn main() -> Result<(), MealibError> {
     // ---- Execute the generated descriptor on the runtime ----------------
     // (In a real deployment the transformed C links against the MEALib
     // runtime; here we drive the same TDL through the simulated stack.)
-    let mut ml = Mealib::new();
+    let mut ml = Mealib::builder().build();
     ml.alloc_f32("weights", 65536)?;
     ml.alloc_f32("samples", 65536)?;
     ml.write_f32("weights", &vec![0.001; 65536])?;

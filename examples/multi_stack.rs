@@ -7,12 +7,11 @@
 
 use mealib::prelude::*;
 use mealib::{AccelParams, StackId};
-use mealib_runtime::Runtime;
 
 fn main() -> Result<(), MealibError> {
     // A system with one local stack (the accelerators' LMS) and two
     // remote stacks.
-    let mut ml = Mealib::with_runtime(Runtime::with_stack_count(3));
+    let mut ml = Mealib::builder().stacks(3).build();
     let n = 1 << 22; // 16 MiB per buffer
 
     // Same operation, three placements.

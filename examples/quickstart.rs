@@ -8,7 +8,7 @@ use mealib::prelude::*;
 use mealib_kernels::fft::Direction;
 
 fn main() -> Result<(), MealibError> {
-    let mut ml = Mealib::new();
+    let mut ml = Mealib::builder().build();
 
     // Step 1: allocate and initialize named buffers (the runtime maps
     // physically contiguous memory into the host's virtual space).

@@ -11,7 +11,7 @@ use mealib_workloads::sar;
 
 fn main() -> Result<(), MealibError> {
     // ---- Functional chained pass on the API ----------------------------
-    let mut ml = Mealib::new();
+    let mut ml = Mealib::builder().build();
     let n = 256; // 256x256 image
     ml.alloc_c32("raw", n * n)?;
     ml.alloc_c32("image", n * n)?;

@@ -10,7 +10,7 @@ use mealib_workloads::stap::{self, Executor, StapConfig};
 fn main() {
     // ---- Functional pipeline at "tiny" scale ---------------------------
     println!("functional STAP (tiny dataset, real numerics):");
-    let mut ml = Mealib::new();
+    let mut ml = Mealib::builder().build();
     let out = stap::run_functional(&StapConfig::tiny(), &mut ml)
         .expect("tiny STAP fits the default stack");
     println!("  doppler datacube energy: {:.3e}", out.doppler_energy);

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Bench smoke: run every mealib-bench harness at reduced sizes with
+# --json, validate that each summary parses, and collect the records
+# into BENCH_pr2.json — the first data point of the perf trajectory.
+#
+# Also exercises the fig14 --trace path and validates that every JSONL
+# trace line parses.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_pr2.json}"
+JQ="$(command -v jq || true)"
+
+echo "==> cargo build --release -p mealib-bench --bins"
+cargo build --release -p mealib-bench --bins
+
+BINS=(
+  fig01_library_speedup
+  fig09_performance
+  fig10_energy
+  fig11_design_space
+  fig12_chaining_loop
+  fig13_stap
+  fig14_breakdown
+  table05_power_area
+  ablations
+  compiler_stap
+  methodology_validation
+)
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+records="$tmpdir/records.jsonl"
+: > "$records"
+
+for bin in "${BINS[@]}"; do
+  echo "==> $bin --small --json"
+  line="$(./target/release/$bin --small --json | tail -n 1)"
+  if [[ -n "$JQ" ]]; then
+    echo "$line" | "$JQ" -e '.bench and (.metrics | type == "object")' > /dev/null \
+      || { echo "error: $bin summary failed validation: $line" >&2; exit 1; }
+  fi
+  echo "$line" >> "$records"
+done
+
+echo "==> fig14_breakdown --small --trace (JSONL validation)"
+trace="$tmpdir/fig14_trace.jsonl"
+./target/release/fig14_breakdown --small --trace "$trace" > /dev/null
+[[ -s "$trace" ]] || { echo "error: trace file is empty" >&2; exit 1; }
+if [[ -n "$JQ" ]]; then
+  "$JQ" -e '.type == "span" or .type == "count"' "$trace" > /dev/null \
+    || { echo "error: trace contains a malformed line" >&2; exit 1; }
+fi
+echo "trace OK: $(wc -l < "$trace") events"
+
+if [[ -n "$JQ" ]]; then
+  "$JQ" -s '{generated_by: "scripts/bench_smoke.sh", benches: .}' "$records" > "$OUT"
+else
+  {
+    echo '{"generated_by": "scripts/bench_smoke.sh", "benches": ['
+    paste -sd, "$records"
+    echo ']}'
+  } > "$OUT"
+fi
+
+echo "bench_smoke: OK — wrote $OUT"

@@ -24,7 +24,7 @@ fn compiled_legacy_code_executes_on_the_runtime() {
 
     // Execute the compiler-generated TDL through the runtime, exactly as
     // the transformed source would.
-    let mut ml = Mealib::new();
+    let mut ml = Mealib::builder().build();
     ml.alloc_f32("a", 4096).unwrap();
     ml.alloc_f32("b", 4096).unwrap();
     let mut bag = ParamBag::new();
@@ -52,7 +52,7 @@ fn compiled_legacy_code_executes_on_the_runtime() {
 
 #[test]
 fn api_results_match_reference_kernels() {
-    let mut ml = Mealib::new();
+    let mut ml = Mealib::builder().build();
     let n = 2048;
     let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.01).sin()).collect();
     let y: Vec<f32> = (0..n).map(|i| (i as f32 * 0.02).cos()).collect();
@@ -77,7 +77,7 @@ fn api_results_match_reference_kernels() {
 
 #[test]
 fn fft_through_the_api_is_invertible() {
-    let mut ml = Mealib::new();
+    let mut ml = Mealib::builder().build();
     let n = 1024;
     let batch = 4;
     ml.alloc_c32("t", n * batch).unwrap();
@@ -99,7 +99,7 @@ fn fft_through_the_api_is_invertible() {
 
 #[test]
 fn spmv_on_generated_rgg_matrix() {
-    let mut ml = Mealib::new();
+    let mut ml = Mealib::builder().build();
     let m = mealib_workloads::rgg::generate(4096, 10.0, 9);
     ml.alloc_f32("x", m.cols()).unwrap();
     ml.alloc_f32("y", m.rows()).unwrap();
@@ -113,7 +113,7 @@ fn spmv_on_generated_rgg_matrix() {
 
 #[test]
 fn functional_stap_runs_on_the_api() {
-    let mut ml = Mealib::new();
+    let mut ml = Mealib::builder().build();
     let out = stap::run_functional(&StapConfig::tiny(), &mut ml).unwrap();
     assert!(out.doppler_energy.is_finite());
     assert!(out.products_norm > 0.0);
@@ -123,7 +123,7 @@ fn functional_stap_runs_on_the_api() {
 
 #[test]
 fn many_operations_share_one_data_space() {
-    let mut ml = Mealib::new();
+    let mut ml = Mealib::builder().build();
     for i in 0..16 {
         ml.alloc_f32(&format!("buf{i}"), 1 << 12).unwrap();
     }

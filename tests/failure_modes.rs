@@ -9,7 +9,7 @@ use mealib_types::Bytes as RtBytes;
 
 #[test]
 fn data_space_exhaustion_is_reported_and_recoverable() {
-    let mut ml = Mealib::new();
+    let mut ml = Mealib::builder().build();
     // The default LMS data space is ~2 GiB; a 4 GiB ask must fail.
     let err = ml.alloc_bytes("huge", 4 << 30).unwrap_err();
     assert!(matches!(err, MealibError::Runtime(_)), "{err}");
@@ -34,7 +34,7 @@ fn fragmentation_failure_names_the_largest_block() {
 
 #[test]
 fn plan_against_missing_buffer_fails_cleanly() {
-    let mut ml = Mealib::new();
+    let mut ml = Mealib::builder().build();
     let mut bag = ParamBag::new();
     bag.insert(
         "p.para".into(),
@@ -51,7 +51,7 @@ fn plan_against_missing_buffer_fails_cleanly() {
 
 #[test]
 fn plan_with_missing_params_fails_cleanly() {
-    let mut ml = Mealib::new();
+    let mut ml = Mealib::builder().build();
     ml.alloc_f32("x", 64).unwrap();
     ml.alloc_f32("y", 64).unwrap();
     let err = ml
@@ -65,7 +65,7 @@ fn plan_with_missing_params_fails_cleanly() {
 
 #[test]
 fn corrupt_parameter_blob_fails_at_execute() {
-    let mut ml = Mealib::new();
+    let mut ml = Mealib::builder().build();
     ml.alloc_f32("x", 64).unwrap();
     ml.alloc_f32("y", 64).unwrap();
     let mut bag = ParamBag::new();
@@ -84,7 +84,7 @@ fn corrupt_parameter_blob_fails_at_execute() {
 fn freeing_a_buffer_invalidates_existing_plans_resolution() {
     // Plans capture physical addresses at plan time; the runtime does
     // not dangle — re-planning after a free fails to resolve.
-    let mut ml = Mealib::new();
+    let mut ml = Mealib::builder().build();
     ml.alloc_f32("x", 64).unwrap();
     ml.alloc_f32("y", 64).unwrap();
     ml.free("x").unwrap();
@@ -107,7 +107,7 @@ fn freeing_a_buffer_invalidates_existing_plans_resolution() {
 
 #[test]
 fn destroyed_plans_cannot_run_but_runtime_survives() {
-    let mut ml = Mealib::new();
+    let mut ml = Mealib::builder().build();
     ml.alloc_f32("x", 256).unwrap();
     ml.alloc_f32("y", 256).unwrap();
     ml.write_f32("x", &vec![1.0; 256]).unwrap();

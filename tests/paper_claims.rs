@@ -2,9 +2,17 @@
 //! Absolute numbers are not expected to match the authors' testbed; the
 //! orderings, rough factors, and trends are.
 
-use mealib_sim::compare_platforms;
+use mealib_accel::AccelParams;
+use mealib_sim::{run_experiment, ExperimentOptions, OpComparison};
 use mealib_types::stats::geometric_mean;
 use mealib_workloads::{datasets, fig1, sar, stap};
+
+/// Default-options experiment, unwrapped to the five-platform rows.
+fn compare(op: &AccelParams) -> OpComparison {
+    run_experiment(op, &ExperimentOptions::default())
+        .expect("preflight clean")
+        .comparison
+}
 
 /// §5.1 / Fig. 9: "MEALib achieves the best performance on all the
 /// evaluated operations, and the improvements range from 11x (SPMV) to
@@ -13,7 +21,7 @@ use mealib_workloads::{datasets, fig1, sar, stap};
 fn fig9_mealib_wins_everywhere_with_the_right_spread() {
     let mut gains = Vec::new();
     for row in datasets::table2() {
-        let cmp = compare_platforms(&row.params);
+        let cmp = compare(&row.params);
         let mealib = cmp.mealib_speedup();
         for (name, s) in cmp.speedups() {
             assert!(
@@ -57,7 +65,7 @@ fn fig10_energy_gains_exceed_performance_gains() {
     let mut perf = Vec::new();
     let mut eff = Vec::new();
     for row in datasets::table2() {
-        let cmp = compare_platforms(&row.params);
+        let cmp = compare(&row.params);
         perf.push(cmp.mealib_speedup());
         eff.push(cmp.mealib_efficiency_gain());
     }
@@ -76,7 +84,7 @@ fn platform_ladder_is_ordered() {
     let mut msas = Vec::new();
     let mut mealib = Vec::new();
     for row in datasets::table2() {
-        let cmp = compare_platforms(&row.params);
+        let cmp = compare(&row.params);
         let s = cmp.speedups();
         psas.push(s[2].1);
         msas.push(s[3].1);
