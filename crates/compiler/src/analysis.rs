@@ -11,6 +11,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use mealib_tdl::{AcceleratorKind, CompBlock, LoopBlock, PassBlock, TdlItem, TdlProgram};
+use mealib_verify::{fusion_legal, AliasOracle, FusionStage};
 
 use crate::ast::{Decl, Expr, ForInit, Stmt, TranslationUnit};
 use crate::{CompileStats, GeneratedTdl};
@@ -195,6 +196,17 @@ struct Event {
     buffers: Vec<String>,
 }
 
+/// The fusion-legality view of one event: streamed input/output plus
+/// every buffer argument the call touches.
+fn fusion_stage(e: &Event) -> FusionStage {
+    FusionStage::new(e.input.clone(), e.output.clone(), e.buffers.clone())
+}
+
+/// The already-fused chain, as stages, for `fusion_legal`.
+fn fusion_stages(group: &[Event]) -> Vec<FusionStage> {
+    group.iter().map(fusion_stage).collect()
+}
+
 #[derive(Debug, Clone)]
 struct PlanInfo {
     kind: AcceleratorKind,
@@ -281,14 +293,20 @@ pub fn analyze(unit: &TranslationUnit) -> Result<TransformPlan, AnalysisError> {
     }
 
     // Group events into descriptors: a loop event stands alone; adjacent
-    // single events chain when the dataflow connects.
+    // single events chain when the dataflow connects AND the fusion is
+    // memory-sound — a name-matching pair like `saxpy(x,y); sgemv(A,y,x)`
+    // streams y but clobbers x, which the first stage still reads, so the
+    // alias oracle must approve every extension.
+    let oracle = AliasOracle::new();
     let mut groups: Vec<Vec<Event>> = Vec::new();
     for event in events {
+        let next_stage = fusion_stage(&event);
         let chainable = event.loop_count == 1
             && groups.last().is_some_and(|g| {
                 !g.is_empty()
                     && g[0].loop_count == 1
                     && g.last().expect("nonempty group").output == event.input
+                    && fusion_legal(&fusion_stages(g), &next_stage, &oracle)
             });
         if chainable {
             groups.last_mut().expect("checked above").push(event);
@@ -621,6 +639,35 @@ mod tests {
         assert!(text.contains("COMP RESHP"));
         assert!(text.contains("COMP FFT"));
         assert!(text.contains("in=datacube out=doppler"));
+    }
+
+    #[test]
+    fn buffer_reusing_pair_is_not_fused() {
+        // saxpy(x, y); saxpy(y, x): the outputs connect by name, but the
+        // second call stores to x while the fused datapath still reads
+        // it — fusing would change what the call sequence leaves in
+        // memory, so these must stay two descriptors.
+        let plan = analyze_src(
+            "cblas_saxpy(1024, 2.0, x, 1, y, 1);\n\
+             cblas_saxpy(1024, 2.0, y, 1, x, 1);",
+        );
+        assert_eq!(plan.stats.descriptors, 2, "unsound fusion rejected");
+        assert_eq!(plan.stats.chained_calls, 0);
+    }
+
+    #[test]
+    fn aux_operand_reuse_blocks_fusion() {
+        // The sgemv's vector operand rereads `b`, an intermediate of the
+        // fused saxpy pair. Inside a fused PASS that store never
+        // materializes, so the sgemv would read stale memory: the saxpy
+        // pair fuses, the sgemv stays its own descriptor.
+        let plan = analyze_src(
+            "cblas_saxpy(64, 1.0, a, 1, b, 1);\n\
+             cblas_saxpy(64, 1.0, b, 1, c, 1);\n\
+             cblas_sgemv(ORDER, TRANS, m, n, 1.0, c, lda, b, 1, 0.0, d, 1);",
+        );
+        assert_eq!(plan.stats.descriptors, 2, "aux reuse rejected");
+        assert_eq!(plan.stats.chained_calls, 2, "the saxpy pair still fuses");
     }
 
     #[test]

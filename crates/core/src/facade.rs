@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use mealib_accel::AccelParams;
 use mealib_obs::{Breakdown, Obs, Recorder};
-use mealib_runtime::{AccPlan, RunReport, Runtime, RuntimeError, StackId, VerifyMode};
+use mealib_runtime::{AccPlan, RunReport, Runtime, RuntimeError, Sanitizer, StackId, VerifyMode};
 use mealib_tdl::ParamBag;
 use mealib_types::{Bytes, Complex32, Gflops, Joules, Seconds, Watts};
 
@@ -122,6 +122,7 @@ pub struct MealibBuilder {
     verify: Option<VerifyMode>,
     obs: Option<Obs>,
     plan_cache_capacity: Option<usize>,
+    sanitizer: Option<Sanitizer>,
 }
 
 impl MealibBuilder {
@@ -161,6 +162,15 @@ impl MealibBuilder {
         self
     }
 
+    /// Installs a shadow-memory sanitizer ([`Sanitizer::active`]) that
+    /// records every host access, flush, and descriptor execution and
+    /// raises the MEA1xx dataflow diagnostics dynamically. Keep a clone
+    /// of the handle to query [`Sanitizer::report`] afterwards.
+    pub fn sanitizer(mut self, san: Sanitizer) -> Self {
+        self.sanitizer = Some(san);
+        self
+    }
+
     /// Builds the handle.
     pub fn build(self) -> Mealib {
         let mut rt = match (self.runtime, self.stacks) {
@@ -176,6 +186,9 @@ impl MealibBuilder {
         }
         if let Some(capacity) = self.plan_cache_capacity {
             rt.set_plan_cache_capacity(capacity);
+        }
+        if let Some(san) = self.sanitizer {
+            rt.set_sanitizer(san);
         }
         Mealib {
             rt,
@@ -356,6 +369,15 @@ impl Mealib {
     /// Returns runtime errors for malformed TDL or unresolved buffers.
     pub fn plan_cached(&mut self, tdl: &str, params: &ParamBag) -> Result<AccPlan, MealibError> {
         Ok(self.rt.acc_plan_cached(tdl, params)?)
+    }
+
+    /// Writes back and invalidates the host cache (`wbinvd`), making
+    /// accelerator stores visible to subsequent host reads. Returns the
+    /// modeled flush time. Required between an operation and a host
+    /// read-back for the access sequence to be coherence-clean under an
+    /// installed [`Sanitizer`].
+    pub fn sync(&mut self) -> Seconds {
+        self.rt.cache_sync()
     }
 
     /// Executes a previously built plan (`mealib_acc_execute`), returning
@@ -580,6 +602,37 @@ mod tests {
         let seen = rec.breakdown();
         assert!(seen.counter(mealib_obs::Counter::AllocBytes) >= 2 * (4 << 12));
         assert!(seen.counter(mealib_obs::Counter::CacheFlushes) >= 1);
+    }
+
+    #[test]
+    fn sanitizer_knob_shadows_the_whole_flow() {
+        let san = Sanitizer::active();
+        let mut ml = Mealib::builder().sanitizer(san.clone()).build();
+        ml.alloc_f32("x", 256).unwrap();
+        ml.alloc_f32("y", 256).unwrap();
+        ml.write_f32("x", &vec![1.0; 256]).unwrap();
+        ml.write_f32("y", &vec![10.0; 256]).unwrap();
+        ml.saxpy(2.0, "x", "y").unwrap();
+        // Device wrote `y`; syncing before the read-back keeps the host
+        // out of its stale cached lines.
+        ml.sync();
+        assert!(ml.read_f32("y").unwrap().iter().all(|&v| v == 12.0));
+        let report = san.final_report();
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn sanitizer_flags_unsynced_read_back() {
+        let san = Sanitizer::active();
+        let mut ml = Mealib::builder().sanitizer(san.clone()).build();
+        ml.alloc_f32("x", 64).unwrap();
+        ml.alloc_f32("y", 64).unwrap();
+        ml.write_f32("x", &vec![1.0; 64]).unwrap();
+        ml.write_f32("y", &vec![0.0; 64]).unwrap();
+        ml.saxpy(1.0, "x", "y").unwrap();
+        // No sync: the host may observe pre-accelerator bytes.
+        let _ = ml.read_f32("y").unwrap();
+        assert!(san.report().has_code(mealib_types::ErrorCode::DfStaleRead));
     }
 
     #[test]

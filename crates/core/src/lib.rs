@@ -43,7 +43,7 @@ mod ops;
 pub use facade::{Mealib, MealibBuilder, MealibError, OpReport};
 pub use mealib_accel::AccelParams;
 pub use mealib_obs::{Breakdown, Counter, Obs, Phase, Recorder, TraceRecorder};
-pub use mealib_runtime::{AccPlan, RunReport, StackId, VerifyMode};
+pub use mealib_runtime::{AccPlan, RunReport, Sanitizer, StackId, VerifyMode};
 pub use mealib_types::Complex32;
 
 /// Convenience re-exports for downstream code.

@@ -28,6 +28,7 @@ use mealib_tdl::TdlItem;
 
 use crate::cache::CacheModel;
 use crate::driver::{DriverError, MealibDriver, StackId};
+use crate::sanitizer::Sanitizer;
 
 /// How strictly [`Runtime::acc_plan`] applies the `mealib-verify`
 /// static passes to each plan.
@@ -197,6 +198,7 @@ pub struct Runtime {
     verify_limits: TdlLimits,
     last_verify: Option<Report>,
     obs: Obs,
+    sanitizer: Sanitizer,
 }
 
 impl Runtime {
@@ -255,7 +257,23 @@ impl Runtime {
             verify_limits: TdlLimits::default(),
             last_verify: None,
             obs: Obs::off(),
+            sanitizer: Sanitizer::off(),
         }
+    }
+
+    /// Installs (or clears) the shadow-memory sanitizer. The same
+    /// handle is pushed into the driver so host `write`/`read` accesses
+    /// are recorded, and it is seeded with the live allocation table so
+    /// the overlap pass sees real extents.
+    pub fn set_sanitizer(&mut self, san: Sanitizer) {
+        san.set_extents(self.driver.extent_table());
+        self.driver.set_sanitizer(san.clone());
+        self.sanitizer = san;
+    }
+
+    /// The current sanitizer handle.
+    pub fn sanitizer(&self) -> &Sanitizer {
+        &self.sanitizer
     }
 
     /// Installs (or clears) the observability handle events are
@@ -402,6 +420,18 @@ impl Runtime {
                 Some(params),
                 &self.verify_limits,
             );
+            // Dataflow pass in implicit mode, against the driver's real
+            // allocation extents: overlap and chain-capacity defects
+            // surface before the descriptor is even encoded.
+            let env = mealib_verify::DataflowEnv {
+                extents: self.driver.extent_table(),
+                ..Default::default()
+            };
+            report.merge(mealib_verify::dataflow::verify_program(
+                &program,
+                Some(&lines),
+                &env,
+            ));
             if self.verify_mode == VerifyMode::Enforce && report.has_errors() {
                 self.last_verify = Some(report.clone());
                 return Err(RuntimeError::Verify(report));
@@ -487,15 +517,59 @@ impl Runtime {
     ///
     /// Returns [`RuntimeError::PlanDestroyed`], driver, or CU errors.
     pub fn acc_execute(&mut self, plan: &AccPlan) -> Result<RunReport, RuntimeError> {
+        self.execute_impl(plan, true)
+    }
+
+    /// Like [`Runtime::acc_execute`] but *without* the implicit cache
+    /// write-back: only the descriptor copy is charged, and the
+    /// sanitizer sees no flush. This is the decomposed invocation used
+    /// by harnesses that manage coherence explicitly via
+    /// [`Runtime::cache_sync`] — exactly the split the coherence
+    /// analysis reasons about.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::PlanDestroyed`], driver, or CU errors.
+    pub fn acc_execute_unsynced(&mut self, plan: &AccPlan) -> Result<RunReport, RuntimeError> {
+        self.execute_impl(plan, false)
+    }
+
+    /// A standalone `wbinvd`: writes back every dirty host line and
+    /// invalidates the cache, making host and accelerator views
+    /// coherent. Returns the modeled cost.
+    pub fn cache_sync(&mut self) -> Seconds {
+        self.sanitizer.flush();
+        let flush = self.cache.flush_time_for(self.driver.allocated_bytes());
+        if self.obs.enabled() {
+            self.obs.span(
+                Phase::Flush,
+                "cache_sync",
+                flush,
+                self.cache.flush_energy(flush),
+            );
+            self.obs.count(Counter::CacheFlushes, 1);
+        }
+        flush
+    }
+
+    fn execute_impl(&mut self, plan: &AccPlan, sync: bool) -> Result<RunReport, RuntimeError> {
         if plan.destroyed {
             return Err(RuntimeError::PlanDestroyed);
         }
         let image = plan.descriptor.as_bytes();
         self.driver.write_descriptor(image)?;
 
-        let flush = self.cache.flush_time_for(self.driver.allocated_bytes());
+        if sync {
+            self.sanitizer.flush();
+        }
+        self.sanitizer.observe_program(&plan.program);
+
         let copy = self.cache.descriptor_copy_time(image.len());
-        let invocation_time = flush + copy;
+        let invocation_time = if sync {
+            self.cache.flush_time_for(self.driver.allocated_bytes()) + copy
+        } else {
+            copy
+        };
         let invocation_energy = self.cache.flush_energy(invocation_time);
 
         // §3.3: data should reside in the accelerator's Local Memory
@@ -539,7 +613,9 @@ impl Runtime {
             );
             self.obs.record_breakdown(&run.breakdown(), "acc_execute");
             run.record_into(&self.obs);
-            self.obs.count(Counter::CacheFlushes, 1);
+            if sync {
+                self.obs.count(Counter::CacheFlushes, 1);
+            }
             self.obs.count(Counter::DriverCalls, 1);
         }
         Ok(RunReport {

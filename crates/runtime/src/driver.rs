@@ -14,6 +14,7 @@ use std::fmt;
 use mealib_types::{AddrRange, Bytes, PhysAddr, VirtAddr};
 
 use crate::physmem::{AllocError, PhysicalSpace};
+use crate::sanitizer::Sanitizer;
 use crate::vmap::{AddressSpaceMap, MapError};
 
 /// Identifies one memory stack in a multi-stack system (§3.3): stack 0
@@ -176,6 +177,7 @@ pub struct MealibDriver {
     vmap: AddressSpaceMap,
     store: BTreeMap<u64, Vec<u8>>,
     buffers: BTreeMap<String, BufferHandle>,
+    san: Sanitizer,
 }
 
 impl MealibDriver {
@@ -246,6 +248,7 @@ impl MealibDriver {
             vmap: AddressSpaceMap::new(),
             store: BTreeMap::new(),
             buffers: BTreeMap::new(),
+            san: Sanitizer::off(),
         })
     }
 
@@ -321,6 +324,8 @@ impl MealibDriver {
             stack,
         };
         self.buffers.insert(name.to_string(), handle.clone());
+        self.san
+            .set_extents(std::iter::once((name.to_string(), pa)).collect());
         Ok(handle)
     }
 
@@ -355,6 +360,26 @@ impl MealibDriver {
             .collect()
     }
 
+    /// The name→physical-extent table of every live buffer, feeding the
+    /// dataflow analysis' alias/overlap oracle with real allocations.
+    pub fn extent_table(&self) -> BTreeMap<String, AddrRange> {
+        self.buffers
+            .iter()
+            .map(|(name, h)| (name.clone(), h.pa))
+            .collect()
+    }
+
+    /// Installs (or clears) the shadow-memory sanitizer host accesses
+    /// are recorded through.
+    pub fn set_sanitizer(&mut self, san: Sanitizer) {
+        self.san = san;
+    }
+
+    /// The current sanitizer handle.
+    pub fn sanitizer(&self) -> &Sanitizer {
+        &self.san
+    }
+
     /// Writes bytes into a buffer at an offset (host-side initialization,
     /// Step 1 of Figure 7).
     ///
@@ -383,6 +408,7 @@ impl MealibDriver {
             .get_mut(&handle.pa.start().get())
             .expect("live buffer has backing store");
         backing[offset as usize..end as usize].copy_from_slice(bytes);
+        self.san.host_write(name);
         Ok(())
     }
 
@@ -412,6 +438,7 @@ impl MealibDriver {
             .store
             .get(&handle.pa.start().get())
             .expect("live buffer has backing store");
+        self.san.host_read(name);
         Ok(&backing[offset as usize..end as usize])
     }
 

@@ -18,7 +18,11 @@
 //!   regions);
 //! * [`control::Runtime`] — `mealib_mem_alloc`/`free`,
 //!   `mealib_acc_plan`/`execute`/`destroy` (Listing 2), wired to the
-//!   Configuration Unit model in `mealib-accel`.
+//!   Configuration Unit model in `mealib-accel`;
+//! * [`sanitizer::Sanitizer`] — the shadow-memory recorder that mirrors
+//!   the static MEA1xx dataflow analysis at runtime, shadowing every
+//!   host access, flush, and descriptor execution with per-buffer
+//!   epoch + dirty-bit state.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +31,7 @@ pub mod cache;
 pub mod control;
 pub mod driver;
 pub mod physmem;
+pub mod sanitizer;
 pub mod vmap;
 
 pub use cache::CacheModel;
@@ -35,4 +40,5 @@ pub use control::{
 };
 pub use driver::{BufferHandle, MealibDriver, StackId};
 pub use physmem::PhysicalSpace;
+pub use sanitizer::Sanitizer;
 pub use vmap::AddressSpaceMap;

@@ -1,0 +1,286 @@
+//! Runtime shadow-memory sanitizer: the dynamic half of the MEA1xx
+//! dataflow & coherence analysis.
+//!
+//! The static pass in `mealib_verify::dataflow` *predicts* what a TDL
+//! program will do to memory; this recorder *watches* what actually
+//! happens during simulation.  Every host access through the driver
+//! ([`crate::MealibDriver::write`] / `read`), every flush, and every
+//! descriptor execution is shadowed with per-buffer epoch + dirty-bit
+//! state — the very same [`CoherenceMachine`] the static analysis
+//! elaborates into, so both layers raise identical MEA1xx codes and the
+//! differential tests can demand verdict-for-verdict agreement.
+//!
+//! The sanitizer is nullable in the style of the observability layer: a
+//! [`Sanitizer::off`] handle is a `None` behind the facade and every
+//! hook is a branch-on-None no-op, keeping the disabled-path overhead
+//! unmeasurable.  Cloning shares the recording (the driver and runtime
+//! each hold a handle onto one shadow state).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
+
+use mealib_tdl::{TdlItem, TdlProgram};
+use mealib_types::{AddrRange, Diagnostic, ErrorCode, Report};
+use mealib_verify::dataflow::{self, CoherenceMachine, DataflowEnv};
+
+#[derive(Debug, Default)]
+struct SanState {
+    machine: CoherenceMachine,
+    structural: Report,
+    /// Dedup for structural findings: plans are reusable, and executing
+    /// the same plan twice re-observes the same defect, not a new one.
+    reported: BTreeSet<(ErrorCode, String)>,
+    extents: BTreeMap<String, AddrRange>,
+}
+
+impl SanState {
+    fn push_structural(&mut self, d: Diagnostic) {
+        let key = (d.code, d.message.clone());
+        if self.reported.insert(key) {
+            self.structural.push(d);
+        }
+    }
+
+    fn observe_program(&mut self, program: &TdlProgram) {
+        // Structural passes (MEA102 overlap, MEA104 capacity) over the
+        // program shape, with whatever extents we have been told about.
+        let env = DataflowEnv {
+            extents: self.extents.clone(),
+            ..DataflowEnv::default()
+        };
+        for d in dataflow::verify_program(program, None, &env).diagnostics() {
+            self.push_structural(d.clone());
+        }
+
+        // Elaborate the device accesses through the shared machine, in
+        // execution order.  Loops unroll to min(count, 2) trips exactly
+        // like the static elaboration: the epoch state repeats after
+        // two, and two is enough to observe loop-carried hazards.
+        for item in &program.items {
+            match item {
+                TdlItem::Pass(p) => {
+                    self.machine.dev_read(&p.input, None, None);
+                    self.machine.dev_write(&p.output, None);
+                }
+                TdlItem::Loop(l) => {
+                    // MEA105 progress check at loop entry: a dependence
+                    // cycle is fine only if something already defined
+                    // one of its buffers.
+                    if let Some(cycle) = dataflow::loop_cycle(&l.body) {
+                        if !cycle.iter().any(|b| self.machine.has_definition(b)) {
+                            self.push_structural(Diagnostic::error(
+                                ErrorCode::DfCyclicDependence,
+                                format!(
+                                    "loop body forms a dependence cycle over {} with no \
+                                     definition reaching the loop: no iteration ever has \
+                                     valid input and the chain can never drain",
+                                    cycle
+                                        .iter()
+                                        .map(|b| format!("`{b}`"))
+                                        .collect::<Vec<_>>()
+                                        .join(" -> "),
+                                ),
+                            ));
+                        }
+                    }
+                    for iter in 0..l.count.min(2) {
+                        for p in &l.body {
+                            self.machine.dev_read(&p.input, None, Some(iter));
+                            self.machine.dev_write(&p.output, None);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn report(&self) -> Report {
+        let mut out = self.structural.clone();
+        out.merge(self.machine.report().clone());
+        out
+    }
+
+    fn final_report(&self) -> Report {
+        let mut out = self.structural.clone();
+        out.merge(self.machine.clone().finish());
+        out
+    }
+}
+
+/// Nullable handle onto the shadow-memory recorder.
+#[derive(Debug, Clone, Default)]
+pub struct Sanitizer {
+    inner: Option<Arc<Mutex<SanState>>>,
+}
+
+impl Sanitizer {
+    /// A disabled sanitizer: every hook is a no-op (the default).
+    pub fn off() -> Self {
+        Self { inner: None }
+    }
+
+    /// An active sanitizer with empty shadow state.
+    pub fn active() -> Self {
+        Self {
+            inner: Some(Arc::new(Mutex::new(SanState::default()))),
+        }
+    }
+
+    /// `true` when recording.
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut SanState) -> R) -> Option<R> {
+        self.inner
+            .as_ref()
+            .map(|state| f(&mut state.lock().expect("sanitizer state poisoned")))
+    }
+
+    /// Declares (or updates) buffer extents, enabling the MEA102
+    /// overlap pass on subsequently observed programs.  The runtime
+    /// feeds the driver's real allocation table through here.
+    pub fn set_extents(&self, extents: BTreeMap<String, AddrRange>) {
+        self.with(|st| st.extents.extend(extents));
+    }
+
+    /// Records a host write of `buf` (driver `write`): the host's cache
+    /// lines for the buffer are now dirty.
+    pub fn host_write(&self, buf: &str) {
+        self.with(|st| st.machine.host_write(buf, None));
+    }
+
+    /// Records a host read of `buf` (driver `read`).
+    pub fn host_read(&self, buf: &str) {
+        self.with(|st| st.machine.host_read(buf, None));
+    }
+
+    /// Records a `wbinvd` (cache write-back + invalidate).
+    pub fn flush(&self) {
+        self.with(|st| st.machine.flush());
+    }
+
+    /// Records one descriptor execution: structural checks on the
+    /// program shape plus the elaborated device access stream.
+    pub fn observe_program(&self, program: &TdlProgram) {
+        self.with(|st| st.observe_program(program));
+    }
+
+    /// Findings so far, without the end-of-session dead-buffer scan.
+    /// Empty when the sanitizer is off.
+    pub fn report(&self) -> Report {
+        self.with(|st| st.report()).unwrap_or_default()
+    }
+
+    /// Findings including the dead-buffer scan (`MEA101`): call once
+    /// the workload is finished.  The shadow state itself is left
+    /// untouched, so the session can continue if needed.
+    pub fn final_report(&self) -> Report {
+        self.with(|st| st.final_report()).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mealib_tdl::parse;
+
+    #[test]
+    fn off_handle_records_nothing() {
+        let san = Sanitizer::off();
+        assert!(!san.is_active());
+        san.host_write("x");
+        san.flush();
+        san.observe_program(&parse("PASS in=ghost out=y { COMP FFT params=\"f\" }").unwrap());
+        assert!(san.report().is_clean());
+        assert!(san.final_report().is_clean());
+    }
+
+    #[test]
+    fn clean_protocol_stays_clean() {
+        let san = Sanitizer::active();
+        san.host_write("x");
+        san.flush();
+        san.observe_program(&parse("PASS in=x out=y { COMP FFT params=\"f\" }").unwrap());
+        san.flush();
+        san.host_read("y");
+        assert!(
+            san.final_report().is_clean(),
+            "{}",
+            san.final_report().render()
+        );
+    }
+
+    #[test]
+    fn missing_flush_raises_stale_read() {
+        let san = Sanitizer::active();
+        san.host_write("x");
+        san.observe_program(&parse("PASS in=x out=y { COMP FFT params=\"f\" }").unwrap());
+        assert!(san.report().has_code(ErrorCode::DfStaleRead));
+    }
+
+    #[test]
+    fn uninitialized_read_raises_mea100() {
+        let san = Sanitizer::active();
+        san.flush();
+        san.observe_program(&parse("PASS in=ghost out=y { COMP FFT params=\"f\" }").unwrap());
+        assert!(san.report().has_code(ErrorCode::DfUninitRead));
+    }
+
+    #[test]
+    fn repeated_observation_does_not_duplicate_structural_findings() {
+        let san = Sanitizer::active();
+        let program = parse(
+            "PASS in=a out=b { COMP RESMP params=\"r\" COMP FFT params=\"f\" \
+             COMP GEMV params=\"g\" COMP AXPY params=\"x\" COMP RESHP params=\"t\" }",
+        )
+        .unwrap();
+        san.host_write("a");
+        san.flush();
+        san.observe_program(&program);
+        san.observe_program(&program);
+        let capacity_findings = san
+            .report()
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == ErrorCode::DfChainOverCapacity)
+            .count();
+        assert_eq!(capacity_findings, 1);
+    }
+
+    #[test]
+    fn unseeded_cycle_raises_mea105() {
+        let san = Sanitizer::active();
+        san.flush();
+        san.observe_program(
+            &parse(
+                "LOOP 4 { PASS in=p out=q { COMP AXPY params=\"a\" } \
+                 PASS in=q out=p { COMP AXPY params=\"b\" } }",
+            )
+            .unwrap(),
+        );
+        assert!(san.report().has_code(ErrorCode::DfCyclicDependence));
+        // Seeding the cycle first keeps the same shape clean.
+        let seeded = Sanitizer::active();
+        seeded.host_write("p");
+        seeded.flush();
+        seeded.observe_program(
+            &parse(
+                "LOOP 4 { PASS in=p out=q { COMP AXPY params=\"a\" } \
+                 PASS in=q out=p { COMP AXPY params=\"b\" } }",
+            )
+            .unwrap(),
+        );
+        assert!(!seeded.report().has_code(ErrorCode::DfCyclicDependence));
+    }
+
+    #[test]
+    fn clones_share_the_shadow_state() {
+        let san = Sanitizer::active();
+        let other = san.clone();
+        other.host_write("x");
+        san.observe_program(&parse("PASS in=x out=y { COMP FFT params=\"f\" }").unwrap());
+        // `x` was written but never flushed: visible through either handle.
+        assert!(other.report().has_code(ErrorCode::DfStaleRead));
+    }
+}

@@ -1,0 +1,288 @@
+//! Differential verification: static MEA1xx verdicts vs. the runtime
+//! sanitizer's, on the same session source.
+//!
+//! [`run_sanitizer_experiment`] takes one session (TDL plus optional
+//! `HOST`/`FLUSH`/`BUF` directives, see `mealib_verify::dataflow`),
+//! verifies it statically, then *replays* it through a real
+//! [`Runtime`] with an active [`Sanitizer`]: host directives become
+//! driver writes/reads, `FLUSH` becomes [`Runtime::cache_sync`], and
+//! each top-level TDL item is planned and executed (unsynced, so the
+//! session's own flush discipline is what the shadow state sees).
+//! Because the sanitizer drives the same coherence machine the static
+//! analysis elaborates into, the two verdicts can be compared
+//! code-for-code — the property the differential test suite pins down.
+
+use std::collections::BTreeSet;
+
+use mealib_accel::AccelParams;
+use mealib_runtime::{Runtime, Sanitizer, VerifyMode};
+use mealib_tdl::{AcceleratorKind, ParamBag, ParseError, TdlItem, TdlProgram};
+use mealib_types::{Bytes, ErrorCode, Report};
+use mealib_verify::dataflow::{self, DataflowEnv, HostOp, ProgramSpans, Session};
+
+/// The two verdicts on one session.
+#[derive(Debug, Clone)]
+pub struct SessionVerdict {
+    /// What the static analysis predicted.
+    pub static_report: Report,
+    /// What the sanitizer observed during the replay.
+    pub dynamic_report: Report,
+}
+
+impl SessionVerdict {
+    /// MEA1xx codes the static analysis raised.
+    pub fn static_codes(&self) -> BTreeSet<ErrorCode> {
+        dataflow_codes(&self.static_report)
+    }
+
+    /// MEA1xx codes the sanitizer raised.
+    pub fn dynamic_codes(&self) -> BTreeSet<ErrorCode> {
+        dataflow_codes(&self.dynamic_report)
+    }
+
+    /// `true` when both layers raised exactly the same MEA1xx codes.
+    pub fn agree(&self) -> bool {
+        self.static_codes() == self.dynamic_codes()
+    }
+}
+
+fn dataflow_codes(report: &Report) -> BTreeSet<ErrorCode> {
+    report
+        .diagnostics()
+        .iter()
+        .map(|d| d.code)
+        .filter(|c| (100..110).contains(&c.number()))
+        .collect()
+}
+
+/// Statically verifies `src` and replays it through a sanitized
+/// runtime, returning both MEA1xx verdicts.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for malformed directives or TDL.
+pub fn run_sanitizer_experiment(src: &str) -> Result<SessionVerdict, ParseError> {
+    let session = dataflow::parse_session(src)?;
+    let static_report = dataflow::verify_session(&session, &DataflowEnv::default());
+    let dynamic_report = replay(&session);
+    Ok(SessionVerdict {
+        static_report,
+        dynamic_report,
+    })
+}
+
+/// Replays the whole session through a sanitized runtime and returns
+/// the sanitizer's final report (including the dead-buffer scan).
+fn replay(session: &Session) -> Report {
+    let san = Sanitizer::active();
+    let mut rt = Runtime::new();
+    // Static verification is the *other* half of the comparison; the
+    // replay must rely on the sanitizer alone.
+    rt.set_verify_mode(VerifyMode::Off);
+    rt.set_sanitizer(san.clone());
+
+    let mut names: BTreeSet<String> = BTreeSet::new();
+    for pass in session.program.passes() {
+        names.insert(pass.input.clone());
+        names.insert(pass.output.clone());
+    }
+    for (_, op) in &session.host_ops {
+        match op {
+            HostOp::Write(b) | HostOp::Read(b) => {
+                names.insert(b.clone());
+            }
+            HostOp::Flush => {}
+        }
+    }
+    for name in &names {
+        rt.mem_alloc(name, Bytes::from_mib(1))
+            .expect("replay buffer fits the default stack");
+    }
+    // `BUF` directives override the allocator's (disjoint) layout so
+    // declared overlaps reproduce dynamically.
+    san.set_extents(session.extents.clone());
+
+    if session.is_explicit() {
+        replay_explicit(session, &mut rt, &san);
+    } else {
+        replay_implicit(session, &mut rt, &san);
+    }
+    san.final_report()
+}
+
+/// Explicit mode: the directives *are* the host protocol — replay them
+/// verbatim, interleaved with the TDL items by source position.
+fn replay_explicit(session: &Session, rt: &mut Runtime, san: &Sanitizer) {
+    enum Ev<'a> {
+        Host(&'a HostOp),
+        Item(usize),
+    }
+    let spans = ProgramSpans::new(Some(&session.lines));
+    let mut events: Vec<(usize, Ev<'_>)> = session
+        .host_ops
+        .iter()
+        .map(|(line, op)| (*line, Ev::Host(op)))
+        .collect();
+    for idx in 0..session.program.items.len() {
+        events.push((spans.item_header(idx).unwrap_or(usize::MAX), Ev::Item(idx)));
+    }
+    events.sort_by_key(|(line, _)| *line);
+    for (_, ev) in events {
+        match ev {
+            Ev::Host(HostOp::Write(buf)) => host_write(rt, buf),
+            Ev::Host(HostOp::Read(buf)) => host_read(rt, buf),
+            Ev::Host(HostOp::Flush) => {
+                rt.cache_sync();
+            }
+            Ev::Item(idx) => run_item(&session.program.items[idx], rt, san),
+        }
+    }
+}
+
+/// Implicit mode: mirror the contract the static analysis assumes —
+/// external inputs initialized and flushed before the first descriptor,
+/// every output consumed after a final sync — so a statically clean
+/// program replays clean too.
+fn replay_implicit(session: &Session, rt: &mut Runtime, san: &Sanitizer) {
+    let mut defined: BTreeSet<&str> = BTreeSet::new();
+    let mut external: Vec<&str> = Vec::new();
+    let mut outputs: Vec<&str> = Vec::new();
+    for pass in session.program.passes() {
+        let input = pass.input.as_str();
+        if !defined.contains(input) && !external.contains(&input) {
+            external.push(input);
+        }
+        defined.insert(&pass.output);
+        if !outputs.contains(&pass.output.as_str()) {
+            outputs.push(&pass.output);
+        }
+    }
+    for buf in external {
+        host_write(rt, buf);
+    }
+    rt.cache_sync();
+    for item in &session.program.items {
+        run_item(item, rt, san);
+    }
+    rt.cache_sync();
+    for buf in outputs {
+        host_read(rt, buf);
+    }
+}
+
+fn host_write(rt: &mut Runtime, buf: &str) {
+    rt.driver_mut()
+        .write(buf, 0, &[1u8; 16])
+        .expect("replay host write");
+}
+
+fn host_read(rt: &mut Runtime, buf: &str) {
+    rt.driver().read(buf, 0, 16).expect("replay host read");
+}
+
+/// Plans and executes one top-level item. The sanitizer hook sits on
+/// the execute path; if planning or the descriptor copy fails, the
+/// program is fed to the sanitizer directly so the dynamic verdict
+/// still covers everything the runtime was asked to run (re-observing
+/// is verdict-idempotent — diagnostics dedup per buffer).
+fn run_item(item: &TdlItem, rt: &mut Runtime, san: &Sanitizer) {
+    let program = TdlProgram::new(vec![item.clone()]);
+    let mut bag = ParamBag::new();
+    let comps: Vec<_> = match item {
+        TdlItem::Pass(p) => p.comps.clone(),
+        TdlItem::Loop(l) => l.body.iter().flat_map(|p| p.comps.clone()).collect(),
+    };
+    for comp in comps {
+        bag.insert(comp.params.clone(), plausible_params(comp.accel).to_bytes());
+    }
+    match rt.acc_plan(&program.to_string(), &bag) {
+        Ok(plan) => {
+            if rt.acc_execute_unsynced(&plan).is_err() {
+                san.observe_program(&program);
+            }
+        }
+        Err(_) => san.observe_program(&program),
+    }
+}
+
+/// Token-sized parameters for each accelerator: the replay checks the
+/// access protocol, not the dataset, so any well-formed payload works.
+fn plausible_params(kind: AcceleratorKind) -> AccelParams {
+    match kind {
+        AcceleratorKind::Axpy => AccelParams::Axpy {
+            n: 1024,
+            alpha: 1.0,
+            incx: 1,
+            incy: 1,
+        },
+        AcceleratorKind::Dot => AccelParams::Dot {
+            n: 1024,
+            incx: 1,
+            incy: 1,
+            complex: false,
+        },
+        AcceleratorKind::Gemv => AccelParams::Gemv { m: 64, n: 64 },
+        AcceleratorKind::Spmv => AccelParams::Spmv {
+            rows: 64,
+            cols: 64,
+            nnz: 256,
+        },
+        AcceleratorKind::Resmp => AccelParams::Resmp {
+            blocks: 4,
+            in_per_block: 64,
+            out_per_block: 64,
+        },
+        AcceleratorKind::Fft => AccelParams::Fft { n: 64, batch: 4 },
+        AcceleratorKind::Reshp => AccelParams::Reshp {
+            rows: 16,
+            cols: 16,
+            elem_bytes: 4,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_explicit_session_agrees_clean() {
+        let v = run_sanitizer_experiment(
+            "HOST WRITE x\nFLUSH\nPASS in=x out=y {\n  COMP AXPY params=\"a\"\n}\nFLUSH\nHOST READ y\n",
+        )
+        .unwrap();
+        assert!(v.static_report.is_clean(), "{}", v.static_report.render());
+        assert!(v.dynamic_report.is_clean(), "{}", v.dynamic_report.render());
+        assert!(v.agree());
+    }
+
+    #[test]
+    fn missing_flush_agrees_stale() {
+        let v = run_sanitizer_experiment(
+            "HOST WRITE x\nPASS in=x out=y {\n  COMP AXPY params=\"a\"\n}\nFLUSH\nHOST READ y\n",
+        )
+        .unwrap();
+        assert!(v.static_codes().contains(&ErrorCode::DfStaleRead));
+        assert!(
+            v.agree(),
+            "static {:?} vs dynamic {:?}",
+            v.static_codes(),
+            v.dynamic_codes()
+        );
+    }
+
+    #[test]
+    fn implicit_program_agrees_clean() {
+        let v = run_sanitizer_experiment(
+            "PASS in=a out=b {\n  COMP RESMP params=\"r\"\n}\nPASS in=b out=c {\n  COMP FFT params=\"f\"\n}\n",
+        )
+        .unwrap();
+        assert!(v.static_report.is_clean(), "{}", v.static_report.render());
+        assert!(v.dynamic_report.is_clean(), "{}", v.dynamic_report.render());
+    }
+
+    #[test]
+    fn malformed_session_is_a_parse_error() {
+        assert!(run_sanitizer_experiment("HOST SCRIBBLE x\n").is_err());
+    }
+}

@@ -10,8 +10,9 @@ use std::sync::Arc;
 use mealib_accel::AccelParams;
 use mealib_host::{run_op, CodeFlavor, Platform};
 use mealib_obs::{Breakdown, Obs, Phase, Recorder, TraceRecorder};
-use mealib_runtime::VerifyMode;
-use mealib_types::{Joules, Seconds, Watts};
+use mealib_runtime::{Runtime, Sanitizer, VerifyMode};
+use mealib_tdl::ParamBag;
+use mealib_types::{Bytes, Joules, Seconds, Watts};
 
 use crate::platforms::AcceleratedPlatform;
 
@@ -125,6 +126,11 @@ pub struct ExperimentOptions {
     /// branch; an enabled recorder sees the per-platform breakdowns
     /// and memory-system counters.
     pub obs: Obs,
+    /// Shadow-memory sanitizer. [`Sanitizer::off`] (the default) is a
+    /// branch-on-None no-op; an active handle additionally drives the
+    /// operation through a sanitized [`Runtime`] and records the MEA1xx
+    /// coherence verdict in [`ExperimentReport::sanitizer`].
+    pub sanitizer: Sanitizer,
 }
 
 impl ExperimentOptions {
@@ -144,6 +150,12 @@ impl ExperimentOptions {
     pub fn recorder(self, recorder: Arc<dyn Recorder + Send + Sync>) -> Self {
         self.obs(Obs::new(recorder))
     }
+
+    /// Installs a shadow-memory sanitizer ([`Sanitizer::active`]).
+    pub fn sanitizer(mut self, san: Sanitizer) -> Self {
+        self.sanitizer = san;
+        self
+    }
 }
 
 /// The result of [`run_experiment`]: the five-platform comparison plus
@@ -160,6 +172,9 @@ pub struct ExperimentReport {
     /// The preflight report when `verify` was [`VerifyMode::Warn`];
     /// `None` under `Enforce` (errors become `Err`) and `Off`.
     pub verify: Option<mealib_types::Report>,
+    /// The sanitizer's final MEA1xx report when an active
+    /// [`Sanitizer`] was installed; `None` otherwise.
+    pub sanitizer: Option<mealib_types::Report>,
 }
 
 /// Runs `op` on all five platforms — Haswell (MKL), Xeon Phi (MKL),
@@ -168,8 +183,8 @@ pub struct ExperimentReport {
 /// Under [`VerifyMode::Enforce`] the first call in a process runs the
 /// static-verification preflight ([`crate::preflight`]): TDL semantics,
 /// descriptor image, memory-config validation (with the interleaving
-/// bijectivity proof), and physical-memory consistency. Subsequent
-/// calls reuse the cached verdict.
+/// bijectivity proof), physical-memory consistency, and the dataflow &
+/// coherence analysis. Subsequent calls reuse the cached verdict.
 ///
 /// # Errors
 ///
@@ -223,11 +238,49 @@ pub fn run_experiment(
             bytes: r.mem.bytes_moved().get(),
         });
     }
+    let sanitizer = if opts.sanitizer.is_active() {
+        drive_sanitized(op, &opts.sanitizer);
+        Some(opts.sanitizer.final_report())
+    } else {
+        None
+    };
     Ok(ExperimentReport {
         comparison: OpComparison { op: *op, rows },
         breakdown,
         verify,
+        sanitizer,
     })
+}
+
+/// Replays `op` as one MEALib library call through a sanitized
+/// [`Runtime`], following the canonical coherence protocol: host
+/// initialization, implicit `wbinvd` at invocation, `wbinvd` again
+/// before the host reads the result back. Buffer sizes are token-sized
+/// — the sanitizer checks the access *protocol*, not the dataset.
+fn drive_sanitized(op: &AccelParams, san: &Sanitizer) {
+    let mut rt = Runtime::new();
+    rt.set_sanitizer(san.clone());
+    rt.mem_alloc("san.in", Bytes::from_mib(1))
+        .expect("sanitizer buffer fits the default stack");
+    rt.mem_alloc("san.out", Bytes::from_mib(1))
+        .expect("sanitizer buffer fits the default stack");
+    rt.driver_mut()
+        .write("san.in", 0, &[0u8; 64])
+        .expect("sanitizer input initializes");
+    let mut bag = ParamBag::new();
+    bag.insert("op.para".into(), op.to_bytes());
+    let tdl = format!(
+        "PASS in=san.in out=san.out {{ COMP {} params=\"op.para\" }}",
+        op.kind().keyword()
+    );
+    let plan = rt.acc_plan(&tdl, &bag).expect("sanitizer descriptor plans");
+    rt.acc_execute(&plan)
+        .expect("sanitizer descriptor executes");
+    rt.cache_sync();
+    let _ = rt
+        .driver()
+        .read("san.out", 0, 16)
+        .expect("sanitizer output reads back");
 }
 
 /// Runs `op` on all five platforms with default options.
@@ -488,6 +541,24 @@ mod tests {
             bd.phase(Phase::Compute).time.get() > 0.0,
             "compute phase recorded"
         );
+    }
+
+    #[test]
+    fn sanitized_experiment_is_coherence_clean() {
+        let op = AccelParams::Axpy {
+            n: 1 << 16,
+            alpha: 2.0,
+            incx: 1,
+            incy: 1,
+        };
+        let opts = ExperimentOptions::default().sanitizer(Sanitizer::active());
+        let report = run_experiment(&op, &opts).expect("preflight clean");
+        let san = report.sanitizer.expect("active sanitizer records");
+        assert!(san.is_clean(), "{}", san.render());
+
+        // Without the knob the field stays empty.
+        let plain = run_experiment(&op, &ExperimentOptions::default()).expect("preflight clean");
+        assert!(plain.sanitizer.is_none());
     }
 
     #[test]

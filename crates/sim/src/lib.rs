@@ -9,17 +9,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod differential;
 pub mod experiment;
 pub mod platforms;
 pub mod preflight;
 pub mod report;
 
+pub use differential::{run_sanitizer_experiment, SessionVerdict};
 #[allow(deprecated)]
 pub use experiment::{compare_platforms, compare_platforms_unchecked, try_compare_platforms};
 pub use experiment::{
     run_experiment, ExperimentOptions, ExperimentReport, OpComparison, PlatformResult,
 };
-pub use mealib_runtime::VerifyMode;
+pub use mealib_runtime::{Sanitizer, VerifyMode};
 pub use platforms::AcceleratedPlatform;
 pub use preflight::{preflight, preflight_checked};
 pub use report::TextTable;

@@ -1,6 +1,6 @@
 //! Experiment preflight: the `mealint` passes run against the live setup.
 //!
-//! Before the Figure 9/10 comparison touches any model, the same four
+//! Before the Figure 9/10 comparison touches any model, the same
 //! static-verification passes that back the `mealint` CLI are run over
 //! the *actual* objects the experiment is about to use:
 //!
@@ -14,7 +14,10 @@
 //!    address interleaving;
 //! 4. **physical-memory consistency** — the runtime driver's allocator
 //!    and address-space map are audited against the §4.2 asymmetric DIMM
-//!    mapping that places the command space on the near DIMM.
+//!    mapping that places the command space on the near DIMM;
+//! 5. **dataflow & coherence** — a representative explicit session
+//!    following the canonical host protocol (initialize, flush, run,
+//!    flush, read back) is run through the MEA1xx dataflow analysis.
 //!
 //! The verdict is computed once per process and cached; the fast path of
 //! [`crate::experiment::run_experiment`] under [`VerifyMode::Enforce`] is
@@ -93,6 +96,25 @@ pub fn preflight() -> Report {
         &rt.driver().snapshot(),
         Some(&mapping),
     ));
+
+    // Pass 5: the dataflow & coherence analysis over the same chained
+    // program, wrapped in the canonical host protocol.
+    let session = "\
+HOST WRITE pre.x
+FLUSH
+LOOP 2 {
+  PASS in=pre.x out=pre.y {
+    COMP FFT params=\"fft.para\"
+    COMP RESHP params=\"reshp.para\"
+  }
+}
+FLUSH
+HOST READ pre.y
+";
+    match mealib_verify::dataflow::verify_source(session, &mealib_verify::DataflowEnv::default()) {
+        Ok(r) => report.merge(r),
+        Err(e) => panic!("preflight session fixture failed to parse: {e}"),
+    }
 
     report
 }

@@ -246,15 +246,20 @@ impl TdlProgram {
             .sum()
     }
 
+    /// All passes in program order, with loop bodies flattened (counted
+    /// once, like [`TdlProgram::static_invocations`]).
+    pub fn passes(&self) -> impl Iterator<Item = &PassBlock> {
+        self.items.iter().flat_map(|item| match item {
+            TdlItem::Pass(p) => std::slice::from_ref(p).iter(),
+            TdlItem::Loop(l) => l.body.iter(),
+        })
+    }
+
     /// All parameter-file names referenced, in first-use order without
     /// duplicates.
     pub fn param_files(&self) -> Vec<&str> {
         let mut out: Vec<&str> = Vec::new();
-        let passes = self.items.iter().flat_map(|item| match item {
-            TdlItem::Pass(p) => std::slice::from_ref(p).iter(),
-            TdlItem::Loop(l) => l.body.iter(),
-        });
-        for p in passes {
+        for p in self.passes() {
             for c in &p.comps {
                 if !out.contains(&c.params.as_str()) {
                     out.push(&c.params);
@@ -278,11 +283,7 @@ impl TdlProgram {
     ///
     /// Returns a human-readable description of the first violation.
     pub fn validate(&self, max_chain: usize) -> Result<(), String> {
-        let passes = self.items.iter().flat_map(|item| match item {
-            TdlItem::Pass(p) => std::slice::from_ref(p).iter(),
-            TdlItem::Loop(l) => l.body.iter(),
-        });
-        for p in passes {
+        for p in self.passes() {
             if p.comps.len() > max_chain {
                 return Err(format!(
                     "pass `{} -> {}` chains {} accelerators but the tile switch fans in {max_chain}",

@@ -14,6 +14,9 @@
 //! * `MEA010`–`MEA019` — descriptor image checks
 //! * `MEA020`–`MEA029` — memory-simulator configuration checks
 //! * `MEA030`–`MEA039` — physical-memory / address-space checks
+//! * `MEA100`–`MEA109` — dataflow & coherence analysis (static pass in
+//!   `mealib-verify::dataflow`, mirrored dynamically by the runtime's
+//!   shadow-memory `Sanitizer`)
 
 use core::fmt;
 
@@ -100,11 +103,34 @@ pub enum ErrorCode {
     /// The virtual address map is inconsistent (overlapping virtual
     /// ranges or a broken reverse mapping).
     PhysVmapInconsistent,
+
+    // ----- Dataflow & coherence analysis (MEA100–MEA109) -----
+    /// An accelerator reads a buffer with no reaching definition: no
+    /// host write and no earlier pass ever produced it (including the
+    /// first iteration of a loop-carried use).
+    DfUninitRead,
+    /// A buffer is written by a pass but its final value is never
+    /// consumed — neither by a later pass nor by a host read.
+    DfDeadBuffer,
+    /// Two distinct buffers with overlapping physical extents conflict:
+    /// a chained pass streams over its own output bytes, or two writers
+    /// touch the same bytes.
+    DfOverlap,
+    /// Coherence hazard across the host cache boundary: the accelerator
+    /// can observe a stale DRAM image of unflushed host writes, or the
+    /// host can read stale cached lines after an accelerator write.
+    DfStaleRead,
+    /// A `PASS` chains more stages than the Configuration Unit can
+    /// buffer between them; the chain can never drain.
+    DfChainOverCapacity,
+    /// A loop body's buffer dependences form a cycle with no external
+    /// definition feeding it; no iteration can ever make progress.
+    DfCyclicDependence,
 }
 
 impl ErrorCode {
     /// Every code, in numeric order (drives the rendered error table).
-    pub const ALL: [ErrorCode; 27] = [
+    pub const ALL: [ErrorCode; 33] = [
         ErrorCode::TdlInPlaceChain,
         ErrorCode::TdlChainTooLong,
         ErrorCode::TdlIllegalChain,
@@ -132,6 +158,12 @@ impl ErrorCode {
         ErrorCode::PhysUnreachableDescriptor,
         ErrorCode::PhysAccounting,
         ErrorCode::PhysVmapInconsistent,
+        ErrorCode::DfUninitRead,
+        ErrorCode::DfDeadBuffer,
+        ErrorCode::DfOverlap,
+        ErrorCode::DfStaleRead,
+        ErrorCode::DfChainOverCapacity,
+        ErrorCode::DfCyclicDependence,
     ];
 
     /// The numeric part of the stable code.
@@ -164,6 +196,12 @@ impl ErrorCode {
             ErrorCode::PhysUnreachableDescriptor => 33,
             ErrorCode::PhysAccounting => 34,
             ErrorCode::PhysVmapInconsistent => 35,
+            ErrorCode::DfUninitRead => 100,
+            ErrorCode::DfDeadBuffer => 101,
+            ErrorCode::DfOverlap => 102,
+            ErrorCode::DfStaleRead => 103,
+            ErrorCode::DfChainOverCapacity => 104,
+            ErrorCode::DfCyclicDependence => 105,
         }
     }
 
@@ -197,6 +235,12 @@ impl ErrorCode {
             ErrorCode::PhysUnreachableDescriptor => "MEA033",
             ErrorCode::PhysAccounting => "MEA034",
             ErrorCode::PhysVmapInconsistent => "MEA035",
+            ErrorCode::DfUninitRead => "MEA100",
+            ErrorCode::DfDeadBuffer => "MEA101",
+            ErrorCode::DfOverlap => "MEA102",
+            ErrorCode::DfStaleRead => "MEA103",
+            ErrorCode::DfChainOverCapacity => "MEA104",
+            ErrorCode::DfCyclicDependence => "MEA105",
         }
     }
 
@@ -230,6 +274,12 @@ impl ErrorCode {
             ErrorCode::PhysUnreachableDescriptor => "region unreachable by accelerator addressing",
             ErrorCode::PhysAccounting => "allocator accounting mismatch",
             ErrorCode::PhysVmapInconsistent => "virtual address map inconsistent",
+            ErrorCode::DfUninitRead => "read of a buffer with no reaching definition",
+            ErrorCode::DfDeadBuffer => "buffer result is never consumed",
+            ErrorCode::DfOverlap => "overlapping buffer extents conflict",
+            ErrorCode::DfStaleRead => "stale read across the cache coherence boundary",
+            ErrorCode::DfChainOverCapacity => "chain exceeds CU stream buffering",
+            ErrorCode::DfCyclicDependence => "cyclic buffer dependence can never drain",
         }
     }
 }

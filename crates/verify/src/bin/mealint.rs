@@ -1,25 +1,41 @@
 //! `mealint` — cross-layer static verifier for MEALib artifacts.
 //!
 //! ```text
-//! mealint [--codes] FILE...
+//! mealint [--codes] [--format text|json] FILE...
 //! ```
 //!
 //! Each file is sniffed and routed to the right pass: binary images
 //! starting with the `"MEAL"` magic run the descriptor pass, text in
 //! the `key = value` memconfig format runs the simulator-config pass,
-//! and everything else is treated as TDL source. Exit status: `0` when
-//! every file is clean (warnings allowed), `1` when any file has coded
-//! errors, `2` on usage, I/O, or parse failures.
+//! and everything else is treated as a TDL analysis session (plain TDL
+//! plus optional `HOST`/`FLUSH`/`BUF` directives), which runs both the
+//! TDL semantic pass and the dataflow & coherence analysis. Exit
+//! status: `0` when every file is clean (warnings allowed), `1` when
+//! any file has coded errors, `2` on usage, I/O, or parse failures.
+//!
+//! With `--format json`, every diagnostic is emitted as one JSON object
+//! per line (`file`/`code`/`number`/`severity`/`message`/`span`) for CI
+//! and editor consumption; clean files emit nothing. Exit-code
+//! semantics are identical in both formats.
 
 use std::process::ExitCode;
 
+use mealib_obs::json::Object;
 use mealib_tdl::descriptor::MAGIC;
-use mealib_verify::{descriptor, memconfig, memsim, tdl, Report, TdlLimits};
+use mealib_verify::{
+    dataflow, descriptor, memconfig, memsim, tdl, DataflowEnv, Report, Severity, Span, TdlLimits,
+};
 
 enum Outcome {
     Clean,
     Findings(Report),
     Unusable(String),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
 }
 
 fn lint_file(path: &str) -> Outcome {
@@ -45,10 +61,20 @@ fn lint_file(path: &str) -> Outcome {
         };
     }
 
-    match tdl::verify_source(text, None, &TdlLimits::default()) {
-        Ok(report) => finish(report),
-        Err(e) => Outcome::Unusable(format!("{path}: TDL parse error: {e}")),
-    }
+    // TDL analysis sessions: directives go to the dataflow pass, the
+    // TDL remainder additionally runs the semantic pass.
+    let session = match dataflow::parse_session(text) {
+        Ok(s) => s,
+        Err(e) => return Outcome::Unusable(format!("{path}: TDL parse error: {e}")),
+    };
+    let mut report = tdl::verify_program(
+        &session.program,
+        Some(&session.lines),
+        None,
+        &TdlLimits::default(),
+    );
+    report.merge(dataflow::verify_session(&session, &DataflowEnv::default()));
+    finish(report)
 }
 
 fn finish(report: Report) -> Outcome {
@@ -59,26 +85,99 @@ fn finish(report: Report) -> Outcome {
     }
 }
 
+fn span_json(span: &Span) -> String {
+    let mut o = Object::new();
+    match span {
+        Span::None => o.str("kind", "none"),
+        Span::Line(l) => o.str("kind", "line").int("line", *l as u64),
+        Span::Bytes { offset, len } => o
+            .str("kind", "bytes")
+            .int("offset", *offset as u64)
+            .int("len", *len as u64),
+    };
+    o.render()
+}
+
+fn print_report(path: &str, report: &Report, format: Format) {
+    match format {
+        Format::Text => {
+            println!("{path}:");
+            for line in report.render().lines() {
+                println!("  {line}");
+            }
+        }
+        Format::Json => {
+            for d in report.diagnostics() {
+                let severity = match d.severity {
+                    Severity::Error => "error",
+                    Severity::Warning => "warning",
+                };
+                let mut o = Object::new();
+                o.str("file", path)
+                    .str("code", d.code.as_str())
+                    .int("number", u64::from(d.code.number()))
+                    .str("severity", severity)
+                    .str("message", &d.message)
+                    .raw("span", span_json(&d.span));
+                println!("{}", o.render());
+            }
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<(Format, Vec<String>), String> {
+    let mut format = Format::Text;
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--format" {
+            match it.next().map(String::as_str) {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                other => {
+                    return Err(format!(
+                        "--format expects `text` or `json`, got {}",
+                        other.unwrap_or("nothing")
+                    ))
+                }
+            }
+        } else if arg.starts_with('-') {
+            return Err(format!("unknown option {arg}"));
+        } else {
+            files.push(arg.clone());
+        }
+    }
+    if files.is_empty() {
+        return Err("no input files".to_string());
+    }
+    Ok((format, files))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--codes") {
         print!("{}", mealib_verify::error_code_table());
         return ExitCode::SUCCESS;
     }
-    if args.is_empty() || args.iter().any(|a| a.starts_with('-')) {
-        eprintln!("usage: mealint [--codes] FILE...");
-        return ExitCode::from(2);
-    }
+    let (format, files) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("mealint: {msg}");
+            eprintln!("usage: mealint [--codes] [--format text|json] FILE...");
+            return ExitCode::from(2);
+        }
+    };
 
     let mut worst = 0u8;
-    for path in &args {
+    for path in &files {
         match lint_file(path) {
-            Outcome::Clean => println!("{path}: ok"),
-            Outcome::Findings(report) => {
-                println!("{path}:");
-                for line in report.render().lines() {
-                    println!("  {line}");
+            Outcome::Clean => {
+                if format == Format::Text {
+                    println!("{path}: ok");
                 }
+            }
+            Outcome::Findings(report) => {
+                print_report(path, &report, format);
                 if report.has_errors() {
                     worst = worst.max(1);
                 }

@@ -1,0 +1,258 @@
+//! Alias and overlap analysis over buffer names and physical extents.
+//!
+//! MEALib buffers are distinct allocations carved out of the shared
+//! physical space (§3.3), so two *different* names are disjoint unless
+//! their declared extents say otherwise.  The oracle therefore answers
+//! `may_alias` from name identity first and extent overlap second, and
+//! stays conservative only when it has real evidence of overlap.
+//!
+//! The same oracle drives Pass-1 chain-fusion legality in
+//! `compiler::analysis`: a fusion that would let a later stage clobber a
+//! buffer the fused datapath still reads is rejected here instead of
+//! being discovered as an unsound `PASS` after the fact.
+
+use std::collections::BTreeMap;
+
+use mealib_tdl::TdlProgram;
+use mealib_types::{AddrRange, Diagnostic, ErrorCode, Report};
+
+use super::ProgramSpans;
+
+/// Answers may-alias queries over buffer names.
+#[derive(Debug, Clone, Default)]
+pub struct AliasOracle {
+    extents: BTreeMap<String, AddrRange>,
+}
+
+impl AliasOracle {
+    /// An oracle with no extent information: aliasing is name identity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An oracle that also consults declared physical extents.
+    pub fn with_extents(extents: BTreeMap<String, AddrRange>) -> Self {
+        Self { extents }
+    }
+
+    /// The declared extent of `name`, if any.
+    pub fn extent(&self, name: &str) -> Option<&AddrRange> {
+        self.extents.get(name)
+    }
+
+    /// `true` if accesses to `a` and `b` can touch the same bytes.
+    ///
+    /// Identical names always alias.  Distinct names alias only when
+    /// both have declared extents and those extents overlap — MEALib
+    /// allocations are disjoint by construction, so the absence of
+    /// extent evidence means disjoint, not unknown.
+    pub fn may_alias(&self, a: &str, b: &str) -> bool {
+        if a == b {
+            return true;
+        }
+        match (self.extents.get(a), self.extents.get(b)) {
+            (Some(ra), Some(rb)) => ra.overlaps(rb),
+            _ => false,
+        }
+    }
+}
+
+/// One library call considered for chain fusion: its streamed input and
+/// output plus every buffer argument it touches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusionStage {
+    /// Buffer streamed into the stage.
+    pub input: String,
+    /// Buffer the stage stores to.
+    pub output: String,
+    /// Every buffer argument of the call, including input and output.
+    pub touched: Vec<String>,
+}
+
+impl FusionStage {
+    /// Creates a stage description.
+    pub fn new(input: impl Into<String>, output: impl Into<String>, touched: Vec<String>) -> Self {
+        Self {
+            input: input.into(),
+            output: output.into(),
+            touched,
+        }
+    }
+
+    fn all_buffers(&self) -> impl Iterator<Item = &str> {
+        [self.input.as_str(), self.output.as_str()]
+            .into_iter()
+            .chain(self.touched.iter().map(String::as_str))
+    }
+}
+
+/// Decides whether appending `next` to the already-fused `chain` keeps
+/// the fused `PASS` sound.  The caller has already established the
+/// streaming link (`chain.last().output == next.input`); this checks the
+/// memory side-effects:
+///
+/// * `next`'s store must not clobber any buffer an earlier stage reads,
+///   writes, or touches — inside a fused datapath intermediates never
+///   materialize, so such a store would change what the original call
+///   sequence left in memory (the `saxpy(x,y); sgemv(A,y,x)` trap).
+/// * `next`'s auxiliary reads must not alias an earlier stage's output:
+///   the original sequence would have read the freshly stored value, but
+///   the fused chain keeps it in stream buffers and the read would
+///   observe stale memory.
+///
+/// Rejection is conservative — an illegal-looking fusion simply becomes
+/// two descriptors, which is always correct.
+pub fn fusion_legal(chain: &[FusionStage], next: &FusionStage, oracle: &AliasOracle) -> bool {
+    if chain.is_empty() {
+        return true;
+    }
+    for stage in chain {
+        for buf in stage.all_buffers() {
+            if oracle.may_alias(&next.output, buf) {
+                return false;
+            }
+        }
+    }
+    for buf in next.touched.iter().filter(|b| **b != next.input) {
+        for stage in chain {
+            if oracle.may_alias(buf, &stage.output) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// MEA102 overlap pass: flags every pair of distinctly named buffers
+/// whose declared extents overlap when at least one side is written.
+/// Reads of overlapping extents are aliases but harmless; a write makes
+/// the outcome depend on chain timing the CU does not define.
+pub fn check_overlaps(
+    program: &TdlProgram,
+    spans: &ProgramSpans<'_>,
+    oracle: &AliasOracle,
+    report: &mut Report,
+) {
+    // (name, written) accesses in program order with the pass line that
+    // first produced them; one entry per (name, written) flavour.
+    let mut accesses: Vec<(String, bool, Option<usize>)> = Vec::new();
+    let mut record = |name: &str, written: bool, line: Option<usize>| {
+        if !accesses.iter().any(|(n, w, _)| n == name && *w == written) {
+            accesses.push((name.to_string(), written, line));
+        }
+    };
+    for (idx, pass) in program.passes().enumerate() {
+        let line = spans.pass_header(idx);
+        record(&pass.input, false, line);
+        record(&pass.output, true, line);
+    }
+
+    let mut reported: Vec<(String, String)> = Vec::new();
+    for (i, (a, a_written, a_line)) in accesses.iter().enumerate() {
+        for (b, b_written, _) in accesses.iter().skip(i + 1) {
+            if a == b || (!a_written && !b_written) || !oracle.may_alias(a, b) {
+                continue;
+            }
+            let key = if a < b {
+                (a.clone(), b.clone())
+            } else {
+                (b.clone(), a.clone())
+            };
+            if reported.contains(&key) {
+                continue;
+            }
+            reported.push(key);
+            let (ra, rb) = (oracle.extent(a), oracle.extent(b));
+            let mut d = Diagnostic::error(
+                ErrorCode::DfOverlap,
+                format!(
+                    "buffers `{a}` and `{b}` overlap ({} and {}) but at least one is written; \
+                     the chained result depends on store timing the CU does not define",
+                    describe(ra),
+                    describe(rb),
+                ),
+            );
+            if let Some(l) = a_line {
+                d = d.at_line(*l);
+            }
+            report.push(d);
+        }
+    }
+}
+
+fn describe(extent: Option<&AddrRange>) -> String {
+    match extent {
+        Some(r) => format!("{:#x}+{:#x}", r.start().get(), r.len().get()),
+        None => "extent undeclared".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mealib_types::{Bytes, PhysAddr};
+
+    fn extent(base: u64, len: u64) -> AddrRange {
+        AddrRange::new(PhysAddr::new(base), Bytes::new(len))
+    }
+
+    #[test]
+    fn name_identity_always_aliases() {
+        let o = AliasOracle::new();
+        assert!(o.may_alias("x", "x"));
+        assert!(!o.may_alias("x", "y"));
+    }
+
+    #[test]
+    fn extent_overlap_detected() {
+        let mut ext = BTreeMap::new();
+        ext.insert("x".to_string(), extent(0x1000, 0x100));
+        ext.insert("y".to_string(), extent(0x1080, 0x100));
+        ext.insert("z".to_string(), extent(0x2000, 0x100));
+        let o = AliasOracle::with_extents(ext);
+        assert!(o.may_alias("x", "y"));
+        assert!(!o.may_alias("x", "z"));
+    }
+
+    #[test]
+    fn saxpy_sgemv_reuse_is_illegal() {
+        // saxpy(x, y); sgemv(A, y, x): the second stage stores to x,
+        // which the first stage read — fusing would clobber the input.
+        let o = AliasOracle::new();
+        let chain = vec![FusionStage::new("x", "y", vec!["x".into(), "y".into()])];
+        let next = FusionStage::new("y", "x", vec!["A".into(), "y".into(), "x".into()]);
+        assert!(!fusion_legal(&chain, &next, &o));
+    }
+
+    #[test]
+    fn straight_pipeline_is_legal() {
+        let o = AliasOracle::new();
+        let chain = vec![FusionStage::new(
+            "datacube",
+            "padded",
+            vec!["datacube".into(), "padded".into()],
+        )];
+        let next = FusionStage::new("padded", "doppler", vec!["padded".into(), "doppler".into()]);
+        assert!(fusion_legal(&chain, &next, &o));
+    }
+
+    #[test]
+    fn aux_read_of_intermediate_is_illegal() {
+        // Third call reads the first stage's output as an auxiliary
+        // operand: in a fused chain that value never reached memory.
+        let o = AliasOracle::new();
+        let chain = vec![
+            FusionStage::new("a", "b", vec!["a".into(), "b".into()]),
+            FusionStage::new("b", "c", vec!["b".into(), "c".into()]),
+        ];
+        let next = FusionStage::new("c", "d", vec!["b".into(), "c".into(), "d".into()]);
+        assert!(!fusion_legal(&chain, &next, &o));
+    }
+
+    #[test]
+    fn empty_chain_is_trivially_legal() {
+        let o = AliasOracle::new();
+        let next = FusionStage::new("x", "x", vec!["x".into()]);
+        assert!(fusion_legal(&[], &next, &o));
+    }
+}

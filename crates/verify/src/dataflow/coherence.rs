@@ -1,0 +1,290 @@
+//! The host↔accelerator coherence state machine.
+//!
+//! §3.3's protocol is simple and unforgiving: the accelerators sit on
+//! the memory side of the cache hierarchy, so the host must `wbinvd`
+//! (write back + invalidate) before a hand-off in either direction.  We
+//! model it with per-buffer *epochs* against a single global flush
+//! epoch — a monotone counter bumped on every write and flush:
+//!
+//! ```text
+//!             host_write(b)            flush (wbinvd)
+//!   HostDirty ◄────────────  Coherent  ─────────────► Coherent
+//!       │                       ▲  │
+//!       │ dev_read(b)           │  │ dev_write(b)
+//!       ▼                flush  │  ▼
+//!    MEA103 (stale DRAM read)   └── DevFresh ── host_read(b) ──► MEA103
+//!                                               (stale host cache)
+//! ```
+//!
+//! * a device read of a buffer the host wrote after the last flush
+//!   observes DRAM while the fresh bytes sit in dirty host lines
+//!   (`MEA103`);
+//! * a host read of a buffer the device wrote after the last flush can
+//!   hit pre-write lines still cached on the host (`MEA103`);
+//! * a device read of a buffer nobody ever wrote has no reaching
+//!   definition at all (`MEA100`);
+//! * a device-written buffer nobody ever consumes is dead weight that
+//!   wasted bandwidth and descriptor space (`MEA101`, warning).
+//!
+//! The same machine runs in two places: the static analysis feeds it an
+//! event stream *elaborated* from the TDL AST, and the runtime
+//! [`Sanitizer`](../../../mealib_runtime/sanitizer) feeds it the
+//! accesses that actually happen.  Sharing the transition rules is what
+//! lets the differential tests demand verdict-for-verdict agreement.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mealib_types::{Diagnostic, ErrorCode, Report};
+
+#[derive(Debug, Clone, Default)]
+struct BufState {
+    /// Epoch of the most recent host write, if any.
+    host_write: Option<u64>,
+    /// Epoch of the most recent device (accelerator) write, if any.
+    dev_write: Option<u64>,
+    /// Line of the pass that last defined the buffer, for MEA101 spans.
+    def_line: Option<usize>,
+    /// `true` once something read the buffer after its last dev write.
+    consumed: bool,
+}
+
+/// Per-buffer epoch + dirty-bit shadow state, raising MEA1xx
+/// diagnostics as accesses stream through it.
+#[derive(Debug, Clone, Default)]
+pub struct CoherenceMachine {
+    epoch: u64,
+    flush_epoch: u64,
+    bufs: BTreeMap<String, BufState>,
+    reported: BTreeSet<(ErrorCode, String)>,
+    report: Report,
+}
+
+impl CoherenceMachine {
+    /// A machine with no accesses observed yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
+    }
+
+    fn state(&mut self, buf: &str) -> &mut BufState {
+        self.bufs.entry(buf.to_string()).or_default()
+    }
+
+    /// Pushes a diagnostic once per (code, buffer) pair — repeated loop
+    /// iterations re-observe the same hazard, not a new one.
+    fn diag(&mut self, d: Diagnostic, buf: &str) {
+        if self.reported.insert((d.code, buf.to_string())) {
+            self.report.push(d);
+        }
+    }
+
+    fn spanned(d: Diagnostic, line: Option<usize>) -> Diagnostic {
+        match line {
+            Some(l) => d.at_line(l),
+            None => d,
+        }
+    }
+
+    /// The host CPU wrote `buf`: its cache lines are now dirty.
+    pub fn host_write(&mut self, buf: &str, _line: Option<usize>) {
+        let epoch = self.bump();
+        let st = self.state(buf);
+        st.host_write = Some(epoch);
+    }
+
+    /// The host CPU read `buf`.  Fires `MEA103` if the device wrote it
+    /// after the last flush — the host may hit stale cached lines.
+    pub fn host_read(&mut self, buf: &str, line: Option<usize>) {
+        let flush = self.flush_epoch;
+        let st = self.state(buf);
+        st.consumed = true;
+        let stale = st.dev_write.is_some_and(|d| d > flush);
+        if stale {
+            let d = Diagnostic::error(
+                ErrorCode::DfStaleRead,
+                format!(
+                    "host reads `{buf}` after the accelerator wrote it, with no intervening \
+                     wbinvd: the host cache may still hold the pre-accelerator bytes"
+                ),
+            );
+            let d = Self::spanned(d, line);
+            self.diag(d, buf);
+        }
+    }
+
+    /// `wbinvd`: every dirty line is written back and the cache is
+    /// invalidated, making host and DRAM views coherent again.
+    pub fn flush(&mut self) {
+        self.flush_epoch = self.bump();
+    }
+
+    /// An accelerator pass stored to `buf` (device writes land in DRAM
+    /// directly — the accelerators live behind the cache hierarchy).
+    pub fn dev_write(&mut self, buf: &str, line: Option<usize>) {
+        let epoch = self.bump();
+        let st = self.state(buf);
+        st.dev_write = Some(epoch);
+        st.def_line = line;
+        st.consumed = false;
+    }
+
+    /// An accelerator pass loaded from `buf`.  Fires `MEA100` if the
+    /// buffer has no reaching definition at all, and `MEA103` if the
+    /// freshest definition is an unflushed host write (the accelerator
+    /// reads DRAM and observes the stale copy).  `loop_iteration` is
+    /// used only for wording: a hazard first observed on iteration ≥ 1
+    /// is loop-carried.
+    pub fn dev_read(&mut self, buf: &str, line: Option<usize>, loop_iteration: Option<u64>) {
+        let flush = self.flush_epoch;
+        let st = self.state(buf);
+        st.consumed = true;
+        let (host_write, dev_write) = (st.host_write, st.dev_write);
+        if host_write.is_none() && dev_write.is_none() {
+            let d = Diagnostic::error(
+                ErrorCode::DfUninitRead,
+                format!("accelerator reads `{buf}` but no host write or earlier pass defines it"),
+            );
+            let d = Self::spanned(d, line);
+            self.diag(d, buf);
+            return;
+        }
+        let host_is_freshest =
+            host_write.is_some_and(|h| h > flush && dev_write.is_none_or(|d| d < h));
+        if host_is_freshest {
+            let carried = match loop_iteration {
+                Some(i) if i > 0 => format!(" (loop-carried: first observed on iteration {i})"),
+                Some(_) => " (observed on the first loop iteration)".to_string(),
+                None => String::new(),
+            };
+            let d = Diagnostic::error(
+                ErrorCode::DfStaleRead,
+                format!(
+                    "accelerator reads `{buf}` from DRAM but the host's write was never \
+                     flushed (wbinvd missing): the fresh bytes sit in dirty host lines{carried}"
+                ),
+            );
+            let d = Self::spanned(d, line);
+            self.diag(d, buf);
+        }
+    }
+
+    /// `true` if any write (host or device) has defined `buf` so far —
+    /// the seeding query behind the MEA105 progress check.
+    pub fn has_definition(&self, buf: &str) -> bool {
+        self.bufs
+            .get(buf)
+            .is_some_and(|st| st.host_write.is_some() || st.dev_write.is_some())
+    }
+
+    /// Findings so far, without the end-of-session dead-buffer scan.
+    pub fn report(&self) -> &Report {
+        &self.report
+    }
+
+    /// Ends the session: scans for device-written buffers that nothing
+    /// ever consumed (`MEA101`, warning) and returns the full report.
+    pub fn finish(mut self) -> Report {
+        let dead: Vec<(String, Option<usize>)> = self
+            .bufs
+            .iter()
+            .filter(|(_, st)| st.dev_write.is_some() && !st.consumed)
+            .map(|(buf, st)| (buf.clone(), st.def_line))
+            .collect();
+        for (buf, line) in dead {
+            let d = Diagnostic::warning(
+                ErrorCode::DfDeadBuffer,
+                format!(
+                    "accelerator writes `{buf}` but neither the host nor a later pass ever \
+                     reads it: the store wasted bandwidth and descriptor space"
+                ),
+            );
+            let d = Self::spanned(d, line);
+            self.diag(d, &buf);
+        }
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flushed_hand_off_is_clean() {
+        let mut m = CoherenceMachine::new();
+        m.host_write("x", Some(1));
+        m.flush();
+        m.dev_read("x", Some(3), None);
+        m.dev_write("y", Some(3));
+        m.flush();
+        m.host_read("y", Some(5));
+        assert!(m.finish().is_clean());
+    }
+
+    #[test]
+    fn unflushed_host_write_is_stale_for_the_device() {
+        let mut m = CoherenceMachine::new();
+        m.host_write("x", Some(1));
+        m.dev_read("x", Some(2), None);
+        let r = m.finish();
+        assert!(r.has_code(ErrorCode::DfStaleRead));
+        assert!(!r.has_code(ErrorCode::DfUninitRead));
+    }
+
+    #[test]
+    fn unflushed_dev_write_is_stale_for_the_host() {
+        let mut m = CoherenceMachine::new();
+        m.host_write("x", Some(1));
+        m.flush();
+        m.dev_read("x", Some(3), None);
+        m.dev_write("y", Some(3));
+        m.host_read("y", Some(4));
+        let r = m.finish();
+        assert!(r.has_code(ErrorCode::DfStaleRead));
+    }
+
+    #[test]
+    fn read_with_no_definition_is_uninit() {
+        let mut m = CoherenceMachine::new();
+        m.dev_read("ghost", Some(1), None);
+        assert!(m.finish().has_code(ErrorCode::DfUninitRead));
+    }
+
+    #[test]
+    fn unconsumed_device_store_is_dead() {
+        let mut m = CoherenceMachine::new();
+        m.host_write("x", Some(1));
+        m.flush();
+        m.dev_read("x", Some(3), None);
+        m.dev_write("y", Some(3));
+        let r = m.finish();
+        assert!(r.has_code(ErrorCode::DfDeadBuffer));
+        assert_eq!(r.error_count(), 0);
+    }
+
+    #[test]
+    fn hazards_dedupe_per_buffer() {
+        let mut m = CoherenceMachine::new();
+        m.host_write("x", Some(1));
+        m.dev_read("x", Some(2), Some(0));
+        m.dev_read("x", Some(2), Some(1));
+        let r = m.finish();
+        assert_eq!(r.error_count(), 1);
+    }
+
+    #[test]
+    fn device_overwrite_clears_staleness_for_device_reads() {
+        // Host wrote (unflushed), but the device then overwrote the
+        // buffer: DRAM now holds the freshest bytes for device readers.
+        let mut m = CoherenceMachine::new();
+        m.host_write("x", Some(1));
+        m.dev_write("x", Some(2));
+        m.dev_read("x", Some(3), None);
+        let r = m.finish();
+        assert!(!r.has_code(ErrorCode::DfStaleRead));
+    }
+}

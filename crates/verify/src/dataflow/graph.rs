@@ -1,0 +1,177 @@
+//! Buffer-level dataflow IR: def-use chains and loop dependence cycles.
+//!
+//! The IR deliberately stays at buffer granularity — a `PASS` reads its
+//! input buffer and defines its output buffer, and chained `COMP`s
+//! stream through CU-internal buffers that never materialize in memory
+//! (§2.2).  That makes the def-use relation small enough to compute
+//! exactly, with loop bodies contributing one def/use site per pass
+//! (loop-carried flow is handled by the coherence machine's bounded
+//! unrolling, not here).
+
+use std::collections::BTreeMap;
+
+use mealib_tdl::{ItemLines, PassBlock, ProgramLines, TdlItem, TdlProgram};
+
+/// Where a def or use happens: the top-level item and its source line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteRef {
+    /// Index into [`TdlProgram::items`].
+    pub item: usize,
+    /// 1-based source line of the owning `PASS` header, when known.
+    pub line: Option<usize>,
+    /// `true` if the site sits inside a `LOOP` body.
+    pub in_loop: bool,
+}
+
+/// Def-use chains over every buffer the program names.
+#[derive(Debug, Clone, Default)]
+pub struct DefUseChains {
+    /// Passes that write each buffer (it is some pass's output).
+    pub defs: BTreeMap<String, Vec<SiteRef>>,
+    /// Passes that read each buffer (it is some pass's input).
+    pub uses: BTreeMap<String, Vec<SiteRef>>,
+}
+
+impl DefUseChains {
+    /// `true` if `buf` has a def in an item strictly before `item`.
+    pub fn defined_before(&self, buf: &str, item: usize) -> bool {
+        self.defs
+            .get(buf)
+            .is_some_and(|sites| sites.iter().any(|s| s.item < item))
+    }
+}
+
+fn pass_lines(lines: Option<&ProgramLines>, item: usize) -> Vec<Option<usize>> {
+    let Some(lines) = lines.and_then(|l| l.items.get(item)) else {
+        return Vec::new();
+    };
+    match lines {
+        ItemLines::Pass(p) => vec![Some(p.header)],
+        ItemLines::Loop { body, .. } => body.iter().map(|p| Some(p.header)).collect(),
+    }
+}
+
+/// Builds def-use chains from a program and optional source-line info.
+pub fn def_use_chains(program: &TdlProgram, lines: Option<&ProgramLines>) -> DefUseChains {
+    let mut chains = DefUseChains::default();
+    let record = |map: &mut BTreeMap<String, Vec<SiteRef>>, buf: &str, site: SiteRef| {
+        map.entry(buf.to_string()).or_default().push(site);
+    };
+    for (item_idx, item) in program.items.iter().enumerate() {
+        let headers = pass_lines(lines, item_idx);
+        let (passes, in_loop): (&[PassBlock], bool) = match item {
+            TdlItem::Pass(p) => (std::slice::from_ref(p), false),
+            TdlItem::Loop(l) => (&l.body, true),
+        };
+        for (i, pass) in passes.iter().enumerate() {
+            let site = SiteRef {
+                item: item_idx,
+                line: headers.get(i).copied().flatten(),
+                in_loop,
+            };
+            record(&mut chains.uses, &pass.input, site);
+            record(&mut chains.defs, &pass.output, site);
+        }
+    }
+    chains
+}
+
+/// Finds a buffer dependence cycle in a loop body, if one exists: a set
+/// of buffers where each is produced from the next (`in=p out=q` and
+/// `in=q out=p`).  Such a cycle can only make progress if some buffer in
+/// it was defined before the loop; otherwise no iteration ever has valid
+/// input and the chain can never drain.  Returns the buffers on the
+/// first cycle found, in walk order.
+pub fn loop_cycle(body: &[PassBlock]) -> Option<Vec<String>> {
+    let mut edges: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for p in body {
+        edges.entry(p.input.as_str()).or_default().push(&p.output);
+    }
+
+    // Colors: absent = white, false = on the current path, true = done.
+    fn dfs<'a>(
+        node: &'a str,
+        edges: &BTreeMap<&'a str, Vec<&'a str>>,
+        color: &mut BTreeMap<&'a str, bool>,
+        path: &mut Vec<&'a str>,
+    ) -> Option<Vec<String>> {
+        match color.get(node) {
+            Some(true) => return None,
+            Some(false) => {
+                let start = path.iter().position(|n| *n == node)?;
+                return Some(path[start..].iter().map(|n| (*n).to_string()).collect());
+            }
+            None => {}
+        }
+        color.insert(node, false);
+        path.push(node);
+        if let Some(succs) = edges.get(node) {
+            for succ in succs {
+                if let Some(cycle) = dfs(succ, edges, color, path) {
+                    return Some(cycle);
+                }
+            }
+        }
+        path.pop();
+        color.insert(node, true);
+        None
+    }
+
+    let mut color = BTreeMap::new();
+    let roots: Vec<&str> = edges.keys().copied().collect();
+    for root in roots {
+        let mut path = Vec::new();
+        if let Some(cycle) = dfs(root, &edges, &mut color, &mut path) {
+            return Some(cycle);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mealib_tdl::{parse_with_lines, AcceleratorKind, CompBlock};
+
+    fn pass(input: &str, output: &str) -> PassBlock {
+        PassBlock::new(
+            input,
+            output,
+            vec![CompBlock::new(AcceleratorKind::Axpy, "a.para")],
+        )
+    }
+
+    #[test]
+    fn chains_record_defs_and_uses_with_lines() {
+        let src = "PASS in=x out=y {\n  COMP AXPY params=\"a\"\n}\nLOOP 4 {\n  PASS in=y out=z {\n    COMP FFT params=\"f\"\n  }\n}\n";
+        let (program, lines) = parse_with_lines(src).unwrap();
+        let chains = def_use_chains(&program, Some(&lines));
+        assert_eq!(chains.defs["y"][0].item, 0);
+        assert_eq!(chains.defs["y"][0].line, Some(1));
+        assert!(!chains.defs["y"][0].in_loop);
+        assert_eq!(chains.uses["y"][0].item, 1);
+        assert_eq!(chains.uses["y"][0].line, Some(5));
+        assert!(chains.uses["y"][0].in_loop);
+        assert!(chains.defined_before("y", 1));
+        assert!(!chains.defined_before("z", 1));
+    }
+
+    #[test]
+    fn ping_pong_body_has_a_cycle() {
+        let cycle = loop_cycle(&[pass("p", "q"), pass("q", "p")]).unwrap();
+        assert_eq!(cycle.len(), 2);
+        assert!(cycle.contains(&"p".to_string()));
+        assert!(cycle.contains(&"q".to_string()));
+    }
+
+    #[test]
+    fn straight_body_has_no_cycle() {
+        assert!(loop_cycle(&[pass("a", "b"), pass("b", "c")]).is_none());
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let cycle = loop_cycle(&[pass("s", "s")]).unwrap();
+        assert_eq!(cycle, vec!["s".to_string()]);
+    }
+}

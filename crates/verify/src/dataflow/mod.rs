@@ -1,0 +1,447 @@
+//! Dataflow & coherence analysis for TDL task graphs (MEA100–MEA109).
+//!
+//! The four passes of this module reason about what a descriptor will
+//! *do to memory*, where the earlier passes only checked its shape:
+//!
+//! | Code   | Pass | Finding |
+//! |--------|------|---------|
+//! | MEA100 | init | accelerator read with no reaching definition |
+//! | MEA101 | init | device-written buffer never consumed (warning) |
+//! | MEA102 | alias | overlapping extents with at least one writer |
+//! | MEA103 | coherence | stale read across the cache boundary |
+//! | MEA104 | capacity | chain deeper than the CU's stream buffering |
+//! | MEA105 | progress | unseeded cyclic buffer dependence in a loop |
+//!
+//! Two analysis modes, chosen per input (see [`session`]):
+//!
+//! * **implicit** — plain TDL, no host directives.  The host is assumed
+//!   well-behaved: external inputs initialized and flushed, outputs
+//!   consumed.  Only the structural passes (MEA102 with declared
+//!   extents, MEA104) can fire, so every program that was lint-clean
+//!   before this module existed stays lint-clean.
+//! * **explicit** — the source carries `HOST`/`FLUSH` directives.  The
+//!   [`coherence::CoherenceMachine`] replays an elaborated access
+//!   stream (loops unrolled to `min(count, 2)` iterations — the
+//!   per-buffer epoch state repeats after two trips, and two is enough
+//!   to see every loop-carried first-iteration hazard) and the progress
+//!   pass demands that loop dependence cycles are seeded from outside.
+//!
+//! The runtime's `Sanitizer` drives the *same* [`CoherenceMachine`]
+//! with the accesses that actually occur during simulation, which is
+//! what makes static and dynamic verdicts comparable bit-for-bit.
+
+pub mod alias;
+pub mod coherence;
+pub mod graph;
+pub mod session;
+
+use std::collections::BTreeMap;
+
+use mealib_tdl::{ItemLines, ParseError, ProgramLines, TdlItem, TdlProgram};
+use mealib_types::{AddrRange, Diagnostic, ErrorCode, Report};
+
+pub use alias::{fusion_legal, AliasOracle, FusionStage};
+pub use coherence::CoherenceMachine;
+pub use graph::{def_use_chains, loop_cycle, DefUseChains, SiteRef};
+pub use session::{parse_session, HostOp, Session};
+
+/// Hardware capacities the structural passes check against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataflowLimits {
+    /// Stream buffers one CU provides to a chained pass; a deeper chain
+    /// has no buffer to drain into and stalls forever (MEA104).  Matches
+    /// the per-tile switch fan-in of Figure 7.
+    pub stream_buffers: usize,
+}
+
+impl Default for DataflowLimits {
+    fn default() -> Self {
+        Self { stream_buffers: 4 }
+    }
+}
+
+/// Everything the analysis knows about the world outside the program.
+#[derive(Debug, Clone, Default)]
+pub struct DataflowEnv {
+    /// Physical extents of named buffers (from `BUF` directives or the
+    /// runtime's allocation table); enables the MEA102 overlap pass.
+    pub extents: BTreeMap<String, AddrRange>,
+    /// Capacity limits for the structural passes.
+    pub limits: DataflowLimits,
+}
+
+/// Source lines for each pass of a flattened program, tolerating the
+/// no-line-info case (every lookup answers `None`).
+#[derive(Debug, Clone, Default)]
+pub struct ProgramSpans<'a> {
+    lines: Option<&'a ProgramLines>,
+}
+
+impl<'a> ProgramSpans<'a> {
+    /// Wraps optional line info.
+    pub fn new(lines: Option<&'a ProgramLines>) -> Self {
+        Self { lines }
+    }
+
+    /// Header line of the `idx`-th pass in [`TdlProgram::passes`] order.
+    pub fn pass_header(&self, idx: usize) -> Option<usize> {
+        let lines = self.lines?;
+        let mut flat = 0usize;
+        for item in &lines.items {
+            match item {
+                ItemLines::Pass(p) => {
+                    if flat == idx {
+                        return Some(p.header);
+                    }
+                    flat += 1;
+                }
+                ItemLines::Loop { body, .. } => {
+                    if idx < flat + body.len() {
+                        return Some(body[idx - flat].header);
+                    }
+                    flat += body.len();
+                }
+            }
+        }
+        None
+    }
+
+    /// Header line of the `idx`-th top-level item.
+    pub fn item_header(&self, idx: usize) -> Option<usize> {
+        match self.lines?.items.get(idx)? {
+            ItemLines::Pass(p) => Some(p.header),
+            ItemLines::Loop { header, .. } => Some(*header),
+        }
+    }
+}
+
+fn at(d: Diagnostic, line: Option<usize>) -> Diagnostic {
+    match line {
+        Some(l) => d.at_line(l),
+        None => d,
+    }
+}
+
+/// MEA104: a pass chaining more comps than the CU has stream buffers
+/// can never drain — each stage needs somewhere to stream into.
+fn check_capacity(
+    program: &TdlProgram,
+    spans: &ProgramSpans<'_>,
+    limits: &DataflowLimits,
+    report: &mut Report,
+) {
+    for (idx, pass) in program.passes().enumerate() {
+        if pass.comps.len() > limits.stream_buffers {
+            report.push(at(
+                Diagnostic::error(
+                    ErrorCode::DfChainOverCapacity,
+                    format!(
+                        "pass `{} -> {}` chains {} comps but the CU provides only {} stream \
+                         buffers: the chain stalls with nowhere to drain",
+                        pass.input,
+                        pass.output,
+                        pass.comps.len(),
+                        limits.stream_buffers,
+                    ),
+                ),
+                spans.pass_header(idx),
+            ));
+        }
+    }
+}
+
+/// MEA105 (explicit mode): a dependence cycle among a loop body's
+/// buffers is fine when seeded — ping-pong iteration is a real pattern —
+/// but with no definition reaching the loop from outside, no iteration
+/// ever has valid input.
+fn check_progress(session: &Session, report: &mut Report) {
+    let spans = ProgramSpans::new(Some(&session.lines));
+    let chains = def_use_chains(&session.program, Some(&session.lines));
+    for (item_idx, item) in session.program.items.iter().enumerate() {
+        let TdlItem::Loop(l) = item else { continue };
+        let Some(cycle) = loop_cycle(&l.body) else {
+            continue;
+        };
+        let header = spans.item_header(item_idx);
+        let seeded = cycle.iter().any(|buf| {
+            chains.defined_before(buf, item_idx)
+                || session.host_ops.iter().any(|(line, op)| {
+                    matches!(op, HostOp::Write(b) if b == buf) && header.is_none_or(|h| *line < h)
+                })
+        });
+        if !seeded {
+            report.push(at(
+                Diagnostic::error(
+                    ErrorCode::DfCyclicDependence,
+                    format!(
+                        "loop body forms a dependence cycle over {} with no definition \
+                         reaching the loop: no iteration ever has valid input and the \
+                         chain can never drain",
+                        cycle
+                            .iter()
+                            .map(|b| format!("`{b}`"))
+                            .collect::<Vec<_>>()
+                            .join(" -> "),
+                    ),
+                ),
+                header,
+            ));
+        }
+    }
+}
+
+/// Replays the session's access stream through the coherence machine.
+fn run_coherence(session: &Session) -> Report {
+    let spans = ProgramSpans::new(Some(&session.lines));
+    // Merge host ops and items by source position.
+    enum Ev<'a> {
+        Host(&'a HostOp),
+        Item(usize),
+    }
+    let mut events: Vec<(usize, Ev<'_>)> = session
+        .host_ops
+        .iter()
+        .map(|(line, op)| (*line, Ev::Host(op)))
+        .collect();
+    for idx in 0..session.program.items.len() {
+        events.push((spans.item_header(idx).unwrap_or(usize::MAX), Ev::Item(idx)));
+    }
+    events.sort_by_key(|(line, _)| *line);
+
+    let mut machine = CoherenceMachine::new();
+    let mut flat_base = vec![0usize; session.program.items.len()];
+    let mut flat = 0usize;
+    for (idx, item) in session.program.items.iter().enumerate() {
+        flat_base[idx] = flat;
+        flat += match item {
+            TdlItem::Pass(_) => 1,
+            TdlItem::Loop(l) => l.body.len(),
+        };
+    }
+    for (line, ev) in events {
+        match ev {
+            Ev::Host(HostOp::Write(buf)) => machine.host_write(buf, Some(line)),
+            Ev::Host(HostOp::Read(buf)) => machine.host_read(buf, Some(line)),
+            Ev::Host(HostOp::Flush) => machine.flush(),
+            Ev::Item(idx) => match &session.program.items[idx] {
+                TdlItem::Pass(p) => {
+                    let l = spans.pass_header(flat_base[idx]);
+                    machine.dev_read(&p.input, l, None);
+                    machine.dev_write(&p.output, l);
+                }
+                TdlItem::Loop(l) => {
+                    // min(count, 2): the epoch state repeats after two
+                    // trips, and two is enough to classify every
+                    // first-iteration and steady-state hazard.
+                    for iter in 0..l.count.min(2) {
+                        for (pi, p) in l.body.iter().enumerate() {
+                            let pl = spans.pass_header(flat_base[idx] + pi);
+                            machine.dev_read(&p.input, pl, Some(iter));
+                            machine.dev_write(&p.output, pl);
+                        }
+                    }
+                }
+            },
+        }
+    }
+    machine.finish()
+}
+
+/// Verifies a parsed session, explicit or implicit.  `env` supplies
+/// extents from outside the source (the session's own `BUF` directives
+/// take precedence) and the capacity limits.
+pub fn verify_session(session: &Session, env: &DataflowEnv) -> Report {
+    let mut report = Report::new();
+    let spans = ProgramSpans::new(Some(&session.lines));
+
+    let mut extents = env.extents.clone();
+    extents.extend(session.extents.clone());
+    let oracle = AliasOracle::with_extents(extents);
+
+    check_capacity(&session.program, &spans, &env.limits, &mut report);
+    alias::check_overlaps(&session.program, &spans, &oracle, &mut report);
+
+    if session.is_explicit() {
+        check_progress(session, &mut report);
+        report.merge(run_coherence(session));
+    }
+    report
+}
+
+/// Parses and verifies session source in one step.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for malformed directives or TDL.
+pub fn verify_source(src: &str, env: &DataflowEnv) -> Result<Report, ParseError> {
+    let session = parse_session(src)?;
+    Ok(verify_session(&session, env))
+}
+
+/// Verifies an already-parsed program in implicit mode: structural
+/// passes only, with extents (if any) supplied by `env`.  This is the
+/// entry the runtime uses at plan time, feeding in the driver's real
+/// allocation table.
+pub fn verify_program(
+    program: &TdlProgram,
+    lines: Option<&ProgramLines>,
+    env: &DataflowEnv,
+) -> Report {
+    let mut report = Report::new();
+    let spans = ProgramSpans::new(lines);
+    let oracle = AliasOracle::with_extents(env.extents.clone());
+    check_capacity(program, &spans, &env.limits, &mut report);
+    alias::check_overlaps(program, &spans, &oracle, &mut report);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mealib_types::{Bytes, PhysAddr};
+
+    fn verify(src: &str) -> Report {
+        verify_source(src, &DataflowEnv::default()).expect("parse")
+    }
+
+    const CLEAN_EXPLICIT: &str = "\
+HOST WRITE x
+FLUSH
+PASS in=x out=y {
+  COMP AXPY params=\"a\"
+}
+FLUSH
+HOST READ y
+";
+
+    #[test]
+    fn clean_explicit_session_is_clean() {
+        assert!(verify(CLEAN_EXPLICIT).is_clean());
+    }
+
+    #[test]
+    fn implicit_mode_trusts_the_host() {
+        // No directives: external input x is assumed initialized and
+        // flushed, output y assumed consumed.
+        let r = verify("PASS in=x out=y {\n  COMP AXPY params=\"a\"\n}\n");
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn missing_flush_is_stale() {
+        let r = verify(
+            "HOST WRITE x\nPASS in=x out=y {\n  COMP AXPY params=\"a\"\n}\nFLUSH\nHOST READ y\n",
+        );
+        assert!(r.has_code(ErrorCode::DfStaleRead));
+    }
+
+    #[test]
+    fn undeclared_input_is_uninit_in_explicit_mode() {
+        let r = verify(
+            "FLUSH\nPASS in=ghost out=y {\n  COMP AXPY params=\"a\"\n}\nFLUSH\nHOST READ y\n",
+        );
+        assert!(r.has_code(ErrorCode::DfUninitRead));
+    }
+
+    #[test]
+    fn loop_carried_stale_read_found_on_first_iteration() {
+        // s is written by the host but never flushed; the loop's first
+        // iteration reads the stale DRAM copy, later iterations read
+        // the device's own output.
+        let src = "\
+HOST WRITE s
+HOST WRITE x
+FLUSH
+HOST WRITE s
+LOOP 8 {
+  PASS in=s out=t {
+    COMP AXPY params=\"a\"
+  }
+  PASS in=x out=s {
+    COMP AXPY params=\"b\"
+  }
+}
+FLUSH
+HOST READ t
+";
+        let r = verify(src);
+        assert!(r.has_code(ErrorCode::DfStaleRead), "{}", r.render());
+    }
+
+    #[test]
+    fn over_deep_chain_cannot_drain() {
+        let src = "\
+PASS in=a out=b {
+  COMP RESMP params=\"r\"
+  COMP FFT params=\"f\"
+  COMP GEMV params=\"g\"
+  COMP AXPY params=\"x\"
+  COMP RESHP params=\"t\"
+}
+";
+        assert!(verify(src).has_code(ErrorCode::DfChainOverCapacity));
+    }
+
+    #[test]
+    fn unseeded_cycle_cannot_drain_but_seeded_ping_pong_can() {
+        let cyclic = "\
+FLUSH
+LOOP 4 {
+  PASS in=p out=q {
+    COMP AXPY params=\"a\"
+  }
+  PASS in=q out=p {
+    COMP AXPY params=\"b\"
+  }
+}
+";
+        assert!(verify(cyclic).has_code(ErrorCode::DfCyclicDependence));
+
+        let seeded = format!("HOST WRITE p\n{cyclic}FLUSH\nHOST READ p\n");
+        assert!(!verify(&seeded).has_code(ErrorCode::DfCyclicDependence));
+    }
+
+    #[test]
+    fn overlap_needs_declared_extents() {
+        let body = "PASS in=a out=b {\n  COMP RESMP params=\"r\"\n  COMP FFT params=\"f\"\n}\n";
+        assert!(verify(body).is_clean());
+        let declared = format!("BUF a 0x1000 0x200\nBUF b 0x1100 0x200\n{body}");
+        assert!(verify(&declared).has_code(ErrorCode::DfOverlap));
+    }
+
+    #[test]
+    fn env_extents_enable_overlap_in_implicit_mode() {
+        let (program, lines) = mealib_tdl::parse_with_lines(
+            "PASS in=a out=b {\n  COMP RESMP params=\"r\"\n  COMP FFT params=\"f\"\n}\n",
+        )
+        .unwrap();
+        let mut env = DataflowEnv::default();
+        env.extents.insert(
+            "a".to_string(),
+            AddrRange::new(PhysAddr::new(0x1000), Bytes::new(0x200)),
+        );
+        env.extents.insert(
+            "b".to_string(),
+            AddrRange::new(PhysAddr::new(0x1100), Bytes::new(0x200)),
+        );
+        let r = verify_program(&program, Some(&lines), &env);
+        assert!(r.has_code(ErrorCode::DfOverlap));
+        assert_eq!(
+            r.diagnostics()
+                .iter()
+                .filter_map(|d| match d.span {
+                    mealib_types::Span::Line(l) => Some(l),
+                    _ => None,
+                })
+                .next(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn dead_device_store_warns_in_explicit_mode() {
+        let r = verify("HOST WRITE x\nFLUSH\nPASS in=x out=y {\n  COMP AXPY params=\"a\"\n}\n");
+        assert!(r.has_code(ErrorCode::DfDeadBuffer));
+        assert_eq!(r.error_count(), 0);
+    }
+}

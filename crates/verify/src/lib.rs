@@ -23,7 +23,13 @@
 //!   address-interleaving map (every physical byte lands on exactly one
 //!   device location), including the asymmetric mode of §4.2;
 //! * [`physmem`] — physical-memory checks (`MEA030`–`MEA039`) over a
-//!   [`MemSnapshot`] of the driver's allocator and mapping state.
+//!   [`MemSnapshot`] of the driver's allocator and mapping state;
+//! * [`dataflow`] — buffer-level dataflow & coherence analysis
+//!   (`MEA100`–`MEA109`): uninitialized/dead buffers, alias/overlap
+//!   conflicts, stale reads across the host↔accelerator cache boundary,
+//!   and chain-capacity/progress violations.  The runtime's `Sanitizer`
+//!   replays the same state machine dynamically so static and dynamic
+//!   verdicts can be cross-validated.
 //!
 //! The `mealint` binary runs the right pass over files given on the
 //! command line. The runtime and the experiment harness run the same
@@ -33,12 +39,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dataflow;
 pub mod descriptor;
 pub mod memconfig;
 pub mod memsim;
 pub mod physmem;
 pub mod tdl;
 
+pub use dataflow::{
+    fusion_legal, AliasOracle, CoherenceMachine, DataflowEnv, DataflowLimits, FusionStage, Session,
+};
 pub use mealib_types::{Diagnostic, ErrorCode, Report, Severity, Span};
 pub use physmem::{MemSnapshot, StackSnapshot};
 pub use tdl::TdlLimits;

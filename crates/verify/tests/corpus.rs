@@ -181,6 +181,117 @@ fn descriptor_corpus_draws_exact_codes() {
     }
 }
 
+mod dataflow_corpus {
+    //! The MEA1xx disk corpus: every bad program must draw the exact
+    //! code its filename promises, and every clean twin must lint fully
+    //! clean (TDL *and* dataflow passes).
+
+    use std::fs;
+    use std::path::{Path, PathBuf};
+
+    use mealib_verify::dataflow::{self, DataflowEnv};
+    use mealib_verify::{tdl, ErrorCode, Report, TdlLimits};
+
+    fn corpus_dir(kind: &str) -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("corpus")
+            .join(kind)
+    }
+
+    pub(super) fn corpus_files(kind: &str) -> Vec<PathBuf> {
+        let mut files: Vec<PathBuf> = fs::read_dir(corpus_dir(kind))
+            .expect("corpus directory exists")
+            .map(|e| e.expect("corpus entry").path())
+            .filter(|p| p.extension().is_some_and(|e| e == "tdl"))
+            .collect();
+        files.sort();
+        files
+    }
+
+    /// `mea103_missing_flush.tdl` promises `MEA103`.
+    fn expected_code(path: &Path) -> ErrorCode {
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .expect("utf-8 file name");
+        let number: u16 = name[3..6].parse().expect("meaNNN_ filename prefix");
+        *ErrorCode::ALL
+            .iter()
+            .find(|c| c.number() == number)
+            .expect("prefix names a known code")
+    }
+
+    /// Exactly what `mealint` computes for a `.tdl` file: TDL semantics
+    /// merged with the session-aware dataflow analysis.
+    fn full_lint(src: &str) -> Report {
+        let session = dataflow::parse_session(src).expect("corpus entries parse");
+        let mut report = tdl::verify_program(
+            &session.program,
+            Some(&session.lines),
+            None,
+            &TdlLimits::default(),
+        );
+        report.merge(dataflow::verify_session(&session, &DataflowEnv::default()));
+        report
+    }
+
+    #[test]
+    fn bad_corpus_draws_the_code_its_name_promises() {
+        let files = corpus_files("bad");
+        assert!(
+            files.len() >= 8,
+            "corpus holds {} bad programs",
+            files.len()
+        );
+        for path in files {
+            let src = fs::read_to_string(&path).expect("corpus file reads");
+            let code = expected_code(&path);
+            let report = dataflow::verify_source(&src, &DataflowEnv::default())
+                .expect("corpus entries parse");
+            assert!(
+                report.has_code(code),
+                "{}: expected {code}, got:\n{report}",
+                path.display()
+            );
+        }
+    }
+
+    #[test]
+    fn clean_twins_lint_fully_clean() {
+        let files = corpus_files("clean");
+        assert!(files.len() >= 8);
+        for path in files {
+            let twin = corpus_dir("bad").join(path.file_name().expect("file name"));
+            assert!(twin.exists(), "{} has no bad counterpart", path.display());
+            let src = fs::read_to_string(&path).expect("corpus file reads");
+            let report = full_lint(&src);
+            assert!(
+                report.is_clean(),
+                "{}: clean twin must be clean, got:\n{report}",
+                path.display()
+            );
+        }
+    }
+
+    #[test]
+    fn every_dataflow_code_is_exercised() {
+        let exercised: Vec<ErrorCode> = corpus_files("bad")
+            .iter()
+            .map(|p| expected_code(p))
+            .collect();
+        for code in [
+            ErrorCode::DfUninitRead,
+            ErrorCode::DfDeadBuffer,
+            ErrorCode::DfOverlap,
+            ErrorCode::DfStaleRead,
+            ErrorCode::DfChainOverCapacity,
+            ErrorCode::DfCyclicDependence,
+        ] {
+            assert!(exercised.contains(&code), "no bad program exercises {code}");
+        }
+    }
+}
+
 mod cli {
     //! End-to-end runs of the `mealint` binary over corpus files.
 
@@ -275,6 +386,109 @@ mod cli {
 
         let (code, _, _) = mealint(&["/nonexistent/mealint-no-such-file"]);
         assert_eq!(code, 2);
+    }
+
+    #[test]
+    fn json_format_round_trips_through_the_obs_parser() {
+        let bad = scratch(
+            "json-bad.tdl",
+            b"HOST WRITE x\nPASS in=x out=y {\n  COMP AXPY params=\"a.para\"\n}\nFLUSH\nHOST READ y\n",
+        );
+        let (code, stdout, _) = mealint(&["--format", "json", bad.to_str().unwrap()]);
+        assert_eq!(code, 1, "{stdout}");
+        let lines: Vec<&str> = stdout.lines().filter(|l| !l.trim().is_empty()).collect();
+        assert!(!lines.is_empty(), "{stdout}");
+        for line in lines {
+            let v = mealib_obs::json::parse(line).expect("each line is one JSON object");
+            let code = v.get("code").and_then(|c| c.as_str()).expect("code field");
+            assert!(code.starts_with("MEA"), "{line}");
+            let number = v
+                .get("number")
+                .and_then(|n| n.as_f64())
+                .expect("number field");
+            assert_eq!(number as u16, code[3..].parse::<u16>().unwrap(), "{line}");
+            let severity = v
+                .get("severity")
+                .and_then(|s| s.as_str())
+                .expect("severity");
+            assert!(severity == "error" || severity == "warning", "{line}");
+            let span = v.get("span").expect("span field");
+            let kind = span
+                .get("kind")
+                .and_then(|k| k.as_str())
+                .expect("span kind");
+            match kind {
+                "line" => {
+                    span.get("line")
+                        .and_then(|l| l.as_f64())
+                        .expect("line number");
+                }
+                "bytes" => {
+                    span.get("offset").and_then(|o| o.as_f64()).expect("offset");
+                    span.get("len").and_then(|l| l.as_f64()).expect("len");
+                }
+                "none" => {}
+                other => panic!("unknown span kind {other} in {line}"),
+            }
+            assert!(
+                v.get("message").and_then(|m| m.as_str()).is_some(),
+                "{line}"
+            );
+            assert!(v.get("file").and_then(|f| f.as_str()).is_some(), "{line}");
+        }
+
+        // The stale read fires at the device read site (the PASS header on
+        // line 2) and must survive the round trip with its span intact.
+        assert!(
+            stdout.lines().any(|l| {
+                mealib_obs::json::parse(l).is_ok_and(|v| {
+                    v.get("code").and_then(|c| c.as_str()) == Some("MEA103")
+                        && v.get("span")
+                            .and_then(|s| s.get("line"))
+                            .and_then(|l| l.as_f64())
+                            == Some(2.0)
+                })
+            }),
+            "{stdout}"
+        );
+    }
+
+    #[test]
+    fn json_format_prints_nothing_for_clean_files() {
+        let good = scratch(
+            "json-good.tdl",
+            br#"PASS in=x out=y { COMP FFT params="f.para" }"#,
+        );
+        let (code, stdout, _) = mealint(&["--format", "json", good.to_str().unwrap()]);
+        assert_eq!(code, 0, "{stdout}");
+        assert!(stdout.trim().is_empty(), "{stdout}");
+    }
+
+    #[test]
+    fn json_round_trips_for_the_whole_bad_corpus() {
+        for path in super::dataflow_corpus::corpus_files("bad") {
+            let (_, stdout, stderr) = mealint(&["--format", "json", path.to_str().unwrap()]);
+            assert!(stderr.is_empty(), "{}: {stderr}", path.display());
+            let lines: Vec<&str> = stdout.lines().filter(|l| !l.trim().is_empty()).collect();
+            assert!(!lines.is_empty(), "{}: no diagnostics", path.display());
+            for line in lines {
+                let v = mealib_obs::json::parse(line)
+                    .unwrap_or_else(|e| panic!("{}: bad JSON {e}: {line}", path.display()));
+                for field in ["file", "code", "severity", "message"] {
+                    assert!(
+                        v.get(field).and_then(|f| f.as_str()).is_some(),
+                        "{}: missing {field}: {line}",
+                        path.display()
+                    );
+                }
+                let kind = v
+                    .get("span")
+                    .and_then(|s| s.get("kind"))
+                    .and_then(|k| k.as_str())
+                    .expect("span kind");
+                assert!(["none", "line", "bytes"].contains(&kind), "{line}");
+            }
+        }
     }
 
     #[test]

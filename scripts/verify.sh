@@ -22,4 +22,29 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+MEALINT=(cargo run -q --release -p mealib-verify --bin mealint --)
+
+echo "==> mealint: examples and clean corpus must be clean"
+out=$("${MEALINT[@]}" examples/tdl/*.tdl crates/verify/corpus/clean/*.tdl 2>&1) || {
+    echo "$out" >&2
+    exit 1
+}
+if grep -qE "\[MEA[0-9]+\]" <<<"$out"; then
+    echo "mealint flagged a file that must be clean:" >&2
+    echo "$out" >&2
+    exit 1
+fi
+
+echo "==> mealint: bad corpus must report the code its name promises"
+for f in crates/verify/corpus/bad/*.tdl; do
+    name=$(basename "$f" .tdl)        # mea103_missing_flush -> MEA103
+    code="MEA${name:3:3}"
+    out=$("${MEALINT[@]}" "$f" 2>&1) || true   # warnings exit 0, errors 1
+    if ! grep -q "\[$code\]" <<<"$out"; then
+        echo "mealint missed $code in $f:" >&2
+        echo "$out" >&2
+        exit 1
+    fi
+done
+
 echo "verify: OK"
