@@ -29,6 +29,10 @@ pub struct DesignPoint {
     pub gflops: f64,
     /// Average power, W.
     pub power_w: f64,
+    /// Cycle-engine cross-check: achieved GB/s replaying a sequential
+    /// stream over this point's memory configuration. `0.0` when the
+    /// check is disabled ([`SweepOptions::engine_check_bytes`] = 0).
+    pub engine_gbps: f64,
 }
 
 impl DesignPoint {
@@ -68,8 +72,32 @@ impl Default for SweepGrid {
     }
 }
 
+/// Execution options for [`sweep_with`]: worker-pool width and the
+/// optional cycle-engine cross-check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepOptions {
+    /// Worker threads for the design-point fan-out (`1` = serial).
+    /// Points are independent, so the output is identical for any
+    /// value — only wall-clock time changes.
+    pub jobs: usize,
+    /// Bytes of sequential traffic to replay through the cycle engine
+    /// at every point (fills [`DesignPoint::engine_gbps`]); `0` skips
+    /// the replay.
+    pub engine_check_bytes: u64,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        Self {
+            jobs: 1,
+            engine_check_bytes: 0,
+        }
+    }
+}
+
 /// Sweeps the design space of one accelerator over the grid, pricing
-/// `workload` at every point.
+/// `workload` at every point with default [`SweepOptions`] (serial, no
+/// engine cross-check).
 ///
 /// # Panics
 ///
@@ -80,39 +108,78 @@ pub fn sweep(
     grid: &SweepGrid,
     base_mem: &MemoryConfig,
 ) -> Vec<DesignPoint> {
+    sweep_with(kind, workload, grid, base_mem, &SweepOptions::default())
+}
+
+/// Like [`sweep`], but with explicit execution options: design points
+/// are priced on up to `opts.jobs` worker threads (grid order is
+/// preserved regardless), and when `opts.engine_check_bytes > 0` each
+/// point additionally replays that much sequential traffic through the
+/// cycle engine to cross-check the analytic bandwidth model.
+///
+/// # Panics
+///
+/// Panics if `workload` does not belong to `kind`.
+pub fn sweep_with(
+    kind: AcceleratorKind,
+    workload: &AccelParams,
+    grid: &SweepGrid,
+    base_mem: &MemoryConfig,
+    opts: &SweepOptions,
+) -> Vec<DesignPoint> {
     assert_eq!(workload.kind(), kind, "workload/accelerator mismatch");
     let model = AccelModel::new(kind);
     let base_hw = AccelHwConfig::mealib_default();
-    let mut out = Vec::new();
+    let mut cells = Vec::new();
     for &f in &grid.frequencies_ghz {
         for &cores in &grid.cores {
             for &block in &grid.block_elems {
                 for &row in &grid.row_bytes {
-                    let hw = base_hw
-                        .with_frequency(Hertz::from_ghz(f))
-                        .with_cores(cores)
-                        .with_block_elems(block);
-                    let mut mem = base_mem.clone();
-                    if let mealib_memsim::AddressMapping::Interleaved {
-                        ref mut row_bytes, ..
-                    } = mem.mapping
-                    {
-                        *row_bytes = row;
-                    }
-                    let report = model.execute(workload, &hw, &mem);
-                    out.push(DesignPoint {
-                        frequency: hw.frequency,
-                        cores,
-                        block_elems: block,
-                        row_bytes: row,
-                        gflops: report.gflops().get(),
-                        power_w: report.power().get(),
-                    });
+                    cells.push((f, cores, block, row));
                 }
             }
         }
     }
-    out
+    mealib_types::par_map(&cells, opts.jobs, |&(f, cores, block, row)| {
+        let hw = base_hw
+            .with_frequency(Hertz::from_ghz(f))
+            .with_cores(cores)
+            .with_block_elems(block);
+        let mut mem = base_mem.clone();
+        if let mealib_memsim::AddressMapping::Interleaved {
+            ref mut row_bytes, ..
+        } = mem.mapping
+        {
+            *row_bytes = row;
+        }
+        let report = model.execute(workload, &hw, &mem);
+        DesignPoint {
+            frequency: hw.frequency,
+            cores,
+            block_elems: block,
+            row_bytes: row,
+            gflops: report.gflops().get(),
+            power_w: report.power().get(),
+            engine_gbps: engine_check(&mem, opts.engine_check_bytes),
+        }
+    })
+}
+
+/// Replays `bytes` of sequential reads through the cycle engine over
+/// `mem` and returns the achieved bandwidth in GB/s (`0.0` when
+/// `bytes == 0`). The request size is one row buffer, so the replay
+/// exercises activate/precharge scheduling, not just the data bus.
+fn engine_check(mem: &MemoryConfig, bytes: u64) -> f64 {
+    if bytes == 0 {
+        return 0.0;
+    }
+    let step = mem.mapping.row_bytes();
+    let trace: Vec<mealib_memsim::Request> = (0..bytes.div_ceil(step))
+        .map(|i| mealib_memsim::Request::read(i * step, step.min(bytes - i * step)))
+        .collect();
+    mealib_memsim::simulate_trace(mem, &trace)
+        .achieved_bandwidth()
+        .as_gb_per_sec()
 }
 
 /// The Pareto frontier of a design space: points no other point
@@ -266,6 +333,68 @@ mod tests {
         let unlimited = best_under_budget(&pts, f64::INFINITY).unwrap();
         assert!(unlimited.gflops >= best.gflops);
         assert!(best_under_budget(&pts, 0.1).is_none());
+    }
+
+    #[test]
+    fn parallel_sweep_is_identical_to_serial() {
+        let grid = SweepGrid::default();
+        let mem = MemoryConfig::hmc_stack();
+        let opts = SweepOptions {
+            jobs: 1,
+            engine_check_bytes: 1 << 20,
+        };
+        let serial = sweep_with(
+            AcceleratorKind::Fft,
+            &fft_reference_workload(),
+            &grid,
+            &mem,
+            &opts,
+        );
+        for jobs in [2usize, 4, 8] {
+            let parallel = sweep_with(
+                AcceleratorKind::Fft,
+                &fft_reference_workload(),
+                &grid,
+                &mem,
+                &SweepOptions {
+                    jobs,
+                    engine_check_bytes: 1 << 20,
+                },
+            );
+            assert_eq!(parallel, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn engine_check_reports_plausible_bandwidth() {
+        let grid = SweepGrid {
+            frequencies_ghz: vec![1.2],
+            cores: vec![16],
+            block_elems: vec![4096],
+            row_bytes: vec![2048, 4096],
+        };
+        let mem = MemoryConfig::hmc_stack();
+        let pts = sweep_with(
+            AcceleratorKind::Fft,
+            &fft_reference_workload(),
+            &grid,
+            &mem,
+            &SweepOptions {
+                jobs: 2,
+                engine_check_bytes: 8 << 20,
+            },
+        );
+        let peak = mem.peak_bandwidth().as_gb_per_sec();
+        for p in &pts {
+            assert!(
+                p.engine_gbps > 0.0 && p.engine_gbps <= peak * 1.001,
+                "engine check {} outside (0, {peak}]",
+                p.engine_gbps
+            );
+        }
+        // Disabled by default: sweep() leaves the field zero.
+        let plain = sweep(AcceleratorKind::Fft, &fft_reference_workload(), &grid, &mem);
+        assert!(plain.iter().all(|p| p.engine_gbps == 0.0));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Haswell.
 
 use mealib_bench::{banner, fmt_gain, section, HarnessOpts, JsonSummary};
-use mealib_sim::{run_experiment, ExperimentOptions, TextTable};
+use mealib_sim::{run_sweep, ExperimentOptions, TextTable};
 use mealib_types::stats::geometric_mean;
 use mealib_workloads::datasets;
 
@@ -43,10 +43,11 @@ fn main() {
     let mut mealib_gains = Vec::new();
     let mut summary = JsonSummary::new("fig09_performance");
     let xopts = ExperimentOptions::default();
-    for row in datasets::table2() {
-        let cmp = run_experiment(&row.params, &xopts)
-            .expect("preflight clean")
-            .comparison;
+    let rows = datasets::table2();
+    let ops: Vec<_> = rows.iter().map(|row| row.params).collect();
+    let reports = run_sweep(&ops, &xopts, opts.jobs);
+    for (row, report) in rows.iter().zip(reports) {
+        let cmp = report.expect("preflight clean").comparison;
         let speedups = cmp.speedups();
         mealib_gains.push(cmp.mealib_speedup());
         summary.metric(

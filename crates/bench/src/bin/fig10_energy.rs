@@ -2,7 +2,7 @@
 //! five platforms, normalized to MKL on Haswell.
 
 use mealib_bench::{banner, fmt_gain, section, HarnessOpts, JsonSummary};
-use mealib_sim::{run_experiment, ExperimentOptions, TextTable};
+use mealib_sim::{run_experiment, run_sweep, ExperimentOptions, TextTable};
 use mealib_types::stats::geometric_mean;
 use mealib_workloads::datasets;
 
@@ -18,10 +18,11 @@ fn main() {
     let mut mealib_gains = Vec::new();
     let mut summary = JsonSummary::new("fig10_energy");
     let xopts = ExperimentOptions::default();
-    for row in datasets::table2() {
-        let cmp = run_experiment(&row.params, &xopts)
-            .expect("preflight clean")
-            .comparison;
+    let rows = datasets::table2();
+    let ops: Vec<_> = rows.iter().map(|row| row.params).collect();
+    let reports = run_sweep(&ops, &xopts, opts.jobs);
+    for (row, report) in rows.iter().zip(reports) {
+        let cmp = report.expect("preflight clean").comparison;
         let gains = cmp.efficiency_gains();
         mealib_gains.push(cmp.mealib_efficiency_gain());
         summary.metric(

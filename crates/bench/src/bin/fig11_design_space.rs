@@ -1,9 +1,15 @@
 //! Figure 11: design-space analysis of the FFT and SPMV accelerators —
 //! performance vs power across frequency, core count, block size, and
 //! DRAM row-buffer size, at 510 GB/s of memory bandwidth.
+//!
+//! Every design point additionally replays a sequential stream through
+//! the cycle engine (the `engine` column) to cross-check the analytic
+//! bandwidth model; `--jobs N` fans the points across worker threads
+//! with bit-identical output.
 
 use mealib_accel::design_space::{
-    fft_reference_workload, spmv_reference_workload, sweep, DesignPoint, SweepGrid,
+    fft_reference_workload, spmv_reference_workload, sweep_with, DesignPoint, SweepGrid,
+    SweepOptions,
 };
 use mealib_bench::{banner, section, HarnessOpts, JsonSummary};
 use mealib_memsim::MemoryConfig;
@@ -13,7 +19,7 @@ use mealib_tdl::AcceleratorKind;
 fn print_space(kind: AcceleratorKind, points: &[DesignPoint], paper_range: &str) {
     section(&format!("{kind} design space (one row per point)"));
     let mut t = TextTable::new(vec![
-        "freq", "cores", "block", "row", "GFLOPS", "power", "GF/W",
+        "freq", "cores", "block", "row", "GFLOPS", "power", "GF/W", "engine",
     ]);
     for p in points {
         t.push_row(vec![
@@ -24,6 +30,7 @@ fn print_space(kind: AcceleratorKind, points: &[DesignPoint], paper_range: &str)
             format!("{:.1}", p.gflops),
             format!("{:.1} W", p.power_w),
             format!("{:.2}", p.gflops_per_watt()),
+            format!("{:.0} GB/s", p.engine_gbps),
         ]);
     }
     print!("{t}");
@@ -47,18 +54,34 @@ fn main() {
     );
     let grid = SweepGrid::default();
     let mem = MemoryConfig::hmc_stack();
+    let sweep_opts = SweepOptions {
+        jobs: opts.jobs,
+        // The engine replay is what makes each point worth
+        // parallelizing; keep it light in smoke-test mode.
+        engine_check_bytes: if opts.small { 1 << 20 } else { 64 << 20 },
+    };
 
-    let fft = sweep(AcceleratorKind::Fft, &fft_reference_workload(), &grid, &mem);
+    let fft = sweep_with(
+        AcceleratorKind::Fft,
+        &fft_reference_workload(),
+        &grid,
+        &mem,
+        &sweep_opts,
+    );
     print_space(AcceleratorKind::Fft, &fft, "10-56 GFLOPS/W");
 
-    let spmv = sweep(
+    let spmv = sweep_with(
         AcceleratorKind::Spmv,
         &spmv_reference_workload(),
         &grid,
         &mem,
+        &sweep_opts,
     );
     print_space(AcceleratorKind::Spmv, &spmv, "0.18-1.76 GFLOPS/W");
 
+    // Deterministic modeled outputs only — no wall times, so summaries
+    // from different --jobs values must be byte-identical (the smoke
+    // script asserts this).
     let mut summary = JsonSummary::new("fig11_design_space");
     let eff_range = |points: &[DesignPoint]| {
         let min = points
@@ -77,5 +100,11 @@ fn main() {
     summary.metric("fft_eff_max", fmax);
     summary.metric("spmv_eff_min", smin);
     summary.metric("spmv_eff_max", smax);
+    let engine_max = fft
+        .iter()
+        .chain(&spmv)
+        .map(|p| p.engine_gbps)
+        .fold(0.0_f64, f64::max);
+    summary.metric("engine_check_max_gbps", engine_max);
     summary.emit(&opts);
 }

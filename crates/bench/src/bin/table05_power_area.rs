@@ -42,9 +42,10 @@ fn main() {
         "area (paper)",
     ]);
     let mut max_power: f64 = 0.0;
-    for (i, row) in datasets::table2().iter().enumerate() {
-        let report = layer.execute(&row.params);
-        let power = report.power().get();
+    let rows = datasets::table2();
+    let powers = mealib_types::par_map(&rows, opts.jobs, |row| layer.execute(&row.params).power());
+    for (i, (row, power)) in rows.iter().zip(powers).enumerate() {
+        let power = power.get();
         max_power = max_power.max(power);
         let area = profile(row.params.kind()).area_mm2;
         t.push_row(vec![

@@ -17,8 +17,11 @@ use mealib_obs::json::Object;
 ///   `BENCH_*.json` record format) as the final stdout line;
 /// * `--small` — run at reduced problem sizes (smoke-test mode);
 /// * `--trace <path>` — write the instrumentation trace as JSONL to
-///   `path` (binaries that support tracing document it in their help).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///   `path` (binaries that support tracing document it in their help);
+/// * `--jobs <N>` — worker threads for the parallel sweep paths
+///   (default 1 = serial). Modeled results are identical for any `N`;
+///   only wall-clock time changes.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HarnessOpts {
     /// Emit the JSON summary line.
     pub json: bool,
@@ -26,6 +29,19 @@ pub struct HarnessOpts {
     pub small: bool,
     /// JSONL trace destination, when requested.
     pub trace: Option<PathBuf>,
+    /// Worker threads for parallel sweeps (1 = serial).
+    pub jobs: usize,
+}
+
+impl Default for HarnessOpts {
+    fn default() -> Self {
+        Self {
+            json: false,
+            small: false,
+            trace: None,
+            jobs: 1,
+        }
+    }
 }
 
 impl HarnessOpts {
@@ -45,6 +61,15 @@ impl HarnessOpts {
                 "--small" => opts.small = true,
                 "--trace" => {
                     opts.trace = args.next().map(PathBuf::from);
+                }
+                "--jobs" => {
+                    // An unparseable or missing count falls back to
+                    // serial rather than aborting the harness.
+                    opts.jobs = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or(1);
                 }
                 _ => {}
             }
@@ -126,14 +151,38 @@ mod tests {
 
     #[test]
     fn opts_parse_flags_in_any_order() {
-        let opts =
-            HarnessOpts::parse(["--small", "--trace", "/tmp/t.jsonl", "--json"].map(String::from));
+        let opts = HarnessOpts::parse(
+            [
+                "--small",
+                "--trace",
+                "/tmp/t.jsonl",
+                "--jobs",
+                "4",
+                "--json",
+            ]
+            .map(String::from),
+        );
         assert!(opts.json && opts.small);
         assert_eq!(
             opts.trace.as_deref(),
             Some(std::path::Path::new("/tmp/t.jsonl"))
         );
+        assert_eq!(opts.jobs, 4);
         assert_eq!(HarnessOpts::parse(Vec::new()), HarnessOpts::default());
+    }
+
+    #[test]
+    fn jobs_flag_defaults_to_serial_on_bad_input() {
+        assert_eq!(HarnessOpts::parse(Vec::new()).jobs, 1);
+        assert_eq!(
+            HarnessOpts::parse(["--jobs", "zero"].map(String::from)).jobs,
+            1
+        );
+        assert_eq!(
+            HarnessOpts::parse(["--jobs", "0"].map(String::from)).jobs,
+            1
+        );
+        assert_eq!(HarnessOpts::parse(["--jobs"].map(String::from)).jobs, 1);
     }
 
     #[test]

@@ -1,0 +1,316 @@
+//! Golden-reference proptests: every public kernel in blas1/blas2/
+//! sparse/reshape checked against a naive scalar reference implemented
+//! *here*, independently of the kernel crate's own internals.
+//!
+//! Comparison discipline follows the numerics:
+//!
+//! * **Exact** (`==` on every element) where the reference performs the
+//!   same floating-point operations in the same order — elementwise ops
+//!   (`saxpy`, `sscal`, `caxpy`), in-order reductions (`sdot_strided`,
+//!   `cdotc`, `cdotu`), and all data-movement ops (transpose, blocked
+//!   layouts, CSR assembly), which must not perturb values at all.
+//! * **Relative-error bounded** where the kernel deliberately uses a
+//!   different accumulation order (`sdot`'s eight-way partial sums,
+//!   `sgemv`/`sgemv_trans`/`spmv` row reductions): float addition is not
+//!   associative, so the oracle bounds the drift instead.
+
+use mealib_kernels::blas1::{
+    caxpy, cdotc, cdotc_strided, cdotu, saxpy, saxpy_strided, sdot, sdot_strided, sscal,
+};
+use mealib_kernels::blas2::{sgemv, sgemv_naive, sgemv_trans, MatrixRef};
+use mealib_kernels::reshape::{
+    blocked_to_linear, linear_to_blocked, transpose, transpose_in_place, transpose_naive,
+};
+use mealib_kernels::sparse::CsrMatrix;
+use mealib_types::Complex32;
+use proptest::prelude::*;
+
+fn small_f32() -> impl Strategy<Value = f32> {
+    (-1000i32..=1000).prop_map(|v| v as f32 / 16.0)
+}
+
+fn vec_f32(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(small_f32(), len)
+}
+
+fn vec_c32(len: usize) -> impl Strategy<Value = Vec<Complex32>> {
+    proptest::collection::vec(
+        (small_f32(), small_f32()).prop_map(|(r, i)| Complex32::new(r, i)),
+        len,
+    )
+}
+
+fn rel_close(got: f32, want: f32, tol: f32) -> bool {
+    (got - want).abs() <= tol * want.abs().max(1.0)
+}
+
+proptest! {
+    // ---- blas1: elementwise ops, exact ----
+
+    #[test]
+    fn golden_saxpy_exact(alpha in small_f32(), x in vec_f32(65), y0 in vec_f32(65)) {
+        let mut y = y0.clone();
+        saxpy(alpha, &x, &mut y);
+        for i in 0..y.len() {
+            prop_assert_eq!(y[i], y0[i] + alpha * x[i], "element {}", i);
+        }
+    }
+
+    #[test]
+    fn golden_saxpy_strided_exact(
+        n in 0usize..=16,
+        alpha in small_f32(),
+        x in vec_f32(64),
+        y0 in vec_f32(64),
+        incx in 1usize..=3,
+        incy in 1usize..=3,
+    ) {
+        let mut y = y0.clone();
+        saxpy_strided(n, alpha, &x, incx, &mut y, incy);
+        for i in 0..y.len() {
+            // Only the n strided slots of y change; everything else is
+            // untouched.
+            let want = if incy > 0 && i % incy == 0 && i / incy < n {
+                y0[i] + alpha * x[(i / incy) * incx]
+            } else {
+                y0[i]
+            };
+            prop_assert_eq!(y[i], want, "element {}", i);
+        }
+    }
+
+    #[test]
+    fn golden_sscal_exact(alpha in small_f32(), x0 in vec_f32(40)) {
+        let mut x = x0.clone();
+        sscal(alpha, &mut x);
+        for i in 0..x.len() {
+            prop_assert_eq!(x[i], alpha * x0[i], "element {}", i);
+        }
+    }
+
+    #[test]
+    fn golden_caxpy_exact(
+        ar in small_f32(), ai in small_f32(),
+        x in vec_c32(33), y0 in vec_c32(33),
+    ) {
+        let alpha = Complex32::new(ar, ai);
+        let mut y = y0.clone();
+        caxpy(alpha, &x, &mut y);
+        for i in 0..y.len() {
+            prop_assert_eq!(y[i], y0[i] + alpha * x[i], "element {}", i);
+        }
+    }
+
+    // ---- blas1: reductions ----
+
+    /// `sdot_strided` sums in index order, so a naive in-order loop is
+    /// bit-identical.
+    #[test]
+    fn golden_sdot_strided_exact(
+        n in 0usize..=20,
+        x in vec_f32(64), y in vec_f32(64),
+        incx in 1usize..=3, incy in 1usize..=3,
+    ) {
+        let mut want = 0.0f32;
+        for i in 0..n {
+            want += x[i * incx] * y[i * incy];
+        }
+        prop_assert_eq!(sdot_strided(n, &x, incx, &y, incy), want);
+    }
+
+    /// `sdot` reduces through eight partial sums — a different order
+    /// than the naive loop, so the oracle bounds the relative drift.
+    #[test]
+    fn golden_sdot_bounded(x in vec_f32(100), y in vec_f32(100)) {
+        let mut want = 0.0f32;
+        for i in 0..x.len() {
+            want += x[i] * y[i];
+        }
+        prop_assert!(
+            rel_close(sdot(&x, &y), want, 1e-3),
+            "sdot {} vs reference {}", sdot(&x, &y), want
+        );
+    }
+
+    /// Complex dots fold in order from zero, matching the naive loop
+    /// exactly.
+    #[test]
+    fn golden_complex_dots_exact(x in vec_c32(41), y in vec_c32(41)) {
+        let mut want_c = Complex32::ZERO;
+        let mut want_u = Complex32::ZERO;
+        for i in 0..x.len() {
+            want_c += x[i].conj() * y[i];
+            want_u += x[i] * y[i];
+        }
+        prop_assert_eq!(cdotc(&x, &y), want_c);
+        prop_assert_eq!(cdotu(&x, &y), want_u);
+    }
+
+    #[test]
+    fn golden_cdotc_strided_exact(
+        n in 0usize..=16,
+        x in vec_c32(48), y in vec_c32(48),
+        incx in 1usize..=3, incy in 1usize..=3,
+    ) {
+        let mut want = Complex32::ZERO;
+        for i in 0..n {
+            want += x[i * incx].conj() * y[i * incy];
+        }
+        prop_assert_eq!(cdotc_strided(n, &x, incx, &y, incy), want);
+    }
+
+    // ---- blas2: matrix-vector products, bounded ----
+
+    #[test]
+    fn golden_sgemv_bounded(
+        rows in 1usize..=12, cols in 1usize..=12,
+        data in vec_f32(144), x in vec_f32(12), y0 in vec_f32(12),
+        alpha in small_f32(), beta in small_f32(),
+    ) {
+        let a = MatrixRef::dense(&data[..rows * cols], rows, cols);
+        let mut y = y0[..rows].to_vec();
+        sgemv(alpha, a, &x[..cols], beta, &mut y);
+        for i in 0..rows {
+            let mut dot = 0.0f32;
+            for j in 0..cols {
+                dot += data[i * cols + j] * x[j];
+            }
+            let want = alpha * dot + beta * y0[i];
+            prop_assert!(rel_close(y[i], want, 1e-4), "row {}: {} vs {}", i, y[i], want);
+        }
+    }
+
+    #[test]
+    fn golden_sgemv_trans_bounded(
+        rows in 1usize..=12, cols in 1usize..=12,
+        data in vec_f32(144), x in vec_f32(12), y0 in vec_f32(12),
+        alpha in small_f32(), beta in small_f32(),
+    ) {
+        let a = MatrixRef::dense(&data[..rows * cols], rows, cols);
+        let mut y = y0[..cols].to_vec();
+        sgemv_trans(alpha, a, &x[..rows], beta, &mut y);
+        for j in 0..cols {
+            let mut dot = 0.0f32;
+            for i in 0..rows {
+                dot += data[i * cols + j] * x[i];
+            }
+            let want = alpha * dot + beta * y0[j];
+            prop_assert!(rel_close(y[j], want, 1e-4), "col {}: {} vs {}", j, y[j], want);
+        }
+    }
+
+    /// The cache-hostile baseline must still compute GEMV.
+    #[test]
+    fn golden_sgemv_naive_bounded(
+        rows in 1usize..=10, cols in 1usize..=10,
+        data in vec_f32(100), x in vec_f32(10), y0 in vec_f32(10),
+        alpha in small_f32(), beta in small_f32(),
+    ) {
+        let a = MatrixRef::dense(&data[..rows * cols], rows, cols);
+        let mut y = y0[..rows].to_vec();
+        sgemv_naive(alpha, a, &x[..cols], beta, &mut y);
+        for i in 0..rows {
+            let mut dot = 0.0f32;
+            for j in 0..cols {
+                dot += data[i * cols + j] * x[j];
+            }
+            let want = alpha * dot + beta * y0[i];
+            prop_assert!(rel_close(y[i], want, 1e-4), "row {}: {} vs {}", i, y[i], want);
+        }
+    }
+
+    // ---- sparse: CSR assembly exact, SpMV bounded ----
+
+    #[test]
+    fn golden_csr_from_triplets_exact(
+        rows in 1usize..=12, cols in 1usize..=12,
+        raw in proptest::collection::vec(
+            (0usize..64, 0usize..64, small_f32()), 0..40),
+    ) {
+        let triplets: Vec<(usize, usize, f32)> =
+            raw.iter().map(|&(r, c, v)| (r % rows, c % cols, v)).collect();
+        let m = CsrMatrix::from_triplets(rows, cols, &triplets);
+        // Reference dense assembly: accumulate in input order, which is
+        // the summation order `from_triplets` guarantees for duplicates
+        // (stable sort by column within each row).
+        let mut dense = vec![0.0f32; rows * cols];
+        for &(r, c, v) in &triplets {
+            dense[r * cols + c] += v;
+        }
+        prop_assert_eq!(m.to_dense(), dense);
+    }
+
+    #[test]
+    fn golden_spmv_bounded(
+        rows in 1usize..=12, cols in 1usize..=12,
+        raw in proptest::collection::vec(
+            (0usize..64, 0usize..64, small_f32()), 0..40),
+        x in vec_f32(12),
+    ) {
+        let triplets: Vec<(usize, usize, f32)> =
+            raw.iter().map(|&(r, c, v)| (r % rows, c % cols, v)).collect();
+        let m = CsrMatrix::from_triplets(rows, cols, &triplets);
+        let mut dense = vec![0.0f32; rows * cols];
+        for &(r, c, v) in &triplets {
+            dense[r * cols + c] += v;
+        }
+        let y = m.spmv(&x[..cols]);
+        prop_assert_eq!(y.len(), rows);
+        for i in 0..rows {
+            let mut want = 0.0f32;
+            for j in 0..cols {
+                want += dense[i * cols + j] * x[j];
+            }
+            prop_assert!(rel_close(y[i], want, 1e-4), "row {}: {} vs {}", i, y[i], want);
+        }
+    }
+
+    // ---- reshape: data movement, exact ----
+
+    #[test]
+    fn golden_transpose_exact(
+        rows in 1usize..=40, cols in 1usize..=40,
+        data in vec_f32(1600),
+    ) {
+        let src = &data[..rows * cols];
+        let got = transpose(src, rows, cols);
+        let mut want = vec![0.0f32; rows * cols];
+        for i in 0..rows {
+            for j in 0..cols {
+                want[j * rows + i] = src[i * cols + j];
+            }
+        }
+        prop_assert_eq!(&got, &want);
+        prop_assert_eq!(transpose_naive(src, rows, cols), want);
+    }
+
+    #[test]
+    fn golden_transpose_in_place_exact(n in 0usize..=20, data in vec_f32(400)) {
+        let mut got = data[..n * n].to_vec();
+        transpose_in_place(&mut got, n);
+        prop_assert_eq!(got, transpose(&data[..n * n], n, n));
+    }
+
+    #[test]
+    fn golden_blocked_layout_exact(
+        block_pow in 0u32..=2, a in 1usize..=3, b in 1usize..=3,
+        data in vec_f32(144),
+    ) {
+        let block = 1usize << block_pow; // 1, 2, or 4
+        let (rows, cols) = (a * block, b * block);
+        let src = &data[..rows * cols];
+        let blocked = linear_to_blocked(src, rows, cols, block);
+        // Golden index map: element (i, j) lives at
+        // tile(i/block, j/block) · block² + (i%block)·block + (j%block).
+        let tiles_per_row = cols / block;
+        for i in 0..rows {
+            for j in 0..cols {
+                let tile = (i / block) * tiles_per_row + j / block;
+                let off = tile * block * block + (i % block) * block + j % block;
+                prop_assert_eq!(blocked[off], src[i * cols + j], "({}, {})", i, j);
+            }
+        }
+        // And the inverse restores the linear layout exactly.
+        prop_assert_eq!(blocked_to_linear(&blocked, rows, cols, block), src);
+    }
+}

@@ -148,6 +148,13 @@ impl AddressMapping {
         }
     }
 
+    /// Unit (channel/vault) index `addr` maps to. Shorthand for
+    /// [`decode`](Self::decode)`.unit`, used when partitioning a trace
+    /// across per-unit workers.
+    pub fn unit_of(&self, addr: PhysAddr) -> usize {
+        self.decode(addr).unit
+    }
+
     /// Returns `true` if `addr` falls in a region that is physically
     /// contiguous within a single unit (what the accelerators require).
     pub fn is_single_unit(&self, addr: PhysAddr) -> bool {
@@ -334,6 +341,21 @@ mod tests {
         assert_eq!(m.decode(PhysAddr::new(0)).unit, 0);
         assert_eq!(m.decode(PhysAddr::new(64)).unit, 1);
         assert_eq!(m.units(), 3);
+    }
+
+    #[test]
+    fn unit_of_matches_decode() {
+        let maps = [
+            dual_channel_dimms(),
+            asymmetric_dimms(PhysAddr::new(1 << 20)),
+            hmc_vaults(),
+        ];
+        for m in &maps {
+            for i in 0..4096u64 {
+                let addr = PhysAddr::new(i * 97);
+                assert_eq!(m.unit_of(addr), m.decode(addr).unit);
+            }
+        }
     }
 
     #[test]

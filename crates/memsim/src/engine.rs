@@ -13,8 +13,10 @@
 use mealib_obs::{Counter, Obs};
 use mealib_types::{Bytes, Cycles, PhysAddr};
 
+use crate::address::{AddressMapping, Location};
 use crate::config::MemoryConfig;
 use crate::stats::TraceStats;
+use crate::timing::DramTiming;
 
 /// Direction of a memory request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,21 +89,41 @@ impl ActWindow {
 
 /// Log₂-bucketed histogram of per-burst access latencies (cycles from a
 /// burst's turn in program order to its data completing).
+///
+/// Bucket `k` counts latencies in `[2^k, 2^(k+1))` cycles. The top
+/// bucket ([`LatencyHistogram::SATURATION_BUCKET`]) *saturates*: every
+/// latency at or above `2^31` cycles clamps into it, so its population
+/// has no finite upper bound and [`LatencyHistogram::quantile_bound`]
+/// reports [`u64::MAX`] for quantiles that land there.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LatencyHistogram {
     /// `buckets[k]` counts latencies in `[2^k, 2^(k+1))` cycles
-    /// (bucket 0 also holds zero-latency completions).
+    /// (bucket 0 also holds zero-latency completions; the last bucket
+    /// additionally holds everything at or above `2^31`).
     buckets: [u64; 32],
     total: u64,
 }
 
 impl LatencyHistogram {
+    /// Index of the saturating top bucket: it covers `[2^31, ∞)` cycles.
+    pub const SATURATION_BUCKET: usize = 31;
+
     fn record(&mut self, latency_cycles: u64) {
         let k = (64 - latency_cycles.leading_zeros())
             .saturating_sub(1)
-            .min(31);
+            .min(Self::SATURATION_BUCKET as u32);
         self.buckets[k as usize] += 1;
         self.total += 1;
+    }
+
+    /// Folds another histogram into this one. Buckets and totals are
+    /// plain sums, so merging is commutative and associative — the
+    /// property the parallel engine's reduction relies on.
+    fn merge(&mut self, other: &Self) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.total += other.total;
     }
 
     /// Number of bursts recorded.
@@ -109,13 +131,19 @@ impl LatencyHistogram {
         self.total
     }
 
-    /// Bucket counts (`buckets[k]` covers `[2^k, 2^(k+1))` cycles).
+    /// Bucket counts (`buckets[k]` covers `[2^k, 2^(k+1))` cycles; the
+    /// last bucket saturates and also covers everything above).
     pub fn buckets(&self) -> &[u64; 32] {
         &self.buckets
     }
 
     /// Upper bound (cycles) of the bucket containing the given quantile
     /// (`0.0..=1.0`), or `None` when empty.
+    ///
+    /// When the quantile falls in the saturating top bucket the bound is
+    /// [`u64::MAX`]: that bucket holds every latency at or above `2^31`
+    /// cycles, so any finite power-of-two bound would misrepresent the
+    /// clamped tail.
     ///
     /// # Panics
     ///
@@ -130,7 +158,11 @@ impl LatencyHistogram {
         for (k, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return Some(1u64 << (k + 1));
+                return if k >= Self::SATURATION_BUCKET {
+                    Some(u64::MAX)
+                } else {
+                    Some(1u64 << (k + 1))
+                };
             }
         }
         Some(u64::MAX)
@@ -159,7 +191,11 @@ pub struct VaultStats {
 
 /// Full output of one engine replay: the aggregate statistics, the
 /// per-burst latency histogram, and per-vault command counts.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares every field — including the derived `f64`
+/// time/energy values — exactly, which is what the determinism suite
+/// uses to hold parallel and serial runs bit-for-bit equal.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EngineRun {
     /// Aggregate timing / row-buffer / energy statistics.
     pub stats: TraceStats,
@@ -244,121 +280,245 @@ pub fn simulate_trace_detailed(config: &MemoryConfig, trace: &[Request]) -> Engi
         .unwrap_or_else(|e| panic!("invalid memory configuration: {e}"));
     let t = &config.timing;
     let mapping = &config.mapping;
-    let units = mapping.units();
     let banks = mapping.banks_per_unit();
+    let mut units: Vec<UnitEngine> = (0..mapping.units())
+        .map(|_| UnitEngine::new(banks))
+        .collect();
+    for_each_burst(t, mapping, trace, |b| units[b.loc.unit].burst(t, &b));
+    finish_run(config, units)
+}
 
-    let mut bank_state = vec![vec![BankState::default(); banks]; units];
-    let mut bus_free = vec![0u64; units];
-    let mut act_windows = vec![ActWindow::default(); units];
-    let mut refreshes_done = vec![0u64; units];
-    let mut vaults = vec![VaultStats::default(); units];
+/// Like [`simulate_trace_detailed`], but shards the replay across up to
+/// `jobs` worker threads at the unit (vault/channel) boundary.
+///
+/// The trace is partitioned at *burst* granularity — consecutive bursts
+/// of one request land on different units under interleaving, so whole
+/// requests cannot be assigned to a shard — via the mapping's decode,
+/// preserving per-unit program order. Each unit's FCFS stream then
+/// replays on its own [`UnitEngine`], which is sound because the serial
+/// engine's state is already partitioned per unit: a burst decoded to
+/// unit `u` reads and writes the banks, bus, activation window, refresh
+/// counter, and issue pointer of `u` and nothing else. The merge is a
+/// deterministic order-independent reduction (total cycles = max over
+/// units; command counts, byte counts, and histogram buckets are
+/// commutative `u64` sums), so the result is **bit-for-bit identical**
+/// to the serial run for every statistic, including the derived `f64`
+/// time and energy.
+///
+/// `jobs <= 1` falls back to the serial [`simulate_trace_detailed`]
+/// path.
+///
+/// # Panics
+///
+/// Panics if `config` fails validation. Use
+/// [`try_simulate_trace_parallel`] for a typed error instead.
+pub fn simulate_trace_parallel(config: &MemoryConfig, trace: &[Request], jobs: usize) -> EngineRun {
+    if jobs <= 1 {
+        return simulate_trace_detailed(config, trace);
+    }
+    config
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid memory configuration: {e}"));
+    let t = &config.timing;
+    let mapping = &config.mapping;
+    let banks = mapping.banks_per_unit();
+    let mut shards: Vec<Vec<Burst>> = vec![Vec::new(); mapping.units()];
+    for_each_burst(t, mapping, trace, |b| shards[b.loc.unit].push(b));
+    let units = mealib_types::par_map(&shards, jobs, |shard| {
+        let mut unit = UnitEngine::new(banks);
+        for b in shard {
+            unit.burst(t, b);
+        }
+        unit
+    });
+    finish_run(config, units)
+}
 
-    let mut stats = TraceStats::default();
-    let mut latencies = LatencyHistogram::default();
-    // Program-order issue pointer: a burst's latency is measured from
-    // the completion of the previous burst on the same unit (FCFS).
-    let mut issued_at = vec![0u64; units];
+/// Like [`simulate_trace_parallel`], reporting an invalid configuration
+/// as a typed error instead of panicking.
+///
+/// # Errors
+///
+/// Returns the first [`mealib_types::ConfigError`] found in `config`.
+pub fn try_simulate_trace_parallel(
+    config: &MemoryConfig,
+    trace: &[Request],
+    jobs: usize,
+) -> Result<EngineRun, mealib_types::ConfigError> {
+    config.validate()?;
+    Ok(simulate_trace_parallel(config, trace, jobs))
+}
 
+/// One decoded burst-sized access, in program order.
+#[derive(Debug, Clone, Copy)]
+struct Burst {
+    loc: Location,
+    bytes: u64,
+    op: Op,
+}
+
+/// Splits `trace` into burst-sized accesses at burst-aligned boundaries
+/// and decodes each one, exactly as a vault controller would issue them.
+fn for_each_burst(
+    t: &DramTiming,
+    mapping: &AddressMapping,
+    trace: &[Request],
+    mut f: impl FnMut(Burst),
+) {
     for req in trace {
         let mut remaining = req.bytes;
         let mut addr = req.addr.get();
         while remaining > 0 {
-            // Split at burst-aligned boundaries.
             let offset_in_burst = addr % t.burst_bytes;
             let take = (t.burst_bytes - offset_in_burst).min(remaining);
             let loc = mapping.decode(PhysAddr::new(addr));
-
-            // Periodic all-bank refresh (REFab): once per tREFI the whole
-            // unit spends tRFC refreshing, closing every row buffer.
-            let due = bus_free[loc.unit] / t.t_refi;
-            if due > refreshes_done[loc.unit] {
-                let owed = due - refreshes_done[loc.unit];
-                refreshes_done[loc.unit] = due;
-                stats.refreshes += owed;
-                vaults[loc.unit].refreshes += owed;
-                bus_free[loc.unit] += owed * t.t_rfc;
-                for bank in bank_state[loc.unit].iter_mut() {
-                    if bank.open_row.is_some() {
-                        // Refresh implicitly closes every open row.
-                        stats.precharges += 1;
-                        vaults[loc.unit].precharges += 1;
-                    }
-                    bank.open_row = None;
-                    bank.cmd_ready = bank.cmd_ready.max(bus_free[loc.unit]);
-                }
-            }
-
-            let bank = &mut bank_state[loc.unit][loc.bank];
-            let bus = &mut bus_free[loc.unit];
-            let window = &mut act_windows[loc.unit];
-
-            let vault = &mut vaults[loc.unit];
-            let data_start = match bank.open_row {
-                Some(r) if r == loc.row => {
-                    stats.row_hits += 1;
-                    vault.row_hits += 1;
-                    let cmd = bank.cmd_ready;
-                    cmd + t.t_cl
-                }
-                Some(_) => {
-                    // Row conflict: precharge, then activate, then access.
-                    stats.row_misses += 1;
-                    stats.activations += 1;
-                    stats.precharges += 1;
-                    vault.row_misses += 1;
-                    vault.activations += 1;
-                    vault.precharges += 1;
-                    let pre = bank.cmd_ready.max(bank.act_at + t.t_ras);
-                    let act = (pre + t.t_rp)
-                        .max(bank.act_at + t.t_rc())
-                        .max(window.earliest(t.t_faw));
-                    window.record(act);
-                    bank.act_at = act;
-                    act + t.t_rcd + t.t_cl
-                }
-                None => {
-                    // Bank idle: activate, then access.
-                    stats.row_misses += 1;
-                    stats.activations += 1;
-                    vault.row_misses += 1;
-                    vault.activations += 1;
-                    let act = if bank.has_activated {
-                        bank.cmd_ready.max(bank.act_at + t.t_rc())
-                    } else {
-                        bank.cmd_ready
-                    }
-                    .max(window.earliest(t.t_faw));
-                    window.record(act);
-                    bank.act_at = act;
-                    bank.has_activated = true;
-                    act + t.t_rcd + t.t_cl
-                }
-            };
-            let data_start = data_start.max(*bus);
-            *bus = data_start + t.t_burst;
-            // Column commands can issue once per burst slot.
-            bank.cmd_ready = (data_start + t.t_burst).saturating_sub(t.t_cl);
-            bank.open_row = Some(loc.row);
-            let done = data_start + t.t_burst;
-            latencies.record(done - issued_at[loc.unit]);
-            issued_at[loc.unit] = done;
-
-            match req.op {
-                Op::Read => {
-                    stats.bytes_read += Bytes::new(take);
-                    vaults[loc.unit].read_bursts += 1;
-                }
-                Op::Write => {
-                    stats.bytes_written += Bytes::new(take);
-                    vaults[loc.unit].write_bursts += 1;
-                }
-            }
+            f(Burst {
+                loc,
+                bytes: take,
+                op: req.op,
+            });
             addr += take;
             remaining -= take;
         }
     }
+}
 
-    let end_cycle = bus_free.into_iter().max().unwrap_or(0);
+/// The complete replay state of one unit (channel or vault): banks, data
+/// bus, tFAW window, refresh progress, the FCFS issue pointer, and the
+/// unit's share of every statistic. Serial and parallel replays both run
+/// through this type; a burst decoded to unit `u` touches the state of
+/// `u` and nothing else, which is what makes vault sharding sound.
+#[derive(Debug, Clone)]
+struct UnitEngine {
+    banks: Vec<BankState>,
+    bus_free: u64,
+    window: ActWindow,
+    refreshes_done: u64,
+    /// Program-order issue pointer: a burst's latency is measured from
+    /// the completion of the previous burst on the same unit (FCFS).
+    issued_at: u64,
+    vault: VaultStats,
+    latencies: LatencyHistogram,
+    bytes_read: u64,
+    bytes_written: u64,
+}
+
+impl UnitEngine {
+    fn new(banks: usize) -> Self {
+        Self {
+            banks: vec![BankState::default(); banks],
+            bus_free: 0,
+            window: ActWindow::default(),
+            refreshes_done: 0,
+            issued_at: 0,
+            vault: VaultStats::default(),
+            latencies: LatencyHistogram::default(),
+            bytes_read: 0,
+            bytes_written: 0,
+        }
+    }
+
+    /// Services one burst in FCFS order: refresh accounting, row-buffer
+    /// logic, then a slot on the unit's data bus.
+    fn burst(&mut self, t: &DramTiming, b: &Burst) {
+        // Periodic all-bank refresh (REFab): once per tREFI the whole
+        // unit spends tRFC refreshing, closing every row buffer.
+        let due = self.bus_free / t.t_refi;
+        if due > self.refreshes_done {
+            let owed = due - self.refreshes_done;
+            self.refreshes_done = due;
+            self.vault.refreshes += owed;
+            self.bus_free += owed * t.t_rfc;
+            for bank in self.banks.iter_mut() {
+                if bank.open_row.is_some() {
+                    // Refresh implicitly closes every open row.
+                    self.vault.precharges += 1;
+                }
+                bank.open_row = None;
+                bank.cmd_ready = bank.cmd_ready.max(self.bus_free);
+            }
+        }
+
+        let bank = &mut self.banks[b.loc.bank];
+        let data_start = match bank.open_row {
+            Some(r) if r == b.loc.row => {
+                self.vault.row_hits += 1;
+                bank.cmd_ready + t.t_cl
+            }
+            Some(_) => {
+                // Row conflict: precharge, then activate, then access.
+                self.vault.row_misses += 1;
+                self.vault.activations += 1;
+                self.vault.precharges += 1;
+                let pre = bank.cmd_ready.max(bank.act_at + t.t_ras);
+                let act = (pre + t.t_rp)
+                    .max(bank.act_at + t.t_rc())
+                    .max(self.window.earliest(t.t_faw));
+                self.window.record(act);
+                bank.act_at = act;
+                act + t.t_rcd + t.t_cl
+            }
+            None => {
+                // Bank idle: activate, then access.
+                self.vault.row_misses += 1;
+                self.vault.activations += 1;
+                let act = if bank.has_activated {
+                    bank.cmd_ready.max(bank.act_at + t.t_rc())
+                } else {
+                    bank.cmd_ready
+                }
+                .max(self.window.earliest(t.t_faw));
+                self.window.record(act);
+                bank.act_at = act;
+                bank.has_activated = true;
+                act + t.t_rcd + t.t_cl
+            }
+        };
+        let data_start = data_start.max(self.bus_free);
+        let done = data_start + t.t_burst;
+        self.bus_free = done;
+        // Column commands can issue once per burst slot.
+        bank.cmd_ready = done.saturating_sub(t.t_cl);
+        bank.open_row = Some(b.loc.row);
+        self.latencies.record(done - self.issued_at);
+        self.issued_at = done;
+
+        match b.op {
+            Op::Read => {
+                self.bytes_read += b.bytes;
+                self.vault.read_bursts += 1;
+            }
+            Op::Write => {
+                self.bytes_written += b.bytes;
+                self.vault.write_bursts += 1;
+            }
+        }
+    }
+}
+
+/// Folds per-unit replay results into one [`EngineRun`]. Every merged
+/// quantity is either a commutative `u64` sum (bytes, commands,
+/// histogram buckets) or a max (the end cycle); the derived `f64`
+/// fields (`elapsed`, `energy`) are computed once here from the merged
+/// integer totals, so parallel and serial runs agree bit-for-bit.
+fn finish_run(config: &MemoryConfig, units: Vec<UnitEngine>) -> EngineRun {
+    let t = &config.timing;
+    let mut stats = TraceStats::default();
+    let mut latencies = LatencyHistogram::default();
+    let mut vaults = Vec::with_capacity(units.len());
+    let mut end_cycle = 0u64;
+    for u in units {
+        end_cycle = end_cycle.max(u.bus_free);
+        stats.bytes_read += Bytes::new(u.bytes_read);
+        stats.bytes_written += Bytes::new(u.bytes_written);
+        stats.activations += u.vault.activations;
+        stats.precharges += u.vault.precharges;
+        stats.row_hits += u.vault.row_hits;
+        stats.row_misses += u.vault.row_misses;
+        stats.refreshes += u.vault.refreshes;
+        latencies.merge(&u.latencies);
+        vaults.push(u.vault);
+    }
     stats.cycles = Cycles::new(end_cycle);
     stats.elapsed = stats
         .cycles
@@ -636,6 +796,128 @@ mod tests {
         assert_eq!(s.bytes_moved(), Bytes::ZERO);
         assert_eq!(s.cycles, Cycles::ZERO);
         assert!(s.elapsed.is_zero());
+    }
+
+    #[test]
+    fn empty_trace_derived_metrics_do_not_divide_by_zero() {
+        // Regression: bandwidth and power are derived by dividing by the
+        // elapsed time, which is zero for an empty trace. Both must
+        // return their ZERO value, not panic or produce NaN/inf.
+        for config in [
+            MemoryConfig::hmc_stack(),
+            MemoryConfig::ddr_dual_channel(),
+            MemoryConfig::msas_dram(),
+        ] {
+            let run = simulate_trace_detailed(&config, &[]);
+            assert_eq!(
+                run.stats.achieved_bandwidth(),
+                mealib_types::BytesPerSec::ZERO
+            );
+            assert_eq!(run.stats.average_power(), mealib_types::Watts::ZERO);
+            assert!(run.stats.energy.get() >= 0.0 && run.stats.energy.get().is_finite());
+            assert_eq!(run.latencies.count(), 0);
+            assert!(run.vaults.iter().all(|v| *v == VaultStats::default()));
+        }
+    }
+
+    #[test]
+    fn zero_byte_request_is_a_noop() {
+        // Regression: a zero-length request produces no bursts, so it
+        // must leave every statistic at zero and the derived
+        // bandwidth/power at their guarded ZERO values.
+        let c = single_channel_config();
+        let trace = [Request::read(4096, 0), Request::write(0, 0)];
+        let run = simulate_trace_detailed(&c, &trace);
+        assert_eq!(run.stats.bytes_moved(), Bytes::ZERO);
+        assert_eq!(run.stats.cycles, Cycles::ZERO);
+        assert_eq!(run.stats.row_hits + run.stats.row_misses, 0);
+        assert_eq!(
+            run.stats.achieved_bandwidth(),
+            mealib_types::BytesPerSec::ZERO
+        );
+        assert_eq!(run.stats.average_power(), mealib_types::Watts::ZERO);
+        // Mixing zero-byte requests into a real trace changes nothing.
+        let mut mixed = vec![Request::read(0, 0)];
+        mixed.extend(sequential_trace(0, 1 << 16, 64, Op::Read));
+        mixed.push(Request::write(512, 0));
+        let clean = simulate_trace_detailed(&c, &sequential_trace(0, 1 << 16, 64, Op::Read));
+        assert_eq!(simulate_trace_detailed(&c, &mixed), clean);
+    }
+
+    #[test]
+    fn histogram_top_bucket_saturates_instead_of_misbinning() {
+        // Latencies at or above 2^31 cycles clamp into the top bucket.
+        let mut h = LatencyHistogram::default();
+        h.record(1 << 30); // bucket 30, finite bound 2^31
+        h.record(1 << 31); // first saturated value
+        h.record(u64::MAX); // far past any finite bucket
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.buckets()[30], 1);
+        assert_eq!(h.buckets()[LatencyHistogram::SATURATION_BUCKET], 2);
+        // Quantiles below the saturated tail keep their finite bounds...
+        assert_eq!(h.quantile_bound(0.2), Some(1 << 31));
+        // ...while quantiles landing in the top bucket report u64::MAX,
+        // not the false 2^32 bound the pre-fix arithmetic produced.
+        assert_eq!(h.quantile_bound(0.9), Some(u64::MAX));
+        assert_eq!(h.quantile_bound(1.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn histogram_merge_is_commutative() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        for v in [0u64, 1, 7, 63, 1 << 20, u64::MAX] {
+            a.record(v);
+        }
+        for v in [2u64, 2, 1 << 31] {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 9);
+    }
+
+    #[test]
+    fn parallel_replay_matches_serial_on_presets() {
+        let mut trace = sequential_trace(0, 1 << 20, 64, Op::Read);
+        trace.extend(strided_trace(1 << 22, 8192, 64, 2048, Op::Write));
+        trace.push(Request::read(30, 100));
+        trace.push(Request::read(0, 0));
+        for config in [
+            MemoryConfig::hmc_stack(),
+            MemoryConfig::ddr_dual_channel(),
+            MemoryConfig::msas_dram(),
+            MemoryConfig::hmc_stack_gen1(),
+        ] {
+            let serial = simulate_trace_detailed(&config, &trace);
+            for jobs in [1, 2, 4, 8] {
+                let parallel = simulate_trace_parallel(&config, &trace, jobs);
+                assert_eq!(parallel, serial, "{} jobs={jobs}", config.name);
+                assert_eq!(
+                    parallel.stats.elapsed.get().to_bits(),
+                    serial.stats.elapsed.get().to_bits(),
+                    "{} jobs={jobs}: elapsed must be bit-exact",
+                    config.name
+                );
+                assert_eq!(
+                    parallel.stats.energy.get().to_bits(),
+                    serial.stats.energy.get().to_bits(),
+                    "{} jobs={jobs}: energy must be bit-exact",
+                    config.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn try_parallel_rejects_invalid_config() {
+        let mut c = MemoryConfig::hmc_stack();
+        c.timing.t_rcd = 0;
+        assert!(try_simulate_trace_parallel(&c, &[], 4).is_err());
+        assert!(try_simulate_trace_parallel(&MemoryConfig::hmc_stack(), &[], 4).is_ok());
     }
 
     #[test]

@@ -45,7 +45,10 @@ pub mod vault;
 
 pub use address::AddressMapping;
 pub use config::MemoryConfig;
-pub use engine::{EngineRun, VaultStats};
+pub use engine::{
+    simulate_trace, simulate_trace_detailed, simulate_trace_parallel, try_simulate_trace_parallel,
+    EngineRun, LatencyHistogram, Op, Request, VaultStats,
+};
 pub use pattern::AccessPattern;
 pub use stats::TraceStats;
 pub use vault::{RequestSource, VaultController};

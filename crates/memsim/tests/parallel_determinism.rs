@@ -1,0 +1,219 @@
+//! Determinism suite for the vault-sharded parallel engine.
+//!
+//! `simulate_trace_parallel` must be *bit-exactly* equal to the serial
+//! `simulate_trace_detailed` for every valid configuration — the merge is
+//! designed so that per-unit integer totals combine commutatively and the
+//! derived `f64` fields (`elapsed`, `energy`) are computed once from the
+//! merged totals, never accumulated across threads. These properties are
+//! what make `--jobs N` shippable: the parallel run is not "close", it is
+//! the same run.
+
+use mealib_memsim::address::AddressMapping;
+use mealib_memsim::engine::{simulate_trace_detailed, simulate_trace_parallel, EngineRun, Request};
+use mealib_memsim::MemoryConfig;
+use mealib_types::PhysAddr;
+use proptest::prelude::*;
+
+/// Addresses stay below 2^24 so the asymmetric split (drawn from the same
+/// range) actually lands inside the sampled traffic.
+fn request_strategy() -> impl Strategy<Value = Request> {
+    (0u64..(1 << 24), 0u64..4096, any::<bool>()).prop_map(|(addr, bytes, write)| {
+        if write {
+            Request::write(addr, bytes)
+        } else {
+            Request::read(addr, bytes)
+        }
+    })
+}
+
+/// Random *valid* mappings covering all three interleaving modes:
+/// plain interleaved, XOR-hashed, and the asymmetric §4.2 split.
+fn mapping_strategy() -> impl Strategy<Value = AddressMapping> {
+    // row_bytes = 2^row_shift, line_bytes = 2^line_shift <= row_bytes.
+    fn shifts() -> impl Strategy<Value = (u32, u32)> {
+        (8u32..=13, 5u32..=13).prop_map(|(row, line)| (row, line.min(row)))
+    }
+    prop_oneof![
+        (1usize..=8, 1usize..=8, shifts()).prop_map(|(units, banks_per_unit, (row, line))| {
+            AddressMapping::Interleaved {
+                units,
+                banks_per_unit,
+                row_bytes: 1 << row,
+                line_bytes: 1 << line,
+            }
+        }),
+        (1usize..=8, 1usize..=8, shifts()).prop_map(|(units, banks_per_unit, (row, line))| {
+            AddressMapping::XorInterleaved {
+                units,
+                banks_per_unit,
+                row_bytes: 1 << row,
+                line_bytes: 1 << line,
+            }
+        }),
+        (1usize..=8, 1usize..=8, shifts(), 0u64..(1 << 24)).prop_map(
+            |(low_units, banks_per_unit, (row, line), split)| AddressMapping::Asymmetric {
+                low_units,
+                banks_per_unit,
+                row_bytes: 1 << row,
+                line_bytes: 1 << line,
+                split: PhysAddr::new(split),
+            }
+        ),
+    ]
+}
+
+/// Random valid configs: preset device timing/energy × random mapping.
+fn config_strategy() -> impl Strategy<Value = MemoryConfig> {
+    let device = prop_oneof![
+        Just(MemoryConfig::hmc_stack()),
+        Just(MemoryConfig::ddr_dual_channel()),
+        Just(MemoryConfig::msas_dram()),
+    ];
+    (device, mapping_strategy()).prop_map(|(mut cfg, mapping)| {
+        cfg.mapping = mapping;
+        cfg
+    })
+}
+
+/// Asserts bit-exact equality on every field, including the `f64`s by
+/// their raw bit patterns (`PartialEq` on `EngineRun` already compares
+/// them exactly; the `to_bits` checks make NaN-safety and signed-zero
+/// agreement explicit).
+fn assert_bit_exact(parallel: &EngineRun, serial: &EngineRun, ctx: &str) {
+    assert_eq!(parallel, serial, "{ctx}: runs differ");
+    assert_eq!(
+        parallel.stats.elapsed.get().to_bits(),
+        serial.stats.elapsed.get().to_bits(),
+        "{ctx}: elapsed bits differ"
+    );
+    assert_eq!(
+        parallel.stats.energy.get().to_bits(),
+        serial.stats.energy.get().to_bits(),
+        "{ctx}: energy bits differ"
+    );
+    assert_eq!(
+        parallel.latencies.buckets(),
+        serial.latencies.buckets(),
+        "{ctx}: histogram buckets differ"
+    );
+    assert_eq!(parallel.vaults, serial.vaults, "{ctx}: vault stats differ");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The headline property: parallel ≡ serial, bit for bit, across
+    /// random traces × random valid configs × jobs ∈ {2, 4, 8}.
+    #[test]
+    fn parallel_equals_serial_bit_exactly(
+        cfg in config_strategy(),
+        trace in proptest::collection::vec(request_strategy(), 0..40),
+    ) {
+        prop_assert!(cfg.validate().is_ok());
+        let serial = simulate_trace_detailed(&cfg, &trace);
+        for jobs in [2usize, 4, 8] {
+            let parallel = simulate_trace_parallel(&cfg, &trace, jobs);
+            assert_bit_exact(&parallel, &serial, &format!("{} jobs={jobs}", cfg.name));
+        }
+    }
+
+    /// Repeated parallel runs of the same input are identical — catches
+    /// merges that depend on thread completion order.
+    #[test]
+    fn repeated_parallel_runs_are_identical(
+        cfg in config_strategy(),
+        trace in proptest::collection::vec(request_strategy(), 1..30),
+    ) {
+        prop_assert!(cfg.validate().is_ok());
+        let first = simulate_trace_parallel(&cfg, &trace, 4);
+        for run in 0..10 {
+            let again = simulate_trace_parallel(&cfg, &trace, 4);
+            assert_bit_exact(&again, &first, &format!("{} run={run}", cfg.name));
+        }
+    }
+
+    /// jobs=1 is the serial path, so it must also be bit-exact — the
+    /// fallback and the sharded path share the same per-unit core.
+    #[test]
+    fn jobs_one_is_the_serial_path(
+        cfg in config_strategy(),
+        trace in proptest::collection::vec(request_strategy(), 0..30),
+    ) {
+        prop_assert!(cfg.validate().is_ok());
+        let serial = simulate_trace_detailed(&cfg, &trace);
+        let fallback = simulate_trace_parallel(&cfg, &trace, 1);
+        assert_bit_exact(&fallback, &serial, &cfg.name);
+    }
+}
+
+/// Fixed-config smoke tests, one per interleaving mode, with dense
+/// same-row traffic that exercises row hits, conflicts, and refreshes.
+#[test]
+fn fixed_configs_cover_every_mode() {
+    let mut trace = Vec::new();
+    for i in 0..2000u64 {
+        trace.push(Request::read(i * 64 % (1 << 20), 64));
+        if i % 3 == 0 {
+            trace.push(Request::write(i * 8192, 256));
+        }
+    }
+    let mappings = [
+        AddressMapping::Interleaved {
+            units: 4,
+            banks_per_unit: 4,
+            row_bytes: 2048,
+            line_bytes: 64,
+        },
+        AddressMapping::XorInterleaved {
+            units: 4,
+            banks_per_unit: 4,
+            row_bytes: 2048,
+            line_bytes: 64,
+        },
+        AddressMapping::Asymmetric {
+            low_units: 2,
+            banks_per_unit: 4,
+            row_bytes: 2048,
+            line_bytes: 64,
+            split: PhysAddr::new(1 << 19),
+        },
+    ];
+    for mapping in mappings {
+        let mut cfg = MemoryConfig::ddr_dual_channel();
+        cfg.mapping = mapping;
+        cfg.validate().expect("fixed config is valid");
+        let serial = simulate_trace_detailed(&cfg, &trace);
+        // The trace is long enough to produce real activity in each mode.
+        assert!(serial.stats.row_hits > 0, "{:?}", cfg.mapping);
+        assert!(serial.stats.row_misses > 0, "{:?}", cfg.mapping);
+        for jobs in [2usize, 4, 8] {
+            let parallel = simulate_trace_parallel(&cfg, &trace, jobs);
+            assert_bit_exact(
+                &parallel,
+                &serial,
+                &format!("{:?} jobs={jobs}", cfg.mapping),
+            );
+        }
+    }
+}
+
+/// Per-vault counts must still sum to the aggregates after a parallel
+/// merge (mirrors the serial-engine invariant test in `engine.rs`).
+#[test]
+fn parallel_vault_counts_sum_to_aggregates() {
+    let cfg = MemoryConfig::hmc_stack();
+    let trace: Vec<Request> = (0..4096u64).map(|i| Request::read(i * 256, 256)).collect();
+    let run = simulate_trace_parallel(&cfg, &trace, 8);
+    assert_eq!(run.vaults.len(), cfg.mapping.units());
+    let (mut reads, mut writes, mut acts, mut hits) = (0u64, 0u64, 0u64, 0u64);
+    for v in &run.vaults {
+        reads += v.read_bursts;
+        writes += v.write_bursts;
+        acts += v.activations;
+        hits += v.row_hits;
+    }
+    assert_eq!(run.stats.row_hits + run.stats.row_misses, reads + writes);
+    assert_eq!(run.stats.activations, acts);
+    assert_eq!(run.stats.row_hits, hits);
+    assert_eq!(run.latencies.count(), reads + writes);
+}

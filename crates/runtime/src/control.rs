@@ -181,6 +181,91 @@ pub struct RuntimeCounters {
 /// Default capacity of the plan cache (entries).
 pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 128;
 
+/// FIFO plan cache behind a `Mutex`, so a `Runtime` can be shared across
+/// sweep worker threads (`Runtime` itself stays `&mut self`, but the
+/// cache must not be the field that makes the type `!Sync`).
+#[derive(Debug)]
+struct PlanCache {
+    inner: std::sync::Mutex<PlanCacheInner>,
+}
+
+#[derive(Debug, Clone)]
+struct PlanCacheInner {
+    plans: std::collections::BTreeMap<String, AccPlan>,
+    /// Insertion order of `plans` keys (FIFO eviction).
+    order: std::collections::VecDeque<String>,
+    capacity: usize,
+}
+
+impl PlanCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(PlanCacheInner {
+                plans: std::collections::BTreeMap::new(),
+                order: std::collections::VecDeque::new(),
+                capacity,
+            }),
+        }
+    }
+
+    /// A poisoned lock only means another thread panicked mid-insert;
+    /// the cache holds plain data, so recover rather than propagate.
+    fn lock(&self) -> std::sync::MutexGuard<'_, PlanCacheInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn get(&self, key: &str) -> Option<AccPlan> {
+        self.lock().plans.get(key).cloned()
+    }
+
+    fn insert(&self, key: String, plan: AccPlan) {
+        let mut inner = self.lock();
+        if inner.capacity == 0 {
+            return;
+        }
+        while inner.plans.len() >= inner.capacity {
+            match inner.order.pop_front() {
+                Some(oldest) => {
+                    inner.plans.remove(&oldest);
+                }
+                None => break,
+            }
+        }
+        inner.plans.insert(key.clone(), plan);
+        inner.order.push_back(key);
+    }
+
+    fn clear(&self) {
+        let mut inner = self.lock();
+        inner.plans.clear();
+        inner.order.clear();
+    }
+
+    fn set_capacity(&self, capacity: usize) {
+        let mut inner = self.lock();
+        inner.capacity = capacity;
+        while inner.plans.len() > capacity {
+            if let Some(oldest) = inner.order.pop_front() {
+                inner.plans.remove(&oldest);
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.lock().capacity
+    }
+}
+
+impl Clone for PlanCache {
+    fn clone(&self) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(self.lock().clone()),
+        }
+    }
+}
+
 /// The MEALib runtime: driver + cache model + CU cost model + layer.
 #[derive(Debug, Clone)]
 pub struct Runtime {
@@ -190,10 +275,7 @@ pub struct Runtime {
     layer: AcceleratorLayer,
     counters: RuntimeCounters,
     next_plan_id: u64,
-    plan_cache: std::collections::BTreeMap<String, AccPlan>,
-    /// Insertion order of `plan_cache` keys (FIFO eviction).
-    plan_cache_order: std::collections::VecDeque<String>,
-    plan_cache_capacity: usize,
+    plan_cache: PlanCache,
     verify_mode: VerifyMode,
     verify_limits: TdlLimits,
     last_verify: Option<Report>,
@@ -250,9 +332,7 @@ impl Runtime {
             layer,
             counters: RuntimeCounters::default(),
             next_plan_id: 1,
-            plan_cache: std::collections::BTreeMap::new(),
-            plan_cache_order: std::collections::VecDeque::new(),
-            plan_cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
+            plan_cache: PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY),
             verify_mode: VerifyMode::default(),
             verify_limits: TdlLimits::default(),
             last_verify: None,
@@ -291,19 +371,12 @@ impl Runtime {
     /// (FIFO eviction; `0` disables caching). Default:
     /// [`DEFAULT_PLAN_CACHE_CAPACITY`].
     pub fn set_plan_cache_capacity(&mut self, capacity: usize) {
-        self.plan_cache_capacity = capacity;
-        while self.plan_cache.len() > capacity {
-            if let Some(oldest) = self.plan_cache_order.pop_front() {
-                self.plan_cache.remove(&oldest);
-            } else {
-                break;
-            }
-        }
+        self.plan_cache.set_capacity(capacity);
     }
 
     /// The plan cache's capacity in entries.
     pub fn plan_cache_capacity(&self) -> usize {
-        self.plan_cache_capacity
+        self.plan_cache.capacity()
     }
 
     /// Sets how strictly plans are statically verified (default:
@@ -386,7 +459,6 @@ impl Runtime {
         self.driver.release(name)?;
         // Cached plans may hold stale physical addresses for this name.
         self.plan_cache.clear();
-        self.plan_cache_order.clear();
         self.obs.count(Counter::BufferFrees, 1);
         self.obs.count(Counter::DriverCalls, 1);
         Ok(())
@@ -492,21 +564,10 @@ impl Runtime {
         }
         if let Some(plan) = self.plan_cache.get(&key) {
             self.counters.plan_cache_hits += 1;
-            return Ok(plan.clone());
+            return Ok(plan);
         }
         let plan = self.acc_plan(tdl, params)?;
-        if self.plan_cache_capacity > 0 {
-            while self.plan_cache.len() >= self.plan_cache_capacity {
-                match self.plan_cache_order.pop_front() {
-                    Some(oldest) => {
-                        self.plan_cache.remove(&oldest);
-                    }
-                    None => break,
-                }
-            }
-            self.plan_cache.insert(key.clone(), plan.clone());
-            self.plan_cache_order.push_back(key);
-        }
+        self.plan_cache.insert(key, plan.clone());
         Ok(plan)
     }
 
@@ -1035,5 +1096,38 @@ mod tests {
         rt.mem_free("a").unwrap();
         assert!(rt.driver().buffer("a").is_none());
         assert!(matches!(rt.mem_free("a"), Err(RuntimeError::Driver(_))));
+    }
+
+    /// The parallel sweep moves `Runtime`s (inside experiment closures)
+    /// across worker threads; a field that is not `Send + Sync` would
+    /// silently serialize the whole sim layer.
+    #[test]
+    fn runtime_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Runtime>();
+        assert_send_sync::<PlanCache>();
+    }
+
+    #[test]
+    fn plan_cache_clone_is_independent() {
+        let (mut rt, _) = fft_runtime_and_plan(1);
+        let mut params = ParamBag::new();
+        params.insert(
+            "fft.para".into(),
+            AccelParams::Fft { n: 256, batch: 256 }.to_bytes(),
+        );
+        let tdl = "PASS in=x out=y { COMP FFT params=\"fft.para\" }";
+        let a = rt.acc_plan_cached(tdl, &params).unwrap();
+        // The clone carries the cached plan...
+        let mut clone = rt.clone();
+        let b = clone.acc_plan_cached(tdl, &params).unwrap();
+        assert_eq!(a.id(), b.id());
+        assert_eq!(clone.counters().plan_cache_hits, 1);
+        // ...but its cache is an independent copy: clearing the
+        // original does not evict the clone's entry.
+        rt.mem_free("x").unwrap();
+        let c = clone.acc_plan_cached(tdl, &params).unwrap();
+        assert_eq!(a.id(), c.id());
+        assert_eq!(clone.counters().plan_cache_hits, 2);
     }
 }

@@ -283,45 +283,6 @@ fn drive_sanitized(op: &AccelParams, san: &Sanitizer) {
         .expect("sanitizer output reads back");
 }
 
-/// Runs `op` on all five platforms with default options.
-///
-/// # Panics
-///
-/// Panics with the rendered diagnostic report if the preflight finds
-/// errors.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run_experiment(op, &ExperimentOptions::default())`"
-)]
-pub fn compare_platforms(op: &AccelParams) -> OpComparison {
-    match run_experiment(op, &ExperimentOptions::default()) {
-        Ok(report) => report.comparison,
-        Err(report) => panic!("experiment preflight failed:\n{report}"),
-    }
-}
-
-/// Like [`compare_platforms`], but returns the preflight report as a
-/// typed error instead of panicking.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run_experiment(op, &ExperimentOptions::default())`"
-)]
-pub fn try_compare_platforms(op: &AccelParams) -> Result<OpComparison, mealib_types::Report> {
-    run_experiment(op, &ExperimentOptions::default()).map(|r| r.comparison)
-}
-
-/// Runs `op` on all five platforms without the verification preflight —
-/// the escape hatch for deliberately broken configurations.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run_experiment(op, &ExperimentOptions::default().verify(VerifyMode::Off))`"
-)]
-pub fn compare_platforms_unchecked(op: &AccelParams) -> OpComparison {
-    run_experiment(op, &ExperimentOptions::default().verify(VerifyMode::Off))
-        .expect("VerifyMode::Off cannot fail")
-        .comparison
-}
-
 /// The Table 2 datasets, one per accelerated operation.
 pub fn table2_workloads() -> Vec<AccelParams> {
     vec![
@@ -371,8 +332,7 @@ mod tests {
     use super::*;
     use mealib_types::stats::geometric_mean;
 
-    /// Default-options experiment, unwrapped to the comparison — the
-    /// migration target for the old `compare_platforms` call sites.
+    /// Default-options experiment, unwrapped to the comparison.
     fn compare(op: &AccelParams) -> OpComparison {
         run_experiment(op, &ExperimentOptions::default())
             .expect("preflight clean")

@@ -14,10 +14,9 @@ pub mod experiment;
 pub mod platforms;
 pub mod preflight;
 pub mod report;
+pub mod sweep;
 
 pub use differential::{run_sanitizer_experiment, SessionVerdict};
-#[allow(deprecated)]
-pub use experiment::{compare_platforms, compare_platforms_unchecked, try_compare_platforms};
 pub use experiment::{
     run_experiment, ExperimentOptions, ExperimentReport, OpComparison, PlatformResult,
 };
@@ -25,3 +24,4 @@ pub use mealib_runtime::{Sanitizer, VerifyMode};
 pub use platforms::AcceleratedPlatform;
 pub use preflight::{preflight, preflight_checked};
 pub use report::TextTable;
+pub use sweep::run_sweep;

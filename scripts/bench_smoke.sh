@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
 # Bench smoke: run every mealib-bench harness at reduced sizes with
 # --json, validate that each summary parses, and collect the records
-# into BENCH_pr2.json — the first data point of the perf trajectory.
+# into BENCH_pr4.json — the perf-trajectory data point for this PR.
 #
-# Also exercises the fig14 --trace path and validates that every JSONL
-# trace line parses.
+# Also exercises the fig14 --trace path (validating that every JSONL
+# trace line parses) and the fig11 --jobs path: the design-space sweep
+# is run at full size with --jobs 1 and --jobs 4, the two JSON
+# summaries must be byte-identical (parallelism may change wall time,
+# never modeled outputs), and both wall times are recorded.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_pr2.json}"
+OUT="${1:-BENCH_pr4.json}"
 JQ="$(command -v jq || true)"
 
 echo "==> cargo build --release -p mealib-bench --bins"
@@ -53,6 +56,27 @@ if [[ -n "$JQ" ]]; then
     || { echo "error: trace contains a malformed line" >&2; exit 1; }
 fi
 echo "trace OK: $(wc -l < "$trace") events"
+
+# Full-size fig11 at --jobs 1 vs --jobs 4: modeled outputs must not
+# depend on the worker count.
+echo "==> fig11_design_space --json --jobs 1 vs --jobs 4 (determinism + wall time)"
+t0="$(date +%s%N)"
+jobs1="$(./target/release/fig11_design_space --json --jobs 1 | tail -n 1)"
+t1="$(date +%s%N)"
+jobs4="$(./target/release/fig11_design_space --json --jobs 4 | tail -n 1)"
+t2="$(date +%s%N)"
+if [[ "$jobs1" != "$jobs4" ]]; then
+  echo "error: fig11 summary differs between --jobs 1 and --jobs 4" >&2
+  echo "  jobs1: $jobs1" >&2
+  echo "  jobs4: $jobs4" >&2
+  exit 1
+fi
+jobs1_wall_s="$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", (b - a) / 1e9 }')"
+jobs4_wall_s="$(awk -v a="$t1" -v b="$t2" 'BEGIN { printf "%.3f", (b - a) / 1e9 }')"
+speedup="$(awk -v a="$jobs1_wall_s" -v b="$jobs4_wall_s" 'BEGIN { printf "%.3f", (b > 0) ? a / b : 0 }')"
+echo "fig11 jobs scaling OK: identical summaries; jobs1 ${jobs1_wall_s}s, jobs4 ${jobs4_wall_s}s (${speedup}x)"
+printf '{"bench":"fig11_jobs_scaling","metrics":{"jobs1_wall_s":%s,"jobs4_wall_s":%s,"speedup":%s}}\n' \
+  "$jobs1_wall_s" "$jobs4_wall_s" "$speedup" >> "$records"
 
 if [[ -n "$JQ" ]]; then
   "$JQ" -s '{generated_by: "scripts/bench_smoke.sh", benches: .}' "$records" > "$OUT"

@@ -5,6 +5,7 @@
 use mealib::prelude::*;
 use mealib_obs::json;
 use mealib_obs::{Counter, Obs, Phase, TraceRecorder};
+use mealib_sim::{run_sweep, ExperimentOptions};
 use mealib_workloads::sar;
 use mealib_workloads::stap::{self, StapConfig};
 
@@ -67,6 +68,53 @@ fn stap_trace_jsonl_parses_and_reconciles() {
     );
     assert!(seen.counter(Counter::DramAct) > 0, "DRAM activates traced");
     assert!(seen.counter(Counter::CuPasses) > 0, "CU passes traced");
+}
+
+#[test]
+fn parallel_sweep_breakdowns_reconcile_per_run() {
+    // One shared recorder across a 4-worker sweep: every run's own
+    // breakdown must still reconcile with its MEALib row (the per-run
+    // merge is local to the experiment), and the modeled results must be
+    // identical to the serial sweep.
+    let ops = [
+        mealib_accel::AccelParams::Axpy {
+            n: 1 << 18,
+            alpha: 2.0,
+            incx: 1,
+            incy: 1,
+        },
+        mealib_accel::AccelParams::Gemv { m: 1024, n: 1024 },
+        mealib_accel::AccelParams::Fft { n: 1024, batch: 64 },
+        mealib_accel::AccelParams::Reshp {
+            rows: 2048,
+            cols: 2048,
+            elem_bytes: 4,
+        },
+    ];
+    let rec = TraceRecorder::shared();
+    let opts = ExperimentOptions::default().recorder(rec.clone());
+    let parallel = run_sweep(&ops, &opts, 4);
+    let serial = run_sweep(&ops, &ExperimentOptions::default(), 1);
+    for (p, s) in parallel.iter().zip(&serial) {
+        let p = p.as_ref().expect("preflight clean");
+        let s = s.as_ref().expect("preflight clean");
+        let mealib_row = p.comparison.rows.last().expect("five rows");
+        assert_within_1pct(
+            "sweep run time",
+            p.breakdown.total_time().get(),
+            mealib_row.time.get(),
+        );
+        assert_within_1pct(
+            "sweep run energy",
+            p.breakdown.total_energy().get(),
+            mealib_row.energy.get(),
+        );
+        assert_eq!(p.comparison, s.comparison, "parallel ≡ serial results");
+    }
+    // The shared recorder accumulated every run's phases.
+    let seen = rec.breakdown();
+    assert!(seen.phase(Phase::Dma).time.get() > 0.0, "DMA phases merged");
+    assert!(seen.counter(Counter::DramAct) > 0, "DRAM activates traced");
 }
 
 #[test]
