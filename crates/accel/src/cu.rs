@@ -220,6 +220,54 @@ impl DescriptorRun {
         bd
     }
 
+    /// Lays this run out as phase intervals in modeled time on `track`,
+    /// starting at `origin`: descriptor fetch, decode, configuration
+    /// broadcast, one memory-streaming + compute interval pair per pass
+    /// (loops expanded), then the completion gather. Intervals are
+    /// sequential and their durations use exactly the same accounting as
+    /// [`DescriptorRun::breakdown`], so the per-phase interval sums equal
+    /// the breakdown's phase totals and the final interval ends at
+    /// `origin + total_time()`.
+    pub fn intervals(
+        &self,
+        track: &str,
+        origin: Seconds,
+    ) -> Vec<mealib_obs::profile::IntervalEvent> {
+        use mealib_obs::Phase;
+        let fe = &self.front_end;
+        let mut profile = mealib_obs::Profile::new();
+        let mut cursor = origin;
+        cursor = profile.interval(track, Phase::Dma, "descriptor fetch", cursor, fe.fetch_time);
+        cursor = profile.interval(track, Phase::Plan, "decode", cursor, fe.decode_time);
+        cursor = profile.interval(
+            track,
+            Phase::Dma,
+            "config broadcast",
+            cursor,
+            fe.config_time,
+        );
+        for (i, p) in self.passes.iter().enumerate() {
+            let r = p.report.repeat(p.iterations);
+            let label = format!("pass{i} {}", p.report.kind.keyword());
+            cursor = profile.interval(
+                track,
+                Phase::Dma,
+                &format!("{label} stream"),
+                cursor,
+                r.time - r.compute_time,
+            );
+            cursor = profile.interval(track, Phase::Compute, &label, cursor, r.compute_time);
+        }
+        profile.interval(
+            track,
+            Phase::Drain,
+            "completion gather",
+            cursor,
+            fe.drain_time,
+        );
+        profile.intervals
+    }
+
     /// Records this run's CU, NoC and DRAM event counters into an
     /// observability handle. A no-op when recording is off.
     pub fn record_into(&self, obs: &mealib_obs::Obs) {
@@ -421,6 +469,49 @@ mod tests {
         // repetitions: configuration amortizes and iterations pipeline.
         let exec_ratio = many.execution().unwrap().time / once.execution().unwrap().time;
         assert!((30.0..128.5).contains(&exec_ratio), "ratio {exec_ratio}");
+    }
+
+    #[test]
+    fn intervals_reconcile_with_breakdown_and_totals() {
+        use mealib_obs::Phase;
+        let layer = AcceleratorLayer::mealib_default();
+        let cost = CuCostModel::default();
+        let run = run_descriptor(&make_descriptor(8), &layer, &cost).unwrap();
+        let origin = Seconds::from_micros(5.0);
+        let ivs = run.intervals("cu", origin);
+        assert!(!ivs.is_empty());
+        // Sequential layout: each interval starts where the previous one
+        // ended, the first at `origin`.
+        let mut cursor = origin;
+        for iv in &ivs {
+            assert!(
+                (iv.start.get() - cursor.get()).abs() < 1e-15,
+                "{}",
+                iv.label
+            );
+            cursor = iv.end;
+        }
+        // The end of the last interval is origin + total_time.
+        let end = ivs.last().unwrap().end.get();
+        assert!((end - (origin + run.total_time()).get()).abs() < 1e-12);
+        // Per-phase interval sums equal the breakdown's phase totals.
+        let bd = run.breakdown();
+        for phase in [Phase::Plan, Phase::Dma, Phase::Compute, Phase::Drain] {
+            let sum: f64 = ivs
+                .iter()
+                .filter(|iv| iv.phase == phase)
+                .map(|iv| iv.duration().get())
+                .sum();
+            assert!(
+                (sum - bd.phase(phase).time.get()).abs() < 1e-12,
+                "{phase}: {sum} vs {}",
+                bd.phase(phase).time
+            );
+        }
+        // And they export as a valid Perfetto trace.
+        let mut profile = mealib_obs::Profile::new();
+        profile.intervals = ivs;
+        mealib_obs::validate_chrome_trace(&profile.to_chrome_trace()).expect("valid trace");
     }
 
     #[test]

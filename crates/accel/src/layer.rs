@@ -97,6 +97,13 @@ impl AcceleratorLayer {
         &self.mem
     }
 
+    /// The layer roofline: the stack's peak bandwidth against the PE
+    /// cluster's peak arithmetic throughput. This is what per-run
+    /// bottleneck attribution classifies windows against.
+    pub fn roofline(&self) -> mealib_obs::Roofline {
+        mealib_obs::Roofline::new(self.mem.peak_bandwidth(), self.hw.peak_flops())
+    }
+
     /// Returns a copy with a different hardware configuration.
     pub fn with_hw(&self, hw: AccelHwConfig) -> Self {
         Self { hw, ..self.clone() }

@@ -4,10 +4,12 @@
 
 use mealib_accel::power::fit_accelerators;
 use mealib_accel::{AccelHwConfig, AccelModel, AccelParams};
-use mealib_bench::{banner, section, HarnessOpts, JsonSummary};
+use mealib_bench::{banner, section, write_profile, HarnessOpts, JsonSummary};
 use mealib_memsim::{AddressMapping, MemoryConfig};
+use mealib_obs::{Phase, Profile};
 use mealib_sim::TextTable;
 use mealib_tdl::AcceleratorKind;
+use mealib_types::Seconds;
 
 fn main() {
     let opts = HarnessOpts::from_env();
@@ -73,6 +75,8 @@ fn main() {
 
     section("DMA efficiency: what the per-kind derates cost");
     let mut t = TextTable::new(vec!["op", "modeled eff", "time", "time at 0.95"]);
+    let mut profile = Profile::new();
+    let mut cursor = Seconds::ZERO;
     for op in [
         AccelParams::Axpy {
             n: 256 << 20,
@@ -91,6 +95,13 @@ fn main() {
         let model = AccelModel::new(op.kind());
         let real = model.execute(&op, &hw, &mem);
         let ideal = model.execute_scaled(&op, &hw, &mem, 10.0); // capped at 0.95
+        cursor = profile.interval(
+            "accel",
+            Phase::Dma,
+            &op.kind().to_string(),
+            cursor,
+            real.time,
+        );
         t.push_row(vec![
             op.kind().to_string(),
             format!("{:.2}", model.bandwidth_efficiency()),
@@ -146,5 +157,7 @@ fn main() {
     println!(
         "(\"more domain-specific, memory-bounded libraries can be accelerated\n with more area budget\" — §5.2)"
     );
+    // Modeled DMA-section execution times, back to back on one track.
+    write_profile(&opts, &profile);
     summary.emit(&opts);
 }

@@ -2,8 +2,10 @@
 //! high-performance library calls (R / PERFECT / PARSEC benchmarks on a
 //! commodity Haswell machine).
 
-use mealib_bench::{banner, fmt_gain, section, HarnessOpts, JsonSummary};
+use mealib_bench::{banner, fmt_gain, section, write_profile, HarnessOpts, JsonSummary};
+use mealib_obs::{Phase, Profile};
 use mealib_sim::TextTable;
+use mealib_types::Seconds;
 use mealib_workloads::fig1;
 
 fn main() {
@@ -48,6 +50,22 @@ fn main() {
             &format!("max_speedup_{}", suite.name().to_lowercase()),
             best,
         );
+    }
+    if opts.profile.is_some() {
+        // Modeled multi-threaded library time per benchmark, laid out
+        // back to back on one Haswell track.
+        let mut p = Profile::new();
+        let mut cursor = Seconds::ZERO;
+        for point in &points {
+            cursor = p.interval(
+                "haswell",
+                Phase::Compute,
+                point.benchmark.name,
+                cursor,
+                fig1::library_time(&point.benchmark),
+            );
+        }
+        write_profile(&opts, &p);
     }
     summary.emit(&opts);
 }

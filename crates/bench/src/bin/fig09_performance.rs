@@ -2,7 +2,8 @@
 //! its Table 2 dataset across the five platforms, normalized to MKL on
 //! Haswell.
 
-use mealib_bench::{banner, fmt_gain, section, HarnessOpts, JsonSummary};
+use mealib_bench::{banner, fmt_gain, section, write_profile, HarnessOpts, JsonSummary};
+use mealib_obs::{Profile, TraceRecorder};
 use mealib_sim::{run_sweep, ExperimentOptions, TextTable};
 use mealib_types::stats::geometric_mean;
 use mealib_workloads::datasets;
@@ -42,7 +43,11 @@ fn main() {
     let mut t = TextTable::new(vec!["op", "Haswell", "Xeon Phi", "PSAS", "MSAS", "MEALib"]);
     let mut mealib_gains = Vec::new();
     let mut summary = JsonSummary::new("fig09_performance");
-    let xopts = ExperimentOptions::default();
+    let rec = opts.profile.as_ref().map(|_| TraceRecorder::shared());
+    let mut xopts = ExperimentOptions::default();
+    if let Some(rec) = &rec {
+        xopts = xopts.recorder(rec.clone());
+    }
     let rows = datasets::table2();
     let ops: Vec<_> = rows.iter().map(|row| row.params).collect();
     let reports = run_sweep(&ops, &xopts, opts.jobs);
@@ -71,5 +76,12 @@ fn main() {
         fmt_gain(avg)
     );
     summary.metric("avg_speedup", avg);
+    if let Some(rec) = &rec {
+        // Merged phase taxonomy across all seven MEALib runs.
+        write_profile(
+            &opts,
+            &Profile::from_breakdown(&rec.breakdown(), "experiments"),
+        );
+    }
     summary.emit(&opts);
 }

@@ -11,10 +11,13 @@ use mealib_accel::design_space::{
     fft_reference_workload, spmv_reference_workload, sweep_with, DesignPoint, SweepGrid,
     SweepOptions,
 };
-use mealib_bench::{banner, section, HarnessOpts, JsonSummary};
+use mealib_bench::{banner, section, write_profile, HarnessOpts, JsonSummary};
+use mealib_memsim::engine::{sequential_trace, simulate_trace_profiled, Op};
 use mealib_memsim::MemoryConfig;
+use mealib_obs::Profile;
 use mealib_sim::TextTable;
 use mealib_tdl::AcceleratorKind;
+use mealib_types::Seconds;
 
 fn print_space(kind: AcceleratorKind, points: &[DesignPoint], paper_range: &str) {
     section(&format!("{kind} design space (one row per point)"));
@@ -106,5 +109,19 @@ fn main() {
         .map(|p| p.engine_gbps)
         .fold(0.0_f64, f64::max);
     summary.metric("engine_check_max_gbps", engine_max);
+    if opts.profile.is_some() {
+        // Cycle-windowed replay of the engine cross-check stream: one
+        // counter timeline per vault at 4096-cycle windows.
+        let trace = sequential_trace(0, sweep_opts.engine_check_bytes, 256, Op::Read);
+        let profiled = simulate_trace_profiled(&mem, &trace, 4096);
+        let mut p = Profile::new();
+        p.push_timeline(
+            "dram:engine-check",
+            profiled.timeline,
+            mem.timing.t_ck,
+            Seconds::ZERO,
+        );
+        write_profile(&opts, &p);
+    }
     summary.emit(&opts);
 }

@@ -2,8 +2,10 @@
 //! hardware vs software accelerator chaining (SAR's RESMP+FFT) and
 //! hardware vs software loops (128 FFT invocations).
 
-use mealib_bench::{banner, fmt_gain, section, HarnessOpts, JsonSummary};
+use mealib_bench::{banner, fmt_gain, section, write_profile, HarnessOpts, JsonSummary};
+use mealib_obs::{Phase, Profile};
 use mealib_sim::TextTable;
+use mealib_types::Seconds;
 use mealib_workloads::sar;
 
 fn main() {
@@ -42,5 +44,23 @@ fn main() {
         ]);
     }
     print!("{t}");
+    if opts.profile.is_some() {
+        // Back-to-back modeled hardware vs software configuration
+        // times, one track each, so the Perfetto view shows where the
+        // software path loses ground as sizes grow.
+        let mut p = Profile::new();
+        let (mut hw, mut sw) = (Seconds::ZERO, Seconds::ZERO);
+        for (prefix, points) in [
+            ("chain", sar::chaining_sweep()),
+            ("loop", sar::loop_sweep(iterations)),
+        ] {
+            for pt in points {
+                let label = format!("{prefix}_{}", pt.size);
+                hw = p.interval("sar:hardware", Phase::Compute, &label, hw, pt.hardware);
+                sw = p.interval("sar:software", Phase::Flush, &label, sw, pt.software);
+            }
+        }
+        write_profile(&opts, &p);
+    }
     summary.emit(&opts);
 }

@@ -2,7 +2,8 @@
 //! MKL+OpenMP Haswell baseline — performance and EDP gains for three
 //! dataset sizes.
 
-use mealib_bench::{banner, fmt_gain, section, HarnessOpts, JsonSummary};
+use mealib_bench::{banner, fmt_gain, section, write_profile, HarnessOpts, JsonSummary};
+use mealib_obs::Bound;
 use mealib_sim::TextTable;
 use mealib_workloads::stap::{self, StapConfig};
 
@@ -74,5 +75,31 @@ fn main() {
         cfg.cdotc_calls(),
         cfg.saxpy_calls()
     );
+
+    if opts.profile.is_some() {
+        // Time-resolved profile of one end-to-end run: host/invocation
+        // phases on the "stap" track, per-descriptor CU spans, DRAM
+        // timelines per accelerated phase, and the roofline attribution.
+        let cfg = if opts.small {
+            StapConfig::small()
+        } else {
+            StapConfig::large()
+        };
+        let sp = stap::profile_on_mealib(&cfg);
+        section(&format!("bottleneck attribution ({} dataset)", cfg.name));
+        for bound in Bound::ALL {
+            println!(
+                "{:9} {:5.1}% of modeled time",
+                format!("{bound:?}"),
+                100.0 * sp.attribution.share(bound)
+            );
+        }
+        println!(
+            "dominant: {:?} (coverage {:.0}%)",
+            sp.attribution.dominant(),
+            100.0 * sp.attribution.coverage()
+        );
+        write_profile(&opts, &sp.profile);
+    }
     summary.emit(&opts);
 }

@@ -2,8 +2,8 @@
 //! host vs accelerators vs invocation overhead, and the per-accelerator
 //! split.
 
-use mealib_bench::{banner, section, HarnessOpts, JsonSummary};
-use mealib_obs::{Obs, TraceRecorder};
+use mealib_bench::{banner, section, write_profile, HarnessOpts, JsonSummary};
+use mealib_obs::{Obs, Profile, TraceRecorder};
 use mealib_sim::TextTable;
 use mealib_tdl::AcceleratorKind;
 use mealib_types::{Joules, Seconds};
@@ -133,6 +133,9 @@ fn main() {
         ]);
     }
     print!("{t}");
+
+    // The phase-taxonomy breakdown, laid out on one modeled-time track.
+    write_profile(&opts, &Profile::from_breakdown(&breakdown, "stap"));
 
     let mut summary = JsonSummary::new("fig14_breakdown");
     summary.metric("total_time_s", run.total_time().get());

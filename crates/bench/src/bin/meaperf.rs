@@ -1,0 +1,155 @@
+//! `meaperf` — the perf-trajectory gate.
+//!
+//! Compares two or more schema-versioned `BENCH_*.json` summaries in
+//! chronological order and exits nonzero when a modeled metric (or,
+//! unless demoted, a wall-clock metric) regresses beyond its threshold:
+//!
+//! ```text
+//! meaperf [options] BENCH_pr4.json BENCH_pr5.json [BENCH_pr6.json ...]
+//!
+//!   --threshold-pct <N>        modeled-metric gate (default 5)
+//!   --wall-threshold-pct <N>   wall-clock gate (default 20)
+//!   --wall-report-only         report wall regressions, never fail on them
+//!   --json                     machine-readable report per comparison
+//!   --check-trace <FILE>       standalone: validate a Chrome trace-event
+//!                              profile (as written by --profile) and exit
+//!   --convert <FILE>           standalone: re-render a legacy BENCH file
+//!                              in the current schema on stdout and exit
+//! ```
+//!
+//! With more than two summaries, adjacent pairs are compared in
+//! sequence (pr4→pr5, pr5→pr6, ...); the gate fails if any step fails.
+
+use std::process::ExitCode;
+
+use mealib_bench::perf::{compare, GateOptions};
+use mealib_obs::bench_schema::BenchSummary;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: meaperf [--threshold-pct N] [--wall-threshold-pct N] \
+         [--wall-report-only] [--json] BENCH_old.json BENCH_new.json ...\n\
+         \x20      meaperf --check-trace FILE.trace.json\n\
+         \x20      meaperf --convert BENCH_legacy.json"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<BenchSummary, ExitCode> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("meaperf: cannot read {path}: {e}");
+        ExitCode::from(2)
+    })?;
+    BenchSummary::parse(&text).map_err(|e| {
+        eprintln!("meaperf: {path}: {e}");
+        ExitCode::from(2)
+    })
+}
+
+fn check_trace(path: &str) -> ExitCode {
+    let doc = match std::fs::read_to_string(path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("meaperf: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match mealib_obs::validate_chrome_trace(&doc) {
+        Ok(s) => {
+            println!(
+                "{path}: valid ({} events, {} spans, {} counter samples, {} tracks)",
+                s.events, s.spans, s.counters, s.tracks
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("meaperf: {path}: invalid trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn convert(path: &str) -> ExitCode {
+    match load(path) {
+        Ok(summary) => {
+            // render() always emits the current schema version, so a
+            // legacy file parses as version 0 and re-renders upgraded.
+            print!("{}", summary.render());
+            ExitCode::SUCCESS
+        }
+        Err(code) => code,
+    }
+}
+
+fn main() -> ExitCode {
+    let mut gate = GateOptions::default();
+    let mut json = false;
+    let mut files: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--wall-report-only" => gate.wall_report_only = true,
+            "--threshold-pct" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => gate.metric_threshold_pct = n,
+                None => return usage(),
+            },
+            "--wall-threshold-pct" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => gate.wall_threshold_pct = n,
+                None => return usage(),
+            },
+            "--check-trace" => {
+                return match args.next() {
+                    Some(path) => check_trace(&path),
+                    None => usage(),
+                };
+            }
+            "--convert" => {
+                return match args.next() {
+                    Some(path) => convert(&path),
+                    None => usage(),
+                };
+            }
+            "--help" | "-h" => return usage(),
+            _ if arg.starts_with("--") => return usage(),
+            _ => files.push(arg),
+        }
+    }
+    if files.len() < 2 {
+        return usage();
+    }
+
+    let mut failed = false;
+    for pair in files.windows(2) {
+        let (old_path, new_path) = (&pair[0], &pair[1]);
+        let before = match load(old_path) {
+            Ok(s) => s,
+            Err(code) => return code,
+        };
+        let after = match load(new_path) {
+            Ok(s) => s,
+            Err(code) => return code,
+        };
+        let report = compare(&before, &after, &gate);
+        if json {
+            println!("{}", report.to_json(&gate));
+        } else {
+            println!("meaperf: {old_path} -> {new_path}");
+            for note in [&before, &after]
+                .iter()
+                .zip([old_path, new_path])
+                .filter(|(s, _)| s.is_legacy())
+                .map(|(_, p)| p)
+            {
+                println!("note {note}: legacy (pre-schema) file; consider --convert");
+            }
+            print!("{}", report.render(&gate));
+        }
+        failed |= report.failed(&gate);
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

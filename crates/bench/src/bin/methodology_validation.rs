@@ -5,10 +5,12 @@
 //! compares against the closed-form analytic estimate the accelerator
 //! models actually use.
 
-use mealib_bench::{banner, section, HarnessOpts, JsonSummary};
+use mealib_bench::{banner, section, write_profile, HarnessOpts, JsonSummary};
 use mealib_memsim::engine::{self, simulate_trace_with_latencies, Op, Request};
 use mealib_memsim::{analytic, AccessPattern, MemoryConfig};
+use mealib_obs::{Phase, Profile};
 use mealib_sim::TextTable;
+use mealib_types::Seconds;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -86,7 +88,9 @@ fn main() {
     );
 
     let mut summary = JsonSummary::new("methodology_validation");
+    let mut profile = Profile::new();
     for cfg in [MemoryConfig::hmc_stack(), MemoryConfig::ddr_dual_channel()] {
+        let mut cursor = Seconds::ZERO;
         section(&format!("device: {}", cfg.name));
         let mut t = TextTable::new(vec![
             "pattern",
@@ -99,6 +103,13 @@ fn main() {
         ]);
         for (i, case) in cases().into_iter().enumerate() {
             let (sim, lat) = simulate_trace_with_latencies(&cfg, &case.trace);
+            cursor = profile.interval(
+                &format!("engine:{}", cfg.name),
+                Phase::Dma,
+                case.name,
+                cursor,
+                sim.elapsed,
+            );
             let est = analytic::estimate(&cfg, &case.pattern);
             let ratio = est.elapsed.get() / sim.elapsed.get();
             summary.metric(&format!("ratio_{}_case{i}", cfg.name), ratio);
@@ -125,5 +136,7 @@ fn main() {
     }
     println!();
     println!("ratio = analytic time / engine time; 1.00 is perfect agreement.");
+    // Engine-replay elapsed times, one track per memory device.
+    write_profile(&opts, &profile);
     summary.emit(&opts);
 }

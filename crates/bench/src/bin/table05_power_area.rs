@@ -9,9 +9,11 @@ use mealib_accel::power::{
     profile, total_layer_area, LAYER_AREA_BUDGET_MM2, NOC_AREA_MM2, TSV_AREA_MM2,
 };
 use mealib_accel::AcceleratorLayer;
-use mealib_bench::{banner, section, HarnessOpts, JsonSummary};
+use mealib_bench::{banner, section, write_profile, HarnessOpts, JsonSummary};
 use mealib_noc::{Mesh, Packet, TileId};
+use mealib_obs::{Phase, Profile};
 use mealib_sim::TextTable;
+use mealib_types::Seconds;
 use mealib_workloads::datasets;
 
 fn main() {
@@ -43,9 +45,21 @@ fn main() {
     ]);
     let mut max_power: f64 = 0.0;
     let rows = datasets::table2();
-    let powers = mealib_types::par_map(&rows, opts.jobs, |row| layer.execute(&row.params).power());
-    for (i, (row, power)) in rows.iter().zip(powers).enumerate() {
+    let runs = mealib_types::par_map(&rows, opts.jobs, |row| {
+        let r = layer.execute(&row.params);
+        (r.power(), r.time)
+    });
+    let mut gantt = Profile::new();
+    let mut cursor = Seconds::ZERO;
+    for (i, (row, (power, time))) in rows.iter().zip(runs).enumerate() {
         let power = power.get();
+        cursor = gantt.interval(
+            "layer",
+            Phase::Compute,
+            &row.params.kind().to_string(),
+            cursor,
+            time,
+        );
         max_power = max_power.max(power);
         let area = profile(row.params.kind()).area_mm2;
         t.push_row(vec![
@@ -102,5 +116,7 @@ fn main() {
     summary.metric("total_power_w", total_power);
     summary.metric("total_area_mm2", total_area);
     summary.metric("noc_power_w", noc_power);
+    // Modeled Table 2 execution time per accelerator, back to back.
+    write_profile(&opts, &gantt);
     summary.emit(&opts);
 }

@@ -2,14 +2,18 @@
 //!
 //! Each binary in `src/bin/` regenerates one table or figure of the
 //! paper (see DESIGN.md's per-experiment index); this library provides
-//! the common header/footer formatting so their outputs read uniformly.
+//! the common header/footer formatting so their outputs read uniformly,
+//! plus the [`perf`] comparison gate behind the `meaperf` binary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod perf;
+
 use std::path::PathBuf;
 
 use mealib_obs::json::Object;
+use mealib_obs::Profile;
 
 /// Command-line options shared by every harness binary.
 ///
@@ -18,6 +22,8 @@ use mealib_obs::json::Object;
 /// * `--small` — run at reduced problem sizes (smoke-test mode);
 /// * `--trace <path>` — write the instrumentation trace as JSONL to
 ///   `path` (binaries that support tracing document it in their help);
+/// * `--profile <path>` — write a time-resolved profile of the run as
+///   Chrome trace-event JSON (loadable in Perfetto / `chrome://tracing`);
 /// * `--jobs <N>` — worker threads for the parallel sweep paths
 ///   (default 1 = serial). Modeled results are identical for any `N`;
 ///   only wall-clock time changes.
@@ -29,6 +35,8 @@ pub struct HarnessOpts {
     pub small: bool,
     /// JSONL trace destination, when requested.
     pub trace: Option<PathBuf>,
+    /// Chrome trace-event profile destination, when requested.
+    pub profile: Option<PathBuf>,
     /// Worker threads for parallel sweeps (1 = serial).
     pub jobs: usize,
 }
@@ -39,6 +47,7 @@ impl Default for HarnessOpts {
             json: false,
             small: false,
             trace: None,
+            profile: None,
             jobs: 1,
         }
     }
@@ -61,6 +70,9 @@ impl HarnessOpts {
                 "--small" => opts.small = true,
                 "--trace" => {
                     opts.trace = args.next().map(PathBuf::from);
+                }
+                "--profile" => {
+                    opts.profile = args.next().map(PathBuf::from);
                 }
                 "--jobs" => {
                     // An unparseable or missing count falls back to
@@ -121,6 +133,30 @@ impl JsonSummary {
     }
 }
 
+/// Writes `profile` to `opts.profile` (when `--profile <path>` was
+/// passed) as Chrome trace-event JSON, after checking it round-trips
+/// through [`mealib_obs::validate_chrome_trace`]. Prints one status
+/// line on success.
+///
+/// # Panics
+///
+/// Panics if the emitted document fails its own round-trip check (a
+/// harness bug, not an input problem) or the file cannot be written.
+pub fn write_profile(opts: &HarnessOpts, profile: &Profile) {
+    let Some(path) = &opts.profile else { return };
+    let doc = profile.to_chrome_trace();
+    let summary = mealib_obs::validate_chrome_trace(&doc).expect("emitted profile must round-trip");
+    std::fs::write(path, &doc)
+        .unwrap_or_else(|e| panic!("cannot write profile {}: {e}", path.display()));
+    println!(
+        "profile: wrote {} ({} spans, {} counter samples, {} tracks)",
+        path.display(),
+        summary.spans,
+        summary.counters,
+        summary.tracks
+    );
+}
+
 /// Prints a harness banner naming the experiment being regenerated.
 pub fn banner(experiment: &str, paper_claim: &str) {
     println!("==============================================================");
@@ -156,6 +192,8 @@ mod tests {
                 "--small",
                 "--trace",
                 "/tmp/t.jsonl",
+                "--profile",
+                "/tmp/p.trace.json",
                 "--jobs",
                 "4",
                 "--json",
@@ -166,6 +204,10 @@ mod tests {
         assert_eq!(
             opts.trace.as_deref(),
             Some(std::path::Path::new("/tmp/t.jsonl"))
+        );
+        assert_eq!(
+            opts.profile.as_deref(),
+            Some(std::path::Path::new("/tmp/p.trace.json"))
         );
         assert_eq!(opts.jobs, 4);
         assert_eq!(HarnessOpts::parse(Vec::new()), HarnessOpts::default());

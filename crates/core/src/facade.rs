@@ -96,6 +96,19 @@ impl OpReport {
         &self.run.breakdown
     }
 
+    /// Windowed roofline attribution of the invocation: which resource
+    /// (bandwidth, compute, overhead, idle) bound each slice of modeled
+    /// time. Windows cover 100% of [`OpReport::time`].
+    pub fn attribution(&self) -> &mealib_obs::Attribution {
+        &self.run.attribution
+    }
+
+    /// The time-resolved phase-interval profile of the invocation
+    /// (exportable via [`mealib_obs::Profile::to_chrome_trace`]).
+    pub fn profile(&self) -> mealib_obs::Profile {
+        self.run.profile()
+    }
+
     /// The underlying runtime report (breakdowns, invocation overheads).
     pub fn run(&self) -> &RunReport {
         &self.run
@@ -565,6 +578,11 @@ mod tests {
         assert!(report.energy().get() > 0.0);
         assert!(report.power().get() > 0.0);
         assert_eq!(ml.runtime().counters().executions, 1);
+        // Time-resolved views ride along on every report.
+        assert_eq!(report.attribution().coverage(), 1.0);
+        let p = report.profile();
+        assert!((p.end_time().get() - report.time().get()).abs() <= 1e-9 * report.time().get());
+        mealib_obs::validate_chrome_trace(&p.to_chrome_trace()).expect("exportable");
     }
 
     #[test]

@@ -101,6 +101,12 @@ impl Platform {
     pub fn peak_bandwidth(&self) -> BytesPerSec {
         self.mem.peak_bandwidth()
     }
+
+    /// The platform roofline (peak bandwidth × peak FLOP/s) the
+    /// bottleneck attributor classifies profiled runs against.
+    pub fn roofline(&self) -> mealib_obs::Roofline {
+        mealib_obs::Roofline::new(self.peak_bandwidth(), self.peak_flops())
+    }
 }
 
 #[cfg(test)]
@@ -114,6 +120,16 @@ mod tests {
         // … only has 25.6 GB/s memory bandwidth."
         assert!((h.peak_flops() - 112e9).abs() < 1e9);
         assert!((h.peak_bandwidth().as_gb_per_sec() - 25.6).abs() < 0.2);
+    }
+
+    #[test]
+    fn roofline_mirrors_platform_peaks() {
+        let h = Platform::haswell();
+        let r = h.roofline();
+        assert_eq!(r.peak_flops, h.peak_flops());
+        assert_eq!(r.peak_bandwidth, h.peak_bandwidth());
+        // Ridge point: ~4.4 FLOP/byte for the paper's Haswell.
+        assert!((r.ridge_intensity() - 4.375).abs() < 0.2);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! into the precharge path, which is accurate enough for the
 //! bandwidth/energy questions this reproduction asks.
 
+use mealib_obs::timeline::{Timeline, WindowCounters};
 use mealib_obs::{Counter, Obs};
 use mealib_types::{Bytes, Cycles, PhysAddr};
 
@@ -349,6 +350,111 @@ pub fn try_simulate_trace_parallel(
     Ok(simulate_trace_parallel(config, trace, jobs))
 }
 
+/// Output of a profiled replay: the usual [`EngineRun`] plus the
+/// cycle-windowed per-vault [`Timeline`] (lane = unit index).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfiledRun {
+    /// Aggregate statistics, latency histogram, and per-vault counts.
+    pub run: EngineRun,
+    /// Windowed counters; window `w` covers completion cycles
+    /// `[w·W, (w+1)·W)` at the configured width `W`.
+    pub timeline: Timeline,
+}
+
+/// Like [`simulate_trace_detailed`], additionally accumulating a
+/// cycle-windowed per-vault [`Timeline`] with windows of `window_cycles`
+/// command-clock cycles.
+///
+/// Each burst's contribution (bytes, ACT/PRE, hits/misses, refresh debt,
+/// bus occupancy, FCFS queue wait) is charged to the window containing
+/// its final data-bus cycle. Summing all cells reproduces the aggregate
+/// counters of the unprofiled run exactly (integer equality), because
+/// every burst is charged exactly once.
+///
+/// # Panics
+///
+/// Panics if `config` fails validation or `window_cycles` is zero.
+pub fn simulate_trace_profiled(
+    config: &MemoryConfig,
+    trace: &[Request],
+    window_cycles: u64,
+) -> ProfiledRun {
+    config
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid memory configuration: {e}"));
+    let t = &config.timing;
+    let mapping = &config.mapping;
+    let banks = mapping.banks_per_unit();
+    let mut units: Vec<UnitEngine> = (0..mapping.units())
+        .map(|_| UnitEngine::with_timeline(banks, window_cycles))
+        .collect();
+    for_each_burst(t, mapping, trace, |b| units[b.loc.unit].burst(t, &b));
+    let timeline = collect_timeline(window_cycles, &mut units);
+    ProfiledRun {
+        run: finish_run(config, units),
+        timeline,
+    }
+}
+
+/// Like [`simulate_trace_profiled`], sharded across up to `jobs` workers
+/// at the unit boundary (see [`simulate_trace_parallel`]).
+///
+/// The per-unit window maps are a pure function of each unit's private
+/// burst stream, and the fold into one [`Timeline`] keys cells by
+/// `(window, unit)` with commutative integer sums — the same
+/// order-independent reduction as the aggregate merge — so the parallel
+/// timeline is **bit-identical** to the serial one.
+///
+/// # Panics
+///
+/// Panics if `config` fails validation or `window_cycles` is zero.
+pub fn simulate_trace_profiled_parallel(
+    config: &MemoryConfig,
+    trace: &[Request],
+    window_cycles: u64,
+    jobs: usize,
+) -> ProfiledRun {
+    if jobs <= 1 {
+        return simulate_trace_profiled(config, trace, window_cycles);
+    }
+    config
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid memory configuration: {e}"));
+    let t = &config.timing;
+    let mapping = &config.mapping;
+    let banks = mapping.banks_per_unit();
+    let mut shards: Vec<Vec<Burst>> = vec![Vec::new(); mapping.units()];
+    for_each_burst(t, mapping, trace, |b| shards[b.loc.unit].push(b));
+    let mut units = mealib_types::par_map(&shards, jobs, |shard| {
+        let mut unit = UnitEngine::with_timeline(banks, window_cycles);
+        for b in shard {
+            unit.burst(t, b);
+        }
+        unit
+    });
+    let timeline = collect_timeline(window_cycles, &mut units);
+    ProfiledRun {
+        run: finish_run(config, units),
+        timeline,
+    }
+}
+
+/// Folds the per-unit window maps into one [`Timeline`], assigning each
+/// unit its index as the lane. `par_map` returns units in shard order
+/// regardless of completion order, and cell insertion is a commutative
+/// sum, so the fold is order-independent.
+fn collect_timeline(window_cycles: u64, units: &mut [UnitEngine]) -> Timeline {
+    let mut timeline = Timeline::new(window_cycles);
+    for (unit, u) in units.iter_mut().enumerate() {
+        if let Some(ut) = u.timeline.take() {
+            for (w, counters) in &ut.windows {
+                timeline.add_cell(*w, unit as u16, counters);
+            }
+        }
+    }
+    timeline
+}
+
 /// One decoded burst-sized access, in program order.
 #[derive(Debug, Clone, Copy)]
 struct Burst {
@@ -383,6 +489,25 @@ fn for_each_burst(
     }
 }
 
+/// Per-unit cycle-windowed counter accumulation (the profiled replay
+/// path). The lane index is implicit — it is assigned when the per-unit
+/// maps are folded into one [`Timeline`] at finish time.
+#[derive(Debug, Clone)]
+struct UnitTimeline {
+    window_cycles: u64,
+    windows: std::collections::BTreeMap<u64, WindowCounters>,
+}
+
+impl UnitTimeline {
+    fn new(window_cycles: u64) -> Self {
+        assert!(window_cycles > 0, "window_cycles must be positive");
+        Self {
+            window_cycles,
+            windows: std::collections::BTreeMap::new(),
+        }
+    }
+}
+
 /// The complete replay state of one unit (channel or vault): banks, data
 /// bus, tFAW window, refresh progress, the FCFS issue pointer, and the
 /// unit's share of every statistic. Serial and parallel replays both run
@@ -401,6 +526,9 @@ struct UnitEngine {
     latencies: LatencyHistogram,
     bytes_read: u64,
     bytes_written: u64,
+    /// Windowed counter accumulation; `None` on the default (unprofiled)
+    /// path, where [`UnitEngine::burst`] costs one discriminant check.
+    timeline: Option<UnitTimeline>,
 }
 
 impl UnitEngine {
@@ -415,12 +543,56 @@ impl UnitEngine {
             latencies: LatencyHistogram::default(),
             bytes_read: 0,
             bytes_written: 0,
+            timeline: None,
         }
+    }
+
+    fn with_timeline(banks: usize, window_cycles: u64) -> Self {
+        let mut unit = Self::new(banks);
+        unit.timeline = Some(UnitTimeline::new(window_cycles));
+        unit
+    }
+
+    /// Services one burst, accumulating windowed counters when the
+    /// profiled path is on. The disabled path costs exactly one `Option`
+    /// discriminant check on top of [`UnitEngine::burst_core`].
+    fn burst(&mut self, t: &DramTiming, b: &Burst) {
+        if self.timeline.is_none() {
+            self.burst_core(t, b);
+            return;
+        }
+        // Snapshot-delta accumulation: everything `burst_core` charges to
+        // this burst (including refresh debt paid before it) lands in the
+        // window containing the burst's last data-bus cycle. The rule is
+        // a pure function of the per-unit burst stream, so serial and
+        // vault-sharded parallel replays bucket identically.
+        let vault_before = self.vault;
+        let read_before = self.bytes_read;
+        let written_before = self.bytes_written;
+        let issued_before = self.issued_at;
+        self.burst_core(t, b);
+        let done = self.bus_free;
+        let delta = WindowCounters {
+            bytes_read: self.bytes_read - read_before,
+            bytes_written: self.bytes_written - written_before,
+            activations: self.vault.activations - vault_before.activations,
+            precharges: self.vault.precharges - vault_before.precharges,
+            row_hits: self.vault.row_hits - vault_before.row_hits,
+            row_misses: self.vault.row_misses - vault_before.row_misses,
+            refreshes: self.vault.refreshes - vault_before.refreshes,
+            bus_busy_cycles: t.t_burst,
+            queue_wait_cycles: done - issued_before,
+            noc_flits: 0,
+            noc_credit_stalls: 0,
+        };
+        let tl = self.timeline.as_mut().expect("checked above");
+        let w = done.saturating_sub(1) / tl.window_cycles;
+        tl.windows.entry(w).or_default().merge(&delta);
     }
 
     /// Services one burst in FCFS order: refresh accounting, row-buffer
     /// logic, then a slot on the unit's data bus.
-    fn burst(&mut self, t: &DramTiming, b: &Burst) {
+    fn burst_core(&mut self, t: &DramTiming, b: &Burst) {
         // Periodic all-bank refresh (REFab): once per tREFI the whole
         // unit spends tRFC refreshing, closing every row buffer.
         let due = self.bus_free / t.t_refi;
@@ -918,6 +1090,74 @@ mod tests {
         c.timing.t_rcd = 0;
         assert!(try_simulate_trace_parallel(&c, &[], 4).is_err());
         assert!(try_simulate_trace_parallel(&MemoryConfig::hmc_stack(), &[], 4).is_ok());
+    }
+
+    #[test]
+    fn profiled_run_matches_unprofiled_and_conserves_counters() {
+        let c = MemoryConfig::ddr_dual_channel();
+        let mut trace = sequential_trace(0, 1 << 20, 64, Op::Read);
+        trace.extend(strided_trace(1 << 22, 8192, 64, 2048, Op::Write));
+        let plain = simulate_trace_detailed(&c, &trace);
+        let profiled = simulate_trace_profiled(&c, &trace, 4096);
+        // Profiling must not perturb the model.
+        assert_eq!(profiled.run, plain);
+        // Conservation: the windowed cells sum exactly to the aggregates.
+        let agg = profiled.timeline.aggregate();
+        assert_eq!(agg.bytes_read, plain.stats.bytes_read.get());
+        assert_eq!(agg.bytes_written, plain.stats.bytes_written.get());
+        assert_eq!(agg.activations, plain.stats.activations);
+        assert_eq!(agg.precharges, plain.stats.precharges);
+        assert_eq!(agg.row_hits, plain.stats.row_hits);
+        assert_eq!(agg.row_misses, plain.stats.row_misses);
+        assert_eq!(agg.refreshes, plain.stats.refreshes);
+        // One bus slot per burst; queue waits telescope to each unit's
+        // final busy cycle.
+        let bursts = plain.stats.row_hits + plain.stats.row_misses;
+        assert_eq!(agg.bus_busy_cycles, bursts * c.timing.t_burst);
+        assert!(agg.queue_wait_cycles >= plain.stats.cycles.get());
+        // Every populated window stays inside the modeled cycle span.
+        assert!(profiled.timeline.num_windows() * 4096 <= plain.stats.cycles.get() + 4096);
+        // Lanes are vault indices.
+        let units = c.mapping.units() as u16;
+        assert!(profiled.timeline.lanes().iter().all(|&l| l < units));
+    }
+
+    #[test]
+    fn profiled_parallel_timeline_is_bit_identical_to_serial() {
+        let c = MemoryConfig::hmc_stack();
+        let mut trace = sequential_trace(0, 2 << 20, 256, Op::Read);
+        trace.extend(strided_trace(1 << 24, 8192, 64, 4096, Op::Write));
+        let serial = simulate_trace_profiled(&c, &trace, 1024);
+        for jobs in [1usize, 2, 4, 8] {
+            let parallel = simulate_trace_profiled_parallel(&c, &trace, 1024, jobs);
+            assert_eq!(parallel, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn per_lane_timeline_matches_vault_stats() {
+        let c = MemoryConfig::ddr_dual_channel();
+        let trace = sequential_trace(0, 1 << 20, 64, Op::Read);
+        let profiled = simulate_trace_profiled(&c, &trace, 2048);
+        for (unit, v) in profiled.run.vaults.iter().enumerate() {
+            let mut lane_total = WindowCounters::default();
+            for (_, lane, cell) in profiled.timeline.iter() {
+                if lane == unit as u16 {
+                    lane_total.merge(cell);
+                }
+            }
+            assert_eq!(lane_total.activations, v.activations, "unit {unit}");
+            assert_eq!(lane_total.row_hits, v.row_hits, "unit {unit}");
+            assert_eq!(lane_total.row_misses, v.row_misses, "unit {unit}");
+            assert_eq!(lane_total.refreshes, v.refreshes, "unit {unit}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_profiles_to_an_empty_timeline() {
+        let p = simulate_trace_profiled(&MemoryConfig::hmc_stack(), &[], 512);
+        assert!(p.timeline.is_empty());
+        assert_eq!(p.timeline.window_cycles(), 512);
     }
 
     #[test]

@@ -46,8 +46,9 @@ pub mod vault;
 pub use address::AddressMapping;
 pub use config::MemoryConfig;
 pub use engine::{
-    simulate_trace, simulate_trace_detailed, simulate_trace_parallel, try_simulate_trace_parallel,
-    EngineRun, LatencyHistogram, Op, Request, VaultStats,
+    simulate_trace, simulate_trace_detailed, simulate_trace_parallel, simulate_trace_profiled,
+    simulate_trace_profiled_parallel, try_simulate_trace_parallel, EngineRun, LatencyHistogram, Op,
+    ProfiledRun, Request, VaultStats,
 };
 pub use pattern::AccessPattern;
 pub use stats::TraceStats;

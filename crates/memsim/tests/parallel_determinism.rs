@@ -9,8 +9,12 @@
 //! the same run.
 
 use mealib_memsim::address::AddressMapping;
-use mealib_memsim::engine::{simulate_trace_detailed, simulate_trace_parallel, EngineRun, Request};
+use mealib_memsim::engine::{
+    simulate_trace_detailed, simulate_trace_parallel, simulate_trace_profiled,
+    simulate_trace_profiled_parallel, EngineRun, Request,
+};
 use mealib_memsim::MemoryConfig;
+use mealib_obs::timeline::WindowCounters;
 use mealib_types::PhysAddr;
 use proptest::prelude::*;
 
@@ -143,6 +147,78 @@ proptest! {
         let serial = simulate_trace_detailed(&cfg, &trace);
         let fallback = simulate_trace_parallel(&cfg, &trace, 1);
         assert_bit_exact(&fallback, &serial, &cfg.name);
+    }
+
+    /// Timeline conservation: profiling must not perturb the model, and
+    /// summing every `(window, lane)` cell must reproduce the aggregate
+    /// `TraceStats` counters with exact integer equality — each burst's
+    /// contribution is charged to exactly one window.
+    #[test]
+    fn profiled_timeline_conserves_aggregate_counters(
+        cfg in config_strategy(),
+        trace in proptest::collection::vec(request_strategy(), 0..40),
+        window_cycles in 1u64..5000,
+    ) {
+        prop_assert!(cfg.validate().is_ok());
+        let plain = simulate_trace_detailed(&cfg, &trace);
+        let profiled = simulate_trace_profiled(&cfg, &trace, window_cycles);
+        prop_assert_eq!(&profiled.run, &plain, "profiling perturbed the run");
+        let agg = profiled.timeline.aggregate();
+        prop_assert_eq!(agg.bytes_read, plain.stats.bytes_read.get());
+        prop_assert_eq!(agg.bytes_written, plain.stats.bytes_written.get());
+        prop_assert_eq!(agg.activations, plain.stats.activations);
+        prop_assert_eq!(agg.precharges, plain.stats.precharges);
+        prop_assert_eq!(agg.row_hits, plain.stats.row_hits);
+        prop_assert_eq!(agg.row_misses, plain.stats.row_misses);
+        prop_assert_eq!(agg.refreshes, plain.stats.refreshes);
+        // One data-bus slot per burst, and the FCFS queue waits
+        // telescope per unit, so both derived counters are also exact.
+        let bursts = plain.stats.row_hits + plain.stats.row_misses;
+        prop_assert_eq!(agg.bus_busy_cycles, bursts * cfg.timing.t_burst);
+        // Per-lane sums must equal the per-vault command counts.
+        for (unit, v) in profiled.run.vaults.iter().enumerate() {
+            let mut lane = WindowCounters::default();
+            for (_, l, c) in profiled.timeline.iter() {
+                if l == unit as u16 {
+                    lane.merge(c);
+                }
+            }
+            prop_assert_eq!(lane.activations, v.activations);
+            prop_assert_eq!(lane.row_hits, v.row_hits);
+            prop_assert_eq!(lane.row_misses, v.row_misses);
+            prop_assert_eq!(lane.read_bursts_like(), v.read_bursts + v.write_bursts);
+        }
+    }
+
+    /// Parallel timelines are bit-identical to serial for jobs ∈
+    /// {2, 4, 8}: same cells, same counters, same window width — the
+    /// windowed reduction inherits the aggregate merge's determinism.
+    #[test]
+    fn profiled_parallel_timelines_are_bit_identical(
+        cfg in config_strategy(),
+        trace in proptest::collection::vec(request_strategy(), 0..40),
+        window_cycles in 1u64..5000,
+    ) {
+        prop_assert!(cfg.validate().is_ok());
+        let serial = simulate_trace_profiled(&cfg, &trace, window_cycles);
+        for jobs in [2usize, 4, 8] {
+            let parallel =
+                simulate_trace_profiled_parallel(&cfg, &trace, window_cycles, jobs);
+            prop_assert_eq!(&parallel, &serial, "{} jobs={}", cfg.name, jobs);
+            assert_bit_exact(&parallel.run, &serial.run, &format!("{} jobs={jobs}", cfg.name));
+        }
+    }
+}
+
+/// Row hits + misses per lane equal serviced bursts per lane; expressed
+/// as a helper so the property above reads as the invariant it checks.
+trait BurstCount {
+    fn read_bursts_like(&self) -> u64;
+}
+
+impl BurstCount for WindowCounters {
+    fn read_bursts_like(&self) -> u64 {
+        self.row_hits + self.row_misses
     }
 }
 

@@ -25,8 +25,24 @@
 //! [`TraceRecorder::to_jsonl`]. The [`json`] module carries the
 //! hand-rolled emitter plus a small parser used by tests and the
 //! bench harnesses to validate traces without external dependencies.
+//!
+//! The time-resolved layer (PR 5) builds on these primitives:
+//! [`timeline`] carries cycle-windowed counter timelines, [`profile`]
+//! assembles them with phase intervals into Perfetto-exportable run
+//! profiles, [`attribution`] classifies each window against a platform
+//! roofline, and [`bench_schema`] defines the versioned `BENCH_*.json`
+//! summary the perf-trajectory gate (`meaperf`) diffs.
 
+pub mod attribution;
+pub mod bench_schema;
 pub mod json;
+pub mod profile;
+pub mod timeline;
+
+pub use attribution::{Attribution, Bound, BoundWindow, Roofline};
+pub use bench_schema::{BenchRecord, BenchSummary, BENCH_SCHEMA_VERSION};
+pub use profile::{validate_chrome_trace, IntervalEvent, Profile, TimelineTrack};
+pub use timeline::{Timeline, WindowCounters};
 
 use mealib_types::{Joules, Seconds};
 use std::collections::BTreeMap;
@@ -231,6 +247,17 @@ pub trait Recorder {
     fn record_span(&self, event: &SpanEvent);
     /// Adds `value` to the given counter.
     fn record_count(&self, key: CounterKey, value: u64);
+    /// Records a batch of events in order. The default forwards one by
+    /// one; lock-based sinks override this to take their lock once per
+    /// batch instead of once per event (see [`SpoolRecorder`]).
+    fn record_batch(&self, events: &[TraceEvent]) {
+        for event in events {
+            match event {
+                TraceEvent::Span(s) => self.record_span(s),
+                TraceEvent::Count { key, value } => self.record_count(*key, *value),
+            }
+        }
+    }
 }
 
 /// A cheap, cloneable handle to an optional recorder.
@@ -262,6 +289,13 @@ impl Obs {
     /// `true` when a recorder is installed.
     pub fn enabled(&self) -> bool {
         self.0.is_some()
+    }
+
+    /// The installed recorder, if any. Lets infrastructure (e.g. the
+    /// sweep's per-worker spool) interpose another recorder in front of
+    /// the user's sink.
+    pub fn recorder(&self) -> Option<Arc<dyn Recorder + Send + Sync>> {
+        self.0.clone()
     }
 
     /// Records a modeled span (no wall time).
@@ -602,6 +636,104 @@ impl Recorder for TraceRecorder {
         inner.breakdown.add_count(key, value);
         inner.events.push(TraceEvent::Count { key, value });
     }
+
+    /// One lock acquisition for the whole batch — this is what makes the
+    /// per-worker [`SpoolRecorder`] drain cheap under `--jobs N`.
+    fn record_batch(&self, events: &[TraceEvent]) {
+        if events.is_empty() {
+            return;
+        }
+        let mut inner = self.lock();
+        for event in events {
+            match event {
+                TraceEvent::Span(s) => {
+                    inner
+                        .breakdown
+                        .add_phase_wall(s.phase, s.time, s.energy, s.wall);
+                }
+                TraceEvent::Count { key, value } => inner.breakdown.add_count(*key, *value),
+            }
+            inner.events.push(event.clone());
+        }
+    }
+}
+
+/// A per-worker buffering recorder.
+///
+/// Under a parallel sweep every worker used to contend on the shared
+/// [`TraceRecorder`] mutex for *every* span and counter event. A
+/// `SpoolRecorder` sits in front of the shared sink, accumulates the
+/// worker's events in a local (uncontended) buffer, and hands them to the
+/// target in one [`Recorder::record_batch`] call at drain time — one lock
+/// acquisition per run instead of one per event. Event order within a
+/// worker is preserved; cross-worker interleaving is batch-granular,
+/// which is fine because [`Breakdown`] merging is commutative.
+pub struct SpoolRecorder {
+    target: Arc<dyn Recorder + Send + Sync>,
+    buffer: Mutex<Vec<TraceEvent>>,
+}
+
+impl fmt::Debug for SpoolRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SpoolRecorder")
+            .field("buffered", &self.buffered())
+            .finish()
+    }
+}
+
+impl SpoolRecorder {
+    /// Creates a spool in front of `target`.
+    pub fn new(target: Arc<dyn Recorder + Send + Sync>) -> Self {
+        Self {
+            target,
+            buffer: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Creates a shared spool in front of `target`.
+    pub fn shared(target: Arc<dyn Recorder + Send + Sync>) -> Arc<Self> {
+        Arc::new(Self::new(target))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<TraceEvent>> {
+        self.buffer.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Number of events waiting in the buffer.
+    pub fn buffered(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Drains the buffer into the target with a single batch call.
+    pub fn flush(&self) {
+        let events = std::mem::take(&mut *self.lock());
+        if !events.is_empty() {
+            self.target.record_batch(&events);
+        }
+    }
+}
+
+impl Drop for SpoolRecorder {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+impl Recorder for SpoolRecorder {
+    fn record_span(&self, event: &SpanEvent) {
+        self.lock().push(TraceEvent::Span(event.clone()));
+    }
+
+    fn record_count(&self, key: CounterKey, value: u64) {
+        if value == 0 {
+            return;
+        }
+        self.lock().push(TraceEvent::Count { key, value });
+    }
+
+    fn record_batch(&self, events: &[TraceEvent]) {
+        self.lock().extend_from_slice(events);
+    }
 }
 
 #[cfg(test)]
@@ -722,6 +854,52 @@ mod tests {
             counters.get("dram_act[1]").and_then(json::Value::as_f64),
             Some(4.0)
         );
+    }
+
+    #[test]
+    fn spool_buffers_until_flush_and_preserves_order() {
+        let sink = TraceRecorder::shared();
+        let spool = SpoolRecorder::shared(sink.clone());
+        let obs = Obs::new(spool.clone());
+        obs.span(Phase::Dma, "a", s(1.0), j(2.0));
+        obs.count_lane(Counter::DramAct, 4, 7);
+        obs.span(Phase::Compute, "b", s(3.0), j(1.0));
+        assert_eq!(spool.buffered(), 3);
+        assert!(sink.is_empty(), "nothing reaches the sink before flush");
+
+        spool.flush();
+        assert_eq!(spool.buffered(), 0);
+        let events = sink.events();
+        assert_eq!(events.len(), 3);
+        assert!(matches!(&events[0], TraceEvent::Span(e) if e.label == "a"));
+        assert!(matches!(&events[1], TraceEvent::Count { value: 7, .. }));
+        let bd = sink.breakdown();
+        assert_eq!(bd.total_time(), s(4.0));
+        assert_eq!(bd.counter(Counter::DramAct), 7);
+    }
+
+    #[test]
+    fn spool_drop_flushes_remaining_events() {
+        let sink = TraceRecorder::shared();
+        {
+            let spool = SpoolRecorder::new(sink.clone());
+            Obs::new(Arc::new(spool)).span(Phase::Flush, "tail", s(0.5), j(0.0));
+        }
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.breakdown().phase(Phase::Flush).time, s(0.5));
+    }
+
+    #[test]
+    fn batched_recording_equals_per_event_recording() {
+        let a = TraceRecorder::shared();
+        let oa = Obs::new(a.clone());
+        oa.span(Phase::Dma, "x", s(1.0), j(1.0));
+        oa.count(Counter::NocFlits, 5);
+
+        let b = TraceRecorder::shared();
+        b.record_batch(&a.events());
+        assert_eq!(b.events(), a.events());
+        assert_eq!(b.breakdown(), a.breakdown());
     }
 
     #[test]

@@ -1,0 +1,306 @@
+//! Cycle-windowed counter timelines.
+//!
+//! A [`Timeline`] slices modeled time into fixed-width cycle windows and
+//! accumulates a [`WindowCounters`] per `(window, lane)` cell. Producers
+//! (the DRAM engine's per-vault units, the NoC's links) attribute each
+//! event to the window containing its *completion* cycle, so windows are
+//! half-open cycle ranges `[w·W, (w+1)·W)` over completion times.
+//!
+//! Every field is an unsigned integer and [`Timeline::merge`] is a plain
+//! per-cell sum, so merging per-unit timelines is commutative and
+//! associative: the parallel engine (PR 4) can build one timeline per
+//! vault shard and merge them in any order, and the result is bit-identical
+//! to the serial run. The same property makes the conservation invariant
+//! exact — summing all cells reproduces the aggregate run counters with
+//! integer equality, never "within epsilon".
+
+use std::collections::BTreeMap;
+
+use crate::json::{array, Object};
+
+/// Additive event counters for one `(window, lane)` cell.
+///
+/// One struct serves both producers: the DRAM fields are filled by
+/// `mealib-memsim` (lane = vault index) and the NoC fields by
+/// `mealib-noc` (lane = destination tile); unused fields stay zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowCounters {
+    /// Bytes moved by read bursts completing in this window.
+    pub bytes_read: u64,
+    /// Bytes moved by write bursts completing in this window.
+    pub bytes_written: u64,
+    /// Row activations (ACT commands).
+    pub activations: u64,
+    /// Precharges (PRE commands, including refresh-implied ones).
+    pub precharges: u64,
+    /// Bursts that hit an open row.
+    pub row_hits: u64,
+    /// Bursts that missed (row conflict or closed bank).
+    pub row_misses: u64,
+    /// Refresh operations charged to this window.
+    pub refreshes: u64,
+    /// Cycles the unit's data bus was driving data.
+    pub bus_busy_cycles: u64,
+    /// Summed FCFS queue residency: for each burst, cycles between the
+    /// previous burst's completion and this one's (service + wait).
+    pub queue_wait_cycles: u64,
+    /// NoC flits whose tail traversed a link in this window.
+    pub noc_flits: u64,
+    /// Cycles flit heads stalled waiting for link credit.
+    pub noc_credit_stalls: u64,
+}
+
+impl WindowCounters {
+    /// Adds `other` into `self` field-wise.
+    pub fn merge(&mut self, other: &WindowCounters) {
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.activations += other.activations;
+        self.precharges += other.precharges;
+        self.row_hits += other.row_hits;
+        self.row_misses += other.row_misses;
+        self.refreshes += other.refreshes;
+        self.bus_busy_cycles += other.bus_busy_cycles;
+        self.queue_wait_cycles += other.queue_wait_cycles;
+        self.noc_flits += other.noc_flits;
+        self.noc_credit_stalls += other.noc_credit_stalls;
+    }
+
+    /// True when every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == WindowCounters::default()
+    }
+
+    /// Total bytes moved in this cell.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Renders the cell as a JSON object (zero fields included, so every
+    /// cell has a stable key set).
+    pub fn to_json(&self) -> String {
+        let mut o = Object::new();
+        o.int("bytes_read", self.bytes_read);
+        o.int("bytes_written", self.bytes_written);
+        o.int("activations", self.activations);
+        o.int("precharges", self.precharges);
+        o.int("row_hits", self.row_hits);
+        o.int("row_misses", self.row_misses);
+        o.int("refreshes", self.refreshes);
+        o.int("bus_busy_cycles", self.bus_busy_cycles);
+        o.int("queue_wait_cycles", self.queue_wait_cycles);
+        o.int("noc_flits", self.noc_flits);
+        o.int("noc_credit_stalls", self.noc_credit_stalls);
+        o.render()
+    }
+}
+
+/// A cycle-windowed, per-lane counter timeline.
+///
+/// Cells are keyed `(window index, lane)` in a `BTreeMap`, so iteration
+/// order — and therefore any rendering — is deterministic regardless of
+/// the order cells were produced or merged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timeline {
+    window_cycles: u64,
+    cells: BTreeMap<(u64, u16), WindowCounters>,
+}
+
+impl Timeline {
+    /// Creates an empty timeline with the given window width in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_cycles` is zero.
+    pub fn new(window_cycles: u64) -> Self {
+        assert!(window_cycles > 0, "window_cycles must be positive");
+        Self {
+            window_cycles,
+            cells: BTreeMap::new(),
+        }
+    }
+
+    /// The configured window width in cycles.
+    pub fn window_cycles(&self) -> u64 {
+        self.window_cycles
+    }
+
+    /// The window index containing `cycle`.
+    pub fn window_of(&self, cycle: u64) -> u64 {
+        cycle / self.window_cycles
+    }
+
+    /// Merges `delta` into the cell for the window containing `cycle` on
+    /// `lane`.
+    pub fn record(&mut self, cycle: u64, lane: u16, delta: &WindowCounters) {
+        if delta.is_zero() {
+            return;
+        }
+        let w = self.window_of(cycle);
+        self.cells.entry((w, lane)).or_default().merge(delta);
+    }
+
+    /// Merges `delta` directly into the cell `(window, lane)` — for
+    /// producers that already bucket their own events by window index.
+    pub fn add_cell(&mut self, window: u64, lane: u16, delta: &WindowCounters) {
+        if delta.is_zero() {
+            return;
+        }
+        self.cells.entry((window, lane)).or_default().merge(delta);
+    }
+
+    /// Merges another timeline into this one, cell-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window widths differ — cells would not be
+    /// commensurable.
+    pub fn merge(&mut self, other: &Timeline) {
+        assert_eq!(
+            self.window_cycles, other.window_cycles,
+            "cannot merge timelines with different window widths"
+        );
+        for (key, delta) in &other.cells {
+            self.cells.entry(*key).or_default().merge(delta);
+        }
+    }
+
+    /// Number of populated cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when no cell has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Iterates cells in `(window, lane)` order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u16, &WindowCounters)> {
+        self.cells.iter().map(|(&(w, l), c)| (w, l, c))
+    }
+
+    /// The exclusive upper bound on populated window indices (0 when
+    /// empty).
+    pub fn num_windows(&self) -> u64 {
+        self.cells.keys().map(|&(w, _)| w + 1).max().unwrap_or(0)
+    }
+
+    /// Distinct lanes with at least one populated cell, ascending.
+    pub fn lanes(&self) -> Vec<u16> {
+        let mut lanes: Vec<u16> = self.cells.keys().map(|&(_, l)| l).collect();
+        lanes.sort_unstable();
+        lanes.dedup();
+        lanes
+    }
+
+    /// Sums every cell — the conservation counterpart of the aggregate
+    /// run statistics.
+    pub fn aggregate(&self) -> WindowCounters {
+        let mut total = WindowCounters::default();
+        for c in self.cells.values() {
+            total.merge(c);
+        }
+        total
+    }
+
+    /// Sums all lanes of one window.
+    pub fn window_total(&self, window: u64) -> WindowCounters {
+        let mut total = WindowCounters::default();
+        for (&(w, _), c) in self.cells.range((window, 0)..=(window, u16::MAX)) {
+            if w == window {
+                total.merge(c);
+            }
+        }
+        total
+    }
+
+    /// Renders the timeline as a JSON object with one entry per cell.
+    pub fn to_json(&self) -> String {
+        let cells: Vec<String> = self
+            .iter()
+            .map(|(w, l, c)| {
+                let mut o = Object::new();
+                o.int("window", w);
+                o.int("lane", u64::from(l));
+                o.raw("counters", c.to_json());
+                o.render()
+            })
+            .collect();
+        let mut o = Object::new();
+        o.int("window_cycles", self.window_cycles);
+        o.raw("cells", array(&cells));
+        o.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delta(bytes: u64) -> WindowCounters {
+        WindowCounters {
+            bytes_read: bytes,
+            row_hits: 1,
+            ..WindowCounters::default()
+        }
+    }
+
+    #[test]
+    fn record_buckets_by_completion_cycle() {
+        let mut t = Timeline::new(100);
+        t.record(0, 0, &delta(64));
+        t.record(99, 0, &delta(64));
+        t.record(100, 0, &delta(64));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.window_total(0).bytes_read, 128);
+        assert_eq!(t.window_total(1).bytes_read, 64);
+        assert_eq!(t.num_windows(), 2);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = Timeline::new(64);
+        a.record(10, 0, &delta(1));
+        a.record(70, 1, &delta(2));
+        let mut b = Timeline::new(64);
+        b.record(70, 1, &delta(3));
+        b.record(500, 5, &delta(4));
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.aggregate().bytes_read, 10);
+        assert_eq!(ab.lanes(), vec![0, 1, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different window widths")]
+    fn merge_rejects_mismatched_windows() {
+        let mut a = Timeline::new(64);
+        a.merge(&Timeline::new(128));
+    }
+
+    #[test]
+    fn zero_deltas_are_not_stored() {
+        let mut t = Timeline::new(10);
+        t.record(5, 0, &WindowCounters::default());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn json_round_trips_through_parser() {
+        let mut t = Timeline::new(256);
+        t.record(300, 2, &delta(96));
+        let v = crate::json::parse(&t.to_json()).expect("valid JSON");
+        let o = v.as_object().expect("object");
+        assert_eq!(o["window_cycles"].as_f64(), Some(256.0));
+        let cells = o["cells"].as_array().expect("cells");
+        assert_eq!(cells.len(), 1);
+        let cell = cells[0].as_object().expect("cell");
+        assert_eq!(cell["window"].as_f64(), Some(1.0));
+        assert_eq!(cell["lane"].as_f64(), Some(2.0));
+    }
+}

@@ -18,7 +18,7 @@ use std::fmt;
 
 use mealib_accel::cu::{run_descriptor, CuCostModel, CuError, DescriptorRun};
 use mealib_accel::AcceleratorLayer;
-use mealib_obs::{Breakdown, Counter, Obs, Phase};
+use mealib_obs::{Attribution, Breakdown, Counter, Obs, Phase, Profile};
 use mealib_tdl::{parse_with_lines, Descriptor, DescriptorError, ParamBag, ParseError, TdlProgram};
 use mealib_types::{Bytes, Joules, Report, Seconds};
 use mealib_verify::TdlLimits;
@@ -139,12 +139,43 @@ pub struct RunReport {
     /// Per-phase attribution of this invocation; its phase sums equal
     /// [`RunReport::total_time`] / `total_energy` exactly.
     pub breakdown: Breakdown,
+    /// Windowed roofline attribution of the invocation against the
+    /// layer it actually ran on; its windows tile
+    /// `[0, total_time())` with 100% coverage.
+    pub attribution: Attribution,
+}
+
+/// Number of attribution windows an invocation's modeled time is split
+/// into.
+const ATTRIBUTION_WINDOWS: f64 = 64.0;
+
+/// The time-resolved interval layout of one invocation: the host-side
+/// flush + descriptor copy on a `runtime` track, then the CU run's exact
+/// fetch/decode/config/stream/compute/drain layout on a `cu` track.
+fn invocation_profile(invocation_time: Seconds, run: &DescriptorRun) -> Profile {
+    let mut p = Profile::new();
+    p.interval(
+        "runtime",
+        Phase::Flush,
+        "invocation",
+        Seconds::ZERO,
+        invocation_time,
+    );
+    p.intervals.extend(run.intervals("cu", invocation_time));
+    p
 }
 
 impl RunReport {
     /// End-to-end time of the invocation.
     pub fn total_time(&self) -> Seconds {
         self.invocation_time + self.run.total_time()
+    }
+
+    /// The time-resolved phase-interval profile of this invocation
+    /// (tracks `runtime` and `cu`); its end time equals
+    /// [`RunReport::total_time`].
+    pub fn profile(&self) -> Profile {
+        invocation_profile(self.invocation_time, &self.run)
     }
 
     /// End-to-end energy of the invocation.
@@ -665,6 +696,12 @@ impl Runtime {
         // it is carried unconditionally on every report.
         let mut breakdown = run.breakdown();
         breakdown.add_phase(Phase::Flush, invocation_time, invocation_energy);
+
+        // Roofline attribution against the layer the run actually used
+        // (remote placement classifies against the remote-stack peak).
+        let profile = invocation_profile(invocation_time, &run);
+        let window = Seconds::new(profile.end_time().get() / ATTRIBUTION_WINDOWS);
+        let attribution = Attribution::classify(&profile, &layer.roofline(), window);
         if self.obs.enabled() {
             self.obs.span(
                 Phase::Flush,
@@ -684,6 +721,7 @@ impl Runtime {
             invocation_energy,
             run,
             breakdown,
+            attribution,
         })
     }
 
@@ -1013,6 +1051,48 @@ mod tests {
             assert!(bd.phase(Phase::Flush).time.get() > 0.0);
             assert!(bd.phase(Phase::Compute).time.get() > 0.0);
         }
+    }
+
+    #[test]
+    fn attribution_covers_all_modeled_time() {
+        for loops in [1, 64] {
+            let (mut rt, plan) = fft_runtime_and_plan(loops);
+            let report = rt.acc_execute(&plan).unwrap();
+            let a = &report.attribution;
+            assert_eq!(a.coverage(), 1.0, "loops={loops}");
+            assert!(
+                (a.total.get() - report.total_time().get()).abs()
+                    <= 1e-9 * report.total_time().get(),
+                "loops={loops}: attribution total {} vs report {}",
+                a.total,
+                report.total_time()
+            );
+            for pair in a.windows.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start, "windows must tile");
+            }
+            // An FFT invocation spends real time in every bucket's
+            // source phases; none of the shares can be everything.
+            let share_sum: f64 = mealib_obs::Bound::ALL.into_iter().map(|b| a.share(b)).sum();
+            assert!((share_sum - 1.0).abs() < 1e-9, "shares sum to 1");
+        }
+    }
+
+    #[test]
+    fn report_profile_reconciles_with_totals() {
+        let (mut rt, plan) = fft_runtime_and_plan(8);
+        let report = rt.acc_execute(&plan).unwrap();
+        let p = report.profile();
+        assert!(
+            (p.end_time().get() - report.total_time().get()).abs()
+                <= 1e-9 * report.total_time().get(),
+            "profile end {} vs total {}",
+            p.end_time(),
+            report.total_time()
+        );
+        let tracks = p.track_names();
+        assert!(tracks.contains(&"runtime".to_string()), "{tracks:?}");
+        assert!(tracks.contains(&"cu".to_string()), "{tracks:?}");
+        mealib_obs::validate_chrome_trace(&p.to_chrome_trace()).expect("exportable");
     }
 
     #[test]

@@ -11,8 +11,14 @@
 //! bit-for-bit. Only the *interleaving* of recorder events differs, and
 //! [`mealib_obs::Breakdown`] merging is commutative, so per-run
 //! reconciliation still holds.
+//!
+//! When a recorder is installed and `jobs > 1`, each run records into a
+//! private [`SpoolRecorder`] that is drained into the shared sink with
+//! one batched (single-lock) call per run — workers never contend on the
+//! sink's mutex per event, only once per experiment.
 
 use mealib_accel::AccelParams;
+use mealib_obs::{Obs, SpoolRecorder};
 
 use crate::experiment::{run_experiment, ExperimentOptions, ExperimentReport};
 
@@ -22,7 +28,9 @@ use crate::experiment::{run_experiment, ExperimentOptions, ExperimentReport};
 /// `jobs <= 1` runs serially on the calling thread. Results are
 /// positionally identical to the serial loop regardless of `jobs`: the
 /// scheduling is handled by [`mealib_types::par_map`], which reassembles
-/// results by index.
+/// results by index. Recorder events are spooled per run and delivered
+/// to the shared sink in one batch each, so an enabled recorder does not
+/// serialize the workers on its mutex.
 ///
 /// When an active [`Sanitizer`](mealib_runtime::Sanitizer) is installed
 /// in `opts`, the sweep degrades to serial execution: all runs share the
@@ -34,7 +42,16 @@ pub fn run_sweep(
     jobs: usize,
 ) -> Vec<Result<ExperimentReport, mealib_types::Report>> {
     let jobs = if opts.sanitizer.is_active() { 1 } else { jobs };
-    mealib_types::par_map(ops, jobs, |op| run_experiment(op, opts))
+    match (jobs > 1).then(|| opts.obs.recorder()).flatten() {
+        Some(sink) => mealib_types::par_map(ops, jobs, move |op| {
+            let spool = SpoolRecorder::shared(sink.clone());
+            let local = opts.clone().obs(Obs::new(spool.clone()));
+            let result = run_experiment(op, &local);
+            spool.flush();
+            result
+        }),
+        None => mealib_types::par_map(ops, jobs, |op| run_experiment(op, opts)),
+    }
 }
 
 /// The sweep fans one `ExperimentOptions` out to all workers by shared
@@ -122,6 +139,43 @@ mod tests {
         let merged = rec.breakdown();
         assert!(merged.phase(Phase::Dma).time.get() >= want_dma * 0.999);
         assert!(merged.phase(Phase::Compute).time.get() > 0.0);
+    }
+
+    #[test]
+    fn spooled_parallel_recording_matches_serial_recording() {
+        // jobs=1 records straight into the sink; jobs=4 goes through the
+        // per-worker spools. Integer counters must agree exactly (u64
+        // sums commute); float totals agree up to summation order.
+        let ops = small_ops();
+        let serial_rec = TraceRecorder::shared();
+        let serial = run_sweep(
+            &ops,
+            &ExperimentOptions::default().recorder(serial_rec.clone()),
+            1,
+        );
+        let par_rec = TraceRecorder::shared();
+        let parallel = run_sweep(
+            &ops,
+            &ExperimentOptions::default().recorder(par_rec.clone()),
+            4,
+        );
+        for (s, p) in serial.iter().zip(&parallel) {
+            let s = s.as_ref().expect("preflight clean");
+            let p = p.as_ref().expect("preflight clean");
+            assert_eq!(s.comparison, p.comparison, "results must not change");
+        }
+        let s = serial_rec.breakdown();
+        let p = par_rec.breakdown();
+        for c in [
+            mealib_obs::Counter::DramAct,
+            mealib_obs::Counter::DramRdBytes,
+            mealib_obs::Counter::CuPasses,
+            mealib_obs::Counter::NocFlits,
+        ] {
+            assert_eq!(s.counter(c), p.counter(c), "{c:?}");
+        }
+        let (st, pt) = (s.total_time().get(), p.total_time().get());
+        assert!((st - pt).abs() <= 1e-9 * st.abs(), "{st} vs {pt}");
     }
 
     #[test]

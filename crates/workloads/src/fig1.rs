@@ -160,6 +160,13 @@ pub fn speedups() -> Vec<Fig1Point> {
         .collect()
 }
 
+/// Modeled multi-threaded library time for one benchmark's op mix on
+/// the Haswell machine — the denominator of the Figure 1 speedups
+/// (used by the harness's `--profile` timeline).
+pub fn library_time(b: &Benchmark) -> Seconds {
+    mix_time(&Platform::haswell(), &b.ops, CodeFlavor::Library)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

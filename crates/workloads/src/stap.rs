@@ -19,11 +19,13 @@ use std::collections::BTreeMap;
 
 use mealib::{Complex32, Mealib, MealibError};
 use mealib_accel::cu::{run_descriptor, CuCostModel, DescriptorRun};
+use mealib_accel::trace_exec::generate_trace;
 use mealib_accel::{AccelParams, AcceleratorLayer};
 use mealib_host::{run_custom, run_op, CodeFlavor, Platform};
 use mealib_kernels::blas3::{self, Side, Triangle};
 use mealib_kernels::fft::Direction;
-use mealib_obs::{Breakdown, Obs, Phase, TraceRecorder};
+use mealib_memsim::engine::simulate_trace_profiled;
+use mealib_obs::{Attribution, Breakdown, Obs, Phase, Profile, TraceRecorder};
 use mealib_runtime::CacheModel;
 use mealib_tdl::{AcceleratorKind, Descriptor, ParamBag};
 use mealib_types::{Joules, Seconds};
@@ -364,6 +366,122 @@ pub fn run_on_mealib(cfg: &StapConfig) -> StapRun {
     run_mealib_pipeline(cfg, None).0
 }
 
+/// Engine-cycle width of the DRAM timeline windows in
+/// [`profile_on_mealib`].
+pub const STAP_DRAM_WINDOW_CYCLES: u64 = 4096;
+
+/// Footprint cap of each profiled DRAM replay: large enough to cover
+/// thousands of bursts, small enough that profiling three descriptors
+/// stays interactive.
+const STAP_DRAM_TRACE_BYTES: u64 = 4 << 20;
+
+/// Number of attribution windows the run's modeled time is split into.
+const STAP_ATTRIBUTION_WINDOWS: f64 = 64.0;
+
+/// A fully time-resolved STAP-on-MEALib run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StapProfile {
+    /// The modeled phase costs ([`run_on_mealib`]'s view).
+    pub run: StapRun,
+    /// Phase/counter itemization; reconciles with `run`'s totals.
+    pub breakdown: Breakdown,
+    /// Time-resolved intervals (tracks `stap` and `cu`) plus
+    /// cycle-windowed DRAM timelines (`dram:<phase>` tracks).
+    pub profile: Profile,
+    /// Roofline attribution against the Haswell host platform.
+    pub attribution: Attribution,
+}
+
+/// The dominant accelerator traffic of a named offloaded phase
+/// (`"fftw (chain)"`, `"cdotc"`, or `"saxpy"`), used to drive the
+/// profiled DRAM replay. Must stay in sync with the descriptors
+/// [`run_mealib_pipeline`] builds.
+///
+/// # Panics
+///
+/// Panics on any other phase name.
+pub fn accel_phase_params(cfg: &StapConfig, name: &str) -> AccelParams {
+    match name {
+        "fftw (chain)" => AccelParams::Fft {
+            n: cfg.n_dop as u64,
+            batch: (cfg.n_chan * cfg.ranges()) as u64,
+        },
+        "cdotc" => AccelParams::Dot {
+            n: cfg.dof() as u64,
+            incx: 1,
+            incy: 1,
+            complex: true,
+        },
+        "saxpy" => AccelParams::Axpy {
+            n: 2 * cfg.ranges() as u64,
+            alpha: 1.0,
+            incx: 1,
+            incy: 1,
+        },
+        other => unreachable!("no accelerator phase named {other}"),
+    }
+}
+
+/// Models STAP on MEALib and builds the full time-resolved profile:
+///
+/// * a `stap` track with the host compute and invocation phases;
+/// * a `cu` track with each descriptor's exact
+///   fetch/decode/config/stream/compute/drain layout, anchored at the
+///   phase's start (the gaps on `stap` are where the host idles while
+///   the accelerators run);
+/// * one `dram:<phase>` timeline per descriptor — the phase's dominant
+///   traffic replayed through the profiled cycle engine in
+///   [`STAP_DRAM_WINDOW_CYCLES`]-cycle windows;
+/// * a windowed roofline [`Attribution`] against the Haswell host.
+///
+/// The profile's end time equals the run's total time, and the
+/// attribution's windows cover 100% of it.
+pub fn profile_on_mealib(cfg: &StapConfig) -> StapProfile {
+    let rec = TraceRecorder::shared();
+    let obs = Obs::new(rec);
+    let (run, breakdown, runs) = run_mealib_pipeline(cfg, Some(&obs));
+    let breakdown = breakdown.expect("breakdown collected when tracing");
+
+    let layer = AcceleratorLayer::mealib_default();
+    let t_ck = layer.mem().timing.t_ck;
+
+    let mut profile = Profile::new();
+    let mut cursor = Seconds::ZERO;
+    let mut next_run = 0usize;
+    for p in &run.phases {
+        match p.executor {
+            Executor::Host => {
+                cursor = profile.interval("stap", Phase::Compute, p.name, cursor, p.time);
+            }
+            Executor::Invocation => {
+                cursor = profile.interval("stap", Phase::Flush, p.name, cursor, p.time);
+            }
+            Executor::Accelerator(_) => {
+                let start = cursor;
+                cursor = Seconds::new(cursor.get() + p.time.get());
+                let dr = &runs[next_run];
+                next_run += 1;
+                profile.intervals.extend(dr.intervals("cu", start));
+                let params = accel_phase_params(cfg, p.name);
+                let (trace, _scale) = generate_trace(&params, layer.hw(), STAP_DRAM_TRACE_BYTES);
+                let profiled =
+                    simulate_trace_profiled(layer.mem(), &trace, STAP_DRAM_WINDOW_CYCLES);
+                profile.push_timeline(&format!("dram:{}", p.name), profiled.timeline, t_ck, start);
+            }
+        }
+    }
+
+    let total = profile.end_time();
+    let window = Seconds::new(total.get() / STAP_ATTRIBUTION_WINDOWS);
+    let attribution = Attribution::classify(&profile, &Platform::haswell().roofline(), window);
+    StapProfile {
+        run,
+        breakdown,
+        profile,
+        attribution,
+    }
+}
+
 /// Like [`run_on_mealib`], but additionally itemizes the run into a
 /// [`Breakdown`] (phase taxonomy + DRAM/NoC/CU counters) and streams
 /// every phase and counter into `obs`.
@@ -374,15 +492,18 @@ pub fn run_on_mealib(cfg: &StapConfig) -> StapRun {
 /// descriptor contributes its own plan/DMA/compute/drain split, with the
 /// host's idle-while-accelerated energy folded into [`Phase::Dma`].
 pub fn run_on_mealib_traced(cfg: &StapConfig, obs: &Obs) -> (StapRun, Breakdown) {
-    let (run, breakdown) = run_mealib_pipeline(cfg, Some(obs));
+    let (run, breakdown, _) = run_mealib_pipeline(cfg, Some(obs));
     (run, breakdown.expect("breakdown collected when tracing"))
 }
 
 /// The shared pipeline model. With `obs == None` (the [`run_on_mealib`]
-/// fast path) no [`Breakdown`] is assembled and no counters are
-/// replayed, so the untraced run stays as cheap as before
-/// instrumentation existed.
-fn run_mealib_pipeline(cfg: &StapConfig, obs: Option<&Obs>) -> (StapRun, Option<Breakdown>) {
+/// fast path) no [`Breakdown`] is assembled, no counters are replayed,
+/// and no [`DescriptorRun`]s are retained, so the untraced run stays as
+/// cheap as before instrumentation existed.
+fn run_mealib_pipeline(
+    cfg: &StapConfig,
+    obs: Option<&Obs>,
+) -> (StapRun, Option<Breakdown>, Vec<DescriptorRun>) {
     let platform = Platform::haswell();
     let layer = AcceleratorLayer::mealib_default();
     let cache = CacheModel::haswell();
@@ -523,6 +644,7 @@ fn run_mealib_pipeline(cfg: &StapConfig, obs: Option<&Obs>) -> (StapRun, Option<
             phases,
         },
         breakdown,
+        runs,
     )
 }
 
@@ -733,6 +855,48 @@ mod tests {
         // The recorder saw the same story.
         let seen = obs_rec.breakdown();
         assert!((seen.total_time().get() - run.total_time().get()).abs() <= 1e-9);
+    }
+
+    #[test]
+    fn stap_profile_reconciles_exports_and_attributes_all_time() {
+        let sp = profile_on_mealib(&StapConfig::small());
+        let total = sp.run.total_time();
+        // The profile spans exactly the run's modeled time.
+        assert!(
+            (sp.profile.end_time().get() - total.get()).abs() <= 1e-9 * total.get(),
+            "profile end {} vs run total {}",
+            sp.profile.end_time(),
+            total
+        );
+        // Attribution covers 100% of it with contiguous windows.
+        assert_eq!(sp.attribution.coverage(), 1.0);
+        assert!((sp.attribution.total.get() - total.get()).abs() <= 1e-9 * total.get());
+        for pair in sp.attribution.windows.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+        // Tracks: stap (host phases), cu (descriptor layout), and one
+        // DRAM timeline per descriptor.
+        let tracks = sp.profile.track_names();
+        assert!(tracks.contains(&"stap".to_string()), "{tracks:?}");
+        assert!(tracks.contains(&"cu".to_string()), "{tracks:?}");
+        let dram = tracks.iter().filter(|t| t.starts_with("dram:")).count();
+        assert_eq!(dram, 3, "{tracks:?}");
+        // The export is Perfetto-loadable and passes the round-trip
+        // checker, with counter samples from the DRAM timelines.
+        let doc = sp.profile.to_chrome_trace();
+        let summary = mealib_obs::validate_chrome_trace(&doc).expect("valid trace");
+        assert!(summary.spans >= sp.profile.intervals.len());
+        assert!(summary.counters > 0, "DRAM timelines must emit counters");
+        // Fig 14: the host dominates STAP time, and the attribution's
+        // time-resolved view agrees in aggregate.
+        assert!(
+            sp.attribution.share(mealib_obs::Bound::Compute) > 0.3,
+            "compute share {:.3}",
+            sp.attribution.share(mealib_obs::Bound::Compute)
+        );
+        // Breakdown still reconciles.
+        let dt = (sp.breakdown.total_time().get() - total.get()).abs();
+        assert!(dt <= 1e-9 * total.get(), "breakdown drift {dt}");
     }
 
     #[test]

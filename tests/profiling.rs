@@ -1,0 +1,161 @@
+//! Acceptance tests for the time-resolved profiling layer: windowed
+//! counters reconcile exactly with the unprofiled aggregates for STAP
+//! and SAR traffic, parallel profiled replays are bit-identical to
+//! serial ones at every job count, emitted Chrome traces round-trip
+//! through the validator, every run's bottleneck attribution covers
+//! 100% of modeled time, and the STAP-small trace byte-matches its
+//! checked-in golden file.
+
+use mealib::prelude::*;
+use mealib_accel::trace_exec::generate_trace;
+use mealib_accel::AcceleratorLayer;
+use mealib_memsim::engine::{
+    simulate_trace_detailed, simulate_trace_profiled, simulate_trace_profiled_parallel, Request,
+};
+use mealib_obs::validate_chrome_trace;
+use mealib_workloads::sar;
+use mealib_workloads::stap::{self, StapConfig, STAP_DRAM_WINDOW_CYCLES};
+
+const TRACE_BYTES: u64 = 4 << 20;
+
+/// The DRAM request streams of STAP-small's three offloaded phases plus
+/// the SAR imaging stages, all at the profiled-replay footprint.
+fn workload_traces() -> Vec<(String, Vec<Request>)> {
+    let layer = AcceleratorLayer::mealib_default();
+    let cfg = StapConfig::small();
+    let mut traces = Vec::new();
+    for phase in ["fftw (chain)", "cdotc", "saxpy"] {
+        let params = stap::accel_phase_params(&cfg, phase);
+        let (trace, _) = generate_trace(&params, layer.hw(), TRACE_BYTES);
+        traces.push((format!("stap:{phase}"), trace));
+    }
+    for (i, params) in sar::sar_stages(256).iter().enumerate() {
+        let (trace, _) = generate_trace(params, layer.hw(), TRACE_BYTES);
+        traces.push((format!("sar:stage{i}"), trace));
+    }
+    traces
+}
+
+#[test]
+fn windowed_counters_reconcile_exactly_with_aggregates() {
+    let layer = AcceleratorLayer::mealib_default();
+    for (name, trace) in workload_traces() {
+        let profiled = simulate_trace_profiled(layer.mem(), &trace, STAP_DRAM_WINDOW_CYCLES);
+        let plain = simulate_trace_detailed(layer.mem(), &trace);
+        assert_eq!(
+            profiled.run, plain,
+            "{name}: profiling must not perturb the run"
+        );
+
+        // Summing every window cell reproduces the aggregate counters
+        // exactly — each burst is charged to exactly one window.
+        let sum = profiled.timeline.aggregate();
+        let stats = &profiled.run.stats;
+        assert_eq!(sum.bytes_read, stats.bytes_read.get(), "{name}: bytes read");
+        assert_eq!(
+            sum.bytes_written,
+            stats.bytes_written.get(),
+            "{name}: bytes written"
+        );
+        assert_eq!(sum.activations, stats.activations, "{name}: ACTs");
+        assert_eq!(sum.precharges, stats.precharges, "{name}: PREs");
+        assert_eq!(sum.row_hits, stats.row_hits, "{name}: row hits");
+        assert_eq!(sum.row_misses, stats.row_misses, "{name}: row misses");
+        assert_eq!(sum.refreshes, stats.refreshes, "{name}: refreshes");
+
+        // Per-lane sums reconcile with the per-vault command counts.
+        for (unit, vault) in profiled.run.vaults.iter().enumerate() {
+            let lane: mealib_obs::WindowCounters = profiled
+                .timeline
+                .iter()
+                .filter(|(_, l, _)| *l == unit as u16)
+                .fold(
+                    mealib_obs::WindowCounters::default(),
+                    |mut acc, (_, _, c)| {
+                        acc.merge(c);
+                        acc
+                    },
+                );
+            assert_eq!(
+                lane.activations, vault.activations,
+                "{name}: vault {unit} ACTs"
+            );
+            assert_eq!(lane.row_hits, vault.row_hits, "{name}: vault {unit} hits");
+            assert_eq!(
+                lane.row_misses, vault.row_misses,
+                "{name}: vault {unit} misses"
+            );
+        }
+    }
+}
+
+#[test]
+fn profiled_replay_is_bit_identical_across_worker_counts() {
+    let layer = AcceleratorLayer::mealib_default();
+    for (name, trace) in workload_traces() {
+        let serial = simulate_trace_profiled(layer.mem(), &trace, STAP_DRAM_WINDOW_CYCLES);
+        for jobs in [2, 4, 8] {
+            let parallel = simulate_trace_profiled_parallel(
+                layer.mem(),
+                &trace,
+                STAP_DRAM_WINDOW_CYCLES,
+                jobs,
+            );
+            assert_eq!(
+                serial, parallel,
+                "{name}: jobs={jobs} must be bit-identical to serial"
+            );
+        }
+    }
+}
+
+#[test]
+fn stap_profile_round_trips_and_attributes_all_time() {
+    let sp = stap::profile_on_mealib(&StapConfig::small());
+    let doc = sp.profile.to_chrome_trace();
+    let summary = validate_chrome_trace(&doc).expect("STAP trace must round-trip");
+    assert!(summary.spans > 0 && summary.counters > 0 && summary.tracks >= 5);
+    assert_eq!(
+        sp.attribution.coverage(),
+        1.0,
+        "attribution windows must cover 100% of modeled time"
+    );
+    let total: f64 = sp.run.total_time().get();
+    assert!((sp.attribution.total.get() - total).abs() <= 1e-9 * total);
+}
+
+#[test]
+fn facade_run_attribution_covers_all_time() {
+    // The runtime attaches an attribution to every run, SAR included.
+    let mut ml = Mealib::builder().build();
+    let n = 64usize;
+    let raw = vec![mealib::Complex32::new(1.0, 0.5); n * n];
+    let image = sar::form_image(&mut ml, &raw, n).expect("SAR image forms");
+    let attribution = image.report.attribution();
+    assert_eq!(attribution.coverage(), 1.0);
+    assert!(!attribution.windows.is_empty());
+    let profile = image.report.profile();
+    validate_chrome_trace(&profile.to_chrome_trace()).expect("SAR run profile round-trips");
+}
+
+#[test]
+fn stap_small_trace_matches_golden() {
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/stap_small.trace.json"
+    );
+    let doc = stap::profile_on_mealib(&StapConfig::small())
+        .profile
+        .to_chrome_trace();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path, &doc).expect("golden file writable");
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("golden trace checked in (run with UPDATE_GOLDEN=1 to bless)");
+    assert_eq!(
+        doc, golden,
+        "STAP-small trace drifted from tests/golden/stap_small.trace.json; \
+         if the change is intended, re-bless with UPDATE_GOLDEN=1"
+    );
+}
