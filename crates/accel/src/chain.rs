@@ -40,7 +40,7 @@ pub fn execute_chained(
     let last = stages.last().expect("nonempty");
     let boundary =
         AccessPattern::sequential_rw(first.mem.bytes_read.get(), last.mem.bytes_written.get());
-    let mut mem_stats = analytic::estimate(mem, &boundary);
+    let mut mem_stats = analytic::try_estimate(mem, &boundary).expect("validated memory config");
     let eff = comps
         .iter()
         .map(|p| AccelModel::new(p.kind()).bandwidth_efficiency())

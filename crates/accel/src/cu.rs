@@ -304,10 +304,11 @@ pub fn run_descriptor(
 
     // Front-end: fetch the descriptor image from DRAM, decode every
     // instruction once.
-    let fetch = analytic::estimate(
+    let fetch = analytic::try_estimate(
         layer.mem(),
         &AccessPattern::sequential_read(desc.size_bytes() as u64),
-    );
+    )
+    .expect("validated memory config");
     let decode_time =
         Seconds::new(instrs.len() as f64 * cost.decode_cycles_per_instr as f64 / cost.clock.get());
     let mut setup_time = fetch.elapsed + decode_time;

@@ -321,7 +321,7 @@ impl AccelModel {
             .expect("invalid accelerator hardware configuration");
         params.validate().expect("invalid accelerator parameters");
         let pattern = self.access_pattern(params, hw);
-        let mut mem_stats = analytic::estimate(mem, &pattern);
+        let mut mem_stats = analytic::try_estimate(mem, &pattern).expect("validated memory config");
         // Apply the DMA-efficiency derate to the memory time.
         let eff = (self.bandwidth_efficiency() * dma_scale).min(0.95);
         mem_stats.elapsed = mem_stats.elapsed / eff;

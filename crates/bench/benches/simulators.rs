@@ -22,7 +22,7 @@ fn bench_dram_engine(c: &mut Criterion) {
 fn bench_dram_analytic(c: &mut Criterion) {
     let cfg = MemoryConfig::hmc_stack();
     c.bench_function("dram_analytic_1GiB", |b| {
-        b.iter(|| analytic::estimate(&cfg, &AccessPattern::sequential_read(1 << 30)))
+        b.iter(|| analytic::try_estimate(&cfg, &AccessPattern::sequential_read(1 << 30)).unwrap())
     });
 }
 

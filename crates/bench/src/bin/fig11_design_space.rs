@@ -6,11 +6,19 @@
 //! the cycle engine (the `engine` column) to cross-check the analytic
 //! bandwidth model; `--jobs N` fans the points across worker threads
 //! with bit-identical output.
+//!
+//! With `--prune`, the static-bounds certifier prices every grid point
+//! in closed form first and the cycle-engine replay runs only for
+//! points no certified point dominates. The Pareto frontier (printed
+//! and summarized in both modes) is bit-identical either way — the
+//! smoke script asserts it — while the number of engine simulations
+//! drops, which the prune-mode summary records.
 
 use mealib_accel::design_space::{
-    fft_reference_workload, spmv_reference_workload, sweep_with, DesignPoint, SweepGrid,
-    SweepOptions,
+    fft_reference_workload, pareto_frontier, spmv_reference_workload, sweep_pruned, sweep_with,
+    DesignPoint, SweepGrid, SweepOptions,
 };
+use mealib_accel::AccelParams;
 use mealib_bench::{banner, section, write_profile, HarnessOpts, JsonSummary};
 use mealib_memsim::engine::{sequential_trace, simulate_trace_profiled, Op};
 use mealib_memsim::MemoryConfig;
@@ -19,8 +27,7 @@ use mealib_sim::TextTable;
 use mealib_tdl::AcceleratorKind;
 use mealib_types::Seconds;
 
-fn print_space(kind: AcceleratorKind, points: &[DesignPoint], paper_range: &str) {
-    section(&format!("{kind} design space (one row per point)"));
+fn point_table(points: &[DesignPoint]) -> TextTable {
     let mut t = TextTable::new(vec![
         "freq", "cores", "block", "row", "GFLOPS", "power", "GF/W", "engine",
     ]);
@@ -36,7 +43,10 @@ fn print_space(kind: AcceleratorKind, points: &[DesignPoint], paper_range: &str)
             format!("{:.0} GB/s", p.engine_gbps),
         ]);
     }
-    print!("{t}");
+    t
+}
+
+fn eff_range(points: &[DesignPoint]) -> (f64, f64) {
     let min = points
         .iter()
         .map(DesignPoint::gflops_per_watt)
@@ -45,8 +55,58 @@ fn print_space(kind: AcceleratorKind, points: &[DesignPoint], paper_range: &str)
         .iter()
         .map(DesignPoint::gflops_per_watt)
         .fold(0.0_f64, f64::max);
+    (min, max)
+}
+
+fn print_space(kind: AcceleratorKind, points: &[DesignPoint], paper_range: &str) {
+    section(&format!("{kind} design space (one row per point)"));
+    print!("{}", point_table(points));
+    let (min, max) = eff_range(points);
     println!();
     println!("{kind} efficiency range: {min:.2} - {max:.2} GFLOPS/W (paper: {paper_range})");
+}
+
+/// Prints the Pareto frontier and records it in the summary with full
+/// f64 precision: identical frontiers produce identical metric values,
+/// which is how the smoke script asserts that `--prune` changed nothing.
+fn report_frontier(kind: AcceleratorKind, points: &[DesignPoint], summary: &mut JsonSummary) {
+    let frontier = pareto_frontier(points);
+    section(&format!("{kind} Pareto frontier"));
+    print!("{}", point_table(&frontier));
+    let k = format!("{kind}").to_lowercase();
+    summary.metric(&format!("{k}_frontier_points"), frontier.len() as f64);
+    summary.metric(
+        &format!("{k}_frontier_gflops_sum"),
+        frontier.iter().map(|p| p.gflops).sum(),
+    );
+    summary.metric(
+        &format!("{k}_frontier_power_sum"),
+        frontier.iter().map(|p| p.power_w).sum(),
+    );
+    summary.metric(
+        &format!("{k}_frontier_engine_sum"),
+        frontier.iter().map(|p| p.engine_gbps).sum(),
+    );
+}
+
+/// Explores one accelerator's design space, pruned or full, and returns
+/// the evaluated points plus `(simulated, pruned)` accounting.
+fn explore(
+    kind: AcceleratorKind,
+    workload: &AccelParams,
+    grid: &SweepGrid,
+    mem: &MemoryConfig,
+    sweep_opts: &SweepOptions,
+    prune: bool,
+) -> (Vec<DesignPoint>, usize, usize) {
+    if prune {
+        let s = sweep_pruned(kind, workload, grid, mem, sweep_opts);
+        (s.points, s.simulated, s.pruned)
+    } else {
+        let points = sweep_with(kind, workload, grid, mem, sweep_opts);
+        let n = points.len();
+        (points, n, 0)
+    }
 }
 
 fn main() {
@@ -64,51 +124,61 @@ fn main() {
         engine_check_bytes: if opts.small { 1 << 20 } else { 64 << 20 },
     };
 
-    let fft = sweep_with(
-        AcceleratorKind::Fft,
-        &fft_reference_workload(),
-        &grid,
-        &mem,
-        &sweep_opts,
-    );
-    print_space(AcceleratorKind::Fft, &fft, "10-56 GFLOPS/W");
-
-    let spmv = sweep_with(
-        AcceleratorKind::Spmv,
-        &spmv_reference_workload(),
-        &grid,
-        &mem,
-        &sweep_opts,
-    );
-    print_space(AcceleratorKind::Spmv, &spmv, "0.18-1.76 GFLOPS/W");
-
     // Deterministic modeled outputs only — no wall times, so summaries
     // from different --jobs values must be byte-identical (the smoke
-    // script asserts this).
-    let mut summary = JsonSummary::new("fig11_design_space");
-    let eff_range = |points: &[DesignPoint]| {
-        let min = points
-            .iter()
-            .map(DesignPoint::gflops_per_watt)
-            .fold(f64::INFINITY, f64::min);
-        let max = points
-            .iter()
-            .map(DesignPoint::gflops_per_watt)
-            .fold(0.0_f64, f64::max);
-        (min, max)
-    };
-    let (fmin, fmax) = eff_range(&fft);
-    let (smin, smax) = eff_range(&spmv);
-    summary.metric("fft_eff_min", fmin);
-    summary.metric("fft_eff_max", fmax);
-    summary.metric("spmv_eff_min", smin);
-    summary.metric("spmv_eff_max", smax);
-    let engine_max = fft
-        .iter()
-        .chain(&spmv)
-        .map(|p| p.engine_gbps)
-        .fold(0.0_f64, f64::max);
-    summary.metric("engine_check_max_gbps", engine_max);
+    // script asserts this). Prune mode uses its own record name: its
+    // point set is a subset, so only the frontier metrics are
+    // comparable against the full sweep.
+    let mut summary = JsonSummary::new(if opts.prune {
+        "fig11_design_space_prune"
+    } else {
+        "fig11_design_space"
+    });
+
+    let mut grid_points = 0usize;
+    let mut engine_max = 0.0_f64;
+    for (kind, workload, paper_range) in [
+        (
+            AcceleratorKind::Fft,
+            fft_reference_workload(),
+            "10-56 GFLOPS/W",
+        ),
+        (
+            AcceleratorKind::Spmv,
+            spmv_reference_workload(),
+            "0.18-1.76 GFLOPS/W",
+        ),
+    ] {
+        let (points, simulated, pruned) =
+            explore(kind, &workload, &grid, &mem, &sweep_opts, opts.prune);
+        grid_points = simulated + pruned;
+        print_space(kind, &points, paper_range);
+        report_frontier(kind, &points, &mut summary);
+        let k = format!("{kind}").to_lowercase();
+        if opts.prune {
+            println!();
+            println!(
+                "{kind} bounds pruning: {simulated}/{grid_points} points simulated, {pruned} \
+                 provably dominated"
+            );
+            summary.metric(&format!("{k}_simulated"), simulated as f64);
+            summary.metric(&format!("{k}_pruned"), pruned as f64);
+        } else {
+            let (min, max) = eff_range(&points);
+            summary.metric(&format!("{k}_eff_min"), min);
+            summary.metric(&format!("{k}_eff_max"), max);
+            engine_max = points
+                .iter()
+                .map(|p| p.engine_gbps)
+                .fold(engine_max, f64::max);
+        }
+    }
+    if opts.prune {
+        summary.metric("grid_points", grid_points as f64);
+    } else {
+        summary.metric("engine_check_max_gbps", engine_max);
+    }
+
     if opts.profile.is_some() {
         // Cycle-windowed replay of the engine cross-check stream: one
         // counter timeline per vault at 4096-cycle windows.

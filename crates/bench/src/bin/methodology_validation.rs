@@ -110,7 +110,7 @@ fn main() {
                 cursor,
                 sim.elapsed,
             );
-            let est = analytic::estimate(&cfg, &case.pattern);
+            let est = analytic::try_estimate(&cfg, &case.pattern).expect("validated config");
             let ratio = est.elapsed.get() / sim.elapsed.get();
             summary.metric(&format!("ratio_{}_case{i}", cfg.name), ratio);
             let fmt_rate = |r: Option<f64>| {

@@ -27,6 +27,9 @@ use mealib_obs::Profile;
 /// * `--jobs <N>` — worker threads for the parallel sweep paths
 ///   (default 1 = serial). Modeled results are identical for any `N`;
 ///   only wall-clock time changes.
+/// * `--prune` — let the static-bounds certifier skip provably-dominated
+///   design points before the cycle-engine replay (harnesses that sweep
+///   a design space honor it; the Pareto frontier is unchanged).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HarnessOpts {
     /// Emit the JSON summary line.
@@ -39,6 +42,8 @@ pub struct HarnessOpts {
     pub profile: Option<PathBuf>,
     /// Worker threads for parallel sweeps (1 = serial).
     pub jobs: usize,
+    /// Prune dominated design points via the static-bounds certifier.
+    pub prune: bool,
 }
 
 impl Default for HarnessOpts {
@@ -49,6 +54,7 @@ impl Default for HarnessOpts {
             trace: None,
             profile: None,
             jobs: 1,
+            prune: false,
         }
     }
 }
@@ -68,6 +74,7 @@ impl HarnessOpts {
             match arg.as_str() {
                 "--json" => opts.json = true,
                 "--small" => opts.small = true,
+                "--prune" => opts.prune = true,
                 "--trace" => {
                     opts.trace = args.next().map(PathBuf::from);
                 }
@@ -197,10 +204,12 @@ mod tests {
                 "--jobs",
                 "4",
                 "--json",
+                "--prune",
             ]
             .map(String::from),
         );
-        assert!(opts.json && opts.small);
+        assert!(opts.json && opts.small && opts.prune);
+        assert!(!HarnessOpts::parse(Vec::new()).prune);
         assert_eq!(
             opts.trace.as_deref(),
             Some(std::path::Path::new("/tmp/t.jsonl"))

@@ -93,6 +93,73 @@ impl LibApi {
         })
     }
 
+    /// Representative Table-2-scale parameters for this API's
+    /// accelerator, used by the placement model to compute the kernel's
+    /// arithmetic intensity. `None` for APIs with no accelerator.
+    fn reference_params(self) -> Option<mealib_accel::AccelParams> {
+        use mealib_accel::AccelParams;
+        Some(match self.accelerator()? {
+            AcceleratorKind::Axpy => AccelParams::Axpy {
+                n: 1 << 26,
+                alpha: 2.0,
+                incx: 1,
+                incy: 1,
+            },
+            AcceleratorKind::Dot => AccelParams::Dot {
+                n: 1 << 26,
+                incx: 1,
+                incy: 1,
+                complex: matches!(self, LibApi::CdotcSub),
+            },
+            AcceleratorKind::Gemv => AccelParams::Gemv { m: 8192, n: 8192 },
+            AcceleratorKind::Spmv => AccelParams::Spmv {
+                rows: 1 << 20,
+                cols: 1 << 20,
+                nnz: 13 << 20,
+            },
+            AcceleratorKind::Resmp => AccelParams::Resmp {
+                blocks: 4096,
+                in_per_block: 4096,
+                out_per_block: 4096,
+            },
+            AcceleratorKind::Fft => AccelParams::Fft {
+                n: 8192,
+                batch: 8192,
+            },
+            AcceleratorKind::Reshp => AccelParams::Reshp {
+                rows: 16384,
+                cols: 16384,
+                elem_bytes: 4,
+            },
+        })
+    }
+
+    /// Bounds-driven placement decision: compares the kernel's
+    /// arithmetic intensity (FLOPs per byte, from the accelerator
+    /// model's closed forms) against the ridge point of `host`'s
+    /// roofline. A kernel below the ridge is bandwidth-starved on the
+    /// host, so near-memory placement wins; a kernel at or above it is
+    /// compute-bound and stays on the host cores — as do APIs with no
+    /// accelerator at all.
+    pub fn placement(self, host: &mealib_host::Platform) -> Placement {
+        let (Some(kind), Some(params)) = (self.accelerator(), self.reference_params()) else {
+            return Placement::Host;
+        };
+        let model = mealib_accel::AccelModel::new(kind);
+        let hw = mealib_accel::AccelHwConfig::mealib_default();
+        let bytes = model.access_pattern(&params, &hw).useful_bytes();
+        let flops = model.flops(&params);
+        // Pure data movement (RESHP) has zero intensity: always below
+        // any ridge, always worth placing next to the memory.
+        let intensity = flops as f64 / bytes.max(1) as f64;
+        let ridge = host.peak_flops() / host.peak_bandwidth().get();
+        if intensity < ridge {
+            Placement::Accelerator
+        } else {
+            Placement::Host
+        }
+    }
+
     /// *All* pointer-argument positions (every buffer the accelerator
     /// touches must live in MEALib-managed contiguous memory, not just
     /// the pass input/output).
@@ -109,6 +176,16 @@ impl LibApi {
             LibApi::FftwExecute | LibApi::Cherk | LibApi::Ctrsm => &[],
         }
     }
+}
+
+/// Where a recognized library call should execute, as decided by
+/// [`LibApi::placement`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Offload to the in-stack accelerator layer.
+    Accelerator,
+    /// Keep on the host cores (compute-bound, or no accelerator).
+    Host,
 }
 
 /// A semantic error the compiler cannot recover from.
@@ -456,8 +533,11 @@ fn scan_call(
         return Ok(());
     }
     let Some(kind) = api.accelerator() else {
-        return Ok(()); // compute-bounded: stays on the host
+        return Ok(()); // no accelerator: stays on the host
     };
+    if api.placement(&mealib_host::Platform::haswell()) == Placement::Host {
+        return Ok(()); // compute-bounded on the host roofline
+    }
     let (in_pos, out_pos) = api
         .buffer_positions()
         .expect("accelerable APIs have positions");
@@ -749,6 +829,43 @@ mod tests {
         }
         assert_eq!(placement_pragma("mealib stack(3)"), Some(3));
         assert_eq!(placement_pragma("mealib stack( 11 )"), Some(11));
+    }
+
+    #[test]
+    fn placement_offloads_memory_bound_apis_and_keeps_compute_bound_home() {
+        let host = mealib_host::Platform::haswell();
+        for api in [
+            LibApi::Saxpy,
+            LibApi::Sdot,
+            LibApi::CdotcSub,
+            LibApi::Sgemv,
+            LibApi::ScsrGemv,
+            LibApi::Interpolate1d,
+            LibApi::Simatcopy,
+        ] {
+            assert_eq!(
+                api.placement(&host),
+                Placement::Accelerator,
+                "{api:?} sits below the Haswell ridge point"
+            );
+        }
+        for api in [LibApi::Cherk, LibApi::Ctrsm, LibApi::PlanGuruDft] {
+            assert_eq!(api.placement(&host), Placement::Host, "{api:?}");
+        }
+    }
+
+    #[test]
+    fn placement_follows_the_host_roofline() {
+        // A bandwidth-rich, compute-starved host drops its ridge point
+        // below every kernel's intensity: nothing is worth offloading.
+        let mut host = mealib_host::Platform::haswell();
+        host.flops_per_cycle = 1e-6;
+        host.mem = mealib_memsim::MemoryConfig::hmc_stack();
+        assert_eq!(LibApi::Saxpy.placement(&host), Placement::Host);
+        assert_eq!(LibApi::Sgemv.placement(&host), Placement::Host);
+        // RESHP moves data without computing: zero intensity beats any
+        // positive ridge.
+        assert_eq!(LibApi::Simatcopy.placement(&host), Placement::Accelerator);
     }
 
     #[test]

@@ -152,7 +152,8 @@ pub fn run_op(platform: &Platform, op: &AccelParams, flavor: CodeFlavor) -> Host
     let package_energy = platform.package.at_utilization(util).for_duration(time);
 
     // DRAM energy for the same traffic.
-    let dram = analytic::estimate(&platform.mem, &AccessPattern::sequential_read(bytes));
+    let dram = analytic::try_estimate(&platform.mem, &AccessPattern::sequential_read(bytes))
+        .expect("validated platform memory config");
     let dram_energy = platform
         .mem
         .energy
@@ -207,7 +208,8 @@ pub fn run_custom(
         compute_share + (1.0 - compute_share) * 0.55
     };
     let package_energy = platform.package.at_utilization(util).for_duration(time);
-    let dram = analytic::estimate(&platform.mem, &AccessPattern::sequential_read(bytes));
+    let dram = analytic::try_estimate(&platform.mem, &AccessPattern::sequential_read(bytes))
+        .expect("validated platform memory config");
     let dram_energy = platform
         .mem
         .energy

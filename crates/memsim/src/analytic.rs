@@ -24,13 +24,16 @@ use crate::stats::TraceStats;
 ///
 /// # Panics
 ///
-/// Panics if `config` fails validation. Use [`try_estimate`] to get a
-/// typed error instead.
+/// Panics if `config` fails validation, which makes it unusable for
+/// lint-time evaluation of arbitrary configurations — the bounds
+/// analyzer and every in-tree caller go through [`try_estimate`]
+/// instead.
+#[deprecated(
+    since = "0.1.0",
+    note = "panics on configs try_estimate rejects; call try_estimate and handle the ConfigError"
+)]
 pub fn estimate(config: &MemoryConfig, pattern: &AccessPattern) -> TraceStats {
-    config
-        .validate()
-        .unwrap_or_else(|e| panic!("invalid memory configuration: {e}"));
-    estimate_validated(config, pattern)
+    try_estimate(config, pattern).unwrap_or_else(|e| panic!("invalid memory configuration: {e}"))
 }
 
 /// Like [`estimate`], but reports an invalid configuration as a typed
@@ -81,20 +84,41 @@ fn estimate_validated(config: &MemoryConfig, pattern: &AccessPattern) -> TraceSt
             s.bytes_read = Bytes::new(elem_bytes * count);
             finish(config, s)
         }
+        // Recurse through the already-validated path: re-validating per
+        // part was both wasted work and, historically, the panic route
+        // `try_estimate` callers could still hit on nested patterns.
         AccessPattern::Then(parts) => parts
             .iter()
-            .map(|p| estimate(config, p))
+            .map(|p| estimate_validated(config, p))
             .fold(TraceStats::default(), |acc, s| acc.merge_sequential(&s)),
     }
 }
 
 /// Effective sustainable bandwidth of `pattern` on `config` — a
 /// convenience wrapper many accelerator models use directly.
+///
+/// # Errors
+///
+/// Returns the first [`mealib_types::ConfigError`] found in `config`.
+pub fn try_effective_bandwidth(
+    config: &MemoryConfig,
+    pattern: &AccessPattern,
+) -> Result<mealib_types::BytesPerSec, mealib_types::ConfigError> {
+    Ok(try_estimate(config, pattern)?.achieved_bandwidth())
+}
+
+/// Effective sustainable bandwidth of `pattern` on `config`.
+///
+/// # Panics
+///
+/// Panics if `config` fails validation; use
+/// [`try_effective_bandwidth`] at lint time.
 pub fn effective_bandwidth(
     config: &MemoryConfig,
     pattern: &AccessPattern,
 ) -> mealib_types::BytesPerSec {
-    estimate(config, pattern).achieved_bandwidth()
+    try_effective_bandwidth(config, pattern)
+        .unwrap_or_else(|e| panic!("invalid memory configuration: {e}"))
 }
 
 fn startup_cycles(config: &MemoryConfig) -> u64 {
@@ -265,6 +289,12 @@ mod tests {
     use super::*;
     use crate::engine::{self, Op};
 
+    /// Shadows the deprecated panicking entry point: every test config
+    /// validates, so the typed error path is just unwrapped.
+    fn estimate(config: &MemoryConfig, pattern: &AccessPattern) -> TraceStats {
+        try_estimate(config, pattern).expect("test configs validate")
+    }
+
     fn single_channel_config() -> MemoryConfig {
         let mut c = MemoryConfig::ddr_dual_channel();
         c.mapping = crate::address::AddressMapping::Interleaved {
@@ -431,5 +461,82 @@ mod tests {
         assert_eq!(gcd(7, 13), 1);
         assert_eq!(gcd(0, 5), 5);
         assert_eq!(gcd(0, 0), 1);
+    }
+
+    // ----- regression: degenerate configs must error, never panic -----
+
+    #[test]
+    fn zero_row_config_is_a_typed_error() {
+        let mut c = MemoryConfig::ddr_dual_channel();
+        c.mapping = crate::address::AddressMapping::Interleaved {
+            units: 2,
+            banks_per_unit: 8,
+            row_bytes: 0,
+            line_bytes: 64,
+        };
+        let err = try_estimate(&c, &AccessPattern::sequential_read(1 << 20));
+        assert!(err.is_err(), "zero-row mapping must be rejected");
+        // The historical panic path: a nested Then re-validated per part
+        // inside the already-validated body. The typed path must reject
+        // the whole pattern up front instead.
+        let nested = AccessPattern::Then(vec![
+            AccessPattern::sequential_read(1 << 20),
+            AccessPattern::sequential_write(1 << 20),
+        ]);
+        assert!(try_estimate(&c, &nested).is_err());
+        assert!(try_effective_bandwidth(&c, &nested).is_err());
+    }
+
+    #[test]
+    fn single_vault_config_estimates_fine() {
+        let mut c = MemoryConfig::hmc_stack();
+        c.mapping = crate::address::AddressMapping::Interleaved {
+            units: 1,
+            banks_per_unit: 8,
+            row_bytes: 4096,
+            line_bytes: 256,
+        };
+        let s = try_estimate(&c, &AccessPattern::sequential_read(8 << 20)).expect("single vault");
+        assert!(s.elapsed.get() > 0.0);
+        assert_eq!(s.bytes_read.get(), 8 << 20);
+    }
+
+    #[test]
+    fn asymmetric_split_edges_error_or_estimate_never_panic() {
+        // Sweep the split across alignment edges: every outcome must be
+        // a value or a typed error.
+        for split in [0u64, 1, 63, 64, 4096, (1 << 30) - 1, 1 << 30] {
+            let mut c = MemoryConfig::ddr_dual_channel();
+            c.mapping = crate::address::AddressMapping::Asymmetric {
+                low_units: 2,
+                banks_per_unit: 8,
+                row_bytes: 8192,
+                line_bytes: 64,
+                split: mealib_types::PhysAddr::new(split),
+            };
+            let _ = try_estimate(&c, &AccessPattern::sequential_read(1 << 20));
+        }
+    }
+
+    #[test]
+    fn then_with_invalid_part_shape_still_sums_validated_parts() {
+        // Nested Then patterns price identically to their flattening.
+        let c = MemoryConfig::hmc_stack();
+        let flat = estimate(
+            &c,
+            &AccessPattern::Then(vec![
+                AccessPattern::sequential_read(1 << 20),
+                AccessPattern::sequential_write(1 << 20),
+            ]),
+        );
+        let nested = estimate(
+            &c,
+            &AccessPattern::Then(vec![AccessPattern::Then(vec![
+                AccessPattern::sequential_read(1 << 20),
+                AccessPattern::sequential_write(1 << 20),
+            ])]),
+        );
+        assert_eq!(flat.bytes_moved(), nested.bytes_moved());
+        assert!((flat.elapsed.get() - nested.elapsed.get()).abs() < 1e-12);
     }
 }

@@ -22,10 +22,10 @@
 //! ```
 //! use mealib_memsim::config::MemoryConfig;
 //! use mealib_memsim::pattern::AccessPattern;
-//! use mealib_memsim::analytic::estimate;
+//! use mealib_memsim::analytic::try_estimate;
 //!
 //! let hmc = MemoryConfig::hmc_stack();
-//! let stats = estimate(&hmc, &AccessPattern::sequential_read(1 << 30));
+//! let stats = try_estimate(&hmc, &AccessPattern::sequential_read(1 << 30)).unwrap();
 //! // A full-stack sequential stream should come close to peak bandwidth.
 //! assert!(stats.achieved_bandwidth().as_gb_per_sec() > 300.0);
 //! ```
@@ -35,6 +35,7 @@
 
 pub mod address;
 pub mod analytic;
+pub mod bounds;
 pub mod config;
 pub mod energy;
 pub mod engine;

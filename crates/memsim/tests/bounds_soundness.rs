@@ -1,0 +1,140 @@
+//! Soundness proptests for the static bounds kernel: for random traces
+//! and valid configs across all three interleaving modes, the certified
+//! intervals must contain the cycle engine's measurement on every
+//! counter, and the command/byte bounds must be exact.
+
+use mealib_memsim::address::AddressMapping;
+use mealib_memsim::bounds::trace_bounds;
+use mealib_memsim::engine::{simulate_trace, simulate_trace_detailed, Op, Request};
+use mealib_memsim::MemoryConfig;
+use mealib_types::PhysAddr;
+use proptest::prelude::*;
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    (0u64..(1 << 24), 1u64..4096, any::<bool>()).prop_map(|(addr, bytes, write)| {
+        if write {
+            Request::write(addr, bytes)
+        } else {
+            Request::read(addr, bytes)
+        }
+    })
+}
+
+/// Valid mappings spanning all three interleaving modes with varied
+/// structural parameters.
+fn mapping_strategy() -> impl Strategy<Value = AddressMapping> {
+    let units = prop_oneof![Just(1usize), Just(2), Just(4), Just(8), Just(32)];
+    let banks = prop_oneof![Just(1usize), Just(2), Just(8)];
+    let row = prop_oneof![Just(1024u64), Just(4096), Just(8192)];
+    let line = prop_oneof![Just(64u64), Just(256), Just(1024)];
+    (units, banks, row, line, 0u8..3, 0u64..4).prop_map(
+        |(units, banks_per_unit, row_bytes, line_bytes, mode, split_sel)| {
+            let line_bytes = line_bytes.min(row_bytes);
+            match mode {
+                0 => AddressMapping::Interleaved {
+                    units,
+                    banks_per_unit,
+                    row_bytes,
+                    line_bytes,
+                },
+                1 => AddressMapping::XorInterleaved {
+                    units,
+                    banks_per_unit,
+                    row_bytes,
+                    line_bytes,
+                },
+                _ => AddressMapping::Asymmetric {
+                    low_units: units,
+                    banks_per_unit,
+                    row_bytes,
+                    line_bytes,
+                    // Split points at and around the trace's address
+                    // range, including the degenerate all-high case.
+                    split: PhysAddr::new(split_sel * (1 << 23)),
+                },
+            }
+        },
+    )
+}
+
+fn config_strategy() -> impl Strategy<Value = MemoryConfig> {
+    (
+        prop_oneof![
+            Just(MemoryConfig::hmc_stack()),
+            Just(MemoryConfig::ddr_dual_channel()),
+            Just(MemoryConfig::msas_dram()),
+        ],
+        mapping_strategy(),
+    )
+        .prop_map(|(mut cfg, mapping)| {
+            cfg.mapping = mapping;
+            cfg
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The headline soundness property: lower <= measured <= upper on
+    /// every certified counter, for every valid config in every
+    /// interleaving mode.
+    #[test]
+    fn bounds_contain_engine_measurement(
+        cfg in config_strategy(),
+        trace in proptest::collection::vec(request_strategy(), 0..24),
+    ) {
+        let bounds = trace_bounds(&cfg, &trace).unwrap();
+        let measured = simulate_trace(&cfg, &trace);
+        let violation = bounds.check_contains(&measured);
+        prop_assert!(violation.is_none(), "{}: {}", cfg.name, violation.unwrap());
+        // Command counts are certified exactly, not just bounded.
+        let run = simulate_trace_detailed(&cfg, &trace);
+        let reads: u64 = run.vaults.iter().map(|v| v.read_bursts).sum();
+        let writes: u64 = run.vaults.iter().map(|v| v.write_bursts).sum();
+        prop_assert!(bounds.read_bursts.is_exact());
+        prop_assert!(bounds.write_bursts.is_exact());
+        prop_assert_eq!(bounds.read_bursts.lo, reads as f64);
+        prop_assert_eq!(bounds.write_bursts.lo, writes as f64);
+        // Per-unit traffic is exact too.
+        let per_unit: Vec<u64> =
+            run.vaults.iter().map(|v| v.read_bursts + v.write_bursts).collect();
+        prop_assert_eq!(&bounds.unit_bursts, &per_unit);
+    }
+
+    /// Affine pattern with static trip counts: a strided sweep. Byte and
+    /// command bounds collapse to the exact measured point.
+    #[test]
+    fn affine_static_patterns_are_exact(
+        cfg in config_strategy(),
+        stride in prop_oneof![Just(256u64), Just(1024), Just(8192)],
+        elem in prop_oneof![Just(64u64), Just(256)],
+        count in 1u64..512,
+        write in any::<bool>(),
+    ) {
+        let op = if write { Op::Write } else { Op::Read };
+        let trace: Vec<Request> = (0..count)
+            .map(|i| Request { addr: PhysAddr::new(i * stride), bytes: elem.min(stride), op })
+            .collect();
+        let bounds = trace_bounds(&cfg, &trace).unwrap();
+        let measured = simulate_trace(&cfg, &trace);
+        prop_assert!(bounds.bytes_read.is_exact() && bounds.bytes_written.is_exact());
+        prop_assert_eq!(bounds.bytes_read.lo, measured.bytes_read.get() as f64);
+        prop_assert_eq!(bounds.bytes_written.lo, measured.bytes_written.get() as f64);
+        prop_assert!(bounds.cycles.contains(measured.cycles.get() as f64));
+        prop_assert!(bounds.energy.contains(measured.energy.get()));
+    }
+
+    /// Concatenating traces: bounds compose monotonically — the bound on
+    /// a prefix never exceeds the bound on the whole trace.
+    #[test]
+    fn bounds_grow_with_the_trace(
+        trace in proptest::collection::vec(request_strategy(), 1..20),
+    ) {
+        let cfg = MemoryConfig::hmc_stack();
+        let full = trace_bounds(&cfg, &trace).unwrap();
+        let prefix = trace_bounds(&cfg, &trace[..trace.len() - 1]).unwrap();
+        prop_assert!(prefix.cycles.hi <= full.cycles.hi);
+        prop_assert!(prefix.total_bursts() <= full.total_bursts());
+        prop_assert!(prefix.energy.hi <= full.energy.hi);
+    }
+}

@@ -71,7 +71,7 @@ proptest! {
         read in 0u64..(1 << 32),
         written in 0u64..(1 << 32),
     ) {
-        let s = analytic::estimate(&cfg, &AccessPattern::sequential_rw(read, written));
+        let s = analytic::try_estimate(&cfg, &AccessPattern::sequential_rw(read, written)).unwrap();
         prop_assert_eq!(s.bytes_read.get(), read);
         prop_assert_eq!(s.bytes_written.get(), written);
         prop_assert!(s.elapsed.get().is_finite() && s.elapsed.get() >= 0.0);
@@ -95,8 +95,8 @@ proptest! {
         b in 0u64..(1 << 30),
     ) {
         let (small, large) = (a.min(b), a.max(b));
-        let ts = analytic::estimate(&cfg, &AccessPattern::sequential_read(small)).elapsed;
-        let tl = analytic::estimate(&cfg, &AccessPattern::sequential_read(large)).elapsed;
+        let ts = analytic::try_estimate(&cfg, &AccessPattern::sequential_read(small)).unwrap().elapsed;
+        let tl = analytic::try_estimate(&cfg, &AccessPattern::sequential_read(large)).unwrap().elapsed;
         prop_assert!(tl >= ts);
     }
 
@@ -108,11 +108,12 @@ proptest! {
         count in 1u64..4096,
     ) {
         let cfg = MemoryConfig::ddr_dual_channel();
-        let strided = analytic::estimate(
+        let strided = analytic::try_estimate(
             &cfg,
             &AccessPattern::Strided { stride, elem_bytes: 4, count, write: false },
-        );
-        let seq = analytic::estimate(&cfg, &AccessPattern::sequential_read(4 * count));
+        )
+        .unwrap();
+        let seq = analytic::try_estimate(&cfg, &AccessPattern::sequential_read(4 * count)).unwrap();
         prop_assert!(
             strided.elapsed.get() >= seq.elapsed.get() * 0.99,
             "strided {} beat sequential {}",

@@ -131,6 +131,13 @@ pub struct ExperimentOptions {
     /// operation through a sanitized [`Runtime`] and records the MEA1xx
     /// coherence verdict in [`ExperimentReport::sanitizer`].
     pub sanitizer: Sanitizer,
+    /// Modeled energy envelope for the MEALib row. When set (and
+    /// verification is not [`VerifyMode::Off`]), a run whose modeled
+    /// MEALib energy exceeds the budget draws an MEA203
+    /// ([`mealib_types::ErrorCode::BoundsEnergyBudget`]) diagnostic:
+    /// `Enforce` fails the experiment, `Warn` records it in
+    /// [`ExperimentReport::verify`].
+    pub energy_budget: Option<mealib_types::Joules>,
 }
 
 impl ExperimentOptions {
@@ -154,6 +161,12 @@ impl ExperimentOptions {
     /// Installs a shadow-memory sanitizer ([`Sanitizer::active`]).
     pub fn sanitizer(mut self, san: Sanitizer) -> Self {
         self.sanitizer = san;
+        self
+    }
+
+    /// Declares a modeled energy envelope for the MEALib row.
+    pub fn energy_budget(mut self, budget: mealib_types::Joules) -> Self {
+        self.energy_budget = Some(budget);
         self
     }
 }
@@ -237,6 +250,30 @@ pub fn run_experiment(
             flops: r.flops,
             bytes: r.mem.bytes_moved().get(),
         });
+    }
+    // MEA203-style energy-envelope check over the modeled MEALib row,
+    // honoring the verification policy.
+    let mut verify = verify;
+    if let Some(budget) = opts.energy_budget {
+        let modeled = rows.last().expect("five rows").energy;
+        if modeled.get() > budget.get() && !matches!(opts.verify, VerifyMode::Off) {
+            let mut r = mealib_types::Report::new();
+            r.push(mealib_types::Diagnostic::error(
+                mealib_types::ErrorCode::BoundsEnergyBudget,
+                format!(
+                    "modeled MEALib energy {:.3e} J exceeds the declared budget {:.3e} J",
+                    modeled.get(),
+                    budget.get()
+                ),
+            ));
+            match opts.verify {
+                VerifyMode::Enforce => return Err(r),
+                _ => match verify.as_mut() {
+                    Some(v) => v.merge(r),
+                    None => verify = Some(r),
+                },
+            }
+        }
     }
     let sanitizer = if opts.sanitizer.is_active() {
         drive_sanitized(op, &opts.sanitizer);
@@ -337,6 +374,44 @@ mod tests {
         run_experiment(op, &ExperimentOptions::default())
             .expect("preflight clean")
             .comparison
+    }
+
+    #[test]
+    fn energy_budget_enforcement_draws_mea203() {
+        let op = AccelParams::Axpy {
+            n: 1 << 20,
+            alpha: 2.0,
+            incx: 1,
+            incy: 1,
+        };
+        // An impossibly tight envelope fails under Enforce with the
+        // bounds code...
+        let err = run_experiment(
+            &op,
+            &ExperimentOptions::default().energy_budget(mealib_types::Joules::from_picos(1.0)),
+        )
+        .expect_err("picjoule budget must fail");
+        assert!(
+            err.has_code(mealib_types::ErrorCode::BoundsEnergyBudget),
+            "{err}"
+        );
+        // ...is only recorded under Warn...
+        let warned = run_experiment(
+            &op,
+            &ExperimentOptions::default()
+                .verify(VerifyMode::Warn)
+                .energy_budget(mealib_types::Joules::from_picos(1.0)),
+        )
+        .expect("Warn never fails");
+        assert!(warned
+            .verify
+            .is_some_and(|r| r.has_code(mealib_types::ErrorCode::BoundsEnergyBudget)));
+        // ...and a generous envelope passes untouched.
+        let ok = run_experiment(
+            &op,
+            &ExperimentOptions::default().energy_budget(mealib_types::Joules::from_millis(1e6)),
+        );
+        assert!(ok.is_ok());
     }
 
     #[test]

@@ -17,7 +17,12 @@
 //!    mapping that places the command space on the near DIMM;
 //! 5. **dataflow & coherence** — a representative explicit session
 //!    following the canonical host protocol (initialize, flush, run,
-//!    flush, read back) is run through the MEA1xx dataflow analysis.
+//!    flush, read back) is run through the MEA1xx dataflow analysis;
+//! 6. **static cost & capacity bounds** — the same session, with its
+//!    buffer extents and the experiment's time/energy envelope
+//!    declared, is certified by the MEA2xx bounds analyzer: peak
+//!    footprint vs. stack capacity, demanded throughput vs. the layer
+//!    roofline, vault skew, and the modeled energy floor.
 //!
 //! The verdict is computed once per process and cached; the fast path of
 //! [`crate::experiment::run_experiment`] under [`VerifyMode::Enforce`] is
@@ -36,7 +41,7 @@ use mealib_types::{Bytes, PhysAddr, Report};
 
 use crate::platforms::AcceleratedPlatform;
 
-/// Runs all four verification passes over the experiment setup and
+/// Runs all six verification passes over the experiment setup and
 /// returns the combined report (errors *and* warnings).
 pub fn preflight() -> Report {
     let mut report = Report::new();
@@ -116,6 +121,25 @@ HOST READ pre.y
         Err(e) => panic!("preflight session fixture failed to parse: {e}"),
     }
 
+    // Pass 6: the MEA2xx static cost & capacity certification over the
+    // same session, with the buffer extents the runtime allocated and a
+    // generous-but-finite time/energy envelope declared so every bounds
+    // pass actually certifies something.
+    let bounded = format!(
+        "BUF pre.x 0x1000 0x400000\n\
+         BUF pre.y 0x401000 0x400000\n\
+         BUDGET TIME 1.0\n\
+         BUDGET ENERGY 10.0\n\
+         {session}"
+    );
+    match mealib_verify::dataflow::parse_session(&bounded) {
+        Ok(s) => report.merge(mealib_verify::bounds::verify_session_bounds(
+            &s,
+            &mealib_verify::bounds::BoundsEnv::default(),
+        )),
+        Err(e) => panic!("preflight bounds fixture failed to parse: {e}"),
+    }
+
     report
 }
 
@@ -151,6 +175,29 @@ mod tests {
         assert!(preflight_checked().is_ok());
         // Second call hits the cache; still clean.
         assert!(preflight_checked().is_ok());
+    }
+
+    #[test]
+    fn bounds_pass_rejects_a_budget_breaking_session() {
+        // Pass-6 plumbing: the same fixture shape, but with an energy
+        // budget the modeled floor provably exceeds, must draw MEA203.
+        let src = "BUF pre.x 0x1000 0x400000\n\
+                   BUF pre.y 0x401000 0x400000\n\
+                   BUDGET ENERGY 1e-9\n\
+                   HOST WRITE pre.x\n\
+                   FLUSH\n\
+                   LOOP 2 {\n  PASS in=pre.x out=pre.y {\n    COMP FFT params=\"fft.para\"\n  }\n}\n\
+                   FLUSH\n\
+                   HOST READ pre.y\n";
+        let s = mealib_verify::dataflow::parse_session(src).expect("fixture parses");
+        let report = mealib_verify::bounds::verify_session_bounds(
+            &s,
+            &mealib_verify::bounds::BoundsEnv::default(),
+        );
+        assert!(
+            report.has_code(mealib_types::ErrorCode::BoundsEnergyBudget),
+            "{report}"
+        );
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //! * `MEA100`–`MEA109` — dataflow & coherence analysis (static pass in
 //!   `mealib-verify::dataflow`, mirrored dynamically by the runtime's
 //!   shadow-memory `Sanitizer`)
+//! * `MEA200`–`MEA219` — symbolic cost & capacity certification
+//!   (`mealib-verify::bounds`): interval bounds on bytes moved, DRAM
+//!   commands, peak live footprint, vault skew, and modeled energy,
+//!   proven sound against the cycle engine by a differential harness
 
 use core::fmt;
 
@@ -126,11 +130,28 @@ pub enum ErrorCode {
     /// A loop body's buffer dependences form a cycle with no external
     /// definition feeding it; no iteration can ever make progress.
     DfCyclicDependence,
+
+    // ----- Symbolic cost & capacity certification (MEA200–MEA219) -----
+    /// The program's peak live-buffer footprint provably exceeds the
+    /// modeled stack capacity; out-of-core tiling is a precondition for
+    /// running it.
+    BoundsCapacityOverflow,
+    /// A phase's demanded throughput (byte lower bound over its time
+    /// budget) provably exceeds the roofline of the memory layer it
+    /// actually uses; no schedule can meet the budget.
+    BoundsBandwidthInfeasible,
+    /// The address mapping provably concentrates all of a phase's
+    /// traffic onto a single vault/unit although several are available;
+    /// the stack degenerates to one unit's bandwidth.
+    BoundsVaultSkew,
+    /// The modeled energy lower bound provably exceeds the declared
+    /// energy budget.
+    BoundsEnergyBudget,
 }
 
 impl ErrorCode {
     /// Every code, in numeric order (drives the rendered error table).
-    pub const ALL: [ErrorCode; 33] = [
+    pub const ALL: [ErrorCode; 37] = [
         ErrorCode::TdlInPlaceChain,
         ErrorCode::TdlChainTooLong,
         ErrorCode::TdlIllegalChain,
@@ -164,6 +185,10 @@ impl ErrorCode {
         ErrorCode::DfStaleRead,
         ErrorCode::DfChainOverCapacity,
         ErrorCode::DfCyclicDependence,
+        ErrorCode::BoundsCapacityOverflow,
+        ErrorCode::BoundsBandwidthInfeasible,
+        ErrorCode::BoundsVaultSkew,
+        ErrorCode::BoundsEnergyBudget,
     ];
 
     /// The numeric part of the stable code.
@@ -202,6 +227,10 @@ impl ErrorCode {
             ErrorCode::DfStaleRead => 103,
             ErrorCode::DfChainOverCapacity => 104,
             ErrorCode::DfCyclicDependence => 105,
+            ErrorCode::BoundsCapacityOverflow => 200,
+            ErrorCode::BoundsBandwidthInfeasible => 201,
+            ErrorCode::BoundsVaultSkew => 202,
+            ErrorCode::BoundsEnergyBudget => 203,
         }
     }
 
@@ -241,6 +270,10 @@ impl ErrorCode {
             ErrorCode::DfStaleRead => "MEA103",
             ErrorCode::DfChainOverCapacity => "MEA104",
             ErrorCode::DfCyclicDependence => "MEA105",
+            ErrorCode::BoundsCapacityOverflow => "MEA200",
+            ErrorCode::BoundsBandwidthInfeasible => "MEA201",
+            ErrorCode::BoundsVaultSkew => "MEA202",
+            ErrorCode::BoundsEnergyBudget => "MEA203",
         }
     }
 
@@ -280,6 +313,25 @@ impl ErrorCode {
             ErrorCode::DfStaleRead => "stale read across the cache coherence boundary",
             ErrorCode::DfChainOverCapacity => "chain exceeds CU stream buffering",
             ErrorCode::DfCyclicDependence => "cyclic buffer dependence can never drain",
+            ErrorCode::BoundsCapacityOverflow => "peak live footprint exceeds stack capacity",
+            ErrorCode::BoundsBandwidthInfeasible => "demanded throughput exceeds layer roofline",
+            ErrorCode::BoundsVaultSkew => "all traffic maps to a single vault",
+            ErrorCode::BoundsEnergyBudget => "modeled energy exceeds declared budget",
+        }
+    }
+
+    /// The allocation band the code belongs to, e.g. `"MEA2xx"`.
+    ///
+    /// Bands group codes by pass family and are the granularity at which
+    /// `mealint --deny`/`--allow` escalate or demote findings: `MEA0xx`
+    /// covers the artifact checks (TDL, descriptor, memory config,
+    /// physical memory), `MEA1xx` the dataflow/coherence analysis, and
+    /// `MEA2xx` the symbolic cost & capacity certification.
+    pub fn band(self) -> &'static str {
+        match self.number() {
+            0..=99 => "MEA0xx",
+            100..=199 => "MEA1xx",
+            _ => "MEA2xx",
         }
     }
 }
@@ -508,6 +560,21 @@ mod tests {
             assert_eq!(code.as_str(), format!("MEA{:03}", code.number()));
             assert!(!code.title().is_empty());
         }
+    }
+
+    #[test]
+    fn bands_partition_the_code_space() {
+        for code in ErrorCode::ALL {
+            let expect = match code.number() {
+                n if n < 100 => "MEA0xx",
+                n if n < 200 => "MEA1xx",
+                _ => "MEA2xx",
+            };
+            assert_eq!(code.band(), expect, "{code}");
+        }
+        assert_eq!(ErrorCode::BoundsCapacityOverflow.band(), "MEA2xx");
+        assert_eq!(ErrorCode::DfUninitRead.band(), "MEA1xx");
+        assert_eq!(ErrorCode::TdlInPlaceChain.band(), "MEA0xx");
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Symbolic interval domain for the static cost & capacity certifier.
+//!
+//! The `mealib-verify::bounds` pass family certifies resource counters
+//! (bytes moved, DRAM commands, peak footprint, cycles, energy) as
+//! closed intervals `[lo, hi]`: the cycle engine's measurement must fall
+//! inside the interval, and when the access pattern is affine with
+//! static trip counts the interval collapses to a point (`lo == hi`).
+//! All certified counters are non-negative, so the arithmetic here is
+//! monotone interval arithmetic over `[0, +inf)`; that keeps products
+//! sound without case-splitting on signs.
+//!
+//! Counters are carried as `f64`. Command and byte counts in this
+//! workspace stay far below 2^53, so integral counters remain exactly
+//! representable and `lo == hi` is a meaningful exactness witness.
+
+use core::fmt;
+use core::ops::{Add, Mul};
+
+/// A closed non-negative interval `[lo, hi]` over one resource counter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Certified lower bound (inclusive).
+    pub lo: f64,
+    /// Certified upper bound (inclusive).
+    pub hi: f64,
+}
+
+impl Interval {
+    /// The additive identity: the exact point `[0, 0]`.
+    pub const ZERO: Interval = Interval { lo: 0.0, hi: 0.0 };
+
+    /// A new interval; clamps to `[0, +inf)` and orders the endpoints,
+    /// so a sloppy caller cannot construct an empty or negative range.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        let lo = lo.max(0.0);
+        let hi = hi.max(0.0);
+        Self {
+            lo: lo.min(hi),
+            hi: lo.max(hi),
+        }
+    }
+
+    /// The exact point interval `[v, v]`.
+    pub fn exact(v: f64) -> Self {
+        Self::new(v, v)
+    }
+
+    /// True when the interval certifies a single value.
+    pub fn is_exact(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// True when `v` lies inside the interval (inclusive).
+    pub fn contains(&self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// The interval's width `hi - lo` (0 for exact intervals).
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// The smallest interval containing both operands (convex hull);
+    /// the join of the interval lattice.
+    pub fn hull(&self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Pointwise maximum — sound for `max`-combined counters such as
+    /// the per-unit critical path.
+    pub fn max(&self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Scales by a non-negative constant (e.g. a static trip count).
+    pub fn scale(&self, k: f64) -> Interval {
+        debug_assert!(k >= 0.0, "trip counts and unit constants are non-negative");
+        Interval::new(self.lo * k, self.hi * k)
+    }
+
+    /// Interval quotient `self / divisor` for a divisor known to lie in
+    /// a positive interval — used for rates (bytes / seconds).
+    pub fn div(&self, divisor: Interval) -> Interval {
+        debug_assert!(divisor.lo > 0.0, "divisor interval must be positive");
+        Interval::new(self.lo / divisor.hi, self.hi / divisor.lo)
+    }
+}
+
+impl Default for Interval {
+    fn default() -> Self {
+        Interval::ZERO
+    }
+}
+
+impl Add for Interval {
+    type Output = Interval;
+    fn add(self, rhs: Interval) -> Interval {
+        Interval {
+            lo: self.lo + rhs.lo,
+            hi: self.hi + rhs.hi,
+        }
+    }
+}
+
+impl Mul for Interval {
+    type Output = Interval;
+    /// Product of two non-negative intervals (monotone, no sign cases).
+    fn mul(self, rhs: Interval) -> Interval {
+        Interval {
+            lo: self.lo * rhs.lo,
+            hi: self.hi * rhs.hi,
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_exact() {
+            write!(f, "{}", self.lo)
+        } else {
+            write!(f, "[{}, {}]", self.lo, self.hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_orders_and_clamps() {
+        let i = Interval::new(5.0, 2.0);
+        assert_eq!((i.lo, i.hi), (2.0, 5.0));
+        let i = Interval::new(-3.0, 4.0);
+        assert_eq!(i.lo, 0.0);
+        assert!(Interval::exact(7.0).is_exact());
+        assert!(!i.is_exact());
+    }
+
+    #[test]
+    fn containment_and_width() {
+        let i = Interval::new(2.0, 5.0);
+        assert!(i.contains(2.0));
+        assert!(i.contains(5.0));
+        assert!(!i.contains(5.1));
+        assert_eq!(i.width(), 3.0);
+        assert_eq!(Interval::exact(9.0).width(), 0.0);
+    }
+
+    #[test]
+    fn arithmetic_is_monotone_and_exactness_preserving() {
+        let a = Interval::exact(3.0);
+        let b = Interval::exact(4.0);
+        assert!((a + b).is_exact());
+        assert!((a * b).is_exact());
+        assert_eq!((a + b).lo, 7.0);
+        assert_eq!((a * b).hi, 12.0);
+        let w = Interval::new(1.0, 2.0);
+        let s = a + w;
+        assert_eq!((s.lo, s.hi), (4.0, 5.0));
+        let p = w * Interval::new(10.0, 20.0);
+        assert_eq!((p.lo, p.hi), (10.0, 40.0));
+    }
+
+    #[test]
+    fn hull_max_scale_div() {
+        let a = Interval::new(1.0, 3.0);
+        let b = Interval::new(2.0, 5.0);
+        assert_eq!(a.hull(b), Interval::new(1.0, 5.0));
+        assert_eq!(a.max(b), Interval::new(2.0, 5.0));
+        assert_eq!(a.scale(2.0), Interval::new(2.0, 6.0));
+        let q = Interval::new(10.0, 20.0).div(Interval::new(2.0, 4.0));
+        assert_eq!((q.lo, q.hi), (2.5, 10.0));
+    }
+
+    #[test]
+    fn soundness_shape_sampled() {
+        // For any x in a and y in b, x+y in a+b and x*y in a*b.
+        let a = Interval::new(1.5, 4.0);
+        let b = Interval::new(0.0, 2.5);
+        for xi in 0..=4 {
+            for yi in 0..=4 {
+                let x = a.lo + (a.hi - a.lo) * xi as f64 / 4.0;
+                let y = b.lo + (b.hi - b.lo) * yi as f64 / 4.0;
+                assert!((a + b).contains(x + y));
+                assert!((a * b).contains(x * y));
+            }
+        }
+    }
+}

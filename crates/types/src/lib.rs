@@ -25,6 +25,7 @@ pub mod addr;
 pub mod complex;
 pub mod diag;
 pub mod error;
+pub mod interval;
 pub mod par;
 pub mod stats;
 pub mod units;
@@ -33,6 +34,7 @@ pub use addr::{AddrRange, PhysAddr, VirtAddr};
 pub use complex::Complex32;
 pub use diag::{Diagnostic, ErrorCode, Report, Severity, Span};
 pub use error::ConfigError;
+pub use interval::Interval;
 pub use par::par_map;
 pub use stats::{geometric_mean, Counter, RunningStats};
 pub use units::{Bytes, BytesPerSec, Cycles, Gflops, Hertz, Joules, Seconds, Watts};

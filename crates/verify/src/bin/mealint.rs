@@ -1,21 +1,34 @@
 //! `mealint` — cross-layer static verifier for MEALib artifacts.
 //!
 //! ```text
-//! mealint [--codes] [--format text|json] FILE...
+//! mealint [--codes] [--format text|json] [--deny BAND|CODE]... [--allow CODE|BAND]... FILE...
 //! ```
 //!
 //! Each file is sniffed and routed to the right pass: binary images
 //! starting with the `"MEAL"` magic run the descriptor pass, text in
 //! the `key = value` memconfig format runs the simulator-config pass,
 //! and everything else is treated as a TDL analysis session (plain TDL
-//! plus optional `HOST`/`FLUSH`/`BUF` directives), which runs both the
-//! TDL semantic pass and the dataflow & coherence analysis. Exit
-//! status: `0` when every file is clean (warnings allowed), `1` when
-//! any file has coded errors, `2` on usage, I/O, or parse failures.
+//! plus optional `HOST`/`FLUSH`/`BUF`/`BUDGET`/`MEM` directives), which
+//! runs the TDL semantic pass, the dataflow & coherence analysis, and
+//! the MEA2xx static-bounds certification.
+//!
+//! Severity policy: `--deny` escalates every diagnostic matching a band
+//! (`MEA0xx`, `MEA1xx`, `MEA2xx`) or a single code (`MEA104`) to error
+//! severity; `--allow` demotes matches to warnings. A specific code
+//! selector beats a band selector, and at equal specificity `--allow`
+//! wins, so `--deny MEA2xx --allow MEA202` gates the band while keeping
+//! one code advisory. The intended CI posture during the MEA2xx rollout
+//! is `--deny MEA0xx --deny MEA1xx --allow MEA2xx`: established bands
+//! hard-gate, bounds findings are report-only.
+//!
+//! Exit status (stable, scripts may rely on it): `0` when every file is
+//! clean or carries only warnings after policy, `1` when any file has
+//! error-severity findings after policy, `2` on usage, I/O, or parse
+//! failures.
 //!
 //! With `--format json`, every diagnostic is emitted as one JSON object
-//! per line (`file`/`code`/`number`/`severity`/`message`/`span`) for CI
-//! and editor consumption; clean files emit nothing. Exit-code
+//! per line (`file`/`code`/`number`/`band`/`severity`/`message`/`span`)
+//! for CI and editor consumption; clean files emit nothing. Exit-code
 //! semantics are identical in both formats.
 
 use std::process::ExitCode;
@@ -23,7 +36,8 @@ use std::process::ExitCode;
 use mealib_obs::json::Object;
 use mealib_tdl::descriptor::MAGIC;
 use mealib_verify::{
-    dataflow, descriptor, memconfig, memsim, tdl, DataflowEnv, Report, Severity, Span, TdlLimits,
+    bounds, dataflow, descriptor, memconfig, memsim, tdl, BoundsEnv, DataflowEnv, Report, Severity,
+    Span, TdlLimits,
 };
 
 enum Outcome {
@@ -36,6 +50,71 @@ enum Outcome {
 enum Format {
     Text,
     Json,
+}
+
+/// A `--deny`/`--allow` selector: a whole band or one code.
+#[derive(Clone, PartialEq, Eq)]
+enum Selector {
+    Band(String),
+    Code(String),
+}
+
+impl Selector {
+    fn parse(raw: &str) -> Result<Self, String> {
+        let canon = raw.to_ascii_uppercase();
+        if matches!(canon.as_str(), "MEA0XX" | "MEA1XX" | "MEA2XX") {
+            // Bands are spelled MEAnxx; normalize the xx back down.
+            return Ok(Selector::Band(canon.replace("XX", "xx")));
+        }
+        if mealib_verify::ErrorCode::ALL
+            .iter()
+            .any(|c| c.as_str() == canon)
+        {
+            return Ok(Selector::Code(canon));
+        }
+        Err(format!(
+            "unknown code or band {raw:?} (expected e.g. MEA104 or MEA2xx; see --codes)"
+        ))
+    }
+
+    fn matches(&self, code: mealib_verify::ErrorCode) -> bool {
+        match self {
+            Selector::Band(b) => code.band() == b,
+            Selector::Code(c) => code.as_str() == c,
+        }
+    }
+
+    fn is_code(&self) -> bool {
+        matches!(self, Selector::Code(_))
+    }
+}
+
+/// Severity overrides from `--deny`/`--allow`. A specific code selector
+/// beats a band selector; at equal specificity `--allow` wins.
+#[derive(Clone, Default)]
+struct SeverityPolicy {
+    deny: Vec<Selector>,
+    allow: Vec<Selector>,
+}
+
+impl SeverityPolicy {
+    fn apply(&self, report: Report) -> Report {
+        let mut out = Report::new();
+        for d in report.diagnostics() {
+            let mut d = d.clone();
+            let allow_code = self.allow.iter().any(|s| s.is_code() && s.matches(d.code));
+            let deny_code = self.deny.iter().any(|s| s.is_code() && s.matches(d.code));
+            let allow_band = self.allow.iter().any(|s| !s.is_code() && s.matches(d.code));
+            let deny_band = self.deny.iter().any(|s| !s.is_code() && s.matches(d.code));
+            if allow_code || (allow_band && !deny_code) {
+                d.severity = Severity::Warning;
+            } else if deny_code || deny_band {
+                d.severity = Severity::Error;
+            }
+            out.push(d);
+        }
+        out
+    }
 }
 
 fn lint_file(path: &str) -> Outcome {
@@ -74,6 +153,10 @@ fn lint_file(path: &str) -> Outcome {
         &TdlLimits::default(),
     );
     report.merge(dataflow::verify_session(&session, &DataflowEnv::default()));
+    report.merge(bounds::verify_session_bounds(
+        &session,
+        &BoundsEnv::default(),
+    ));
     finish(report)
 }
 
@@ -116,6 +199,7 @@ fn print_report(path: &str, report: &Report, format: Format) {
                 o.str("file", path)
                     .str("code", d.code.as_str())
                     .int("number", u64::from(d.code.number()))
+                    .str("band", d.code.band())
                     .str("severity", severity)
                     .str("message", &d.message)
                     .raw("span", span_json(&d.span));
@@ -125,8 +209,9 @@ fn print_report(path: &str, report: &Report, format: Format) {
     }
 }
 
-fn parse_args(args: &[String]) -> Result<(Format, Vec<String>), String> {
+fn parse_args(args: &[String]) -> Result<(Format, SeverityPolicy, Vec<String>), String> {
     let mut format = Format::Text;
+    let mut policy = SeverityPolicy::default();
     let mut files = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -141,6 +226,18 @@ fn parse_args(args: &[String]) -> Result<(Format, Vec<String>), String> {
                     ))
                 }
             }
+        } else if arg == "--deny" || arg == "--allow" {
+            let Some(sel) = it.next() else {
+                return Err(format!(
+                    "{arg} expects a code or band (e.g. MEA104, MEA2xx)"
+                ));
+            };
+            let sel = Selector::parse(sel)?;
+            if arg == "--deny" {
+                policy.deny.push(sel);
+            } else {
+                policy.allow.push(sel);
+            }
         } else if arg.starts_with('-') {
             return Err(format!("unknown option {arg}"));
         } else {
@@ -150,7 +247,7 @@ fn parse_args(args: &[String]) -> Result<(Format, Vec<String>), String> {
     if files.is_empty() {
         return Err("no input files".to_string());
     }
-    Ok((format, files))
+    Ok((format, policy, files))
 }
 
 fn main() -> ExitCode {
@@ -159,11 +256,14 @@ fn main() -> ExitCode {
         print!("{}", mealib_verify::error_code_table());
         return ExitCode::SUCCESS;
     }
-    let (format, files) = match parse_args(&args) {
+    let (format, policy, files) = match parse_args(&args) {
         Ok(parsed) => parsed,
         Err(msg) => {
             eprintln!("mealint: {msg}");
-            eprintln!("usage: mealint [--codes] [--format text|json] FILE...");
+            eprintln!(
+                "usage: mealint [--codes] [--format text|json] [--deny BAND|CODE]... [--allow \
+                 CODE|BAND]... FILE..."
+            );
             return ExitCode::from(2);
         }
     };
@@ -177,6 +277,7 @@ fn main() -> ExitCode {
                 }
             }
             Outcome::Findings(report) => {
+                let report = policy.apply(report);
                 print_report(path, &report, format);
                 if report.has_errors() {
                     worst = worst.max(1);

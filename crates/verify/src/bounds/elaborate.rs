@@ -1,0 +1,218 @@
+//! Canonical elaboration of a session into a memory-request trace.
+//!
+//! Both sides of the soundness story share this one definition of "what
+//! the program does to memory": the analyzer derives its certified
+//! bounds from the elaborated trace, and the differential harness runs
+//! the *same* trace through the cycle engine. Each flattened pass
+//! execution streams its input extent (read) and its output extent
+//! (write), in program order, with loops fully unrolled — trip counts
+//! are static in TDL, which is what makes the byte and command bounds
+//! exact.
+//!
+//! The elaboration also computes the peak live-buffer footprint: a
+//! buffer is live from its first event (host op or pass touching it) to
+//! its last, and the footprint high-water is the largest sum of live
+//! declared extents at any event. Buffers with no `BUF` extent cannot
+//! be priced; they are recorded so the analyzer can report a partial
+//! certificate instead of guessing.
+
+use std::collections::BTreeMap;
+
+use mealib_memsim::engine::Request;
+use mealib_tdl::{AcceleratorKind, TdlItem};
+
+use crate::dataflow::{HostOp, Session};
+
+/// Traffic of one flattened pass execution (loops unrolled).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseTraffic {
+    /// 1-based source line of the pass header, when known.
+    pub line: Option<usize>,
+    /// Input buffer name.
+    pub input: String,
+    /// Output buffer name.
+    pub output: String,
+    /// Bytes this execution moves (input read + output write), 0 when
+    /// either extent is undeclared.
+    pub bytes: u64,
+    /// Accelerators of the chained comps, in chain order.
+    pub accels: Vec<AcceleratorKind>,
+}
+
+impl PhaseTraffic {
+    /// Chained comps in the pass (CU occupancy).
+    pub fn chain_len(&self) -> usize {
+        self.accels.len()
+    }
+}
+
+/// The elaborated program: request trace, footprint, per-phase traffic.
+#[derive(Debug, Clone, Default)]
+pub struct Elaboration {
+    /// Program-order request stream over declared extents.
+    pub trace: Vec<Request>,
+    /// Peak live-buffer footprint in bytes (exact over declared
+    /// extents).
+    pub peak_footprint: u64,
+    /// One entry per flattened pass execution.
+    pub phases: Vec<PhaseTraffic>,
+    /// Buffers referenced by the program but lacking a `BUF` extent —
+    /// their traffic is absent from `trace` and `bytes`.
+    pub missing_extents: Vec<String>,
+    /// Total statically-known pass executions (loops unrolled).
+    pub invocations: u64,
+}
+
+/// Elaborates `session` into its canonical trace. Pure and total: no
+/// configuration is involved, only the program text and its extents.
+pub fn elaborate(session: &Session) -> Elaboration {
+    let spans = crate::dataflow::ProgramSpans::new(Some(&session.lines));
+    let mut out = Elaboration::default();
+    let mut missing: BTreeMap<&str, ()> = BTreeMap::new();
+
+    // Event stream for liveness: each event is a set of buffers touched
+    // simultaneously (a pass touches its input and output at once).
+    let mut touches: Vec<Vec<&str>> = Vec::new();
+    for (_, op) in &session.host_ops {
+        match op {
+            HostOp::Write(b) | HostOp::Read(b) => touches.push(vec![b]),
+            HostOp::Flush => {}
+        }
+    }
+
+    let mut flat = 0usize;
+    for item in &session.program.items {
+        let (count, body) = match item {
+            TdlItem::Pass(p) => (1u64, std::slice::from_ref(p)),
+            TdlItem::Loop(l) => (l.count, l.body.as_slice()),
+        };
+        for iter in 0..count {
+            for (pi, pass) in body.iter().enumerate() {
+                let line = spans.pass_header(flat + pi);
+                touches.push(vec![&pass.input, &pass.output]);
+                let mut bytes = 0u64;
+                for (name, write) in [(&pass.input, false), (&pass.output, true)] {
+                    match session.extents.get(name.as_str()) {
+                        Some(ext) => {
+                            bytes += ext.len().get();
+                            let req = if write {
+                                Request::write(ext.start().get(), ext.len().get())
+                            } else {
+                                Request::read(ext.start().get(), ext.len().get())
+                            };
+                            out.trace.push(req);
+                        }
+                        None => {
+                            missing.entry(name).or_insert(());
+                        }
+                    }
+                }
+                out.phases.push(PhaseTraffic {
+                    line,
+                    input: pass.input.clone(),
+                    output: pass.output.clone(),
+                    bytes,
+                    accels: pass.comps.iter().map(|c| c.accel).collect(),
+                });
+                out.invocations += 1;
+            }
+            // Liveness does not change across identical iterations;
+            // traffic does, so only the trace keeps unrolling.
+            if iter == 0 && count > 1 {
+                continue;
+            }
+        }
+        flat += body.len();
+    }
+
+    out.missing_extents = missing.keys().map(|s| (*s).to_string()).collect();
+    out.peak_footprint = peak_live_footprint(session, &touches);
+    out
+}
+
+/// First-touch-to-last-touch liveness over the event stream: the peak
+/// is the largest sum of declared extents simultaneously live.
+fn peak_live_footprint(session: &Session, touches: &[Vec<&str>]) -> u64 {
+    let mut first: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut last: BTreeMap<&str, usize> = BTreeMap::new();
+    for (i, event) in touches.iter().enumerate() {
+        for name in event {
+            first.entry(name).or_insert(i);
+            last.insert(name, i);
+        }
+    }
+    let mut peak = 0u64;
+    let mut live = 0u64;
+    for (i, event) in touches.iter().enumerate() {
+        // Dedupe within the event so `in=a out=a` counts `a` once.
+        let names: std::collections::BTreeSet<&str> = event.iter().copied().collect();
+        for name in &names {
+            if first.get(name) == Some(&i) {
+                if let Some(ext) = session.extents.get(*name) {
+                    live += ext.len().get();
+                }
+            }
+        }
+        peak = peak.max(live);
+        for name in &names {
+            if last.get(name) == Some(&i) {
+                if let Some(ext) = session.extents.get(*name) {
+                    live -= ext.len().get();
+                }
+            }
+        }
+    }
+    peak
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::parse_session;
+
+    #[test]
+    fn straight_line_program_elaborates_in_order() {
+        let src = "BUF a 0x1000 256\nBUF b 0x2000 256\nPASS in=a out=b {\n  COMP FFT \
+                   params=\"f\"\n}\n";
+        let e = elaborate(&parse_session(src).unwrap());
+        assert_eq!(e.trace.len(), 2);
+        assert_eq!(e.trace[0].addr.get(), 0x1000);
+        assert_eq!(e.trace[1].addr.get(), 0x2000);
+        assert_eq!(e.invocations, 1);
+        assert_eq!(e.phases[0].bytes, 512);
+        assert!(e.missing_extents.is_empty());
+        // Both buffers are live across the single pass.
+        assert_eq!(e.peak_footprint, 512);
+    }
+
+    #[test]
+    fn loops_unroll_fully_for_traffic() {
+        let src = "BUF x 0x1000 128\nBUF y 0x2000 128\nLOOP 5 {\n  PASS in=x out=y {\n    COMP \
+                   AXPY params=\"a\"\n  }\n}\n";
+        let e = elaborate(&parse_session(src).unwrap());
+        assert_eq!(e.invocations, 5);
+        assert_eq!(e.trace.len(), 10, "5 iterations x (read + write)");
+        let total: u64 = e.phases.iter().map(|p| p.bytes).sum();
+        assert_eq!(total, 5 * 256);
+        // Footprint is iteration-independent.
+        assert_eq!(e.peak_footprint, 256);
+    }
+
+    #[test]
+    fn missing_extents_are_reported_not_guessed() {
+        let src = "BUF a 0x1000 64\nPASS in=a out=b {\n  COMP DOT params=\"d\"\n}\n";
+        let e = elaborate(&parse_session(src).unwrap());
+        assert_eq!(e.missing_extents, vec!["b".to_string()]);
+        assert_eq!(e.trace.len(), 1, "only the declared side is priced");
+    }
+
+    #[test]
+    fn dead_buffers_release_footprint() {
+        // a feeds b, then c feeds d: a/b die before c/d go live.
+        let src = "BUF a 0 1024\nBUF b 0x1000 1024\nBUF c 0x2000 4096\nBUF d 0x4000 \
+                   4096\nPASS in=a out=b {\n  COMP FFT params=\"f\"\n}\nPASS in=c out=d {\n  COMP \
+                   FFT params=\"f\"\n}\n";
+        let e = elaborate(&parse_session(src).unwrap());
+        assert_eq!(e.peak_footprint, 8192, "disjoint lifetimes do not stack");
+    }
+}

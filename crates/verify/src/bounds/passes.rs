@@ -1,0 +1,104 @@
+//! The MEA2xx diagnostic passes over a [`ResourceSummary`].
+//!
+//! Every diagnostic here is a *proof of violation*: it fires only when
+//! the certified lower bound already exceeds the declared limit (or,
+//! for vault skew, when the mapping provably concentrates all traffic).
+//! Absent budgets and undeclared extents therefore disable the
+//! corresponding checks — the analyzer reports what it can prove and
+//! stays silent about what it cannot.
+
+use mealib_types::{Diagnostic, ErrorCode, Report};
+
+use super::summary::ResourceSummary;
+
+/// MEA200: the peak live-buffer footprint exceeds the modeled stack
+/// capacity. The footprint is exact over declared extents, so crossing
+/// the capacity is a certain overflow, not a heuristic.
+pub(super) fn check_capacity(summary: &ResourceSummary, report: &mut Report) {
+    let peak = summary.peak_footprint.get();
+    let cap = summary.capacity.get();
+    if peak > cap {
+        report.push(Diagnostic::error(
+            ErrorCode::BoundsCapacityOverflow,
+            format!(
+                "peak live-buffer footprint {:.1} MiB exceeds modeled stack capacity {:.1} MiB",
+                summary.peak_footprint.as_mib(),
+                summary.capacity.as_mib(),
+            ),
+        ));
+    }
+}
+
+/// MEA201: the program demands more throughput than the roofline of
+/// the layer it runs on. Fires only under a `BUDGET TIME` directive:
+/// the certified lower bound on bytes moved, pushed through the layer's
+/// peak bandwidth, already needs longer than the declared budget — so
+/// no schedule on this layer can meet it.
+pub(super) fn check_bandwidth(summary: &ResourceSummary, report: &mut Report) {
+    let Some(time_s) = summary.budgets.time_s else {
+        return;
+    };
+    let bytes_lo = summary.dram.bytes_read.lo + summary.dram.bytes_written.lo;
+    let bw = summary.peak_bandwidth.get();
+    // Two independent lower bounds on wall time: pure bus occupancy
+    // from the certified cycle bound, and aggregate bytes over the
+    // roofline ceiling.
+    let t_min = summary.dram.elapsed.lo.max(bytes_lo / bw);
+    if t_min > time_s {
+        let demanded_gb = bytes_lo / time_s * 1e-9;
+        report.push(Diagnostic::error(
+            ErrorCode::BoundsBandwidthInfeasible,
+            format!(
+                "program needs at least {t_min:.3e} s on {} but the time budget is {time_s:.3e} \
+                 s (demanded {demanded_gb:.1} GB/s vs {:.1} GB/s roofline)",
+                summary.config_name,
+                summary.peak_bandwidth.as_gb_per_sec(),
+            ),
+        ));
+    }
+}
+
+/// MEA202: degenerate mapping — the layer exposes multiple units but
+/// every burst of the program decodes to a single one, so the aggregate
+/// bandwidth collapses to one unit's share. Requires at least one full
+/// round of bursts so a trivially small program does not flag.
+pub(super) fn check_vault_skew(summary: &ResourceSummary, report: &mut Report) {
+    let units = summary.dram.unit_bursts.len();
+    let total = summary.dram.total_bursts();
+    if units > 1 && total >= units as u64 && summary.dram.units_touched() == 1 {
+        let unit = summary
+            .dram
+            .unit_bursts
+            .iter()
+            .position(|&b| b > 0)
+            .unwrap_or(0);
+        report.push(Diagnostic::error(
+            ErrorCode::BoundsVaultSkew,
+            format!(
+                "all {total} bursts decode to unit {unit} of {units} on {}: the mapping \
+                 serializes every access through one vault/channel",
+                summary.config_name,
+            ),
+        ));
+    }
+}
+
+/// MEA203: modeled energy exceeds the declared budget. Uses the *lower*
+/// endpoints — certified DRAM floor plus the accelerator datapath floor
+/// — so the violation is provable within the model.
+pub(super) fn check_energy_budget(summary: &ResourceSummary, report: &mut Report) {
+    let Some(budget_j) = summary.budgets.energy_j else {
+        return;
+    };
+    let floor_j = summary.dram.energy.lo + summary.accel_energy.lo;
+    if floor_j > budget_j {
+        report.push(Diagnostic::error(
+            ErrorCode::BoundsEnergyBudget,
+            format!(
+                "modeled energy floor {floor_j:.3e} J (DRAM {:.3e} J + accelerator {:.3e} J) \
+                 exceeds the declared budget {budget_j:.3e} J",
+                summary.dram.energy.lo, summary.accel_energy.lo,
+            ),
+        ));
+    }
+}

@@ -43,7 +43,7 @@ use mealib_types::{AddrRange, Diagnostic, ErrorCode, Report};
 pub use alias::{fusion_legal, AliasOracle, FusionStage};
 pub use coherence::CoherenceMachine;
 pub use graph::{def_use_chains, loop_cycle, DefUseChains, SiteRef};
-pub use session::{parse_session, HostOp, Session};
+pub use session::{parse_session, Budgets, HostOp, MemLayer, Session};
 
 /// Hardware capacities the structural passes check against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

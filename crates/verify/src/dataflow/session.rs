@@ -15,6 +15,13 @@
 //! HOST READ  <buffer>        # host CPU reads <buffer>
 //! FLUSH                      # wbinvd: write back + invalidate all lines
 //! BUF <name> <base> <len>    # declare <name>'s physical extent (hex or dec)
+//! BUDGET TIME <seconds>      # declared wall-time budget (MEA201)
+//! BUDGET ENERGY <joules>     # declared energy budget (MEA203)
+//! BUDGET CAPACITY <bytes>    # modeled stack capacity override (MEA200)
+//! MEM INTERLEAVED            # vault-interleaved stack mapping (default)
+//! MEM XOR                    # XOR-hashed vault interleaving
+//! MEM ASYM <split>           # asymmetric mapping, high region at <split>
+//! MEM HOST                   # run on the host DIMMs (host roofline)
 //! ```
 //!
 //! A session containing at least one `HOST`/`FLUSH` directive is
@@ -39,6 +46,36 @@ pub enum HostOp {
     Flush,
 }
 
+/// Which memory layer (and mapping mode) the session runs on, selected
+/// by a `MEM` directive. The bounds pass prices traffic through the
+/// matching [`mealib_memsim::AddressMapping`] and checks demanded
+/// throughput against the roofline of this layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemLayer {
+    /// Vault-interleaved stack mapping (the default when no `MEM`
+    /// directive appears).
+    Interleaved,
+    /// XOR-hashed vault interleaving.
+    Xor,
+    /// Asymmetric mapping; the operand is the first address of the
+    /// single-channel high region.
+    Asym(u64),
+    /// The host's DIMM system: host roofline, host mapping.
+    Host,
+}
+
+/// Resource budgets declared by `BUDGET` directives. Absent budgets
+/// disable the corresponding bounds diagnostics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Budgets {
+    /// Declared wall-time budget in seconds (`BUDGET TIME`).
+    pub time_s: Option<f64>,
+    /// Declared energy budget in joules (`BUDGET ENERGY`).
+    pub energy_j: Option<f64>,
+    /// Modeled stack capacity override in bytes (`BUDGET CAPACITY`).
+    pub capacity_bytes: Option<u64>,
+}
+
 /// A parsed session: the TDL program, its source lines, and the host
 /// interaction stream ordered by source line.
 #[derive(Debug, Clone)]
@@ -51,6 +88,10 @@ pub struct Session {
     pub host_ops: Vec<(usize, HostOp)>,
     /// Declared physical extents from `BUF` directives.
     pub extents: BTreeMap<String, AddrRange>,
+    /// Declared resource budgets from `BUDGET` directives.
+    pub budgets: Budgets,
+    /// Memory layer selected by a `MEM` directive, with its source line.
+    pub mem_layer: Option<(usize, MemLayer)>,
 }
 
 impl Session {
@@ -77,6 +118,13 @@ fn parse_extent_number(tok: &str, line: usize) -> Result<u64, ParseError> {
     parsed.map_err(|_| directive_err("a decimal or 0x-prefixed address", tok, line))
 }
 
+fn parse_budget_number(tok: &str, line: usize) -> Result<f64, ParseError> {
+    match tok.parse::<f64>() {
+        Ok(v) if v.is_finite() && v > 0.0 => Ok(v),
+        _ => Err(directive_err("a positive budget value", tok, line)),
+    }
+}
+
 /// Parses a session: splits directive lines out of `src`, parses the
 /// remainder as TDL, and returns both halves with line numbers intact.
 ///
@@ -88,11 +136,16 @@ pub fn parse_session(src: &str) -> Result<Session, ParseError> {
     let mut tdl = String::with_capacity(src.len());
     let mut host_ops = Vec::new();
     let mut extents = BTreeMap::new();
+    let mut budgets = Budgets::default();
+    let mut mem_layer = None;
 
     for (idx, raw) in src.lines().enumerate() {
         let line = idx + 1;
         let toks: Vec<&str> = raw.split_whitespace().collect();
-        let is_directive = matches!(toks.first(), Some(&"HOST") | Some(&"FLUSH") | Some(&"BUF"));
+        let is_directive = matches!(
+            toks.first(),
+            Some(&"HOST") | Some(&"FLUSH") | Some(&"BUF") | Some(&"BUDGET") | Some(&"MEM")
+        );
         if !is_directive {
             tdl.push_str(raw);
             tdl.push('\n');
@@ -121,6 +174,35 @@ pub fn parse_session(src: &str) -> Result<Session, ParseError> {
                 );
             }
             ["BUF", ..] => return Err(directive_err("BUF <name> <base> <len>", raw, line)),
+            ["BUDGET", "TIME", v] => {
+                budgets.time_s = Some(parse_budget_number(v, line)?);
+            }
+            ["BUDGET", "ENERGY", v] => {
+                budgets.energy_j = Some(parse_budget_number(v, line)?);
+            }
+            ["BUDGET", "CAPACITY", v] => {
+                budgets.capacity_bytes = Some(parse_extent_number(v, line)?);
+            }
+            ["BUDGET", ..] => {
+                return Err(directive_err(
+                    "BUDGET TIME|ENERGY|CAPACITY <value>",
+                    raw,
+                    line,
+                ))
+            }
+            ["MEM", "INTERLEAVED"] => mem_layer = Some((line, MemLayer::Interleaved)),
+            ["MEM", "XOR"] => mem_layer = Some((line, MemLayer::Xor)),
+            ["MEM", "ASYM", split] => {
+                mem_layer = Some((line, MemLayer::Asym(parse_extent_number(split, line)?)));
+            }
+            ["MEM", "HOST"] => mem_layer = Some((line, MemLayer::Host)),
+            ["MEM", ..] => {
+                return Err(directive_err(
+                    "MEM INTERLEAVED|XOR|ASYM <split>|HOST",
+                    raw,
+                    line,
+                ))
+            }
             _ => unreachable!("directive head checked above"),
         }
     }
@@ -131,6 +213,8 @@ pub fn parse_session(src: &str) -> Result<Session, ParseError> {
         lines,
         host_ops,
         extents,
+        budgets,
+        mem_layer,
     })
 }
 
@@ -189,8 +273,36 @@ mod tests {
             "FLUSH now\n",
             "BUF a 0x10\n",
             "BUF a lots 4\n",
+            "BUDGET TIME\n",
+            "BUDGET TIME -1\n",
+            "BUDGET WATTS 5\n",
+            "MEM\n",
+            "MEM ASYM\n",
+            "MEM SIDEWAYS\n",
         ] {
             assert!(parse_session(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn budget_and_mem_directives_parse() {
+        let src = "BUDGET TIME 0.5\nBUDGET ENERGY 12.5\nBUDGET CAPACITY 0x1000\nMEM ASYM \
+                   0x200000000\nPASS in=a out=b {\n  COMP FFT params=\"f\"\n}\n";
+        let s = parse_session(src).unwrap();
+        assert_eq!(s.budgets.time_s, Some(0.5));
+        assert_eq!(s.budgets.energy_j, Some(12.5));
+        assert_eq!(s.budgets.capacity_bytes, Some(0x1000));
+        assert_eq!(s.mem_layer, Some((4, MemLayer::Asym(0x2_0000_0000))));
+        // Budgets alone do not make a session explicit.
+        assert!(!s.is_explicit());
+        for (mode, want) in [
+            ("MEM INTERLEAVED", MemLayer::Interleaved),
+            ("MEM XOR", MemLayer::Xor),
+            ("MEM HOST", MemLayer::Host),
+        ] {
+            let src = format!("{mode}\nPASS in=a out=b {{\n  COMP FFT params=\"f\"\n}}\n");
+            let s = parse_session(&src).unwrap();
+            assert_eq!(s.mem_layer, Some((1, want)), "{mode}");
         }
     }
 }

@@ -29,7 +29,13 @@
 //!   conflicts, stale reads across the host↔accelerator cache boundary,
 //!   and chain-capacity/progress violations.  The runtime's `Sanitizer`
 //!   replays the same state machine dynamically so static and dynamic
-//!   verdicts can be cross-validated.
+//!   verdicts can be cross-validated;
+//! * [`bounds`] — symbolic cost & capacity certification
+//!   (`MEA200`–`MEA219`): interval bounds on bytes moved, DRAM
+//!   commands, peak footprint, and modeled energy, proven sound against
+//!   the cycle engine by a differential test harness, with diagnostics
+//!   for capacity overflow, bandwidth-infeasible programs, degenerate
+//!   vault skew, and energy-budget violations.
 //!
 //! The `mealint` binary runs the right pass over files given on the
 //! command line. The runtime and the experiment harness run the same
@@ -39,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bounds;
 pub mod dataflow;
 pub mod descriptor;
 pub mod memconfig;
@@ -46,8 +53,10 @@ pub mod memsim;
 pub mod physmem;
 pub mod tdl;
 
+pub use bounds::{BoundsEnv, ResourceSummary};
 pub use dataflow::{
-    fusion_legal, AliasOracle, CoherenceMachine, DataflowEnv, DataflowLimits, FusionStage, Session,
+    fusion_legal, AliasOracle, Budgets, CoherenceMachine, DataflowEnv, DataflowLimits, FusionStage,
+    MemLayer, Session,
 };
 pub use mealib_types::{Diagnostic, ErrorCode, Report, Severity, Span};
 pub use physmem::{MemSnapshot, StackSnapshot};

@@ -182,15 +182,15 @@ fn descriptor_corpus_draws_exact_codes() {
 }
 
 mod dataflow_corpus {
-    //! The MEA1xx disk corpus: every bad program must draw the exact
-    //! code its filename promises, and every clean twin must lint fully
-    //! clean (TDL *and* dataflow passes).
+    //! The MEA1xx/MEA2xx disk corpus: every bad program must draw the
+    //! exact code its filename promises, and every clean twin must lint
+    //! fully clean (TDL, dataflow, *and* bounds passes).
 
     use std::fs;
     use std::path::{Path, PathBuf};
 
     use mealib_verify::dataflow::{self, DataflowEnv};
-    use mealib_verify::{tdl, ErrorCode, Report, TdlLimits};
+    use mealib_verify::{bounds, tdl, BoundsEnv, ErrorCode, Report, TdlLimits};
 
     fn corpus_dir(kind: &str) -> PathBuf {
         PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -222,7 +222,8 @@ mod dataflow_corpus {
     }
 
     /// Exactly what `mealint` computes for a `.tdl` file: TDL semantics
-    /// merged with the session-aware dataflow analysis.
+    /// merged with the session-aware dataflow analysis and the MEA2xx
+    /// bounds certification.
     fn full_lint(src: &str) -> Report {
         let session = dataflow::parse_session(src).expect("corpus entries parse");
         let mut report = tdl::verify_program(
@@ -232,6 +233,10 @@ mod dataflow_corpus {
             &TdlLimits::default(),
         );
         report.merge(dataflow::verify_session(&session, &DataflowEnv::default()));
+        report.merge(bounds::verify_session_bounds(
+            &session,
+            &BoundsEnv::default(),
+        ));
         report
     }
 
@@ -246,8 +251,7 @@ mod dataflow_corpus {
         for path in files {
             let src = fs::read_to_string(&path).expect("corpus file reads");
             let code = expected_code(&path);
-            let report = dataflow::verify_source(&src, &DataflowEnv::default())
-                .expect("corpus entries parse");
+            let report = full_lint(&src);
             assert!(
                 report.has_code(code),
                 "{}: expected {code}, got:\n{report}",

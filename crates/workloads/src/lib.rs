@@ -9,7 +9,10 @@
 //!   Figure 1 (R, PERFECT, PARSEC suites);
 //! * [`rgg`] — a random-geometric-graph sparse-matrix generator standing
 //!   in for `rgg_n_2_20` from the UF Sparse Matrix Collection;
-//! * [`datasets`] — the Table 2 dataset definitions.
+//! * [`datasets`] — the Table 2 dataset definitions;
+//! * [`sessions`] — the same pipelines exported as TDL analysis
+//!   sessions for the static-bounds certifier and its soundness
+//!   harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,4 +21,5 @@ pub mod datasets;
 pub mod fig1;
 pub mod rgg;
 pub mod sar;
+pub mod sessions;
 pub mod stap;

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Bench smoke: run every mealib-bench harness at reduced sizes with
 # --json, validate that each summary parses, and collect the records
-# into a schema-v1 BENCH file (default BENCH_pr5.json) — the
+# into a schema-v1 BENCH file (default BENCH_pr6.json) — the
 # perf-trajectory data point for this PR. Each record carries the
 # harness's wall time as `wall_s`.
 #
@@ -13,15 +13,18 @@
 #     with --jobs 1 and --jobs 4, the two JSON summaries must be
 #     byte-identical (parallelism may change wall time, never modeled
 #     outputs), and both wall times are recorded;
+#   * the fig11 --prune path: the MEA2xx static-bounds pruner must skip
+#     at least 30% of the grid simulations while every Pareto-frontier
+#     metric stays exactly equal to the full sweep's;
 #   * the perf gate: when a baseline BENCH file exists (BASE env var,
-#     default BENCH_pr4.json), `meaperf BASE OUT --wall-report-only`
+#     default BENCH_pr5.json), `meaperf BASE OUT --wall-report-only`
 #     must pass — modeled metrics gate hard, wall metrics (noisy on a
 #     1-CPU container) are report-only.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_pr5.json}"
-BASE="${BASE:-BENCH_pr4.json}"
+OUT="${1:-BENCH_pr6.json}"
+BASE="${BASE:-BENCH_pr5.json}"
 JQ="$(command -v jq || true)"
 
 echo "==> cargo build --release -p mealib-bench --bins"
@@ -102,6 +105,42 @@ echo "fig11 jobs scaling OK: identical summaries; jobs1 ${jobs1_wall_s}s, jobs4 
 # perf gate applies its (looser, demotable) wall threshold to them.
 printf '{"bench":"fig11_jobs_scaling","metrics":{"jobs1_wall_s":%s,"jobs4_wall_s":%s,"speedup_wall":%s}}\n' \
   "$jobs1_wall_s" "$jobs4_wall_s" "$speedup_wall" >> "$records"
+
+# Full-size fig11 with the MEA2xx static-bounds pruner: the frontier
+# metrics must match the full sweep's exactly, and at least 30% of the
+# grid must be provably dominated (skipped without simulation).
+echo "==> fig11_design_space --json --prune (frontier identity + prune floor)"
+t0="$(now_ns)"
+pruned="$(./target/release/fig11_design_space --json --prune | tail -n 1)"
+prune_wall_s="$(elapsed_s "$t0" "$(now_ns)")"
+
+# Pull "key":value out of a one-line JSON summary without requiring jq.
+metric() { grep -o "\"$2\":[^,}]*" <<<"$1" | head -n 1 | cut -d: -f2; }
+
+for key in fft_frontier_points fft_frontier_gflops_sum fft_frontier_power_sum \
+           fft_frontier_engine_sum spmv_frontier_points spmv_frontier_gflops_sum \
+           spmv_frontier_power_sum spmv_frontier_engine_sum; do
+  full_v="$(metric "$jobs1" "$key")"
+  prune_v="$(metric "$pruned" "$key")"
+  if [[ -z "$full_v" || -z "$prune_v" || "$full_v" != "$prune_v" ]]; then
+    echo "error: fig11 frontier metric $key differs under --prune" >&2
+    echo "  full:  ${full_v:-missing}" >&2
+    echo "  prune: ${prune_v:-missing}" >&2
+    exit 1
+  fi
+done
+
+# Counts are serialized as floats ("46.0"); truncate for bash arithmetic.
+grid="$(metric "$pruned" "grid_points")"; grid="${grid%%.*}"
+fft_pruned="$(metric "$pruned" "fft_pruned")"
+spmv_pruned="$(metric "$pruned" "spmv_pruned")"
+pruned_total=$(( ${fft_pruned%%.*} + ${spmv_pruned%%.*} ))
+if (( pruned_total * 10 < 3 * grid * 2 )); then
+  echo "error: pruner skipped only $pruned_total of $((grid * 2)) simulations (<30%)" >&2
+  exit 1
+fi
+echo "fig11 prune OK: frontier identical; $pruned_total/$((grid * 2)) simulations pruned"
+echo "${pruned%\}},\"wall_s\":${prune_wall_s}}" >> "$records"
 
 if [[ -n "$JQ" ]]; then
   "$JQ" -s '{schema_version: 1, generated_by: "scripts/bench_smoke.sh", benches: .}' "$records" > "$OUT"

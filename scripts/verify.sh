@@ -47,4 +47,20 @@ for f in crates/verify/corpus/bad/*.tdl; do
     fi
 done
 
+echo "==> bounds corpus coverage: every MEA2xx code needs >=2 bad programs + clean twins"
+for code in 200 201 202 203; do
+    bad=$(ls crates/verify/corpus/bad/mea${code}_*.tdl 2>/dev/null | wc -l)
+    if (( bad < 2 )); then
+        echo "bounds corpus too thin: MEA$code has $bad bad programs (need >=2)" >&2
+        exit 1
+    fi
+    for f in crates/verify/corpus/bad/mea${code}_*.tdl; do
+        twin="crates/verify/corpus/clean/$(basename "$f")"
+        if [[ ! -f "$twin" ]]; then
+            echo "bounds corpus: $f has no clean twin at $twin" >&2
+            exit 1
+        fi
+    done
+done
+
 echo "verify: OK"

@@ -18,7 +18,7 @@ fn dram_paths_agree_on_mixed_stream() {
     let mut trace = engine::sequential_trace(0, bytes, 256, Op::Read);
     trace.extend(engine::sequential_trace(1 << 30, bytes, 256, Op::Write));
     let sim = engine::simulate_trace(&cfg, &trace);
-    let est = analytic::estimate(&cfg, &AccessPattern::sequential_rw(bytes, bytes));
+    let est = analytic::try_estimate(&cfg, &AccessPattern::sequential_rw(bytes, bytes)).unwrap();
     let ratio = est.elapsed.get() / sim.elapsed.get();
     assert!((0.6..1.6).contains(&ratio), "time ratio {ratio}");
     assert_eq!(est.bytes_moved(), sim.bytes_moved());
