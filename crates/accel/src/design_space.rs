@@ -198,7 +198,7 @@ fn configure(
     (hw, mem)
 }
 
-/// Replays `bytes` of sequential reads through the cycle engine over
+/// Replays `bytes` of sequential reads through the fast engine over
 /// `mem` and returns the achieved bandwidth in GB/s (`0.0` when
 /// `bytes == 0`). The request size is one row buffer, so the replay
 /// exercises activate/precharge scheduling, not just the data bus.
@@ -207,10 +207,12 @@ fn engine_check(mem: &MemoryConfig, bytes: u64) -> f64 {
         return 0.0;
     }
     let step = mem.mapping.row_bytes();
-    let trace: Vec<mealib_memsim::Request> = (0..bytes.div_ceil(step))
+    let trace: mealib_memsim::TraceBuffer = (0..bytes.div_ceil(step))
         .map(|i| mealib_memsim::Request::read(i * step, step.min(bytes - i * step)))
         .collect();
-    mealib_memsim::simulate_trace(mem, &trace)
+    mealib_memsim::simulate(mem, &trace, &mealib_memsim::SimOptions::fast())
+        .expect("validated memory configuration")
+        .stats
         .achieved_bandwidth()
         .as_gb_per_sec()
 }

@@ -4,15 +4,16 @@
 //! inputs for an in-house cycle-accurate 3D-stacked DRAM simulator"
 //! (§4.2). This module generates the explicit request trace each
 //! accelerator's DMA engines would issue and replays it through
-//! `mealib-memsim`'s cycle engine — the slow, high-fidelity twin of the
+//! `mealib-memsim`'s fast engine (bit-exact with the cycle oracle) —
+//! the high-fidelity twin of the
 //! closed-form path in [`crate::model`]. Tests cross-validate the two.
 //!
 //! Gigabyte workloads are scaled down to a caller-chosen footprint; the
 //! returned [`TracedExec::scale`] says how much, so callers can
 //! extrapolate steady-state numbers.
 
-use mealib_memsim::engine::{simulate_trace, Request};
-use mealib_memsim::{MemoryConfig, TraceStats};
+use mealib_memsim::engine::SimOptions;
+use mealib_memsim::{MemoryConfig, TraceBuffer, TraceStats};
 use mealib_types::Seconds;
 
 use crate::hw::AccelHwConfig;
@@ -80,10 +81,10 @@ pub fn generate_trace(
     params: &AccelParams,
     hw: &AccelHwConfig,
     max_bytes: u64,
-) -> (Vec<Request>, f64) {
+) -> (TraceBuffer, f64) {
     params.validate().expect("invalid accelerator parameters");
     assert!(max_bytes > 0, "trace byte cap must be nonzero");
-    let mut trace = Vec::new();
+    let mut trace = TraceBuffer::new();
     let scale;
     match *params {
         AccelParams::Axpy { n, .. } => {
@@ -91,9 +92,9 @@ pub fn generate_trace(
             scale = s;
             for off in (0..bytes).step_by(CHUNK as usize) {
                 let len = CHUNK.min(bytes - off);
-                trace.push(Request::read(off, len));
-                trace.push(Request::read(BUFFER_GAP + off, len));
-                trace.push(Request::write(BUFFER_GAP + off, len));
+                trace.push_read(off, len);
+                trace.push_read(BUFFER_GAP + off, len);
+                trace.push_write(BUFFER_GAP + off, len);
             }
         }
         AccelParams::Dot { n, complex, .. } => {
@@ -102,20 +103,20 @@ pub fn generate_trace(
             scale = s;
             for off in (0..bytes).step_by(CHUNK as usize) {
                 let len = CHUNK.min(bytes - off);
-                trace.push(Request::read(off, len));
-                trace.push(Request::read(BUFFER_GAP + off, len));
+                trace.push_read(off, len);
+                trace.push_read(BUFFER_GAP + off, len);
             }
         }
         AccelParams::Gemv { m, n } => {
             let (bytes, s) = scaled(4 * m * n, max_bytes);
             scale = s;
             for off in (0..bytes).step_by(CHUNK as usize) {
-                trace.push(Request::read(off, CHUNK.min(bytes - off)));
+                trace.push_read(off, CHUNK.min(bytes - off));
             }
             // y writeback, scaled alongside.
             let y_bytes = ((4 * m) as f64 * s) as u64;
             for off in (0..y_bytes).step_by(CHUNK as usize) {
-                trace.push(Request::write(BUFFER_GAP + off, CHUNK.min(y_bytes - off)));
+                trace.push_write(BUFFER_GAP + off, CHUNK.min(y_bytes - off));
             }
         }
         AccelParams::Spmv { cols, nnz, .. } => {
@@ -124,13 +125,13 @@ pub fn generate_trace(
             scale = s;
             let stream_bytes = ((8 * nnz) as f64 * s) as u64;
             for off in (0..stream_bytes).step_by(CHUNK as usize) {
-                trace.push(Request::read(off, CHUNK.min(stream_bytes - off)));
+                trace.push_read(off, CHUNK.min(stream_bytes - off));
             }
             let region = (4 * cols).max(CHUNK);
             let mut rng = XorShift(0x5eed ^ nnz);
             for _ in 0..gathers {
                 let addr = (BUFFER_GAP + rng.next() % region) & !3;
-                trace.push(Request::read(addr, 4));
+                trace.push_read(addr, 4);
             }
         }
         AccelParams::Resmp {
@@ -145,10 +146,10 @@ pub fn generate_trace(
             let in_bytes = (bytes as f64 * in_share) as u64;
             let out_bytes = bytes - in_bytes;
             for off in (0..in_bytes).step_by(CHUNK as usize) {
-                trace.push(Request::read(off, CHUNK.min(in_bytes - off)));
+                trace.push_read(off, CHUNK.min(in_bytes - off));
             }
             for off in (0..out_bytes).step_by(CHUNK as usize) {
-                trace.push(Request::write(BUFFER_GAP + off, CHUNK.min(out_bytes - off)));
+                trace.push_write(BUFFER_GAP + off, CHUNK.min(out_bytes - off));
             }
         }
         AccelParams::Fft { n, batch } => {
@@ -158,8 +159,8 @@ pub fn generate_trace(
             for _ in 0..passes {
                 for off in (0..bytes).step_by(CHUNK as usize) {
                     let len = CHUNK.min(bytes - off);
-                    trace.push(Request::read(off, len));
-                    trace.push(Request::write(BUFFER_GAP + off, len));
+                    trace.push_read(off, len);
+                    trace.push_write(BUFFER_GAP + off, len);
                 }
             }
         }
@@ -174,15 +175,16 @@ pub fn generate_trace(
             scale = s;
             for off in (0..bytes).step_by(CHUNK as usize) {
                 let len = CHUNK.min(bytes - off);
-                trace.push(Request::read(off, len));
-                trace.push(Request::write(BUFFER_GAP + off, len));
+                trace.push_read(off, len);
+                trace.push_write(BUFFER_GAP + off, len);
             }
         }
     }
     (trace, scale)
 }
 
-/// Replays one (scaled) invocation through the cycle engine.
+/// Replays one (scaled) invocation through the memory engine (fast
+/// path; bit-exact with the cycle oracle).
 ///
 /// # Panics
 ///
@@ -195,7 +197,9 @@ pub fn execute_traced(
 ) -> TracedExec {
     let (trace, scale) = generate_trace(params, hw, max_bytes);
     let requests = trace.len();
-    let stats = simulate_trace(mem, &trace);
+    let stats = mealib_memsim::simulate(mem, &trace, &SimOptions::fast())
+        .expect("validated memory configuration")
+        .stats;
     TracedExec {
         stats,
         scale,
@@ -273,7 +277,7 @@ mod tests {
                 "{:?}: scale {scale}",
                 params.kind()
             );
-            let bytes: u64 = trace.iter().map(|r| r.bytes).sum();
+            let bytes: u64 = trace.total_bytes();
             assert!(
                 bytes <= (8 << 20) + 4 * CHUNK,
                 "{:?}: {bytes} bytes",
@@ -329,8 +333,8 @@ mod tests {
         let (t_large, s2) = generate_trace(&large, &hw, cap);
         assert_eq!(s1, 1.0);
         assert_eq!(s2, 1.0);
-        let b_small: u64 = t_small.iter().map(|r| r.bytes).sum();
-        let b_large: u64 = t_large.iter().map(|r| r.bytes).sum();
+        let b_small: u64 = t_small.total_bytes();
+        let b_large: u64 = t_large.total_bytes();
         // 8x the data, 2x the passes → 16x the traffic.
         assert_eq!(b_large, 16 * b_small);
     }

@@ -2,7 +2,7 @@
 //! reproduction itself simulates.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use mealib_memsim::engine::{sequential_trace, simulate_trace, Op};
+use mealib_memsim::engine::{sequential_trace, simulate, Op, SimOptions};
 use mealib_memsim::{analytic, AccessPattern, MemoryConfig};
 use mealib_noc::{Mesh, TileId};
 use mealib_runtime::PhysicalSpace;
@@ -14,7 +14,13 @@ fn bench_dram_engine(c: &mut Criterion) {
     let mut g = c.benchmark_group("dram_cycle_engine");
     g.throughput(Throughput::Bytes(4 << 20));
     g.bench_function("sequential_4MiB", |b| {
-        b.iter(|| simulate_trace(&cfg, &trace))
+        b.iter(|| simulate(&cfg, &trace, &SimOptions::cycle()).unwrap())
+    });
+    g.finish();
+    let mut g = c.benchmark_group("dram_fast_engine");
+    g.throughput(Throughput::Bytes(4 << 20));
+    g.bench_function("sequential_4MiB", |b| {
+        b.iter(|| simulate(&cfg, &trace, &SimOptions::fast()).unwrap())
     });
     g.finish();
 }

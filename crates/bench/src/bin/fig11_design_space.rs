@@ -20,7 +20,7 @@ use mealib_accel::design_space::{
 };
 use mealib_accel::AccelParams;
 use mealib_bench::{banner, section, write_profile, HarnessOpts, JsonSummary};
-use mealib_memsim::engine::{sequential_trace, simulate_trace_profiled, Op};
+use mealib_memsim::engine::{sequential_trace, simulate, Op, SimOptions};
 use mealib_memsim::MemoryConfig;
 use mealib_obs::Profile;
 use mealib_sim::TextTable;
@@ -183,11 +183,14 @@ fn main() {
         // Cycle-windowed replay of the engine cross-check stream: one
         // counter timeline per vault at 4096-cycle windows.
         let trace = sequential_trace(0, sweep_opts.engine_check_bytes, 256, Op::Read);
-        let profiled = simulate_trace_profiled(&mem, &trace, 4096);
+        let timeline = simulate(&mem, &trace, &SimOptions::fast().profile(4096))
+            .expect("preset config validates")
+            .timeline
+            .expect("profiled run carries a timeline");
         let mut p = Profile::new();
         p.push_timeline(
             "dram:engine-check",
-            profiled.timeline,
+            timeline,
             mem.timing.t_ck,
             Seconds::ZERO,
         );

@@ -10,6 +10,9 @@
 //!   --threshold-pct <N>        modeled-metric gate (default 5)
 //!   --wall-threshold-pct <N>   wall-clock gate (default 20)
 //!   --wall-report-only         report wall regressions, never fail on them
+//!   --min <bench.key=N>        absolute floor on a metric of the *newest*
+//!                              summary (repeatable); fails the gate when
+//!                              the metric is below N or missing
 //!   --json                     machine-readable report per comparison
 //!   --check-trace <FILE>       standalone: validate a Chrome trace-event
 //!                              profile (as written by --profile) and exit
@@ -22,13 +25,14 @@
 
 use std::process::ExitCode;
 
-use mealib_bench::perf::{compare, GateOptions};
+use mealib_bench::perf::{check_minimums, compare, GateOptions, MinRule};
 use mealib_obs::bench_schema::BenchSummary;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: meaperf [--threshold-pct N] [--wall-threshold-pct N] \
-         [--wall-report-only] [--json] BENCH_old.json BENCH_new.json ...\n\
+         [--wall-report-only] [--min bench.key=N] [--json] \
+         BENCH_old.json BENCH_new.json ...\n\
          \x20      meaperf --check-trace FILE.trace.json\n\
          \x20      meaperf --convert BENCH_legacy.json"
     );
@@ -84,6 +88,7 @@ fn convert(path: &str) -> ExitCode {
 fn main() -> ExitCode {
     let mut gate = GateOptions::default();
     let mut json = false;
+    let mut minimums: Vec<MinRule> = Vec::new();
     let mut files: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -96,6 +101,10 @@ fn main() -> ExitCode {
             },
             "--wall-threshold-pct" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => gate.wall_threshold_pct = n,
+                None => return usage(),
+            },
+            "--min" => match args.next().as_deref().and_then(MinRule::parse) {
+                Some(rule) => minimums.push(rule),
                 None => return usage(),
             },
             "--check-trace" => {
@@ -146,6 +155,26 @@ fn main() -> ExitCode {
             print!("{}", report.render(&gate));
         }
         failed |= report.failed(&gate);
+    }
+    if !minimums.is_empty() {
+        // Floors apply to the newest summary only — they assert where
+        // the trajectory *ends up*, not how it got there.
+        let newest_path = files.last().expect("len checked above");
+        let newest = match load(newest_path) {
+            Ok(s) => s,
+            Err(code) => return code,
+        };
+        let violations = check_minimums(&newest, &minimums);
+        for v in &violations {
+            println!("{v}");
+        }
+        if violations.is_empty() {
+            println!(
+                "{} floor(s) checked against {newest_path} — ok",
+                minimums.len()
+            );
+        }
+        failed |= !violations.is_empty();
     }
     if failed {
         ExitCode::FAILURE

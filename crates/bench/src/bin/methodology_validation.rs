@@ -6,7 +6,8 @@
 //! models actually use.
 
 use mealib_bench::{banner, section, write_profile, HarnessOpts, JsonSummary};
-use mealib_memsim::engine::{self, simulate_trace_with_latencies, Op, Request};
+use mealib_memsim::engine::{self, simulate, Op, SimOptions};
+use mealib_memsim::TraceBuffer;
 use mealib_memsim::{analytic, AccessPattern, MemoryConfig};
 use mealib_obs::{Phase, Profile};
 use mealib_sim::TextTable;
@@ -17,7 +18,7 @@ use rand::{Rng, SeedableRng};
 struct Case {
     name: &'static str,
     pattern: AccessPattern,
-    trace: Vec<Request>,
+    trace: TraceBuffer,
 }
 
 fn cases() -> Vec<Case> {
@@ -28,24 +29,25 @@ fn cases() -> Vec<Case> {
     // streams at page granularity (4 KiB chunks), not burst by burst —
     // fine-grained ping-pong between streams would thrash row buffers.
     let axpy_bytes = 8 * mb;
-    let mut axpy_trace = Vec::new();
+    let mut axpy_trace = TraceBuffer::new();
     let chunk = 4096u64;
     // Offset the second stream by one row so the two streams land in
     // different banks (the allocator's bank-aware placement).
     let y_base = (1u64 << 30) + 128 * 1024;
     for i in 0..(axpy_bytes / chunk) {
-        axpy_trace.push(Request::read(i * chunk, chunk));
-        axpy_trace.push(Request::read(y_base + i * chunk, chunk));
-        axpy_trace.push(Request::write(y_base + i * chunk, chunk / 2));
+        axpy_trace.push_read(i * chunk, chunk);
+        axpy_trace.push_read(y_base + i * chunk, chunk);
+        axpy_trace.push_write(y_base + i * chunk, chunk / 2);
     }
 
     // RESHP on a conventional row-thrashing layout: strided row walk.
     let reshp_trace = engine::strided_trace(0, 65536, 256, 16384, Op::Read);
 
     // SPMV gather: random 4-byte reads over a 64 MiB region.
-    let gather_trace: Vec<Request> = (0..65536)
-        .map(|_| Request::read(rng.gen_range(0u64..(64 * mb)) & !3, 4))
-        .collect();
+    let mut gather_trace = TraceBuffer::with_capacity(65536);
+    for _ in 0..65536 {
+        gather_trace.push_read(rng.gen_range(0u64..(64 * mb)) & !3, 4);
+    }
 
     vec![
         Case {
@@ -102,7 +104,9 @@ fn main() {
             "p99 lat",
         ]);
         for (i, case) in cases().into_iter().enumerate() {
-            let (sim, lat) = simulate_trace_with_latencies(&cfg, &case.trace);
+            let run = simulate(&cfg, &case.trace, &SimOptions::dual_check())
+                .expect("preset config validates");
+            let (sim, lat) = (run.stats, run.latencies);
             cursor = profile.interval(
                 &format!("engine:{}", cfg.name),
                 Phase::Dma,

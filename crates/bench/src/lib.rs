@@ -25,8 +25,9 @@ use mealib_obs::Profile;
 /// * `--profile <path>` — write a time-resolved profile of the run as
 ///   Chrome trace-event JSON (loadable in Perfetto / `chrome://tracing`);
 /// * `--jobs <N>` — worker threads for the parallel sweep paths
-///   (default 1 = serial). Modeled results are identical for any `N`;
-///   only wall-clock time changes.
+///   (default 1 = serial; `0` = one per available core, the
+///   workspace-wide [`mealib_types::auto_jobs`] convention). Modeled
+///   results are identical for any `N`; only wall-clock time changes.
 /// * `--prune` — let the static-bounds certifier skip provably-dominated
 ///   design points before the cycle-engine replay (harnesses that sweep
 ///   a design space honor it; the Pareto frontier is unchanged).
@@ -40,7 +41,8 @@ pub struct HarnessOpts {
     pub trace: Option<PathBuf>,
     /// Chrome trace-event profile destination, when requested.
     pub profile: Option<PathBuf>,
-    /// Worker threads for parallel sweeps (1 = serial).
+    /// Worker threads for parallel sweeps (1 = serial, 0 = auto:
+    /// resolved to the available cores at parse time).
     pub jobs: usize,
     /// Prune dominated design points via the static-bounds certifier.
     pub prune: bool,
@@ -83,12 +85,11 @@ impl HarnessOpts {
                 }
                 "--jobs" => {
                     // An unparseable or missing count falls back to
-                    // serial rather than aborting the harness.
-                    opts.jobs = args
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .filter(|&n| n > 0)
-                        .unwrap_or(1);
+                    // serial rather than aborting the harness; an
+                    // explicit 0 resolves to the machine's cores.
+                    opts.jobs = mealib_types::auto_jobs(
+                        args.next().and_then(|v| v.parse().ok()).unwrap_or(1),
+                    );
                 }
                 _ => {}
             }
@@ -229,10 +230,12 @@ mod tests {
             HarnessOpts::parse(["--jobs", "zero"].map(String::from)).jobs,
             1
         );
+        // An explicit 0 is the auto convention: one worker per core.
         assert_eq!(
             HarnessOpts::parse(["--jobs", "0"].map(String::from)).jobs,
-            1
+            mealib_types::auto_jobs(0)
         );
+        assert!(HarnessOpts::parse(["--jobs", "0"].map(String::from)).jobs >= 1);
         assert_eq!(HarnessOpts::parse(["--jobs"].map(String::from)).jobs, 1);
     }
 

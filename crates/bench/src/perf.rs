@@ -31,7 +31,7 @@ pub enum Direction {
 /// Classifies a metric key by name.
 pub fn metric_direction(key: &str) -> Direction {
     let k = key.to_ascii_lowercase();
-    const BIGGER: [&str; 8] = [
+    const BIGGER: [&str; 9] = [
         "gain",
         "speedup",
         "bandwidth",
@@ -40,6 +40,7 @@ pub fn metric_direction(key: &str) -> Direction {
         "hit",
         "coverage",
         "throughput",
+        "per_sec",
     ];
     const SMALLER: [&str; 6] = ["time", "edp", "energy", "wall", "overhead", "latency"];
     if BIGGER.iter().any(|m| k.contains(m)) {
@@ -200,10 +201,13 @@ fn classify(bench: &str, key: &str, before: f64, after: f64, gate: &GateOptions)
     } else {
         gate.metric_threshold_pct
     };
-    let direction = if wall {
-        Direction::SmallerBetter
-    } else {
-        metric_direction(key)
+    // Name-based direction wins even for wall metrics: a measured
+    // throughput (`*per_sec*`) or `speedup_wall` is better *bigger*
+    // despite being wall-derived. Only direction-less wall metrics
+    // default to smaller-is-better (they are elapsed times).
+    let direction = match metric_direction(key) {
+        Direction::Unknown if wall => Direction::SmallerBetter,
+        d => d,
     };
     let regressed = match direction {
         Direction::BiggerBetter => delta_pct < -threshold,
@@ -257,6 +261,59 @@ pub fn compare(before: &BenchSummary, after: &BenchSummary, gate: &GateOptions) 
         }
     }
     report
+}
+
+/// An absolute floor on one metric of a summary: `bench.key >= min`.
+///
+/// Floors complement the relative trajectory gate: a wall-derived
+/// throughput can be demoted to report-only for *drift* while still
+/// hard-failing when it falls below a required multiple (e.g. the fast
+/// engine must stay >= 5x the cycle engine's burst rate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinRule {
+    /// Harness the metric belongs to.
+    pub bench: String,
+    /// Metric key within the harness record.
+    pub key: String,
+    /// Inclusive lower bound the metric must meet.
+    pub min: f64,
+}
+
+impl MinRule {
+    /// Parses `bench.key=N` (as accepted by `meaperf --min`).
+    pub fn parse(spec: &str) -> Option<Self> {
+        let (name, min) = spec.split_once('=')?;
+        let (bench, key) = name.split_once('.')?;
+        if bench.is_empty() || key.is_empty() {
+            return None;
+        }
+        Some(Self {
+            bench: bench.to_string(),
+            key: key.to_string(),
+            min: min.trim().parse().ok()?,
+        })
+    }
+}
+
+/// Checks `rules` against `summary`, returning one violation message
+/// per rule that fails. A missing bench or metric is a violation — an
+/// absent number must not silently pass a floor.
+pub fn check_minimums(summary: &BenchSummary, rules: &[MinRule]) -> Vec<String> {
+    let mut out = Vec::new();
+    for r in rules {
+        match summary.bench(&r.bench).and_then(|b| b.metric(&r.key)) {
+            Some(v) if v >= r.min => {}
+            Some(v) => out.push(format!(
+                "MIN  {}.{} = {v:.6} < required {:.6}",
+                r.bench, r.key, r.min
+            )),
+            None => out.push(format!(
+                "MIN  {}.{} missing (required >= {:.6})",
+                r.bench, r.key, r.min
+            )),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -364,6 +421,59 @@ mod tests {
         let after = summary(&[("b", &[("workloads", 6.0)])]); // -14%
         let gate = GateOptions::default();
         assert!(compare(&before, &after, &gate).failed(&gate));
+    }
+
+    #[test]
+    fn wall_derived_throughput_gates_on_drops_not_rises() {
+        // bursts_per_sec_per_core is wall-derived (loose threshold,
+        // demotable) but bigger-is-better: a rise must never regress.
+        let before = summary(&[("engine", &[("fast_bursts_per_sec_per_core", 1.0e6)])]);
+        let faster = summary(&[("engine", &[("fast_bursts_per_sec_per_core", 2.0e6)])]);
+        let slower = summary(&[("engine", &[("fast_bursts_per_sec_per_core", 0.5e6)])]);
+        let gate = GateOptions::default();
+        assert!(!compare(&before, &faster, &gate).failed(&gate));
+        let report = compare(&before, &slower, &gate);
+        assert!(report.failed(&gate), "-50% throughput over 20% wall gate");
+        let d = &report.deltas[0];
+        assert!(d.wall, "throughput is wall-derived");
+        let demoted = GateOptions {
+            wall_report_only: true,
+            ..gate
+        };
+        assert!(!report.failed(&demoted), "and therefore demotable");
+        // speedup_wall keeps its bigger-is-better name direction too.
+        let before = summary(&[("b", &[("speedup_wall", 2.0)])]);
+        let after = summary(&[("b", &[("speedup_wall", 4.0)])]);
+        assert!(!compare(&before, &after, &gate).failed(&gate));
+    }
+
+    #[test]
+    fn min_rules_parse_and_floor_the_newer_summary() {
+        let r = MinRule::parse("engine.fast_over_cycle=5").expect("valid spec");
+        assert_eq!(
+            r,
+            MinRule {
+                bench: "engine".into(),
+                key: "fast_over_cycle".into(),
+                min: 5.0
+            }
+        );
+        assert!(MinRule::parse("no-equals").is_none());
+        assert!(MinRule::parse("nodot=5").is_none());
+        assert!(MinRule::parse("a.b=notanumber").is_none());
+
+        let s = summary(&[("engine", &[("fast_over_cycle", 7.5)])]);
+        assert!(check_minimums(&s, std::slice::from_ref(&r)).is_empty());
+        let low = summary(&[("engine", &[("fast_over_cycle", 3.0)])]);
+        let violations = check_minimums(&low, std::slice::from_ref(&r));
+        assert_eq!(violations.len(), 1);
+        assert!(
+            violations[0].contains("engine.fast_over_cycle"),
+            "{violations:?}"
+        );
+        // A missing metric is a violation, not a silent pass.
+        let missing = summary(&[("other", &[("x", 1.0)])]);
+        assert_eq!(check_minimums(&missing, &[r]).len(), 1);
     }
 
     #[test]

@@ -155,6 +155,67 @@ impl AddressMapping {
         self.decode(addr).unit
     }
 
+    /// Number of bytes starting at `addr` (inclusive) that are
+    /// guaranteed to decode into one contiguous span of a single
+    /// `(unit, bank, row)`: for every `d` below the returned value,
+    /// `decode(addr + d)` has the same unit, bank, and row as
+    /// `decode(addr)` and `col_byte` exactly `d` larger.
+    ///
+    /// This is the distance to the next interleave boundary (or row
+    /// boundary, when a single unit serves the region, or the
+    /// asymmetric split). The fast engine uses it to decode whole
+    /// same-row runs with a single [`decode`](Self::decode) call; the
+    /// guarantee above is what keeps that batched decode bit-exact
+    /// with the per-burst decode, and is property-checked in tests.
+    pub fn contiguous_run_bytes(&self, addr: PhysAddr) -> u64 {
+        match *self {
+            AddressMapping::Interleaved {
+                units,
+                row_bytes,
+                line_bytes,
+                ..
+            }
+            | AddressMapping::XorInterleaved {
+                units,
+                row_bytes,
+                line_bytes,
+                ..
+            } => {
+                // A single unit keeps contiguous addresses in one row
+                // until the row boundary; interleaving breaks the span
+                // at the next line boundary.
+                if units == 1 {
+                    row_bytes - addr.get() % row_bytes
+                } else {
+                    line_bytes - addr.get() % line_bytes
+                }
+            }
+            AddressMapping::Asymmetric {
+                low_units,
+                row_bytes,
+                line_bytes,
+                split,
+                ..
+            } => {
+                if addr < split {
+                    let span = if low_units == 1 {
+                        row_bytes - addr.get() % row_bytes
+                    } else {
+                        line_bytes - addr.get() % line_bytes
+                    };
+                    // A span must never cross the split: the high
+                    // region decodes under a different scheme.
+                    span.min(split.get() - addr.get())
+                } else {
+                    // The dedicated high region is a single contiguous
+                    // unit addressed relative to the split.
+                    let within = addr.get() - split.get();
+                    row_bytes - within % row_bytes
+                }
+            }
+        }
+    }
+
     /// Returns `true` if `addr` falls in a region that is physically
     /// contiguous within a single unit (what the accelerators require).
     pub fn is_single_unit(&self, addr: PhysAddr) -> bool {
@@ -404,6 +465,56 @@ mod tests {
             let loc = hashed.decode(PhysAddr::new(i * 191));
             assert!(loc.unit < 4);
             assert!(loc.bank < 8);
+        }
+    }
+
+    #[test]
+    fn contiguous_runs_decode_contiguously() {
+        // The guarantee the fast engine's batched decode rests on:
+        // every byte inside the advertised span shares the first
+        // byte's (unit, bank, row) and advances col_byte linearly.
+        let maps = [
+            dual_channel_dimms(),
+            hmc_vaults(),
+            asymmetric_dimms(PhysAddr::new((1 << 20) + 96)), // unaligned split
+            AddressMapping::Interleaved {
+                units: 1,
+                banks_per_unit: 4,
+                row_bytes: 1024,
+                line_bytes: 64,
+            },
+            AddressMapping::XorInterleaved {
+                units: 4,
+                banks_per_unit: 8,
+                row_bytes: 4096,
+                line_bytes: 64,
+            },
+            AddressMapping::XorInterleaved {
+                units: 1,
+                banks_per_unit: 8,
+                row_bytes: 4096,
+                line_bytes: 64,
+            },
+        ];
+        for m in &maps {
+            for i in 0..2048u64 {
+                // Sample addresses around the asymmetric split and at
+                // odd offsets, not just line-aligned ones.
+                let addr = PhysAddr::new((1 << 20) - 1024 + i * 37);
+                let run = m.contiguous_run_bytes(addr);
+                assert!(run >= 1, "{m:?}: empty run at {addr:?}");
+                let base = m.decode(addr);
+                for d in [1, run / 2, run - 1] {
+                    if d == 0 || d >= run {
+                        continue;
+                    }
+                    let loc = m.decode(PhysAddr::new(addr.get() + d));
+                    assert_eq!(loc.unit, base.unit, "{m:?} at {addr:?} + {d}");
+                    assert_eq!(loc.bank, base.bank, "{m:?} at {addr:?} + {d}");
+                    assert_eq!(loc.row, base.row, "{m:?} at {addr:?} + {d}");
+                    assert_eq!(loc.col_byte, base.col_byte + d, "{m:?} at {addr:?} + {d}");
+                }
+            }
         }
     }
 

@@ -315,7 +315,10 @@ mod tests {
         let c = single_channel_config();
         let bytes = 4u64 << 20;
         let est = estimate(&c, &AccessPattern::sequential_read(bytes));
-        let sim = engine::simulate_trace(&c, &engine::sequential_trace(0, bytes, 64, Op::Read));
+        let trace = engine::sequential_trace(0, bytes, 64, Op::Read);
+        let sim = engine::simulate(&c, &trace, &engine::SimOptions::dual_check())
+            .unwrap()
+            .stats;
         let r = ratio(est.elapsed.get(), sim.elapsed.get());
         assert!((0.8..=1.25).contains(&r), "sequential time ratio {r}");
         // The engine reopens rows after periodic refreshes, so it sees a
@@ -341,7 +344,10 @@ mod tests {
                 write: false,
             },
         );
-        let sim = engine::simulate_trace(&c, &engine::strided_trace(0, 8192, 64, 4096, Op::Read));
+        let trace = engine::strided_trace(0, 8192, 64, 4096, Op::Read);
+        let sim = engine::simulate(&c, &trace, &engine::SimOptions::dual_check())
+            .unwrap()
+            .stats;
         let r = ratio(est.elapsed.get(), sim.elapsed.get());
         assert!((0.5..=2.0).contains(&r), "strided time ratio {r}");
         assert_eq!(est.row_hit_rate(), Some(0.0));
@@ -353,7 +359,10 @@ mod tests {
         let c = MemoryConfig::hmc_stack();
         let bytes = 32u64 << 20;
         let est = estimate(&c, &AccessPattern::sequential_read(bytes));
-        let sim = engine::simulate_trace(&c, &engine::sequential_trace(0, bytes, 256, Op::Read));
+        let trace = engine::sequential_trace(0, bytes, 256, Op::Read);
+        let sim = engine::simulate(&c, &trace, &engine::SimOptions::dual_check())
+            .unwrap()
+            .stats;
         let r = ratio(est.elapsed.get(), sim.elapsed.get());
         assert!((0.7..=1.4).contains(&r), "hmc sequential ratio {r}");
     }

@@ -2,7 +2,7 @@
 //!
 //! [`trace_bounds`] walks a request trace through exactly the burst
 //! splitting and address decoding the engine uses
-//! ([`crate::engine::simulate_trace`]), but instead of replaying DRAM
+//! ([`crate::engine::simulate`]), but instead of replaying DRAM
 //! timing it derives closed [`Interval`] bounds on every counter the
 //! engine reports. The guarantee — for every valid config and every
 //! trace, `lo <= measured <= hi` on bytes, RD/WR bursts, activations,
@@ -34,8 +34,9 @@
 use mealib_types::{Interval, PhysAddr, Seconds};
 
 use crate::config::MemoryConfig;
-use crate::engine::{Op, Request};
+use crate::engine::Op;
 use crate::stats::TraceStats;
+use crate::trace::TraceBuffer;
 
 /// Certified bounds on the engine counters of one trace.
 #[derive(Debug, Clone, PartialEq)]
@@ -120,10 +121,10 @@ struct UnitBounds {
 ///
 /// Returns the first [`mealib_types::ConfigError`] found in `config` —
 /// the same rejection surface as [`crate::analytic::try_estimate`] and
-/// [`crate::engine::try_simulate_trace`].
+/// [`crate::engine::simulate`].
 pub fn trace_bounds(
     config: &MemoryConfig,
-    trace: &[Request],
+    trace: &TraceBuffer,
 ) -> Result<TraceBounds, mealib_types::ConfigError> {
     config.validate()?;
     let t = &config.timing;
@@ -144,7 +145,7 @@ pub fn trace_bounds(
     let mut bytes_written = 0u64;
 
     // The engine's burst splitting, verbatim: burst-aligned chunks.
-    for req in trace {
+    for req in trace.iter() {
         let mut remaining = req.bytes;
         let mut addr = req.addr.get();
         while remaining > 0 {
@@ -245,11 +246,13 @@ pub fn trace_bounds(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{self, Op};
+    use crate::engine::{self, Op, Request, SimOptions};
 
-    fn check(config: &MemoryConfig, trace: &[Request]) -> TraceBounds {
+    fn check(config: &MemoryConfig, trace: &TraceBuffer) -> TraceBounds {
         let bounds = trace_bounds(config, trace).expect("valid config");
-        let measured = engine::simulate_trace(config, trace);
+        let measured = engine::simulate(config, trace, &SimOptions::dual_check())
+            .expect("valid config")
+            .stats;
         if let Some(violation) = bounds.check_contains(&measured) {
             panic!("{}: {violation}", config.name);
         }
@@ -275,7 +278,7 @@ mod tests {
     fn bounds_contain_engine_on_strided_and_mixed() {
         let config = MemoryConfig::hmc_stack();
         let mut trace = engine::strided_trace(0, 8192, 64, 4096, Op::Read);
-        trace.extend(engine::sequential_trace(1 << 26, 1 << 20, 256, Op::Write));
+        trace.extend(&engine::sequential_trace(1 << 26, 1 << 20, 256, Op::Write));
         let b = check(&config, &trace);
         assert!(b.read_bursts.is_exact() && b.write_bursts.is_exact());
         assert!(b.bytes_written.contains((1u64 << 20) as f64));
@@ -286,7 +289,7 @@ mod tests {
         let config = MemoryConfig::hmc_stack();
         let trace = engine::sequential_trace(4096, 2 << 20, 256, Op::Read);
         let bounds = trace_bounds(&config, &trace).unwrap();
-        let run = engine::simulate_trace_detailed(&config, &trace);
+        let run = engine::simulate(&config, &trace, &SimOptions::default()).unwrap();
         let measured: Vec<u64> = run
             .vaults
             .iter()
@@ -297,7 +300,7 @@ mod tests {
 
     #[test]
     fn empty_trace_is_all_zero() {
-        let b = trace_bounds(&MemoryConfig::hmc_stack(), &[]).unwrap();
+        let b = trace_bounds(&MemoryConfig::hmc_stack(), &TraceBuffer::new()).unwrap();
         assert_eq!(b.cycles, Interval::ZERO);
         assert_eq!(b.total_bursts(), 0);
         assert_eq!(b.energy, Interval::ZERO);
@@ -312,7 +315,8 @@ mod tests {
             row_bytes: 8192,
             line_bytes: 64,
         };
-        assert!(trace_bounds(&c, &[Request::read(0, 64)]).is_err());
+        let one = TraceBuffer::from(&[Request::read(0, 64)]);
+        assert!(trace_bounds(&c, &one).is_err());
     }
 
     #[test]

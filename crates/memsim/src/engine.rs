@@ -1,23 +1,33 @@
-//! Event-driven cycle-level trace replay.
+//! Dual-engine trace replay behind one [`simulate`] entry point.
 //!
-//! The engine replays an explicit request trace against per-bank state
-//! machines (open row, activate/precharge timing) and a per-unit data
-//! bus. It is intentionally at the same abstraction level as the "in-house
-//! cycle-accurate 3D-stacked DRAM simulator" of §4.2: FCFS per unit,
-//! bank-level parallelism, one command clock.
+//! Two engines share one model. The **cycle engine** (this module)
+//! replays an explicit request trace burst by burst against per-bank
+//! state machines (open row, activate/precharge timing) and a per-unit
+//! data bus — the same abstraction level as the "in-house cycle-accurate
+//! 3D-stacked DRAM simulator" of §4.2: FCFS per unit, bank-level
+//! parallelism, one command clock. The **fast engine**
+//! ([`crate::fast`]) is an event-driven replay of the same model that
+//! batches contiguous row-hit streaks analytically and skips straight to
+//! the next bank/bus/refresh event; it is bit-exact against the cycle
+//! engine by construction and by proptest, and
+//! [`EngineKind::DualCheck`] runs both and diffs every statistic.
 //!
-//! Writes share the read datapath model; write-recovery (`tWR`) is folded
-//! into the precharge path, which is accurate enough for the
+//! Traces live in the SoA [`TraceBuffer`]; [`SimOptions`] selects the
+//! engine, worker count, and optional cycle-windowed profiling.
+//!
+//! Writes share the read datapath model; write-recovery (`tWR`) is
+//! folded into the precharge path, which is accurate enough for the
 //! bandwidth/energy questions this reproduction asks.
 
 use mealib_obs::timeline::{Timeline, WindowCounters};
 use mealib_obs::{Counter, Obs};
-use mealib_types::{Bytes, Cycles, PhysAddr};
+use mealib_types::{Bytes, ConfigError, Cycles, PhysAddr};
 
 use crate::address::{AddressMapping, Location};
 use crate::config::MemoryConfig;
 use crate::stats::TraceStats;
 use crate::timing::DramTiming;
+use crate::trace::TraceBuffer;
 
 /// Direction of a memory request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,18 +70,18 @@ impl Request {
 }
 
 #[derive(Debug, Clone, Default)]
-struct BankState {
-    open_row: Option<u64>,
+pub(crate) struct BankState {
+    pub(crate) open_row: Option<u64>,
     /// Earliest cycle the bank can accept its next command.
-    cmd_ready: u64,
+    pub(crate) cmd_ready: u64,
     /// Cycle of the most recent activation (for tRAS/tRC).
-    act_at: u64,
-    has_activated: bool,
+    pub(crate) act_at: u64,
+    pub(crate) has_activated: bool,
 }
 
 /// Sliding four-activation window per unit (tFAW enforcement).
 #[derive(Debug, Clone, Default)]
-struct ActWindow {
+pub(crate) struct ActWindow {
     recent: [u64; 4],
     next: usize,
 }
@@ -109,12 +119,27 @@ impl LatencyHistogram {
     /// Index of the saturating top bucket: it covers `[2^31, ∞)` cycles.
     pub const SATURATION_BUCKET: usize = 31;
 
-    fn record(&mut self, latency_cycles: u64) {
-        let k = (64 - latency_cycles.leading_zeros())
+    /// Bucket index a latency lands in — the shared binning rule, so the
+    /// fast engine's batched [`LatencyHistogram::record_n`] and the
+    /// cycle engine's per-burst [`LatencyHistogram::record`] agree
+    /// bucket-for-bucket.
+    pub(crate) fn bucket_of(latency_cycles: u64) -> usize {
+        (64 - latency_cycles.leading_zeros())
             .saturating_sub(1)
-            .min(Self::SATURATION_BUCKET as u32);
-        self.buckets[k as usize] += 1;
+            .min(Self::SATURATION_BUCKET as u32) as usize
+    }
+
+    fn record(&mut self, latency_cycles: u64) {
+        self.buckets[Self::bucket_of(latency_cycles)] += 1;
         self.total += 1;
+    }
+
+    /// Records `n` latencies that all land in `bucket` — the fast
+    /// engine's analytic batch path for a streak of identical per-burst
+    /// latencies.
+    pub(crate) fn record_n(&mut self, bucket: usize, n: u64) {
+        self.buckets[bucket] += n;
+        self.total += n;
     }
 
     /// Folds another histogram into this one. Buckets and totals are
@@ -170,8 +195,7 @@ impl LatencyHistogram {
     }
 }
 
-/// Per-vault (per-unit) command counts collected by
-/// [`simulate_trace_detailed`].
+/// Per-vault (per-unit) command counts collected by [`simulate`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct VaultStats {
     /// Read bursts serviced by this vault.
@@ -191,19 +215,26 @@ pub struct VaultStats {
 }
 
 /// Full output of one engine replay: the aggregate statistics, the
-/// per-burst latency histogram, and per-vault command counts.
+/// per-burst latency histogram, per-vault command counts, and — when
+/// [`SimOptions::profile`] requested it — the cycle-windowed per-vault
+/// timeline.
 ///
 /// `PartialEq` compares every field — including the derived `f64`
 /// time/energy values — exactly, which is what the determinism suite
-/// uses to hold parallel and serial runs bit-for-bit equal.
+/// and [`EngineKind::DualCheck`] use to hold runs bit-for-bit equal.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct EngineRun {
     /// Aggregate timing / row-buffer / energy statistics.
     pub stats: TraceStats,
-    /// Per-burst latency histogram.
+    /// Per-burst latency histogram (empty when the run was configured
+    /// with `latencies: false`).
     pub latencies: LatencyHistogram,
     /// Command counts per vault (index = unit number in the mapping).
     pub vaults: Vec<VaultStats>,
+    /// Cycle-windowed per-vault counters; `Some` exactly when
+    /// [`SimOptions::profile`] was `Some(window_cycles)`. Window `w`
+    /// covers completion cycles `[w·W, (w+1)·W)`.
+    pub timeline: Option<Timeline>,
 }
 
 impl EngineRun {
@@ -225,72 +256,252 @@ impl EngineRun {
     }
 }
 
-/// Replays `trace` in order against the device described by `config`,
-/// returning aggregate timing, row-buffer, and energy statistics.
+/// Which replay engine [`simulate`] runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineKind {
+    /// The cycle-accurate oracle: every burst steps the per-bank state
+    /// machines individually.
+    #[default]
+    Cycle,
+    /// The event-driven epoch-skipping engine: contiguous row-hit burst
+    /// streaks are batched analytically and dead time is skipped to the
+    /// next bank/bus/refresh event. Bit-exact against [`Cycle`]
+    /// (`EngineKind::Cycle`) for every statistic.
+    Fast,
+    /// Runs both engines and diffs the results; returns
+    /// [`SimError::EngineDivergence`] on any mismatch. The validation
+    /// mode — roughly the cost of both engines combined.
+    DualCheck,
+}
+
+/// Options for one [`simulate`] call.
+///
+/// The `Default` is the cycle-accurate oracle, serial, with latency
+/// collection on and profiling off — the exact behaviour of the old
+/// `simulate_trace_detailed`.
+///
+/// # `jobs` semantics
+///
+/// One convention across every parallel path in the workspace
+/// (normalized through [`mealib_types::auto_jobs`]):
+///
+/// * `0` ⇒ **auto** — one worker per available hardware thread;
+/// * `1` ⇒ the **exact serial path** on the calling thread (no shard
+///   allocation, no worker pool);
+/// * `n > 1` ⇒ the vault-sharded replay on up to `n` workers.
+///
+/// Modeled results are bit-identical for every value; only wall-clock
+/// time changes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimOptions {
+    /// Replay engine ([`EngineKind::Cycle`] by default).
+    pub engine: EngineKind,
+    /// Worker threads: `0` = auto, `1` = exact serial path, `n` = up to
+    /// `n` workers (vault-sharded).
+    pub jobs: usize,
+    /// Collect the per-burst latency histogram (`true` by default).
+    /// When `false` the returned [`EngineRun::latencies`] is empty.
+    pub latencies: bool,
+    /// `Some(window_cycles)` additionally accumulates the cycle-windowed
+    /// per-vault [`Timeline`] into [`EngineRun::timeline`]. Profiling
+    /// charges every burst individually, so it forces the per-burst
+    /// cycle-accurate accounting path on any engine kind (the fast
+    /// engine's streak batching is bypassed; results are unchanged).
+    pub profile: Option<u64>,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self {
+            engine: EngineKind::Cycle,
+            jobs: 1,
+            latencies: true,
+            profile: None,
+        }
+    }
+}
+
+impl SimOptions {
+    /// Cycle-accurate oracle engine (same as `Default`).
+    pub fn cycle() -> Self {
+        Self::default()
+    }
+
+    /// Event-driven epoch-skipping engine.
+    pub fn fast() -> Self {
+        Self {
+            engine: EngineKind::Fast,
+            ..Self::default()
+        }
+    }
+
+    /// Run both engines and diff every statistic.
+    pub fn dual_check() -> Self {
+        Self {
+            engine: EngineKind::DualCheck,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the worker count (`0` = auto, `1` = serial, `n` = up to `n`).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Enables or disables latency-histogram collection.
+    pub fn latencies(mut self, collect: bool) -> Self {
+        self.latencies = collect;
+        self
+    }
+
+    /// Requests the cycle-windowed per-vault timeline with windows of
+    /// `window_cycles` command-clock cycles.
+    pub fn profile(mut self, window_cycles: u64) -> Self {
+        self.profile = Some(window_cycles);
+        self
+    }
+}
+
+/// Error from [`simulate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The memory configuration failed validation.
+    Config(ConfigError),
+    /// `SimOptions::profile` was `Some(0)`; the timeline window must be
+    /// a positive cycle count.
+    ZeroWindow,
+    /// [`EngineKind::DualCheck`] found the fast engine disagreeing with
+    /// the cycle oracle. The payload names the differing fields — this
+    /// is always an engine bug, never an input problem.
+    EngineDivergence(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Config(e) => write!(f, "invalid memory configuration: {e}"),
+            Self::ZeroWindow => write!(f, "profile window must be a positive cycle count"),
+            Self::EngineDivergence(what) => {
+                write!(f, "fast engine diverged from the cycle oracle: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        Self::Config(e)
+    }
+}
+
+/// Replays `trace` in program order against the device described by
+/// `config` — the one entry point for every engine, threading, latency,
+/// and profiling combination (see [`SimOptions`]).
 ///
 /// Requests longer than one burst are split into burst-sized accesses at
 /// burst-aligned boundaries, exactly as a vault controller would issue
-/// them.
-///
-/// # Panics
-///
-/// Panics if `config` fails validation. Use [`try_simulate_trace`] to
-/// get a typed error instead.
-pub fn simulate_trace(config: &MemoryConfig, trace: &[Request]) -> TraceStats {
-    simulate_trace_detailed(config, trace).stats
-}
-
-/// Like [`simulate_trace`], but reports an invalid configuration as a
-/// typed error instead of panicking.
+/// them. Modeled results are bit-identical across engine kinds and
+/// worker counts; [`EngineKind::DualCheck`] enforces that equality at
+/// run time.
 ///
 /// # Errors
 ///
-/// Returns the first [`mealib_types::ConfigError`] found in `config`.
-pub fn try_simulate_trace(
+/// * [`SimError::Config`] when `config` fails validation;
+/// * [`SimError::ZeroWindow`] when `opts.profile == Some(0)`;
+/// * [`SimError::EngineDivergence`] when `DualCheck` finds a mismatch
+///   (an engine bug, not an input problem).
+///
+/// # Examples
+///
+/// ```
+/// use mealib_memsim::config::MemoryConfig;
+/// use mealib_memsim::engine::{sequential_trace, simulate, Op, SimOptions};
+///
+/// let config = MemoryConfig::hmc_stack();
+/// let trace = sequential_trace(0, 1 << 20, 256, Op::Read);
+/// let run = simulate(&config, &trace, &SimOptions::fast()).unwrap();
+/// assert_eq!(run.stats.bytes_read.get(), 1 << 20);
+/// ```
+pub fn simulate(
     config: &MemoryConfig,
-    trace: &[Request],
-) -> Result<TraceStats, mealib_types::ConfigError> {
+    trace: &TraceBuffer,
+    opts: &SimOptions,
+) -> Result<EngineRun, SimError> {
     config.validate()?;
-    Ok(simulate_trace_detailed(config, trace).stats)
+    if opts.profile == Some(0) {
+        return Err(SimError::ZeroWindow);
+    }
+    let jobs = mealib_types::auto_jobs(opts.jobs);
+    let mut run = match opts.engine {
+        EngineKind::Cycle => run_cycle(config, trace, jobs, opts.profile),
+        EngineKind::Fast => crate::fast::run_fast(config, trace, jobs, opts.profile),
+        EngineKind::DualCheck => {
+            let cycle = run_cycle(config, trace, jobs, opts.profile);
+            let fast = crate::fast::run_fast(config, trace, jobs, opts.profile);
+            if fast != cycle {
+                return Err(SimError::EngineDivergence(divergence_report(&cycle, &fast)));
+            }
+            cycle
+        }
+    };
+    if !opts.latencies {
+        run.latencies = LatencyHistogram::default();
+    }
+    Ok(run)
 }
 
-/// Like [`simulate_trace`], additionally collecting the per-burst
-/// latency histogram (how long each burst waited behind bank timing,
-/// refresh, tFAW, and bus contention).
-///
-/// # Panics
-///
-/// Panics if `config` fails validation.
-pub fn simulate_trace_with_latencies(
-    config: &MemoryConfig,
-    trace: &[Request],
-) -> (TraceStats, LatencyHistogram) {
-    let run = simulate_trace_detailed(config, trace);
-    (run.stats, run.latencies)
+/// Names the fields where two runs disagree, with a one-line numeric
+/// sketch for the aggregates — enough to localize an engine bug without
+/// dumping whole histograms.
+fn divergence_report(cycle: &EngineRun, fast: &EngineRun) -> String {
+    let mut parts = Vec::new();
+    if cycle.stats != fast.stats {
+        parts.push(format!(
+            "stats (cycle: {} cycles, {} acts, {} hits; fast: {} cycles, {} acts, {} hits)",
+            cycle.stats.cycles.get(),
+            cycle.stats.activations,
+            cycle.stats.row_hits,
+            fast.stats.cycles.get(),
+            fast.stats.activations,
+            fast.stats.row_hits,
+        ));
+    }
+    if cycle.latencies != fast.latencies {
+        parts.push(format!(
+            "latency histogram (cycle: {} recorded; fast: {})",
+            cycle.latencies.count(),
+            fast.latencies.count()
+        ));
+    }
+    if cycle.vaults != fast.vaults {
+        let unit = cycle
+            .vaults
+            .iter()
+            .zip(&fast.vaults)
+            .position(|(c, f)| c != f);
+        match unit {
+            Some(u) => parts.push(format!("vault stats (first divergent unit: {u})")),
+            None => parts.push("vault stats (unit count differs)".to_string()),
+        }
+    }
+    if cycle.timeline != fast.timeline {
+        parts.push("timeline".to_string());
+    }
+    if parts.is_empty() {
+        // Unreachable in practice: the caller only builds a report when
+        // the runs compare unequal.
+        parts.push("unknown field".to_string());
+    }
+    parts.join("; ")
 }
 
-/// Like [`simulate_trace`], additionally collecting the latency
-/// histogram and per-vault command counts.
-///
-/// # Panics
-///
-/// Panics if `config` fails validation.
-pub fn simulate_trace_detailed(config: &MemoryConfig, trace: &[Request]) -> EngineRun {
-    config
-        .validate()
-        .unwrap_or_else(|e| panic!("invalid memory configuration: {e}"));
-    let t = &config.timing;
-    let mapping = &config.mapping;
-    let banks = mapping.banks_per_unit();
-    let mut units: Vec<UnitEngine> = (0..mapping.units())
-        .map(|_| UnitEngine::new(banks))
-        .collect();
-    for_each_burst(t, mapping, trace, |b| units[b.loc.unit].burst(t, &b));
-    finish_run(config, units)
-}
-
-/// Like [`simulate_trace_detailed`], but shards the replay across up to
-/// `jobs` worker threads at the unit (vault/channel) boundary.
+/// The cycle-accurate oracle replay: serial when `jobs <= 1`, otherwise
+/// vault-sharded across up to `jobs` workers.
 ///
 /// The trace is partitioned at *burst* granularity — consecutive bursts
 /// of one request land on different units under interleaving, so whole
@@ -306,144 +517,46 @@ pub fn simulate_trace_detailed(config: &MemoryConfig, trace: &[Request]) -> Engi
 /// to the serial run for every statistic, including the derived `f64`
 /// time and energy.
 ///
-/// `jobs <= 1` falls back to the serial [`simulate_trace_detailed`]
-/// path.
-///
-/// # Panics
-///
-/// Panics if `config` fails validation. Use
-/// [`try_simulate_trace_parallel`] for a typed error instead.
-pub fn simulate_trace_parallel(config: &MemoryConfig, trace: &[Request], jobs: usize) -> EngineRun {
-    if jobs <= 1 {
-        return simulate_trace_detailed(config, trace);
-    }
-    config
-        .validate()
-        .unwrap_or_else(|e| panic!("invalid memory configuration: {e}"));
-    let t = &config.timing;
-    let mapping = &config.mapping;
-    let banks = mapping.banks_per_unit();
-    let mut shards: Vec<Vec<Burst>> = vec![Vec::new(); mapping.units()];
-    for_each_burst(t, mapping, trace, |b| shards[b.loc.unit].push(b));
-    let units = mealib_types::par_map(&shards, jobs, |shard| {
-        let mut unit = UnitEngine::new(banks);
-        for b in shard {
-            unit.burst(t, b);
-        }
-        unit
-    });
-    finish_run(config, units)
-}
-
-/// Like [`simulate_trace_parallel`], reporting an invalid configuration
-/// as a typed error instead of panicking.
-///
-/// # Errors
-///
-/// Returns the first [`mealib_types::ConfigError`] found in `config`.
-pub fn try_simulate_trace_parallel(
+/// Expects a pre-validated `config` and a pre-normalized `jobs`.
+pub(crate) fn run_cycle(
     config: &MemoryConfig,
-    trace: &[Request],
+    trace: &TraceBuffer,
     jobs: usize,
-) -> Result<EngineRun, mealib_types::ConfigError> {
-    config.validate()?;
-    Ok(simulate_trace_parallel(config, trace, jobs))
-}
-
-/// Output of a profiled replay: the usual [`EngineRun`] plus the
-/// cycle-windowed per-vault [`Timeline`] (lane = unit index).
-#[derive(Debug, Clone, PartialEq)]
-pub struct ProfiledRun {
-    /// Aggregate statistics, latency histogram, and per-vault counts.
-    pub run: EngineRun,
-    /// Windowed counters; window `w` covers completion cycles
-    /// `[w·W, (w+1)·W)` at the configured width `W`.
-    pub timeline: Timeline,
-}
-
-/// Like [`simulate_trace_detailed`], additionally accumulating a
-/// cycle-windowed per-vault [`Timeline`] with windows of `window_cycles`
-/// command-clock cycles.
-///
-/// Each burst's contribution (bytes, ACT/PRE, hits/misses, refresh debt,
-/// bus occupancy, FCFS queue wait) is charged to the window containing
-/// its final data-bus cycle. Summing all cells reproduces the aggregate
-/// counters of the unprofiled run exactly (integer equality), because
-/// every burst is charged exactly once.
-///
-/// # Panics
-///
-/// Panics if `config` fails validation or `window_cycles` is zero.
-pub fn simulate_trace_profiled(
-    config: &MemoryConfig,
-    trace: &[Request],
-    window_cycles: u64,
-) -> ProfiledRun {
-    config
-        .validate()
-        .unwrap_or_else(|e| panic!("invalid memory configuration: {e}"));
+    profile: Option<u64>,
+) -> EngineRun {
     let t = &config.timing;
     let mapping = &config.mapping;
     let banks = mapping.banks_per_unit();
-    let mut units: Vec<UnitEngine> = (0..mapping.units())
-        .map(|_| UnitEngine::with_timeline(banks, window_cycles))
-        .collect();
-    for_each_burst(t, mapping, trace, |b| units[b.loc.unit].burst(t, &b));
-    let timeline = collect_timeline(window_cycles, &mut units);
-    ProfiledRun {
-        run: finish_run(config, units),
-        timeline,
-    }
-}
-
-/// Like [`simulate_trace_profiled`], sharded across up to `jobs` workers
-/// at the unit boundary (see [`simulate_trace_parallel`]).
-///
-/// The per-unit window maps are a pure function of each unit's private
-/// burst stream, and the fold into one [`Timeline`] keys cells by
-/// `(window, unit)` with commutative integer sums — the same
-/// order-independent reduction as the aggregate merge — so the parallel
-/// timeline is **bit-identical** to the serial one.
-///
-/// # Panics
-///
-/// Panics if `config` fails validation or `window_cycles` is zero.
-pub fn simulate_trace_profiled_parallel(
-    config: &MemoryConfig,
-    trace: &[Request],
-    window_cycles: u64,
-    jobs: usize,
-) -> ProfiledRun {
-    if jobs <= 1 {
-        return simulate_trace_profiled(config, trace, window_cycles);
-    }
-    config
-        .validate()
-        .unwrap_or_else(|e| panic!("invalid memory configuration: {e}"));
-    let t = &config.timing;
-    let mapping = &config.mapping;
-    let banks = mapping.banks_per_unit();
-    let mut shards: Vec<Vec<Burst>> = vec![Vec::new(); mapping.units()];
-    for_each_burst(t, mapping, trace, |b| shards[b.loc.unit].push(b));
-    let mut units = mealib_types::par_map(&shards, jobs, |shard| {
-        let mut unit = UnitEngine::with_timeline(banks, window_cycles);
-        for b in shard {
-            unit.burst(t, b);
-        }
-        unit
-    });
-    let timeline = collect_timeline(window_cycles, &mut units);
-    ProfiledRun {
-        run: finish_run(config, units),
-        timeline,
-    }
+    let make = || match profile {
+        Some(w) => UnitEngine::with_timeline(banks, w),
+        None => UnitEngine::new(banks),
+    };
+    let mut units: Vec<UnitEngine> = if jobs <= 1 {
+        let mut units: Vec<UnitEngine> = (0..mapping.units()).map(|_| make()).collect();
+        for_each_burst(t, mapping, trace, |b| units[b.loc.unit].burst(t, &b));
+        units
+    } else {
+        let mut shards: Vec<Vec<Burst>> = vec![Vec::new(); mapping.units()];
+        for_each_burst(t, mapping, trace, |b| shards[b.loc.unit].push(b));
+        mealib_types::par_map(&shards, jobs, |shard| {
+            let mut unit = make();
+            for b in shard {
+                unit.burst(t, b);
+            }
+            unit
+        })
+    };
+    let timeline = profile.map(|w| collect_timeline(w, &mut units));
+    let mut run = finish_run(config, units);
+    run.timeline = timeline;
+    run
 }
 
 /// Folds the per-unit window maps into one [`Timeline`], assigning each
 /// unit its index as the lane. `par_map` returns units in shard order
 /// regardless of completion order, and cell insertion is a commutative
 /// sum, so the fold is order-independent.
-fn collect_timeline(window_cycles: u64, units: &mut [UnitEngine]) -> Timeline {
+pub(crate) fn collect_timeline(window_cycles: u64, units: &mut [UnitEngine]) -> Timeline {
     let mut timeline = Timeline::new(window_cycles);
     for (unit, u) in units.iter_mut().enumerate() {
         if let Some(ut) = u.timeline.take() {
@@ -457,23 +570,25 @@ fn collect_timeline(window_cycles: u64, units: &mut [UnitEngine]) -> Timeline {
 
 /// One decoded burst-sized access, in program order.
 #[derive(Debug, Clone, Copy)]
-struct Burst {
-    loc: Location,
-    bytes: u64,
-    op: Op,
+pub(crate) struct Burst {
+    pub(crate) loc: Location,
+    pub(crate) bytes: u64,
+    pub(crate) op: Op,
 }
 
 /// Splits `trace` into burst-sized accesses at burst-aligned boundaries
 /// and decodes each one, exactly as a vault controller would issue them.
-fn for_each_burst(
+pub(crate) fn for_each_burst(
     t: &DramTiming,
     mapping: &AddressMapping,
-    trace: &[Request],
+    trace: &TraceBuffer,
     mut f: impl FnMut(Burst),
 ) {
-    for req in trace {
-        let mut remaining = req.bytes;
-        let mut addr = req.addr.get();
+    let (addrs, bytes, ops) = (trace.addrs(), trace.bytes(), trace.ops());
+    for i in 0..trace.len() {
+        let mut remaining = bytes[i];
+        let mut addr = addrs[i];
+        let op = ops[i];
         while remaining > 0 {
             let offset_in_burst = addr % t.burst_bytes;
             let take = (t.burst_bytes - offset_in_burst).min(remaining);
@@ -481,7 +596,7 @@ fn for_each_burst(
             f(Burst {
                 loc,
                 bytes: take,
-                op: req.op,
+                op,
             });
             addr += take;
             remaining -= take;
@@ -493,7 +608,7 @@ fn for_each_burst(
 /// path). The lane index is implicit — it is assigned when the per-unit
 /// maps are folded into one [`Timeline`] at finish time.
 #[derive(Debug, Clone)]
-struct UnitTimeline {
+pub(crate) struct UnitTimeline {
     window_cycles: u64,
     windows: std::collections::BTreeMap<u64, WindowCounters>,
 }
@@ -510,29 +625,30 @@ impl UnitTimeline {
 
 /// The complete replay state of one unit (channel or vault): banks, data
 /// bus, tFAW window, refresh progress, the FCFS issue pointer, and the
-/// unit's share of every statistic. Serial and parallel replays both run
-/// through this type; a burst decoded to unit `u` touches the state of
-/// `u` and nothing else, which is what makes vault sharding sound.
+/// unit's share of every statistic. Serial and parallel replays of both
+/// engines run through this type; a burst decoded to unit `u` touches
+/// the state of `u` and nothing else, which is what makes vault sharding
+/// sound.
 #[derive(Debug, Clone)]
-struct UnitEngine {
-    banks: Vec<BankState>,
-    bus_free: u64,
-    window: ActWindow,
-    refreshes_done: u64,
+pub(crate) struct UnitEngine {
+    pub(crate) banks: Vec<BankState>,
+    pub(crate) bus_free: u64,
+    pub(crate) window: ActWindow,
+    pub(crate) refreshes_done: u64,
     /// Program-order issue pointer: a burst's latency is measured from
     /// the completion of the previous burst on the same unit (FCFS).
-    issued_at: u64,
-    vault: VaultStats,
-    latencies: LatencyHistogram,
-    bytes_read: u64,
-    bytes_written: u64,
+    pub(crate) issued_at: u64,
+    pub(crate) vault: VaultStats,
+    pub(crate) latencies: LatencyHistogram,
+    pub(crate) bytes_read: u64,
+    pub(crate) bytes_written: u64,
     /// Windowed counter accumulation; `None` on the default (unprofiled)
     /// path, where [`UnitEngine::burst`] costs one discriminant check.
-    timeline: Option<UnitTimeline>,
+    pub(crate) timeline: Option<UnitTimeline>,
 }
 
 impl UnitEngine {
-    fn new(banks: usize) -> Self {
+    pub(crate) fn new(banks: usize) -> Self {
         Self {
             banks: vec![BankState::default(); banks],
             bus_free: 0,
@@ -547,7 +663,7 @@ impl UnitEngine {
         }
     }
 
-    fn with_timeline(banks: usize, window_cycles: u64) -> Self {
+    pub(crate) fn with_timeline(banks: usize, window_cycles: u64) -> Self {
         let mut unit = Self::new(banks);
         unit.timeline = Some(UnitTimeline::new(window_cycles));
         unit
@@ -556,7 +672,7 @@ impl UnitEngine {
     /// Services one burst, accumulating windowed counters when the
     /// profiled path is on. The disabled path costs exactly one `Option`
     /// discriminant check on top of [`UnitEngine::burst_core`].
-    fn burst(&mut self, t: &DramTiming, b: &Burst) {
+    pub(crate) fn burst(&mut self, t: &DramTiming, b: &Burst) {
         if self.timeline.is_none() {
             self.burst_core(t, b);
             return;
@@ -592,7 +708,12 @@ impl UnitEngine {
 
     /// Services one burst in FCFS order: refresh accounting, row-buffer
     /// logic, then a slot on the unit's data bus.
-    fn burst_core(&mut self, t: &DramTiming, b: &Burst) {
+    ///
+    /// This is the shared slow path: the fast engine calls it verbatim
+    /// for every burst its analytic streak batching cannot cover, which
+    /// is what keeps the two engines bit-exact on conflicts, refreshes,
+    /// and activations.
+    pub(crate) fn burst_core(&mut self, t: &DramTiming, b: &Burst) {
         // Periodic all-bank refresh (REFab): once per tREFI the whole
         // unit spends tRFC refreshing, closing every row buffer.
         let due = self.bus_free / t.t_refi;
@@ -672,8 +793,9 @@ impl UnitEngine {
 /// quantity is either a commutative `u64` sum (bytes, commands,
 /// histogram buckets) or a max (the end cycle); the derived `f64`
 /// fields (`elapsed`, `energy`) are computed once here from the merged
-/// integer totals, so parallel and serial runs agree bit-for-bit.
-fn finish_run(config: &MemoryConfig, units: Vec<UnitEngine>) -> EngineRun {
+/// integer totals, so parallel and serial runs — and the fast and cycle
+/// engines — agree bit-for-bit.
+pub(crate) fn finish_run(config: &MemoryConfig, units: Vec<UnitEngine>) -> EngineRun {
     let t = &config.timing;
     let mut stats = TraceStats::default();
     let mut latencies = LatencyHistogram::default();
@@ -703,14 +825,15 @@ fn finish_run(config: &MemoryConfig, units: Vec<UnitEngine>) -> EngineRun {
         stats,
         latencies,
         vaults,
+        timeline: None,
     }
 }
 
 /// Builds a sequential trace covering `bytes` starting at `base`, one
 /// request per `chunk` bytes.
-pub fn sequential_trace(base: u64, bytes: u64, chunk: u64, op: Op) -> Vec<Request> {
+pub fn sequential_trace(base: u64, bytes: u64, chunk: u64, op: Op) -> TraceBuffer {
     assert!(chunk > 0, "chunk must be nonzero");
-    let mut out = Vec::with_capacity(bytes.div_ceil(chunk) as usize);
+    let mut out = TraceBuffer::with_capacity(bytes.div_ceil(chunk) as usize);
     let mut off = 0;
     while off < bytes {
         let take = chunk.min(bytes - off);
@@ -726,7 +849,7 @@ pub fn sequential_trace(base: u64, bytes: u64, chunk: u64, op: Op) -> Vec<Reques
 
 /// Builds a strided trace: `count` accesses of `elem_bytes` each,
 /// `stride` bytes apart, starting at `base`.
-pub fn strided_trace(base: u64, stride: u64, elem_bytes: u64, count: u64, op: Op) -> Vec<Request> {
+pub fn strided_trace(base: u64, stride: u64, elem_bytes: u64, count: u64, op: Op) -> TraceBuffer {
     (0..count)
         .map(|i| Request {
             addr: PhysAddr::new(base + i * stride),
@@ -734,6 +857,171 @@ pub fn strided_trace(base: u64, stride: u64, elem_bytes: u64, count: u64, op: Op
             op,
         })
         .collect()
+}
+
+// ---------------------------------------------------------------------
+// Deprecated pre-`simulate()` entry points.
+//
+// Each wrapper forwards to `simulate` with the equivalent `SimOptions`,
+// preserving the old signatures (AoS `&[Request]` traces, panics on bad
+// configuration) for downstream code. They will be removed one release
+// after the migration window announced in the CHANGELOG.
+// ---------------------------------------------------------------------
+
+/// Replays `trace` and returns the aggregate statistics.
+///
+/// # Panics
+///
+/// Panics if `config` fails validation.
+#[deprecated(note = "use `simulate(config, &trace.into(), &SimOptions::default())`")]
+pub fn simulate_trace(config: &MemoryConfig, trace: &[Request]) -> TraceStats {
+    simulate(config, &TraceBuffer::from(trace), &SimOptions::default())
+        .unwrap_or_else(|e| panic!("{e}"))
+        .stats
+}
+
+/// Replays `trace`, reporting an invalid configuration as a typed error.
+///
+/// # Errors
+///
+/// Returns the first [`ConfigError`] found in `config`.
+#[deprecated(note = "use `simulate(config, &trace.into(), &SimOptions::default())`")]
+pub fn try_simulate_trace(
+    config: &MemoryConfig,
+    trace: &[Request],
+) -> Result<TraceStats, ConfigError> {
+    match simulate(config, &TraceBuffer::from(trace), &SimOptions::default()) {
+        Ok(run) => Ok(run.stats),
+        Err(SimError::Config(e)) => Err(e),
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Replays `trace`, additionally returning the latency histogram.
+///
+/// # Panics
+///
+/// Panics if `config` fails validation.
+#[deprecated(note = "use `simulate(config, &trace.into(), &SimOptions::default())`")]
+pub fn simulate_trace_with_latencies(
+    config: &MemoryConfig,
+    trace: &[Request],
+) -> (TraceStats, LatencyHistogram) {
+    let run = simulate(config, &TraceBuffer::from(trace), &SimOptions::default())
+        .unwrap_or_else(|e| panic!("{e}"));
+    (run.stats, run.latencies)
+}
+
+/// Replays `trace`, returning statistics, histogram, and per-vault
+/// counts.
+///
+/// # Panics
+///
+/// Panics if `config` fails validation.
+#[deprecated(note = "use `simulate(config, &trace.into(), &SimOptions::default())`")]
+pub fn simulate_trace_detailed(config: &MemoryConfig, trace: &[Request]) -> EngineRun {
+    simulate(config, &TraceBuffer::from(trace), &SimOptions::default())
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Replays `trace` sharded across up to `jobs` workers.
+///
+/// # Panics
+///
+/// Panics if `config` fails validation.
+#[deprecated(note = "use `simulate(config, &trace.into(), &SimOptions::default().jobs(n))`")]
+pub fn simulate_trace_parallel(config: &MemoryConfig, trace: &[Request], jobs: usize) -> EngineRun {
+    simulate(
+        config,
+        &TraceBuffer::from(trace),
+        &SimOptions::default().jobs(jobs.max(1)),
+    )
+    .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Like the parallel replay, reporting an invalid configuration as a
+/// typed error.
+///
+/// # Errors
+///
+/// Returns the first [`ConfigError`] found in `config`.
+#[deprecated(note = "use `simulate(config, &trace.into(), &SimOptions::default().jobs(n))`")]
+pub fn try_simulate_trace_parallel(
+    config: &MemoryConfig,
+    trace: &[Request],
+    jobs: usize,
+) -> Result<EngineRun, ConfigError> {
+    match simulate(
+        config,
+        &TraceBuffer::from(trace),
+        &SimOptions::default().jobs(jobs.max(1)),
+    ) {
+        Ok(run) => Ok(run),
+        Err(SimError::Config(e)) => Err(e),
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Output of a profiled replay: the usual [`EngineRun`] plus the
+/// cycle-windowed per-vault [`Timeline`] (lane = unit index).
+///
+/// Only the deprecated profiled wrappers return this split form;
+/// [`simulate`] carries the timeline inside [`EngineRun::timeline`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfiledRun {
+    /// Aggregate statistics, latency histogram, and per-vault counts.
+    pub run: EngineRun,
+    /// Windowed counters; window `w` covers completion cycles
+    /// `[w·W, (w+1)·W)` at the configured width `W`.
+    pub timeline: Timeline,
+}
+
+/// Replays `trace`, additionally accumulating the cycle-windowed
+/// per-vault [`Timeline`].
+///
+/// # Panics
+///
+/// Panics if `config` fails validation or `window_cycles` is zero.
+#[deprecated(note = "use `simulate(config, &trace.into(), &SimOptions::default().profile(w))`")]
+pub fn simulate_trace_profiled(
+    config: &MemoryConfig,
+    trace: &[Request],
+    window_cycles: u64,
+) -> ProfiledRun {
+    let mut run = simulate(
+        config,
+        &TraceBuffer::from(trace),
+        &SimOptions::default().profile(window_cycles),
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
+    let timeline = run.timeline.take().expect("profiled run has a timeline");
+    ProfiledRun { run, timeline }
+}
+
+/// The profiled replay sharded across up to `jobs` workers.
+///
+/// # Panics
+///
+/// Panics if `config` fails validation or `window_cycles` is zero.
+#[deprecated(
+    note = "use `simulate(config, &trace.into(), &SimOptions::default().profile(w).jobs(n))`"
+)]
+pub fn simulate_trace_profiled_parallel(
+    config: &MemoryConfig,
+    trace: &[Request],
+    window_cycles: u64,
+    jobs: usize,
+) -> ProfiledRun {
+    let mut run = simulate(
+        config,
+        &TraceBuffer::from(trace),
+        &SimOptions::default()
+            .profile(window_cycles)
+            .jobs(jobs.max(1)),
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
+    let timeline = run.timeline.take().expect("profiled run has a timeline");
+    ProfiledRun { run, timeline }
 }
 
 #[cfg(test)]
@@ -751,11 +1039,19 @@ mod tests {
         c
     }
 
+    fn run(c: &MemoryConfig, trace: &TraceBuffer) -> EngineRun {
+        simulate(c, trace, &SimOptions::default()).expect("valid config")
+    }
+
+    fn stats(c: &MemoryConfig, trace: &TraceBuffer) -> TraceStats {
+        run(c, trace).stats
+    }
+
     #[test]
     fn sequential_stream_approaches_peak_bandwidth() {
         let c = single_channel_config();
         let trace = sequential_trace(0, 4 << 20, 64, Op::Read);
-        let s = simulate_trace(&c, &trace);
+        let s = stats(&c, &trace);
         let peak = c.timing.peak_bandwidth().as_gb_per_sec();
         let got = s.achieved_bandwidth().as_gb_per_sec();
         assert!(
@@ -768,7 +1064,7 @@ mod tests {
     fn sequential_stream_has_high_row_hit_rate() {
         let c = single_channel_config();
         let trace = sequential_trace(0, 1 << 20, 64, Op::Read);
-        let s = simulate_trace(&c, &trace);
+        let s = stats(&c, &trace);
         assert!(s.row_hit_rate().unwrap() > 0.98);
         // One activation per 8 KiB row, plus a few reopened rows after
         // periodic refreshes.
@@ -786,10 +1082,10 @@ mod tests {
         let c = single_channel_config();
         let bytes_each = 64u64;
         let count = 4096u64;
-        let seq = simulate_trace(&c, &sequential_trace(0, count * bytes_each, 64, Op::Read));
+        let seq = stats(&c, &sequential_trace(0, count * bytes_each, 64, Op::Read));
         // Stride of one row: every access opens a new row, but rotating
         // banks still hide most of the activation latency.
-        let strided = simulate_trace(&c, &strided_trace(0, 8192, bytes_each, count, Op::Read));
+        let strided = stats(&c, &strided_trace(0, 8192, bytes_each, count, Op::Read));
         assert_eq!(strided.row_hit_rate(), Some(0.0));
         assert!(
             strided.elapsed.get() > 1.15 * seq.elapsed.get(),
@@ -799,8 +1095,7 @@ mod tests {
         );
         // Stride of one row *within the same bank* (8 banks x 8 KiB):
         // every access pays the full row cycle, an order of magnitude.
-        let same_bank =
-            simulate_trace(&c, &strided_trace(0, 8192 * 8, bytes_each, count, Op::Read));
+        let same_bank = stats(&c, &strided_trace(0, 8192 * 8, bytes_each, count, Op::Read));
         assert!(
             same_bank.elapsed.get() > 5.0 * seq.elapsed.get(),
             "same-bank thrashing must serialize on tRC: {} vs {}",
@@ -828,8 +1123,8 @@ mod tests {
             line_bytes: 64,
         };
         let trace = strided_trace(0, 128, 64, 1 << 15, Op::Read);
-        let t_plain = simulate_trace(&plain, &trace).elapsed;
-        let t_hashed = simulate_trace(&hashed, &trace).elapsed;
+        let t_plain = stats(&plain, &trace).elapsed;
+        let t_hashed = stats(&hashed, &trace).elapsed;
         assert!(
             t_plain.get() > 1.5 * t_hashed.get(),
             "XOR hashing must break the aliasing: {t_plain} vs {t_hashed}"
@@ -841,8 +1136,8 @@ mod tests {
         let single = single_channel_config();
         let dual = MemoryConfig::ddr_dual_channel();
         let trace = sequential_trace(0, 8 << 20, 64, Op::Read);
-        let t1 = simulate_trace(&single, &trace).elapsed;
-        let t2 = simulate_trace(&dual, &trace).elapsed;
+        let t1 = stats(&single, &trace).elapsed;
+        let t2 = stats(&dual, &trace).elapsed;
         let ratio = t1 / t2;
         assert!(
             (1.8..=2.2).contains(&ratio),
@@ -854,7 +1149,7 @@ mod tests {
     fn hmc_stack_streams_near_half_terabyte_per_second() {
         let c = MemoryConfig::hmc_stack();
         let trace = sequential_trace(0, 64 << 20, 256, Op::Read);
-        let s = simulate_trace(&c, &trace);
+        let s = stats(&c, &trace);
         let bw = s.achieved_bandwidth().as_gb_per_sec();
         assert!(bw > 400.0, "stack bandwidth {bw:.0} GB/s");
     }
@@ -863,8 +1158,8 @@ mod tests {
     fn writes_count_separately_from_reads() {
         let c = single_channel_config();
         let mut trace = sequential_trace(0, 1 << 16, 64, Op::Read);
-        trace.extend(sequential_trace(1 << 20, 1 << 16, 64, Op::Write));
-        let s = simulate_trace(&c, &trace);
+        trace.extend(&sequential_trace(1 << 20, 1 << 16, 64, Op::Write));
+        let s = stats(&c, &trace);
         assert_eq!(s.bytes_read.get(), 1 << 16);
         assert_eq!(s.bytes_written.get(), 1 << 16);
     }
@@ -873,7 +1168,7 @@ mod tests {
     fn unaligned_request_splits_at_burst_boundary() {
         let c = single_channel_config();
         // 100 bytes starting at offset 30 crosses two 64B burst boundaries.
-        let s = simulate_trace(&c, &[Request::read(30, 100)]);
+        let s = stats(&c, &TraceBuffer::from(&[Request::read(30, 100)]));
         assert_eq!(s.bytes_read.get(), 100);
         // 30..64, 64..128, 128..130 → 3 bursts, all same row: 1 activation.
         assert_eq!(s.activations, 1);
@@ -884,7 +1179,8 @@ mod tests {
     fn latency_histogram_counts_every_burst() {
         let c = single_channel_config();
         let trace = sequential_trace(0, 1 << 16, 64, Op::Read);
-        let (stats, lat) = simulate_trace_with_latencies(&c, &trace);
+        let r = run(&c, &trace);
+        let (stats, lat) = (&r.stats, &r.latencies);
         assert_eq!(lat.count(), stats.row_hits + stats.row_misses);
         // Steady-state sequential bursts complete one burst slot apart.
         let median = lat.quantile_bound(0.5).unwrap();
@@ -894,11 +1190,22 @@ mod tests {
     }
 
     #[test]
+    fn latencies_off_returns_an_empty_histogram() {
+        let c = single_channel_config();
+        let trace = sequential_trace(0, 1 << 16, 64, Op::Read);
+        let quiet = simulate(&c, &trace, &SimOptions::default().latencies(false)).unwrap();
+        assert_eq!(quiet.latencies, LatencyHistogram::default());
+        // Every other statistic is unchanged by the flag.
+        let full = run(&c, &trace);
+        assert_eq!(quiet.stats, full.stats);
+        assert_eq!(quiet.vaults, full.vaults);
+    }
+
+    #[test]
     fn row_thrashing_shows_up_in_the_latency_tail() {
         let c = single_channel_config();
-        let seq = simulate_trace_with_latencies(&c, &sequential_trace(0, 1 << 16, 64, Op::Read)).1;
-        let thrash =
-            simulate_trace_with_latencies(&c, &strided_trace(0, 8192 * 8, 64, 1024, Op::Read)).1;
+        let seq = run(&c, &sequential_trace(0, 1 << 16, 64, Op::Read)).latencies;
+        let thrash = run(&c, &strided_trace(0, 8192 * 8, 64, 1024, Op::Read)).latencies;
         assert!(
             thrash.quantile_bound(0.5).unwrap() > seq.quantile_bound(0.5).unwrap(),
             "same-bank thrashing must raise the median latency"
@@ -913,11 +1220,22 @@ mod tests {
     }
 
     #[test]
+    fn record_n_matches_repeated_record() {
+        let mut one_by_one = LatencyHistogram::default();
+        for _ in 0..1000 {
+            one_by_one.record(13);
+        }
+        let mut batched = LatencyHistogram::default();
+        batched.record_n(LatencyHistogram::bucket_of(13), 1000);
+        assert_eq!(one_by_one, batched);
+    }
+
+    #[test]
     fn per_vault_counts_sum_to_aggregates() {
         let c = MemoryConfig::ddr_dual_channel();
         let mut trace = sequential_trace(0, 1 << 20, 64, Op::Read);
-        trace.extend(strided_trace(1 << 22, 8192, 64, 2048, Op::Write));
-        let run = simulate_trace_detailed(&c, &trace);
+        trace.extend(&strided_trace(1 << 22, 8192, 64, 2048, Op::Write));
+        let run = run(&c, &trace);
         assert_eq!(run.vaults.len(), c.mapping.units());
         let acts: u64 = run.vaults.iter().map(|v| v.activations).sum();
         let pres: u64 = run.vaults.iter().map(|v| v.precharges).sum();
@@ -937,14 +1255,14 @@ mod tests {
     fn precharges_track_row_conflicts() {
         let c = single_channel_config();
         // Same-bank row thrashing: every access after the first conflicts.
-        let run = simulate_trace_detailed(&c, &strided_trace(0, 8192 * 8, 64, 256, Op::Read));
+        let thrash = run(&c, &strided_trace(0, 8192 * 8, 64, 256, Op::Read));
         assert!(
-            run.stats.precharges >= 255,
+            thrash.stats.precharges >= 255,
             "precharges {}",
-            run.stats.precharges
+            thrash.stats.precharges
         );
         // A short sequential stream stays in its rows: no conflicts.
-        let seq = simulate_trace_detailed(&c, &sequential_trace(0, 4096, 64, Op::Read));
+        let seq = run(&c, &sequential_trace(0, 4096, 64, Op::Read));
         assert_eq!(seq.stats.precharges, 0);
     }
 
@@ -952,7 +1270,7 @@ mod tests {
     fn engine_run_records_per_lane_counters() {
         use mealib_obs::TraceRecorder;
         let c = MemoryConfig::ddr_dual_channel();
-        let run = simulate_trace_detailed(&c, &sequential_trace(0, 1 << 20, 64, Op::Read));
+        let run = run(&c, &sequential_trace(0, 1 << 20, 64, Op::Read));
         let rec = TraceRecorder::shared();
         run.record_into(&Obs::new(rec.clone()));
         let bd = rec.breakdown();
@@ -964,7 +1282,7 @@ mod tests {
 
     #[test]
     fn empty_trace_is_zero() {
-        let s = simulate_trace(&MemoryConfig::hmc_stack(), &[]);
+        let s = stats(&MemoryConfig::hmc_stack(), &TraceBuffer::new());
         assert_eq!(s.bytes_moved(), Bytes::ZERO);
         assert_eq!(s.cycles, Cycles::ZERO);
         assert!(s.elapsed.is_zero());
@@ -980,7 +1298,7 @@ mod tests {
             MemoryConfig::ddr_dual_channel(),
             MemoryConfig::msas_dram(),
         ] {
-            let run = simulate_trace_detailed(&config, &[]);
+            let run = run(&config, &TraceBuffer::new());
             assert_eq!(
                 run.stats.achieved_bandwidth(),
                 mealib_types::BytesPerSec::ZERO
@@ -998,22 +1316,22 @@ mod tests {
         // must leave every statistic at zero and the derived
         // bandwidth/power at their guarded ZERO values.
         let c = single_channel_config();
-        let trace = [Request::read(4096, 0), Request::write(0, 0)];
-        let run = simulate_trace_detailed(&c, &trace);
-        assert_eq!(run.stats.bytes_moved(), Bytes::ZERO);
-        assert_eq!(run.stats.cycles, Cycles::ZERO);
-        assert_eq!(run.stats.row_hits + run.stats.row_misses, 0);
+        let trace = TraceBuffer::from(&[Request::read(4096, 0), Request::write(0, 0)]);
+        let empty = run(&c, &trace);
+        assert_eq!(empty.stats.bytes_moved(), Bytes::ZERO);
+        assert_eq!(empty.stats.cycles, Cycles::ZERO);
+        assert_eq!(empty.stats.row_hits + empty.stats.row_misses, 0);
         assert_eq!(
-            run.stats.achieved_bandwidth(),
+            empty.stats.achieved_bandwidth(),
             mealib_types::BytesPerSec::ZERO
         );
-        assert_eq!(run.stats.average_power(), mealib_types::Watts::ZERO);
+        assert_eq!(empty.stats.average_power(), mealib_types::Watts::ZERO);
         // Mixing zero-byte requests into a real trace changes nothing.
-        let mut mixed = vec![Request::read(0, 0)];
-        mixed.extend(sequential_trace(0, 1 << 16, 64, Op::Read));
+        let mut mixed = TraceBuffer::from(&[Request::read(0, 0)]);
+        mixed.extend(&sequential_trace(0, 1 << 16, 64, Op::Read));
         mixed.push(Request::write(512, 0));
-        let clean = simulate_trace_detailed(&c, &sequential_trace(0, 1 << 16, 64, Op::Read));
-        assert_eq!(simulate_trace_detailed(&c, &mixed), clean);
+        let clean = run(&c, &sequential_trace(0, 1 << 16, 64, Op::Read));
+        assert_eq!(run(&c, &mixed), clean);
     }
 
     #[test]
@@ -1055,7 +1373,7 @@ mod tests {
     #[test]
     fn parallel_replay_matches_serial_on_presets() {
         let mut trace = sequential_trace(0, 1 << 20, 64, Op::Read);
-        trace.extend(strided_trace(1 << 22, 8192, 64, 2048, Op::Write));
+        trace.extend(&strided_trace(1 << 22, 8192, 64, 2048, Op::Write));
         trace.push(Request::read(30, 100));
         trace.push(Request::read(0, 0));
         for config in [
@@ -1064,9 +1382,10 @@ mod tests {
             MemoryConfig::msas_dram(),
             MemoryConfig::hmc_stack_gen1(),
         ] {
-            let serial = simulate_trace_detailed(&config, &trace);
-            for jobs in [1, 2, 4, 8] {
-                let parallel = simulate_trace_parallel(&config, &trace, jobs);
+            let serial = run(&config, &trace);
+            for jobs in [0usize, 1, 2, 4, 8] {
+                let parallel =
+                    simulate(&config, &trace, &SimOptions::default().jobs(jobs)).unwrap();
                 assert_eq!(parallel, serial, "{} jobs={jobs}", config.name);
                 assert_eq!(
                     parallel.stats.elapsed.get().to_bits(),
@@ -1085,24 +1404,37 @@ mod tests {
     }
 
     #[test]
-    fn try_parallel_rejects_invalid_config() {
+    fn simulate_rejects_invalid_config_and_zero_window() {
         let mut c = MemoryConfig::hmc_stack();
         c.timing.t_rcd = 0;
-        assert!(try_simulate_trace_parallel(&c, &[], 4).is_err());
-        assert!(try_simulate_trace_parallel(&MemoryConfig::hmc_stack(), &[], 4).is_ok());
+        let empty = TraceBuffer::new();
+        assert!(matches!(
+            simulate(&c, &empty, &SimOptions::default().jobs(4)),
+            Err(SimError::Config(_))
+        ));
+        assert_eq!(
+            simulate(
+                &MemoryConfig::hmc_stack(),
+                &empty,
+                &SimOptions::default().profile(0)
+            ),
+            Err(SimError::ZeroWindow)
+        );
+        assert!(simulate(&MemoryConfig::hmc_stack(), &empty, &SimOptions::default()).is_ok());
     }
 
     #[test]
     fn profiled_run_matches_unprofiled_and_conserves_counters() {
         let c = MemoryConfig::ddr_dual_channel();
         let mut trace = sequential_trace(0, 1 << 20, 64, Op::Read);
-        trace.extend(strided_trace(1 << 22, 8192, 64, 2048, Op::Write));
-        let plain = simulate_trace_detailed(&c, &trace);
-        let profiled = simulate_trace_profiled(&c, &trace, 4096);
+        trace.extend(&strided_trace(1 << 22, 8192, 64, 2048, Op::Write));
+        let plain = run(&c, &trace);
+        let mut profiled = simulate(&c, &trace, &SimOptions::default().profile(4096)).unwrap();
+        let timeline = profiled.timeline.take().expect("profiled run has timeline");
         // Profiling must not perturb the model.
-        assert_eq!(profiled.run, plain);
+        assert_eq!(profiled, plain);
         // Conservation: the windowed cells sum exactly to the aggregates.
-        let agg = profiled.timeline.aggregate();
+        let agg = timeline.aggregate();
         assert_eq!(agg.bytes_read, plain.stats.bytes_read.get());
         assert_eq!(agg.bytes_written, plain.stats.bytes_written.get());
         assert_eq!(agg.activations, plain.stats.activations);
@@ -1116,20 +1448,21 @@ mod tests {
         assert_eq!(agg.bus_busy_cycles, bursts * c.timing.t_burst);
         assert!(agg.queue_wait_cycles >= plain.stats.cycles.get());
         // Every populated window stays inside the modeled cycle span.
-        assert!(profiled.timeline.num_windows() * 4096 <= plain.stats.cycles.get() + 4096);
+        assert!(timeline.num_windows() * 4096 <= plain.stats.cycles.get() + 4096);
         // Lanes are vault indices.
         let units = c.mapping.units() as u16;
-        assert!(profiled.timeline.lanes().iter().all(|&l| l < units));
+        assert!(timeline.lanes().iter().all(|&l| l < units));
     }
 
     #[test]
     fn profiled_parallel_timeline_is_bit_identical_to_serial() {
         let c = MemoryConfig::hmc_stack();
         let mut trace = sequential_trace(0, 2 << 20, 256, Op::Read);
-        trace.extend(strided_trace(1 << 24, 8192, 64, 4096, Op::Write));
-        let serial = simulate_trace_profiled(&c, &trace, 1024);
+        trace.extend(&strided_trace(1 << 24, 8192, 64, 4096, Op::Write));
+        let serial = simulate(&c, &trace, &SimOptions::default().profile(1024)).unwrap();
         for jobs in [1usize, 2, 4, 8] {
-            let parallel = simulate_trace_profiled_parallel(&c, &trace, 1024, jobs);
+            let parallel =
+                simulate(&c, &trace, &SimOptions::default().profile(1024).jobs(jobs)).unwrap();
             assert_eq!(parallel, serial, "jobs={jobs}");
         }
     }
@@ -1138,10 +1471,11 @@ mod tests {
     fn per_lane_timeline_matches_vault_stats() {
         let c = MemoryConfig::ddr_dual_channel();
         let trace = sequential_trace(0, 1 << 20, 64, Op::Read);
-        let profiled = simulate_trace_profiled(&c, &trace, 2048);
-        for (unit, v) in profiled.run.vaults.iter().enumerate() {
+        let profiled = simulate(&c, &trace, &SimOptions::default().profile(2048)).unwrap();
+        let timeline = profiled.timeline.as_ref().expect("timeline requested");
+        for (unit, v) in profiled.vaults.iter().enumerate() {
             let mut lane_total = WindowCounters::default();
-            for (_, lane, cell) in profiled.timeline.iter() {
+            for (_, lane, cell) in timeline.iter() {
                 if lane == unit as u16 {
                     lane_total.merge(cell);
                 }
@@ -1155,17 +1489,59 @@ mod tests {
 
     #[test]
     fn empty_trace_profiles_to_an_empty_timeline() {
-        let p = simulate_trace_profiled(&MemoryConfig::hmc_stack(), &[], 512);
-        assert!(p.timeline.is_empty());
-        assert_eq!(p.timeline.window_cycles(), 512);
+        let p = simulate(
+            &MemoryConfig::hmc_stack(),
+            &TraceBuffer::new(),
+            &SimOptions::default().profile(512),
+        )
+        .unwrap();
+        let timeline = p.timeline.expect("timeline requested");
+        assert!(timeline.is_empty());
+        assert_eq!(timeline.window_cycles(), 512);
     }
 
     #[test]
     fn energy_scales_with_bytes_moved() {
         let c = single_channel_config();
-        let small = simulate_trace(&c, &sequential_trace(0, 1 << 18, 64, Op::Read));
-        let large = simulate_trace(&c, &sequential_trace(0, 1 << 20, 64, Op::Read));
+        let small = stats(&c, &sequential_trace(0, 1 << 18, 64, Op::Read));
+        let large = stats(&c, &sequential_trace(0, 1 << 20, 64, Op::Read));
         let ratio = large.energy.get() / small.energy.get();
         assert!((3.0..5.0).contains(&ratio), "energy ratio {ratio}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_simulate() {
+        // The pre-`simulate()` entry points stay as thin wrappers through
+        // the deprecation window; each must agree with the unified API.
+        let c = MemoryConfig::ddr_dual_channel();
+        let buf = sequential_trace(0, 1 << 18, 64, Op::Read);
+        let reqs: Vec<Request> = buf.iter().collect();
+        let reference = run(&c, &buf);
+
+        assert_eq!(simulate_trace(&c, &reqs), reference.stats);
+        assert_eq!(try_simulate_trace(&c, &reqs), Ok(reference.stats.clone()));
+        let (s, l) = simulate_trace_with_latencies(&c, &reqs);
+        assert_eq!(
+            (s, l),
+            (reference.stats.clone(), reference.latencies.clone())
+        );
+        assert_eq!(simulate_trace_detailed(&c, &reqs), reference);
+        assert_eq!(simulate_trace_parallel(&c, &reqs, 4), reference);
+        assert_eq!(
+            try_simulate_trace_parallel(&c, &reqs, 4),
+            Ok(reference.clone())
+        );
+        let profiled = simulate_trace_profiled(&c, &reqs, 2048);
+        let profiled_par = simulate_trace_profiled_parallel(&c, &reqs, 2048, 4);
+        assert_eq!(profiled, profiled_par);
+        assert_eq!(profiled.run.stats, reference.stats);
+        let unified = simulate(&c, &buf, &SimOptions::default().profile(2048)).unwrap();
+        assert_eq!(unified.timeline.as_ref(), Some(&profiled.timeline));
+
+        let mut bad = MemoryConfig::hmc_stack();
+        bad.timing.t_rcd = 0;
+        assert!(try_simulate_trace(&bad, &reqs).is_err());
+        assert!(try_simulate_trace_parallel(&bad, &reqs, 2).is_err());
     }
 }

@@ -1,0 +1,592 @@
+//! Event-driven epoch-skipping replay (`EngineKind::Fast`).
+//!
+//! The fast engine exploits an invariant of the cycle engine's steady
+//! state: once a unit's data bus is the binding constraint, every
+//! row-hit burst completes exactly `t_burst` cycles after the previous
+//! one, and the per-bank state machines advance in lockstep with the
+//! bus. Formally, a burst is **bus-limited** when, at its turn,
+//!
+//! 1. no refresh is owed (`bus_free / t_refi == refreshes_done`),
+//! 2. its bank's open row matches (`open_row == Some(row)`), and
+//! 3. the bank's column command is not the bottleneck
+//!    (`cmd_ready + t_cl <= bus_free`).
+//!
+//! Under those conditions [`UnitEngine::burst_core`] computes
+//! `done = bus_free + t_burst`, latency exactly `t_burst`, and touches
+//! nothing but `bus_free`, `cmd_ready`, `issued_at`, the hit counter,
+//! and the byte/burst tallies — all of which a streak of `k` such
+//! bursts updates in closed form. The engine therefore scans ahead for
+//! the longest streak of bus-limited bursts (capped at the next refresh
+//! epoch, the next **event** that could perturb the state), applies the
+//! batch update, and *skips* the `k·t_burst` dead cycles in one step.
+//! Condition 3 stays decidable during the scan without simulating: the
+//! bus pointer at streak offset `j` is exactly `bus_free + j·t_burst`,
+//! and a bank serviced earlier in the streak has
+//! `cmd_ready + t_cl == its last done cycle <= the current bus pointer`
+//! by construction.
+//!
+//! Any burst that fails the conditions — a conflict, an idle bank, a
+//! refresh boundary, a cold column path — is replayed through the
+//! *shared* [`UnitEngine::burst_core`], so the slow path is the cycle
+//! engine's code, not a reimplementation. That, plus the closed-form
+//! algebra above, is why `EngineKind::DualCheck` and the determinism
+//! proptests hold the two engines bit-for-bit equal on every statistic
+//! (stats, vault counts, histogram buckets, energy).
+//!
+//! # Run-granular decode
+//!
+//! Address decoding is the other per-burst cost, and it dominates once
+//! replay is batched. The decoder therefore splits each request into
+//! **runs** — maximal groups of consecutive bursts whose start
+//! addresses fall inside one contiguous `(unit, bank, row)` span, as
+//! advertised by [`AddressMapping::contiguous_run_bytes`] — and calls
+//! [`AddressMapping::decode`] once per run. Burst boundaries within a
+//! run are pure arithmetic (`t.burst_bytes`-aligned, like
+//! [`for_each_burst`]), so the concatenated runs reproduce the cycle
+//! engine's per-unit burst sequence exactly: same bursts, same
+//! locations, same order. The replay then consumes runs whole in the
+//! streak scan and only rematerializes individual bursts on the slow
+//! path.
+//!
+//! [`AddressMapping::contiguous_run_bytes`]: crate::address::AddressMapping::contiguous_run_bytes
+//! [`AddressMapping::decode`]: crate::address::AddressMapping::decode
+
+use crate::address::AddressMapping;
+use crate::config::MemoryConfig;
+use crate::engine::{
+    collect_timeline, finish_run, Burst, EngineRun, LatencyHistogram, Op, UnitEngine,
+};
+use crate::timing::DramTiming;
+use crate::trace::TraceBuffer;
+use mealib_types::PhysAddr;
+
+/// One unit's pre-decoded stream of same-row runs in SoA layout. The
+/// streak scan reads `bank`/`row`/`n`, the batch tally reads
+/// `head`/`total`/`write`, and only the slow path reconstructs
+/// individual bursts (via `col0` + burst arithmetic).
+#[derive(Debug, Clone, Default)]
+struct UnitStream {
+    /// `DramTiming::burst_bytes`, carried so `cum`/`burst` stay
+    /// self-contained for `par_map`.
+    burst_bytes: u64,
+    bank: Vec<u32>,
+    row: Vec<u64>,
+    /// Column byte offset of the run's first burst.
+    col0: Vec<u64>,
+    /// Bytes of the run's first burst (it may start mid-burst).
+    head: Vec<u64>,
+    /// Total bytes across the run's bursts.
+    total: Vec<u64>,
+    /// Number of bursts in the run.
+    n: Vec<u32>,
+    write: Vec<bool>,
+}
+
+impl UnitStream {
+    fn runs(&self) -> usize {
+        self.bank.len()
+    }
+
+    fn reserve(&mut self, runs: usize) {
+        self.bank.reserve(runs);
+        self.row.reserve(runs);
+        self.col0.reserve(runs);
+        self.head.reserve(runs);
+        self.total.reserve(runs);
+        self.n.reserve(runs);
+        self.write.reserve(runs);
+    }
+
+    /// Byte offset (within the run) where burst `j` starts; `j == n`
+    /// yields the run's total length.
+    fn cum(&self, r: usize, j: u32) -> u64 {
+        if j == 0 {
+            0
+        } else {
+            self.total[r].min(self.head[r] + (u64::from(j) - 1) * self.burst_bytes)
+        }
+    }
+
+    /// Reconstructs burst `j` of run `r`, exactly as [`for_each_burst`]
+    /// would have produced it.
+    fn burst(&self, r: usize, j: u32, unit: usize) -> Burst {
+        let start = self.cum(r, j);
+        Burst {
+            loc: crate::address::Location {
+                unit,
+                bank: self.bank[r] as usize,
+                row: self.row[r],
+                col_byte: self.col0[r] + start,
+            },
+            bytes: self.cum(r, j + 1) - start,
+            op: if self.write[r] { Op::Write } else { Op::Read },
+        }
+    }
+}
+
+/// The fast replay: serial when `jobs <= 1`, vault-sharded otherwise.
+///
+/// Expects a pre-validated `config` and a pre-normalized `jobs`, like
+/// [`crate::engine::run_cycle`]. Profiled runs charge every burst to a
+/// cycle window individually, which is exactly the per-burst accounting
+/// the streak batch elides — so `profile: Some(_)` delegates to the
+/// cycle path (results are identical either way; only the unprofiled
+/// replay is the throughput hot path).
+pub(crate) fn run_fast(
+    config: &MemoryConfig,
+    trace: &TraceBuffer,
+    jobs: usize,
+    profile: Option<u64>,
+) -> EngineRun {
+    if let Some(w) = profile {
+        let mut units: Vec<UnitEngine> = decode_streams(config, trace)
+            .iter()
+            .map(|stream| {
+                let mut unit = UnitEngine::with_timeline(config.mapping.banks_per_unit(), w);
+                for r in 0..stream.runs() {
+                    for j in 0..stream.n[r] {
+                        unit.burst(&config.timing, &stream.burst(r, j, 0));
+                    }
+                }
+                unit
+            })
+            .collect();
+        let timeline = collect_timeline(w, &mut units);
+        let mut run = finish_run(config, units);
+        run.timeline = Some(timeline);
+        return run;
+    }
+    let streams = decode_streams(config, trace);
+    let t = &config.timing;
+    let banks = config.mapping.banks_per_unit();
+    let units = if jobs <= 1 {
+        streams
+            .iter()
+            .map(|stream| replay_unit(t, banks, stream))
+            .collect()
+    } else {
+        mealib_types::par_map(&streams, jobs, |stream| replay_unit(t, banks, stream))
+    };
+    finish_run(config, units)
+}
+
+/// Splits the trace into same-row runs and routes each to its unit's
+/// stream. Decoding happens once per run (or once per aligned stretch
+/// of whole lines on the bulk path); the burst split inside a run is
+/// the same `t.burst_bytes`-aligned arithmetic as [`for_each_burst`],
+/// so per-unit burst order is preserved exactly.
+fn decode_streams(config: &MemoryConfig, trace: &TraceBuffer) -> Vec<UnitStream> {
+    let t = &config.timing;
+    let mapping = &config.mapping;
+    let mut streams: Vec<UnitStream> = vec![
+        UnitStream {
+            burst_bytes: t.burst_bytes,
+            ..UnitStream::default()
+        };
+        mapping.units()
+    ];
+    // Bulk-path eligibility: within one super-line (`units *
+    // line_bytes`, line-aligned), every line has the same
+    // `within_unit` offset — hence the same bank, row, and column —
+    // and the lines land on `units` distinct units (the XOR unit fold
+    // keys on `line / units`, constant across the super-line, and is a
+    // permutation for power-of-two unit counts). One decode therefore
+    // covers a whole aligned stretch of lines; only the unit index
+    // varies, by the same fold `decode` applies.
+    let bulk = match *mapping {
+        AddressMapping::Interleaved {
+            units, line_bytes, ..
+        } if units > 1 && line_bytes % t.burst_bytes == 0 => {
+            Some((units as u64, line_bytes, false))
+        }
+        AddressMapping::XorInterleaved {
+            units, line_bytes, ..
+        } if units > 1 && units.is_power_of_two() && line_bytes % t.burst_bytes == 0 => {
+            Some((units as u64, line_bytes, true))
+        }
+        _ => None,
+    };
+    // Upper-bound-ish run estimate: one run per decode granule of bulk
+    // traffic plus one per request (scalar gathers), split across units.
+    let units_n = streams.len() as u64;
+    let gran = bulk.map_or(t.burst_bytes, |(_, line_bytes, _)| line_bytes);
+    let est = (trace.total_bytes() / gran / units_n + trace.len() as u64 / units_n + 4) as usize;
+    for s in streams.iter_mut() {
+        s.reserve(est);
+    }
+    let (addrs, bytes, ops) = (trace.addrs(), trace.bytes(), trace.ops());
+    for i in 0..trace.len() {
+        let mut remaining = bytes[i];
+        let mut addr = addrs[i];
+        let write = ops[i] == Op::Write;
+        while remaining > 0 {
+            if let Some((units, line_bytes, xor)) = bulk {
+                if addr % line_bytes == 0 && remaining >= line_bytes {
+                    let line = addr / line_bytes;
+                    let j0 = line % units;
+                    let m = (remaining / line_bytes).min(units - j0);
+                    let loc = mapping.decode(PhysAddr::new(addr));
+                    let nb = (line_bytes / t.burst_bytes) as u32;
+                    for j in 0..m {
+                        // The unit fold from `decode`, applied to line
+                        // `j0 + j` (same hash, same super-line).
+                        let unit = if xor {
+                            let hash = line / units;
+                            (((j0 + j) ^ hash) % units) as usize
+                        } else {
+                            (j0 + j) as usize
+                        };
+                        push_run(
+                            &mut streams[unit],
+                            t.burst_bytes,
+                            loc.bank as u32,
+                            loc.row,
+                            loc.col_byte,
+                            t.burst_bytes,
+                            line_bytes,
+                            nb,
+                            write,
+                        );
+                    }
+                    addr += m * line_bytes;
+                    remaining -= m * line_bytes;
+                    continue;
+                }
+            }
+            let loc = mapping.decode(PhysAddr::new(addr));
+            // First burst: up to the next burst-aligned boundary. It is
+            // attributed wholly to `loc` even if it extends past the
+            // span — exactly what the per-burst decode does, which
+            // decodes each burst at its *start* address.
+            let head = (t.burst_bytes - addr % t.burst_bytes).min(remaining);
+            // Further bursts join the run while their start addresses
+            // stay inside the span (and inside the request). A request
+            // that ends inside its first burst needs no span at all —
+            // the common case for scalar gathers.
+            let extra = if remaining > head {
+                let reach = mapping
+                    .contiguous_run_bytes(PhysAddr::new(addr))
+                    .min(remaining);
+                if reach > head {
+                    (reach - head).div_ceil(t.burst_bytes)
+                } else {
+                    0
+                }
+            } else {
+                0
+            };
+            let total = remaining.min(head + extra * t.burst_bytes);
+            let s = &mut streams[loc.unit];
+            s.bank.push(loc.bank as u32);
+            s.row.push(loc.row);
+            s.col0.push(loc.col_byte);
+            s.head.push(head);
+            s.total.push(total);
+            s.n.push(1 + extra as u32);
+            s.write.push(write);
+            addr += total;
+            remaining -= total;
+        }
+    }
+    streams
+}
+
+/// Appends a run, coalescing with the stream's tail when the result is
+/// burst-arithmetic-equivalent to keeping them separate: same bank,
+/// row, and op; column-contiguous; the tail's last burst complete; and
+/// the appended run starting burst-aligned. (The bulk decode path
+/// always satisfies the alignment conditions — its runs are whole
+/// lines — so pure streams coalesce into row-length runs.)
+#[allow(clippy::too_many_arguments)]
+fn push_run(
+    s: &mut UnitStream,
+    burst_bytes: u64,
+    bank: u32,
+    row: u64,
+    col0: u64,
+    head: u64,
+    total: u64,
+    n: u32,
+    write: bool,
+) {
+    if let Some(last) = s.runs().checked_sub(1) {
+        if s.bank[last] == bank
+            && s.row[last] == row
+            && s.write[last] == write
+            && s.col0[last] + s.total[last] == col0
+            && s.total[last] == s.head[last] + u64::from(s.n[last] - 1) * burst_bytes
+            && head == burst_bytes
+        {
+            s.total[last] += total;
+            s.n[last] += n;
+            return;
+        }
+    }
+    s.bank.push(bank);
+    s.row.push(row);
+    s.col0.push(col0);
+    s.head.push(head);
+    s.total.push(total);
+    s.n.push(n);
+    s.write.push(write);
+}
+
+/// Replays one unit's run stream with streak batching. The cursor
+/// `(r, j)` points at burst `j` of run `r`: the slow path advances it
+/// one burst at a time, the streak batch whole (or partial, at a
+/// refresh cap) runs at a time.
+fn replay_unit(t: &DramTiming, banks: usize, stream: &UnitStream) -> UnitEngine {
+    let mut u = UnitEngine::new(banks);
+    let runs = stream.runs();
+    let t_burst = t.t_burst;
+    let hit_bucket = LatencyHistogram::bucket_of(t_burst);
+    // Per-bank completion cycle of the bank's last burst in the current
+    // streak; `seen[bank] == generation` marks validity. Reused across
+    // streaks without clearing via the generation counter.
+    let mut last_done = vec![0u64; banks];
+    let mut seen = vec![0u64; banks];
+    let mut generation = 0u64;
+    let mut r = 0usize;
+    let mut j = 0u32;
+    while r < runs {
+        // A refresh owed now forces the slow path, which pays it.
+        let next_refresh = (u.refreshes_done + 1) * t.t_refi;
+        if u.bus_free >= next_refresh {
+            u.burst_core(t, &stream.burst(r, j, 0));
+            j += 1;
+            if j == stream.n[r] {
+                r += 1;
+                j = 0;
+            }
+            continue;
+        }
+        // Longest streak of bus-limited row hits before the refresh
+        // epoch: the burst at streak offset `c` sees the bus at
+        // `bus_free + c·t_burst`, so the refresh caps the streak at
+        // `ceil((next_refresh - bus_free) / t_burst)` bursts.
+        generation += 1;
+        let k_max = (next_refresh - u.bus_free).div_ceil(t_burst);
+        let mut count = 0u64;
+        let (mut rr, mut jj) = (r, j);
+        let mut bytes_read = 0u64;
+        let mut bytes_written = 0u64;
+        let mut write_bursts = 0u64;
+        while count < k_max && rr < runs {
+            let bank = stream.bank[rr] as usize;
+            let state = &u.banks[bank];
+            if state.open_row != Some(stream.row[rr]) {
+                break;
+            }
+            if seen[bank] != generation {
+                // First touch this streak: the stored cmd_ready is
+                // current. (Later touches need no check — their
+                // cmd_ready becomes `done - t_cl` of an earlier streak
+                // burst, which trails the bus pointer by construction.)
+                if state.cmd_ready + t.t_cl > u.bus_free + count * t_burst {
+                    break;
+                }
+                seen[bank] = generation;
+            }
+            // Accept the run's remaining bursts, clipped at the
+            // refresh cap; a clipped run leaves the cursor mid-run.
+            let avail = u64::from(stream.n[rr] - jj);
+            let take = avail.min(k_max - count);
+            let b = if jj == 0 && take == avail {
+                stream.total[rr]
+            } else {
+                stream.cum(rr, jj + take as u32) - stream.cum(rr, jj)
+            };
+            if stream.write[rr] {
+                bytes_written += b;
+                write_bursts += take;
+            } else {
+                bytes_read += b;
+            }
+            count += take;
+            last_done[bank] = u.bus_free + count * t_burst;
+            if take == avail {
+                rr += 1;
+                jj = 0;
+            } else {
+                jj += take as u32;
+            }
+        }
+        if count == 0 {
+            // Not bus-limited (conflict, idle bank, or cold column
+            // path): one exact step through the shared slow path.
+            u.burst_core(t, &stream.burst(r, j, 0));
+            j += 1;
+            if j == stream.n[r] {
+                r += 1;
+                j = 0;
+            }
+            continue;
+        }
+        // Closed-form batch update for `count` bus-limited bursts —
+        // each line mirrors what burst_core's hit arm would have done
+        // `count` times over.
+        u.bytes_read += bytes_read;
+        u.bytes_written += bytes_written;
+        u.vault.read_bursts += count - write_bursts;
+        u.vault.write_bursts += write_bursts;
+        u.vault.row_hits += count;
+        u.latencies.record_n(hit_bucket, count);
+        u.bus_free += count * t_burst;
+        u.issued_at = u.bus_free;
+        for (bank, state) in u.banks.iter_mut().enumerate() {
+            if seen[bank] == generation {
+                state.cmd_ready = last_done[bank] - t.t_cl;
+            }
+        }
+        r = rr;
+        j = jj;
+    }
+    u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{
+        for_each_burst, sequential_trace, simulate, strided_trace, EngineKind, Request, SimOptions,
+    };
+
+    fn assert_engines_agree(config: &MemoryConfig, trace: &TraceBuffer, what: &str) {
+        let cycle = simulate(config, trace, &SimOptions::cycle()).unwrap();
+        let fast = simulate(config, trace, &SimOptions::fast()).unwrap();
+        assert_eq!(fast, cycle, "{what}");
+        // DualCheck performs the same comparison internally.
+        let dual = simulate(config, trace, &SimOptions::dual_check()).unwrap();
+        assert_eq!(dual, cycle, "{what} (dual)");
+    }
+
+    #[test]
+    fn run_decode_reproduces_the_per_burst_decode() {
+        // The run decomposition must concatenate back into exactly the
+        // cycle engine's per-unit burst sequence: same locations, same
+        // byte counts, same order.
+        let mut xor_stack = MemoryConfig::hmc_stack();
+        xor_stack.mapping = AddressMapping::XorInterleaved {
+            units: 32,
+            banks_per_unit: 8,
+            row_bytes: 4096,
+            line_bytes: 256,
+        };
+        for config in [
+            MemoryConfig::hmc_stack(),
+            MemoryConfig::ddr_dual_channel(),
+            MemoryConfig::msas_dram(),
+            xor_stack,
+        ] {
+            let mut trace = sequential_trace(0, 1 << 20, 256, Op::Read);
+            trace.extend(strided_trace(1 << 22, 8192, 64, 512, Op::Write).iter());
+            trace.push(Request::read(30, 100));
+            trace.push(Request::read(5, 1));
+            trace.push(Request::write(4093, 10)); // straddles a row edge
+            let mut expected: Vec<Vec<Burst>> = vec![Vec::new(); config.mapping.units()];
+            for_each_burst(&config.timing, &config.mapping, &trace, |b| {
+                expected[b.loc.unit].push(b)
+            });
+            let streams = decode_streams(&config, &trace);
+            for (unit, stream) in streams.iter().enumerate() {
+                let mut got = Vec::new();
+                for r in 0..stream.runs() {
+                    for j in 0..stream.n[r] {
+                        got.push(stream.burst(r, j, unit));
+                    }
+                }
+                assert_eq!(
+                    got.len(),
+                    expected[unit].len(),
+                    "{}: unit {unit}",
+                    config.name
+                );
+                for (g, e) in got.iter().zip(&expected[unit]) {
+                    assert_eq!(g.loc, e.loc, "{}: unit {unit}", config.name);
+                    assert_eq!(g.bytes, e.bytes, "{}: unit {unit}", config.name);
+                    assert_eq!(g.op, e.op, "{}: unit {unit}", config.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_engine_matches_cycle_on_preset_workload_shapes() {
+        for config in [
+            MemoryConfig::hmc_stack(),
+            MemoryConfig::ddr_dual_channel(),
+            MemoryConfig::msas_dram(),
+            MemoryConfig::hmc_stack_gen1(),
+        ] {
+            let mut trace = sequential_trace(0, 4 << 20, 64, Op::Read);
+            trace.extend(strided_trace(1 << 22, 8192, 64, 2048, Op::Write).iter());
+            trace.extend(strided_trace(0, 8192 * 8, 64, 1024, Op::Read).iter());
+            trace.push(Request::read(30, 100));
+            trace.push(Request::read(0, 0));
+            assert_engines_agree(&config, &trace, &config.name);
+        }
+    }
+
+    #[test]
+    fn fast_engine_matches_cycle_across_refresh_epochs() {
+        // A stream long enough to cross many tREFI boundaries: every
+        // epoch ends a streak and forces the slow path once.
+        let c = MemoryConfig::ddr_dual_channel();
+        let trace = sequential_trace(0, 32 << 20, 64, Op::Read);
+        assert_engines_agree(&c, &trace, "32 MiB stream");
+    }
+
+    #[test]
+    fn fast_engine_handles_empty_and_degenerate_traces() {
+        let c = MemoryConfig::hmc_stack();
+        assert_engines_agree(&c, &TraceBuffer::new(), "empty");
+        let zeros = TraceBuffer::from(&[Request::read(0, 0), Request::write(64, 0)]);
+        assert_engines_agree(&c, &zeros, "zero-length requests");
+        let one = TraceBuffer::from(&[Request::write(12345, 1)]);
+        assert_engines_agree(&c, &one, "single byte");
+    }
+
+    #[test]
+    fn fast_engine_is_jobs_invariant() {
+        let c = MemoryConfig::hmc_stack();
+        let trace = sequential_trace(0, 2 << 20, 256, Op::Read);
+        let serial = simulate(&c, &trace, &SimOptions::fast()).unwrap();
+        for jobs in [0usize, 2, 4, 8] {
+            let parallel = simulate(&c, &trace, &SimOptions::fast().jobs(jobs)).unwrap();
+            assert_eq!(parallel, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn fast_profiled_run_equals_cycle_profiled_run() {
+        let c = MemoryConfig::ddr_dual_channel();
+        let mut trace = sequential_trace(0, 1 << 20, 64, Op::Read);
+        trace.extend(strided_trace(1 << 22, 8192, 64, 1024, Op::Write).iter());
+        let cycle = simulate(&c, &trace, &SimOptions::cycle().profile(1024)).unwrap();
+        let fast = simulate(&c, &trace, &SimOptions::fast().profile(1024)).unwrap();
+        assert_eq!(fast, cycle);
+        assert!(fast.timeline.is_some());
+    }
+
+    #[test]
+    fn streaks_actually_batch_on_sequential_streams() {
+        // White-box: on a pure sequential stream the fast path must do
+        // far fewer slow steps than bursts — here via the row-hit count
+        // all landing in the single t_burst latency bucket.
+        let c = MemoryConfig::hmc_stack();
+        let trace = sequential_trace(0, 1 << 20, 256, Op::Read);
+        let run = simulate(&c, &trace, &SimOptions::fast()).unwrap();
+        let bucket = LatencyHistogram::bucket_of(c.timing.t_burst);
+        assert!(run.stats.row_hits > 0);
+        assert!(run.latencies.buckets()[bucket] >= run.stats.row_hits);
+    }
+
+    #[test]
+    fn dual_check_kind_is_the_default_validation_mode() {
+        let opts = SimOptions::dual_check();
+        assert_eq!(opts.engine, EngineKind::DualCheck);
+        assert_eq!(SimOptions::fast().engine, EngineKind::Fast);
+        assert_eq!(SimOptions::cycle().engine, EngineKind::Cycle);
+        assert_eq!(SimOptions::default().engine, EngineKind::Cycle);
+    }
+}

@@ -9,8 +9,10 @@
 //! * [`address::AddressMapping`] — physical-address decoding, including
 //!   the channel-interleaved and *asymmetric* modes the paper manipulates
 //!   to carve a contiguous DIMM out of a commodity system (§4.2);
-//! * [`engine`] — an event-driven bank/vault/bus simulator that replays
-//!   explicit request traces;
+//! * [`engine`] — a dual-engine bank/vault/bus simulator behind one
+//!   [`engine::simulate`] entry point: a cycle-accurate oracle and a
+//!   bit-exact event-driven epoch-skipping fast engine, replaying SoA
+//!   [`trace::TraceBuffer`] request traces;
 //! * [`pattern::AccessPattern`] + [`analytic`] — closed-form estimates of
 //!   the same quantities for the regular streams accelerators generate,
 //!   validated against the cycle engine in tests;
@@ -39,18 +41,26 @@ pub mod bounds;
 pub mod config;
 pub mod energy;
 pub mod engine;
+mod fast;
 pub mod pattern;
 pub mod stats;
 pub mod timing;
+pub mod trace;
 pub mod vault;
 
 pub use address::AddressMapping;
 pub use config::MemoryConfig;
 pub use engine::{
-    simulate_trace, simulate_trace_detailed, simulate_trace_parallel, simulate_trace_profiled,
-    simulate_trace_profiled_parallel, try_simulate_trace_parallel, EngineRun, LatencyHistogram, Op,
-    ProfiledRun, Request, VaultStats,
+    simulate, EngineKind, EngineRun, LatencyHistogram, Op, ProfiledRun, Request, SimError,
+    SimOptions, VaultStats,
 };
 pub use pattern::AccessPattern;
 pub use stats::TraceStats;
+pub use trace::TraceBuffer;
 pub use vault::{RequestSource, VaultController};
+
+#[allow(deprecated)]
+pub use engine::{
+    simulate_trace, simulate_trace_detailed, simulate_trace_parallel, simulate_trace_profiled,
+    simulate_trace_profiled_parallel, try_simulate_trace_parallel,
+};

@@ -1,0 +1,241 @@
+//! Canonical SoA request-trace container.
+//!
+//! [`TraceBuffer`] stores a request trace as three parallel arrays
+//! (`addr`, `bytes`, `op`) instead of an array of [`Request`] structs.
+//! The layout matters on the replay hot path: the engines walk the
+//! address column far more often than the other two (burst splitting and
+//! decode touch only addresses and lengths), and a struct-of-arrays
+//! layout keeps each walk on densely packed cache lines instead of
+//! striding over 24-byte records. Trace generators build a
+//! `TraceBuffer` directly — see [`crate::engine::sequential_trace`] and
+//! [`crate::engine::strided_trace`] — so the hot paths never re-layout.
+//!
+//! [`Request`] remains the per-element view: iteration and indexing
+//! yield `Request` values, and `From`/`FromIterator`/`Extend`
+//! conversions accept them, so call sites that think in single requests
+//! keep working unchanged.
+
+use mealib_types::PhysAddr;
+
+use crate::engine::{Op, Request};
+
+/// A request trace in structure-of-arrays layout: parallel `addr`,
+/// `bytes`, and `op` columns, one entry per request.
+///
+/// This is the canonical trace type accepted by
+/// [`crate::engine::simulate`]. Build one with [`TraceBuffer::push`],
+/// collect one from an iterator of [`Request`]s, or convert an existing
+/// slice with `From<&[Request]>`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceBuffer {
+    addrs: Vec<u64>,
+    bytes: Vec<u64>,
+    ops: Vec<Op>,
+}
+
+impl TraceBuffer {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty trace with room for `cap` requests.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            addrs: Vec::with_capacity(cap),
+            bytes: Vec::with_capacity(cap),
+            ops: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends one request.
+    pub fn push(&mut self, req: Request) {
+        self.addrs.push(req.addr.get());
+        self.bytes.push(req.bytes);
+        self.ops.push(req.op);
+    }
+
+    /// Appends a read of `bytes` bytes starting at `addr`.
+    pub fn push_read(&mut self, addr: u64, bytes: u64) {
+        self.push(Request::read(addr, bytes));
+    }
+
+    /// Appends a write of `bytes` bytes starting at `addr`.
+    pub fn push_write(&mut self, addr: u64, bytes: u64) {
+        self.push(Request::write(addr, bytes));
+    }
+
+    /// Number of requests in the trace.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// True when the trace holds no requests.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// The request at index `i`, or `None` past the end.
+    pub fn get(&self, i: usize) -> Option<Request> {
+        Some(Request {
+            addr: PhysAddr::new(*self.addrs.get(i)?),
+            bytes: self.bytes[i],
+            op: self.ops[i],
+        })
+    }
+
+    /// Iterates the trace as [`Request`] values, in program order.
+    pub fn iter(&self) -> TraceIter<'_> {
+        TraceIter { buf: self, i: 0 }
+    }
+
+    /// The address column (one starting physical address per request).
+    pub fn addrs(&self) -> &[u64] {
+        &self.addrs
+    }
+
+    /// The length column (bytes per request).
+    pub fn bytes(&self) -> &[u64] {
+        &self.bytes
+    }
+
+    /// The direction column.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Total payload bytes across all requests.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+}
+
+/// Iterator over a [`TraceBuffer`]'s requests, in program order.
+#[derive(Debug, Clone)]
+pub struct TraceIter<'a> {
+    buf: &'a TraceBuffer,
+    i: usize,
+}
+
+impl Iterator for TraceIter<'_> {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        let req = self.buf.get(self.i)?;
+        self.i += 1;
+        Some(req)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.buf.len() - self.i;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for TraceIter<'_> {}
+
+impl<'a> IntoIterator for &'a TraceBuffer {
+    type Item = Request;
+    type IntoIter = TraceIter<'a>;
+
+    fn into_iter(self) -> TraceIter<'a> {
+        self.iter()
+    }
+}
+
+impl From<&[Request]> for TraceBuffer {
+    fn from(reqs: &[Request]) -> Self {
+        reqs.iter().copied().collect()
+    }
+}
+
+impl<const N: usize> From<&[Request; N]> for TraceBuffer {
+    fn from(reqs: &[Request; N]) -> Self {
+        reqs.as_slice().into()
+    }
+}
+
+impl From<Vec<Request>> for TraceBuffer {
+    fn from(reqs: Vec<Request>) -> Self {
+        reqs.as_slice().into()
+    }
+}
+
+impl FromIterator<Request> for TraceBuffer {
+    fn from_iter<I: IntoIterator<Item = Request>>(iter: I) -> Self {
+        let mut buf = Self::new();
+        buf.extend(iter);
+        buf
+    }
+}
+
+impl Extend<Request> for TraceBuffer {
+    fn extend<I: IntoIterator<Item = Request>>(&mut self, iter: I) {
+        let iter = iter.into_iter();
+        let (lo, _) = iter.size_hint();
+        self.addrs.reserve(lo);
+        self.bytes.reserve(lo);
+        self.ops.reserve(lo);
+        for req in iter {
+            self.push(req);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_requests_through_columns() {
+        let reqs = [
+            Request::read(0x40, 128),
+            Request::write(0x1000, 0),
+            Request::read(u64::MAX - 64, 64),
+        ];
+        let buf = TraceBuffer::from(&reqs);
+        assert_eq!(buf.len(), 3);
+        assert!(!buf.is_empty());
+        let back: Vec<Request> = buf.iter().collect();
+        assert_eq!(back, reqs);
+        for (i, r) in reqs.iter().enumerate() {
+            assert_eq!(buf.get(i), Some(*r));
+        }
+        assert_eq!(buf.get(3), None);
+        assert_eq!(buf.total_bytes(), 128 + 64);
+    }
+
+    #[test]
+    fn collect_extend_and_push_agree() {
+        let reqs: Vec<Request> = (0..10)
+            .map(|i| {
+                if i % 2 == 0 {
+                    Request::read(i * 4096, 64)
+                } else {
+                    Request::write(i * 4096, 32)
+                }
+            })
+            .collect();
+        let collected: TraceBuffer = reqs.iter().copied().collect();
+        let mut pushed = TraceBuffer::with_capacity(reqs.len());
+        for r in &reqs {
+            pushed.push(*r);
+        }
+        let mut extended = TraceBuffer::new();
+        extended.extend(reqs.iter().copied());
+        let converted = TraceBuffer::from(reqs);
+        assert_eq!(collected, pushed);
+        assert_eq!(collected, extended);
+        assert_eq!(collected, converted);
+    }
+
+    #[test]
+    fn push_read_write_tag_directions() {
+        let mut buf = TraceBuffer::new();
+        buf.push_read(0, 64);
+        buf.push_write(64, 64);
+        assert_eq!(buf.ops(), &[Op::Read, Op::Write]);
+        assert_eq!(buf.addrs(), &[0, 64]);
+        assert_eq!(buf.bytes(), &[64, 64]);
+    }
+}

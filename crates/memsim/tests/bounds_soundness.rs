@@ -5,8 +5,8 @@
 
 use mealib_memsim::address::AddressMapping;
 use mealib_memsim::bounds::trace_bounds;
-use mealib_memsim::engine::{simulate_trace, simulate_trace_detailed, Op, Request};
-use mealib_memsim::MemoryConfig;
+use mealib_memsim::engine::{simulate, Op, Request, SimOptions};
+use mealib_memsim::{MemoryConfig, TraceBuffer};
 use mealib_types::PhysAddr;
 use proptest::prelude::*;
 
@@ -83,12 +83,14 @@ proptest! {
         cfg in config_strategy(),
         trace in proptest::collection::vec(request_strategy(), 0..24),
     ) {
+        let trace = TraceBuffer::from(trace);
         let bounds = trace_bounds(&cfg, &trace).unwrap();
-        let measured = simulate_trace(&cfg, &trace);
-        let violation = bounds.check_contains(&measured);
+        // Dual-check mode: the soundness corpus doubles as a
+        // fast-vs-cycle bit-exactness corpus.
+        let run = simulate(&cfg, &trace, &SimOptions::dual_check()).expect("valid config");
+        let violation = bounds.check_contains(&run.stats);
         prop_assert!(violation.is_none(), "{}: {}", cfg.name, violation.unwrap());
         // Command counts are certified exactly, not just bounded.
-        let run = simulate_trace_detailed(&cfg, &trace);
         let reads: u64 = run.vaults.iter().map(|v| v.read_bursts).sum();
         let writes: u64 = run.vaults.iter().map(|v| v.write_bursts).sum();
         prop_assert!(bounds.read_bursts.is_exact());
@@ -112,11 +114,13 @@ proptest! {
         write in any::<bool>(),
     ) {
         let op = if write { Op::Write } else { Op::Read };
-        let trace: Vec<Request> = (0..count)
+        let trace: TraceBuffer = (0..count)
             .map(|i| Request { addr: PhysAddr::new(i * stride), bytes: elem.min(stride), op })
             .collect();
         let bounds = trace_bounds(&cfg, &trace).unwrap();
-        let measured = simulate_trace(&cfg, &trace);
+        let measured = simulate(&cfg, &trace, &SimOptions::fast())
+            .expect("valid config")
+            .stats;
         prop_assert!(bounds.bytes_read.is_exact() && bounds.bytes_written.is_exact());
         prop_assert_eq!(bounds.bytes_read.lo, measured.bytes_read.get() as f64);
         prop_assert_eq!(bounds.bytes_written.lo, measured.bytes_written.get() as f64);
@@ -131,8 +135,8 @@ proptest! {
         trace in proptest::collection::vec(request_strategy(), 1..20),
     ) {
         let cfg = MemoryConfig::hmc_stack();
-        let full = trace_bounds(&cfg, &trace).unwrap();
-        let prefix = trace_bounds(&cfg, &trace[..trace.len() - 1]).unwrap();
+        let full = trace_bounds(&cfg, &TraceBuffer::from(trace.as_slice())).unwrap();
+        let prefix = trace_bounds(&cfg, &TraceBuffer::from(&trace[..trace.len() - 1])).unwrap();
         prop_assert!(prefix.cycles.hi <= full.cycles.hi);
         prop_assert!(prefix.total_bursts() <= full.total_bursts());
         prop_assert!(prefix.energy.hi <= full.energy.hi);

@@ -1,18 +1,27 @@
-//! Determinism suite for the vault-sharded parallel engine.
+//! Determinism suite for the dual-engine core.
 //!
-//! `simulate_trace_parallel` must be *bit-exactly* equal to the serial
-//! `simulate_trace_detailed` for every valid configuration — the merge is
-//! designed so that per-unit integer totals combine commutatively and the
-//! derived `f64` fields (`elapsed`, `energy`) are computed once from the
-//! merged totals, never accumulated across threads. These properties are
-//! what make `--jobs N` shippable: the parallel run is not "close", it is
-//! the same run.
+//! Two families of bit-exactness properties, both over random traces ×
+//! random valid configs:
+//!
+//! 1. **parallel ≡ serial** — the vault-sharded replay must equal the
+//!    serial replay bit for bit, for either engine. The merge is
+//!    designed so that per-unit integer totals combine commutatively
+//!    and the derived `f64` fields (`elapsed`, `energy`) are computed
+//!    once from the merged totals, never accumulated across threads.
+//! 2. **fast ≡ cycle** — the event-driven epoch-skipping engine must
+//!    equal the cycle-accurate oracle bit for bit on every statistic
+//!    (stats, vault counts, histogram buckets, energy), across engine
+//!    kinds × jobs ∈ {1, 2, 4, 8} × mapping geometries, including
+//!    adversarial traces: row-conflict storms, single-vault hotspots,
+//!    zero-length and max-burst requests.
+//!
+//! These properties are what make `--jobs N` and `EngineKind::Fast`
+//! shippable: the parallel run and the fast run are not "close", they
+//! are the same run.
 
 use mealib_memsim::address::AddressMapping;
-use mealib_memsim::engine::{
-    simulate_trace_detailed, simulate_trace_parallel, simulate_trace_profiled,
-    simulate_trace_profiled_parallel, EngineRun, Request,
-};
+use mealib_memsim::engine::{simulate, EngineKind, EngineRun, Request, SimError, SimOptions};
+use mealib_memsim::trace::TraceBuffer;
 use mealib_memsim::MemoryConfig;
 use mealib_obs::timeline::WindowCounters;
 use mealib_types::PhysAddr;
@@ -28,6 +37,49 @@ fn request_strategy() -> impl Strategy<Value = Request> {
             Request::read(addr, bytes)
         }
     })
+}
+
+/// Adversarial traces aimed at the fast engine's streak batching:
+/// every shape is built to break streaks as often as possible or to
+/// stretch them to their caps.
+fn adversarial_trace_strategy() -> impl Strategy<Value = TraceBuffer> {
+    prop_oneof![
+        // Row-conflict storm: large power-of-two strides alias onto the
+        // same bank under small mappings, so every access precharges.
+        (12u32..=18, 1u64..256, any::<bool>()).prop_map(|(shift, count, write)| {
+            (0..count)
+                .map(|i| {
+                    let addr = i * (1u64 << shift);
+                    if write {
+                        Request::write(addr, 64)
+                    } else {
+                        Request::read(addr, 64)
+                    }
+                })
+                .collect()
+        }),
+        // Single-vault hotspot: all traffic inside one line's reach, so
+        // one unit absorbs the entire stream (maximal streaks, maximal
+        // shard imbalance).
+        (0u64..64, 1u64..512).prop_map(|(base, count)| {
+            (0..count)
+                .map(|i| Request::read(base + (i % 4) * 8, 32))
+                .collect()
+        }),
+        // Zero-length requests interleaved with real ones: must be
+        // no-ops on every counter in both engines.
+        proptest::collection::vec((0u64..(1 << 20), any::<bool>()), 1..64).prop_map(|specs| {
+            specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(addr, zero))| Request::read(addr, if zero { 0 } else { i as u64 }))
+                .collect()
+        }),
+        // Max-burst requests: each one spans many rows and banks, so a
+        // single request alternates hit streaks with activations.
+        proptest::collection::vec(0u64..(1 << 22), 1..24)
+            .prop_map(|addrs| { addrs.iter().map(|&a| Request::write(a, 4096)).collect() }),
+    ]
 }
 
 /// Random *valid* mappings covering all three interleaving modes:
@@ -83,41 +135,82 @@ fn config_strategy() -> impl Strategy<Value = MemoryConfig> {
 /// their raw bit patterns (`PartialEq` on `EngineRun` already compares
 /// them exactly; the `to_bits` checks make NaN-safety and signed-zero
 /// agreement explicit).
-fn assert_bit_exact(parallel: &EngineRun, serial: &EngineRun, ctx: &str) {
-    assert_eq!(parallel, serial, "{ctx}: runs differ");
+fn assert_bit_exact(got: &EngineRun, want: &EngineRun, ctx: &str) {
+    assert_eq!(got, want, "{ctx}: runs differ");
     assert_eq!(
-        parallel.stats.elapsed.get().to_bits(),
-        serial.stats.elapsed.get().to_bits(),
+        got.stats.elapsed.get().to_bits(),
+        want.stats.elapsed.get().to_bits(),
         "{ctx}: elapsed bits differ"
     );
     assert_eq!(
-        parallel.stats.energy.get().to_bits(),
-        serial.stats.energy.get().to_bits(),
+        got.stats.energy.get().to_bits(),
+        want.stats.energy.get().to_bits(),
         "{ctx}: energy bits differ"
     );
     assert_eq!(
-        parallel.latencies.buckets(),
-        serial.latencies.buckets(),
+        got.latencies.buckets(),
+        want.latencies.buckets(),
         "{ctx}: histogram buckets differ"
     );
-    assert_eq!(parallel.vaults, serial.vaults, "{ctx}: vault stats differ");
+    assert_eq!(got.vaults, want.vaults, "{ctx}: vault stats differ");
+}
+
+fn cycle_serial(cfg: &MemoryConfig, trace: &TraceBuffer) -> EngineRun {
+    simulate(cfg, trace, &SimOptions::cycle()).expect("valid config")
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
-    /// The headline property: parallel ≡ serial, bit for bit, across
-    /// random traces × random valid configs × jobs ∈ {2, 4, 8}.
+    /// The headline property: every engine kind × every worker count is
+    /// bit-for-bit the serial cycle oracle, across random traces ×
+    /// random valid configs × jobs ∈ {1, 2, 4, 8}.
     #[test]
-    fn parallel_equals_serial_bit_exactly(
+    fn engines_and_jobs_equal_the_cycle_oracle_bit_exactly(
         cfg in config_strategy(),
         trace in proptest::collection::vec(request_strategy(), 0..40),
     ) {
         prop_assert!(cfg.validate().is_ok());
-        let serial = simulate_trace_detailed(&cfg, &trace);
-        for jobs in [2usize, 4, 8] {
-            let parallel = simulate_trace_parallel(&cfg, &trace, jobs);
-            assert_bit_exact(&parallel, &serial, &format!("{} jobs={jobs}", cfg.name));
+        let trace = TraceBuffer::from(trace);
+        let oracle = cycle_serial(&cfg, &trace);
+        for engine in [EngineKind::Cycle, EngineKind::Fast] {
+            for jobs in [1usize, 2, 4, 8] {
+                let opts = SimOptions { engine, jobs, ..SimOptions::default() };
+                let run = simulate(&cfg, &trace, &opts).expect("valid config");
+                assert_bit_exact(
+                    &run,
+                    &oracle,
+                    &format!("{} {engine:?} jobs={jobs}", cfg.name),
+                );
+            }
+        }
+    }
+
+    /// The fast engine survives adversarial trace shapes (conflict
+    /// storms, hotspots, zero-length, max-burst) on every preset device
+    /// and random mapping, and `DualCheck` never reports divergence.
+    #[test]
+    fn fast_engine_survives_adversarial_traces(
+        cfg in config_strategy(),
+        trace in adversarial_trace_strategy(),
+    ) {
+        prop_assert!(cfg.validate().is_ok());
+        let oracle = cycle_serial(&cfg, &trace);
+        for jobs in [1usize, 2, 4, 8] {
+            let fast = simulate(&cfg, &trace, &SimOptions::fast().jobs(jobs))
+                .expect("valid config");
+            assert_bit_exact(&fast, &oracle, &format!("{} fast jobs={jobs}", cfg.name));
+            match simulate(&cfg, &trace, &SimOptions::dual_check().jobs(jobs)) {
+                Ok(dual) => assert_bit_exact(
+                    &dual,
+                    &oracle,
+                    &format!("{} dual jobs={jobs}", cfg.name),
+                ),
+                Err(SimError::EngineDivergence(what)) => {
+                    prop_assert!(false, "{}: dual-check divergence: {what}", cfg.name);
+                }
+                Err(e) => prop_assert!(false, "{}: unexpected error: {e}", cfg.name),
+            }
         }
     }
 
@@ -129,24 +222,35 @@ proptest! {
         trace in proptest::collection::vec(request_strategy(), 1..30),
     ) {
         prop_assert!(cfg.validate().is_ok());
-        let first = simulate_trace_parallel(&cfg, &trace, 4);
-        for run in 0..10 {
-            let again = simulate_trace_parallel(&cfg, &trace, 4);
-            assert_bit_exact(&again, &first, &format!("{} run={run}", cfg.name));
+        let trace = TraceBuffer::from(trace);
+        for engine in [EngineKind::Cycle, EngineKind::Fast] {
+            let opts = SimOptions { engine, jobs: 4, ..SimOptions::default() };
+            let first = simulate(&cfg, &trace, &opts).expect("valid config");
+            for run in 0..5 {
+                let again = simulate(&cfg, &trace, &opts).expect("valid config");
+                assert_bit_exact(&again, &first, &format!("{} {engine:?} run={run}", cfg.name));
+            }
         }
     }
 
-    /// jobs=1 is the serial path, so it must also be bit-exact — the
-    /// fallback and the sharded path share the same per-unit core.
+    /// `jobs: 0` (auto) and `jobs: 1` (exact serial path) produce the
+    /// same bits as any explicit worker count — the normalized `jobs`
+    /// semantics regression property.
     #[test]
-    fn jobs_one_is_the_serial_path(
+    fn jobs_zero_and_one_match_explicit_counts(
         cfg in config_strategy(),
         trace in proptest::collection::vec(request_strategy(), 0..30),
     ) {
         prop_assert!(cfg.validate().is_ok());
-        let serial = simulate_trace_detailed(&cfg, &trace);
-        let fallback = simulate_trace_parallel(&cfg, &trace, 1);
-        assert_bit_exact(&fallback, &serial, &cfg.name);
+        let trace = TraceBuffer::from(trace);
+        let serial = cycle_serial(&cfg, &trace);
+        for engine in [EngineKind::Cycle, EngineKind::Fast] {
+            for jobs in [0usize, 1] {
+                let opts = SimOptions { engine, jobs, ..SimOptions::default() };
+                let run = simulate(&cfg, &trace, &opts).expect("valid config");
+                assert_bit_exact(&run, &serial, &format!("{} {engine:?} jobs={jobs}", cfg.name));
+            }
+        }
     }
 
     /// Timeline conservation: profiling must not perturb the model, and
@@ -160,10 +264,14 @@ proptest! {
         window_cycles in 1u64..5000,
     ) {
         prop_assert!(cfg.validate().is_ok());
-        let plain = simulate_trace_detailed(&cfg, &trace);
-        let profiled = simulate_trace_profiled(&cfg, &trace, window_cycles);
-        prop_assert_eq!(&profiled.run, &plain, "profiling perturbed the run");
-        let agg = profiled.timeline.aggregate();
+        let trace = TraceBuffer::from(trace);
+        let plain = cycle_serial(&cfg, &trace);
+        let mut profiled =
+            simulate(&cfg, &trace, &SimOptions::cycle().profile(window_cycles))
+                .expect("valid config");
+        let timeline = profiled.timeline.take().expect("profile requested");
+        prop_assert_eq!(&profiled, &plain, "profiling perturbed the run");
+        let agg = timeline.aggregate();
         prop_assert_eq!(agg.bytes_read, plain.stats.bytes_read.get());
         prop_assert_eq!(agg.bytes_written, plain.stats.bytes_written.get());
         prop_assert_eq!(agg.activations, plain.stats.activations);
@@ -176,9 +284,9 @@ proptest! {
         let bursts = plain.stats.row_hits + plain.stats.row_misses;
         prop_assert_eq!(agg.bus_busy_cycles, bursts * cfg.timing.t_burst);
         // Per-lane sums must equal the per-vault command counts.
-        for (unit, v) in profiled.run.vaults.iter().enumerate() {
+        for (unit, v) in profiled.vaults.iter().enumerate() {
             let mut lane = WindowCounters::default();
-            for (_, l, c) in profiled.timeline.iter() {
+            for (_, l, c) in timeline.iter() {
                 if l == unit as u16 {
                     lane.merge(c);
                 }
@@ -190,22 +298,31 @@ proptest! {
         }
     }
 
-    /// Parallel timelines are bit-identical to serial for jobs ∈
-    /// {2, 4, 8}: same cells, same counters, same window width — the
+    /// Profiled runs are bit-identical across engine kinds and worker
+    /// counts: same cells, same counters, same window width — the
     /// windowed reduction inherits the aggregate merge's determinism.
     #[test]
-    fn profiled_parallel_timelines_are_bit_identical(
+    fn profiled_runs_are_bit_identical_across_engines_and_jobs(
         cfg in config_strategy(),
         trace in proptest::collection::vec(request_strategy(), 0..40),
         window_cycles in 1u64..5000,
     ) {
         prop_assert!(cfg.validate().is_ok());
-        let serial = simulate_trace_profiled(&cfg, &trace, window_cycles);
-        for jobs in [2usize, 4, 8] {
-            let parallel =
-                simulate_trace_profiled_parallel(&cfg, &trace, window_cycles, jobs);
-            prop_assert_eq!(&parallel, &serial, "{} jobs={}", cfg.name, jobs);
-            assert_bit_exact(&parallel.run, &serial.run, &format!("{} jobs={jobs}", cfg.name));
+        let trace = TraceBuffer::from(trace);
+        let serial = simulate(&cfg, &trace, &SimOptions::cycle().profile(window_cycles))
+            .expect("valid config");
+        for engine in [EngineKind::Cycle, EngineKind::Fast] {
+            for jobs in [2usize, 4, 8] {
+                let opts = SimOptions {
+                    engine,
+                    jobs,
+                    profile: Some(window_cycles),
+                    ..SimOptions::default()
+                };
+                let parallel = simulate(&cfg, &trace, &opts).expect("valid config");
+                prop_assert_eq!(&parallel, &serial, "{} {:?} jobs={}", cfg.name, engine, jobs);
+                assert_bit_exact(&parallel, &serial, &format!("{} {engine:?} jobs={jobs}", cfg.name));
+            }
         }
     }
 }
@@ -223,10 +340,11 @@ impl BurstCount for WindowCounters {
 }
 
 /// Fixed-config smoke tests, one per interleaving mode, with dense
-/// same-row traffic that exercises row hits, conflicts, and refreshes.
+/// same-row traffic that exercises row hits, conflicts, and refreshes —
+/// for both engines and every worker count.
 #[test]
 fn fixed_configs_cover_every_mode() {
-    let mut trace = Vec::new();
+    let mut trace = TraceBuffer::new();
     for i in 0..2000u64 {
         trace.push(Request::read(i * 64 % (1 << 20), 64));
         if i % 3 == 0 {
@@ -258,17 +376,24 @@ fn fixed_configs_cover_every_mode() {
         let mut cfg = MemoryConfig::ddr_dual_channel();
         cfg.mapping = mapping;
         cfg.validate().expect("fixed config is valid");
-        let serial = simulate_trace_detailed(&cfg, &trace);
+        let serial = cycle_serial(&cfg, &trace);
         // The trace is long enough to produce real activity in each mode.
         assert!(serial.stats.row_hits > 0, "{:?}", cfg.mapping);
         assert!(serial.stats.row_misses > 0, "{:?}", cfg.mapping);
-        for jobs in [2usize, 4, 8] {
-            let parallel = simulate_trace_parallel(&cfg, &trace, jobs);
-            assert_bit_exact(
-                &parallel,
-                &serial,
-                &format!("{:?} jobs={jobs}", cfg.mapping),
-            );
+        for engine in [EngineKind::Cycle, EngineKind::Fast, EngineKind::DualCheck] {
+            for jobs in [2usize, 4, 8] {
+                let opts = SimOptions {
+                    engine,
+                    jobs,
+                    ..SimOptions::default()
+                };
+                let run = simulate(&cfg, &trace, &opts).expect("valid config");
+                assert_bit_exact(
+                    &run,
+                    &serial,
+                    &format!("{:?} {engine:?} jobs={jobs}", cfg.mapping),
+                );
+            }
         }
     }
 }
@@ -278,18 +403,25 @@ fn fixed_configs_cover_every_mode() {
 #[test]
 fn parallel_vault_counts_sum_to_aggregates() {
     let cfg = MemoryConfig::hmc_stack();
-    let trace: Vec<Request> = (0..4096u64).map(|i| Request::read(i * 256, 256)).collect();
-    let run = simulate_trace_parallel(&cfg, &trace, 8);
-    assert_eq!(run.vaults.len(), cfg.mapping.units());
-    let (mut reads, mut writes, mut acts, mut hits) = (0u64, 0u64, 0u64, 0u64);
-    for v in &run.vaults {
-        reads += v.read_bursts;
-        writes += v.write_bursts;
-        acts += v.activations;
-        hits += v.row_hits;
+    let trace: TraceBuffer = (0..4096u64).map(|i| Request::read(i * 256, 256)).collect();
+    for engine in [EngineKind::Cycle, EngineKind::Fast] {
+        let opts = SimOptions {
+            engine,
+            jobs: 8,
+            ..SimOptions::default()
+        };
+        let run = simulate(&cfg, &trace, &opts).expect("valid config");
+        assert_eq!(run.vaults.len(), cfg.mapping.units());
+        let (mut reads, mut writes, mut acts, mut hits) = (0u64, 0u64, 0u64, 0u64);
+        for v in &run.vaults {
+            reads += v.read_bursts;
+            writes += v.write_bursts;
+            acts += v.activations;
+            hits += v.row_hits;
+        }
+        assert_eq!(run.stats.row_hits + run.stats.row_misses, reads + writes);
+        assert_eq!(run.stats.activations, acts);
+        assert_eq!(run.stats.row_hits, hits);
+        assert_eq!(run.latencies.count(), reads + writes);
     }
-    assert_eq!(run.stats.row_hits + run.stats.row_misses, reads + writes);
-    assert_eq!(run.stats.activations, acts);
-    assert_eq!(run.stats.row_hits, hits);
-    assert_eq!(run.latencies.count(), reads + writes);
 }

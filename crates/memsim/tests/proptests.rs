@@ -1,8 +1,16 @@
 //! Property tests over the DRAM simulator invariants.
 
-use mealib_memsim::engine::{simulate_trace, Op, Request};
-use mealib_memsim::{analytic, AccessPattern, MemoryConfig};
+use mealib_memsim::engine::{simulate, Op, Request, SimOptions};
+use mealib_memsim::{analytic, AccessPattern, MemoryConfig, TraceBuffer};
 use proptest::prelude::*;
+
+/// Replays through the unified API in dual-check mode, so every corpus
+/// trace also proves fast-vs-cycle bit-exactness.
+fn replay(cfg: &MemoryConfig, trace: &[Request]) -> mealib_memsim::TraceStats {
+    simulate(cfg, &TraceBuffer::from(trace), &SimOptions::dual_check())
+        .expect("valid config")
+        .stats
+}
 
 fn request_strategy() -> impl Strategy<Value = Request> {
     (0u64..(1 << 24), 1u64..4096, any::<bool>()).prop_map(|(addr, bytes, write)| {
@@ -33,7 +41,7 @@ proptest! {
         cfg in config_strategy(),
         trace in proptest::collection::vec(request_strategy(), 0..40),
     ) {
-        let stats = simulate_trace(&cfg, &trace);
+        let stats = replay(&cfg, &trace);
         let want_read: u64 = trace.iter().filter(|r| r.op == Op::Read).map(|r| r.bytes).sum();
         let want_written: u64 =
             trace.iter().filter(|r| r.op == Op::Write).map(|r| r.bytes).sum();
@@ -49,8 +57,8 @@ proptest! {
         trace in proptest::collection::vec(request_strategy(), 1..30),
     ) {
         let cfg = MemoryConfig::hmc_stack();
-        let full = simulate_trace(&cfg, &trace);
-        let prefix = simulate_trace(&cfg, &trace[..trace.len() - 1]);
+        let full = replay(&cfg, &trace);
+        let prefix = replay(&cfg, &trace[..trace.len() - 1]);
         prop_assert!(full.cycles >= prefix.cycles);
         prop_assert!(full.energy.get() >= prefix.energy.get());
     }
@@ -61,7 +69,7 @@ proptest! {
         cfg in config_strategy(),
         trace in proptest::collection::vec(request_strategy(), 0..30),
     ) {
-        prop_assert_eq!(simulate_trace(&cfg, &trace), simulate_trace(&cfg, &trace));
+        prop_assert_eq!(replay(&cfg, &trace), replay(&cfg, &trace));
     }
 
     /// Analytic estimates are finite, non-negative, and conserve bytes.

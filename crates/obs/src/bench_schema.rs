@@ -45,10 +45,11 @@ impl BenchRecord {
         self.metrics.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
     }
 
-    /// True when `key` names a wall-clock measurement rather than a
-    /// modeled metric.
+    /// True when `key` names a wall-clock measurement (or a metric
+    /// derived from one, like a measured-throughput `*per_sec*` rate)
+    /// rather than a modeled metric.
     pub fn is_wall_metric(key: &str) -> bool {
-        key.ends_with("wall_s") || key == "speedup_wall"
+        key.ends_with("wall_s") || key.ends_with("_wall") || key.contains("per_sec")
     }
 }
 
@@ -241,6 +242,8 @@ mod tests {
     fn wall_metric_keys_are_recognized() {
         assert!(BenchRecord::is_wall_metric("jobs1_wall_s"));
         assert!(BenchRecord::is_wall_metric("wall_s"));
+        assert!(BenchRecord::is_wall_metric("speedup_wall"));
+        assert!(BenchRecord::is_wall_metric("fast_bursts_per_sec_per_core"));
         assert!(!BenchRecord::is_wall_metric("avg_speedup"));
         assert!(!BenchRecord::is_wall_metric("bandwidth_gbps"));
     }

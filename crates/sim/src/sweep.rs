@@ -25,7 +25,9 @@ use crate::experiment::{run_experiment, ExperimentOptions, ExperimentReport};
 /// Runs `run_experiment` for every op in `ops` across up to `jobs`
 /// worker threads, returning per-op results in input order.
 ///
-/// `jobs <= 1` runs serially on the calling thread. Results are
+/// `jobs == 0` resolves to the machine's available parallelism (the
+/// workspace-wide [`mealib_types::auto_jobs`] convention); `jobs == 1`
+/// runs serially on the calling thread. Results are
 /// positionally identical to the serial loop regardless of `jobs`: the
 /// scheduling is handled by [`mealib_types::par_map`], which reassembles
 /// results by index. Recorder events are spooled per run and delivered
@@ -41,7 +43,11 @@ pub fn run_sweep(
     opts: &ExperimentOptions,
     jobs: usize,
 ) -> Vec<Result<ExperimentReport, mealib_types::Report>> {
-    let jobs = if opts.sanitizer.is_active() { 1 } else { jobs };
+    let jobs = if opts.sanitizer.is_active() {
+        1
+    } else {
+        mealib_types::auto_jobs(jobs)
+    };
     match (jobs > 1).then(|| opts.obs.recorder()).flatten() {
         Some(sink) => mealib_types::par_map(ops, jobs, move |op| {
             let spool = SpoolRecorder::shared(sink.clone());

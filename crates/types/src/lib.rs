@@ -35,6 +35,6 @@ pub use complex::Complex32;
 pub use diag::{Diagnostic, ErrorCode, Report, Severity, Span};
 pub use error::ConfigError;
 pub use interval::Interval;
-pub use par::par_map;
+pub use par::{auto_jobs, par_map};
 pub use stats::{geometric_mean, Counter, RunningStats};
 pub use units::{Bytes, BytesPerSec, Cycles, Gflops, Hertz, Joules, Seconds, Watts};

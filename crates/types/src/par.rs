@@ -11,6 +11,31 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// Resolves a user-facing `jobs` knob to a concrete worker count.
+///
+/// The convention, shared by every `jobs` parameter in the workspace
+/// (`SimOptions::jobs`, `run_sweep`, `SweepOptions::jobs`, the bench
+/// bins' `--jobs`):
+///
+/// * `0` ⇒ **auto**: one worker per available hardware thread
+///   ([`std::thread::available_parallelism`], falling back to 1 when
+///   the platform cannot say);
+/// * `1` ⇒ the **exact serial path** on the calling thread — never the
+///   sharded merge;
+/// * `n > 1` ⇒ up to `n` workers.
+///
+/// Callers normalize through this one function so `0` and `1` mean the
+/// same thing on every parallel path.
+pub fn auto_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        jobs
+    }
+}
+
 /// Applies `f` to every item, using up to `jobs` worker threads, and
 /// returns the results in input order.
 ///

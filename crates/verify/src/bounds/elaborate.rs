@@ -19,6 +19,7 @@
 use std::collections::BTreeMap;
 
 use mealib_memsim::engine::Request;
+use mealib_memsim::TraceBuffer;
 use mealib_tdl::{AcceleratorKind, TdlItem};
 
 use crate::dataflow::{HostOp, Session};
@@ -50,7 +51,7 @@ impl PhaseTraffic {
 #[derive(Debug, Clone, Default)]
 pub struct Elaboration {
     /// Program-order request stream over declared extents.
-    pub trace: Vec<Request>,
+    pub trace: TraceBuffer,
     /// Peak live-buffer footprint in bytes (exact over declared
     /// extents).
     pub peak_footprint: u64,
@@ -176,8 +177,8 @@ mod tests {
                    params=\"f\"\n}\n";
         let e = elaborate(&parse_session(src).unwrap());
         assert_eq!(e.trace.len(), 2);
-        assert_eq!(e.trace[0].addr.get(), 0x1000);
-        assert_eq!(e.trace[1].addr.get(), 0x2000);
+        assert_eq!(e.trace.addrs()[0], 0x1000);
+        assert_eq!(e.trace.addrs()[1], 0x2000);
         assert_eq!(e.invocations, 1);
         assert_eq!(e.phases[0].bytes, 512);
         assert!(e.missing_extents.is_empty());

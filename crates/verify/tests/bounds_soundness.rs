@@ -13,7 +13,7 @@ use std::fs;
 use std::path::PathBuf;
 
 use mealib_memsim::bounds::trace_bounds;
-use mealib_memsim::engine::simulate_trace_detailed;
+use mealib_memsim::engine::{simulate, SimOptions};
 use mealib_verify::bounds::{self, BoundsEnv};
 use mealib_verify::dataflow::parse_session;
 
@@ -57,7 +57,8 @@ fn every_corpus_and_example_program_is_certified_soundly() {
         let cfg = bounds::resolved_config(&session, &env);
         let elab = bounds::elaborate(&session);
         let static_bounds = trace_bounds(&cfg, &elab.trace).expect("resolved configs validate");
-        let run = simulate_trace_detailed(&cfg, &elab.trace);
+        let run = simulate(&cfg, &elab.trace, &SimOptions::dual_check())
+            .expect("resolved configs validate");
         assert!(
             static_bounds.check_contains(&run.stats).is_none(),
             "{name}: {}",

@@ -24,7 +24,7 @@ use mealib_accel::{AccelParams, AcceleratorLayer};
 use mealib_host::{run_custom, run_op, CodeFlavor, Platform};
 use mealib_kernels::blas3::{self, Side, Triangle};
 use mealib_kernels::fft::Direction;
-use mealib_memsim::engine::simulate_trace_profiled;
+use mealib_memsim::engine::{simulate, SimOptions};
 use mealib_obs::{Attribution, Breakdown, Obs, Phase, Profile, TraceRecorder};
 use mealib_runtime::CacheModel;
 use mealib_tdl::{AcceleratorKind, Descriptor, ParamBag};
@@ -464,9 +464,12 @@ pub fn profile_on_mealib(cfg: &StapConfig) -> StapProfile {
                 profile.intervals.extend(dr.intervals("cu", start));
                 let params = accel_phase_params(cfg, p.name);
                 let (trace, _scale) = generate_trace(&params, layer.hw(), STAP_DRAM_TRACE_BYTES);
-                let profiled =
-                    simulate_trace_profiled(layer.mem(), &trace, STAP_DRAM_WINDOW_CYCLES);
-                profile.push_timeline(&format!("dram:{}", p.name), profiled.timeline, t_ck, start);
+                let opts = SimOptions::fast().profile(STAP_DRAM_WINDOW_CYCLES);
+                let timeline = simulate(layer.mem(), &trace, &opts)
+                    .expect("preset memory configuration validates")
+                    .timeline
+                    .expect("profiled run carries a timeline");
+                profile.push_timeline(&format!("dram:{}", p.name), timeline, t_ck, start);
             }
         }
     }

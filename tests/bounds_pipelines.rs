@@ -7,7 +7,7 @@
 //! MEA2xx diagnostic.
 
 use mealib_memsim::bounds::trace_bounds;
-use mealib_memsim::engine::simulate_trace_detailed;
+use mealib_memsim::engine::{simulate, SimOptions};
 use mealib_verify::bounds::{self, BoundsEnv};
 use mealib_verify::dataflow::parse_session;
 use mealib_workloads::sessions::pipeline_sessions;
@@ -26,7 +26,8 @@ fn every_workloads_pipeline_is_certified_soundly() {
             "{name}: exported sessions declare every extent"
         );
         let static_bounds = trace_bounds(&cfg, &elab.trace).expect("preset configs validate");
-        let run = simulate_trace_detailed(&cfg, &elab.trace);
+        let run = simulate(&cfg, &elab.trace, &SimOptions::dual_check())
+            .expect("preset configs validate");
         assert!(
             static_bounds.check_contains(&run.stats).is_none(),
             "{name}: {}",

@@ -16,8 +16,10 @@ fn dram_paths_agree_on_mixed_stream() {
     let cfg = MemoryConfig::hmc_stack();
     let bytes = 16u64 << 20;
     let mut trace = engine::sequential_trace(0, bytes, 256, Op::Read);
-    trace.extend(engine::sequential_trace(1 << 30, bytes, 256, Op::Write));
-    let sim = engine::simulate_trace(&cfg, &trace);
+    trace.extend(engine::sequential_trace(1 << 30, bytes, 256, Op::Write).iter());
+    let sim = engine::simulate(&cfg, &trace, &engine::SimOptions::dual_check())
+        .expect("preset config validates")
+        .stats;
     let est = analytic::try_estimate(&cfg, &AccessPattern::sequential_rw(bytes, bytes)).unwrap();
     let ratio = est.elapsed.get() / sim.elapsed.get();
     assert!((0.6..1.6).contains(&ratio), "time ratio {ratio}");

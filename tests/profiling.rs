@@ -9,9 +9,8 @@
 use mealib::prelude::*;
 use mealib_accel::trace_exec::generate_trace;
 use mealib_accel::AcceleratorLayer;
-use mealib_memsim::engine::{
-    simulate_trace_detailed, simulate_trace_profiled, simulate_trace_profiled_parallel, Request,
-};
+use mealib_memsim::engine::{simulate, EngineKind, SimOptions};
+use mealib_memsim::TraceBuffer;
 use mealib_obs::validate_chrome_trace;
 use mealib_workloads::sar;
 use mealib_workloads::stap::{self, StapConfig, STAP_DRAM_WINDOW_CYCLES};
@@ -20,7 +19,7 @@ const TRACE_BYTES: u64 = 4 << 20;
 
 /// The DRAM request streams of STAP-small's three offloaded phases plus
 /// the SAR imaging stages, all at the profiled-replay footprint.
-fn workload_traces() -> Vec<(String, Vec<Request>)> {
+fn workload_traces() -> Vec<(String, TraceBuffer)> {
     let layer = AcceleratorLayer::mealib_default();
     let cfg = StapConfig::small();
     let mut traces = Vec::new();
@@ -40,17 +39,23 @@ fn workload_traces() -> Vec<(String, Vec<Request>)> {
 fn windowed_counters_reconcile_exactly_with_aggregates() {
     let layer = AcceleratorLayer::mealib_default();
     for (name, trace) in workload_traces() {
-        let profiled = simulate_trace_profiled(layer.mem(), &trace, STAP_DRAM_WINDOW_CYCLES);
-        let plain = simulate_trace_detailed(layer.mem(), &trace);
+        let opts = SimOptions::dual_check().profile(STAP_DRAM_WINDOW_CYCLES);
+        let mut profiled = simulate(layer.mem(), &trace, &opts).expect("preset config validates");
+        let timeline = profiled
+            .timeline
+            .take()
+            .expect("profiled run carries a timeline");
+        let plain = simulate(layer.mem(), &trace, &SimOptions::dual_check())
+            .expect("preset config validates");
         assert_eq!(
-            profiled.run, plain,
+            profiled, plain,
             "{name}: profiling must not perturb the run"
         );
 
         // Summing every window cell reproduces the aggregate counters
         // exactly — each burst is charged to exactly one window.
-        let sum = profiled.timeline.aggregate();
-        let stats = &profiled.run.stats;
+        let sum = timeline.aggregate();
+        let stats = &profiled.stats;
         assert_eq!(sum.bytes_read, stats.bytes_read.get(), "{name}: bytes read");
         assert_eq!(
             sum.bytes_written,
@@ -64,12 +69,9 @@ fn windowed_counters_reconcile_exactly_with_aggregates() {
         assert_eq!(sum.refreshes, stats.refreshes, "{name}: refreshes");
 
         // Per-lane sums reconcile with the per-vault command counts.
-        for (unit, vault) in profiled.run.vaults.iter().enumerate() {
-            let lane: mealib_obs::WindowCounters = profiled
-                .timeline
-                .iter()
-                .filter(|(_, l, _)| *l == unit as u16)
-                .fold(
+        for (unit, vault) in profiled.vaults.iter().enumerate() {
+            let lane: mealib_obs::WindowCounters =
+                timeline.iter().filter(|(_, l, _)| *l == unit as u16).fold(
                     mealib_obs::WindowCounters::default(),
                     |mut acc, (_, _, c)| {
                         acc.merge(c);
@@ -93,18 +95,26 @@ fn windowed_counters_reconcile_exactly_with_aggregates() {
 fn profiled_replay_is_bit_identical_across_worker_counts() {
     let layer = AcceleratorLayer::mealib_default();
     for (name, trace) in workload_traces() {
-        let serial = simulate_trace_profiled(layer.mem(), &trace, STAP_DRAM_WINDOW_CYCLES);
-        for jobs in [2, 4, 8] {
-            let parallel = simulate_trace_profiled_parallel(
-                layer.mem(),
-                &trace,
-                STAP_DRAM_WINDOW_CYCLES,
-                jobs,
-            );
-            assert_eq!(
-                serial, parallel,
-                "{name}: jobs={jobs} must be bit-identical to serial"
-            );
+        let serial = simulate(
+            layer.mem(),
+            &trace,
+            &SimOptions::cycle().profile(STAP_DRAM_WINDOW_CYCLES),
+        )
+        .expect("preset config validates");
+        for engine in [EngineKind::Cycle, EngineKind::Fast] {
+            for jobs in [0, 2, 4, 8] {
+                let opts = SimOptions {
+                    engine,
+                    jobs,
+                    ..SimOptions::cycle().profile(STAP_DRAM_WINDOW_CYCLES)
+                };
+                let parallel =
+                    simulate(layer.mem(), &trace, &opts).expect("preset config validates");
+                assert_eq!(
+                    serial, parallel,
+                    "{name}: {engine:?} jobs={jobs} must be bit-identical to serial"
+                );
+            }
         }
     }
 }
