@@ -214,6 +214,40 @@ pub struct VaultStats {
     pub refreshes: u64,
 }
 
+/// Per-tenant slice of a tagged replay (see [`simulate_tagged`]).
+///
+/// Byte and burst tallies are the tenant's own traffic exactly. An
+/// activation is attributed to the tenant whose burst triggered it —
+/// under shared banks a co-tenant can open (or close) a row the tenant
+/// then touches, so attribution reflects the interleaved schedule, not
+/// the tenant in isolation. `cycles`/`elapsed` measure from cycle 0 to
+/// the completion of the tenant's *last* burst, which is the quantity a
+/// per-tenant latency budget constrains: it includes every queueing
+/// delay co-tenants imposed. `energy` prices the tenant's attributed
+/// activations and bytes plus background power over its own completion
+/// window; tenant energies therefore overlap in background terms and
+/// are an attribution, not a partition of [`TraceStats::energy`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantStats {
+    /// Bytes this tenant read from the array.
+    pub bytes_read: Bytes,
+    /// Bytes this tenant wrote to the array.
+    pub bytes_written: Bytes,
+    /// Read bursts belonging to this tenant.
+    pub read_bursts: u64,
+    /// Write bursts belonging to this tenant.
+    pub write_bursts: u64,
+    /// Row activations triggered by this tenant's bursts.
+    pub activations: u64,
+    /// Completion cycle of the tenant's last burst (command clock).
+    pub cycles: Cycles,
+    /// `cycles` in wall-clock time.
+    pub elapsed: mealib_types::Seconds,
+    /// Modeled energy attributed to this tenant (activations + bytes +
+    /// background power over its completion window).
+    pub energy: mealib_types::Joules,
+}
+
 /// Full output of one engine replay: the aggregate statistics, the
 /// per-burst latency histogram, per-vault command counts, and — when
 /// [`SimOptions::profile`] requested it — the cycle-windowed per-vault
@@ -231,6 +265,10 @@ pub struct EngineRun {
     pub latencies: LatencyHistogram,
     /// Command counts per vault (index = unit number in the mapping).
     pub vaults: Vec<VaultStats>,
+    /// Per-tenant attribution; non-empty exactly when the replay was
+    /// tagged (see [`simulate_tagged`] / [`crate::tenancy`]). Index =
+    /// tenant tag.
+    pub tenants: Vec<TenantStats>,
     /// Cycle-windowed per-vault counters; `Some` exactly when
     /// [`SimOptions::profile`] was `Some(window_cycles)`. Window `w`
     /// covers completion cycles `[w·W, (w+1)·W)`.
@@ -278,8 +316,7 @@ pub enum EngineKind {
 /// Options for one [`simulate`] call.
 ///
 /// The `Default` is the cycle-accurate oracle, serial, with latency
-/// collection on and profiling off — the exact behaviour of the old
-/// `simulate_trace_detailed`.
+/// collection on and profiling off.
 ///
 /// # `jobs` semantics
 ///
@@ -373,6 +410,14 @@ pub enum SimError {
     /// `SimOptions::profile` was `Some(0)`; the timeline window must be
     /// a positive cycle count.
     ZeroWindow,
+    /// [`simulate_tagged`] was given a tag column whose length differs
+    /// from the trace's request count.
+    TagLength {
+        /// Number of tenant tags supplied.
+        tags: usize,
+        /// Number of requests in the trace.
+        requests: usize,
+    },
     /// [`EngineKind::DualCheck`] found the fast engine disagreeing with
     /// the cycle oracle. The payload names the differing fields — this
     /// is always an engine bug, never an input problem.
@@ -384,6 +429,10 @@ impl std::fmt::Display for SimError {
         match self {
             Self::Config(e) => write!(f, "invalid memory configuration: {e}"),
             Self::ZeroWindow => write!(f, "profile window must be a positive cycle count"),
+            Self::TagLength { tags, requests } => write!(
+                f,
+                "tenant tag column has {tags} entries for a {requests}-request trace"
+            ),
             Self::EngineDivergence(what) => {
                 write!(f, "fast engine diverged from the cycle oracle: {what}")
             }
@@ -432,17 +481,64 @@ pub fn simulate(
     trace: &TraceBuffer,
     opts: &SimOptions,
 ) -> Result<EngineRun, SimError> {
+    dispatch(config, trace, None, opts)
+}
+
+/// Replays a *tagged* trace: `tags[i]` names the tenant owning request
+/// `i`, and the returned [`EngineRun::tenants`] carries one
+/// [`TenantStats`] slice per tenant (`0..=max(tags)`). Build the tagged
+/// trace from per-tenant streams with
+/// [`crate::tenancy::interleave_tenants`], or call
+/// [`crate::tenancy::simulate_tenants`] to do both steps at once.
+///
+/// Attribution charges every burst individually, so the fast engine's
+/// streak batching is bypassed (the tagged replay runs the cycle path
+/// on any engine kind; results are unchanged by construction and
+/// [`EngineKind::DualCheck`] still diffs both calls). Everything except
+/// the new `tenants` field is bit-identical to the untagged
+/// [`simulate`] of the same trace.
+///
+/// # Errors
+///
+/// Everything [`simulate`] reports, plus [`SimError::TagLength`] when
+/// `tags.len() != trace.len()`.
+pub fn simulate_tagged(
+    config: &MemoryConfig,
+    trace: &TraceBuffer,
+    tags: &[u16],
+    opts: &SimOptions,
+) -> Result<EngineRun, SimError> {
+    if tags.len() != trace.len() {
+        return Err(SimError::TagLength {
+            tags: tags.len(),
+            requests: trace.len(),
+        });
+    }
+    let n_tenants = tags.iter().map(|&t| t as usize + 1).max().unwrap_or(0);
+    dispatch(config, trace, Some((tags, n_tenants)), opts)
+}
+
+/// Per-request tenant tags plus the tenant count the run reports.
+pub(crate) type Tenancy<'a> = Option<(&'a [u16], usize)>;
+
+/// Shared body of [`simulate`] and [`simulate_tagged`].
+fn dispatch(
+    config: &MemoryConfig,
+    trace: &TraceBuffer,
+    tags: Tenancy<'_>,
+    opts: &SimOptions,
+) -> Result<EngineRun, SimError> {
     config.validate()?;
     if opts.profile == Some(0) {
         return Err(SimError::ZeroWindow);
     }
     let jobs = mealib_types::auto_jobs(opts.jobs);
     let mut run = match opts.engine {
-        EngineKind::Cycle => run_cycle(config, trace, jobs, opts.profile),
-        EngineKind::Fast => crate::fast::run_fast(config, trace, jobs, opts.profile),
+        EngineKind::Cycle => run_cycle(config, trace, jobs, opts.profile, tags),
+        EngineKind::Fast => crate::fast::run_fast(config, trace, jobs, opts.profile, tags),
         EngineKind::DualCheck => {
-            let cycle = run_cycle(config, trace, jobs, opts.profile);
-            let fast = crate::fast::run_fast(config, trace, jobs, opts.profile);
+            let cycle = run_cycle(config, trace, jobs, opts.profile, tags);
+            let fast = crate::fast::run_fast(config, trace, jobs, opts.profile, tags);
             if fast != cycle {
                 return Err(SimError::EngineDivergence(divergence_report(&cycle, &fast)));
             }
@@ -489,6 +585,9 @@ fn divergence_report(cycle: &EngineRun, fast: &EngineRun) -> String {
             None => parts.push("vault stats (unit count differs)".to_string()),
         }
     }
+    if cycle.tenants != fast.tenants {
+        parts.push("tenant stats".to_string());
+    }
     if cycle.timeline != fast.timeline {
         parts.push("timeline".to_string());
     }
@@ -523,21 +622,31 @@ pub(crate) fn run_cycle(
     trace: &TraceBuffer,
     jobs: usize,
     profile: Option<u64>,
+    tags: Tenancy<'_>,
 ) -> EngineRun {
     let t = &config.timing;
     let mapping = &config.mapping;
     let banks = mapping.banks_per_unit();
-    let make = || match profile {
-        Some(w) => UnitEngine::with_timeline(banks, w),
-        None => UnitEngine::new(banks),
+    let make = || {
+        let mut unit = match profile {
+            Some(w) => UnitEngine::with_timeline(banks, w),
+            None => UnitEngine::new(banks),
+        };
+        if let Some((_, n)) = tags {
+            unit.tenants = Some(vec![TenantAccum::default(); n]);
+        }
+        unit
     };
+    let tag_col = tags.map(|(col, _)| col);
     let mut units: Vec<UnitEngine> = if jobs <= 1 {
         let mut units: Vec<UnitEngine> = (0..mapping.units()).map(|_| make()).collect();
-        for_each_burst(t, mapping, trace, |b| units[b.loc.unit].burst(t, &b));
+        for_each_burst_tagged(t, mapping, trace, tag_col, |b| {
+            units[b.loc.unit].burst(t, &b)
+        });
         units
     } else {
         let mut shards: Vec<Vec<Burst>> = vec![Vec::new(); mapping.units()];
-        for_each_burst(t, mapping, trace, |b| shards[b.loc.unit].push(b));
+        for_each_burst_tagged(t, mapping, trace, tag_col, |b| shards[b.loc.unit].push(b));
         mealib_types::par_map(&shards, jobs, |shard| {
             let mut unit = make();
             for b in shard {
@@ -574,14 +683,19 @@ pub(crate) struct Burst {
     pub(crate) loc: Location,
     pub(crate) bytes: u64,
     pub(crate) op: Op,
+    /// Owning tenant; `0` on untagged replays.
+    pub(crate) tenant: u16,
 }
 
 /// Splits `trace` into burst-sized accesses at burst-aligned boundaries
 /// and decodes each one, exactly as a vault controller would issue them.
-pub(crate) fn for_each_burst(
+/// The optional per-request tenant tag column marks every burst of
+/// request `i` with `tags[i]`; `None` tags everything tenant 0.
+pub(crate) fn for_each_burst_tagged(
     t: &DramTiming,
     mapping: &AddressMapping,
     trace: &TraceBuffer,
+    tags: Option<&[u16]>,
     mut f: impl FnMut(Burst),
 ) {
     let (addrs, bytes, ops) = (trace.addrs(), trace.bytes(), trace.ops());
@@ -589,6 +703,7 @@ pub(crate) fn for_each_burst(
         let mut remaining = bytes[i];
         let mut addr = addrs[i];
         let op = ops[i];
+        let tenant = tags.map_or(0, |col| col[i]);
         while remaining > 0 {
             let offset_in_burst = addr % t.burst_bytes;
             let take = (t.burst_bytes - offset_in_burst).min(remaining);
@@ -597,6 +712,7 @@ pub(crate) fn for_each_burst(
                 loc,
                 bytes: take,
                 op,
+                tenant,
             });
             addr += take;
             remaining -= take;
@@ -623,6 +739,32 @@ impl UnitTimeline {
     }
 }
 
+/// One tenant's integer accumulators on one unit. Merging across units
+/// is a commutative sum (plus a max on the completion cycle), mirroring
+/// [`finish_run`]'s aggregate reduction, so tagged parallel replays stay
+/// bit-exact.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct TenantAccum {
+    pub(crate) bytes_read: u64,
+    pub(crate) bytes_written: u64,
+    pub(crate) read_bursts: u64,
+    pub(crate) write_bursts: u64,
+    pub(crate) activations: u64,
+    /// Completion cycle of the tenant's last burst on this unit.
+    pub(crate) last_done: u64,
+}
+
+impl TenantAccum {
+    fn merge(&mut self, other: &TenantAccum) {
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.read_bursts += other.read_bursts;
+        self.write_bursts += other.write_bursts;
+        self.activations += other.activations;
+        self.last_done = self.last_done.max(other.last_done);
+    }
+}
+
 /// The complete replay state of one unit (channel or vault): banks, data
 /// bus, tFAW window, refresh progress, the FCFS issue pointer, and the
 /// unit's share of every statistic. Serial and parallel replays of both
@@ -645,6 +787,8 @@ pub(crate) struct UnitEngine {
     /// Windowed counter accumulation; `None` on the default (unprofiled)
     /// path, where [`UnitEngine::burst`] costs one discriminant check.
     pub(crate) timeline: Option<UnitTimeline>,
+    /// Per-tenant accumulators; `Some` exactly on tagged replays.
+    pub(crate) tenants: Option<Vec<TenantAccum>>,
 }
 
 impl UnitEngine {
@@ -660,6 +804,7 @@ impl UnitEngine {
             bytes_read: 0,
             bytes_written: 0,
             timeline: None,
+            tenants: None,
         }
     }
 
@@ -669,11 +814,11 @@ impl UnitEngine {
         unit
     }
 
-    /// Services one burst, accumulating windowed counters when the
-    /// profiled path is on. The disabled path costs exactly one `Option`
-    /// discriminant check on top of [`UnitEngine::burst_core`].
+    /// Services one burst, accumulating windowed counters and/or tenant
+    /// attribution when those paths are on. The disabled path costs two
+    /// `Option` discriminant checks on top of [`UnitEngine::burst_core`].
     pub(crate) fn burst(&mut self, t: &DramTiming, b: &Burst) {
-        if self.timeline.is_none() {
+        if self.timeline.is_none() && self.tenants.is_none() {
             self.burst_core(t, b);
             return;
         }
@@ -688,6 +833,18 @@ impl UnitEngine {
         let issued_before = self.issued_at;
         self.burst_core(t, b);
         let done = self.bus_free;
+        if let Some(tenants) = self.tenants.as_mut() {
+            let acc = &mut tenants[b.tenant as usize];
+            acc.bytes_read += self.bytes_read - read_before;
+            acc.bytes_written += self.bytes_written - written_before;
+            acc.read_bursts += self.vault.read_bursts - vault_before.read_bursts;
+            acc.write_bursts += self.vault.write_bursts - vault_before.write_bursts;
+            acc.activations += self.vault.activations - vault_before.activations;
+            acc.last_done = acc.last_done.max(done);
+        }
+        if self.timeline.is_none() {
+            return;
+        }
         let delta = WindowCounters {
             bytes_read: self.bytes_read - read_before,
             bytes_written: self.bytes_written - written_before,
@@ -797,9 +954,11 @@ impl UnitEngine {
 /// engines — agree bit-for-bit.
 pub(crate) fn finish_run(config: &MemoryConfig, units: Vec<UnitEngine>) -> EngineRun {
     let t = &config.timing;
+    let hz = mealib_types::Hertz::new(1.0 / t.t_ck.get());
     let mut stats = TraceStats::default();
     let mut latencies = LatencyHistogram::default();
     let mut vaults = Vec::with_capacity(units.len());
+    let mut accums: Vec<TenantAccum> = Vec::new();
     let mut end_cycle = 0u64;
     for u in units {
         end_cycle = end_cycle.max(u.bus_free);
@@ -812,19 +971,51 @@ pub(crate) fn finish_run(config: &MemoryConfig, units: Vec<UnitEngine>) -> Engin
         stats.refreshes += u.vault.refreshes;
         latencies.merge(&u.latencies);
         vaults.push(u.vault);
+        if let Some(ts) = u.tenants {
+            if accums.is_empty() {
+                accums = ts;
+            } else {
+                for (mine, theirs) in accums.iter_mut().zip(&ts) {
+                    mine.merge(theirs);
+                }
+            }
+        }
     }
     stats.cycles = Cycles::new(end_cycle);
-    stats.elapsed = stats
-        .cycles
-        .at(mealib_types::Hertz::new(1.0 / t.t_ck.get()));
+    stats.elapsed = stats.cycles.at(hz);
     stats.energy =
         config
             .energy
             .trace_energy(stats.activations, stats.bytes_moved().get(), stats.elapsed);
+    // Tenant slices derive their `f64` fields once from the merged
+    // integer accumulators, exactly like the aggregates above, so tagged
+    // parallel replays stay bit-exact.
+    let tenants = accums
+        .iter()
+        .map(|a| {
+            let cycles = Cycles::new(a.last_done);
+            let elapsed = cycles.at(hz);
+            let energy =
+                config
+                    .energy
+                    .trace_energy(a.activations, a.bytes_read + a.bytes_written, elapsed);
+            TenantStats {
+                bytes_read: Bytes::new(a.bytes_read),
+                bytes_written: Bytes::new(a.bytes_written),
+                read_bursts: a.read_bursts,
+                write_bursts: a.write_bursts,
+                activations: a.activations,
+                cycles,
+                elapsed,
+                energy,
+            }
+        })
+        .collect();
     EngineRun {
         stats,
         latencies,
         vaults,
+        tenants,
         timeline: None,
     }
 }
@@ -857,171 +1048,6 @@ pub fn strided_trace(base: u64, stride: u64, elem_bytes: u64, count: u64, op: Op
             op,
         })
         .collect()
-}
-
-// ---------------------------------------------------------------------
-// Deprecated pre-`simulate()` entry points.
-//
-// Each wrapper forwards to `simulate` with the equivalent `SimOptions`,
-// preserving the old signatures (AoS `&[Request]` traces, panics on bad
-// configuration) for downstream code. They will be removed one release
-// after the migration window announced in the CHANGELOG.
-// ---------------------------------------------------------------------
-
-/// Replays `trace` and returns the aggregate statistics.
-///
-/// # Panics
-///
-/// Panics if `config` fails validation.
-#[deprecated(note = "use `simulate(config, &trace.into(), &SimOptions::default())`")]
-pub fn simulate_trace(config: &MemoryConfig, trace: &[Request]) -> TraceStats {
-    simulate(config, &TraceBuffer::from(trace), &SimOptions::default())
-        .unwrap_or_else(|e| panic!("{e}"))
-        .stats
-}
-
-/// Replays `trace`, reporting an invalid configuration as a typed error.
-///
-/// # Errors
-///
-/// Returns the first [`ConfigError`] found in `config`.
-#[deprecated(note = "use `simulate(config, &trace.into(), &SimOptions::default())`")]
-pub fn try_simulate_trace(
-    config: &MemoryConfig,
-    trace: &[Request],
-) -> Result<TraceStats, ConfigError> {
-    match simulate(config, &TraceBuffer::from(trace), &SimOptions::default()) {
-        Ok(run) => Ok(run.stats),
-        Err(SimError::Config(e)) => Err(e),
-        Err(e) => panic!("{e}"),
-    }
-}
-
-/// Replays `trace`, additionally returning the latency histogram.
-///
-/// # Panics
-///
-/// Panics if `config` fails validation.
-#[deprecated(note = "use `simulate(config, &trace.into(), &SimOptions::default())`")]
-pub fn simulate_trace_with_latencies(
-    config: &MemoryConfig,
-    trace: &[Request],
-) -> (TraceStats, LatencyHistogram) {
-    let run = simulate(config, &TraceBuffer::from(trace), &SimOptions::default())
-        .unwrap_or_else(|e| panic!("{e}"));
-    (run.stats, run.latencies)
-}
-
-/// Replays `trace`, returning statistics, histogram, and per-vault
-/// counts.
-///
-/// # Panics
-///
-/// Panics if `config` fails validation.
-#[deprecated(note = "use `simulate(config, &trace.into(), &SimOptions::default())`")]
-pub fn simulate_trace_detailed(config: &MemoryConfig, trace: &[Request]) -> EngineRun {
-    simulate(config, &TraceBuffer::from(trace), &SimOptions::default())
-        .unwrap_or_else(|e| panic!("{e}"))
-}
-
-/// Replays `trace` sharded across up to `jobs` workers.
-///
-/// # Panics
-///
-/// Panics if `config` fails validation.
-#[deprecated(note = "use `simulate(config, &trace.into(), &SimOptions::default().jobs(n))`")]
-pub fn simulate_trace_parallel(config: &MemoryConfig, trace: &[Request], jobs: usize) -> EngineRun {
-    simulate(
-        config,
-        &TraceBuffer::from(trace),
-        &SimOptions::default().jobs(jobs.max(1)),
-    )
-    .unwrap_or_else(|e| panic!("{e}"))
-}
-
-/// Like the parallel replay, reporting an invalid configuration as a
-/// typed error.
-///
-/// # Errors
-///
-/// Returns the first [`ConfigError`] found in `config`.
-#[deprecated(note = "use `simulate(config, &trace.into(), &SimOptions::default().jobs(n))`")]
-pub fn try_simulate_trace_parallel(
-    config: &MemoryConfig,
-    trace: &[Request],
-    jobs: usize,
-) -> Result<EngineRun, ConfigError> {
-    match simulate(
-        config,
-        &TraceBuffer::from(trace),
-        &SimOptions::default().jobs(jobs.max(1)),
-    ) {
-        Ok(run) => Ok(run),
-        Err(SimError::Config(e)) => Err(e),
-        Err(e) => panic!("{e}"),
-    }
-}
-
-/// Output of a profiled replay: the usual [`EngineRun`] plus the
-/// cycle-windowed per-vault [`Timeline`] (lane = unit index).
-///
-/// Only the deprecated profiled wrappers return this split form;
-/// [`simulate`] carries the timeline inside [`EngineRun::timeline`].
-#[derive(Debug, Clone, PartialEq)]
-pub struct ProfiledRun {
-    /// Aggregate statistics, latency histogram, and per-vault counts.
-    pub run: EngineRun,
-    /// Windowed counters; window `w` covers completion cycles
-    /// `[w·W, (w+1)·W)` at the configured width `W`.
-    pub timeline: Timeline,
-}
-
-/// Replays `trace`, additionally accumulating the cycle-windowed
-/// per-vault [`Timeline`].
-///
-/// # Panics
-///
-/// Panics if `config` fails validation or `window_cycles` is zero.
-#[deprecated(note = "use `simulate(config, &trace.into(), &SimOptions::default().profile(w))`")]
-pub fn simulate_trace_profiled(
-    config: &MemoryConfig,
-    trace: &[Request],
-    window_cycles: u64,
-) -> ProfiledRun {
-    let mut run = simulate(
-        config,
-        &TraceBuffer::from(trace),
-        &SimOptions::default().profile(window_cycles),
-    )
-    .unwrap_or_else(|e| panic!("{e}"));
-    let timeline = run.timeline.take().expect("profiled run has a timeline");
-    ProfiledRun { run, timeline }
-}
-
-/// The profiled replay sharded across up to `jobs` workers.
-///
-/// # Panics
-///
-/// Panics if `config` fails validation or `window_cycles` is zero.
-#[deprecated(
-    note = "use `simulate(config, &trace.into(), &SimOptions::default().profile(w).jobs(n))`"
-)]
-pub fn simulate_trace_profiled_parallel(
-    config: &MemoryConfig,
-    trace: &[Request],
-    window_cycles: u64,
-    jobs: usize,
-) -> ProfiledRun {
-    let mut run = simulate(
-        config,
-        &TraceBuffer::from(trace),
-        &SimOptions::default()
-            .profile(window_cycles)
-            .jobs(jobs.max(1)),
-    )
-    .unwrap_or_else(|e| panic!("{e}"));
-    let timeline = run.timeline.take().expect("profiled run has a timeline");
-    ProfiledRun { run, timeline }
 }
 
 #[cfg(test)]
@@ -1510,38 +1536,65 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_simulate() {
-        // The pre-`simulate()` entry points stay as thin wrappers through
-        // the deprecation window; each must agree with the unified API.
+    fn tagged_run_matches_untagged_and_attributes_every_burst() {
+        // Tenant attribution must not perturb the model: the shared
+        // statistics of a tagged replay equal the untagged run's, and
+        // the per-tenant slices partition the totals exactly.
         let c = MemoryConfig::ddr_dual_channel();
-        let buf = sequential_trace(0, 1 << 18, 64, Op::Read);
-        let reqs: Vec<Request> = buf.iter().collect();
-        let reference = run(&c, &buf);
+        let mut trace = sequential_trace(0, 1 << 19, 64, Op::Read);
+        trace.extend(&strided_trace(1 << 22, 8192, 64, 1024, Op::Write));
+        let tags: Vec<u16> = (0..trace.len()).map(|i| (i % 3) as u16).collect();
+        let plain = run(&c, &trace);
+        let tagged = simulate_tagged(&c, &trace, &tags, &SimOptions::default()).unwrap();
+        assert_eq!(tagged.stats, plain.stats);
+        assert_eq!(tagged.vaults, plain.vaults);
+        assert_eq!(tagged.latencies, plain.latencies);
+        assert_eq!(tagged.tenants.len(), 3);
+        let read: u64 = tagged.tenants.iter().map(|t| t.bytes_read.get()).sum();
+        let written: u64 = tagged.tenants.iter().map(|t| t.bytes_written.get()).sum();
+        let bursts: u64 = tagged
+            .tenants
+            .iter()
+            .map(|t| t.read_bursts + t.write_bursts)
+            .sum();
+        let acts: u64 = tagged.tenants.iter().map(|t| t.activations).sum();
+        assert_eq!(read, plain.stats.bytes_read.get());
+        assert_eq!(written, plain.stats.bytes_written.get());
+        assert_eq!(bursts, plain.stats.row_hits + plain.stats.row_misses);
+        assert_eq!(acts, plain.stats.activations);
+        let last = tagged.tenants.iter().map(|t| t.cycles.get()).max().unwrap();
+        assert_eq!(last, plain.stats.cycles.get());
+        // The untagged run reports no tenant slices.
+        assert!(plain.tenants.is_empty());
+    }
 
-        assert_eq!(simulate_trace(&c, &reqs), reference.stats);
-        assert_eq!(try_simulate_trace(&c, &reqs), Ok(reference.stats.clone()));
-        let (s, l) = simulate_trace_with_latencies(&c, &reqs);
-        assert_eq!(
-            (s, l),
-            (reference.stats.clone(), reference.latencies.clone())
-        );
-        assert_eq!(simulate_trace_detailed(&c, &reqs), reference);
-        assert_eq!(simulate_trace_parallel(&c, &reqs, 4), reference);
-        assert_eq!(
-            try_simulate_trace_parallel(&c, &reqs, 4),
-            Ok(reference.clone())
-        );
-        let profiled = simulate_trace_profiled(&c, &reqs, 2048);
-        let profiled_par = simulate_trace_profiled_parallel(&c, &reqs, 2048, 4);
-        assert_eq!(profiled, profiled_par);
-        assert_eq!(profiled.run.stats, reference.stats);
-        let unified = simulate(&c, &buf, &SimOptions::default().profile(2048)).unwrap();
-        assert_eq!(unified.timeline.as_ref(), Some(&profiled.timeline));
+    #[test]
+    fn tagged_run_is_engine_and_jobs_invariant() {
+        let c = MemoryConfig::hmc_stack();
+        let mut trace = sequential_trace(0, 1 << 20, 256, Op::Read);
+        trace.extend(&strided_trace(1 << 24, 8192, 64, 2048, Op::Write));
+        let tags: Vec<u16> = (0..trace.len()).map(|i| (i % 4) as u16).collect();
+        let serial = simulate_tagged(&c, &trace, &tags, &SimOptions::default()).unwrap();
+        for opts in [
+            SimOptions::cycle().jobs(4),
+            SimOptions::fast(),
+            SimOptions::fast().jobs(8),
+            SimOptions::dual_check(),
+            SimOptions::dual_check().jobs(2),
+        ] {
+            let other = simulate_tagged(&c, &trace, &tags, &opts).unwrap();
+            assert_eq!(other, serial, "{opts:?}");
+        }
+    }
 
-        let mut bad = MemoryConfig::hmc_stack();
-        bad.timing.t_rcd = 0;
-        assert!(try_simulate_trace(&bad, &reqs).is_err());
-        assert!(try_simulate_trace_parallel(&bad, &reqs, 2).is_err());
+    #[test]
+    fn tagged_run_rejects_mismatched_tag_columns() {
+        let c = MemoryConfig::hmc_stack();
+        let trace = sequential_trace(0, 1 << 16, 64, Op::Read);
+        let tags = vec![0u16; trace.len() - 1];
+        assert!(matches!(
+            simulate_tagged(&c, &trace, &tags, &SimOptions::default()),
+            Err(SimError::TagLength { .. })
+        ));
     }
 }

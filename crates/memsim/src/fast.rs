@@ -42,7 +42,7 @@
 //! advertised by [`AddressMapping::contiguous_run_bytes`] — and calls
 //! [`AddressMapping::decode`] once per run. Burst boundaries within a
 //! run are pure arithmetic (`t.burst_bytes`-aligned, like
-//! [`for_each_burst`]), so the concatenated runs reproduce the cycle
+//! [`for_each_burst_tagged`]), so the concatenated runs reproduce the cycle
 //! engine's per-unit burst sequence exactly: same bursts, same
 //! locations, same order. The replay then consumes runs whole in the
 //! streak scan and only rematerializes individual bursts on the slow
@@ -107,7 +107,7 @@ impl UnitStream {
         }
     }
 
-    /// Reconstructs burst `j` of run `r`, exactly as [`for_each_burst`]
+    /// Reconstructs burst `j` of run `r`, exactly as [`for_each_burst_tagged`]
     /// would have produced it.
     fn burst(&self, r: usize, j: u32, unit: usize) -> Burst {
         let start = self.cum(r, j);
@@ -120,6 +120,7 @@ impl UnitStream {
             },
             bytes: self.cum(r, j + 1) - start,
             op: if self.write[r] { Op::Write } else { Op::Read },
+            tenant: 0,
         }
     }
 }
@@ -137,7 +138,16 @@ pub(crate) fn run_fast(
     trace: &TraceBuffer,
     jobs: usize,
     profile: Option<u64>,
+    tags: crate::engine::Tenancy<'_>,
 ) -> EngineRun {
+    if tags.is_some() {
+        // Tenant attribution charges every burst individually — the same
+        // per-burst accounting profiling forces — and needs the
+        // request→tag association the run decode erases. The tagged
+        // replay therefore shares the cycle path outright and is
+        // bit-exact by construction.
+        return crate::engine::run_cycle(config, trace, jobs, profile, tags);
+    }
     if let Some(w) = profile {
         let mut units: Vec<UnitEngine> = decode_streams(config, trace)
             .iter()
@@ -173,7 +183,7 @@ pub(crate) fn run_fast(
 /// Splits the trace into same-row runs and routes each to its unit's
 /// stream. Decoding happens once per run (or once per aligned stretch
 /// of whole lines on the bulk path); the burst split inside a run is
-/// the same `t.burst_bytes`-aligned arithmetic as [`for_each_burst`],
+/// the same `t.burst_bytes`-aligned arithmetic as [`for_each_burst_tagged`],
 /// so per-unit burst order is preserved exactly.
 fn decode_streams(config: &MemoryConfig, trace: &TraceBuffer) -> Vec<UnitStream> {
     let t = &config.timing;
@@ -448,7 +458,8 @@ fn replay_unit(t: &DramTiming, banks: usize, stream: &UnitStream) -> UnitEngine 
 mod tests {
     use super::*;
     use crate::engine::{
-        for_each_burst, sequential_trace, simulate, strided_trace, EngineKind, Request, SimOptions,
+        for_each_burst_tagged, sequential_trace, simulate, strided_trace, EngineKind, Request,
+        SimOptions,
     };
 
     fn assert_engines_agree(config: &MemoryConfig, trace: &TraceBuffer, what: &str) {
@@ -484,7 +495,7 @@ mod tests {
             trace.push(Request::read(5, 1));
             trace.push(Request::write(4093, 10)); // straddles a row edge
             let mut expected: Vec<Vec<Burst>> = vec![Vec::new(); config.mapping.units()];
-            for_each_burst(&config.timing, &config.mapping, &trace, |b| {
+            for_each_burst_tagged(&config.timing, &config.mapping, &trace, None, |b| {
                 expected[b.loc.unit].push(b)
             });
             let streams = decode_streams(&config, &trace);

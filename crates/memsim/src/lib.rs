@@ -44,6 +44,7 @@ pub mod engine;
 mod fast;
 pub mod pattern;
 pub mod stats;
+pub mod tenancy;
 pub mod timing;
 pub mod trace;
 pub mod vault;
@@ -51,16 +52,11 @@ pub mod vault;
 pub use address::AddressMapping;
 pub use config::MemoryConfig;
 pub use engine::{
-    simulate, EngineKind, EngineRun, LatencyHistogram, Op, ProfiledRun, Request, SimError,
-    SimOptions, VaultStats,
+    simulate, simulate_tagged, EngineKind, EngineRun, LatencyHistogram, Op, Request, SimError,
+    SimOptions, TenantStats, VaultStats,
 };
 pub use pattern::AccessPattern;
 pub use stats::TraceStats;
+pub use tenancy::{interleave_tenants, simulate_tenants, TenantStream};
 pub use trace::TraceBuffer;
 pub use vault::{RequestSource, VaultController};
-
-#[allow(deprecated)]
-pub use engine::{
-    simulate_trace, simulate_trace_detailed, simulate_trace_parallel, simulate_trace_profiled,
-    simulate_trace_profiled_parallel, try_simulate_trace_parallel,
-};

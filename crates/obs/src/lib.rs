@@ -33,6 +33,8 @@
 //! roofline, and [`bench_schema`] defines the versioned `BENCH_*.json`
 //! summary the perf-trajectory gate (`meaperf`) diffs.
 
+#![forbid(unsafe_code)]
+
 pub mod attribution;
 pub mod bench_schema;
 pub mod json;

@@ -22,7 +22,12 @@
 //!    buffer extents and the experiment's time/energy envelope
 //!    declared, is certified by the MEA2xx bounds analyzer: peak
 //!    footprint vs. stack capacity, demanded throughput vs. the layer
-//!    roofline, vault skew, and the modeled energy floor.
+//!    roofline, vault skew, and the modeled energy floor;
+//! 7. **multi-tenant interference certification** — a two-tenant
+//!    session-set manifest with disjoint vault partitions and declared
+//!    budgets is composed by the MEA3xx certifier, which must come
+//!    back a clean ADMIT: the sharing configuration the runtime models
+//!    is itself admissible.
 //!
 //! The verdict is computed once per process and cached; the fast path of
 //! [`crate::experiment::run_experiment`] under [`VerifyMode::Enforce`] is
@@ -41,7 +46,7 @@ use mealib_types::{Bytes, PhysAddr, Report};
 
 use crate::platforms::AcceleratedPlatform;
 
-/// Runs all six verification passes over the experiment setup and
+/// Runs all seven verification passes over the experiment setup and
 /// returns the combined report (errors *and* warnings).
 pub fn preflight() -> Report {
     let mut report = Report::new();
@@ -140,8 +145,58 @@ HOST READ pre.y
         Err(e) => panic!("preflight bounds fixture failed to parse: {e}"),
     }
 
+    // Pass 7: the MEA3xx multi-tenant interference certification over
+    // a two-tenant session set sharing the stack — disjoint vault
+    // partitions, phased arrivals, per-tenant and aggregate budgets.
+    // The shipped fixture must not just avoid findings: it must prove
+    // ADMIT, or the admission story the runtime advertises is hollow.
+    let set = match mealib_verify::interference::parse_session_set(TENANT_FIXTURE) {
+        Ok(s) => s,
+        Err(e) => panic!("preflight session-set fixture failed to parse: {e}"),
+    };
+    let cert = mealib_verify::interference::certify_set(&set, &mealib_verify::BoundsEnv::default())
+        .expect("preset environment validates");
+    if cert.verdict != mealib_verify::Verdict::Admit {
+        report.push(mealib_types::Diagnostic::error(
+            mealib_types::ErrorCode::InterfereBusOversubscribed,
+            format!(
+                "preflight session-set fixture failed admission: verdict {}",
+                cert.verdict
+            ),
+        ));
+    }
+    report.merge(cert.report);
+
     report
 }
+
+/// The pass-7 fixture: two phased tenants in disjoint vault
+/// partitions, with budgets generous enough that the certified upper
+/// bounds prove admission outright.
+const TENANT_FIXTURE: &str = "\
+BUDGET TIME 10.0
+BUDGET ENERGY 100.0
+TENANT fft
+PARTITION 0x0 0x800000
+ARRIVAL 0
+BUDGET TIME 10.0
+BUF t0.x 0x1000 0x200000
+BUF t0.y 0x201000 0x200000
+LOOP 2 {
+  PASS in=t0.x out=t0.y {
+    COMP FFT params=\"fft.para\"
+  }
+}
+TENANT axpy
+PARTITION 0x800000 0x800000
+ARRIVAL 128
+BUDGET TIME 10.0
+BUF t1.x 0x801000 0x200000
+BUF t1.y 0xa01000 0x200000
+PASS in=t1.x out=t1.y {
+  COMP AXPY params=\"axpy.para\"
+}
+";
 
 static VERDICT: OnceLock<Result<(), Report>> = OnceLock::new();
 
@@ -198,6 +253,34 @@ mod tests {
             report.has_code(mealib_types::ErrorCode::BoundsEnergyBudget),
             "{report}"
         );
+    }
+
+    #[test]
+    fn tenant_fixture_is_admitted_outright() {
+        // Pass-7 plumbing: the shipped two-tenant fixture must prove
+        // ADMIT (not merely avoid findings), and breaking its
+        // isolation must flip the verdict to a REJECT with MEA300.
+        let set = mealib_verify::interference::parse_session_set(TENANT_FIXTURE).unwrap();
+        let cert =
+            mealib_verify::interference::certify_set(&set, &mealib_verify::BoundsEnv::default())
+                .unwrap();
+        assert_eq!(
+            cert.verdict,
+            mealib_verify::Verdict::Admit,
+            "{}",
+            cert.report
+        );
+
+        let overlapped =
+            TENANT_FIXTURE.replace("PARTITION 0x800000 0x800000", "PARTITION 0x400000 0x800000");
+        let set = mealib_verify::interference::parse_session_set(&overlapped).unwrap();
+        let cert =
+            mealib_verify::interference::certify_set(&set, &mealib_verify::BoundsEnv::default())
+                .unwrap();
+        assert_eq!(cert.verdict, mealib_verify::Verdict::Reject);
+        assert!(cert
+            .report
+            .has_code(mealib_types::ErrorCode::InterferePartitionOverlap));
     }
 
     #[test]

@@ -21,6 +21,12 @@
 //!   (`mealib-verify::bounds`): interval bounds on bytes moved, DRAM
 //!   commands, peak live footprint, vault skew, and modeled energy,
 //!   proven sound against the cycle engine by a differential harness
+//! * `MEA300`–`MEA319` — multi-tenant interference certification
+//!   (`mealib-verify::interference`): compositional per-tenant
+//!   bandwidth/latency/energy bounds over a session-set manifest
+//!   (`TENANT`/`PARTITION`/`ARRIVAL` directives), driving the
+//!   three-valued admission verdict (ADMIT / REJECT / UNKNOWN) and
+//!   proven sound against the interleaved cycle engine
 
 use core::fmt;
 
@@ -147,11 +153,28 @@ pub enum ErrorCode {
     /// The modeled energy lower bound provably exceeds the declared
     /// energy budget.
     BoundsEnergyBudget,
+
+    // ----- Multi-tenant interference certification (MEA300–MEA319) -----
+    /// Two tenants' declared vault partitions overlap, or a tenant's
+    /// buffer extent escapes its declared partition window; the
+    /// isolation boundary the admission verdict rests on does not hold.
+    InterferePartitionOverlap,
+    /// The session set's summed demand provably oversubscribes the
+    /// shared bus/link: the composed completion-time lower bound of the
+    /// merged trace exceeds the set-level time budget.
+    InterfereBusOversubscribed,
+    /// Cross-tenant interference provably inflates one tenant's
+    /// completion latency past that tenant's declared time budget, even
+    /// under the most favorable interleaving.
+    InterfereLatencyBudget,
+    /// The composed Table-5 energy lower bound of the whole session set
+    /// provably exceeds the aggregate energy envelope.
+    InterfereEnergyEnvelope,
 }
 
 impl ErrorCode {
     /// Every code, in numeric order (drives the rendered error table).
-    pub const ALL: [ErrorCode; 37] = [
+    pub const ALL: [ErrorCode; 41] = [
         ErrorCode::TdlInPlaceChain,
         ErrorCode::TdlChainTooLong,
         ErrorCode::TdlIllegalChain,
@@ -189,6 +212,10 @@ impl ErrorCode {
         ErrorCode::BoundsBandwidthInfeasible,
         ErrorCode::BoundsVaultSkew,
         ErrorCode::BoundsEnergyBudget,
+        ErrorCode::InterferePartitionOverlap,
+        ErrorCode::InterfereBusOversubscribed,
+        ErrorCode::InterfereLatencyBudget,
+        ErrorCode::InterfereEnergyEnvelope,
     ];
 
     /// The numeric part of the stable code.
@@ -231,6 +258,10 @@ impl ErrorCode {
             ErrorCode::BoundsBandwidthInfeasible => 201,
             ErrorCode::BoundsVaultSkew => 202,
             ErrorCode::BoundsEnergyBudget => 203,
+            ErrorCode::InterferePartitionOverlap => 300,
+            ErrorCode::InterfereBusOversubscribed => 301,
+            ErrorCode::InterfereLatencyBudget => 302,
+            ErrorCode::InterfereEnergyEnvelope => 303,
         }
     }
 
@@ -274,6 +305,10 @@ impl ErrorCode {
             ErrorCode::BoundsBandwidthInfeasible => "MEA201",
             ErrorCode::BoundsVaultSkew => "MEA202",
             ErrorCode::BoundsEnergyBudget => "MEA203",
+            ErrorCode::InterferePartitionOverlap => "MEA300",
+            ErrorCode::InterfereBusOversubscribed => "MEA301",
+            ErrorCode::InterfereLatencyBudget => "MEA302",
+            ErrorCode::InterfereEnergyEnvelope => "MEA303",
         }
     }
 
@@ -317,6 +352,10 @@ impl ErrorCode {
             ErrorCode::BoundsBandwidthInfeasible => "demanded throughput exceeds layer roofline",
             ErrorCode::BoundsVaultSkew => "all traffic maps to a single vault",
             ErrorCode::BoundsEnergyBudget => "modeled energy exceeds declared budget",
+            ErrorCode::InterferePartitionOverlap => "tenant partitions overlap or leak",
+            ErrorCode::InterfereBusOversubscribed => "session set oversubscribes the shared bus",
+            ErrorCode::InterfereLatencyBudget => "interference breaks a tenant's latency budget",
+            ErrorCode::InterfereEnergyEnvelope => "composed energy exceeds the aggregate envelope",
         }
     }
 
@@ -325,13 +364,15 @@ impl ErrorCode {
     /// Bands group codes by pass family and are the granularity at which
     /// `mealint --deny`/`--allow` escalate or demote findings: `MEA0xx`
     /// covers the artifact checks (TDL, descriptor, memory config,
-    /// physical memory), `MEA1xx` the dataflow/coherence analysis, and
-    /// `MEA2xx` the symbolic cost & capacity certification.
+    /// physical memory), `MEA1xx` the dataflow/coherence analysis,
+    /// `MEA2xx` the symbolic cost & capacity certification, and
+    /// `MEA3xx` the multi-tenant interference certification.
     pub fn band(self) -> &'static str {
         match self.number() {
             0..=99 => "MEA0xx",
             100..=199 => "MEA1xx",
-            _ => "MEA2xx",
+            200..=299 => "MEA2xx",
+            _ => "MEA3xx",
         }
     }
 }
@@ -568,13 +609,15 @@ mod tests {
             let expect = match code.number() {
                 n if n < 100 => "MEA0xx",
                 n if n < 200 => "MEA1xx",
-                _ => "MEA2xx",
+                n if n < 300 => "MEA2xx",
+                _ => "MEA3xx",
             };
             assert_eq!(code.band(), expect, "{code}");
         }
         assert_eq!(ErrorCode::BoundsCapacityOverflow.band(), "MEA2xx");
         assert_eq!(ErrorCode::DfUninitRead.band(), "MEA1xx");
         assert_eq!(ErrorCode::TdlInPlaceChain.band(), "MEA0xx");
+        assert_eq!(ErrorCode::InterferePartitionOverlap.band(), "MEA3xx");
     }
 
     #[test]

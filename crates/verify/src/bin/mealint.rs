@@ -7,14 +7,18 @@
 //! Each file is sniffed and routed to the right pass: binary images
 //! starting with the `"MEAL"` magic run the descriptor pass, text in
 //! the `key = value` memconfig format runs the simulator-config pass,
-//! and everything else is treated as a TDL analysis session (plain TDL
-//! plus optional `HOST`/`FLUSH`/`BUF`/`BUDGET`/`MEM` directives), which
-//! runs the TDL semantic pass, the dataflow & coherence analysis, and
-//! the MEA2xx static-bounds certification.
+//! text containing a `TENANT` directive runs in **session-set mode**
+//! (per-tenant TDL + dataflow passes plus the MEA3xx multi-tenant
+//! interference certification, printing the ADMIT/REJECT/UNKNOWN
+//! admission verdict), and everything else is treated as a TDL
+//! analysis session (plain TDL plus optional
+//! `HOST`/`FLUSH`/`BUF`/`BUDGET`/`MEM` directives), which runs the TDL
+//! semantic pass, the dataflow & coherence analysis, and the MEA2xx
+//! static-bounds certification.
 //!
 //! Severity policy: `--deny` escalates every diagnostic matching a band
-//! (`MEA0xx`, `MEA1xx`, `MEA2xx`) or a single code (`MEA104`) to error
-//! severity; `--allow` demotes matches to warnings. A specific code
+//! (`MEA0xx`, `MEA1xx`, `MEA2xx`, `MEA3xx`) or a single code (`MEA104`)
+//! to error severity; `--allow` demotes matches to warnings. A specific code
 //! selector beats a band selector, and at equal specificity `--allow`
 //! wins, so `--deny MEA2xx --allow MEA202` gates the band while keeping
 //! one code advisory. The intended CI posture during the MEA2xx rollout
@@ -36,13 +40,15 @@ use std::process::ExitCode;
 use mealib_obs::json::Object;
 use mealib_tdl::descriptor::MAGIC;
 use mealib_verify::{
-    bounds, dataflow, descriptor, memconfig, memsim, tdl, BoundsEnv, DataflowEnv, Report, Severity,
-    Span, TdlLimits,
+    bounds, dataflow, descriptor, interference, memconfig, memsim, tdl, BoundsEnv, DataflowEnv,
+    Report, Severity, Span, TdlLimits, Verdict,
 };
 
 enum Outcome {
     Clean,
     Findings(Report),
+    /// Session-set mode: the admission verdict plus any findings.
+    Certified(Verdict, Report),
     Unusable(String),
 }
 
@@ -62,7 +68,7 @@ enum Selector {
 impl Selector {
     fn parse(raw: &str) -> Result<Self, String> {
         let canon = raw.to_ascii_uppercase();
-        if matches!(canon.as_str(), "MEA0XX" | "MEA1XX" | "MEA2XX") {
+        if matches!(canon.as_str(), "MEA0XX" | "MEA1XX" | "MEA2XX" | "MEA3XX") {
             // Bands are spelled MEAnxx; normalize the xx back down.
             return Ok(Selector::Band(canon.replace("XX", "xx")));
         }
@@ -138,6 +144,36 @@ fn lint_file(path: &str) -> Outcome {
             Ok(config) => finish(memsim::verify_memconfig(&config)),
             Err(e) => Outcome::Unusable(format!("{path}: {e}")),
         };
+    }
+
+    // Session-set manifests: per-tenant structural passes plus the
+    // MEA3xx interference certification and its admission verdict.
+    // Composed resource certification (MEA30x) replaces the isolated
+    // MEA2xx bounds here — tenant budgets are judged under the mix.
+    if interference::looks_like_session_set(text) {
+        let set = match interference::parse_session_set(text) {
+            Ok(s) => s,
+            Err(e) => return Outcome::Unusable(format!("{path}: manifest parse error: {e}")),
+        };
+        let mut report = Report::new();
+        for tenant in &set.tenants {
+            report.merge(tdl::verify_program(
+                &tenant.session.program,
+                Some(&tenant.session.lines),
+                None,
+                &TdlLimits::default(),
+            ));
+            report.merge(dataflow::verify_session(
+                &tenant.session,
+                &DataflowEnv::default(),
+            ));
+        }
+        let cert = match interference::certify_set(&set, &BoundsEnv::default()) {
+            Ok(c) => c,
+            Err(e) => return Outcome::Unusable(format!("{path}: {e}")),
+        };
+        report.merge(cert.report);
+        return Outcome::Certified(cert.verdict, report);
     }
 
     // TDL analysis sessions: directives go to the dataflow pass, the
@@ -279,6 +315,23 @@ fn main() -> ExitCode {
             Outcome::Findings(report) => {
                 let report = policy.apply(report);
                 print_report(path, &report, format);
+                if report.has_errors() {
+                    worst = worst.max(1);
+                }
+            }
+            Outcome::Certified(verdict, report) => {
+                let report = policy.apply(report);
+                if !report.is_clean() {
+                    print_report(path, &report, format);
+                }
+                match format {
+                    Format::Text => println!("{path}: verdict {verdict}"),
+                    Format::Json => {
+                        let mut o = Object::new();
+                        o.str("file", path).str("verdict", verdict.label());
+                        println!("{}", o.render());
+                    }
+                }
                 if report.has_errors() {
                     worst = worst.max(1);
                 }

@@ -68,7 +68,7 @@ impl ResourceSummary {
 
 /// Resolves the session's `MEM` directive to a concrete memory
 /// configuration and the environment pieces the passes need.
-pub(super) fn resolve_layer(
+pub(crate) fn resolve_layer(
     layer: MemLayer,
     stack: &MemoryConfig,
     host: &Platform,

@@ -35,7 +35,13 @@
 //!   commands, peak footprint, and modeled energy, proven sound against
 //!   the cycle engine by a differential test harness, with diagnostics
 //!   for capacity overflow, bandwidth-infeasible programs, degenerate
-//!   vault skew, and energy-budget violations.
+//!   vault skew, and energy-budget violations;
+//! * [`interference`] — multi-tenant interference certification
+//!   (`MEA300`–`MEA319`): session-set manifests (`TENANT`/`PARTITION`/
+//!   `ARRIVAL` over the session format) are composed into per-tenant
+//!   bandwidth/latency/energy bounds and an ADMIT/REJECT/UNKNOWN
+//!   admission verdict, proven sound against the tagged interleaved
+//!   cycle engine ([`mealib_memsim::simulate_tenants`]).
 //!
 //! The `mealint` binary runs the right pass over files given on the
 //! command line. The runtime and the experiment harness run the same
@@ -48,6 +54,7 @@
 pub mod bounds;
 pub mod dataflow;
 pub mod descriptor;
+pub mod interference;
 pub mod memconfig;
 pub mod memsim;
 pub mod physmem;
@@ -58,6 +65,7 @@ pub use dataflow::{
     fusion_legal, AliasOracle, Budgets, CoherenceMachine, DataflowEnv, DataflowLimits, FusionStage,
     MemLayer, Session,
 };
+pub use interference::{Certification, SessionSet, Verdict};
 pub use mealib_types::{Diagnostic, ErrorCode, Report, Severity, Span};
 pub use physmem::{MemSnapshot, StackSnapshot};
 pub use tdl::TdlLimits;

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Bench smoke: run every mealib-bench harness at reduced sizes with
 # --json, validate that each summary parses, and collect the records
-# into a schema-v1 BENCH file (default BENCH_pr7.json) — the
+# into a schema-v1 BENCH file (default BENCH_pr8.json) — the
 # perf-trajectory data point for this PR. Each record carries the
 # harness's wall time as `wall_s`.
 #
@@ -17,17 +17,21 @@
 #     at least 30% of the grid simulations while every Pareto-frontier
 #     metric stays exactly equal to the full sweep's;
 #   * the perf gate: when a baseline BENCH file exists (BASE env var,
-#     default BENCH_pr6.json), `meaperf BASE OUT --wall-report-only`
+#     default BENCH_pr7.json), `meaperf BASE OUT --wall-report-only`
 #     must pass — modeled metrics gate hard, wall metrics (noisy on a
 #     1-CPU container) are report-only;
 #   * the dual-engine floor: `meaperf --min` requires the fast engine's
 #     geomean speedup over the cycle oracle (engine_throughput's
-#     fast_over_cycle) to stay >= 5x, baseline or not.
+#     fast_over_cycle) to stay >= 5x, baseline or not;
+#   * the admission-control floor: tenant_mix's verdict_correctness
+#     must stay exactly 1 — every ADMIT/REJECT/UNKNOWN verdict the
+#     MEA3xx certifier hands out is confirmed against the interleaved
+#     cycle simulation, baseline or not.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_pr7.json}"
-BASE="${BASE:-BENCH_pr6.json}"
+OUT="${1:-BENCH_pr8.json}"
+BASE="${BASE:-BENCH_pr7.json}"
 JQ="$(command -v jq || true)"
 
 echo "==> cargo build --release -p mealib-bench --bins"
@@ -46,6 +50,7 @@ BINS=(
   compiler_stap
   methodology_validation
   engine_throughput
+  tenant_mix
 )
 
 tmpdir="$(mktemp -d)"
@@ -158,15 +163,16 @@ fi
 
 # The dual-engine speedup is an absolute floor, not a trajectory
 # comparison, so it gates even without a baseline (self-compare).
-MIN_FLOOR="engine_throughput.fast_over_cycle=5"
+MIN_FLOORS=(--min "engine_throughput.fast_over_cycle=5"
+            --min "tenant_mix.verdict_correctness=1")
 if [[ -f "$BASE" && "$BASE" != "$OUT" ]]; then
-  echo "==> meaperf $BASE $OUT (modeled metrics gate hard; wall report-only; fast-engine floor)"
-  ./target/release/meaperf --wall-report-only --min "$MIN_FLOOR" "$BASE" "$OUT" \
+  echo "==> meaperf $BASE $OUT (modeled metrics gate hard; wall report-only; floors)"
+  ./target/release/meaperf --wall-report-only "${MIN_FLOORS[@]}" "$BASE" "$OUT" \
     || { echo "error: perf gate failed against $BASE" >&2; exit 1; }
 else
-  echo "note: no baseline $BASE — checking the fast-engine floor only"
-  ./target/release/meaperf --wall-report-only --min "$MIN_FLOOR" "$OUT" "$OUT" \
-    || { echo "error: fast-engine floor failed" >&2; exit 1; }
+  echo "note: no baseline $BASE — checking the absolute floors only"
+  ./target/release/meaperf --wall-report-only "${MIN_FLOORS[@]}" "$OUT" "$OUT" \
+    || { echo "error: absolute metric floor failed" >&2; exit 1; }
 fi
 
 echo "bench_smoke: OK — wrote $OUT"

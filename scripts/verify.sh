@@ -47,6 +47,63 @@ for f in crates/verify/corpus/bad/*.tdl; do
     fi
 done
 
+echo "==> mealint: clean session-set manifests must be admitted"
+out=$("${MEALINT[@]}" crates/verify/corpus/clean/*.set 2>&1) || {
+    echo "$out" >&2
+    exit 1
+}
+if grep -qE "\[MEA[0-9]+\]" <<<"$out"; then
+    echo "mealint flagged a session set that must be clean:" >&2
+    echo "$out" >&2
+    exit 1
+fi
+if grep -qv "verdict ADMIT" <<<"$out"; then
+    echo "a clean session set was not admitted:" >&2
+    echo "$out" >&2
+    exit 1
+fi
+
+echo "==> mealint: bad session sets must report the MEA3xx code their name promises"
+for f in crates/verify/corpus/bad/*.set; do
+    name=$(basename "$f" .set)        # mea301_oversubscribed -> MEA301
+    code="MEA${name:3:3}"
+    out=$("${MEALINT[@]}" "$f" 2>&1) || true   # warnings exit 0, errors 1
+    if ! grep -q "\[$code\]" <<<"$out"; then
+        echo "mealint missed $code in $f:" >&2
+        echo "$out" >&2
+        exit 1
+    fi
+    if ! grep -q "verdict REJECT" <<<"$out"; then
+        echo "bad session set $f was not rejected:" >&2
+        echo "$out" >&2
+        exit 1
+    fi
+done
+
+echo "==> interference corpus coverage: every MEA3xx code needs >=2 bad manifests + clean twins"
+for code in 300 301 302 303; do
+    bad=$(ls crates/verify/corpus/bad/mea${code}_*.set 2>/dev/null | wc -l)
+    if (( bad < 2 )); then
+        echo "interference corpus too thin: MEA$code has $bad bad manifests (need >=2)" >&2
+        exit 1
+    fi
+    for f in crates/verify/corpus/bad/mea${code}_*.set; do
+        twin="crates/verify/corpus/clean/$(basename "$f")"
+        if [[ ! -f "$twin" ]]; then
+            echo "interference corpus: $f has no clean twin at $twin" >&2
+            exit 1
+        fi
+    done
+done
+
+echo "==> every workspace crate forbids unsafe code"
+for f in src/lib.rs crates/*/src/lib.rs; do
+    if ! grep -q '^#!\[forbid(unsafe_code)\]' "$f"; then
+        echo "crate root $f does not carry #![forbid(unsafe_code)]" >&2
+        exit 1
+    fi
+done
+
 echo "==> bounds corpus coverage: every MEA2xx code needs >=2 bad programs + clean twins"
 for code in 200 201 202 203; do
     bad=$(ls crates/verify/corpus/bad/mea${code}_*.tdl 2>/dev/null | wc -l)

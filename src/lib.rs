@@ -1,4 +1,7 @@
 //! Umbrella crate for the MEALib reproduction workspace: re-exports every subsystem.
+
+#![forbid(unsafe_code)]
+
 pub use mealib as core;
 pub use mealib_accel as accel;
 pub use mealib_compiler as compiler;
