@@ -30,47 +30,11 @@ use mealib_verify::interference::{
     certify_set, parse_session_set, resolved_set_config, tenant_streams,
 };
 use mealib_verify::{BoundsEnv, Verdict};
-use mealib_workloads::sessions::pipeline_sessions;
+use mealib_workloads::sessions::{pipeline_sessions, rebase_session, session_span};
 
 /// Partition slots are placed on this alignment so every mix keeps a
 /// generous guard band between tenants regardless of session size.
 const SLOT_ALIGN: u64 = 1 << 22;
-
-/// Highest address any `BUF` directive in `src` touches.
-fn session_span(src: &str) -> u64 {
-    src.lines()
-        .filter(|l| l.starts_with("BUF "))
-        .map(|l| {
-            let toks: Vec<&str> = l.split_whitespace().collect();
-            let base = u64::from_str_radix(toks[2].trim_start_matches("0x"), 16).unwrap();
-            let len = u64::from_str_radix(toks[3].trim_start_matches("0x"), 16).unwrap();
-            base + len
-        })
-        .max()
-        .unwrap_or(0)
-}
-
-/// Rewrites every `BUF` base in `src` up by `offset`, leaving the rest
-/// of the session untouched.
-fn rebase(src: &str, offset: u64) -> String {
-    let mut out = String::new();
-    for line in src.lines() {
-        if let Some(rest) = line.strip_prefix("BUF ") {
-            let toks: Vec<&str> = rest.split_whitespace().collect();
-            let base = u64::from_str_radix(toks[1].trim_start_matches("0x"), 16).unwrap();
-            out.push_str(&format!(
-                "BUF {} 0x{:x} {}\n",
-                toks[0],
-                base + offset,
-                toks[2]
-            ));
-        } else {
-            out.push_str(line);
-            out.push('\n');
-        }
-    }
-    out
-}
 
 /// One constructed admission request.
 struct Mix {
@@ -105,7 +69,7 @@ fn manifest(mix: &Mix, catalogue: &[(String, String)]) -> String {
         if i > 0 {
             src.push_str(&format!("ARRIVAL {}\n", i as u64 * 97));
         }
-        src.push_str(&rebase(body, cursor));
+        src.push_str(&rebase_session(body, cursor));
         cursor += slot;
     }
     src

@@ -49,9 +49,20 @@ impl TenantStream {
 /// Returns the merged trace and the parallel tag column (`tags[i]` is
 /// the tenant index owning merged request `i`). Each tenant's requests
 /// stay in program order; across tenants, request `k` of tenant `i`
-/// sorts by `(arrival_i + k, i)`. The merge is a pure function of its
-/// input, so static analysis and the engine can both consume the same
-/// interleaving.
+/// sorts by the key `arrival_i.saturating_add(k)`.
+///
+/// **Tie-break order (part of the public contract):** when two streams'
+/// current requests carry the same merge key, the stream with the
+/// *lower tenant index* drains first. Saturation makes this reachable
+/// even for distinct arrivals — every key at or above `u64::MAX` clamps
+/// to `u64::MAX`, so `u64::MAX`-adjacent arrivals collapse onto one
+/// key; once a stream's keys stop advancing the tie-break takes over
+/// and the clamped streams drain whole in tenant-index order. The
+/// offset arithmetic never wraps: a huge `arrival` plus a long trace
+/// saturates instead of overflowing back to the front of the schedule.
+///
+/// The merge is a pure function of its input, so static analysis and
+/// the engine can both consume the same interleaving.
 ///
 /// # Panics
 ///
@@ -71,7 +82,10 @@ pub fn interleave_tenants(streams: &[TenantStream]) -> (TraceBuffer, Vec<u16>) {
         let mut best: Option<(u64, usize)> = None;
         for (i, s) in streams.iter().enumerate() {
             if cursor[i] < s.trace.len() {
-                let key = s.arrival + cursor[i] as u64;
+                // Saturating: `u64::MAX`-adjacent arrivals clamp onto
+                // the final merge key rather than wrapping to the front
+                // of the schedule.
+                let key = s.arrival.saturating_add(cursor[i] as u64);
                 // Strict `<` with ascending `i`: ties keep the lower
                 // tenant index.
                 if best.is_none_or(|(k, _)| key < k) {
@@ -176,6 +190,39 @@ mod tests {
             );
             assert!(t.cycles.get() <= plain.stats.cycles.get(), "tenant {i}");
             assert!(t.energy.get() > 0.0, "tenant {i}");
+        }
+    }
+
+    #[test]
+    fn max_adjacent_arrivals_saturate_instead_of_wrapping() {
+        // Regression: `arrival + pos` used to overflow for arrivals
+        // near `u64::MAX` (panic in debug, wrapped merge keys — i.e. a
+        // scrambled schedule — in release). Saturation clamps every
+        // key at `u64::MAX` and falls back to the documented tenant-
+        // index tie-break.
+        let s = vec![
+            TenantStream::new(sequential_trace(0, 1024, 64, Op::Read)).arriving_at(u64::MAX - 2),
+            TenantStream::new(sequential_trace(1 << 20, 1024, 64, Op::Write)).arriving_at(u64::MAX),
+        ];
+        let (merged, tags) = interleave_tenants(&s);
+        assert_eq!(merged.len(), 32);
+        // Both streams clamp to u64::MAX almost immediately, so their
+        // keys never advance again and the documented tie-break rules:
+        // tenant 0 drains whole, then tenant 1.
+        let expect: Vec<u16> = [vec![0u16; 16], vec![1u16; 16]].concat();
+        assert_eq!(tags, expect);
+        let (again, tags_again) = interleave_tenants(&s);
+        assert_eq!(merged, again);
+        assert_eq!(tags, tags_again);
+        // Program order survives saturation for both tenants.
+        for (i, stream) in s.iter().enumerate() {
+            let mine: Vec<Request> = merged
+                .iter()
+                .zip(&tags)
+                .filter(|(_, &t)| t as usize == i)
+                .map(|(r, _)| r)
+                .collect();
+            assert_eq!(mine, stream.trace.iter().collect::<Vec<_>>(), "tenant {i}");
         }
     }
 

@@ -39,6 +39,7 @@ pub mod attribution;
 pub mod bench_schema;
 pub mod json;
 pub mod profile;
+pub mod quantiles;
 pub mod timeline;
 
 pub use attribution::{Attribution, Bound, BoundWindow, Roofline};

@@ -1,0 +1,90 @@
+//! Percentile helpers with one documented definition.
+//!
+//! Every latency percentile the stack reports (the serving layer's
+//! p50/p95/p99, the bench summaries) uses the **nearest-rank**
+//! definition: for a sample of `n` values sorted ascending, the `q`-th
+//! quantile is the value at 1-based rank `ceil(q * n)` (clamped to at
+//! least 1). Nearest-rank always returns an *observed* sample — no
+//! interpolation — so percentiles are exactly reproducible across
+//! runs, job counts, and platforms whenever the sample multiset is,
+//! which is the property the deterministic-replay tests pin down. It
+//! also matches the rank rule of `mealib-memsim`'s
+//! `LatencyHistogram::quantile_bound`, so histogram-bucketed and
+//! exact-sample percentiles agree on which observation they select.
+
+/// The `q`-th nearest-rank quantile of `sorted` (ascending). Returns
+/// `None` on an empty sample.
+///
+/// # Panics
+///
+/// Panics when `q` is outside `[0, 1]` or `sorted` is not ascending
+/// (debug builds check the ordering; release builds trust it).
+pub fn nearest_rank(sorted: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "sample must be sorted ascending"
+    );
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = (q * sorted.len() as f64).ceil().max(1.0) as usize;
+    Some(sorted[rank.min(sorted.len()) - 1])
+}
+
+/// The (p50, p95, p99) triple of `values`, sorting a copy first.
+/// Returns `None` on an empty sample. NaNs are rejected by the sort
+/// (total order over non-NaN floats is all the stack produces).
+///
+/// # Panics
+///
+/// Panics if `values` contains a NaN.
+pub fn p50_p95_p99(values: &[f64]) -> Option<(f64, f64, f64)> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .expect("percentile samples must not be NaN")
+    });
+    Some((
+        nearest_rank(&sorted, 0.50).expect("non-empty"),
+        nearest_rank(&sorted, 0.95).expect("non-empty"),
+        nearest_rank(&sorted, 0.99).expect("non-empty"),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_selects_observed_samples() {
+        let s: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(nearest_rank(&s, 0.50), Some(50.0));
+        assert_eq!(nearest_rank(&s, 0.95), Some(95.0));
+        assert_eq!(nearest_rank(&s, 0.99), Some(99.0));
+        assert_eq!(nearest_rank(&s, 1.0), Some(100.0));
+        // q = 0 clamps to the first observation, never rank 0.
+        assert_eq!(nearest_rank(&s, 0.0), Some(1.0));
+        assert_eq!(nearest_rank(&[], 0.5), None);
+    }
+
+    #[test]
+    fn small_samples_round_up_to_a_real_rank() {
+        // n = 3: ceil(0.5 * 3) = 2, ceil(0.95 * 3) = 3.
+        let s = [1.0, 2.0, 3.0];
+        assert_eq!(nearest_rank(&s, 0.5), Some(2.0));
+        assert_eq!(nearest_rank(&s, 0.95), Some(3.0));
+        // A single observation is every percentile.
+        assert_eq!(nearest_rank(&[7.5], 0.99), Some(7.5));
+    }
+
+    #[test]
+    fn triple_sorts_its_input() {
+        let unsorted = [3.0, 1.0, 2.0, 5.0, 4.0];
+        assert_eq!(p50_p95_p99(&unsorted), Some((3.0, 5.0, 5.0)));
+        assert_eq!(p50_p95_p99(&[]), None);
+    }
+}

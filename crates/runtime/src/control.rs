@@ -287,6 +287,10 @@ impl PlanCache {
     fn capacity(&self) -> usize {
         self.lock().capacity
     }
+
+    fn len(&self) -> usize {
+        self.lock().plans.len()
+    }
 }
 
 impl Clone for PlanCache {
@@ -408,6 +412,13 @@ impl Runtime {
     /// The plan cache's capacity in entries.
     pub fn plan_cache_capacity(&self) -> usize {
         self.plan_cache.capacity()
+    }
+
+    /// Live entries in the plan cache — together with
+    /// [`RuntimeCounters::plan_cache_hits`] this is the descriptor-reuse
+    /// telemetry the serving layer reports per run.
+    pub fn plan_cache_len(&self) -> usize {
+        self.plan_cache.len()
     }
 
     /// Sets how strictly plans are statically verified (default:
@@ -998,10 +1009,12 @@ mod tests {
             AccelParams::Fft { n: 256, batch: 256 }.to_bytes(),
         );
         let tdl = "PASS in=x out=y { COMP FFT params=\"fft.para\" }";
+        assert_eq!(rt.plan_cache_len(), 0);
         let a = rt.acc_plan_cached(tdl, &params).unwrap();
         let b = rt.acc_plan_cached(tdl, &params).unwrap();
         assert_eq!(a.id(), b.id(), "second request served from the cache");
         assert_eq!(rt.counters().plan_cache_hits, 1);
+        assert_eq!(rt.plan_cache_len(), 1);
         // Different parameters build a fresh plan.
         params.insert(
             "fft.para".into(),

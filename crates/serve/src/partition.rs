@@ -1,0 +1,196 @@
+//! Deterministic buddy allocation of vault partitions.
+//!
+//! The scheduler carves the modeled device capacity into
+//! power-of-two partition slots, one per resident tenant. A buddy
+//! allocator keeps the arithmetic exact and the behavior a pure
+//! function of the request sequence: blocks split top-down from the
+//! lowest-addressed free block of the smallest sufficient order, and
+//! freed blocks re-merge with their buddy eagerly. Power-of-two slots
+//! aligned to their own size also guarantee that a slot never
+//! straddles the §4.2 asymmetric interleaving split when the split
+//! itself is slot-aligned — the property the QoS isolation test
+//! leans on.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mealib_types::{AddrRange, Bytes, PhysAddr};
+
+use crate::session::MIN_SLOT;
+
+/// A buddy allocator over `[0, capacity)` device bytes.
+#[derive(Debug, Clone)]
+pub struct PartitionTable {
+    capacity: u64,
+    /// Free blocks: order (log2 of byte size) -> bases, both ordered.
+    free: BTreeMap<u32, BTreeSet<u64>>,
+    /// Live allocations by base, with their order.
+    live: BTreeMap<u64, u32>,
+}
+
+impl PartitionTable {
+    /// A table over `capacity` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `capacity` is a power of two no smaller than
+    /// [`MIN_SLOT`].
+    pub fn new(capacity: u64) -> Self {
+        assert!(
+            capacity.is_power_of_two() && capacity >= MIN_SLOT,
+            "capacity must be a power of two >= MIN_SLOT, got {capacity}"
+        );
+        let top = capacity.trailing_zeros();
+        let mut free = BTreeMap::new();
+        free.insert(top, BTreeSet::from([0u64]));
+        Self {
+            capacity,
+            free,
+            live: BTreeMap::new(),
+        }
+    }
+
+    /// The table's total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn resident_bytes(&self) -> u64 {
+        self.live.values().map(|&o| 1u64 << o).sum()
+    }
+
+    /// Live partition count.
+    pub fn resident_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Allocates the smallest power-of-two slot of at least `bytes`
+    /// (and at least [`MIN_SLOT`]), or `None` when no block fits.
+    /// Deterministic: always the lowest-addressed free block of the
+    /// smallest sufficient order, split down as needed.
+    pub fn alloc(&mut self, bytes: u64) -> Option<AddrRange> {
+        let want = bytes.max(MIN_SLOT).next_power_of_two();
+        if want > self.capacity {
+            return None;
+        }
+        let order = want.trailing_zeros();
+        // Smallest order with a free block that covers the request.
+        let (&have, _) = self.free.range(order..).find(|(_, s)| !s.is_empty())?;
+        let base = *self.free.get_mut(&have)?.iter().next()?;
+        self.free.get_mut(&have)?.remove(&base);
+        // Split down to the requested order, freeing the upper halves.
+        let mut o = have;
+        while o > order {
+            o -= 1;
+            self.free.entry(o).or_default().insert(base + (1u64 << o));
+        }
+        self.live.insert(base, order);
+        Some(AddrRange::new(PhysAddr::new(base), Bytes::new(want)))
+    }
+
+    /// Returns a previously-allocated slot and merges buddies eagerly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is not a live allocation of this table
+    /// (double free or foreign range — a scheduler bug either way).
+    pub fn free(&mut self, range: AddrRange) {
+        let base = range.start().get();
+        let order = self
+            .live
+            .remove(&base)
+            .unwrap_or_else(|| panic!("freeing unallocated partition at 0x{base:x}"));
+        assert_eq!(
+            1u64 << order,
+            range.len().get(),
+            "partition length mismatch on free"
+        );
+        let mut base = base;
+        let mut order = order;
+        let top = self.capacity.trailing_zeros();
+        while order < top {
+            let buddy = base ^ (1u64 << order);
+            let merged = self
+                .free
+                .get_mut(&order)
+                .is_some_and(|set| set.remove(&buddy));
+            if !merged {
+                break;
+            }
+            base &= !(1u64 << order);
+            order += 1;
+        }
+        self.free.entry(order).or_default().insert(base);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_disjoint_aligned_and_deterministic() {
+        let mut t = PartitionTable::new(1 << 28);
+        let a = t.alloc(1).unwrap();
+        let b = t.alloc(MIN_SLOT + 1).unwrap();
+        let c = t.alloc(3 * MIN_SLOT).unwrap();
+        assert_eq!(a.len().get(), MIN_SLOT);
+        assert_eq!(b.len().get(), 2 * MIN_SLOT);
+        assert_eq!(c.len().get(), 4 * MIN_SLOT);
+        for r in [&a, &b, &c] {
+            assert_eq!(r.start().get() % r.len().get(), 0, "self-aligned");
+        }
+        // Pairwise disjoint.
+        let ranges = [&a, &b, &c];
+        for (i, x) in ranges.iter().enumerate() {
+            for y in &ranges[i + 1..] {
+                assert!(
+                    x.end().get() <= y.start().get() || y.end().get() <= x.start().get(),
+                    "{x:?} overlaps {y:?}"
+                );
+            }
+        }
+        assert_eq!(t.resident_bytes(), 7 * MIN_SLOT);
+        assert_eq!(t.resident_count(), 3);
+        // The same request sequence on a fresh table places blocks
+        // identically.
+        let mut u = PartitionTable::new(1 << 28);
+        assert_eq!(u.alloc(1), Some(a));
+        assert_eq!(u.alloc(MIN_SLOT + 1), Some(b));
+        assert_eq!(u.alloc(3 * MIN_SLOT), Some(c));
+    }
+
+    #[test]
+    fn free_merges_buddies_back_to_one_block() {
+        let cap = 1 << 26;
+        let mut t = PartitionTable::new(cap);
+        let slots: Vec<AddrRange> = (0..(cap / MIN_SLOT)).map(|_| t.alloc(1).unwrap()).collect();
+        assert_eq!(t.resident_bytes(), cap);
+        assert!(t.alloc(1).is_none(), "full table refuses");
+        for s in slots {
+            t.free(s);
+        }
+        assert_eq!(t.resident_bytes(), 0);
+        // Fully merged: a capacity-sized allocation succeeds again.
+        assert_eq!(t.alloc(cap).unwrap().len().get(), cap);
+    }
+
+    #[test]
+    fn oversized_requests_are_refused_without_state_damage() {
+        let mut t = PartitionTable::new(1 << 24);
+        assert!(t.alloc(1 << 25).is_none());
+        let a = t.alloc(1 << 24).unwrap();
+        assert_eq!(a.start().get(), 0);
+        t.free(a);
+        assert_eq!(t.resident_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn double_free_panics() {
+        let mut t = PartitionTable::new(1 << 24);
+        let a = t.alloc(1).unwrap();
+        t.free(a);
+        t.free(a);
+    }
+}

@@ -1,0 +1,528 @@
+//! The discrete-event serving loop: arrivals → certified admission →
+//! partitioned batch replay → exact attribution.
+//!
+//! Time advances in *epochs*. Each epoch the scheduler
+//!
+//! 1. promotes due retries to the front of the wait queue (respecting
+//!    the queue bound — overflow retries stay parked, delayed but
+//!    never dropped) and takes fresh arrivals at the back
+//!    (tail-dropping at `queue_cap`);
+//! 2. fills a batch from the queue front: each candidate gets a buddy
+//!    partition slot and the grown batch is re-certified through
+//!    [`AdmissionGate::certify`] — ADMIT joins, REJECT frees the slot
+//!    and retries with exponential backoff until the retry budget
+//!    terminalizes it (carrying the MEA3xx proof), UNKNOWN follows the
+//!    configured conservative policy;
+//! 3. plans the batch's descriptors through the runtime compiler path
+//!    (repeat classes batch via the plan cache) and replays the merged
+//!    set through the tagged interleaved engine, crediting each tenant
+//!    its exact modeled service time, bytes, and energy;
+//! 4. advances the modeled clock by the replay's elapsed time and
+//!    frees every partition (residency is one epoch).
+//!
+//! The loop is a pure function of (catalogue, traffic, config,
+//! environment): no wall-clock, no ambient randomness, `BTreeMap`
+//! ordering throughout — the property the determinism harness pins
+//! down to the bit.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use mealib_memsim::{simulate_tenants, SimOptions};
+use mealib_obs::{Breakdown, Obs, Phase};
+use mealib_types::{Joules, Seconds};
+use mealib_verify::interference::{resolved_set_config, tenant_streams};
+use mealib_verify::{BoundsEnv, Verdict};
+
+use crate::admission::{AdmissionGate, Resident, UnknownPolicy};
+use crate::batch::DescriptorBatcher;
+use crate::metrics::{EpochStats, ServeReport};
+use crate::partition::PartitionTable;
+use crate::session::{
+    Catalogue, CompletedSession, RejectedSession, SessionRequest, ShedReason, ShedSession,
+};
+use crate::traffic::Traffic;
+
+/// Scheduler knobs. The defaults serve the standard catalogue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Partitionable device bytes (power of two; sessions whose slot
+    /// exceeds this are shed on arrival — they can never be placed).
+    pub capacity: u64,
+    /// Most tenants resident (replayed together) per epoch.
+    pub max_resident: usize,
+    /// Wait-queue depth; arrivals beyond it are tail-dropped.
+    pub queue_cap: usize,
+    /// Admission attempts before a REJECT terminalizes (or an UNKNOWN
+    /// under the retry policy is shed).
+    pub max_retries: u32,
+    /// Backoff after the first failed attempt, in epochs; doubles per
+    /// attempt.
+    pub backoff_base: u64,
+    /// What to do with UNKNOWN verdicts (never admit).
+    pub unknown_policy: UnknownPolicy,
+    /// Worker threads for the epoch replay (bit-exact at any value).
+    pub jobs: usize,
+    /// Request-slot arrival stagger between batch positions.
+    pub stagger_slots: u64,
+    /// Drain deadline: at this epoch everything still unserved is shed
+    /// with [`ShedReason::DrainDeadline`]. `u64::MAX` disables it.
+    pub max_epochs: u64,
+    /// When set, admission certifies against the §4.2 asymmetric
+    /// layer split at this (slot-aligned) boundary.
+    pub asym_split: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 1 << 31,
+            max_resident: 4,
+            queue_cap: 64,
+            max_retries: 3,
+            backoff_base: 1,
+            unknown_policy: UnknownPolicy::Retry,
+            jobs: 1,
+            stagger_slots: 64,
+            max_epochs: u64::MAX,
+            asym_split: None,
+        }
+    }
+}
+
+/// A queued session awaiting admission.
+#[derive(Debug, Clone)]
+struct Pending {
+    req: SessionRequest,
+    attempts: u32,
+    arrival_clock_s: f64,
+}
+
+/// Runs the serving loop without observability.
+pub fn serve(
+    catalogue: &Catalogue,
+    traffic: &Traffic,
+    config: &ServeConfig,
+    env: &BoundsEnv,
+) -> ServeReport {
+    serve_observed(catalogue, traffic, config, env, &Obs::off())
+}
+
+/// Runs the serving loop, emitting admission (`Verify`) and replay
+/// (`Compute`) spans into `obs`.
+///
+/// # Panics
+///
+/// Panics if `traffic` names a class the catalogue does not carry, or
+/// on internal invariant violations (certified batches that fail to
+/// replay).
+pub fn serve_observed(
+    catalogue: &Catalogue,
+    traffic: &Traffic,
+    config: &ServeConfig,
+    env: &BoundsEnv,
+    obs: &Obs,
+) -> ServeReport {
+    let mut gate = AdmissionGate::new(env.clone());
+    if let Some(split) = config.asym_split {
+        gate = gate.with_asym_split(split);
+    }
+    let mut table = PartitionTable::new(config.capacity);
+    let mut batcher = DescriptorBatcher::new(catalogue);
+
+    let mut queue: VecDeque<Pending> = VecDeque::new();
+    // Backoff parking: keyed (eligible epoch, id) so promotion order is
+    // deterministic and oldest-first.
+    let mut parked: BTreeMap<(u64, u64), Pending> = BTreeMap::new();
+
+    let mut completed: Vec<CompletedSession> = Vec::new();
+    let mut rejected: Vec<RejectedSession> = Vec::new();
+    let mut shed: Vec<ShedSession> = Vec::new();
+    let mut epochs: Vec<EpochStats> = Vec::new();
+    let mut log: Vec<String> = Vec::new();
+    let mut breakdown = Breakdown::new();
+
+    let sessions = &traffic.sessions;
+    let mut arr_idx = 0usize;
+    let mut clock_s = 0.0f64;
+    let mut peak_queue = 0usize;
+
+    let mut epoch = 0u64;
+    loop {
+        if arr_idx >= sessions.len() && queue.is_empty() && parked.is_empty() {
+            break;
+        }
+        if epoch >= config.max_epochs {
+            // Drain deadline: everything unserved is shed, so every
+            // generated session still gets exactly one disposition.
+            for p in queue.drain(..) {
+                log.push(format!("e{epoch} shed s{} reason=drain_deadline", p.req.id));
+                shed.push(ShedSession {
+                    id: p.req.id,
+                    class: p.req.class,
+                    epoch,
+                    reason: ShedReason::DrainDeadline,
+                });
+            }
+            for (_, p) in std::mem::take(&mut parked) {
+                log.push(format!("e{epoch} shed s{} reason=drain_deadline", p.req.id));
+                shed.push(ShedSession {
+                    id: p.req.id,
+                    class: p.req.class,
+                    epoch,
+                    reason: ShedReason::DrainDeadline,
+                });
+            }
+            while arr_idx < sessions.len() {
+                let req = &sessions[arr_idx];
+                log.push(format!("e{epoch} shed s{} reason=drain_deadline", req.id));
+                shed.push(ShedSession {
+                    id: req.id,
+                    class: req.class.clone(),
+                    epoch,
+                    reason: ShedReason::DrainDeadline,
+                });
+                arr_idx += 1;
+            }
+            break;
+        }
+
+        let mut st = EpochStats {
+            epoch,
+            arrivals: 0,
+            admitted: 0,
+            rejected: 0,
+            shed: 0,
+            queue_depth_end: 0,
+            replay_elapsed_s: 0.0,
+            clock_s,
+        };
+
+        // (1a) Promote due retries to the queue front, oldest first.
+        // Promotion respects the queue bound: retries past it stay
+        // parked (delayed one epoch, never dropped), so the queue
+        // never exceeds `queue_cap` — the hard bound the shed policy
+        // promises.
+        let room = config.queue_cap.saturating_sub(queue.len());
+        let due: Vec<(u64, u64)> = parked
+            .range(..=(epoch, u64::MAX))
+            .map(|(k, _)| *k)
+            .take(room)
+            .collect();
+        for key in due.into_iter().rev() {
+            let p = parked.remove(&key).expect("key just listed");
+            queue.push_front(p);
+        }
+
+        // (1b) Fresh arrivals at the back, tail-dropping at capacity.
+        while arr_idx < sessions.len() && sessions[arr_idx].arrival_epoch == epoch {
+            let req = sessions[arr_idx].clone();
+            arr_idx += 1;
+            st.arrivals += 1;
+            let class = catalogue
+                .get(&req.class)
+                .unwrap_or_else(|| panic!("unknown traffic class {}", req.class));
+            if class.slot > config.capacity {
+                log.push(format!(
+                    "e{epoch} shed s{} reason=undecidable (slot)",
+                    req.id
+                ));
+                shed.push(ShedSession {
+                    id: req.id,
+                    class: req.class,
+                    epoch,
+                    reason: ShedReason::Undecidable,
+                });
+                st.shed += 1;
+                continue;
+            }
+            if queue.len() >= config.queue_cap {
+                log.push(format!("e{epoch} shed s{} reason=queue_full", req.id));
+                shed.push(ShedSession {
+                    id: req.id,
+                    class: req.class,
+                    epoch,
+                    reason: ShedReason::QueueFull,
+                });
+                st.shed += 1;
+                continue;
+            }
+            queue.push_back(Pending {
+                req,
+                attempts: 0,
+                arrival_clock_s: clock_s,
+            });
+        }
+        peak_queue = peak_queue.max(queue.len());
+
+        // (2) Fill the batch from the queue front, certifying each
+        // growth step.
+        let mut batch: Vec<Resident> = Vec::new();
+        let mut batch_meta: Vec<Pending> = Vec::new();
+        let mut admitted_cert = None;
+        while batch.len() < config.max_resident && !queue.is_empty() {
+            let mut p = queue.pop_front().expect("non-empty queue");
+            let class = catalogue.get(&p.req.class).expect("checked on arrival");
+            let Some(partition) = table.alloc(class.slot) else {
+                // Head-of-line waits for space; residency is one epoch,
+                // so space returns next epoch.
+                queue.push_front(p);
+                break;
+            };
+            let candidate = Resident::place(
+                p.req.clone(),
+                &class.body,
+                partition,
+                batch.len() as u64 * config.stagger_slots,
+            );
+            let mut trial = batch.clone();
+            trial.push(candidate.clone());
+            let (set, cert) = gate.certify(&trial);
+            p.attempts += 1;
+            match cert.verdict {
+                Verdict::Admit => {
+                    log.push(format!(
+                        "e{epoch} admit s{} class={} part=0x{:x}+0x{:x} attempt={}",
+                        p.req.id,
+                        p.req.class,
+                        partition.start().get(),
+                        partition.len().get(),
+                        p.attempts,
+                    ));
+                    batch.push(candidate);
+                    batch_meta.push(p);
+                    admitted_cert = Some((set, cert));
+                }
+                Verdict::Reject => {
+                    table.free(partition);
+                    if p.attempts > config.max_retries {
+                        let codes = cert.codes();
+                        debug_assert!(!codes.is_empty(), "REJECT always carries its proof");
+                        let rendered: Vec<String> =
+                            codes.iter().map(|c| format!("{c:?}")).collect();
+                        log.push(format!(
+                            "e{epoch} reject s{} codes=[{}] attempts={}",
+                            p.req.id,
+                            rendered.join(","),
+                            p.attempts,
+                        ));
+                        rejected.push(RejectedSession {
+                            id: p.req.id,
+                            class: p.req.class.clone(),
+                            epoch,
+                            codes,
+                            retries: p.attempts,
+                        });
+                        st.rejected += 1;
+                    } else {
+                        let eligible = epoch + 1 + (config.backoff_base << (p.attempts - 1));
+                        log.push(format!(
+                            "e{epoch} backoff s{} until e{eligible} attempt={}",
+                            p.req.id, p.attempts,
+                        ));
+                        parked.insert((eligible, p.req.id), p);
+                    }
+                }
+                Verdict::Unknown => {
+                    table.free(partition);
+                    let terminal = config.unknown_policy == UnknownPolicy::Shed
+                        || p.attempts > config.max_retries;
+                    if terminal {
+                        let reason = if config.unknown_policy == UnknownPolicy::Shed {
+                            ShedReason::Undecidable
+                        } else {
+                            ShedReason::RetriesExhausted
+                        };
+                        log.push(format!(
+                            "e{epoch} shed s{} reason={} attempts={}",
+                            p.req.id,
+                            reason.label(),
+                            p.attempts,
+                        ));
+                        shed.push(ShedSession {
+                            id: p.req.id,
+                            class: p.req.class.clone(),
+                            epoch,
+                            reason,
+                        });
+                        st.shed += 1;
+                    } else {
+                        let eligible = epoch + 1 + (config.backoff_base << (p.attempts - 1));
+                        log.push(format!(
+                            "e{epoch} unknown s{} retry at e{eligible} attempt={}",
+                            p.req.id, p.attempts,
+                        ));
+                        parked.insert((eligible, p.req.id), p);
+                    }
+                }
+            }
+        }
+
+        // (3) Plan descriptors and replay the admitted batch.
+        if let Some((set, cert)) = admitted_cert {
+            for r in &batch {
+                let class = catalogue.get(&r.request.class).expect("admitted class");
+                batcher.plan_class(&class.body);
+            }
+            let cfg = resolved_set_config(&set, gate.env());
+            let streams = tenant_streams(&set);
+            let opts = SimOptions {
+                jobs: config.jobs,
+                ..SimOptions::default()
+            };
+            let run = simulate_tenants(&cfg, &streams, &opts).expect("certified batches replay");
+            obs.span(
+                Phase::Verify,
+                &format!("admit-e{epoch}"),
+                Seconds::ZERO,
+                Joules::ZERO,
+            );
+            obs.span(
+                Phase::Compute,
+                &format!("replay-e{epoch}"),
+                run.stats.elapsed,
+                run.stats.energy,
+            );
+            breakdown.add_phase(Phase::Compute, run.stats.elapsed, run.stats.energy);
+            for (i, (r, p)) in batch.iter().zip(&batch_meta).enumerate() {
+                let t = &run.tenants[i];
+                let tb = &cert.bounds.tenants[i];
+                completed.push(CompletedSession {
+                    id: r.request.id,
+                    class: r.request.class.clone(),
+                    admitted_epoch: epoch,
+                    queue_delay_s: clock_s - p.arrival_clock_s,
+                    service_s: t.elapsed.get(),
+                    bytes: t.bytes_read.get() + t.bytes_written.get(),
+                    energy_j: t.energy.get(),
+                    partition: r.partition,
+                    certified_elapsed_hi: tb.elapsed.hi,
+                    retries: p.attempts - 1,
+                });
+                st.admitted += 1;
+            }
+            st.replay_elapsed_s = run.stats.elapsed.get();
+            clock_s += run.stats.elapsed.get();
+            // (4) Residency is one epoch: return every slot.
+            for r in &batch {
+                table.free(r.partition);
+            }
+        }
+
+        st.queue_depth_end = queue.len();
+        st.clock_s = clock_s;
+        epochs.push(st);
+        epoch += 1;
+    }
+
+    ServeReport {
+        completed,
+        rejected,
+        shed,
+        epochs,
+        decision_log: log,
+        modeled_s: clock_s,
+        breakdown,
+        peak_queue_depth: peak_queue,
+        plans_planned: batcher.planned(),
+        plan_cache_hits: batcher.cache_hits(),
+        plan_cache_len: batcher.cached_plans(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{generate, TrafficSpec};
+
+    fn small_spec(cat: &Catalogue, seed: u64) -> TrafficSpec {
+        let mut spec = TrafficSpec::poisson(cat, seed, 6, 2.0);
+        // Small classes keep the unit tests quick; the big scales are
+        // exercised by the bench and the soak test. A fat impossible
+        // tier makes a proved rejection all but certain per stream.
+        spec.classes.retain(|c| {
+            matches!(
+                c.class.as_str(),
+                "stap-tiny" | "sar-chain-256" | "sar-loop-256"
+            )
+        });
+        spec.p_impossible = 0.3;
+        spec
+    }
+
+    #[test]
+    fn serve_disposes_every_session_and_reconciles() {
+        let cat = Catalogue::standard(&BoundsEnv::default());
+        let traffic = generate(&cat, &small_spec(&cat, 5));
+        assert!(!traffic.sessions.is_empty());
+        let report = serve(
+            &cat,
+            &traffic,
+            &ServeConfig::default(),
+            &BoundsEnv::default(),
+        );
+        assert_eq!(report.total_sessions(), traffic.sessions.len());
+        report
+            .check_conservation(&traffic, &cat)
+            .expect("conservation holds");
+        assert!((report.admission_soundness() - 1.0).abs() < f64::EPSILON);
+        assert!(!report.completed.is_empty(), "generous sessions complete");
+        assert!(!report.rejected.is_empty(), "impossible budgets reject");
+        for r in &report.rejected {
+            assert!(!r.codes.is_empty(), "s{}: rejection without a proof", r.id);
+        }
+        // Breakdown reconciles with the modeled clock exactly.
+        assert_eq!(
+            report.breakdown_compute_s().to_bits(),
+            report.modeled_s.to_bits()
+        );
+        // Clock is monotone across epochs.
+        for w in report.epochs.windows(2) {
+            assert!(w[1].clock_s >= w[0].clock_s);
+        }
+    }
+
+    #[test]
+    fn shed_policy_bounds_the_queue() {
+        let cat = Catalogue::standard(&BoundsEnv::default());
+        let mut spec = small_spec(&cat, 9);
+        spec.mix = crate::traffic::ArrivalMix::Poisson {
+            mean_per_epoch: 12.0,
+        };
+        let traffic = generate(&cat, &spec);
+        let config = ServeConfig {
+            queue_cap: 4,
+            max_resident: 2,
+            ..ServeConfig::default()
+        };
+        let report = serve(&cat, &traffic, &config, &BoundsEnv::default());
+        assert!(report.peak_queue_depth <= 4);
+        assert!(
+            report
+                .shed
+                .iter()
+                .any(|s| s.reason == ShedReason::QueueFull),
+            "overload must tail-drop"
+        );
+        report
+            .check_conservation(&traffic, &cat)
+            .expect("conservation holds under shed");
+    }
+
+    #[test]
+    fn drain_deadline_sheds_leftovers_with_conservation() {
+        let cat = Catalogue::standard(&BoundsEnv::default());
+        let traffic = generate(&cat, &small_spec(&cat, 3));
+        let config = ServeConfig {
+            max_epochs: 2,
+            ..ServeConfig::default()
+        };
+        let report = serve(&cat, &traffic, &config, &BoundsEnv::default());
+        assert!(report
+            .shed
+            .iter()
+            .any(|s| s.reason == ShedReason::DrainDeadline));
+        report
+            .check_conservation(&traffic, &cat)
+            .expect("deadline preserves conservation");
+    }
+}

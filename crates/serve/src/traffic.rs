@@ -1,0 +1,288 @@
+//! Seeded synthetic traffic: Poisson and diurnal arrival mixes over
+//! the class catalogue.
+//!
+//! The generator is a pure function of its [`TrafficSpec`]: the same
+//! seed produces the same session stream byte for byte, which is what
+//! lets the replay harness demand bit-identical scheduler output. Per
+//! epoch it draws an arrival count (Knuth Poisson sampling under the
+//! epoch's rate), then assigns each arrival a class by seeded
+//! weighted choice and a time budget by *budget tier*:
+//!
+//! * **generous** — `solo_hi * slack`: admissible alone, and still
+//!   admissible in a batch whenever the composed ceiling fits;
+//! * **impossible** — below the class's certified solo *floor*, so
+//!   `certify_set` must prove MEA302 and reject it (exercising the
+//!   rejection path with a guaranteed proof);
+//! * **best effort** — no budget: admitted whenever isolation holds,
+//!   never latency-certified.
+//!
+//! Emitted-byte accounting rides along: every generated session adds
+//! its class's exact trace bytes to [`Traffic::emitted_bytes`], the
+//! ledger the conservation invariant reconciles against.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::session::{Catalogue, SessionRequest};
+
+/// How the per-epoch arrival rate evolves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalMix {
+    /// Stationary Poisson arrivals at `mean_per_epoch`.
+    Poisson {
+        /// Mean arrivals per epoch.
+        mean_per_epoch: f64,
+    },
+    /// Diurnal modulation: the rate swings between `base` and `peak`
+    /// on a cosine with the given period (epochs), peaking mid-period.
+    Diurnal {
+        /// Off-peak mean arrivals per epoch.
+        base: f64,
+        /// Peak mean arrivals per epoch.
+        peak: f64,
+        /// Full day length in epochs.
+        period_epochs: u64,
+    },
+}
+
+impl ArrivalMix {
+    /// The mean arrival rate in `epoch`.
+    pub fn rate(&self, epoch: u64) -> f64 {
+        match *self {
+            ArrivalMix::Poisson { mean_per_epoch } => mean_per_epoch,
+            ArrivalMix::Diurnal {
+                base,
+                peak,
+                period_epochs,
+            } => {
+                let phase = (epoch % period_epochs.max(1)) as f64 / period_epochs.max(1) as f64;
+                // Trough at phase 0, peak at phase 0.5.
+                let swing = 0.5 - 0.5 * (2.0 * std::f64::consts::PI * phase).cos();
+                base + (peak - base) * swing
+            }
+        }
+    }
+}
+
+/// One class's share of the mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassShare {
+    /// Catalogue class name.
+    pub class: String,
+    /// Relative weight (any positive number).
+    pub weight: f64,
+}
+
+/// The full, seeded traffic description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficSpec {
+    /// RNG seed; the generated stream is a pure function of the spec.
+    pub seed: u64,
+    /// Epochs to generate arrivals for (the scheduler may run longer
+    /// to drain).
+    pub epochs: u64,
+    /// Arrival-rate shape.
+    pub mix: ArrivalMix,
+    /// Class weights (must be non-empty, all classes in the
+    /// catalogue).
+    pub classes: Vec<ClassShare>,
+    /// Budget slack multiplier for the generous tier (`>= 1` keeps
+    /// the tier honest; the composed ceiling still decides admission).
+    pub slack: f64,
+    /// Probability an arrival lands in the impossible tier (proved
+    /// rejection).
+    pub p_impossible: f64,
+    /// Probability an arrival is best effort (no declared budget).
+    pub p_best_effort: f64,
+}
+
+impl TrafficSpec {
+    /// A small stationary mix over every catalogue class, equal
+    /// weights — the spec the tests and the bench's `--small` mode
+    /// start from.
+    pub fn poisson(catalogue: &Catalogue, seed: u64, epochs: u64, mean_per_epoch: f64) -> Self {
+        Self {
+            seed,
+            epochs,
+            mix: ArrivalMix::Poisson { mean_per_epoch },
+            classes: catalogue
+                .classes()
+                .map(|c| ClassShare {
+                    class: c.name.clone(),
+                    weight: 1.0,
+                })
+                .collect(),
+            slack: 8.0,
+            p_impossible: 0.1,
+            p_best_effort: 0.2,
+        }
+    }
+}
+
+/// The generated stream plus its conservation ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Traffic {
+    /// Sessions in arrival order (ids are dense from 0).
+    pub sessions: Vec<SessionRequest>,
+    /// Exact trace bytes emitted per class (count x class trace
+    /// bytes).
+    pub emitted_bytes: BTreeMap<String, u64>,
+}
+
+/// Knuth's Poisson sampler: exact for the modest rates the serving
+/// mixes use, and deterministic under [`SmallRng`].
+fn poisson_draw(rng: &mut SmallRng, rate: f64) -> u64 {
+    if rate <= 0.0 {
+        return 0;
+    }
+    let limit = (-rate).exp();
+    let mut k = 0u64;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= limit {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Generates the session stream for `spec` over `catalogue`.
+///
+/// # Panics
+///
+/// Panics if `spec.classes` is empty or names a class the catalogue
+/// does not carry.
+pub fn generate(catalogue: &Catalogue, spec: &TrafficSpec) -> Traffic {
+    assert!(!spec.classes.is_empty(), "traffic needs at least one class");
+    let total_weight: f64 = spec.classes.iter().map(|c| c.weight).sum();
+    assert!(total_weight > 0.0, "class weights must sum positive");
+
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let mut sessions = Vec::new();
+    let mut emitted: BTreeMap<String, u64> = BTreeMap::new();
+    let mut id = 0u64;
+    for epoch in 0..spec.epochs {
+        let n = poisson_draw(&mut rng, spec.mix.rate(epoch));
+        for _ in 0..n {
+            // Weighted class choice.
+            let mut pick = rng.gen::<f64>() * total_weight;
+            let mut chosen = &spec.classes[0].class;
+            for share in &spec.classes {
+                pick -= share.weight;
+                if pick <= 0.0 {
+                    chosen = &share.class;
+                    break;
+                }
+            }
+            let class = catalogue
+                .get(chosen)
+                .unwrap_or_else(|| panic!("unknown traffic class {chosen}"));
+            let (solo_lo, solo_hi) = class.solo_elapsed;
+            let tier = rng.gen::<f64>();
+            let time_budget_s = if tier < spec.p_impossible {
+                // Provably violated: below the certified solo floor.
+                Some(solo_lo * 0.5)
+            } else if tier < spec.p_impossible + spec.p_best_effort {
+                None
+            } else {
+                Some(solo_hi * spec.slack)
+            };
+            sessions.push(SessionRequest {
+                id,
+                class: class.name.clone(),
+                arrival_epoch: epoch,
+                time_budget_s,
+            });
+            *emitted.entry(class.name.clone()).or_default() += class.trace_bytes;
+            id += 1;
+        }
+    }
+    Traffic {
+        sessions,
+        emitted_bytes: emitted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mealib_verify::BoundsEnv;
+
+    fn catalogue() -> Catalogue {
+        Catalogue::standard(&BoundsEnv::default())
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let cat = catalogue();
+        let spec = TrafficSpec::poisson(&cat, 42, 20, 3.0);
+        let a = generate(&cat, &spec);
+        let b = generate(&cat, &spec);
+        assert_eq!(a, b);
+        assert!(!a.sessions.is_empty());
+        // Dense ids in arrival order.
+        for (i, s) in a.sessions.iter().enumerate() {
+            assert_eq!(s.id, i as u64);
+        }
+        // A different seed moves the stream.
+        let other = generate(&cat, &TrafficSpec::poisson(&cat, 43, 20, 3.0));
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn emitted_bytes_ledger_matches_the_stream() {
+        let cat = catalogue();
+        let t = generate(&cat, &TrafficSpec::poisson(&cat, 7, 15, 2.5));
+        let mut recount: BTreeMap<String, u64> = BTreeMap::new();
+        for s in &t.sessions {
+            *recount.entry(s.class.clone()).or_default() += cat.get(&s.class).unwrap().trace_bytes;
+        }
+        assert_eq!(t.emitted_bytes, recount);
+    }
+
+    #[test]
+    fn diurnal_rate_swings_between_base_and_peak() {
+        let mix = ArrivalMix::Diurnal {
+            base: 1.0,
+            peak: 9.0,
+            period_epochs: 24,
+        };
+        assert!((mix.rate(0) - 1.0).abs() < 1e-12);
+        assert!((mix.rate(12) - 9.0).abs() < 1e-12);
+        for e in 0..48 {
+            let r = mix.rate(e);
+            assert!((1.0..=9.0).contains(&r), "epoch {e}: {r}");
+        }
+        // Periodic.
+        assert!((mix.rate(5) - mix.rate(29)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_tiers_cover_all_three_shapes() {
+        let cat = catalogue();
+        let spec = TrafficSpec {
+            p_impossible: 0.3,
+            p_best_effort: 0.3,
+            ..TrafficSpec::poisson(&cat, 11, 40, 4.0)
+        };
+        let t = generate(&cat, &spec);
+        let impossible = t
+            .sessions
+            .iter()
+            .filter(|s| {
+                s.time_budget_s
+                    .is_some_and(|b| b < cat.get(&s.class).unwrap().solo_elapsed.0)
+            })
+            .count();
+        let best_effort = t
+            .sessions
+            .iter()
+            .filter(|s| s.time_budget_s.is_none())
+            .count();
+        let generous = t.sessions.len() - impossible - best_effort;
+        assert!(impossible > 0 && best_effort > 0 && generous > 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Deterministic-replay harness: the serving loop is a pure function
+//! of (catalogue, traffic, config, environment).
+//!
+//! Same seed ⇒ bit-identical admission decisions, queue orders, and
+//! per-tenant attribution — across repeated runs AND across replay
+//! worker counts (`jobs` shards the engine, never the result). The
+//! conservation invariant rides along: every generated session gets
+//! exactly one terminal disposition, and per-class served bytes
+//! reconcile against the traffic generator's emitted-byte ledger.
+
+use std::sync::OnceLock;
+
+use mealib_serve::{generate, serve, Catalogue, ServeConfig, TrafficSpec};
+use mealib_verify::BoundsEnv;
+use proptest::prelude::*;
+
+fn catalogue() -> &'static Catalogue {
+    static CAT: OnceLock<Catalogue> = OnceLock::new();
+    CAT.get_or_init(|| Catalogue::standard(&BoundsEnv::default()))
+}
+
+/// A quick mix over the small classes (the big stap scales are the
+/// bench's and the soak test's job), with a fat impossible tier so
+/// the rejection path is exercised too.
+fn small_spec(seed: u64, epochs: u64, mean: f64) -> TrafficSpec {
+    let mut spec = TrafficSpec::poisson(catalogue(), seed, epochs, mean);
+    spec.classes
+        .retain(|c| matches!(c.class.as_str(), "stap-tiny" | "sar-chain-256"));
+    spec.p_impossible = 0.25;
+    spec
+}
+
+#[test]
+fn ten_replays_are_bit_identical() {
+    let cat = catalogue();
+    let traffic = generate(cat, &small_spec(1234, 4, 1.5));
+    assert!(!traffic.sessions.is_empty());
+    let config = ServeConfig::default();
+    let env = BoundsEnv::default();
+    let first = serve(cat, &traffic, &config, &env);
+    let fp = first.fingerprint();
+    assert!(!fp.is_empty());
+    for run in 1..10 {
+        let r = serve(cat, &traffic, &config, &env);
+        assert_eq!(r.fingerprint(), fp, "replay {run} diverged");
+        assert_eq!(r, first, "replay {run}: fingerprint collision");
+    }
+}
+
+#[test]
+fn worker_count_never_changes_the_run() {
+    let cat = catalogue();
+    let traffic = generate(cat, &small_spec(77, 4, 2.0));
+    let env = BoundsEnv::default();
+    let baseline = serve(cat, &traffic, &ServeConfig::default(), &env).fingerprint();
+    for jobs in [2usize, 4] {
+        let config = ServeConfig {
+            jobs,
+            ..ServeConfig::default()
+        };
+        let fp = serve(cat, &traffic, &config, &env).fingerprint();
+        assert_eq!(fp, baseline, "jobs={jobs} diverged from the serial run");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Conservation under arbitrary seeds: exactly one disposition per
+    /// session, ids cover the stream, per-class bytes reconcile.
+    #[test]
+    fn conservation_holds_for_any_seed(seed in 0u64..1_000_000) {
+        let cat = catalogue();
+        let traffic = generate(cat, &small_spec(seed, 3, 1.5));
+        let report = serve(cat, &traffic, &ServeConfig::default(), &BoundsEnv::default());
+        prop_assert_eq!(report.total_sessions(), traffic.sessions.len());
+        if let Err(e) = report.check_conservation(&traffic, cat) {
+            panic!("seed {seed}: conservation violated: {e}");
+        }
+        // Soundness is structural, not statistical.
+        prop_assert!((report.admission_soundness() - 1.0).abs() < f64::EPSILON);
+        // Every terminal rejection carries the MEA3xx proof.
+        for r in &report.rejected {
+            prop_assert!(!r.codes.is_empty());
+        }
+    }
+
+    /// Two fresh runs of the same seed agree bit-for-bit even when the
+    /// seed itself is arbitrary (the fixed-seed test above pins one
+    /// stream; this pins the property).
+    #[test]
+    fn any_seed_replays_identically(seed in 0u64..1_000_000) {
+        let cat = catalogue();
+        let traffic = generate(cat, &small_spec(seed, 3, 1.2));
+        let env = BoundsEnv::default();
+        let a = serve(cat, &traffic, &ServeConfig::default(), &env);
+        let b = serve(cat, &traffic, &ServeConfig::default(), &env);
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+}

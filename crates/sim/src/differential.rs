@@ -207,7 +207,10 @@ fn run_item(item: &TdlItem, rt: &mut Runtime, san: &Sanitizer) {
 
 /// Token-sized parameters for each accelerator: the replay checks the
 /// access protocol, not the dataset, so any well-formed payload works.
-fn plausible_params(kind: AcceleratorKind) -> AccelParams {
+/// Public because every harness that drives a [`Runtime`] from session
+/// text (the serving layer's descriptor batcher included) needs the
+/// same well-formed stand-in payloads.
+pub fn plausible_params(kind: AcceleratorKind) -> AccelParams {
     match kind {
         AcceleratorKind::Axpy => AccelParams::Axpy {
             n: 1024,

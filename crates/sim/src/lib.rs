@@ -16,7 +16,7 @@ pub mod preflight;
 pub mod report;
 pub mod sweep;
 
-pub use differential::{run_sanitizer_experiment, SessionVerdict};
+pub use differential::{plausible_params, run_sanitizer_experiment, SessionVerdict};
 pub use experiment::{
     run_experiment, ExperimentOptions, ExperimentReport, OpComparison, PlatformResult,
 };

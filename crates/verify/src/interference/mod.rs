@@ -91,6 +91,22 @@ pub struct Certification {
     pub bounds: SetBounds,
 }
 
+impl Certification {
+    /// The distinct MEA3xx codes the certifier *proved* (first-seen
+    /// order, deduplicated) — empty for ADMIT and UNKNOWN. Admission
+    /// controllers attach these to every rejection so a shed session
+    /// always names the violation the certificate established.
+    pub fn codes(&self) -> Vec<mealib_types::ErrorCode> {
+        let mut out = Vec::new();
+        for d in self.report.diagnostics() {
+            if !out.contains(&d.code) {
+                out.push(d.code);
+            }
+        }
+        out
+    }
+}
+
 /// Runs the MEA3xx passes over `set` and derives the admission
 /// verdict.
 ///
@@ -270,6 +286,22 @@ PASS in=p out=q {
         assert!(bounds.set.elapsed.lo < mid && mid < bounds.set.elapsed.hi);
         let cert = certify(&CLEAN.replace("BUDGET TIME 10.0", &format!("BUDGET TIME {mid:e}")));
         assert_eq!(cert.verdict, Verdict::Unknown);
+    }
+
+    #[test]
+    fn rejection_codes_are_deduplicated_and_proved() {
+        let cert = certify(CLEAN);
+        assert!(cert.codes().is_empty(), "clean admit carries no codes");
+        let src = CLEAN.replace("BUDGET TIME 10.0", "BUDGET TIME 1e-9");
+        let cert = certify(&src);
+        let codes = cert.codes();
+        assert!(codes.contains(&ErrorCode::InterfereBusOversubscribed));
+        let mut dedup = codes.clone();
+        dedup.dedup();
+        assert_eq!(codes, dedup);
+        for code in codes {
+            assert!(cert.report.has_code(code));
+        }
     }
 
     #[test]

@@ -95,6 +95,47 @@ pub fn sar_loop_session(n: usize, iterations: u64) -> String {
     src
 }
 
+/// Highest address any `BUF` directive in `src` touches — the byte
+/// span a partition slot must cover to contain the session.
+pub fn session_span(src: &str) -> u64 {
+    src.lines()
+        .filter(|l| l.starts_with("BUF "))
+        .map(|l| {
+            let toks: Vec<&str> = l.split_whitespace().collect();
+            let base = u64::from_str_radix(toks[2].trim_start_matches("0x"), 16).unwrap();
+            let len = u64::from_str_radix(toks[3].trim_start_matches("0x"), 16).unwrap();
+            base + len
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Rewrites every `BUF` base in `src` up by `offset`, leaving the rest
+/// of the session untouched — the shift that moves a canonical session
+/// into a tenant's partition slot. The elaborated trace of the shifted
+/// session is the canonical trace with every address raised by
+/// `offset` (requests are issued at extent starts), which is what
+/// makes partition rebasing exact rather than approximate.
+pub fn rebase_session(src: &str, offset: u64) -> String {
+    let mut out = String::new();
+    for line in src.lines() {
+        if let Some(rest) = line.strip_prefix("BUF ") {
+            let toks: Vec<&str> = rest.split_whitespace().collect();
+            let base = u64::from_str_radix(toks[1].trim_start_matches("0x"), 16).unwrap();
+            out.push_str(&format!(
+                "BUF {} 0x{:x} {}\n",
+                toks[0],
+                base + offset,
+                toks[2]
+            ));
+        } else {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
 /// Every evaluation pipeline as a named session, at scales the
 /// soundness harness can replay through both the analyzer and the
 /// cycle engine in a debug-build test run (the exporters themselves
@@ -137,6 +178,28 @@ mod tests {
                 ranges.push((base, len));
             }
             assert!(ranges.len() >= 2, "{name}: expected buffers");
+        }
+    }
+
+    #[test]
+    fn rebase_shifts_only_buf_bases() {
+        for (name, src) in pipeline_sessions() {
+            let off = 1u64 << 24;
+            let shifted = rebase_session(&src, off);
+            assert_eq!(session_span(&shifted), session_span(&src) + off, "{name}");
+            // Everything except the BUF lines is untouched.
+            let strip = |s: &str| {
+                s.lines()
+                    .filter(|l| !l.starts_with("BUF "))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            };
+            assert_eq!(strip(&shifted), strip(&src), "{name}");
+            assert_eq!(
+                rebase_session(&src, 0),
+                src,
+                "{name}: zero shift is identity"
+            );
         }
     }
 

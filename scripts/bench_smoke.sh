@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Bench smoke: run every mealib-bench harness at reduced sizes with
 # --json, validate that each summary parses, and collect the records
-# into a schema-v1 BENCH file (default BENCH_pr8.json) — the
+# into a schema-v1 BENCH file (default BENCH_pr9.json) — the
 # perf-trajectory data point for this PR. Each record carries the
 # harness's wall time as `wall_s`.
 #
@@ -26,12 +26,16 @@
 #   * the admission-control floor: tenant_mix's verdict_correctness
 #     must stay exactly 1 — every ADMIT/REJECT/UNKNOWN verdict the
 #     MEA3xx certifier hands out is confirmed against the interleaved
-#     cycle simulation, baseline or not.
+#     cycle simulation, baseline or not;
+#   * the serving-soundness floor: serve_traffic's admission_soundness
+#     must stay exactly 1 — every session the certified-admission
+#     scheduler completes lands inside the elapsed ceiling its
+#     admission proved, baseline or not.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_pr8.json}"
-BASE="${BASE:-BENCH_pr7.json}"
+OUT="${1:-BENCH_pr9.json}"
+BASE="${BASE:-BENCH_pr8.json}"
 JQ="$(command -v jq || true)"
 
 echo "==> cargo build --release -p mealib-bench --bins"
@@ -51,6 +55,7 @@ BINS=(
   methodology_validation
   engine_throughput
   tenant_mix
+  serve_traffic
 )
 
 tmpdir="$(mktemp -d)"
@@ -164,7 +169,8 @@ fi
 # The dual-engine speedup is an absolute floor, not a trajectory
 # comparison, so it gates even without a baseline (self-compare).
 MIN_FLOORS=(--min "engine_throughput.fast_over_cycle=5"
-            --min "tenant_mix.verdict_correctness=1")
+            --min "tenant_mix.verdict_correctness=1"
+            --min "serve_traffic.admission_soundness=1")
 if [[ -f "$BASE" && "$BASE" != "$OUT" ]]; then
   echo "==> meaperf $BASE $OUT (modeled metrics gate hard; wall report-only; floors)"
   ./target/release/meaperf --wall-report-only "${MIN_FLOORS[@]}" "$BASE" "$OUT" \

@@ -10,6 +10,7 @@ pub use mealib_kernels as kernels;
 pub use mealib_memsim as memsim;
 pub use mealib_noc as noc;
 pub use mealib_runtime as runtime;
+pub use mealib_serve as serve;
 pub use mealib_sim as sim;
 pub use mealib_tdl as tdl;
 pub use mealib_types as types;
