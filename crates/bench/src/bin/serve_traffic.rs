@@ -11,12 +11,24 @@
 //! then violates is not faster, it is wrong.
 //!
 //! Extra flags (unknown to the shared harness, parsed here):
-//! `--seed <n>`, `--mix poisson|diurnal`, `--epochs <n>`.
+//! `--seed <n>`, `--mix poisson|diurnal`, `--epochs <n>`,
+//! `--telemetry <prefix>` — run with live telemetry and write
+//! `<prefix>.prom` (Prometheus exposition), `<prefix>.snapshots.jsonl`
+//! (per-epoch counter deltas + sketch summaries),
+//! `<prefix>.trace.json` (per-session lifecycle trace, Perfetto
+//! loadable), and `<prefix>.alerts.jsonl` (structured SLO /
+//! bounds-escape alerts). With telemetry the per-class percentiles in
+//! the JSON summary come from the streaming sketches; without it the
+//! run is byte-identical to the pre-telemetry harness.
 
 use std::time::Instant;
 
 use mealib_bench::{banner, section, HarnessOpts, JsonSummary};
-use mealib_serve::{generate, serve, ArrivalMix, Catalogue, ServeConfig, TrafficSpec};
+use mealib_obs::{validate_exposition, AlertKind, Obs};
+use mealib_serve::{
+    generate, serve, serve_with_telemetry, ArrivalMix, Catalogue, ServeConfig, TelemetryConfig,
+    TrafficSpec,
+};
 use mealib_sim::TextTable;
 use mealib_verify::BoundsEnv;
 
@@ -26,6 +38,7 @@ struct ServeArgs {
     seed: u64,
     mix: String,
     epochs: Option<u64>,
+    telemetry: Option<String>,
 }
 
 fn serve_args() -> ServeArgs {
@@ -33,6 +46,7 @@ fn serve_args() -> ServeArgs {
         seed: 42,
         mix: "poisson".into(),
         epochs: None,
+        telemetry: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -49,6 +63,9 @@ fn serve_args() -> ServeArgs {
             }
             "--epochs" => {
                 out.epochs = args.next().and_then(|v| v.parse().ok());
+            }
+            "--telemetry" => {
+                out.telemetry = args.next();
             }
             _ => {}
         }
@@ -101,7 +118,14 @@ fn main() {
     };
     section("serving the stream");
     let t0 = Instant::now();
-    let report = serve(&catalogue, &traffic, &config, &env);
+    let (report, telemetry) = if extra.telemetry.is_some() {
+        let tcfg = TelemetryConfig::standard(&catalogue);
+        let (report, tele) =
+            serve_with_telemetry(&catalogue, &traffic, &config, &env, &Obs::off(), &tcfg);
+        (report, Some(tele))
+    } else {
+        (serve(&catalogue, &traffic, &config, &env), None)
+    };
     let wall_s = t0.elapsed().as_secs_f64();
 
     let mut table = TextTable::new(vec![
@@ -148,6 +172,36 @@ fn main() {
         .filter(|r| !r.codes.is_empty())
         .count();
 
+    if let (Some(prefix), Some(tele)) = (&extra.telemetry, &telemetry) {
+        section("telemetry");
+        tele.reconcile(&report)
+            .expect("serve_traffic: telemetry must reconcile with the exact ledger");
+        let exposition = tele.prometheus();
+        let summary =
+            validate_exposition(&exposition).expect("serve_traffic: exposition must validate");
+        std::fs::write(format!("{prefix}.prom"), &exposition)
+            .expect("serve_traffic: write exposition");
+        std::fs::write(format!("{prefix}.snapshots.jsonl"), tele.snapshots_jsonl())
+            .expect("serve_traffic: write snapshots");
+        std::fs::write(format!("{prefix}.trace.json"), tele.chrome_trace())
+            .expect("serve_traffic: write lifecycle trace");
+        std::fs::write(format!("{prefix}.alerts.jsonl"), tele.alerts_jsonl())
+            .expect("serve_traffic: write alerts");
+        println!(
+            "exposition: {} families, {} samples; {} snapshots; {} lifecycle events; \
+             {} alerts ({} bounds escapes); slo_conformance {:.3}, \
+             certified_bounds_conformance {:.3}",
+            summary.families,
+            summary.samples,
+            tele.snapshots.len(),
+            tele.profile.intervals.len(),
+            tele.alerts.len(),
+            tele.alert_count(AlertKind::BoundsEscape),
+            tele.slo_conformance,
+            tele.certified_bounds_conformance(),
+        );
+    }
+
     let mut summary = JsonSummary::new("serve_traffic");
     summary.metric("sessions", traffic.sessions.len() as f64);
     summary.metric("completed", report.completed.len() as f64);
@@ -170,9 +224,37 @@ fn main() {
     summary.metric("serve_wall_s", wall_s);
     for (class, s) in &class_stats {
         let key = class.replace('-', "_");
-        summary.metric(&format!("{key}_p50_s"), s.p50_s);
-        summary.metric(&format!("{key}_p95_s"), s.p95_s);
-        summary.metric(&format!("{key}_p99_s"), s.p99_s);
+        // With telemetry the percentiles come from the streaming
+        // sketch (within its documented 1% relative bound of the
+        // exact nearest-rank values the plain path reports).
+        let (p50, p95, p99) = telemetry
+            .as_ref()
+            .and_then(|t| t.class_percentiles(class))
+            .unwrap_or((s.p50_s, s.p95_s, s.p99_s));
+        summary.metric(&format!("{key}_p50_s"), p50);
+        summary.metric(&format!("{key}_p95_s"), p95);
+        summary.metric(&format!("{key}_p99_s"), p99);
+    }
+    if let Some(tele) = &telemetry {
+        summary.metric("slo_conformance", tele.slo_conformance);
+        summary.metric(
+            "certified_bounds_conformance",
+            tele.certified_bounds_conformance(),
+        );
+        summary.metric("slo_evaluations", tele.slo_evaluations as f64);
+        summary.metric(
+            "slo_burn_alerts",
+            tele.alert_count(AlertKind::SloBurn) as f64,
+        );
+        summary.metric(
+            "bounds_escape_alerts",
+            tele.alert_count(AlertKind::BoundsEscape) as f64,
+        );
+        summary.metric("telemetry_snapshots", tele.snapshots.len() as f64);
+        summary.metric(
+            "telemetry_sketch_buckets",
+            tele.registry.total_buckets() as f64,
+        );
     }
     summary.emit(&opts);
 

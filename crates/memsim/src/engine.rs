@@ -243,6 +243,13 @@ pub struct TenantStats {
     pub cycles: Cycles,
     /// `cycles` in wall-clock time.
     pub elapsed: mealib_types::Seconds,
+    /// Completion cycle of the tenant's *first* burst (zero when the
+    /// tenant issued no bursts). With `cycles` this brackets the
+    /// tenant's busy window; the serving telemetry marks it on the
+    /// lifecycle trace as time-to-first-burst.
+    pub first_cycles: Cycles,
+    /// `first_cycles` in wall-clock time.
+    pub first_elapsed: mealib_types::Seconds,
     /// Modeled energy attributed to this tenant (activations + bytes +
     /// background power over its completion window).
     pub energy: mealib_types::Joules,
@@ -752,6 +759,10 @@ pub(crate) struct TenantAccum {
     pub(crate) activations: u64,
     /// Completion cycle of the tenant's last burst on this unit.
     pub(crate) last_done: u64,
+    /// Completion cycle of the tenant's first burst on this unit
+    /// (zero = the tenant never issued here; a serviced burst always
+    /// completes after cycle zero, so zero is a safe sentinel).
+    pub(crate) first_done: u64,
 }
 
 impl TenantAccum {
@@ -762,6 +773,16 @@ impl TenantAccum {
         self.write_bursts += other.write_bursts;
         self.activations += other.activations;
         self.last_done = self.last_done.max(other.last_done);
+        // First-burst completion is a min over units that saw the
+        // tenant at all — commutative, so sharded merges stay
+        // bit-exact.
+        if other.first_done != 0 {
+            self.first_done = if self.first_done == 0 {
+                other.first_done
+            } else {
+                self.first_done.min(other.first_done)
+            };
+        }
     }
 }
 
@@ -841,6 +862,9 @@ impl UnitEngine {
             acc.write_bursts += self.vault.write_bursts - vault_before.write_bursts;
             acc.activations += self.vault.activations - vault_before.activations;
             acc.last_done = acc.last_done.max(done);
+            if acc.first_done == 0 {
+                acc.first_done = done;
+            }
         }
         if self.timeline.is_none() {
             return;
@@ -999,6 +1023,7 @@ pub(crate) fn finish_run(config: &MemoryConfig, units: Vec<UnitEngine>) -> Engin
                 config
                     .energy
                     .trace_energy(a.activations, a.bytes_read + a.bytes_written, elapsed);
+            let first_cycles = Cycles::new(a.first_done);
             TenantStats {
                 bytes_read: Bytes::new(a.bytes_read),
                 bytes_written: Bytes::new(a.bytes_written),
@@ -1007,6 +1032,8 @@ pub(crate) fn finish_run(config: &MemoryConfig, units: Vec<UnitEngine>) -> Engin
                 activations: a.activations,
                 cycles,
                 elapsed,
+                first_cycles,
+                first_elapsed: first_cycles.at(hz),
                 energy,
             }
         })

@@ -226,6 +226,32 @@ mod tests {
         }
     }
 
+    /// The time-to-first-burst stat the serving telemetry marks: a
+    /// busy tenant's first completion lands inside its busy window
+    /// (`0 < first <= last`), an idle tenant reports the zero
+    /// sentinel, and the min-merge across engine shards keeps the
+    /// stat identical between fast and cycle replays (dual-check).
+    #[test]
+    fn first_burst_brackets_the_busy_window() {
+        let c = MemoryConfig::hmc_stack();
+        let s = streams();
+        let run = simulate_tenants(&c, &s, &SimOptions::dual_check()).unwrap();
+        for (i, t) in run.tenants.iter().enumerate() {
+            assert!(t.first_cycles.get() > 0, "tenant {i} issued bursts");
+            assert!(t.first_cycles.get() <= t.cycles.get(), "tenant {i}");
+            assert!(t.first_elapsed.get() > 0.0, "tenant {i}");
+            assert!(t.first_elapsed.get() <= t.elapsed.get(), "tenant {i}");
+        }
+        // An idle tenant never sees a first burst: the sentinel stays.
+        let with_idle = vec![
+            TenantStream::new(sequential_trace(0, 4096, 64, Op::Read)),
+            TenantStream::new(TraceBuffer::new()),
+        ];
+        let run = simulate_tenants(&c, &with_idle, &SimOptions::default()).unwrap();
+        assert_eq!(run.tenants[1].first_cycles.get(), 0);
+        assert_eq!(run.tenants[1].first_elapsed.get(), 0.0);
+    }
+
     #[test]
     fn empty_streams_report_default_slices() {
         let c = MemoryConfig::hmc_stack();

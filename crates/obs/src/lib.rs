@@ -38,13 +38,19 @@
 pub mod attribution;
 pub mod bench_schema;
 pub mod json;
+pub mod metrics;
 pub mod profile;
 pub mod quantiles;
+pub mod sketch;
+pub mod slo;
 pub mod timeline;
 
 pub use attribution::{Attribution, Bound, BoundWindow, Roofline};
 pub use bench_schema::{BenchRecord, BenchSummary, BENCH_SCHEMA_VERSION};
+pub use metrics::{validate_exposition, ExpositionSummary, MetricKey, MetricsRegistry};
 pub use profile::{validate_chrome_trace, IntervalEvent, Profile, TimelineTrack};
+pub use sketch::QuantileSketch;
+pub use slo::{Alert, AlertKind, Objective, ObjectiveKind, SloEngine, WindowObs};
 pub use timeline::{Timeline, WindowCounters};
 
 use mealib_types::{Joules, Seconds};

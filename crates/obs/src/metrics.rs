@@ -1,0 +1,553 @@
+//! A labeled metrics registry with Prometheus-style text exposition
+//! and JSON snapshots.
+//!
+//! [`MetricsRegistry`] holds three metric kinds, all keyed by
+//! `(name, sorted label pairs)`:
+//!
+//! * **counters** — cumulative `u64` event counts (merge adds);
+//! * **gauges** — point-in-time `f64` values (merge takes the other
+//!   side's value, last-write-wins);
+//! * **histograms** — [`QuantileSketch`]es (merge folds bucket
+//!   counts; see [`crate::sketch`] for the bit-exact commutativity
+//!   argument).
+//!
+//! Everything is `BTreeMap`-ordered, so both exporters emit
+//! byte-identical text for equal registries — the property the
+//! serving telemetry's determinism harness pins down. The exporters:
+//!
+//! * [`MetricsRegistry::to_prometheus`] — the text exposition format
+//!   (`# HELP` / `# TYPE` comments, then `name{labels} value`
+//!   samples; histograms render as Prometheus *summaries* with
+//!   `quantile`-labeled samples plus `_sum`/`_count`);
+//! * [`MetricsRegistry::snapshot_json`] — one JSON object through the
+//!   dependency-free [`crate::json`] builder, for per-epoch JSONL
+//!   snapshot streams.
+//!
+//! [`validate_exposition`] is the round-trip checker the bench
+//! harness runs over emitted exposition text.
+
+use std::collections::BTreeMap;
+
+use crate::json::Object;
+use crate::sketch::QuantileSketch;
+
+/// A metric identity: name plus sorted label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric name (`[a-zA-Z_][a-zA-Z0-9_]*`).
+    pub name: String,
+    /// Label pairs, sorted by key.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    /// Builds a key, sorting the label pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid metric name or label key (exposition
+    /// syntax restricts both to `[a-zA-Z_][a-zA-Z0-9_]*`).
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| {
+                assert!(valid_name(k), "invalid label key {k:?}");
+                ((*k).to_string(), (*v).to_string())
+            })
+            .collect();
+        labels.sort();
+        Self {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// Renders the label block (`{k="v",...}`), empty for no labels;
+    /// `extra` appends one more pair (used for `quantile` labels).
+    fn label_block(&self, extra: Option<(&str, &str)>) -> String {
+        let mut pairs: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+            .collect();
+        if let Some((k, v)) = extra {
+            pairs.push(format!("{k}=\"{}\"", escape_label(v)));
+        }
+        if pairs.is_empty() {
+            String::new()
+        } else {
+            format!("{{{}}}", pairs.join(","))
+        }
+    }
+
+    /// The flat `name{k="v",...}` form used as a JSON snapshot key.
+    pub fn flat(&self) -> String {
+        format!("{}{}", self.name, self.label_block(None))
+    }
+}
+
+fn valid_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Formats a sample value: integers exactly, floats via the shortest
+/// round-trip form.
+fn fmt_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v}")
+    } else {
+        format!("{v:e}")
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Summary,
+}
+
+impl Kind {
+    fn label(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Summary => "summary",
+        }
+    }
+}
+
+/// The labeled metrics registry (see the module docs).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsRegistry {
+    /// `# HELP` text per metric name.
+    help: BTreeMap<String, String>,
+    /// Metric kind per name — one name, one kind.
+    kinds: BTreeMap<String, Kind>,
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, f64>,
+    histograms: BTreeMap<MetricKey, QuantileSketch>,
+    /// Relative accuracy for histograms created through [`Self::observe`].
+    alpha: f64,
+}
+
+impl MetricsRegistry {
+    /// An empty registry with the default sketch accuracy (1%).
+    pub fn new() -> Self {
+        Self::with_alpha(QuantileSketch::DEFAULT_ALPHA)
+    }
+
+    /// An empty registry whose histograms use relative accuracy
+    /// `alpha`.
+    pub fn with_alpha(alpha: f64) -> Self {
+        Self {
+            alpha,
+            ..Self::default()
+        }
+    }
+
+    /// The histogram sketch accuracy.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Sets the `# HELP` text for a metric name.
+    pub fn describe(&mut self, name: &str, help: &str) {
+        self.help.insert(name.to_string(), help.to_string());
+    }
+
+    fn claim(&mut self, name: &str, kind: Kind) {
+        let prev = *self.kinds.entry(name.to_string()).or_insert(kind);
+        assert!(
+            prev == kind,
+            "metric {name} already registered as {} (now used as {})",
+            prev.label(),
+            kind.label()
+        );
+    }
+
+    /// Adds `delta` to a counter (creating it at zero).
+    pub fn add(&mut self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        self.claim(name, Kind::Counter);
+        *self
+            .counters
+            .entry(MetricKey::new(name, labels))
+            .or_insert(0) += delta;
+    }
+
+    /// Adds 1 to a counter.
+    pub fn inc(&mut self, name: &str, labels: &[(&str, &str)]) {
+        self.add(name, labels, 1);
+    }
+
+    /// Overwrites a counter with an absolute cumulative value (for
+    /// exporting externally-maintained counters, e.g. runtime plan
+    /// statistics).
+    pub fn store(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.claim(name, Kind::Counter);
+        self.counters.insert(MetricKey::new(name, labels), value);
+    }
+
+    /// Reads a counter (zero if never touched).
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.counters
+            .get(&MetricKey::new(name, labels))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sets a gauge.
+    pub fn set_gauge(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.claim(name, Kind::Gauge);
+        self.gauges.insert(MetricKey::new(name, labels), value);
+    }
+
+    /// Reads a gauge, `None` if never set.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.gauges.get(&MetricKey::new(name, labels)).copied()
+    }
+
+    /// Records one observation into a histogram (creating its sketch
+    /// with the registry's `alpha` on first use).
+    pub fn observe(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.claim(name, Kind::Summary);
+        let alpha = self.alpha;
+        self.histograms
+            .entry(MetricKey::new(name, labels))
+            .or_insert_with(|| QuantileSketch::new(alpha))
+            .record(value);
+    }
+
+    /// The sketch behind a histogram, if populated.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&QuantileSketch> {
+        self.histograms.get(&MetricKey::new(name, labels))
+    }
+
+    /// Iterates all histogram entries.
+    pub fn histograms(&self) -> impl Iterator<Item = (&MetricKey, &QuantileSketch)> {
+        self.histograms.iter()
+    }
+
+    /// Iterates all counter entries.
+    pub fn counters(&self) -> impl Iterator<Item = (&MetricKey, u64)> {
+        self.counters.iter().map(|(k, v)| (k, *v))
+    }
+
+    /// Total occupied sketch buckets across every histogram: the
+    /// registry's only sample-dependent memory, which the soak test
+    /// bounds by O(classes × buckets).
+    pub fn total_buckets(&self) -> usize {
+        self.histograms
+            .values()
+            .map(QuantileSketch::buckets_used)
+            .sum()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds `other` into `self`: counters add, gauges take `other`'s
+    /// value, histograms merge sketches.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, help) in &other.help {
+            self.help
+                .entry(name.clone())
+                .or_insert_with(|| help.clone());
+        }
+        for (name, kind) in &other.kinds {
+            self.claim(name, *kind);
+        }
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, s) in &other.histograms {
+            self.histograms
+                .entry(k.clone())
+                .or_insert_with(|| QuantileSketch::new(s.alpha()))
+                .merge(s);
+        }
+    }
+
+    /// Renders the registry in the Prometheus text exposition format.
+    /// Deterministic: metric families appear in name order, samples in
+    /// label order.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, kind) in &self.kinds {
+            let mut family = String::new();
+            match kind {
+                Kind::Counter => {
+                    for (k, v) in self.counters.iter().filter(|(k, _)| &k.name == name) {
+                        family.push_str(&format!("{}{} {v}\n", k.name, k.label_block(None)));
+                    }
+                }
+                Kind::Gauge => {
+                    for (k, v) in self.gauges.iter().filter(|(k, _)| &k.name == name) {
+                        family.push_str(&format!(
+                            "{}{} {}\n",
+                            k.name,
+                            k.label_block(None),
+                            fmt_value(*v)
+                        ));
+                    }
+                }
+                Kind::Summary => {
+                    for (k, s) in self.histograms.iter().filter(|(k, _)| &k.name == name) {
+                        if let Some((p50, p95, p99)) = s.p50_p95_p99() {
+                            for (q, v) in [("0.5", p50), ("0.95", p95), ("0.99", p99)] {
+                                family.push_str(&format!(
+                                    "{}{} {}\n",
+                                    k.name,
+                                    k.label_block(Some(("quantile", q))),
+                                    fmt_value(v)
+                                ));
+                            }
+                        }
+                        family.push_str(&format!(
+                            "{}_sum{} {}\n",
+                            k.name,
+                            k.label_block(None),
+                            fmt_value(s.sum())
+                        ));
+                        family.push_str(&format!(
+                            "{}_count{} {}\n",
+                            k.name,
+                            k.label_block(None),
+                            s.count()
+                        ));
+                    }
+                }
+            }
+            if family.is_empty() {
+                continue;
+            }
+            if let Some(help) = self.help.get(name) {
+                out.push_str(&format!("# HELP {name} {help}\n"));
+            }
+            out.push_str(&format!("# TYPE {name} {}\n", kind.label()));
+            out.push_str(&family);
+        }
+        out
+    }
+
+    /// Renders the registry as one JSON object:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`
+    /// with flat `name{k="v"}` keys. Histogram values are the sketch
+    /// objects from [`QuantileSketch::to_json`].
+    pub fn snapshot_json(&self) -> String {
+        let mut counters = Object::new();
+        for (k, v) in &self.counters {
+            counters.int(&k.flat(), *v);
+        }
+        let mut gauges = Object::new();
+        for (k, v) in &self.gauges {
+            gauges.num(&k.flat(), *v);
+        }
+        let mut hists = Object::new();
+        for (k, s) in &self.histograms {
+            hists.raw(&k.flat(), s.to_json());
+        }
+        let mut root = Object::new();
+        root.raw("counters", counters.render());
+        root.raw("gauges", gauges.render());
+        root.raw("histograms", hists.render());
+        root.render()
+    }
+}
+
+/// Summary returned by a successful [`validate_exposition`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpositionSummary {
+    /// Metric families (`# TYPE` lines).
+    pub families: usize,
+    /// Sample lines.
+    pub samples: usize,
+}
+
+/// Validates Prometheus text exposition: every sample line parses as
+/// `name{labels} value`, every sample's family has a preceding
+/// `# TYPE`, and every value is a finite float.
+///
+/// # Errors
+///
+/// Returns a description of the first violation found.
+pub fn validate_exposition(text: &str) -> Result<ExpositionSummary, String> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut samples = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.splitn(2, ' ');
+            let name = parts.next().unwrap_or_default();
+            let kind = parts.next().ok_or(format!("line {i}: TYPE without kind"))?;
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "summary" | "histogram" | "untyped"
+            ) {
+                return Err(format!("line {i}: unknown metric type {kind:?}"));
+            }
+            types.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        // Sample: name[{labels}] value
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or(format!("line {i}: sample without value: {line:?}"))?;
+        let v: f64 = value
+            .parse()
+            .map_err(|_| format!("line {i}: unparseable value {value:?}"))?;
+        if !v.is_finite() {
+            return Err(format!("line {i}: non-finite sample value {value}"));
+        }
+        let name = series.split('{').next().unwrap_or_default();
+        if let Some(open) = series.find('{') {
+            if !series.ends_with('}') {
+                return Err(format!("line {i}: unterminated label block: {line:?}"));
+            }
+            let block = &series[open + 1..series.len() - 1];
+            for pair in block.split(',') {
+                let (k, val) = pair
+                    .split_once('=')
+                    .ok_or(format!("line {i}: malformed label {pair:?}"))?;
+                if !valid_name(k) {
+                    return Err(format!("line {i}: invalid label key {k:?}"));
+                }
+                if !(val.starts_with('"') && val.ends_with('"') && val.len() >= 2) {
+                    return Err(format!("line {i}: unquoted label value {val:?}"));
+                }
+            }
+        }
+        // `_sum`/`_count` samples belong to their summary family.
+        let family = name
+            .strip_suffix("_sum")
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|base| types.contains_key(*base))
+            .unwrap_or(name);
+        if !types.contains_key(family) {
+            return Err(format!("line {i}: sample {name} has no # TYPE declaration"));
+        }
+        samples += 1;
+    }
+    Ok(ExpositionSummary {
+        families: types.len(),
+        samples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.describe("serve_admitted_total", "sessions admitted");
+        reg.add("serve_admitted_total", &[("class", "stap-tiny")], 3);
+        reg.inc("serve_admitted_total", &[("class", "sar-chain-256")]);
+        reg.set_gauge("serve_queue_depth", &[], 7.0);
+        for i in 1..=100u64 {
+            reg.observe(
+                "serve_service_seconds",
+                &[("class", "stap-tiny")],
+                i as f64 * 1e-4,
+            );
+        }
+        reg
+    }
+
+    #[test]
+    fn exposition_round_trips_through_the_validator() {
+        let reg = sample_registry();
+        let text = reg.to_prometheus();
+        let summary = validate_exposition(&text).expect("valid exposition");
+        assert_eq!(summary.families, 3);
+        // 2 counter samples + 1 gauge + (3 quantiles + sum + count).
+        assert_eq!(summary.samples, 8);
+        assert!(text.contains("# TYPE serve_admitted_total counter"));
+        assert!(text.contains("serve_admitted_total{class=\"stap-tiny\"} 3"));
+        assert!(text.contains("serve_service_seconds{class=\"stap-tiny\",quantile=\"0.99\"}"));
+        assert!(text.contains("serve_service_seconds_count{class=\"stap-tiny\"} 100"));
+    }
+
+    #[test]
+    fn snapshot_json_parses_and_reads_back() {
+        let reg = sample_registry();
+        let v = crate::json::parse(&reg.snapshot_json()).expect("snapshot parses");
+        let counters = v.get("counters").expect("counters");
+        assert_eq!(
+            counters
+                .get("serve_admitted_total{class=\"stap-tiny\"}")
+                .and_then(|x| x.as_f64()),
+            Some(3.0)
+        );
+        let hists = v.get("histograms").expect("histograms");
+        let sketch = hists
+            .get("serve_service_seconds{class=\"stap-tiny\"}")
+            .expect("sketch");
+        assert_eq!(sketch.get("count").and_then(|x| x.as_f64()), Some(100.0));
+    }
+
+    #[test]
+    fn merge_adds_counters_and_folds_sketches() {
+        let mut a = sample_registry();
+        let b = sample_registry();
+        a.merge(&b);
+        assert_eq!(
+            a.counter("serve_admitted_total", &[("class", "stap-tiny")]),
+            6
+        );
+        assert_eq!(
+            a.histogram("serve_service_seconds", &[("class", "stap-tiny")])
+                .unwrap()
+                .count(),
+            200
+        );
+        assert_eq!(a.gauge("serve_queue_depth", &[]), Some(7.0));
+    }
+
+    #[test]
+    fn equal_registries_render_byte_identically() {
+        let a = sample_registry();
+        let b = sample_registry();
+        assert_eq!(a.to_prometheus(), b.to_prometheus());
+        assert_eq!(a.snapshot_json(), b.snapshot_json());
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn one_name_cannot_be_two_kinds() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc("x_total", &[]);
+        reg.set_gauge("x_total", &[], 1.0);
+    }
+
+    #[test]
+    fn validator_rejects_undeclared_and_malformed_samples() {
+        assert!(validate_exposition("x 1\n").is_err(), "no TYPE");
+        assert!(validate_exposition("# TYPE x counter\nx nope\n").is_err());
+        assert!(validate_exposition("# TYPE x counter\nx{k=\"v\" 1\n").is_err());
+        assert!(validate_exposition("# TYPE x counter\nx{k=v} 1\n").is_err());
+        assert!(validate_exposition("# TYPE x counter\nx 1\n").is_ok());
+    }
+}

@@ -11,6 +11,21 @@
 //! also matches the rank rule of `mealib-memsim`'s
 //! `LatencyHistogram::quantile_bound`, so histogram-bucketed and
 //! exact-sample percentiles agree on which observation they select.
+//!
+//! **Empty-sample semantics.** Both helpers return `Option`: an empty
+//! sample is `None`, *never* `0.0`. The distinction is load-bearing
+//! for the SLO engine ([`crate::slo`]) — a window with no completions
+//! must be *skipped*, not scored as "zero latency" (which would
+//! trivially pass every latency objective and silently inflate
+//! conformance). [`crate::sketch::QuantileSketch::quantile`] follows
+//! the same contract.
+//!
+//! **NaN semantics.** NaN is rejected, not propagated: the stack only
+//! produces finite modeled times, so a NaN sample is a caller bug and
+//! [`p50_p95_p99`] panics on it rather than returning a NaN that
+//! would poison every downstream comparison (`NaN > threshold` is
+//! `false`, so a poisoned percentile would silently *pass* SLO
+//! checks).
 
 /// The `q`-th nearest-rank quantile of `sorted` (ascending). Returns
 /// `None` on an empty sample.
@@ -86,5 +101,30 @@ mod tests {
         let unsorted = [3.0, 1.0, 2.0, 5.0, 4.0];
         assert_eq!(p50_p95_p99(&unsorted), Some((3.0, 5.0, 5.0)));
         assert_eq!(p50_p95_p99(&[]), None);
+    }
+
+    #[test]
+    fn no_data_is_none_never_zero() {
+        // Regression: the SLO engine distinguishes "no completions"
+        // (None — skip the window) from "all completions instant"
+        // (Some(0.0) — evaluate it). Conflating them would score empty
+        // windows as passing every latency objective.
+        assert_eq!(nearest_rank(&[], 0.99), None);
+        assert_eq!(p50_p95_p99(&[]), None);
+        let zeros = [0.0, 0.0, 0.0];
+        assert_eq!(nearest_rank(&zeros, 0.99), Some(0.0));
+        assert_eq!(p50_p95_p99(&zeros), Some((0.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_samples_panic_instead_of_poisoning_percentiles() {
+        p50_p95_p99(&[1.0, f64::NAN, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0, 1]")]
+    fn out_of_range_quantiles_panic() {
+        nearest_rank(&[1.0], 1.5);
     }
 }

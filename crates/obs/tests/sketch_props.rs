@@ -1,0 +1,149 @@
+//! Property tests for the telemetry quantile sketch: the documented
+//! relative-error bound holds for arbitrary streams, merge is
+//! commutative bit-exactly, sharded folds reproduce the sequential
+//! quantiles, and registry merges are order-insensitive.
+
+use mealib_obs::quantiles::nearest_rank;
+use mealib_obs::{MetricsRegistry, QuantileSketch};
+use proptest::prelude::*;
+
+/// Positive values spanning nanoseconds to kiloseconds — the dynamic
+/// range the serving telemetry actually streams — plus exact zeros
+/// (one draw in nine). Exponents are sampled in millibels because the
+/// vendored proptest only strategizes integer ranges.
+fn value_strategy() -> impl Strategy<Value = f64> {
+    (0u64..9, -9000i64..3000).prop_map(|(zero, millibels)| {
+        if zero == 0 {
+            0.0
+        } else {
+            10f64.powf(millibels as f64 / 1000.0)
+        }
+    })
+}
+
+fn stream_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(value_strategy(), 1..300)
+}
+
+/// Quantiles on a 1/1000 grid over [0, 1].
+fn q_strategy() -> impl Strategy<Value = f64> {
+    (0u64..=1000).prop_map(|n| n as f64 / 1000.0)
+}
+
+/// The documented bound with a few-ulp slack for `ln`/`exp` rounding
+/// at bucket boundaries (mirrors the sketch's own unit tests).
+fn within_bound(sketch: f64, exact: f64, alpha: f64) -> bool {
+    if exact <= QuantileSketch::MIN_VALUE {
+        return sketch == 0.0;
+    }
+    (sketch - exact).abs() <= alpha * exact * (1.0 + 1e-9) + 1e-12
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// |q_sketch - q_exact| <= alpha * q_exact for every quantile of
+    /// every stream, against the exact nearest-rank reference.
+    #[test]
+    fn quantiles_within_documented_bound(
+        values in stream_strategy(),
+        q in q_strategy(),
+    ) {
+        let mut sketch = QuantileSketch::default();
+        for &v in &values {
+            sketch.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        let exact = nearest_rank(&sorted, q).unwrap();
+        let approx = sketch.quantile(q).unwrap();
+        prop_assert!(
+            within_bound(approx, exact, sketch.alpha()),
+            "q={q}: sketch {approx} vs exact {exact} over {} values",
+            values.len()
+        );
+    }
+
+    /// merge(a, b) == merge(b, a) bit-exactly: equal bucket maps, equal
+    /// sum bits, equal rendered JSON.
+    #[test]
+    fn merge_commutes_bit_exactly(
+        xs in stream_strategy(),
+        ys in stream_strategy(),
+    ) {
+        let mut a = QuantileSketch::default();
+        for &v in &xs {
+            a.record(v);
+        }
+        let mut b = QuantileSketch::default();
+        for &v in &ys {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.sum().to_bits(), ba.sum().to_bits());
+        prop_assert_eq!(ab.to_json(), ba.to_json());
+    }
+
+    /// Sharding a stream and folding the shards in either order yields
+    /// the sequential sketch's quantiles bit-exactly: quantiles depend
+    /// only on bucket counts, which add associatively in u64.
+    #[test]
+    fn sharded_folds_match_sequential_quantiles(
+        values in stream_strategy(),
+        shards in 1usize..5,
+        q in q_strategy(),
+    ) {
+        let mut sequential = QuantileSketch::default();
+        let mut parts = vec![QuantileSketch::default(); shards];
+        for (i, &v) in values.iter().enumerate() {
+            sequential.record(v);
+            parts[i % shards].record(v);
+        }
+        let mut forward = QuantileSketch::default();
+        for p in &parts {
+            forward.merge(p);
+        }
+        let mut reverse = QuantileSketch::default();
+        for p in parts.iter().rev() {
+            reverse.merge(p);
+        }
+        let seq_q = sequential.quantile(q).unwrap();
+        prop_assert_eq!(forward.quantile(q).unwrap().to_bits(), seq_q.to_bits());
+        prop_assert_eq!(reverse.quantile(q).unwrap().to_bits(), seq_q.to_bits());
+        prop_assert_eq!(forward.count(), sequential.count());
+        prop_assert_eq!(forward.buckets_used(), sequential.buckets_used());
+    }
+
+    /// Registry merges commute on the exposition text: two registries
+    /// with overlapping counter/histogram keys render identically
+    /// whichever way they are folded.
+    #[test]
+    fn registry_merge_is_order_insensitive(
+        xs in stream_strategy(),
+        ys in stream_strategy(),
+        n in 0u64..1000,
+    ) {
+        let build = |values: &[f64], count: u64| {
+            let mut reg = MetricsRegistry::new();
+            reg.describe("test_service_seconds", "service time");
+            reg.describe("test_total", "events");
+            for &v in values {
+                reg.observe("test_service_seconds", &[("class", "a")], v);
+            }
+            reg.add("test_total", &[("class", "a")], count);
+            reg
+        };
+        let ra = build(&xs, n);
+        let rb = build(&ys, 1000 - n);
+        let mut ab = ra.clone();
+        ab.merge(&rb);
+        let mut ba = rb.clone();
+        ba.merge(&ra);
+        prop_assert_eq!(ab.to_prometheus(), ba.to_prometheus());
+        prop_assert_eq!(ab.counter("test_total", &[("class", "a")]), 1000);
+    }
+}

@@ -209,6 +209,45 @@ pub struct RuntimeCounters {
     pub plan_cache_hits: u64,
 }
 
+impl RuntimeCounters {
+    /// Exports every counter into a metrics registry under the
+    /// `runtime_` prefix (absolute values — these are cumulative
+    /// already).
+    pub fn export_into(&self, reg: &mut mealib_obs::MetricsRegistry) {
+        let pairs: [(&str, &str, u64); 5] = [
+            (
+                "runtime_plans_created_total",
+                "Plans created",
+                self.plans_created,
+            ),
+            (
+                "runtime_plans_destroyed_total",
+                "Plans destroyed",
+                self.plans_destroyed,
+            ),
+            (
+                "runtime_executions_total",
+                "acc_execute calls",
+                self.executions,
+            ),
+            (
+                "runtime_invocations_total",
+                "Dynamic accelerator invocations",
+                self.invocations,
+            ),
+            (
+                "runtime_plan_cache_hits_total",
+                "Plan-cache hits",
+                self.plan_cache_hits,
+            ),
+        ];
+        for (name, help, value) in pairs {
+            reg.describe(name, help);
+            reg.store(name, &[], value);
+        }
+    }
+}
+
 /// Default capacity of the plan cache (entries).
 pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 128;
 

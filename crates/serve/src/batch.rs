@@ -100,6 +100,24 @@ impl DescriptorBatcher {
     pub fn cached_plans(&self) -> usize {
         self.rt.plan_cache_len()
     }
+
+    /// Exports the runtime's cumulative counters (plans, executions,
+    /// cache hits) plus the resident-cache size into `reg` — the
+    /// telemetry surface for the batching economy.
+    pub fn export_metrics(&self, reg: &mut mealib_obs::MetricsRegistry) {
+        self.rt.counters().export_into(reg);
+        reg.describe("serve_plans_planned_total", "Top-level TDL items planned");
+        reg.store("serve_plans_planned_total", &[], self.planned);
+        reg.describe(
+            "runtime_plan_cache_len",
+            "Descriptor chains resident in the plan cache",
+        );
+        reg.store(
+            "runtime_plan_cache_len",
+            &[],
+            self.rt.plan_cache_len() as u64,
+        );
+    }
 }
 
 #[cfg(test)]

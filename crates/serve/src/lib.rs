@@ -27,19 +27,23 @@
 
 pub mod admission;
 pub mod batch;
+pub mod decision;
 pub mod metrics;
 pub mod partition;
 pub mod scheduler;
 pub mod session;
+pub mod telemetry;
 pub mod traffic;
 
 pub use admission::{AdmissionGate, Resident, UnknownPolicy};
 pub use batch::DescriptorBatcher;
+pub use decision::DecisionEvent;
 pub use metrics::{ClassStats, EpochStats, ServeReport};
 pub use partition::PartitionTable;
-pub use scheduler::{serve, serve_observed, ServeConfig};
+pub use scheduler::{serve, serve_observed, serve_with_telemetry, ServeConfig};
 pub use session::{
     Catalogue, CompletedSession, RejectedSession, SessionClass, SessionRequest, ShedReason,
     ShedSession, MIN_SLOT,
 };
+pub use telemetry::{Telemetry, TelemetryConfig, TelemetryReport};
 pub use traffic::{generate, ArrivalMix, ClassShare, Traffic, TrafficSpec};

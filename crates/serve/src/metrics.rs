@@ -6,6 +6,7 @@ use std::collections::BTreeMap;
 use mealib_obs::quantiles::p50_p95_p99;
 use mealib_obs::{Breakdown, Phase};
 
+use crate::decision::DecisionEvent;
 use crate::session::{CompletedSession, RejectedSession, ShedSession};
 use crate::traffic::Traffic;
 use crate::Catalogue;
@@ -62,8 +63,11 @@ pub struct ServeReport {
     pub shed: Vec<ShedSession>,
     /// Per-epoch ledger, in order.
     pub epochs: Vec<EpochStats>,
-    /// Human-readable admission decisions, in order (deterministic).
-    pub decision_log: Vec<String>,
+    /// Typed admission decisions, in order (deterministic). The
+    /// `Display` impl of each event reproduces the legacy text line,
+    /// so `fingerprint()` and text consumers are unchanged;
+    /// [`DecisionEvent::to_json`] serializes the structured form.
+    pub decision_log: Vec<DecisionEvent>,
     /// Final modeled clock: the sum of every epoch replay's elapsed.
     pub modeled_s: f64,
     /// Phase breakdown (admission under `Verify`, replays under
@@ -208,7 +212,7 @@ impl ServeReport {
         for c in &self.completed {
             let _ = writeln!(
                 out,
-                "C {} {} e{} q{:016x} s{:016x} b{} j{:016x} p{:x}+{:x} h{:016x} r{}",
+                "C {} {} e{} q{:016x} s{:016x} b{} j{:016x} p{:x}+{:x} l{:016x} h{:016x} r{}",
                 c.id,
                 c.class,
                 c.admitted_epoch,
@@ -218,6 +222,7 @@ impl ServeReport {
                 c.energy_j.to_bits(),
                 c.partition.start().get(),
                 c.partition.len().get(),
+                c.certified_elapsed_lo.to_bits(),
                 c.certified_elapsed_hi.to_bits(),
                 c.retries,
             );

@@ -35,11 +35,13 @@ use mealib_verify::{BoundsEnv, Verdict};
 
 use crate::admission::{AdmissionGate, Resident, UnknownPolicy};
 use crate::batch::DescriptorBatcher;
+use crate::decision::DecisionEvent;
 use crate::metrics::{EpochStats, ServeReport};
 use crate::partition::PartitionTable;
 use crate::session::{
     Catalogue, CompletedSession, RejectedSession, SessionRequest, ShedReason, ShedSession,
 };
+use crate::telemetry::{Telemetry, TelemetryConfig, TelemetryReport};
 use crate::traffic::Traffic;
 
 /// Scheduler knobs. The defaults serve the standard catalogue.
@@ -122,6 +124,45 @@ pub fn serve_observed(
     env: &BoundsEnv,
     obs: &Obs,
 ) -> ServeReport {
+    serve_core(catalogue, traffic, config, env, obs, None)
+}
+
+/// Runs the serving loop with live telemetry: streaming metric
+/// sketches, the per-session lifecycle trace, and the SLO /
+/// certified-bounds engines, all driven by the modeled clock.
+///
+/// With [`TelemetryConfig::stream_only`] the report's per-session
+/// vectors and decision log come back empty — the telemetry registry
+/// is the record and run memory stays `O(classes × buckets + epochs)`.
+///
+/// # Panics
+///
+/// Panics as [`serve_observed`] does.
+pub fn serve_with_telemetry(
+    catalogue: &Catalogue,
+    traffic: &Traffic,
+    config: &ServeConfig,
+    env: &BoundsEnv,
+    obs: &Obs,
+    telemetry: &TelemetryConfig,
+) -> (ServeReport, TelemetryReport) {
+    let mut tele = Telemetry::new(telemetry);
+    let report = serve_core(catalogue, traffic, config, env, obs, Some(&mut tele));
+    let tele_report = tele.finish(report.modeled_s, report.peak_queue_depth);
+    (report, tele_report)
+}
+
+/// The epoch loop shared by every entry point. `tele` costs one
+/// `Option` discriminant check per event when telemetry is off — the
+/// bench's <2% untelemetered wall criterion rides on that.
+fn serve_core(
+    catalogue: &Catalogue,
+    traffic: &Traffic,
+    config: &ServeConfig,
+    env: &BoundsEnv,
+    obs: &Obs,
+    mut tele: Option<&mut Telemetry>,
+) -> ServeReport {
     let mut gate = AdmissionGate::new(env.clone());
     if let Some(split) = config.asym_split {
         gate = gate.with_asym_split(split);
@@ -138,8 +179,12 @@ pub fn serve_observed(
     let mut rejected: Vec<RejectedSession> = Vec::new();
     let mut shed: Vec<ShedSession> = Vec::new();
     let mut epochs: Vec<EpochStats> = Vec::new();
-    let mut log: Vec<String> = Vec::new();
+    let mut log: Vec<DecisionEvent> = Vec::new();
     let mut breakdown = Breakdown::new();
+    // Streaming mode trades the per-session ledger for the bounded
+    // registry; everything else (epochs, clock, fingerprintable
+    // counters) is identical either way.
+    let retain = tele.as_ref().is_none_or(|t| !t.stream_only());
 
     let sessions = &traffic.sessions;
     let mut arr_idx = 0usize;
@@ -154,33 +199,42 @@ pub fn serve_observed(
         if epoch >= config.max_epochs {
             // Drain deadline: everything unserved is shed, so every
             // generated session still gets exactly one disposition.
-            for p in queue.drain(..) {
-                log.push(format!("e{epoch} shed s{} reason=drain_deadline", p.req.id));
-                shed.push(ShedSession {
-                    id: p.req.id,
-                    class: p.req.class,
+            for p in queue
+                .drain(..)
+                .chain(std::mem::take(&mut parked).into_values())
+            {
+                let ev = DecisionEvent::ShedDrain {
                     epoch,
-                    reason: ShedReason::DrainDeadline,
-                });
-            }
-            for (_, p) in std::mem::take(&mut parked) {
-                log.push(format!("e{epoch} shed s{} reason=drain_deadline", p.req.id));
-                shed.push(ShedSession {
                     id: p.req.id,
-                    class: p.req.class,
-                    epoch,
-                    reason: ShedReason::DrainDeadline,
-                });
+                };
+                if let Some(t) = tele.as_deref_mut() {
+                    t.on_decision(&ev, &p.req.class, clock_s);
+                }
+                if retain {
+                    log.push(ev);
+                    shed.push(ShedSession {
+                        id: p.req.id,
+                        class: p.req.class,
+                        epoch,
+                        reason: ShedReason::DrainDeadline,
+                    });
+                }
             }
             while arr_idx < sessions.len() {
                 let req = &sessions[arr_idx];
-                log.push(format!("e{epoch} shed s{} reason=drain_deadline", req.id));
-                shed.push(ShedSession {
-                    id: req.id,
-                    class: req.class.clone(),
-                    epoch,
-                    reason: ShedReason::DrainDeadline,
-                });
+                let ev = DecisionEvent::ShedDrain { epoch, id: req.id };
+                if let Some(t) = tele.as_deref_mut() {
+                    t.on_decision(&ev, &req.class, clock_s);
+                }
+                if retain {
+                    log.push(ev);
+                    shed.push(ShedSession {
+                        id: req.id,
+                        class: req.class.clone(),
+                        epoch,
+                        reason: ShedReason::DrainDeadline,
+                    });
+                }
                 arr_idx += 1;
             }
             break;
@@ -218,31 +272,43 @@ pub fn serve_observed(
             let req = sessions[arr_idx].clone();
             arr_idx += 1;
             st.arrivals += 1;
+            if let Some(t) = tele.as_deref_mut() {
+                t.on_arrival(&req, clock_s);
+            }
             let class = catalogue
                 .get(&req.class)
                 .unwrap_or_else(|| panic!("unknown traffic class {}", req.class));
             if class.slot > config.capacity {
-                log.push(format!(
-                    "e{epoch} shed s{} reason=undecidable (slot)",
-                    req.id
-                ));
-                shed.push(ShedSession {
-                    id: req.id,
-                    class: req.class,
-                    epoch,
-                    reason: ShedReason::Undecidable,
-                });
+                let ev = DecisionEvent::ShedSlot { epoch, id: req.id };
+                if let Some(t) = tele.as_deref_mut() {
+                    t.on_decision(&ev, &req.class, clock_s);
+                }
+                if retain {
+                    log.push(ev);
+                    shed.push(ShedSession {
+                        id: req.id,
+                        class: req.class,
+                        epoch,
+                        reason: ShedReason::Undecidable,
+                    });
+                }
                 st.shed += 1;
                 continue;
             }
             if queue.len() >= config.queue_cap {
-                log.push(format!("e{epoch} shed s{} reason=queue_full", req.id));
-                shed.push(ShedSession {
-                    id: req.id,
-                    class: req.class,
-                    epoch,
-                    reason: ShedReason::QueueFull,
-                });
+                let ev = DecisionEvent::ShedQueueFull { epoch, id: req.id };
+                if let Some(t) = tele.as_deref_mut() {
+                    t.on_decision(&ev, &req.class, clock_s);
+                }
+                if retain {
+                    log.push(ev);
+                    shed.push(ShedSession {
+                        id: req.id,
+                        class: req.class,
+                        epoch,
+                        reason: ShedReason::QueueFull,
+                    });
+                }
                 st.shed += 1;
                 continue;
             }
@@ -280,14 +346,20 @@ pub fn serve_observed(
             p.attempts += 1;
             match cert.verdict {
                 Verdict::Admit => {
-                    log.push(format!(
-                        "e{epoch} admit s{} class={} part=0x{:x}+0x{:x} attempt={}",
-                        p.req.id,
-                        p.req.class,
-                        partition.start().get(),
-                        partition.len().get(),
-                        p.attempts,
-                    ));
+                    let ev = DecisionEvent::Admit {
+                        epoch,
+                        id: p.req.id,
+                        class: p.req.class.clone(),
+                        part_start: partition.start().get(),
+                        part_len: partition.len().get(),
+                        attempt: p.attempts,
+                    };
+                    if let Some(t) = tele.as_deref_mut() {
+                        t.on_decision(&ev, &p.req.class, clock_s);
+                    }
+                    if retain {
+                        log.push(ev);
+                    }
                     batch.push(candidate);
                     batch_meta.push(p);
                     admitted_cert = Some((set, cert));
@@ -297,28 +369,40 @@ pub fn serve_observed(
                     if p.attempts > config.max_retries {
                         let codes = cert.codes();
                         debug_assert!(!codes.is_empty(), "REJECT always carries its proof");
-                        let rendered: Vec<String> =
-                            codes.iter().map(|c| format!("{c:?}")).collect();
-                        log.push(format!(
-                            "e{epoch} reject s{} codes=[{}] attempts={}",
-                            p.req.id,
-                            rendered.join(","),
-                            p.attempts,
-                        ));
-                        rejected.push(RejectedSession {
-                            id: p.req.id,
-                            class: p.req.class.clone(),
+                        let ev = DecisionEvent::Reject {
                             epoch,
-                            codes,
-                            retries: p.attempts,
-                        });
+                            id: p.req.id,
+                            codes: codes.clone(),
+                            attempts: p.attempts,
+                        };
+                        if let Some(t) = tele.as_deref_mut() {
+                            t.on_decision(&ev, &p.req.class, clock_s);
+                        }
+                        if retain {
+                            log.push(ev);
+                            rejected.push(RejectedSession {
+                                id: p.req.id,
+                                class: p.req.class.clone(),
+                                epoch,
+                                codes,
+                                retries: p.attempts,
+                            });
+                        }
                         st.rejected += 1;
                     } else {
                         let eligible = epoch + 1 + (config.backoff_base << (p.attempts - 1));
-                        log.push(format!(
-                            "e{epoch} backoff s{} until e{eligible} attempt={}",
-                            p.req.id, p.attempts,
-                        ));
+                        let ev = DecisionEvent::Backoff {
+                            epoch,
+                            id: p.req.id,
+                            until_epoch: eligible,
+                            attempt: p.attempts,
+                        };
+                        if let Some(t) = tele.as_deref_mut() {
+                            t.on_decision(&ev, &p.req.class, clock_s);
+                        }
+                        if retain {
+                            log.push(ev);
+                        }
                         parked.insert((eligible, p.req.id), p);
                     }
                 }
@@ -332,25 +416,39 @@ pub fn serve_observed(
                         } else {
                             ShedReason::RetriesExhausted
                         };
-                        log.push(format!(
-                            "e{epoch} shed s{} reason={} attempts={}",
-                            p.req.id,
-                            reason.label(),
-                            p.attempts,
-                        ));
-                        shed.push(ShedSession {
-                            id: p.req.id,
-                            class: p.req.class.clone(),
+                        let ev = DecisionEvent::ShedPolicy {
                             epoch,
+                            id: p.req.id,
                             reason,
-                        });
+                            attempts: p.attempts,
+                        };
+                        if let Some(t) = tele.as_deref_mut() {
+                            t.on_decision(&ev, &p.req.class, clock_s);
+                        }
+                        if retain {
+                            log.push(ev);
+                            shed.push(ShedSession {
+                                id: p.req.id,
+                                class: p.req.class.clone(),
+                                epoch,
+                                reason,
+                            });
+                        }
                         st.shed += 1;
                     } else {
                         let eligible = epoch + 1 + (config.backoff_base << (p.attempts - 1));
-                        log.push(format!(
-                            "e{epoch} unknown s{} retry at e{eligible} attempt={}",
-                            p.req.id, p.attempts,
-                        ));
+                        let ev = DecisionEvent::UnknownRetry {
+                            epoch,
+                            id: p.req.id,
+                            retry_epoch: eligible,
+                            attempt: p.attempts,
+                        };
+                        if let Some(t) = tele.as_deref_mut() {
+                            t.on_decision(&ev, &p.req.class, clock_s);
+                        }
+                        if retain {
+                            log.push(ev);
+                        }
                         parked.insert((eligible, p.req.id), p);
                     }
                 }
@@ -383,10 +481,13 @@ pub fn serve_observed(
                 run.stats.energy,
             );
             breakdown.add_phase(Phase::Compute, run.stats.elapsed, run.stats.energy);
+            if let Some(t) = tele.as_deref_mut() {
+                t.on_replay(run.stats.elapsed.get(), run.stats.energy.get());
+            }
             for (i, (r, p)) in batch.iter().zip(&batch_meta).enumerate() {
                 let t = &run.tenants[i];
                 let tb = &cert.bounds.tenants[i];
-                completed.push(CompletedSession {
+                let done = CompletedSession {
                     id: r.request.id,
                     class: r.request.class.clone(),
                     admitted_epoch: epoch,
@@ -395,9 +496,18 @@ pub fn serve_observed(
                     bytes: t.bytes_read.get() + t.bytes_written.get(),
                     energy_j: t.energy.get(),
                     partition: r.partition,
+                    certified_elapsed_lo: tb.elapsed.lo,
                     certified_elapsed_hi: tb.elapsed.hi,
                     retries: p.attempts - 1,
-                });
+                };
+                if let Some(tl) = tele.as_deref_mut() {
+                    // The epoch's service spans share the pre-advance
+                    // clock, so one batch's spans nest in the trace.
+                    tl.on_completion(clock_s, &done, tb, t.first_elapsed.get());
+                }
+                if retain {
+                    completed.push(done);
+                }
                 st.admitted += 1;
             }
             st.replay_elapsed_s = run.stats.elapsed.get();
@@ -410,8 +520,15 @@ pub fn serve_observed(
 
         st.queue_depth_end = queue.len();
         st.clock_s = clock_s;
+        if let Some(t) = tele.as_deref_mut() {
+            t.on_epoch_end(&st);
+        }
         epochs.push(st);
         epoch += 1;
+    }
+
+    if let Some(t) = tele {
+        batcher.export_metrics(t.registry_mut());
     }
 
     ServeReport {

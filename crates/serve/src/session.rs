@@ -179,6 +179,10 @@ pub struct CompletedSession {
     pub energy_j: f64,
     /// The partition slot the session ran in.
     pub partition: AddrRange,
+    /// The certified elapsed floor the admission proved
+    /// (`certified_elapsed_lo <= service_s` always — the telemetry's
+    /// certified-bounds monitor checks both ends of the interval).
+    pub certified_elapsed_lo: f64,
     /// The certified elapsed ceiling the admission proved
     /// (`service_s <= certified_elapsed_hi` always).
     pub certified_elapsed_hi: f64,
@@ -266,6 +270,7 @@ mod tests {
                 mealib_types::PhysAddr::new(0),
                 mealib_types::Bytes::new(MIN_SLOT),
             ),
+            certified_elapsed_lo: 0.1,
             certified_elapsed_hi: 0.3,
             retries: 0,
         };

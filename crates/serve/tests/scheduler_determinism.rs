@@ -10,7 +10,10 @@
 
 use std::sync::OnceLock;
 
-use mealib_serve::{generate, serve, Catalogue, ServeConfig, TrafficSpec};
+use mealib_obs::Obs;
+use mealib_serve::{
+    generate, serve, serve_with_telemetry, Catalogue, ServeConfig, TelemetryConfig, TrafficSpec,
+};
 use mealib_verify::BoundsEnv;
 use proptest::prelude::*;
 
@@ -60,6 +63,39 @@ fn worker_count_never_changes_the_run() {
         };
         let fp = serve(cat, &traffic, &config, &env).fingerprint();
         assert_eq!(fp, baseline, "jobs={jobs} diverged from the serial run");
+    }
+}
+
+/// The telemetry artifacts inherit the scheduler's determinism: ten
+/// repeats and every worker count render byte-identical expositions,
+/// snapshot streams, and lifecycle traces (the sketches, windows, and
+/// trace events are all fed in scheduler order, which `jobs` never
+/// changes).
+#[test]
+fn telemetry_artifacts_are_bit_identical_across_repeats_and_jobs() {
+    let cat = catalogue();
+    let traffic = generate(cat, &small_spec(555, 4, 1.5));
+    let env = BoundsEnv::default();
+    let tcfg = TelemetryConfig::standard(cat);
+    let run = |jobs: usize| {
+        let config = ServeConfig {
+            jobs,
+            ..ServeConfig::default()
+        };
+        let (report, tele) = serve_with_telemetry(cat, &traffic, &config, &env, &Obs::off(), &tcfg);
+        tele.reconcile(&report).expect("telemetry reconciles");
+        (
+            tele.prometheus(),
+            tele.snapshots_jsonl(),
+            tele.chrome_trace(),
+        )
+    };
+    let baseline = run(1);
+    for rep in 1..10 {
+        assert_eq!(run(1), baseline, "repeat {rep} diverged");
+    }
+    for jobs in [2usize, 4] {
+        assert_eq!(run(jobs), baseline, "jobs={jobs} diverged");
     }
 }
 

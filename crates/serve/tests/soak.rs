@@ -1,7 +1,11 @@
 //! Soak: a full diurnal day-and-nights of traffic, ≥10k sessions,
 //! replayed end to end. Run with `cargo test -p mealib-serve -- --ignored`.
 
-use mealib_serve::{generate, serve, ArrivalMix, Catalogue, ServeConfig, ShedReason, TrafficSpec};
+use mealib_obs::Obs;
+use mealib_serve::{
+    generate, serve, serve_with_telemetry, ArrivalMix, Catalogue, ServeConfig, ShedReason,
+    TelemetryConfig, TrafficSpec,
+};
 use mealib_verify::BoundsEnv;
 
 #[test]
@@ -75,4 +79,85 @@ fn diurnal_soak_holds_every_invariant() {
     // The plan cache is doing the batching: with two classes over
     // thousands of admissions, nearly every plan is a hit.
     assert!(report.plan_cache_hits > report.plans_planned / 2);
+}
+
+/// Streaming telemetry over the same ≥10k-session soak: memory stays
+/// O(classes × buckets) — the sketches absorb every sample without
+/// hoarding them — and the counters still reconcile count-wise with
+/// the retained ledger even though the per-session vectors are gone.
+#[test]
+#[ignore = "ten-thousand-session telemetered soak; run with --ignored"]
+fn streaming_telemetry_soak_is_bounded_memory() {
+    let cat = Catalogue::standard(&BoundsEnv::default());
+    let mut spec = TrafficSpec::poisson(&cat, 2024, 1500, 0.0);
+    spec.mix = ArrivalMix::Diurnal {
+        base: 4.0,
+        peak: 14.0,
+        period_epochs: 48,
+    };
+    spec.classes
+        .retain(|c| matches!(c.class.as_str(), "stap-tiny" | "sar-chain-256"));
+    let traffic = generate(&cat, &spec);
+    assert!(traffic.sessions.len() >= 10_000);
+
+    let config = ServeConfig {
+        max_resident: 6,
+        queue_cap: 32,
+        jobs: 2,
+        ..ServeConfig::default()
+    };
+    let tcfg = TelemetryConfig {
+        stream_only: true,
+        trace: false,
+        ..TelemetryConfig::standard(&cat)
+    };
+    let (report, tele) = serve_with_telemetry(
+        &cat,
+        &traffic,
+        &config,
+        &BoundsEnv::default(),
+        &Obs::off(),
+        &tcfg,
+    );
+
+    // Streaming mode really streams: no per-session hoarding anywhere.
+    assert!(report.completed.is_empty());
+    assert!(report.rejected.is_empty());
+    assert!(report.shed.is_empty());
+    assert!(report.decision_log.is_empty());
+    assert!(tele.profile.intervals.is_empty(), "tracing was off");
+
+    // Sketch memory is O(classes × buckets), not O(sessions): for
+    // alpha = 1% a three-decade dynamic range occupies ~350 buckets,
+    // so 2 classes × 3 histogram families stays far under 600/class
+    // even after 10k+ samples.
+    let classes = 2;
+    assert!(
+        tele.registry.total_buckets() < classes * 600,
+        "{} buckets is not O(classes x buckets)",
+        tele.registry.total_buckets()
+    );
+
+    // Count-wise reconciliation against the generator's ledger: every
+    // session landed in exactly one terminal counter.
+    let count = |name: &str| {
+        ["stap-tiny", "sar-chain-256"]
+            .iter()
+            .map(|c| tele.registry.counter(name, &[("class", c)]))
+            .sum::<u64>()
+    };
+    // Shed counters carry a `reason` label too, so sum them by prefix.
+    let shed: u64 = tele
+        .registry
+        .counters()
+        .filter(|(k, _)| k.flat().starts_with("serve_shed_total"))
+        .map(|(_, v)| v)
+        .sum();
+    let disposed = count("serve_admitted_total") + count("serve_rejected_total") + shed;
+    assert_eq!(disposed, traffic.sessions.len() as u64);
+    assert_eq!(count("serve_arrivals_total"), traffic.sessions.len() as u64);
+
+    // The replay accumulator still equals the modeled clock bit-exactly.
+    assert_eq!(tele.replay_total_s.to_bits(), report.modeled_s.to_bits());
+    assert!(tele.slo_evaluations > 0);
 }

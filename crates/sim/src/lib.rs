@@ -23,5 +23,5 @@ pub use experiment::{
 pub use mealib_runtime::{Sanitizer, VerifyMode};
 pub use platforms::AcceleratedPlatform;
 pub use preflight::{preflight, preflight_checked};
-pub use report::TextTable;
+pub use report::{sparkline, TextTable};
 pub use sweep::run_sweep;

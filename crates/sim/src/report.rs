@@ -73,6 +73,31 @@ impl fmt::Display for TextTable {
     }
 }
 
+/// Renders a unicode block-element sparkline of `values` (empty input
+/// renders empty). Scaled to the data's own min..max; a flat series
+/// renders as all-minimum blocks. Non-finite values clamp to the
+/// minimum block rather than poisoning the render.
+pub fn sparkline(values: &[f64]) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let (lo, hi) = finite
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() || hi <= lo {
+                BLOCKS[0]
+            } else {
+                let t = (v - lo) / (hi - lo);
+                BLOCKS[((t * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
+}
+
 /// Formats a ratio as the paper's figures label them ("38.1x").
 pub fn ratio(x: f64) -> String {
     if x >= 100.0 {
@@ -115,5 +140,16 @@ mod tests {
         assert_eq!(ratio(1.234), "1.23x");
         assert_eq!(ratio(38.12), "38.1x");
         assert_eq!(ratio(150.4), "150x");
+    }
+
+    #[test]
+    fn sparkline_scales_to_its_own_range() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[1.0, 1.0, 1.0]), "▁▁▁");
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁') && s.ends_with('█'));
+        // Non-finite values clamp instead of poisoning the render.
+        assert_eq!(sparkline(&[0.0, f64::NAN, 1.0]).chars().nth(1), Some('▁'));
     }
 }

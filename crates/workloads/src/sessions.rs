@@ -110,6 +110,21 @@ pub fn session_span(src: &str) -> u64 {
         .unwrap_or(0)
 }
 
+/// Total bytes the session's `BUF` directives declare — the resident
+/// working set, as opposed to [`session_span`]'s highest touched
+/// address (which includes alignment holes). The serving telemetry
+/// reports this per class so bandwidth and byte counters can be read
+/// against the footprint that produced them.
+pub fn session_buffer_bytes(src: &str) -> u64 {
+    src.lines()
+        .filter(|l| l.starts_with("BUF "))
+        .map(|l| {
+            let toks: Vec<&str> = l.split_whitespace().collect();
+            u64::from_str_radix(toks[3].trim_start_matches("0x"), 16).unwrap()
+        })
+        .sum()
+}
+
 /// Rewrites every `BUF` base in `src` up by `offset`, leaving the rest
 /// of the session untouched — the shift that moves a canonical session
 /// into a tenant's partition slot. The elaborated trace of the shifted
@@ -178,6 +193,22 @@ mod tests {
                 ranges.push((base, len));
             }
             assert!(ranges.len() >= 2, "{name}: expected buffers");
+        }
+    }
+
+    #[test]
+    fn buffer_bytes_fit_inside_the_span_and_survive_rebase() {
+        for (name, src) in pipeline_sessions() {
+            let ws = session_buffer_bytes(&src);
+            assert!(ws > 0, "{name}: empty working set");
+            // The working set never exceeds the span (holes only add).
+            assert!(ws <= session_span(&src), "{name}");
+            // Rebasing moves extents without changing their sizes.
+            assert_eq!(
+                ws,
+                session_buffer_bytes(&rebase_session(&src, 1 << 20)),
+                "{name}"
+            );
         }
     }
 

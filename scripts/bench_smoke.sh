@@ -30,12 +30,21 @@
 #   * the serving-soundness floor: serve_traffic's admission_soundness
 #     must stay exactly 1 — every session the certified-admission
 #     scheduler completes lands inside the elapsed ceiling its
-#     admission proved, baseline or not.
+#     admission proved, baseline or not;
+#   * the telemetry path: serve_traffic runs with --telemetry, the
+#     Prometheus exposition + JSONL snapshots + lifecycle trace are
+#     validated on disk by `meatop --check` (exact counter
+#     reconciliation included) and the trace additionally by
+#     `meaperf --check-trace`;
+#   * the telemetry floors: serve_traffic's slo_conformance and
+#     certified_bounds_conformance must both stay exactly 1 — no SLO
+#     burned its error budget and no windowed observation escaped its
+#     MEA3xx certified interval, baseline or not.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_pr9.json}"
-BASE="${BASE:-BENCH_pr8.json}"
+OUT="${1:-BENCH_pr10.json}"
+BASE="${BASE:-BENCH_pr9.json}"
 JQ="$(command -v jq || true)"
 
 echo "==> cargo build --release -p mealib-bench --bins"
@@ -67,10 +76,16 @@ records="$tmpdir/records.jsonl"
 now_ns() { date +%s%N; }
 elapsed_s() { awk -v a="$1" -v b="$2" 'BEGIN { printf "%.3f", (b - a) / 1e9 }'; }
 
+tel_prefix="$tmpdir/serve_tel"
+
 for bin in "${BINS[@]}"; do
-  echo "==> $bin --small --json"
+  # serve_traffic runs telemetered so the BENCH record carries the
+  # sketch percentiles and both conformance metrics.
+  extra=()
+  [[ "$bin" == "serve_traffic" ]] && extra=(--telemetry "$tel_prefix")
+  echo "==> $bin --small --json ${extra[*]}"
   t0="$(now_ns)"
-  line="$(./target/release/$bin --small --json | tail -n 1)"
+  line="$(./target/release/$bin --small --json "${extra[@]}" | tail -n 1)"
   wall="$(elapsed_s "$t0" "$(now_ns)")"
   if [[ -n "$JQ" ]]; then
     echo "$line" | "$JQ" -e '.bench and (.metrics | type == "object")' > /dev/null \
@@ -89,6 +104,15 @@ if [[ -n "$JQ" ]]; then
     || { echo "error: trace contains a malformed line" >&2; exit 1; }
 fi
 echo "trace OK: $(wc -l < "$trace") events"
+
+echo "==> meatop --check (telemetry artifact validation + exact reconciliation)"
+for f in "$tel_prefix.prom" "$tel_prefix.snapshots.jsonl" "$tel_prefix.trace.json" "$tel_prefix.alerts.jsonl"; do
+  [[ -f "$f" ]] || { echo "error: serve_traffic --telemetry did not write $f" >&2; exit 1; }
+done
+./target/release/meatop --check "$tel_prefix" \
+  || { echo "error: telemetry artifacts failed meatop --check" >&2; exit 1; }
+./target/release/meaperf --check-trace "$tel_prefix.trace.json" \
+  || { echo "error: lifecycle trace failed meaperf --check-trace" >&2; exit 1; }
 
 echo "==> fig13_stap --small --profile (Perfetto trace validation)"
 profile="$tmpdir/fig13_stap.trace.json"
@@ -170,7 +194,9 @@ fi
 # comparison, so it gates even without a baseline (self-compare).
 MIN_FLOORS=(--min "engine_throughput.fast_over_cycle=5"
             --min "tenant_mix.verdict_correctness=1"
-            --min "serve_traffic.admission_soundness=1")
+            --min "serve_traffic.admission_soundness=1"
+            --min "serve_traffic.slo_conformance=1"
+            --min "serve_traffic.certified_bounds_conformance=1")
 if [[ -f "$BASE" && "$BASE" != "$OUT" ]]; then
   echo "==> meaperf $BASE $OUT (modeled metrics gate hard; wall report-only; floors)"
   ./target/release/meaperf --wall-report-only "${MIN_FLOORS[@]}" "$BASE" "$OUT" \
